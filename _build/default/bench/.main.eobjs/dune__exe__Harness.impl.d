@@ -1,0 +1,1 @@
+bench/harness.ml: Buffer Gsim_bits Gsim_core Gsim_designs Gsim_engine Gsim_ir Gsim_passes Hashtbl List Printf String Unix

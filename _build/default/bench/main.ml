@@ -1,0 +1,463 @@
+(* Paper-reproduction benchmark harness.
+
+   Each subcommand regenerates one table or figure of "GSIM: Accelerating
+   RTL Simulation for Large-Scale Designs" (DAC 2025) on this repository's
+   substrate; run without arguments to produce everything.
+
+     main.exe [--quick] [table1|fig6|fig7|fig8|fig9|table3|table4|
+               ablation|model|micro|all]                                 *)
+
+module Bits = Gsim_bits.Bits
+module Circuit = Gsim_ir.Circuit
+module Partition = Gsim_partition.Partition
+module Counters = Gsim_engine.Counters
+module Pipeline = Gsim_passes.Pipeline
+module Activity = Gsim_engine.Activity
+module Designs = Gsim_designs.Designs
+module Stu_core = Gsim_designs.Stu_core
+module Gsim = Gsim_core.Gsim
+module Emit = Gsim_emit.Emit
+open Harness
+
+(* ------------------------------------------------------------------ *)
+(* Table I: single-thread full-cycle speed vs design scale              *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  header "Table I - Verilator-style (single thread) speed vs design scale (linux_boot)";
+  Printf.printf "%-10s %12s %12s %12s\n" "design" "IR nodes" "IR edges" "speed";
+  let prog = linux_long () in
+  List.iter
+    (fun d ->
+      let core = build_design d in
+      let s = Circuit.stats core.Stu_core.circuit in
+      let m = measure (Gsim.verilator ()) d prog in
+      Printf.printf "%-10s %12s %12s %12s\n" d.Designs.design_name
+        (kseparated s.Circuit.ir_nodes) (kseparated s.Circuit.ir_edges) (pp_hz m.hz))
+    Designs.all
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6: overall speedup over single-threaded Verilator               *)
+(* ------------------------------------------------------------------ *)
+
+let fig6_configs () =
+  [
+    Gsim.verilator ();
+    Gsim.verilator ~threads:2 ();
+    Gsim.verilator ~threads:4 ();
+    Gsim.verilator ~threads:8 ();
+    Gsim.arcilator;
+    Gsim.essent;
+    Gsim.gsim;
+  ]
+
+let fig6 () =
+  header "Fig. 6 - Overall performance (speedup vs verilator single-thread)";
+  let workloads = [ ("coremark", coremark_long ()); ("linux_boot", linux_long ()) ] in
+  List.iter
+    (fun (wname, prog) ->
+      sub wname;
+      Printf.printf "%-10s" "design";
+      List.iter (fun c -> Printf.printf " %13s" c.Gsim.config_name) (fig6_configs ());
+      print_newline ();
+      List.iter
+        (fun d ->
+          let base = measure (Gsim.verilator ()) d prog in
+          Printf.printf "%-10s" d.Designs.design_name;
+          List.iter
+            (fun config ->
+              let m =
+                if config.Gsim.config_name = "verilator" then base
+                else measure config d prog
+              in
+              Printf.printf " %12.2fx" (m.hz /. base.hz))
+            (fig6_configs ());
+          Printf.printf "   (base %s)\n%!" (pp_hz base.hz))
+        Designs.all)
+    workloads
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 7: SPEC-like checkpoints on the largest design                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 () =
+  header "Fig. 7 - SPEC CPU2006-like checkpoints on XiangShan-like";
+  let d = Designs.xiangshan_like in
+  Printf.printf "%-14s %12s %12s %14s %14s\n" "checkpoint" "verilator" "gsim" "gsim/v1T"
+    "gsim/v8T";
+  let speed1 = ref [] and speed8 = ref [] in
+  List.iter
+    (fun name ->
+      let prog = spec_long name in
+      let v1 = measure (Gsim.verilator ()) d prog in
+      let v8 = measure (Gsim.verilator ~threads:8 ()) d prog in
+      let g = measure Gsim.gsim d prog in
+      speed1 := (g.hz /. v1.hz) :: !speed1;
+      speed8 := (g.hz /. v8.hz) :: !speed8;
+      Printf.printf "%-14s %12s %12s %13.2fx %13.2fx\n%!" name (pp_hz v1.hz) (pp_hz g.hz)
+        (g.hz /. v1.hz) (g.hz /. v8.hz))
+    spec_names;
+  Printf.printf "%-14s %12s %12s %13.2fx %13.2fx\n" "geomean" "" "" (geomean !speed1)
+    (geomean !speed8)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 8: per-technique breakdown                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Techniques applied incrementally, starting from an unoptimized
+   per-node-active-bit baseline (the paper's P0). *)
+let fig8_steps =
+  [
+    ( "baseline",
+      Gsim.
+        {
+          (gsim_with ~opt_level:Pipeline.O0 ~partition_algorithm:"none" ~packed_exam:false
+             ~activation:Activity.Branch ())
+          with config_name = "baseline";
+        } );
+    ( "+supernode",
+      Gsim.
+        {
+          (gsim_with ~opt_level:Pipeline.O0 ~partition_algorithm:"gsim" ~packed_exam:true ())
+          with config_name = "+supernode";
+        } );
+    ( "+node-simplify",
+      Gsim.{ (gsim_with ~opt_level:Pipeline.O1 ()) with config_name = "+node-simplify" } );
+    ( "+cost-models+reset",
+      Gsim.{ (gsim_with ~opt_level:Pipeline.O2 ()) with config_name = "+cost+reset" } );
+    ("+bit-split", Gsim.{ (gsim_with ~opt_level:Pipeline.O3 ()) with config_name = "+bitsplit" });
+  ]
+
+let fig8 () =
+  header "Fig. 8 - Performance breakdown per technique (log10 of incremental speedup)";
+  Printf.printf "%-10s" "design";
+  List.iter (fun (n, _) -> Printf.printf " %18s" n) (List.tl fig8_steps);
+  print_newline ();
+  let prog = coremark_long () in
+  List.iter
+    (fun d ->
+      let speeds =
+        List.map (fun (_, config) -> (measure config d prog).hz) fig8_steps
+      in
+      Printf.printf "%-10s" d.Designs.design_name;
+      let rec pairs = function
+        | a :: (b :: _ as rest) ->
+          Printf.printf " %11.3f (%4.2fx)" (log10 (b /. a)) (b /. a);
+          pairs rest
+        | [ _ ] | [] -> ()
+      in
+      pairs speeds;
+      (match (speeds, List.rev speeds) with
+       | base :: _, final :: _ ->
+         Printf.printf "   total %.2fx\n%!" (final /. base)
+       | _ -> print_newline ()))
+    Designs.all
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9: maximum supernode size sweep                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig9_sizes = [ 2; 4; 8; 16; 32; 64; 128 ]
+
+let fig9 () =
+  header "Fig. 9 - Performance vs maximum supernode size (coremark)";
+  Printf.printf "%-10s" "design";
+  List.iter (fun s -> Printf.printf " %9d" s) fig9_sizes;
+  Printf.printf "   (normalized to size 8)\n";
+  let prog = coremark_long () in
+  List.iter
+    (fun d ->
+      let speeds =
+        List.map
+          (fun size -> (measure (Gsim.gsim_with ~max_supernode:size ()) d prog).hz)
+          fig9_sizes
+      in
+      let baseline = List.nth speeds 2 in
+      Printf.printf "%-10s" d.Designs.design_name;
+      List.iter (fun hz -> Printf.printf " %8.2fx" (hz /. baseline)) speeds;
+      print_newline ();
+      flush stdout)
+    Designs.all
+
+(* ------------------------------------------------------------------ *)
+(* Table III: partitioning algorithms                                   *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  header "Table III - Partitioning algorithms (coremark on BOOM-like, other opts off)";
+  Printf.printf "%-14s %10s %11s %14s %14s %12s\n" "algorithm" "part(s)" "supernodes"
+    "activations" "active-node" "speed";
+  let d = Designs.boom_like in
+  let core = build_design d in
+  let prog = coremark_long () in
+  (* Like the paper, each algorithm runs under its own optimal parameter:
+     a small sweep picks the best-performing maximum size. *)
+  let best_size algo =
+    if algo = "none" then 1
+    else begin
+      let candidates = if !Harness.quick then [ 4; 20 ] else [ 2; 4; 8; 20; 32 ] in
+      let best = ref (0., 4) in
+      List.iter
+        (fun size ->
+          let config =
+            Gsim.
+              {
+                (gsim_with ~opt_level:Pipeline.O0 ~partition_algorithm:algo
+                   ~max_supernode:size ())
+                with config_name = algo;
+              }
+          in
+          let m = measure ~cycles_override:800 config d prog in
+          if m.hz > fst !best then best := (m.hz, size))
+        candidates;
+      snd !best
+    end
+  in
+  let rows =
+    List.map (fun algo -> (algo, best_size algo)) [ "none"; "kernighan"; "mffc"; "gsim" ]
+  in
+  List.iter
+    (fun (algo, size) ->
+      let label = Printf.sprintf "%s(%d)" algo size in
+      (* Partition time measured on the unoptimized graph, like the paper's
+         standalone partitioning step. *)
+      let t0 = now () in
+      let p =
+        (Option.get (Partition.algorithm_of_string algo)) core.Stu_core.circuit
+          ~max_size:size
+      in
+      let pt = now () -. t0 in
+      let config =
+        Gsim.
+          {
+            (gsim_with ~opt_level:Pipeline.O0 ~partition_algorithm:algo ~max_supernode:size ())
+            with config_name = label;
+          }
+      in
+      let m = measure config d prog in
+      Printf.printf "%-14s %10.3f %11s %14s %14s %12s\n%!" label pt
+        (kseparated (Array.length p.Partition.supernodes))
+        (kseparated (m.counters.Counters.activations / m.cycles))
+        (kseparated (m.counters.Counters.evals / m.cycles))
+        (pp_hz m.hz))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Table IV: resource usage                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table4 () =
+  header "Table IV - Resources: emission time, code size, data size";
+  Printf.printf "%-10s %-11s %12s %12s %12s\n" "design" "simulator" "emission(s)" "code(B)"
+    "data(B)";
+  let configs = [ Gsim.verilator (); Gsim.essent; Gsim.arcilator; Gsim.gsim ] in
+  List.iter
+    (fun d ->
+      let core = build_design d in
+      List.iter
+        (fun config ->
+          let r = Gsim.emit_cpp config core.Stu_core.circuit in
+          Printf.printf "%-10s %-11s %12.3f %12s %12s\n%!" d.Designs.design_name
+            config.Gsim.config_name r.Emit.emission_seconds (kseparated r.Emit.code_bytes)
+            (kseparated r.Emit.data_bytes))
+        configs)
+    Designs.all
+
+(* ------------------------------------------------------------------ *)
+(* Ablations beyond the paper's figures                                 *)
+(* ------------------------------------------------------------------ *)
+
+let repcut_ablation () =
+  header "Ablation A3 - RepCut-style replication-aided threading (BOOM-like, coremark)";
+  Printf.printf "  (the paper's future-work direction; this host has %d core(s))\n"
+    (try
+       let ic = Unix.open_process_in "nproc 2>/dev/null" in
+       let n = int_of_string (String.trim (input_line ic)) in
+       ignore (Unix.close_process_in ic);
+       n
+     with _ -> 1);
+  let core = build_design Designs.boom_like in
+  let prog = coremark_long () in
+  List.iter
+    (fun threads ->
+      let t = Gsim_engine.Repcut.create ~threads core.Stu_core.circuit in
+      let sim = Gsim_engine.Repcut.sim t in
+      Designs.load_program sim core.Stu_core.h prog;
+      Designs.run_cycles sim 64;
+      let cycles = if !Harness.quick then 200 else 800 in
+      let t0 = now () in
+      Designs.run_cycles sim cycles;
+      let dt = now () -. t0 in
+      Printf.printf "  %d thread(s): %10s  replication factor %.2f  cones %s\n%!" threads
+        (pp_hz (float_of_int cycles /. dt))
+        (Gsim_engine.Repcut.replication_factor t)
+        (String.concat "/"
+           (Array.to_list (Array.map string_of_int (Gsim_engine.Repcut.cone_sizes t))));
+      Gsim_engine.Repcut.destroy t)
+    [ 1; 2; 4 ]
+
+let ablation () =
+  header "Ablation A1 - activation strategy cost model (coremark on BOOM-like)";
+  List.iter
+    (fun (label, strategy) ->
+      let config =
+        Gsim.{ (gsim_with ~activation:strategy ()) with config_name = label }
+      in
+      let m = measure config Designs.boom_like (coremark_long ()) in
+      Printf.printf "  %-12s %12s  (activations/cycle %s)\n%!" label (pp_hz m.hz)
+        (kseparated (m.counters.Counters.activations / m.cycles)))
+    [
+      ("branch", Activity.Branch);
+      ("branchless", Activity.Branchless);
+      ("cost-model", Activity.Cost_model);
+    ];
+  header "Ablation A2 - packed active-word fast path (linux_boot on XiangShan-like)";
+  List.iter
+    (fun (label, packed) ->
+      let config = Gsim.{ (gsim_with ~packed_exam:packed ()) with config_name = label } in
+      let m = measure config Designs.xiangshan_like (linux_long ()) in
+      Printf.printf "  %-12s %12s  (exams/cycle %s)\n%!" label (pp_hz m.hz)
+        (kseparated (m.counters.Counters.exams / m.cycles)))
+    [ ("unpacked", false); ("packed", true) ];
+  repcut_ablation ()
+
+(* ------------------------------------------------------------------ *)
+(* §II-B model statistics                                               *)
+(* ------------------------------------------------------------------ *)
+
+let model () =
+  header "Model (SII-B) - activity factor and examination share";
+  let m = measure Gsim.gsim Designs.xiangshan_like (coremark_long ()) in
+  Printf.printf "  activity factor af (gsim)      = %.2f%% (paper: ~4.61%%)\n"
+    (100. *. m.activity);
+  (* The 82%% figure motivates the work: with one active bit per node, the
+     examination branches dominate.  Measure it on that baseline. *)
+  let baseline =
+    Gsim.
+      {
+        (gsim_with ~opt_level:Pipeline.O0 ~partition_algorithm:"none" ~packed_exam:false
+           ~activation:Activity.Branch ())
+        with config_name = "per-node";
+      }
+  in
+  let mb = measure baseline Designs.xiangshan_like (coremark_long ()) in
+  let cb = mb.counters in
+  let events =
+    cb.Counters.evals + cb.Counters.exams + cb.Counters.activations
+    + cb.Counters.reg_commits
+  in
+  Printf.printf "  exam share, per-node baseline  = %.1f%% of engine events (paper: 82.26%% of branches)\n"
+    (100. *. float_of_int cb.Counters.exams /. float_of_int events);
+  let c = m.counters in
+  Printf.printf "  exam share, gsim supernodes    = %.1f%%\n"
+    (100. *. float_of_int c.Counters.exams
+     /. float_of_int
+          (c.Counters.evals + c.Counters.exams + c.Counters.activations
+           + c.Counters.reg_commits));
+  Printf.printf "  supernodes                     = %s\n" (kseparated m.supernodes);
+  Printf.printf "  gsim per-cycle: evals=%d exams=%d activations=%d commits=%d\n"
+    (c.Counters.evals / m.cycles) (c.Counters.exams / m.cycles)
+    (c.Counters.activations / m.cycles)
+    (c.Counters.reg_commits / m.cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the kernel inner loops                  *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  header "Micro (bechamel) - kernel inner loops";
+  let open Bechamel in
+  let core = build_design Designs.rocket_like in
+  let prog = coremark_long () in
+  let make_step config =
+    let compiled = Gsim.instantiate config core.Stu_core.circuit in
+    Designs.load_program compiled.Gsim.sim core.Stu_core.h prog;
+    Designs.run_cycles compiled.Gsim.sim 64;
+    Staged.stage (fun () -> compiled.Gsim.sim.Gsim_engine.Sim.step ())
+  in
+  (* One Test.make per reproduced table: the cycle kernel under the
+     configuration that table measures. *)
+  let tests =
+    [
+      Test.make ~name:"table1.full_cycle_step" (make_step (Gsim.verilator ()));
+      Test.make ~name:"fig6.gsim_step" (make_step Gsim.gsim);
+      Test.make ~name:"fig7.essent_step" (make_step Gsim.essent);
+      Test.make ~name:"table3.kernighan_step"
+        (make_step (Gsim.gsim_with ~partition_algorithm:"kernighan" ~max_supernode:20 ()));
+      Test.make ~name:"fig9.size5_step" (make_step (Gsim.gsim_with ~max_supernode:5 ()));
+      Test.make ~name:"table4.partition_gsim"
+        (Staged.stage (fun () ->
+             ignore (Partition.gsim core.Stu_core.circuit ~max_size:32)));
+    ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second (if !Harness.quick then 0.25 else 1.0))
+      ~kde:(Some 100) ()
+  in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances test
+        |> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                          ~predictors:[| Measure.run |])
+             Toolkit.Instance.monotonic_clock
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "  %-28s %12.0f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let all () =
+  table1 ();
+  fig6 ();
+  fig7 ();
+  fig8 ();
+  fig9 ();
+  table3 ();
+  table4 ();
+  ablation ();
+  model ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          Harness.quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let t0 = now () in
+  (match args with
+   | [] | [ "all" ] -> all ()
+   | cmds ->
+     List.iter
+       (function
+         | "table1" -> table1 ()
+         | "fig6" -> fig6 ()
+         | "fig7" -> fig7 ()
+         | "fig8" -> fig8 ()
+         | "fig9" -> fig9 ()
+         | "table3" -> table3 ()
+         | "table4" -> table4 ()
+         | "ablation" -> ablation ()
+         | "model" -> model ()
+         | "micro" -> micro ()
+         | other ->
+           Printf.eprintf
+             "unknown bench %S (expected table1|fig6|fig7|fig8|fig9|table3|table4|ablation|model|micro|all)\n"
+             other;
+           exit 2)
+       cmds);
+  Printf.printf "\n[bench completed in %.1fs]\n" (now () -. t0)

@@ -1,0 +1,378 @@
+(* gsim — command-line driver.
+
+   Subcommands:
+     stats   show IR statistics of a FIRRTL design, before and after opts
+     emit    compile a FIRRTL design and emit C++ simulation code
+     sim     simulate a FIRRTL design with pokes from the command line
+     run     run a built-in workload on a built-in processor design     *)
+
+open Cmdliner
+module Bits = Gsim_bits.Bits
+module Circuit = Gsim_ir.Circuit
+module Sim = Gsim_engine.Sim
+module Counters = Gsim_engine.Counters
+module Pipeline = Gsim_passes.Pipeline
+module Designs = Gsim_designs.Designs
+module Stu_core = Gsim_designs.Stu_core
+module Programs = Gsim_designs.Programs
+module Gsim = Gsim_core.Gsim
+module Emit = Gsim_emit.Emit
+
+let config_of_engine name threads max_supernode level =
+  let level =
+    Option.map
+      (fun l ->
+        match Pipeline.level_of_string l with
+        | Some l -> l
+        | None -> failwith (Printf.sprintf "unknown optimization level %S" l))
+      level
+  in
+  let base =
+    match name with
+    | "verilator" -> Gsim.verilator ~threads ()
+    | "arcilator" -> Gsim.arcilator
+    | "essent" -> Gsim.essent
+    | "gsim" -> Gsim.gsim_with ~max_supernode ()
+    | "reference" -> Gsim.reference
+    | other -> failwith (Printf.sprintf "unknown engine %S" other)
+  in
+  match level with
+  | Some opt_level -> { base with Gsim.opt_level }
+  | None -> base
+
+(* --- common arguments --------------------------------------------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.fir|FILE.v" ~doc:"FIRRTL or Verilog input file")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt string "gsim"
+    & info [ "engine"; "e" ] ~docv:"ENGINE"
+        ~doc:"Simulator: gsim, essent, verilator, arcilator, reference")
+
+let threads_arg =
+  Arg.(value & opt int 1 & info [ "threads"; "j" ] ~doc:"Threads for the verilator engine")
+
+let level_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "opt"; "O" ] ~docv:"LEVEL" ~doc:"Override optimization level (O0..O3)")
+
+let supernode_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "max-supernode" ] ~doc:"Maximum supernode size (the paper's knob)")
+
+(* --- stats --------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run file =
+    let circuit, halt = Gsim.load_design_file file in
+    let s = Circuit.stats circuit in
+    Printf.printf "design   : %s\n" (Circuit.name circuit);
+    Printf.printf "unoptimized: %s\n" (Format.asprintf "%a" Circuit.pp_stats s);
+    let c = Circuit.copy circuit in
+    ignore (Pipeline.optimize ~level:Pipeline.O3 c);
+    ignore (Circuit.compact c);
+    Printf.printf "after -O3  : %s\n" (Format.asprintf "%a" Circuit.pp_stats (Circuit.stats c));
+    if halt <> None then print_endline "design contains stop(): $halt output synthesized"
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Show IR statistics before and after optimization")
+    Term.(const run $ file_arg)
+
+(* --- emit ---------------------------------------------------------------- *)
+
+let emit_cmd =
+  let run file engine threads level max_supernode output =
+    let circuit, _ = Gsim.load_design_file file in
+    let config = config_of_engine engine threads max_supernode level in
+    let r = Gsim.emit_cpp config circuit in
+    (match output with
+     | Some path ->
+       let oc = open_out path in
+       output_string oc r.Emit.source;
+       close_out oc;
+       Printf.printf "wrote %s\n" path
+     | None -> print_string r.Emit.source);
+    Printf.eprintf "emission: %.3fs, code %d B, data %d B, memories %d B\n"
+      r.Emit.emission_seconds r.Emit.code_bytes r.Emit.data_bytes r.Emit.mem_bytes
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE.cpp")
+  in
+  Cmd.v (Cmd.info "emit" ~doc:"Emit C++ simulation code")
+    Term.(const run $ file_arg $ engine_arg $ threads_arg $ level_arg $ supernode_arg $ output)
+
+(* --- emit-firrtl ----------------------------------------------------------- *)
+
+let emit_fir_cmd =
+  let run file level output =
+    let circuit, _ = Gsim.load_design_file file in
+    (match Option.map Pipeline.level_of_string level with
+     | Some (Some l) -> ignore (Pipeline.optimize ~level:l circuit)
+     | Some None -> failwith "unknown optimization level"
+     | None -> ());
+    let r = Gsim_firrtl.Firrtl_emit.emit circuit in
+    (match output with
+     | Some path ->
+       let oc = open_out path in
+       output_string oc r.Gsim_firrtl.Firrtl_emit.text;
+       close_out oc;
+       Printf.printf "wrote %s\n" path
+     | None -> print_string r.Gsim_firrtl.Firrtl_emit.text);
+    List.iter
+      (Printf.eprintf "warning: register %s lost its nonzero initial value\n")
+      r.Gsim_firrtl.Firrtl_emit.lossy_inits
+  in
+  let output = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE.fir") in
+  Cmd.v
+    (Cmd.info "emit-firrtl" ~doc:"Re-emit a design as flat FIRRTL (optionally optimized)")
+    Term.(const run $ file_arg $ level_arg $ output)
+
+(* --- sim ----------------------------------------------------------------- *)
+
+let sim_cmd =
+  let run file engine threads level max_supernode cycles pokes vcd_path save_ck restore_ck =
+    let circuit, halt = Gsim.load_design_file file in
+    let config = config_of_engine engine threads max_supernode level in
+    let compiled = Gsim.instantiate config circuit in
+    let sim = compiled.Gsim.sim in
+    let sim, close_vcd =
+      match vcd_path with
+      | Some path -> Gsim_engine.Vcd.to_file path sim
+      | None -> (sim, fun () -> ())
+    in
+    (match restore_ck with
+     | Some path -> Gsim_engine.Checkpoint.restore sim (Gsim_engine.Checkpoint.load path)
+     | None -> ());
+    List.iter
+      (fun spec ->
+        match String.split_on_char '=' spec with
+        | [ name; value ] -> (
+            match Circuit.find_node circuit name with
+            | Some n ->
+              sim.Sim.poke n.Circuit.id
+                (Bits.of_int ~width:n.Circuit.width (int_of_string value))
+            | None -> failwith (Printf.sprintf "no input named %S" name))
+        | _ -> failwith (Printf.sprintf "bad poke %S (want name=value)" spec))
+      pokes;
+    let ran = ref 0 in
+    (try
+       for i = 1 to cycles do
+         sim.Sim.step ();
+         ran := i;
+         match halt with
+         | Some h when not (Bits.is_zero (sim.Sim.peek h)) -> raise Exit
+         | _ -> ()
+       done
+     with Exit -> Printf.printf "$halt asserted at cycle %d\n" !ran);
+    Printf.printf "ran %d cycles on %s\n" !ran config.Gsim.config_name;
+    List.iter
+      (fun (n : Circuit.node) ->
+        Printf.printf "  %-24s = %s\n" n.Circuit.name
+          (Format.asprintf "%a" Bits.pp (sim.Sim.peek n.Circuit.id)))
+      (Circuit.outputs circuit);
+    Printf.printf "counters: %s\n"
+      (Format.asprintf "%a" Counters.pp (sim.Sim.counters ()));
+    (match save_ck with
+     | Some path ->
+       Gsim_engine.Checkpoint.save path (Gsim_engine.Checkpoint.capture sim);
+       Printf.printf "checkpoint written to %s\n" path
+     | None -> ());
+    close_vcd ();
+    compiled.Gsim.destroy ()
+  in
+  let cycles = Arg.(value & opt int 100 & info [ "cycles"; "n" ] ~doc:"Cycles to run") in
+  let pokes =
+    Arg.(value & opt_all string [] & info [ "poke"; "p" ] ~docv:"NAME=VAL" ~doc:"Drive an input")
+  in
+  let vcd =
+    Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE.vcd" ~doc:"Dump waveforms")
+  in
+  let save_ck =
+    Arg.(value & opt (some string) None
+         & info [ "save-checkpoint" ] ~docv:"FILE" ~doc:"Write final state as a checkpoint")
+  in
+  let restore_ck =
+    Arg.(value & opt (some string) None
+         & info [ "restore-checkpoint" ] ~docv:"FILE" ~doc:"Start from a checkpoint")
+  in
+  Cmd.v (Cmd.info "sim" ~doc:"Simulate a FIRRTL design")
+    Term.(const run $ file_arg $ engine_arg $ threads_arg $ level_arg $ supernode_arg $ cycles
+          $ pokes $ vcd $ save_ck $ restore_ck)
+
+(* --- run ----------------------------------------------------------------- *)
+
+let run_cmd =
+  let run design workload engine threads level max_supernode max_cycles =
+    let d =
+      match Designs.by_name design with
+      | Some d -> d
+      | None ->
+        failwith
+          (Printf.sprintf "unknown design %S (one of: %s)" design
+             (String.concat ", " (List.map (fun d -> d.Designs.design_name) Designs.all)))
+    in
+    let prog =
+      match Programs.by_name workload with
+      | Some mk -> mk ()
+      | None ->
+        failwith
+          (Printf.sprintf "unknown workload %S (one of: %s)" workload
+             (String.concat ", " Programs.names))
+    in
+    let core = d.Designs.build () in
+    Printf.printf "%s\n" (Designs.stats_line core.Stu_core.circuit);
+    let config = config_of_engine engine threads max_supernode level in
+    let compiled = Gsim.instantiate config core.Stu_core.circuit in
+    let sim = compiled.Gsim.sim in
+    Designs.load_program sim core.Stu_core.h prog;
+    let t0 = Unix.gettimeofday () in
+    let cycles = Designs.run_program ~max_cycles sim core.Stu_core.h in
+    let dt = Unix.gettimeofday () -. t0 in
+    let ctr = sim.Sim.counters () in
+    Printf.printf "%s on %s: %d cycles, %d instructions in %.3fs (%.0f Hz, af %.2f%%)\n"
+      prog.Gsim_designs.Isa.prog_name config.Gsim.config_name cycles
+      (Sim.peek_int sim core.Stu_core.h.Stu_core.instret)
+      dt
+      (float_of_int cycles /. dt)
+      (100.
+       *. Counters.activity_factor ctr
+            ~total_nodes:(Circuit.node_count core.Stu_core.circuit));
+    compiled.Gsim.destroy ()
+  in
+  let design =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc:"stucore|rocket|boom|xiangshan")
+  in
+  let workload =
+    Arg.(value & pos 1 string "coremark" & info [] ~docv:"WORKLOAD" ~doc:"Program name")
+  in
+  let max_cycles =
+    Arg.(value & opt int 2_000_000 & info [ "max-cycles" ] ~doc:"Abort if no halt")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a built-in workload on a built-in design")
+    Term.(const run $ design $ workload $ engine_arg $ threads_arg $ level_arg $ supernode_arg $ max_cycles)
+
+(* --- equiv --------------------------------------------------------------- *)
+
+let equiv_cmd =
+  let run file_a file_b cycles seed =
+    let ca, _ = Gsim.load_design_file file_a in
+    let cb, _ = Gsim.load_design_file file_b in
+    (* Interfaces must match by name. *)
+    let names c =
+      List.map (fun (n : Circuit.node) -> (n.Circuit.name, n.Circuit.width)) (Circuit.inputs c)
+      |> List.sort compare
+    in
+    if names ca <> names cb then failwith "designs have different input interfaces";
+    let common_observed =
+      let of_c c =
+        Circuit.fold_nodes c ~init:[] ~f:(fun acc n ->
+            if n.Circuit.is_output then (n.Circuit.name, n.Circuit.width) :: acc else acc)
+        |> List.sort compare
+      in
+      let a = of_c ca and b = of_c cb in
+      List.filter (fun x -> List.mem x b) a
+    in
+    if common_observed = [] then failwith "no common outputs to compare";
+    let st = Random.State.make [| seed |] in
+    let stimulus =
+      Array.init cycles (fun _ ->
+          List.map
+            (fun (name, w) -> (name, Bits.random st ~width:w))
+            (names ca))
+    in
+    let trace c =
+      let compiled = Gsim.instantiate Gsim.gsim c in
+      let sim = compiled.Gsim.sim in
+      let id name = (Option.get (Circuit.find_node c name)).Circuit.id in
+      let out =
+        Array.map
+          (fun pokes ->
+            List.iter (fun (name, v) -> sim.Sim.poke (id name) v) pokes;
+            sim.Sim.step ();
+            List.map (fun (name, _) -> sim.Sim.peek (id name)) common_observed)
+          stimulus
+      in
+      compiled.Gsim.destroy ();
+      out
+    in
+    let ta = trace ca and tb = trace cb in
+    let diverged = ref None in
+    Array.iteri
+      (fun i row ->
+        if !diverged = None && not (List.equal Bits.equal row tb.(i)) then diverged := Some i)
+      ta;
+    (match !diverged with
+     | None ->
+       Printf.printf "EQUIVALENT over %d random cycles on %d shared outputs (%s)\n" cycles
+         (List.length common_observed)
+         (String.concat ", " (List.map fst common_observed))
+     | Some cycle ->
+       Printf.printf "DIVERGED at cycle %d:\n" cycle;
+       List.iteri
+         (fun k (name, _) ->
+           let va = List.nth ta.(cycle) k and vb = List.nth tb.(cycle) k in
+           if not (Bits.equal va vb) then
+             Printf.printf "  %-20s %s vs %s\n" name
+               (Format.asprintf "%a" Bits.pp va)
+               (Format.asprintf "%a" Bits.pp vb))
+         common_observed;
+       exit 1)
+  in
+  let file_a = Arg.(required & pos 0 (some file) None & info [] ~docv:"A.fir|A.v") in
+  let file_b = Arg.(required & pos 1 (some file) None & info [] ~docv:"B.fir|B.v") in
+  let cycles = Arg.(value & opt int 1000 & info [ "cycles"; "n" ]) in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ]) in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:"Random-stimulus equivalence check of two designs (by shared port names)")
+    Term.(const run $ file_a $ file_b $ cycles $ seed)
+
+(* --- profile ------------------------------------------------------------- *)
+
+let profile_cmd =
+  let run design workload level max_supernode cycles top =
+    let d =
+      match Designs.by_name design with
+      | Some d -> d
+      | None -> failwith (Printf.sprintf "unknown design %S" design)
+    in
+    let prog =
+      match Programs.by_name workload with
+      | Some mk -> mk ()
+      | None -> failwith (Printf.sprintf "unknown workload %S" workload)
+    in
+    let core = d.Designs.build () in
+    let level =
+      match Option.map Pipeline.level_of_string level with
+      | Some (Some l) -> l
+      | Some None -> failwith "unknown optimization level"
+      | None -> Pipeline.O3
+    in
+    ignore (Pipeline.optimize ~level core.Stu_core.circuit);
+    let part = Gsim_partition.Partition.gsim core.Stu_core.circuit ~max_size:max_supernode in
+    let engine = Gsim_engine.Activity.create core.Stu_core.circuit part in
+    let sim = Gsim_engine.Activity.sim engine in
+    Designs.load_program sim core.Stu_core.h prog;
+    Designs.run_cycles sim cycles;
+    let report = Gsim_engine.Profile.analyze ~top core.Stu_core.circuit part engine in
+    Format.printf "%a" Gsim_engine.Profile.pp report
+  in
+  let design =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN")
+  in
+  let workload = Arg.(value & pos 1 string "coremark" & info [] ~docv:"WORKLOAD") in
+  let cycles = Arg.(value & opt int 5000 & info [ "cycles"; "n" ]) in
+  let top = Arg.(value & opt int 20 & info [ "top" ] ~doc:"Entries to show") in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Report the hottest supernodes for a design/workload pair")
+    Term.(const run $ design $ workload $ level_arg $ supernode_arg $ cycles $ top)
+
+let () =
+  let doc = "GSIM: an activity-driven compiled RTL simulator" in
+  let info = Cmd.info "gsim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ stats_cmd; emit_cmd; emit_fir_cmd; sim_cmd; run_cmd; profile_cmd; equiv_cmd ]))

@@ -1,0 +1,1 @@
+examples/coremark_stucore.ml: Array Gsim_bits Gsim_core Gsim_designs Gsim_engine Gsim_ir Printf Unix

@@ -1,0 +1,1 @@
+examples/coremark_stucore.mli:

@@ -1,0 +1,1 @@
+examples/counter_fir.ml: Array Gsim_bits Gsim_core Gsim_engine Gsim_ir List Option Printf

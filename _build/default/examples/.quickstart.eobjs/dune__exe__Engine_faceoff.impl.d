@@ -1,0 +1,1 @@
+examples/engine_faceoff.ml: Array Gsim_core Gsim_designs Gsim_engine Gsim_ir List Printf String Sys Unix

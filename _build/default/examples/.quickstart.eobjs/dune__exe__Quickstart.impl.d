@@ -1,0 +1,1 @@
+examples/quickstart.ml: Gsim_bits Gsim_core Gsim_engine Gsim_hcl Printf

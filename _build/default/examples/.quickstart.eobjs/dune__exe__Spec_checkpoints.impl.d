@@ -1,0 +1,1 @@
+examples/spec_checkpoints.ml: Gsim_core Gsim_designs Gsim_engine Gsim_ir List Printf Unix

@@ -1,0 +1,1 @@
+examples/verilog_soc.ml: Filename Format Gsim_bits Gsim_core Gsim_engine Gsim_ir Option Printf

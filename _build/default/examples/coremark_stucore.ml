@@ -1,0 +1,45 @@
+(* The paper's headline scenario in miniature: run the CoreMark-like
+   workload to completion on the runnable core, verify the result against
+   the golden software model, and compare Verilator-style and GSIM
+   simulation speed.
+
+     dune exec examples/coremark_stucore.exe                              *)
+
+module Bits = Gsim_bits.Bits
+module Circuit = Gsim_ir.Circuit
+module Sim = Gsim_engine.Sim
+module Counters = Gsim_engine.Counters
+module Isa = Gsim_designs.Isa
+module Programs = Gsim_designs.Programs
+module Stu_core = Gsim_designs.Stu_core
+module Designs = Gsim_designs.Designs
+module Gsim = Gsim_core.Gsim
+
+let () =
+  let prog = Programs.coremark ~iters:20 () in
+  let golden_regs, _, golden_retired =
+    Isa.reference_execute ~code:prog.Isa.code ~data:prog.Isa.data ~dmem_size:4096 ()
+  in
+  Printf.printf "golden model: %d instructions, checksum x15 = 0x%08x\n" golden_retired
+    golden_regs.(15);
+  let run config =
+    let core = Stu_core.build () in
+    let compiled = Gsim.instantiate config core.Stu_core.circuit in
+    let sim = compiled.Gsim.sim in
+    Designs.load_program sim core.Stu_core.h prog;
+    let t0 = Unix.gettimeofday () in
+    let cycles = Designs.run_program sim core.Stu_core.h in
+    let dt = Unix.gettimeofday () -. t0 in
+    let checksum = Sim.peek_int sim core.Stu_core.h.Stu_core.reg_nodes.(15) in
+    if checksum <> golden_regs.(15) then failwith "checksum mismatch!";
+    let ctr = sim.Sim.counters () in
+    Printf.printf "%-12s %8d cycles in %6.3fs  (%8.0f Hz, af %.1f%%)\n"
+      config.Gsim.config_name cycles dt
+      (float_of_int cycles /. dt)
+      (100. *. Counters.activity_factor ctr ~total_nodes:(Circuit.node_count core.Stu_core.circuit));
+    compiled.Gsim.destroy ();
+    float_of_int cycles /. dt
+  in
+  let v = run (Gsim.verilator ()) in
+  let g = run Gsim.gsim in
+  Printf.printf "gsim speedup over verilator-style: %.2fx\n" (g /. v)

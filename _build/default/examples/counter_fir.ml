@@ -1,0 +1,54 @@
+(* Load a FIRRTL design from text, run it on every simulator preset, and
+   check they agree bit-for-bit.
+
+     dune exec examples/counter_fir.exe                                   *)
+
+module Bits = Gsim_bits.Bits
+module Circuit = Gsim_ir.Circuit
+module Sim = Gsim_engine.Sim
+module Gsim = Gsim_core.Gsim
+
+let firrtl_src =
+  {|
+circuit Gray :
+  module Gray :
+    input clock : Clock
+    input reset : UInt<1>
+    input en : UInt<1>
+    output count : UInt<8>
+    output gray : UInt<8>
+
+    reg r : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))
+    when en :
+      r <= tail(add(r, UInt<8>(1)), 1)
+    count <= r
+    gray <= xor(r, shr(r, 1))
+|}
+
+let () =
+  let circuit, _halt = Gsim.load_firrtl_string firrtl_src in
+  let node name = (Option.get (Circuit.find_node circuit name)).Circuit.id in
+  let en = node "en" and reset = node "reset" in
+  let observe = [ node "r" ] in
+  let stimulus =
+    Array.init 50 (fun i ->
+        [
+          (en, Bits.of_int ~width:1 (if i mod 5 = 4 then 0 else 1));
+          (reset, Bits.of_int ~width:1 (if i = 30 then 1 else 0));
+        ])
+  in
+  let reference = ref None in
+  List.iter
+    (fun config ->
+      let compiled = Gsim.instantiate config circuit in
+      let trace = Sim.trace compiled.Gsim.sim ~observe ~stimulus in
+      (match !reference with
+       | None -> reference := Some trace
+       | Some expected ->
+         if not (Sim.equal_traces expected trace) then
+           failwith (config.Gsim.config_name ^ " diverged!"));
+      Printf.printf "%-14s ok (final count = %d)\n" config.Gsim.config_name
+        (Bits.to_int (List.hd (List.rev (Array.to_list trace) |> List.hd)));
+      compiled.Gsim.destroy ())
+    Gsim.all_presets;
+  print_endline "all simulator presets produced identical traces"

@@ -1,0 +1,51 @@
+(* Compare every engine on the BOOM-like design: speed, activity factor,
+   and the paper's overhead-model counters, on one workload.
+
+     dune exec examples/engine_faceoff.exe [-- workload]                  *)
+
+module Circuit = Gsim_ir.Circuit
+module Sim = Gsim_engine.Sim
+module Counters = Gsim_engine.Counters
+module Programs = Gsim_designs.Programs
+module Stu_core = Gsim_designs.Stu_core
+module Designs = Gsim_designs.Designs
+module Gsim = Gsim_core.Gsim
+
+let () =
+  let workload =
+    match Array.to_list Sys.argv with
+    | _ :: name :: _ -> (
+        match Programs.by_name name with
+        | Some mk -> mk ()
+        | None ->
+          Printf.eprintf "unknown workload %s (one of: %s)\n" name
+            (String.concat ", " Programs.names);
+          exit 2)
+    | _ -> Programs.coremark ~iters:100 ()
+  in
+  let design = Designs.boom_like in
+  let core = design.Designs.build () in
+  Printf.printf "design: %s\nworkload: %s\n\n" (Designs.stats_line core.Stu_core.circuit)
+    workload.Gsim_designs.Isa.prog_name;
+  Printf.printf "%-14s %10s %8s %14s %14s %12s\n" "engine" "speed" "af" "exams/cyc"
+    "activations/cyc" "supernodes";
+  let cycles = 3000 in
+  List.iter
+    (fun config ->
+      let compiled = Gsim.instantiate config core.Stu_core.circuit in
+      let sim = compiled.Gsim.sim in
+      Designs.load_program sim core.Stu_core.h workload;
+      Designs.run_cycles sim 100;
+      Counters.clear (sim.Sim.counters ());
+      let t0 = Unix.gettimeofday () in
+      Designs.run_cycles sim cycles;
+      let dt = Unix.gettimeofday () -. t0 in
+      let ctr = sim.Sim.counters () in
+      Printf.printf "%-14s %9.0f %7.1f%% %14d %14d %12d\n" config.Gsim.config_name
+        (float_of_int cycles /. dt)
+        (100. *. Counters.activity_factor ctr ~total_nodes:(Circuit.node_count core.Stu_core.circuit))
+        (ctr.Counters.exams / cycles)
+        (ctr.Counters.activations / cycles)
+        compiled.Gsim.supernodes;
+      compiled.Gsim.destroy ())
+    Gsim.all_presets

@@ -1,0 +1,43 @@
+(* Run the six SPEC-like checkpoint profiles on the Rocket-like design and
+   show how the workload mix drives the activity factor — the effect the
+   paper's Fig. 7 exploits.
+
+     dune exec examples/spec_checkpoints.exe                              *)
+
+module Circuit = Gsim_ir.Circuit
+module Sim = Gsim_engine.Sim
+module Counters = Gsim_engine.Counters
+module Programs = Gsim_designs.Programs
+module Stu_core = Gsim_designs.Stu_core
+module Designs = Gsim_designs.Designs
+module Gsim = Gsim_core.Gsim
+
+let () =
+  let core = Designs.rocket_like.Designs.build () in
+  Printf.printf "design: %s\n\n" (Designs.stats_line core.Stu_core.circuit);
+  Printf.printf "%-22s %10s %10s %8s\n" "checkpoint" "verilator" "gsim" "af(gsim)";
+  List.iter
+    (fun prog ->
+      let time config =
+        let compiled = Gsim.instantiate config core.Stu_core.circuit in
+        let sim = compiled.Gsim.sim in
+        Designs.load_program sim core.Stu_core.h prog;
+        Designs.run_cycles sim 100;
+        Counters.clear (sim.Sim.counters ());
+        let cycles = 4000 in
+        let t0 = Unix.gettimeofday () in
+        Designs.run_cycles sim cycles;
+        let dt = Unix.gettimeofday () -. t0 in
+        let ctr = sim.Sim.counters () in
+        let af =
+          Counters.activity_factor ctr
+            ~total_nodes:(Circuit.node_count core.Stu_core.circuit)
+        in
+        compiled.Gsim.destroy ();
+        (float_of_int cycles /. dt, af)
+      in
+      let v, _ = time (Gsim.verilator ()) in
+      let g, af = time Gsim.gsim in
+      Printf.printf "%-22s %9.0f %9.0f %7.1f%%   (%.2fx)\n" prog.Gsim_designs.Isa.prog_name
+        v g (100. *. af) (g /. v))
+    (Programs.spec_checkpoints ~scale:100 ())

@@ -1,0 +1,547 @@
+(* Arbitrary-width bit vectors over 31-bit limbs.
+
+   Limbs are little-endian: limb 0 holds bits 0..30.  31-bit limbs guarantee
+   that a limb product plus two limb-sized addends is at most 2^62 - 1, the
+   largest OCaml int, so schoolbook multiplication never overflows. *)
+
+let limb_bits = 31
+let limb_mask = 0x7FFFFFFF
+
+type t = { width : int; limbs : int array }
+
+let nlimbs w = (w + limb_bits - 1) / limb_bits
+
+(* Bits of the top limb that are in range for width [w]. *)
+let top_mask w =
+  let r = w mod limb_bits in
+  if r = 0 then limb_mask else (1 lsl r) - 1
+
+let normalize v =
+  let n = Array.length v.limbs in
+  if n > 0 then v.limbs.(n - 1) <- v.limbs.(n - 1) land top_mask v.width;
+  v
+
+let zero w =
+  assert (w >= 0);
+  { width = w; limbs = Array.make (nlimbs w) 0 }
+
+let ones w =
+  assert (w >= 0);
+  normalize { width = w; limbs = Array.make (nlimbs w) limb_mask }
+
+let of_int ~width n =
+  assert (width >= 0);
+  let limbs = Array.make (nlimbs width) 0 in
+  for i = 0 to Array.length limbs - 1 do
+    let shift = i * limb_bits in
+    let x = if shift >= 62 then (if n < 0 then -1 else 0) else n asr shift in
+    limbs.(i) <- x land limb_mask
+  done;
+  normalize { width; limbs }
+
+let one w =
+  assert (w >= 1);
+  of_int ~width:w 1
+
+let width v = v.width
+
+let bit v i =
+  if i < 0 || i >= v.width then invalid_arg "Bits.bit: index out of range";
+  v.limbs.(i / limb_bits) lsr (i mod limb_bits) land 1 = 1
+
+let msb v = v.width > 0 && bit v (v.width - 1)
+
+let is_zero v = Array.for_all (fun x -> x = 0) v.limbs
+
+let equal a b =
+  a.width = b.width
+  && (let n = Array.length a.limbs in
+      let rec go i = i >= n || (a.limbs.(i) = b.limbs.(i) && go (i + 1)) in
+      go 0)
+
+(* Limb of [v] at index [i], zero beyond the representation. *)
+let limb v i = if i < Array.length v.limbs then v.limbs.(i) else 0
+
+let compare_unsigned a b =
+  let n = max (Array.length a.limbs) (Array.length b.limbs) in
+  let rec go i =
+    if i < 0 then 0
+    else
+      let la = limb a i and lb = limb b i in
+      if la <> lb then compare la lb else go (i - 1)
+  in
+  go (n - 1)
+
+let hash v =
+  Array.fold_left (fun acc x -> (acc * 31) + x) (v.width * 17) v.limbs
+
+let popcount v =
+  let count_limb x =
+    let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+    go x 0
+  in
+  Array.fold_left (fun acc x -> acc + count_limb x) 0 v.limbs
+
+let to_int_trunc v =
+  limb v 0 lor (limb v 1 lsl limb_bits)
+
+let to_int v =
+  let fits =
+    let rec go i = i >= Array.length v.limbs || (v.limbs.(i) = 0 && go (i + 1)) in
+    go 2
+  in
+  if not fits then failwith "Bits.to_int: value exceeds 62 bits";
+  to_int_trunc v
+
+let fits_int w = w <= 62
+
+let to_packed = to_int_trunc
+
+let unsafe_of_packed ~width n =
+  assert (width <= 62 && n >= 0);
+  let limbs = Array.make (nlimbs width) 0 in
+  if Array.length limbs > 0 then limbs.(0) <- n land limb_mask;
+  if Array.length limbs > 1 then limbs.(1) <- n lsr limb_bits;
+  normalize { width; limbs }
+
+let to_bool_list v =
+  let rec go i acc = if i >= v.width then acc else go (i + 1) (bit v i :: acc) in
+  go 0 []
+
+let of_bool_list bs =
+  let w = List.length bs in
+  let limbs = Array.make (nlimbs w) 0 in
+  List.iteri
+    (fun j b ->
+      (* [bs] is MSB-first: element j is bit (w - 1 - j). *)
+      let i = w - 1 - j in
+      if b then limbs.(i / limb_bits) <- limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits)))
+    bs;
+  { width = w; limbs }
+
+let to_binary_string v =
+  if v.width = 0 then "" else String.init v.width (fun j -> if bit v (v.width - 1 - j) then '1' else '0')
+
+let to_hex_string v =
+  if v.width = 0 then "0"
+  else begin
+    let ndigits = (v.width + 3) / 4 in
+    let digit k =
+      (* Hex digit k covers bits 4k .. 4k+3. *)
+      let x = ref 0 in
+      for b = 3 downto 0 do
+        let i = (4 * k) + b in
+        x := (!x lsl 1) lor (if i < v.width && bit v i then 1 else 0)
+      done;
+      "0123456789abcdef".[!x]
+    in
+    String.init ndigits (fun j -> digit (ndigits - 1 - j))
+  end
+
+let pp fmt v = Format.fprintf fmt "%d'h%s" v.width (to_hex_string v)
+
+let of_string s =
+  let s = String.concat "" (String.split_on_char '_' s) in
+  let fail () = invalid_arg (Printf.sprintf "Bits.of_string: %S" s) in
+  let from_digits_bin w bin =
+    let v = Array.make (nlimbs w) 0 in
+    let n = String.length bin in
+    String.iteri
+      (fun j c ->
+        let i = n - 1 - j in
+        if c = '1' then v.(i / limb_bits) <- v.(i / limb_bits) lor (1 lsl (i mod limb_bits)))
+      bin;
+    { width = w; limbs = v }
+  in
+  let from_digits w base digits =
+    if w <= 0 then fail ();
+    match base with
+    | 2 ->
+      if String.length digits <> 0 && String.length digits <= w
+         && String.for_all (fun c -> c = '0' || c = '1') digits
+      then begin
+        let v = Array.make (nlimbs w) 0 in
+        let n = String.length digits in
+        String.iteri
+          (fun j c ->
+            let i = n - 1 - j in
+            if c = '1' then v.(i / limb_bits) <- v.(i / limb_bits) lor (1 lsl (i mod limb_bits)))
+          digits;
+        { width = w; limbs = v }
+      end
+      else fail ()
+    | 16 ->
+      let bin =
+        String.concat ""
+          (List.map
+             (fun c ->
+               let x =
+                 match c with
+                 | '0' .. '9' -> Char.code c - Char.code '0'
+                 | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+                 | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+                 | _ -> fail ()
+               in
+               Printf.sprintf "%d%d%d%d" (x lsr 3 land 1) (x lsr 2 land 1) (x lsr 1 land 1) (x land 1))
+             (List.init (String.length digits) (String.get digits)))
+      in
+      (* Strip leading zeros beyond the width, then delegate. *)
+      let bin =
+        let extra = String.length bin - w in
+        if extra > 0 then begin
+          for i = 0 to extra - 1 do
+            if bin.[i] <> '0' then fail ()
+          done;
+          String.sub bin extra w
+        end
+        else bin
+      in
+      from_digits_bin w bin
+    | 10 ->
+      let n = try int_of_string digits with _ -> fail () in
+      if n < 0 then fail () else of_int ~width:w n
+    | _ -> fail ()
+  in
+  match String.index_opt s '\'' with
+  | Some k ->
+    let w = try int_of_string (String.sub s 0 k) with _ -> fail () in
+    if k + 1 >= String.length s then fail ();
+    let base =
+      match s.[k + 1] with
+      | 'b' | 'B' -> 2
+      | 'h' | 'H' | 'x' | 'X' -> 16
+      | 'd' | 'D' -> 10
+      | _ -> fail ()
+    in
+    from_digits w base (String.sub s (k + 2) (String.length s - k - 2))
+  | None ->
+    if String.length s = 0 || not (String.for_all (fun c -> c = '0' || c = '1') s) then fail ();
+    from_digits (String.length s) 2 s
+
+let random st ~width =
+  let limbs =
+    Array.init (nlimbs width) (fun _ ->
+        Random.State.bits st lor ((Random.State.bits st land 1) lsl 30))
+  in
+  normalize { width; limbs }
+
+(* ------------------------------------------------------------------ *)
+(* Width adjustment                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let zero_extend v ~width =
+  assert (width >= v.width);
+  let limbs = Array.make (nlimbs width) 0 in
+  Array.blit v.limbs 0 limbs 0 (Array.length v.limbs);
+  { width; limbs }
+
+let truncate v ~width =
+  assert (width <= v.width);
+  let limbs = Array.sub v.limbs 0 (nlimbs width) in
+  normalize { width; limbs }
+
+let sign_extend v ~width =
+  assert (width >= v.width);
+  if not (msb v) then zero_extend v ~width
+  else begin
+    let limbs = Array.make (nlimbs width) limb_mask in
+    Array.blit v.limbs 0 limbs 0 (Array.length v.limbs);
+    (* Re-set the sign-extension bits inside the original top limb. *)
+    let n = Array.length v.limbs in
+    if n > 0 then limbs.(n - 1) <- v.limbs.(n - 1) lor (limb_mask land lnot (top_mask v.width));
+    normalize { width; limbs }
+  end
+
+let resize_unsigned v ~width =
+  if width >= v.width then zero_extend v ~width else truncate v ~width
+
+let resize_signed v ~width =
+  if width >= v.width then sign_extend v ~width else truncate v ~width
+
+(* ------------------------------------------------------------------ *)
+(* Bit manipulation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let extract v ~hi ~lo =
+  if not (0 <= lo && lo <= hi && hi < v.width) then
+    invalid_arg
+      (Printf.sprintf "Bits.extract: [%d:%d] out of range for width %d" hi lo v.width);
+  let w = hi - lo + 1 in
+  let limbs = Array.make (nlimbs w) 0 in
+  let off = lo mod limb_bits and base = lo / limb_bits in
+  for k = 0 to Array.length limbs - 1 do
+    let low_part = limb v (base + k) lsr off in
+    let high_part = if off = 0 then 0 else limb v (base + k + 1) lsl (limb_bits - off) in
+    limbs.(k) <- (low_part lor high_part) land limb_mask
+  done;
+  normalize { width = w; limbs }
+
+(* OR [src] shifted left by [shift] bits into [dst] (an array of limbs). *)
+let or_shifted dst src shift =
+  let base = shift / limb_bits and off = shift mod limb_bits in
+  let n = Array.length dst in
+  Array.iteri
+    (fun k x ->
+      if x <> 0 then begin
+        let i = base + k in
+        if i < n then dst.(i) <- dst.(i) lor (x lsl off land limb_mask);
+        if off > 0 && i + 1 < n then dst.(i + 1) <- dst.(i + 1) lor (x lsr (limb_bits - off))
+      end)
+    src
+
+let concat hi lo =
+  let w = hi.width + lo.width in
+  let limbs = Array.make (nlimbs w) 0 in
+  Array.blit lo.limbs 0 limbs 0 (Array.length lo.limbs);
+  or_shifted limbs hi.limbs lo.width;
+  { width = w; limbs }
+
+let concat_list vs = match List.rev vs with
+  | [] -> zero 0
+  | last :: rest -> List.fold_left (fun acc v -> concat v acc) last rest
+
+let lognot v =
+  normalize { width = v.width; limbs = Array.map (fun x -> lnot x land limb_mask) v.limbs }
+
+let binop_limbs name op a b =
+  if a.width <> b.width then
+    invalid_arg (Printf.sprintf "Bits.%s: width mismatch (%d vs %d)" name a.width b.width);
+  { width = a.width; limbs = Array.mapi (fun i x -> op x b.limbs.(i)) a.limbs }
+
+let logand a b = binop_limbs "logand" ( land ) a b
+let logor a b = binop_limbs "logor" ( lor ) a b
+let logxor a b = binop_limbs "logxor" ( lxor ) a b
+
+let bool_bit b = if b then one 1 else zero 1
+
+let reduce_and v = bool_bit (equal v (ones v.width))
+let reduce_or v = bool_bit (not (is_zero v))
+let reduce_xor v = bool_bit (popcount v land 1 = 1)
+
+let shift_left v n =
+  assert (n >= 0);
+  let w = v.width + n in
+  let limbs = Array.make (nlimbs w) 0 in
+  or_shifted limbs v.limbs n;
+  { width = w; limbs }
+
+let shift_right v n =
+  assert (n >= 0);
+  if n >= v.width then zero 1 else extract v ~hi:(v.width - 1) ~lo:n
+
+let shift_right_signed v n =
+  assert (n >= 0);
+  if n >= v.width then (if msb v then ones 1 else zero 1)
+  else extract v ~hi:(v.width - 1) ~lo:n
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* [a] and [b] are limb arrays; add into a fresh array of [n] limbs. *)
+let add_limbs n a b =
+  let res = Array.make n 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let x = (if i < Array.length a then a.(i) else 0)
+            + (if i < Array.length b then b.(i) else 0)
+            + !carry
+    in
+    res.(i) <- x land limb_mask;
+    carry := x lsr limb_bits
+  done;
+  res
+
+let add a b =
+  let w = max a.width b.width + 1 in
+  normalize { width = w; limbs = add_limbs (nlimbs w) a.limbs b.limbs }
+
+let add_signed a b =
+  let w = max a.width b.width + 1 in
+  let a' = sign_extend a ~width:w and b' = sign_extend b ~width:w in
+  normalize { width = w; limbs = add_limbs (nlimbs w) a'.limbs b'.limbs }
+
+(* a - b over [w] bits: a + ~b + 1 with operands (zero-)extended first. *)
+let sub_width ~signed w a b =
+  let ext = if signed then sign_extend else zero_extend in
+  let a' = ext a ~width:w and b' = ext b ~width:w in
+  let n = nlimbs w in
+  let res = Array.make n 0 in
+  let carry = ref 1 in
+  for i = 0 to n - 1 do
+    let x = a'.limbs.(i) + (lnot b'.limbs.(i) land limb_mask) + !carry in
+    res.(i) <- x land limb_mask;
+    carry := x lsr limb_bits
+  done;
+  normalize { width = w; limbs = res }
+
+let sub a b = sub_width ~signed:false (max a.width b.width + 1) a b
+let sub_signed a b = sub_width ~signed:true (max a.width b.width + 1) a b
+
+let neg v = sub_width ~signed:false (v.width + 1) (zero v.width) v
+
+let mul a b =
+  let w = a.width + b.width in
+  let n = nlimbs w in
+  let res = Array.make n 0 in
+  let na = Array.length a.limbs and nb = Array.length b.limbs in
+  for i = 0 to na - 1 do
+    let ai = a.limbs.(i) in
+    if ai <> 0 then begin
+      let carry = ref 0 in
+      for j = 0 to nb - 1 do
+        let k = i + j in
+        if k < n then begin
+          (* ai * b_j <= (2^31-1)^2; adding res and carry stays <= 2^62 - 1. *)
+          let x = res.(k) + (ai * b.limbs.(j)) + !carry in
+          res.(k) <- x land limb_mask;
+          carry := x lsr limb_bits
+        end
+      done;
+      let k = ref (i + nb) in
+      while !carry <> 0 && !k < n do
+        let x = res.(!k) + !carry in
+        res.(!k) <- x land limb_mask;
+        carry := x lsr limb_bits;
+        incr k
+      done
+    end
+  done;
+  normalize { width = w; limbs = res }
+
+(* Magnitude (absolute value) of a signed reading, as an unsigned vector of
+   the same width plus the sign. *)
+let signed_magnitude v =
+  if msb v then (true, truncate (neg v) ~width:v.width) else (false, v)
+
+let mul_signed a b =
+  let sa, ma = signed_magnitude a and sb, mb = signed_magnitude b in
+  let m = mul ma mb in
+  if sa <> sb then truncate (neg m) ~width:m.width else m
+
+(* Unsigned long division: returns (quotient over [a.width] bits, remainder
+   over [a.width] bits).  Division by zero: quotient 0, remainder a. *)
+let divmod a b =
+  if is_zero b then (zero a.width, a)
+  else begin
+    let w = a.width in
+    let q = Array.make (nlimbs w) 0 in
+    let r = ref (zero (b.width + 1)) in
+    for i = w - 1 downto 0 do
+      (* r := (r << 1) | bit i of a, kept at width b.width + 1. *)
+      let shifted = truncate (shift_left !r 1) ~width:(b.width + 1) in
+      let shifted =
+        if bit a i then logor shifted (zero_extend (one 1) ~width:(b.width + 1)) else shifted
+      in
+      let b' = zero_extend b ~width:(b.width + 1) in
+      if compare_unsigned shifted b' >= 0 then begin
+        r := sub_width ~signed:false (b.width + 1) shifted b';
+        q.(i / limb_bits) <- q.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+      end
+      else r := shifted
+    done;
+    (normalize { width = w; limbs = q }, resize_unsigned !r ~width:w)
+  end
+
+let div a b = fst (divmod a b)
+
+let rem a b =
+  let w = min a.width b.width in
+  resize_unsigned (snd (divmod a b)) ~width:w
+
+let div_signed a b =
+  let w = a.width + 1 in
+  if is_zero b then zero w
+  else begin
+    let sa, ma = signed_magnitude a and sb, mb = signed_magnitude b in
+    let q, _ = divmod ma mb in
+    let q = zero_extend q ~width:w in
+    if sa <> sb then truncate (neg q) ~width:w else q
+  end
+
+let rem_signed a b =
+  let w = min a.width b.width in
+  if is_zero b then resize_signed a ~width:w
+  else begin
+    let sa, ma = signed_magnitude a and sb, mb = signed_magnitude b in
+    ignore sb;
+    let _, r = divmod ma mb in
+    let r = resize_unsigned r ~width:(w + 1) in
+    let r = if sa then truncate (neg r) ~width:(w + 1) else r in
+    truncate r ~width:w
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Comparisons, selection, dynamic shifts                              *)
+(* ------------------------------------------------------------------ *)
+
+let eq a b = bool_bit (compare_unsigned a b = 0)
+let neq a b = bool_bit (compare_unsigned a b <> 0)
+let lt a b = bool_bit (compare_unsigned a b < 0)
+let leq a b = bool_bit (compare_unsigned a b <= 0)
+let gt a b = bool_bit (compare_unsigned a b > 0)
+let geq a b = bool_bit (compare_unsigned a b >= 0)
+
+let compare_signed a b =
+  match (msb a, msb b) with
+  | true, false -> -1
+  | false, true -> 1
+  | false, false -> compare_unsigned a b
+  | true, true ->
+    let w = max a.width b.width in
+    compare_unsigned (sign_extend a ~width:w) (sign_extend b ~width:w)
+
+let lt_signed a b = bool_bit (compare_signed a b < 0)
+let leq_signed a b = bool_bit (compare_signed a b <= 0)
+let gt_signed a b = bool_bit (compare_signed a b > 0)
+let geq_signed a b = bool_bit (compare_signed a b >= 0)
+
+let mux sel a b =
+  if a.width <> b.width then
+    invalid_arg (Printf.sprintf "Bits.mux: width mismatch (%d vs %d)" a.width b.width);
+  if is_zero sel then b else a
+
+let to_signed_int v =
+  if v.width = 0 then 0
+  else if v.width <= 62 then begin
+    let x = to_int_trunc v in
+    if msb v then x - (1 lsl v.width) else x
+  end
+  else begin
+    (* The value fits iff every bit from 61 upward equals bit 61. *)
+    let sign = bit v 61 in
+    let rec check i = i >= v.width || (bit v i = sign && check (i + 1)) in
+    if not (check 62) then failwith "Bits.to_signed_int: value exceeds native int";
+    let x = to_int_trunc v land ((1 lsl 62) - 1) in
+    if sign then x - (1 lsl 62) else x
+  end
+
+let shift_amount v =
+  (* Dynamic shift amount as a clamped int: anything above 2^30 is
+     certainly larger than any representable width. *)
+  if v.width <= 30 then to_int_trunc v
+  else begin
+    let high = extract v ~hi:(v.width - 1) ~lo:30 in
+    if is_zero high then to_int_trunc (truncate v ~width:30) else max_int / 2
+  end
+
+let dshl v amount =
+  let max_shift = (1 lsl min amount.width 24) - 1 in
+  let w = v.width + max_shift in
+  if w > 1 lsl 24 then invalid_arg "Bits.dshl: result width too large";
+  let n = shift_amount amount in
+  zero_extend (shift_left v n) ~width:w
+
+let dshl_keep v amount =
+  let n = shift_amount amount in
+  if n >= v.width then zero v.width else truncate (shift_left v n) ~width:v.width
+
+let dshr v amount =
+  let n = shift_amount amount in
+  if n >= v.width then zero v.width
+  else zero_extend (extract v ~hi:(v.width - 1) ~lo:n) ~width:v.width
+
+let dshr_signed v amount =
+  let n = shift_amount amount in
+  if n >= v.width then (if msb v then ones v.width else zero v.width)
+  else sign_extend (extract v ~hi:(v.width - 1) ~lo:n) ~width:v.width

@@ -1,0 +1,241 @@
+(** Arbitrary-width bit vectors.
+
+    A [Bits.t] is an immutable vector of [width] bits.  Values are plain bit
+    patterns; signedness is an interpretation chosen per operation (the
+    [_signed] variants sign-extend their operands).  The representation uses
+    31-bit limbs stored in native ints so that limb products and carries never
+    overflow OCaml's 63-bit integers.
+
+    All operations follow FIRRTL primop semantics for result widths unless
+    stated otherwise: the caller passes the desired result width where the
+    FIRRTL rule is not intrinsic to the operation. *)
+
+type t
+
+val limb_bits : int
+(** Number of payload bits per limb (31). *)
+
+(** {1 Construction} *)
+
+val zero : int -> t
+(** [zero width] is the all-zeros vector of [width] bits. [width >= 0]. *)
+
+val one : int -> t
+(** [one width] is the vector of [width] bits holding the value 1.
+    [width >= 1]. *)
+
+val ones : int -> t
+(** [ones width] is the all-ones vector. *)
+
+val of_int : width:int -> int -> t
+(** [of_int ~width n] truncates the two's-complement representation of [n]
+    to [width] bits.  Negative [n] sign-extends before truncation. *)
+
+val of_string : string -> t
+(** Parses ["<width>'b<binary>"], ["<width>'h<hex>"], ["<width>'d<decimal>"]
+    (decimal must fit 62 bits) or a bare binary string whose length is the
+    width.  Underscores are ignored.  Raises [Invalid_argument] on
+    malformed input. *)
+
+val of_bool_list : bool list -> t
+(** [of_bool_list bs] builds a vector from MSB-first bits; width is
+    [List.length bs]. *)
+
+val random : Random.State.t -> width:int -> t
+(** Uniformly random vector of the given width. *)
+
+(** {1 Observation} *)
+
+val width : t -> int
+
+val equal : t -> t -> bool
+(** Structural equality; requires equal widths, otherwise [false]. *)
+
+val compare_unsigned : t -> t -> int
+(** Unsigned magnitude comparison.  Widths may differ. *)
+
+val compare_signed : t -> t -> int
+(** Two's-complement comparison.  Widths may differ. *)
+
+val is_zero : t -> bool
+
+val bit : t -> int -> bool
+(** [bit v i] is bit [i] (0 = LSB).  Raises [Invalid_argument] when out of
+    range. *)
+
+val msb : t -> bool
+(** Most significant bit; [false] for width 0. *)
+
+val to_int : t -> int
+(** Value as a nonnegative OCaml int.  Raises [Failure] if the value needs
+    more than 62 bits. *)
+
+val to_int_trunc : t -> int
+(** Low (up to) 62 bits of the value as a nonnegative int; never raises. *)
+
+val to_signed_int : t -> int
+(** Two's-complement value.  Raises [Failure] if it does not fit an OCaml
+    int. *)
+
+val to_bool_list : t -> bool list
+(** MSB-first bits. *)
+
+val to_binary_string : t -> string
+
+val to_hex_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [<width>'h<hex>]. *)
+
+val popcount : t -> int
+
+val hash : t -> int
+
+(** {1 Width adjustment} *)
+
+val zero_extend : t -> width:int -> t
+(** Widen with zero bits; [width] must be >= the current width. *)
+
+val sign_extend : t -> width:int -> t
+
+val truncate : t -> width:int -> t
+(** Keep the low [width] bits. *)
+
+val resize_unsigned : t -> width:int -> t
+(** Zero-extend or truncate as needed. *)
+
+val resize_signed : t -> width:int -> t
+(** Sign-extend or truncate as needed. *)
+
+(** {1 Bit manipulation} *)
+
+val extract : t -> hi:int -> lo:int -> t
+(** [extract v ~hi ~lo] is bits [hi..lo] inclusive, width [hi - lo + 1].
+    Requires [0 <= lo <= hi < width v]. *)
+
+val concat : t -> t -> t
+(** [concat hi lo]: [hi] occupies the high bits. *)
+
+val concat_list : t list -> t
+(** [concat_list [a; b; c]] = [concat a (concat b c)]; head is most
+    significant. *)
+
+val lognot : t -> t
+
+val logand : t -> t -> t
+(** Requires equal widths. *)
+
+val logor : t -> t -> t
+
+val logxor : t -> t -> t
+
+val reduce_and : t -> t
+(** 1-bit AND reduction; width-0 input gives 1 (vacuous truth). *)
+
+val reduce_or : t -> t
+
+val reduce_xor : t -> t
+
+val shift_left : t -> int -> t
+(** [shift_left v n] has width [width v + n] (FIRRTL [shl]). *)
+
+val shift_right : t -> int -> t
+(** [shift_right v n] has width [max 1 (width v - n)] (FIRRTL [shr],
+    unsigned). *)
+
+val shift_right_signed : t -> int -> t
+(** Arithmetic right shift, FIRRTL [shr] on SInt: width
+    [max 1 (width v - n)]. *)
+
+val dshl : t -> t -> t
+(** Dynamic shift left: result width is
+    [width v + 2^(width amount) - 1] per FIRRTL.  The amount is read as
+    unsigned. *)
+
+val dshl_keep : t -> t -> t
+(** Dynamic shift left keeping the operand width (Verilog-style [<<]). *)
+
+val dshr : t -> t -> t
+(** Dynamic logical shift right, keeps width. *)
+
+val dshr_signed : t -> t -> t
+(** Dynamic arithmetic shift right, keeps width. *)
+
+(** {1 Arithmetic}
+
+    Unless suffixed [_signed], operands are read as unsigned. *)
+
+val add : t -> t -> t
+(** FIRRTL [add]: width [max w1 w2 + 1]. *)
+
+val add_signed : t -> t -> t
+
+val sub : t -> t -> t
+(** FIRRTL [sub] on UInts: width [max w1 w2 + 1], two's-complement wrap. *)
+
+val sub_signed : t -> t -> t
+
+val neg : t -> t
+(** FIRRTL [neg]: width [w + 1], reading the operand as unsigned. *)
+
+val mul : t -> t -> t
+(** Width [w1 + w2]. *)
+
+val mul_signed : t -> t -> t
+
+val div : t -> t -> t
+(** Unsigned division, width [w1].  Division by zero yields zero (a defined
+    total semantics, checked by the simulator's x-prop-free model). *)
+
+val div_signed : t -> t -> t
+(** Signed division truncating toward zero, width [w1 + 1] (FIRRTL). *)
+
+val rem : t -> t -> t
+(** Unsigned remainder, width [min w1 w2].  Remainder by zero yields the
+    dividend truncated to the result width. *)
+
+val rem_signed : t -> t -> t
+(** Signed remainder (sign follows the dividend), width [min w1 w2]. *)
+
+(** {1 Comparisons and selection} *)
+
+val eq : t -> t -> t
+(** 1-bit result; operands are zero-extended to a common width. *)
+
+val neq : t -> t -> t
+
+val lt : t -> t -> t
+
+val leq : t -> t -> t
+
+val gt : t -> t -> t
+
+val geq : t -> t -> t
+
+val lt_signed : t -> t -> t
+
+val leq_signed : t -> t -> t
+
+val gt_signed : t -> t -> t
+
+val geq_signed : t -> t -> t
+
+val mux : t -> t -> t -> t
+(** [mux sel a b] is [a] when [sel] is nonzero, else [b].  [a] and [b] must
+    have equal widths. *)
+
+(** {1 Interaction with the packed runtime representation}
+
+    Engines store values of width <= 62 as raw nonnegative ints.  These
+    functions convert between the two without intermediate allocation
+    guarantees beyond the obvious. *)
+
+val fits_int : int -> bool
+(** [fits_int w] is true when a [w]-bit value is stored as a raw int. *)
+
+val unsafe_of_packed : width:int -> int -> t
+(** Interpret a packed nonnegative int as a value of the given width
+    (width <= 62; the int must already be in range). *)
+
+val to_packed : t -> int
+(** Same as [to_int_trunc]; the caller must know the width fits. *)

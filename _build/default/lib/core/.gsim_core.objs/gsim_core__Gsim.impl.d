@@ -1,0 +1,1 @@
+lib/core/gsim.ml: Array Circuit Filename Gsim_emit Gsim_engine Gsim_firrtl Gsim_ir Gsim_partition Gsim_passes Gsim_verilog Option Printf

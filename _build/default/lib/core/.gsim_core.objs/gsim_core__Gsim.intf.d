@@ -1,0 +1,1 @@
+lib/core/gsim.mli: Circuit Gsim_emit Gsim_engine Gsim_ir Gsim_passes

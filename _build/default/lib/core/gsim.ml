@@ -1,0 +1,194 @@
+module Pipeline = Gsim_passes.Pipeline
+module Pass = Gsim_passes.Pass
+module Partition = Gsim_partition.Partition
+module Sim = Gsim_engine.Sim
+module Activity = Gsim_engine.Activity
+module Full_cycle = Gsim_engine.Full_cycle
+module Parallel = Gsim_engine.Parallel
+module Reference = Gsim_ir.Reference
+open Gsim_ir
+
+type engine_kind =
+  | Reference_engine
+  | Full_cycle_engine of int
+  | Essent_engine
+  | Gsim_engine_kind
+
+type config = {
+  config_name : string;
+  opt_level : Pipeline.level;
+  engine : engine_kind;
+  partition_algorithm : string;
+  max_supernode : int;
+  activation : Activity.activation_strategy;
+  packed_exam : bool;
+}
+
+let verilator ?(threads = 1) () =
+  {
+    config_name = (if threads = 1 then "verilator" else Printf.sprintf "verilator-%dT" threads);
+    opt_level = Pipeline.O1;
+    engine = Full_cycle_engine threads;
+    partition_algorithm = "none";
+    max_supernode = 1;
+    activation = Activity.Branch;
+    packed_exam = false;
+  }
+
+let arcilator =
+  {
+    config_name = "arcilator";
+    opt_level = Pipeline.O2;
+    engine = Full_cycle_engine 1;
+    partition_algorithm = "none";
+    max_supernode = 1;
+    activation = Activity.Branch;
+    packed_exam = false;
+  }
+
+let essent =
+  {
+    config_name = "essent";
+    opt_level = Pipeline.O1;
+    engine = Essent_engine;
+    partition_algorithm = "mffc";
+    max_supernode = 20;
+    activation = Activity.Branchless;
+    packed_exam = false;
+  }
+
+let gsim =
+  (* Max supernode 8: the Fig. 9 sweep's optimum on this substrate, where
+     examining an active bit is an array test rather than a
+     branch-predictor-limited branch, sits at smaller sizes than the
+     paper's 20-50. *)
+  {
+    config_name = "gsim";
+    opt_level = Pipeline.O3;
+    engine = Gsim_engine_kind;
+    partition_algorithm = "gsim";
+    max_supernode = 8;
+    activation = Activity.Cost_model;
+    packed_exam = true;
+  }
+
+let gsim_with ?(max_supernode = 8) ?(partition_algorithm = "gsim")
+    ?(opt_level = Pipeline.O3) ?(activation = Activity.Cost_model) ?(packed_exam = true) () =
+  {
+    gsim with
+    config_name =
+      Printf.sprintf "gsim[%s,%d,%s]" partition_algorithm max_supernode
+        (Pipeline.level_to_string opt_level);
+    max_supernode;
+    partition_algorithm;
+    opt_level;
+    activation;
+    packed_exam;
+  }
+
+let reference =
+  {
+    config_name = "reference";
+    opt_level = Pipeline.O0;
+    engine = Reference_engine;
+    partition_algorithm = "none";
+    max_supernode = 1;
+    activation = Activity.Branch;
+    packed_exam = false;
+  }
+
+let all_presets =
+  [ reference; verilator (); verilator ~threads:2 (); verilator ~threads:4 ();
+    verilator ~threads:8 (); arcilator; essent; gsim ]
+
+type compiled = {
+  sim : Sim.t;
+  id_map : int array;
+  outcomes : Pass.outcome list;
+  supernodes : int;
+  destroy : unit -> unit;
+}
+
+let instantiate ?(compact = false) config circuit =
+  let c = Circuit.copy circuit in
+  let original_max = Circuit.max_id c in
+  let outcomes = Pipeline.optimize ~level:config.opt_level c in
+  let id_map =
+    if compact then begin
+      let map = Circuit.compact c in
+      Circuit.validate c;
+      map
+    end
+    else Array.init (Circuit.max_id c) (fun i -> i)
+  in
+  let id_map =
+    (* Identity-extend so callers can index with original ids. *)
+    Array.init original_max (fun i -> if i < Array.length id_map then id_map.(i) else -1)
+  in
+  let partition () =
+    match Partition.algorithm_of_string config.partition_algorithm with
+    | Some algo -> algo c ~max_size:config.max_supernode
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Gsim.instantiate: unknown partition %S" config.partition_algorithm)
+  in
+  let sim, supernodes, destroy =
+    match config.engine with
+    | Reference_engine -> (Sim.of_reference (Reference.create c), 0, fun () -> ())
+    | Full_cycle_engine 1 -> (Full_cycle.sim (Full_cycle.create c), 0, fun () -> ())
+    | Full_cycle_engine threads ->
+      let t = Parallel.create ~threads c in
+      (Parallel.sim t, 0, fun () -> Parallel.destroy t)
+    | Essent_engine ->
+      let p = partition () in
+      let t =
+        Activity.create
+          ~config:{ Activity.packed_exam = config.packed_exam; activation = config.activation }
+          c p
+      in
+      (Activity.sim ~name:config.config_name t, Array.length p.Partition.supernodes, fun () -> ())
+    | Gsim_engine_kind ->
+      let p = partition () in
+      let t =
+        Activity.create
+          ~config:{ Activity.packed_exam = config.packed_exam; activation = config.activation }
+          c p
+      in
+      (Activity.sim ~name:config.config_name t, Array.length p.Partition.supernodes, fun () -> ())
+  in
+  let sim = { sim with Sim.sim_name = config.config_name } in
+  { sim; id_map; outcomes; supernodes; destroy }
+
+let load_firrtl_string src =
+  let { Gsim_firrtl.Firrtl.circuit; halt } = Gsim_firrtl.Firrtl.load_string src in
+  (circuit, halt)
+
+let load_firrtl_file path =
+  let { Gsim_firrtl.Firrtl.circuit; halt } = Gsim_firrtl.Firrtl.load_file path in
+  (circuit, halt)
+
+let load_verilog_string src = Gsim_verilog.Verilog.load_string src
+
+let load_verilog_file path = Gsim_verilog.Verilog.load_file path
+
+let load_design_file path =
+  if Filename.check_suffix path ".v" then (load_verilog_file path, None)
+  else load_firrtl_file path
+
+let emit_cpp config circuit =
+  let c = Circuit.copy circuit in
+  ignore (Pipeline.optimize ~level:config.opt_level c);
+  let mode =
+    match config.engine with
+    | Reference_engine | Full_cycle_engine _ -> Gsim_emit.Emit.Full_cycle_mode
+    | Essent_engine -> Gsim_emit.Emit.Essent_mode
+    | Gsim_engine_kind -> Gsim_emit.Emit.Gsim_mode
+  in
+  let partition =
+    match config.engine with
+    | Essent_engine | Gsim_engine_kind ->
+      Partition.algorithm_of_string config.partition_algorithm
+      |> Option.map (fun algo -> algo c ~max_size:config.max_supernode)
+    | Reference_engine | Full_cycle_engine _ -> None
+  in
+  Gsim_emit.Emit.emit ~mode ?partition c

@@ -1,0 +1,83 @@
+(** GSIM — top-level compilation pipeline.
+
+    This is the library's primary entry point: load a design (FIRRTL text
+    or an in-memory {!Gsim_ir.Circuit.t}), pick a simulator configuration,
+    and get a runnable {!Gsim_engine.Sim.t}.
+
+    The presets reproduce the simulator families the paper evaluates:
+
+    - {!verilator} (optionally multi-threaded): full-cycle evaluation of
+      every node with baseline expression optimization;
+    - {!arcilator}: full-cycle with aggressive IR optimization;
+    - {!essent}: essential-signal simulation with MFFC supernodes and
+      branch-free activation;
+    - {!gsim}: the paper's simulator — every node/bit-level optimization,
+      correlation-aware supernodes, packed active-bit examination,
+      cost-model activation, slow-path reset. *)
+
+open Gsim_ir
+
+type engine_kind =
+  | Reference_engine
+  | Full_cycle_engine of int  (** thread count; 1 = single-threaded *)
+  | Essent_engine
+  | Gsim_engine_kind
+
+type config = {
+  config_name : string;
+  opt_level : Gsim_passes.Pipeline.level;
+  engine : engine_kind;
+  partition_algorithm : string;  (** "none" | "kernighan" | "mffc" | "gsim" *)
+  max_supernode : int;
+  activation : Gsim_engine.Activity.activation_strategy;
+  packed_exam : bool;
+}
+
+val verilator : ?threads:int -> unit -> config
+val arcilator : config
+val essent : config
+val gsim : config
+(** The paper's simulator: O3, gsim partitioning.  The default maximum
+    supernode size (8) is this substrate's Fig. 9 optimum. *)
+
+val gsim_with : ?max_supernode:int -> ?partition_algorithm:string ->
+  ?opt_level:Gsim_passes.Pipeline.level ->
+  ?activation:Gsim_engine.Activity.activation_strategy -> ?packed_exam:bool ->
+  unit -> config
+
+val reference : config
+
+val all_presets : config list
+
+type compiled = {
+  sim : Gsim_engine.Sim.t;
+  id_map : int array;
+      (** original node id -> id in the optimized circuit (-1 if the node
+          was optimized away); identity-extended for unoptimized levels. *)
+  outcomes : Gsim_passes.Pass.outcome list;
+  supernodes : int;
+  destroy : unit -> unit;
+      (** Joins worker domains for multi-threaded engines; otherwise a
+          no-op. *)
+}
+
+val instantiate : ?compact:bool -> config -> Circuit.t -> compiled
+(** Runs the configured pass pipeline on (a private copy of) the circuit,
+    partitions it, and builds the engine.  Inputs and output-marked nodes
+    always survive; look them up through [id_map]. *)
+
+val load_firrtl_string : string -> Circuit.t * int option
+(** Circuit and optional ["$halt"] node (see {!Gsim_firrtl.Firrtl}). *)
+
+val load_firrtl_file : string -> Circuit.t * int option
+
+val load_verilog_string : string -> Circuit.t
+(** Synthesizable-subset Verilog (see {!Gsim_verilog.Verilog}). *)
+
+val load_verilog_file : string -> Circuit.t
+
+val load_design_file : string -> Circuit.t * int option
+(** Dispatches on the extension: [.v] Verilog, anything else FIRRTL. *)
+
+val emit_cpp : config -> Circuit.t -> Gsim_emit.Emit.result
+(** Optimize per the config and emit C++ in the matching mode. *)

@@ -1,0 +1,1 @@
+lib/designs/designs.ml: Array Circuit Gsim_bits Gsim_engine Gsim_ir Gsim_passes Isa List Printf String Stu_core Synth_core

@@ -1,0 +1,1 @@
+lib/designs/designs.mli: Circuit Gsim_engine Gsim_ir Gsim_passes Isa Stu_core

@@ -1,0 +1,1 @@
+lib/designs/isa.ml: Array Gsim_bits Hashtbl List Printf

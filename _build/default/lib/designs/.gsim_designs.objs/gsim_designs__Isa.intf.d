@@ -1,0 +1,1 @@
+lib/designs/isa.mli: Gsim_bits

@@ -1,0 +1,1 @@
+lib/designs/programs.ml: Array Gsim_bits Isa List Printf Random

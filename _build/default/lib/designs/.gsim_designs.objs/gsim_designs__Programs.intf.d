@@ -1,0 +1,1 @@
+lib/designs/programs.mli: Isa

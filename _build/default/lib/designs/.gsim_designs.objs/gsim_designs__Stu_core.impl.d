@@ -1,0 +1,1 @@
+lib/designs/stu_core.ml: Array Circuit Gsim_bits Gsim_hcl Gsim_ir List Printf

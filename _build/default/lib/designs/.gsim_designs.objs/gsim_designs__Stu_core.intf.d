@@ -1,0 +1,1 @@
+lib/designs/stu_core.mli: Circuit Gsim_hcl Gsim_ir

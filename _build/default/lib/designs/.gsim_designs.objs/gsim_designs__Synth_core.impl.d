@@ -1,0 +1,1 @@
+lib/designs/synth_core.ml: Gsim_bits Gsim_hcl List Printf Stu_core

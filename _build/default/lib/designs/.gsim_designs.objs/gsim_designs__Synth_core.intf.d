@@ -1,0 +1,1 @@
+lib/designs/synth_core.mli: Stu_core

@@ -1,0 +1,44 @@
+(** Facade over the evaluated designs and workloads.
+
+    The four designs mirror the paper's Table I: the runnable [stu_core]
+    and three scaled synthetic processors.  {!run_program} drives any
+    {!Gsim_engine.Sim.t} until the core halts, returning cycle counts —
+    the building block of every benchmark. *)
+
+open Gsim_ir
+
+type design = {
+  design_name : string;
+  description : string;
+  build : unit -> Stu_core.core;
+}
+
+val stu_core : design
+val rocket_like : design
+val boom_like : design
+val xiangshan_like : design
+
+val all : design list
+
+val by_name : string -> design option
+
+val load_program : Gsim_engine.Sim.t -> Stu_core.handles -> Isa.program -> unit
+
+val run_program :
+  ?max_cycles:int -> Gsim_engine.Sim.t -> Stu_core.handles -> int
+(** Steps until the halt output asserts; returns cycles executed.  Raises
+    [Failure] if [max_cycles] (default 2_000_000) is exceeded. *)
+
+val run_cycles : Gsim_engine.Sim.t -> int -> unit
+
+val check_against_golden :
+  Gsim_engine.Sim.t -> Stu_core.handles -> Isa.program -> dmem_size:int -> unit
+(** Runs the program on the simulator and compares the final register file
+    and retired-instruction count against {!Isa.reference_execute}.
+    Raises [Failure] on mismatch. *)
+
+val optimize_design :
+  ?level:Gsim_passes.Pipeline.level -> Stu_core.core -> Stu_core.core
+(** Applies the pass pipeline and compacts; handles are relocated. *)
+
+val stats_line : Circuit.t -> string

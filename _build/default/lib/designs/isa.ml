@@ -1,0 +1,207 @@
+module Bits = Gsim_bits.Bits
+
+type funct =
+  | Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Mul | Divu | Remu
+
+type cond = Beq | Bne | Blt | Bge | Bltu | Bgeu
+
+type instr =
+  | Alu of funct * int * int * int
+  | Alui of funct * int * int * int
+  | Load of int * int * int
+  | Store of int * int * int
+  | Br of cond * int * int * string
+  | Jal of int * string
+  | Jalr of int * int * int
+  | Lui of int * int
+  | Halt
+  | Nop
+  | Label of string
+
+let funct_code = function
+  | Add -> 0 | Sub -> 1 | And -> 2 | Or -> 3 | Xor -> 4 | Sll -> 5 | Srl -> 6
+  | Sra -> 7 | Slt -> 8 | Sltu -> 9 | Mul -> 10 | Divu -> 11 | Remu -> 12
+
+let cond_code = function Beq -> 0 | Bne -> 1 | Blt -> 2 | Bge -> 3 | Bltu -> 4 | Bgeu -> 5
+
+exception Asm_error of string
+
+let asm_err fmt = Printf.ksprintf (fun s -> raise (Asm_error s)) fmt
+
+let check_reg r = if r < 0 || r > 15 then asm_err "register r%d out of range" r
+
+let check_imm12 v = if v < -2048 || v > 2047 then asm_err "imm12 %d out of range" v
+
+let check_imm20 v = if v < 0 || v >= 1 lsl 20 then asm_err "imm20 %d out of range" v
+
+let length instrs =
+  List.fold_left (fun n i -> match i with Label _ -> n | _ -> n + 1) 0 instrs
+
+let encode_fields ~op ~f ~rd ~rs1 ~rs2 ~imm12 =
+  check_reg rd;
+  check_reg rs1;
+  check_reg rs2;
+  let imm = imm12 land 0xFFF in
+  Bits.of_int ~width:32
+    ((op lsl 28) lor (f lsl 24) lor (rd lsl 20) lor (rs1 lsl 16) lor (rs2 lsl 12) lor imm)
+
+let assemble instrs =
+  let labels = Hashtbl.create 64 in
+  let pc = ref 0 in
+  List.iter
+    (fun i ->
+      match i with
+      | Label l ->
+        if Hashtbl.mem labels l then asm_err "duplicate label %S" l;
+        Hashtbl.replace labels l !pc
+      | _ -> incr pc)
+    instrs;
+  let resolve l =
+    match Hashtbl.find_opt labels l with
+    | Some p -> p
+    | None -> asm_err "unknown label %S" l
+  in
+  let out = ref [] in
+  let pc = ref 0 in
+  List.iter
+    (fun i ->
+      let word =
+        match i with
+        | Label _ -> None
+        | Alu (f, rd, rs1, rs2) ->
+          Some (encode_fields ~op:0 ~f:(funct_code f) ~rd ~rs1 ~rs2 ~imm12:0)
+        | Alui (f, rd, rs1, imm) ->
+          check_imm12 imm;
+          Some (encode_fields ~op:1 ~f:(funct_code f) ~rd ~rs1 ~rs2:0 ~imm12:imm)
+        | Load (rd, rs1, imm) ->
+          check_imm12 imm;
+          Some (encode_fields ~op:2 ~f:0 ~rd ~rs1 ~rs2:0 ~imm12:imm)
+        | Store (rs1, rs2, imm) ->
+          check_imm12 imm;
+          Some (encode_fields ~op:3 ~f:0 ~rd:0 ~rs1 ~rs2 ~imm12:imm)
+        | Br (cond, rs1, rs2, l) ->
+          let offset = resolve l - !pc in
+          check_imm12 offset;
+          Some (encode_fields ~op:4 ~f:(cond_code cond) ~rd:0 ~rs1 ~rs2 ~imm12:offset)
+        | Jal (rd, l) ->
+          let target = resolve l in
+          check_imm20 target;
+          check_reg rd;
+          Some (Bits.of_int ~width:32 ((5 lsl 28) lor (rd lsl 20) lor target))
+        | Jalr (rd, rs1, imm) ->
+          check_imm12 imm;
+          Some (encode_fields ~op:6 ~f:0 ~rd ~rs1 ~rs2:0 ~imm12:imm)
+        | Lui (rd, imm) ->
+          check_imm20 imm;
+          check_reg rd;
+          Some (Bits.of_int ~width:32 ((7 lsl 28) lor (rd lsl 20) lor imm))
+        | Halt -> Some (Bits.of_int ~width:32 (8 lsl 28))
+        | Nop -> Some (Bits.of_int ~width:32 (9 lsl 28))
+      in
+      match word with
+      | Some w ->
+        out := w :: !out;
+        incr pc
+      | None -> ())
+    instrs;
+  Array.of_list (List.rev !out)
+
+type program = { prog_name : string; code : Bits.t array; data : Bits.t array }
+
+(* ------------------------------------------------------------------ *)
+(* Golden software model                                               *)
+(* ------------------------------------------------------------------ *)
+
+let mask32 = 0xFFFFFFFF
+
+let sext32 v =
+  let v = v land mask32 in
+  if v land 0x80000000 <> 0 then v - (1 lsl 32) else v
+
+let alu_exec f a b =
+  let sa = sext32 a and sb = sext32 b in
+  let shamt = b land 31 in
+  (match f with
+   | 0 -> a + b
+   | 1 -> a - b
+   | 2 -> a land b
+   | 3 -> a lor b
+   | 4 -> a lxor b
+   | 5 -> a lsl shamt
+   | 6 -> a lsr shamt
+   | 7 -> sa asr shamt
+   | 8 -> if sa < sb then 1 else 0
+   | 9 -> if a < b then 1 else 0
+   | 10 -> a * b
+   | 11 -> if b = 0 then 0 else a / b
+   | 12 -> if b = 0 then a else a mod b
+   | _ -> 0)
+  land mask32
+
+let reference_execute ?(max_cycles = 1_000_000) ~code ~data ~dmem_size () =
+  if dmem_size land (dmem_size - 1) <> 0 then
+    invalid_arg "Isa.reference_execute: dmem_size must be a power of two";
+  let addr_mask = dmem_size - 1 in
+  let regs = Array.make 16 0 in
+  let dmem = Array.make dmem_size 0 in
+  Array.iteri (fun i v -> if i < dmem_size then dmem.(i) <- Bits.to_int_trunc v) data;
+  let imem = Array.map Bits.to_int_trunc code in
+  let pc = ref 0 and retired = ref 0 and halted = ref false in
+  let cycles = ref 0 in
+  while (not !halted) && !cycles < max_cycles do
+    incr cycles;
+    if !pc < 0 || !pc >= Array.length imem then halted := true
+    else begin
+      let w = imem.(!pc) in
+      let op = (w lsr 28) land 0xF
+      and f = (w lsr 24) land 0xF
+      and rd = (w lsr 20) land 0xF
+      and rs1 = (w lsr 16) land 0xF
+      and rs2 = (w lsr 12) land 0xF in
+      let imm12 =
+        let v = w land 0xFFF in
+        if v land 0x800 <> 0 then v - 4096 else v
+      in
+      let imm20 = w land 0xFFFFF in
+      incr retired;
+      let wb rd v = if rd <> 0 then regs.(rd) <- v land mask32 in
+      let next_pc = ref (!pc + 1) in
+      (match op with
+       | 0 -> wb rd (alu_exec f regs.(rs1) regs.(rs2))
+       | 1 -> wb rd (alu_exec f regs.(rs1) (imm12 land mask32))
+       | 2 ->
+         (* Addresses wrap modulo the data-memory size, matching the
+            hardware's truncated address bus. *)
+         let a = (regs.(rs1) + imm12) land addr_mask in
+         wb rd dmem.(a)
+       | 3 ->
+         let a = (regs.(rs1) + imm12) land addr_mask in
+         dmem.(a) <- regs.(rs2)
+       | 4 ->
+         let a = regs.(rs1) and b = regs.(rs2) in
+         let sa = sext32 a and sb = sext32 b in
+         let taken =
+           match f with
+           | 0 -> a = b
+           | 1 -> a <> b
+           | 2 -> sa < sb
+           | 3 -> sa >= sb
+           | 4 -> a < b
+           | 5 -> a >= b
+           | _ -> false
+         in
+         if taken then next_pc := !pc + imm12
+       | 5 ->
+         wb rd (!pc + 1);
+         next_pc := imm20
+       | 6 ->
+         let target = (regs.(rs1) + imm12) land mask32 in
+         wb rd (!pc + 1);
+         next_pc := target
+       | 7 -> wb rd (imm20 lsl 12)
+       | 8 -> halted := true
+       | _ -> ());
+      if not !halted then pc := !next_pc
+    end
+  done;
+  (regs, Array.map (Bits.of_int ~width:32) dmem, !retired)

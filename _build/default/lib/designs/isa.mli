@@ -1,0 +1,63 @@
+(** The mini ISA executed by the processor models.
+
+    32-bit fixed-width instructions, sixteen 32-bit registers (r0 reads as
+    zero), word-addressed data memory, separate instruction memory indexed
+    by instruction (the PC counts instructions).
+
+    Encoding (bit ranges inclusive):
+
+    {v
+    [31:28] opcode   0=ALU 1=ALUI 2=LOAD 3=STORE 4=BR 5=JAL 6=JALR
+                     7=LUI 8=HALT 9=NOP
+    [27:24] funct / branch condition
+    [23:20] rd
+    [19:16] rs1
+    [15:12] rs2
+    [11:0]  imm12 (sign-extended)     ALUI/LOAD/STORE/BR/JALR
+    [19:0]  imm20                     JAL (absolute), LUI (<< 12)
+    v} *)
+
+type funct =
+  | Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Mul | Divu | Remu
+
+type cond = Beq | Bne | Blt | Bge | Bltu | Bgeu
+
+type instr =
+  | Alu of funct * int * int * int          (** funct, rd, rs1, rs2 *)
+  | Alui of funct * int * int * int         (** funct, rd, rs1, imm12 *)
+  | Load of int * int * int                 (** rd, rs1, imm12 *)
+  | Store of int * int * int                (** rs1 (base), rs2 (src), imm12 *)
+  | Br of cond * int * int * string         (** cond, rs1, rs2, label *)
+  | Jal of int * string                     (** rd, label (absolute) *)
+  | Jalr of int * int * int                 (** rd, rs1, imm12 *)
+  | Lui of int * int                        (** rd, imm20 *)
+  | Halt
+  | Nop
+  | Label of string
+
+val funct_code : funct -> int
+val cond_code : cond -> int
+
+exception Asm_error of string
+
+val assemble : instr list -> Gsim_bits.Bits.t array
+(** Resolves labels ([Br] targets are PC-relative in instructions, [Jal]
+    targets absolute) and encodes.  Raises {!Asm_error} on duplicate or
+    unknown labels, register/immediate range violations. *)
+
+val length : instr list -> int
+(** Number of encoded instructions (labels excluded). *)
+
+type program = {
+  prog_name : string;
+  code : Gsim_bits.Bits.t array;
+  data : Gsim_bits.Bits.t array;  (** initial data-memory image *)
+}
+
+val reference_execute :
+  ?max_cycles:int -> code:Gsim_bits.Bits.t array -> data:Gsim_bits.Bits.t array ->
+  dmem_size:int -> unit -> int array * Gsim_bits.Bits.t array * int
+(** Software golden model: executes the program and returns (final register
+    file, final data memory, instructions retired).  Used to validate the
+    cores.  [dmem_size] must be a power of two; data addresses wrap modulo
+    it, matching the hardware's truncated address bus. *)

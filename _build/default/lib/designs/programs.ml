@@ -1,0 +1,452 @@
+module Bits = Gsim_bits.Bits
+open Isa
+
+(* Register conventions: x1..x7,x9 temporaries, x8 outer-loop counter,
+   x10..x12 constants, x13/x14 scratch, x15 running checksum. *)
+
+let fresh_label =
+  let n = ref 0 in
+  fun prefix ->
+    incr n;
+    Printf.sprintf "%s_%d" prefix !n
+
+let word n = Bits.of_int ~width:32 n
+
+let data_image cells =
+  let size = List.fold_left (fun acc (a, _) -> max acc (a + 1)) 0 cells in
+  let img = Array.make size (word 0) in
+  List.iter (fun (a, v) -> img.(a) <- word v) cells;
+  img
+
+(* ------------------------------------------------------------------ *)
+(* quick: every instruction class once                                  *)
+(* ------------------------------------------------------------------ *)
+
+let quick () =
+  let l1 = fresh_label "q_loop" and l2 = fresh_label "q_done" and f = fresh_label "q_fn" in
+  let code =
+    [
+      Alui (Add, 1, 0, 10);
+      Alui (Add, 2, 0, 3);
+      Label l1;
+      Alu (Add, 15, 15, 1);
+      Alu (Mul, 3, 1, 2);
+      Alu (Xor, 15, 15, 3);
+      Alui (Sub, 1, 1, 1);
+      Br (Bne, 1, 0, l1);
+      Lui (4, 5);
+      Alu (Srl, 4, 4, 2);
+      Alu (Sltu, 5, 2, 4);
+      Store (0, 15, 64);
+      Load (6, 0, 64);
+      Alu (Sub, 15, 15, 6);
+      Jal (7, f);
+      Label l2;
+      Halt;
+      Label f;
+      Alui (Or, 15, 15, 1);
+      Jalr (0, 7, 0);
+    ]
+  in
+  { prog_name = "quick"; code = assemble code; data = [||] }
+
+(* ------------------------------------------------------------------ *)
+(* coremark: hot loop of list walk + matmul + crc                       *)
+(* ------------------------------------------------------------------ *)
+
+let list_base = 64
+let list_nodes = 48
+let mat_a = 512
+let mat_b = 528
+let mat_c = 544
+
+let coremark_data () =
+  (* A scrambled singly-linked list: node i lives at [list_base + i] and
+     stores the absolute address of its successor; 0 terminates. *)
+  let perm = Array.init list_nodes (fun i -> i) in
+  let st = Random.State.make [| 0xC0DE |] in
+  for i = list_nodes - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  let cells = ref [] in
+  for i = 0 to list_nodes - 2 do
+    cells := (list_base + perm.(i), list_base + perm.(i + 1)) :: !cells
+  done;
+  cells := (list_base + perm.(list_nodes - 1), 0) :: !cells;
+  (* 4x4 operand matrices. *)
+  for i = 0 to 15 do
+    cells := (mat_a + i, (i * 7 mod 13) + 1) :: !cells;
+    cells := (mat_b + i, (i * 11 mod 17) + 1) :: !cells
+  done;
+  (data_image !cells, list_base + perm.(0))
+
+let coremark ?(iters = 20) () =
+  let data, list_head = coremark_data () in
+  let outer = fresh_label "cm_outer" in
+  let walk = fresh_label "cm_walk" in
+  let loop_i = fresh_label "cm_i" and loop_j = fresh_label "cm_j" and loop_k = fresh_label "cm_k" in
+  let crc_loop = fresh_label "cm_crc" and crc_skip = fresh_label "cm_skip" in
+  let code =
+    [
+      Alui (Add, 8, 0, iters);
+      Alui (Add, 10, 0, 4);            (* x10 = 4 *)
+      Lui (11, 0xEDB88);               (* x11 = CRC polynomial-ish *)
+      Alui (Or, 11, 11, 0x320);
+      Label outer;
+      (* --- phase 1: pointer-chasing list walk --- *)
+      Alui (Add, 1, 0, list_head);
+      Label walk;
+      Alu (Add, 15, 15, 1);
+      Load (1, 1, 0);
+      Br (Bne, 1, 0, walk);
+      (* --- phase 2: 4x4 integer matrix multiply --- *)
+      Alui (Add, 2, 0, 0);
+      Label loop_i;
+      Alui (Add, 3, 0, 0);
+      Label loop_j;
+      Alui (Add, 4, 0, 0);
+      Alui (Add, 5, 0, 0);
+      Label loop_k;
+      Alui (Sll, 6, 2, 2);
+      Alu (Add, 6, 6, 4);
+      Load (7, 6, mat_a);
+      Alui (Sll, 6, 4, 2);
+      Alu (Add, 6, 6, 3);
+      Load (9, 6, mat_b);
+      Alu (Mul, 7, 7, 9);
+      Alu (Add, 5, 5, 7);
+      Alui (Add, 4, 4, 1);
+      Br (Bltu, 4, 10, loop_k);
+      Alui (Sll, 6, 2, 2);
+      Alu (Add, 6, 6, 3);
+      Store (6, 5, mat_c);
+      Alu (Xor, 15, 15, 5);
+      Alui (Add, 3, 3, 1);
+      Br (Bltu, 3, 10, loop_j);
+      Alui (Add, 2, 2, 1);
+      Br (Bltu, 2, 10, loop_i);
+      (* --- phase 3: CRC-flavoured shift/xor kernel --- *)
+      Alui (Xor, 6, 15, 0x5A5);
+      Alui (Add, 12, 0, 16);
+      Label crc_loop;
+      Alui (And, 7, 6, 1);
+      Alui (Srl, 6, 6, 1);
+      Br (Beq, 7, 0, crc_skip);
+      Alu (Xor, 6, 6, 11);
+      Label crc_skip;
+      Alui (Sub, 12, 12, 1);
+      Br (Bne, 12, 0, crc_loop);
+      Alu (Xor, 15, 15, 6);
+      (* --- iterate --- *)
+      Alui (Sub, 8, 8, 1);
+      Br (Bne, 8, 0, outer);
+      Store (0, 15, 0);
+      Halt;
+    ]
+  in
+  { prog_name = "coremark"; code = assemble code; data }
+
+(* ------------------------------------------------------------------ *)
+(* linux_boot: many distinct phases, flat profile                       *)
+(* ------------------------------------------------------------------ *)
+
+let linux_boot ?(phases = 12) () =
+  let blocks = ref [] in
+  let add block = blocks := block :: !blocks in
+  (* Shared "memcpy" routine reached through Jal; x13 = src, x14 = dst,
+     x12 = words, returns through x7. *)
+  let memcpy = fresh_label "lb_memcpy" in
+  let memcpy_loop = fresh_label "lb_memcpy_loop" in
+  for p = 0 to phases - 1 do
+    let base = 256 + (p * 96 mod 1536) in
+    match p mod 5 with
+    | 0 ->
+      (* Zero a region. *)
+      let l = fresh_label "lb_zero" in
+      add
+        [
+          Alui (Add, 1, 0, base);
+          Alui (Add, 2, 0, 48);
+          Label l;
+          Store (1, 0, 0);
+          Alui (Add, 1, 1, 1);
+          Alui (Sub, 2, 2, 1);
+          Br (Bne, 2, 0, l);
+        ]
+    | 1 ->
+      (* Copy a region through the shared routine. *)
+      add
+        [
+          Alui (Add, 13, 0, base);
+          Alui (Add, 14, 0, base + 48);
+          Alui (Add, 12, 0, 32);
+          Jal (7, memcpy);
+        ]
+    | 2 ->
+      (* Checksum a region. *)
+      let l = fresh_label "lb_sum" in
+      add
+        [
+          Alui (Add, 1, 0, base);
+          Alui (Add, 2, 0, 40);
+          Label l;
+          Load (3, 1, 0);
+          Alu (Add, 15, 15, 3);
+          Alui (Add, 1, 1, 1);
+          Alui (Sub, 2, 2, 1);
+          Br (Bne, 2, 0, l);
+        ]
+    | 3 ->
+      (* Device-poll: a countdown busy loop (near-zero datapath activity,
+         the "waiting for hardware" shape of a boot). *)
+      let l = fresh_label "lb_poll" in
+      add
+        [
+          Alui (Add, 5, 0, 120 + (p * 13 mod 800));
+          Label l;
+          Alui (Sub, 5, 5, 1);
+          Br (Bne, 5, 0, l);
+        ]
+    | _ ->
+      (* Compute burst: mixed ALU with a few multiplies. *)
+      let l = fresh_label "lb_calc" in
+      add
+        [
+          Alui (Add, 1, 0, p + 3);
+          Alui (Add, 2, 0, 24);
+          Label l;
+          Alu (Mul, 3, 1, 2);
+          Alu (Xor, 15, 15, 3);
+          Alui (Add, 1, 1, 7);
+          Alui (Sub, 2, 2, 1);
+          Br (Bne, 2, 0, l);
+        ]
+  done;
+  let tail = fresh_label "lb_end" in
+  let code =
+    List.concat (List.rev !blocks)
+    @ [
+        Store (0, 15, 1);
+        Jal (0, tail);
+        (* memcpy routine *)
+        Label memcpy;
+        Label memcpy_loop;
+        Load (3, 13, 0);
+        Store (14, 3, 0);
+        Alui (Add, 13, 13, 1);
+        Alui (Add, 14, 14, 1);
+        Alui (Sub, 12, 12, 1);
+        Br (Bne, 12, 0, memcpy_loop);
+        Jalr (0, 7, 0);
+        Label tail;
+        Halt;
+      ]
+  in
+  let data = data_image (List.init 1024 (fun i -> (256 + i, (i * 2654435761) land 0xFFFF))) in
+  { prog_name = "linux_boot"; code = assemble code; data }
+
+(* ------------------------------------------------------------------ *)
+(* SPEC-like checkpoint profiles                                        *)
+(* ------------------------------------------------------------------ *)
+
+let spec_streaming ?(scale = 4) () =
+  let l = fresh_label "st_outer" and inner = fresh_label "st_inner" in
+  let code =
+    [
+      Alui (Add, 8, 0, scale);
+      Label l;
+      Alui (Add, 1, 0, 512);   (* src *)
+      Alui (Add, 2, 0, 1536);  (* dst *)
+      Alui (Add, 3, 0, 512);   (* words *)
+      Label inner;
+      Load (4, 1, 0);
+      Alui (Add, 4, 4, 3);
+      Store (2, 4, 0);
+      Alu (Add, 15, 15, 4);
+      Alui (Add, 1, 1, 1);
+      Alui (Add, 2, 2, 1);
+      Alui (Sub, 3, 3, 1);
+      Br (Bne, 3, 0, inner);
+      Alui (Sub, 8, 8, 1);
+      Br (Bne, 8, 0, l);
+      Halt;
+    ]
+  in
+  let data = data_image (List.init 512 (fun i -> (512 + i, (i * 37) land 0xFFFF))) in
+  { prog_name = "spec.streaming"; code = assemble code; data }
+
+let spec_pointer_chase ?(scale = 4) () =
+  (* A long scrambled cycle through memory; each load depends on the
+     previous one. *)
+  let nodes = 768 in
+  let perm = Array.init nodes (fun i -> i) in
+  let st = Random.State.make [| 0xCAFE |] in
+  for i = nodes - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  let base = 1024 in
+  let cells =
+    List.init nodes (fun i ->
+        (base + perm.(i), base + perm.((i + 1) mod nodes)))
+  in
+  let l = fresh_label "pc_outer" and inner = fresh_label "pc_inner" in
+  let code =
+    [
+      Alui (Add, 8, 0, scale);
+      Label l;
+      Alui (Add, 1, 0, base + perm.(0));
+      Lui (2, 1);                      (* x2 = 4096 steps *)
+      Alui (Srl, 2, 2, 2);             (* 1024 steps *)
+      Label inner;
+      Load (1, 1, 0);
+      Alu (Add, 15, 15, 1);
+      Alui (Sub, 2, 2, 1);
+      Br (Bne, 2, 0, inner);
+      Alui (Sub, 8, 8, 1);
+      Br (Bne, 8, 0, l);
+      Halt;
+    ]
+  in
+  { prog_name = "spec.pointer_chase"; code = assemble code; data = data_image cells }
+
+let spec_int_compute ?(scale = 4) () =
+  let l = fresh_label "ic_outer" and inner = fresh_label "ic_inner" in
+  let code =
+    [
+      Alui (Add, 8, 0, scale * 4);
+      Label l;
+      Alui (Add, 1, 0, 0x3F5);
+      Alui (Add, 2, 0, 0x2A7);
+      Alui (Add, 3, 0, 200);
+      Label inner;
+      Alu (Add, 4, 1, 2);
+      Alu (Xor, 5, 4, 1);
+      Alu (Sll, 6, 5, 2);
+      Alu (Sub, 1, 6, 4);
+      Alu (Or, 2, 5, 2);
+      Alu (Srl, 2, 2, 4);
+      Alu (Add, 15, 15, 1);
+      Alui (Sub, 3, 3, 1);
+      Br (Bne, 3, 0, inner);
+      Alui (Sub, 8, 8, 1);
+      Br (Bne, 8, 0, l);
+      Halt;
+    ]
+  in
+  { prog_name = "spec.int_compute"; code = assemble code; data = [||] }
+
+let spec_mul_heavy ?(scale = 4) () =
+  let l = fresh_label "mh_outer" and inner = fresh_label "mh_inner" in
+  let code =
+    [
+      Alui (Add, 8, 0, scale * 2);
+      Label l;
+      Alui (Add, 1, 0, 0x35);
+      Alui (Add, 2, 0, 0x17);
+      Alui (Add, 3, 0, 150);
+      Label inner;
+      Alu (Mul, 4, 1, 2);
+      Alu (Mul, 5, 4, 1);
+      Alu (Divu, 6, 5, 2);
+      Alu (Remu, 1, 5, 1);
+      Alui (Add, 1, 1, 3);
+      Alu (Xor, 15, 15, 6);
+      Alui (Sub, 3, 3, 1);
+      Br (Bne, 3, 0, inner);
+      Alui (Sub, 8, 8, 1);
+      Br (Bne, 8, 0, l);
+      Halt;
+    ]
+  in
+  { prog_name = "spec.mul_heavy"; code = assemble code; data = [||] }
+
+let spec_branch_heavy ?(scale = 4) () =
+  (* Branches decided by a pseudo-random table: the pattern defeats simple
+     history, like the branch-intensive SPEC components. *)
+  let table = 512 in
+  let cells =
+    List.init table (fun i -> (1024 + i, (i * 2654435761) lsr 7 land 1))
+  in
+  let l = fresh_label "bh_outer" and inner = fresh_label "bh_inner" in
+  let odd = fresh_label "bh_odd" and join = fresh_label "bh_join" in
+  let code =
+    [
+      Alui (Add, 8, 0, scale * 2);
+      Label l;
+      Alui (Add, 1, 0, 1024);
+      Alui (Add, 2, 0, table);
+      Label inner;
+      Load (3, 1, 0);
+      Br (Bne, 3, 0, odd);
+      Alui (Add, 15, 15, 3);
+      Alui (Xor, 15, 15, 0x55);
+      Jal (0, join);
+      Label odd;
+      Alui (Sub, 15, 15, 1);
+      Alui (Xor, 15, 15, 0xAA);
+      Label join;
+      Alui (Add, 1, 1, 1);
+      Alui (Sub, 2, 2, 1);
+      Br (Bne, 2, 0, inner);
+      Alui (Sub, 8, 8, 1);
+      Br (Bne, 8, 0, l);
+      Halt;
+    ]
+  in
+  { prog_name = "spec.branch_heavy"; code = assemble code; data = data_image cells }
+
+let spec_icache ?(scale = 4) () =
+  (* A large straight-line block (wide instruction footprint) executed a
+     few times. *)
+  let l = fresh_label "ica_outer" in
+  let body =
+    List.concat
+      (List.init 300 (fun i ->
+           let k = (i * 7 mod 11) + 1 in
+           [
+             Alui (Add, 1, 1, k);
+             Alu (Xor, 15, 15, 1);
+             Alui ((if i mod 3 = 0 then Sll else Srl), 2, 1, (i mod 5) + 1);
+             Alu (Add, 15, 15, 2);
+           ]))
+  in
+  let code =
+    [ Alui (Add, 8, 0, scale); Label l ]
+    @ body
+    @ [ Alui (Sub, 8, 8, 1); Br (Bne, 8, 0, l); Halt ]
+  in
+  { prog_name = "spec.icache"; code = assemble code; data = [||] }
+
+let spec_checkpoints ?(scale = 4) () =
+  [
+    spec_streaming ~scale ();
+    spec_pointer_chase ~scale ();
+    spec_int_compute ~scale ();
+    spec_mul_heavy ~scale ();
+    spec_branch_heavy ~scale ();
+    spec_icache ~scale ();
+  ]
+
+let names =
+  [
+    "quick"; "coremark"; "linux_boot"; "spec.streaming"; "spec.pointer_chase";
+    "spec.int_compute"; "spec.mul_heavy"; "spec.branch_heavy"; "spec.icache";
+  ]
+
+let by_name = function
+  | "quick" -> Some quick
+  | "coremark" -> Some (fun () -> coremark ())
+  | "linux_boot" -> Some (fun () -> linux_boot ())
+  | "spec.streaming" -> Some (fun () -> spec_streaming ())
+  | "spec.pointer_chase" -> Some (fun () -> spec_pointer_chase ())
+  | "spec.int_compute" -> Some (fun () -> spec_int_compute ())
+  | "spec.mul_heavy" -> Some (fun () -> spec_mul_heavy ())
+  | "spec.branch_heavy" -> Some (fun () -> spec_branch_heavy ())
+  | "spec.icache" -> Some (fun () -> spec_icache ())
+  | _ -> None

@@ -1,0 +1,40 @@
+(** Software workloads for the processor models (the paper's CoreMark,
+    Linux boot, and SPEC CPU2006 checkpoint substitutes).
+
+    Every program ends in [Halt]; testbenches run until the core's halt
+    output asserts.  Programs come with an initial data-memory image
+    (list structures, matrices, branch-pattern tables) the way SimPoint
+    checkpoints ship memory state. *)
+
+val quick : unit -> Isa.program
+(** A few dozen instructions touching every instruction class; used by the
+    test suite. *)
+
+val coremark : ?iters:int -> unit -> Isa.program
+(** Hot-spot workload: iterations of linked-list walking, a small integer
+    matrix multiply and a CRC-flavoured shift/xor kernel — the phase mix
+    CoreMark advertises.  Default 20 iterations (~10k instructions). *)
+
+val linux_boot : ?phases:int -> unit -> Isa.program
+(** Flat-profile workload: a long sequence of distinct phases (zeroing,
+    copying, checksumming, device-poll loops, a scheduler hopping across
+    code blocks) with a wide code footprint and no dominant loop. *)
+
+(** SPEC CPU2006-like checkpoint profiles (paper §IV-C): each exercises a
+    different bottleneck, mirroring the benchmark classes the paper
+    samples with SimPoint. *)
+
+val spec_streaming : ?scale:int -> unit -> Isa.program
+val spec_pointer_chase : ?scale:int -> unit -> Isa.program
+val spec_int_compute : ?scale:int -> unit -> Isa.program
+val spec_mul_heavy : ?scale:int -> unit -> Isa.program
+val spec_branch_heavy : ?scale:int -> unit -> Isa.program
+val spec_icache : ?scale:int -> unit -> Isa.program
+
+val spec_checkpoints : ?scale:int -> unit -> Isa.program list
+(** The six profiles above, in a stable order. *)
+
+val by_name : string -> (unit -> Isa.program) option
+(** ["quick" | "coremark" | "linux_boot" | "spec.<profile>"]. *)
+
+val names : string list

@@ -1,0 +1,207 @@
+module Bits = Gsim_bits.Bits
+module Hcl = Gsim_hcl.Hcl
+open Gsim_ir
+
+type handles = {
+  halt : int;
+  imem : int;
+  dmem : int;
+  pc : int;
+  instret : int;
+  reg_nodes : int array;
+  instr_node : int;
+  running_node : int;
+}
+
+type config = { imem_depth : int; dmem_depth : int }
+
+let default_config = { imem_depth = 4096; dmem_depth = 4096 }
+
+let clog2 n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  max 1 (go 0 1)
+
+let add_to b cfg =
+  let open Hcl in
+  let c32 n = const b ~width:32 n in
+  let pcw = clog2 cfg.imem_depth in
+  let daw = clog2 cfg.dmem_depth in
+
+  let halted = reg b "halted" 1 in
+  let running = wire b "running" (lnot (q halted)) in
+  let pc = reg b "pc" pcw in
+
+  (* Fetch. *)
+  let imem = memory b "imem" ~width:32 ~depth:cfg.imem_depth in
+  let instr = wire b "instr" (read imem ~en:running (q pc)) in
+
+  (* Decode. *)
+  let op = wire b "op" (bits instr ~hi:31 ~lo:28) in
+  let funct = wire b "funct" (bits instr ~hi:27 ~lo:24) in
+  let rd = wire b "rd" (bits instr ~hi:23 ~lo:20) in
+  let rs1 = wire b "rs1" (bits instr ~hi:19 ~lo:16) in
+  let rs2 = wire b "rs2" (bits instr ~hi:15 ~lo:12) in
+  let imm12 = wire b "imm12" (sext (bits instr ~hi:11 ~lo:0) 32) in
+  let imm20 = wire b "imm20" (bits instr ~hi:19 ~lo:0) in
+  let opc k = eq op (const b ~width:4 k) in
+  let is_alu = wire b "is_alu" (opc 0) in
+  let is_alui = wire b "is_alui" (opc 1) in
+  let is_load = wire b "is_load" (opc 2) in
+  let is_store = wire b "is_store" (opc 3) in
+  let is_br = wire b "is_br" (opc 4) in
+  let is_jal = wire b "is_jal" (opc 5) in
+  let is_jalr = wire b "is_jalr" (opc 6) in
+  let is_lui = wire b "is_lui" (opc 7) in
+  let is_halt = wire b "is_halt" (opc 8) in
+
+  (* Register file: sixteen 32-bit registers, r0 hardwired to zero. *)
+  let regs =
+    Array.init 16 (fun k ->
+        if k = 0 then None else Some (reg b (Printf.sprintf "x%d" k) 32))
+  in
+  let read_reg sel =
+    let cases =
+      List.init 15 (fun i ->
+          let k = i + 1 in
+          match regs.(k) with
+          | Some r -> (eq sel (const b ~width:4 k), q r)
+          | None -> assert false)
+    in
+    select cases ~default:(c32 0)
+  in
+  let a = wire b "rs1_val" (read_reg rs1) in
+  let bval = wire b "rs2_val" (read_reg rs2) in
+
+  (* ALU. *)
+  let alu_b = wire b "alu_b" (mux2 is_alui imm12 bval) in
+  let shamt = bits alu_b ~hi:4 ~lo:0 in
+  let fn k = eq funct (const b ~width:4 k) in
+  let alu_out =
+    wire b "alu_out"
+      (select
+         [
+           (fn 0, a +: alu_b);
+           (fn 1, a -: alu_b);
+           (fn 2, a &: alu_b);
+           (fn 3, a |: alu_b);
+           (fn 4, a ^: alu_b);
+           (fn 5, sll a (resize shamt 32));
+           (fn 6, srl a (resize shamt 32));
+           (fn 7, sra a (resize shamt 32));
+           (fn 8, resize (slt a alu_b) 32);
+           (fn 9, resize (ult a alu_b) 32);
+           (fn 10, a *: alu_b);
+           (fn 11, udiv a alu_b);
+           (fn 12, urem a alu_b);
+         ]
+         ~default:(c32 0))
+  in
+
+  (* Data memory. *)
+  let dmem = memory b "dmem" ~width:32 ~depth:cfg.dmem_depth in
+  let addr = wire b "mem_addr" (bits (a +: imm12) ~hi:(daw - 1) ~lo:0) in
+  let load_en = wire b "load_en" (is_load &: running) in
+  let load_val = wire b "load_val" (read dmem ~en:load_en addr) in
+  write dmem ~addr ~data:bval ~en:(wire b "store_en" (is_store &: running));
+
+  (* Branches and jumps. *)
+  let cond k = eq funct (const b ~width:4 k) in
+  let br_taken =
+    wire b "br_taken"
+      (is_br
+       &: select
+            [
+              (cond 0, eq a bval);
+              (cond 1, neq a bval);
+              (cond 2, slt a bval);
+              (cond 3, lnot (slt a bval));
+              (cond 4, ult a bval);
+              (cond 5, lnot (ult a bval));
+            ]
+            ~default:(const b ~width:1 0))
+  in
+  let pc_plus1 = wire b "pc_plus1" (q pc +: const b ~width:pcw 1) in
+  let br_target = wire b "br_target" (bits (resize (q pc) 32 +: imm12) ~hi:(pcw - 1) ~lo:0) in
+  let next_pc =
+    wire b "next_pc"
+      (select
+         [
+           (br_taken, br_target);
+           (is_jal, bits imm20 ~hi:(pcw - 1) ~lo:0);
+           (is_jalr, bits (a +: imm12) ~hi:(pcw - 1) ~lo:0);
+         ]
+         ~default:pc_plus1)
+  in
+  set_when pc ~guard:running next_pc;
+
+  (* Writeback. *)
+  let wb_en =
+    wire b "wb_en"
+      (running &: (is_alu |: is_alui |: is_load |: is_jal |: is_jalr |: is_lui))
+  in
+  let wb_val =
+    wire b "wb_val"
+      (select
+         [
+           (is_load, load_val);
+           (is_jal |: is_jalr, resize pc_plus1 32);
+           (is_lui, shl_const imm20 12 |> fun s -> bits s ~hi:31 ~lo:0);
+         ]
+         ~default:alu_out)
+  in
+  Array.iteri
+    (fun k r ->
+      match r with
+      | Some r ->
+        set_when r ~guard:(wb_en &: eq rd (const b ~width:4 k)) wb_val
+      | None -> ())
+    regs;
+
+  (* Retire and halt. *)
+  let instret = reg b "instret" 32 in
+  set_when instret ~guard:running (q instret +: c32 1);
+  set_when halted ~guard:(is_halt &: running) (const b ~width:1 1);
+
+  let halt_out = output b "halt" (q halted) in
+  ignore (output b "pc_out" (q pc));
+  ignore (output b "instret_out" (q instret));
+  let reg_nodes =
+    Array.map (function Some r -> reg_node r | None -> -1) regs
+  in
+  (* Architectural registers stay observable for checking against the
+     golden model. *)
+  Array.iter
+    (fun id -> if id >= 0 then Circuit.mark_output (circuit b) id)
+    reg_nodes;
+  Circuit.mark_output (circuit b) (reg_node pc);
+  Circuit.mark_output (circuit b) (reg_node instret);
+  {
+    halt = node_of halt_out;
+    imem = mem_index imem;
+    dmem = mem_index dmem;
+    pc = reg_node pc;
+    instret = reg_node instret;
+    reg_nodes;
+    instr_node = node_of instr;
+    running_node = node_of running;
+  }
+
+type core = { circuit : Circuit.t; h : handles }
+
+let build ?(config = default_config) () =
+  let b = Gsim_hcl.Hcl.create ~name:"stu_core" () in
+  let h = add_to b config in
+  let circuit = Gsim_hcl.Hcl.finalize b in
+  { circuit; h }
+
+let relocate h map =
+  let f id = if id >= 0 then map.(id) else id in
+  {
+    h with
+    halt = f h.halt;
+    pc = f h.pc;
+    instret = f h.instret;
+    reg_nodes = Array.map f h.reg_nodes;
+    instr_node = f h.instr_node;
+    running_node = f h.running_node;
+  }

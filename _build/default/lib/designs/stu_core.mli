@@ -1,0 +1,39 @@
+(** The runnable in-order single-issue core ("stuCore").
+
+    A single-cycle implementation of {!Isa}: fetch, decode, register read,
+    execute, memory and writeback all in one clock.  Executing [Halt]
+    freezes the core (the PC and all architectural state hold), which
+    drops the activity factor to zero — the testbench polls the [halt]
+    output.
+
+    The core can be built standalone or added to an existing {!Hcl}
+    builder (the scaled synthetic processors wrap it). *)
+
+open Gsim_ir
+
+type handles = {
+  halt : int;            (** output node: 1 once [Halt] retired *)
+  imem : int;            (** memory index for the code image *)
+  dmem : int;            (** memory index for the data image *)
+  pc : int;              (** register read node *)
+  instret : int;         (** register read node: instructions retired *)
+  reg_nodes : int array; (** architectural registers r0..r15 (r0 = -1) *)
+  instr_node : int;      (** fetched instruction word (for plug-ins) *)
+  running_node : int;    (** 1-bit: not halted *)
+}
+
+type config = { imem_depth : int; dmem_depth : int }
+
+val default_config : config
+
+val add_to : Gsim_hcl.Hcl.t -> config -> handles
+(** Instantiate the core inside an existing builder (under the current
+    scope). *)
+
+type core = { circuit : Circuit.t; h : handles }
+
+val build : ?config:config -> unit -> core
+(** Standalone: builds and finalizes a fresh circuit. *)
+
+val relocate : handles -> int array -> handles
+(** Remap node ids through a {!Circuit.compact} map. *)

@@ -1,0 +1,319 @@
+module Bits = Gsim_bits.Bits
+module Hcl = Gsim_hcl.Hcl
+
+
+type scale = {
+  alu_clusters : int;
+  lanes_per_cluster : int;
+  pipe_depth : int;
+  lane_width : int;
+  bpred_entries : int;
+  icache_sets : int;
+  icache_ways : int;
+  dcache_sets : int;
+  dcache_ways : int;
+  rob_entries : int;
+  regfile_banks : int;
+}
+
+let rocket_like =
+  {
+    alu_clusters = 6;
+    lanes_per_cluster = 8;
+    pipe_depth = 8;
+    lane_width = 64;
+    bpred_entries = 256;
+    icache_sets = 64;
+    icache_ways = 2;
+    dcache_sets = 64;
+    dcache_ways = 2;
+    rob_entries = 16;
+    regfile_banks = 4;
+  }
+
+let boom_like =
+  {
+    alu_clusters = 12;
+    lanes_per_cluster = 10;
+    pipe_depth = 12;
+    lane_width = 96;
+    bpred_entries = 1024;
+    icache_sets = 128;
+    icache_ways = 4;
+    dcache_sets = 128;
+    dcache_ways = 4;
+    rob_entries = 96;
+    regfile_banks = 12;
+  }
+
+let xiangshan_like =
+  {
+    alu_clusters = 20;
+    lanes_per_cluster = 14;
+    pipe_depth = 16;
+    lane_width = 128;
+    bpred_entries = 4096;
+    icache_sets = 512;
+    icache_ways = 8;
+    dcache_sets = 512;
+    dcache_ways = 8;
+    rob_entries = 256;
+    regfile_banks = 48;
+  }
+
+let clog2 n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  max 1 (go 0 1)
+
+(* --- Core signals reconstructed from the embedded core's handles ------ *)
+
+type feed = {
+  instr : Hcl.signal;
+  pc : Hcl.signal;
+  running : Hcl.signal;
+  op : Hcl.signal;
+  funct : Hcl.signal;
+  rs1 : Hcl.signal;
+  rs2 : Hcl.signal;
+  rd : Hcl.signal;
+  is_br : Hcl.signal;
+  is_mem : Hcl.signal;
+  is_mul : Hcl.signal;
+}
+
+let make_feed b (h : Stu_core.handles) =
+  let open Hcl in
+  let var id = signal_of_node b id in
+  let instr = var h.Stu_core.instr_node in
+  let running = var h.Stu_core.running_node in
+  let pc = var h.Stu_core.pc in
+  let op = wire b "feed.op" (bits instr ~hi:31 ~lo:28) in
+  let funct = wire b "feed.funct" (bits instr ~hi:27 ~lo:24) in
+  let rd = wire b "feed.rd" (bits instr ~hi:23 ~lo:20) in
+  let rs1 = wire b "feed.rs1" (bits instr ~hi:19 ~lo:16) in
+  let rs2 = wire b "feed.rs2" (bits instr ~hi:15 ~lo:12) in
+  let opc k = eq op (const b ~width:4 k) in
+  let is_br = wire b "feed.is_br" (opc 4 &: running) in
+  let is_mem = wire b "feed.is_mem" ((opc 2 |: opc 3) &: running) in
+  let is_mul =
+    wire b "feed.is_mul"
+      ((opc 0 |: opc 1)
+       &: (eq funct (const b ~width:4 10)
+           |: eq funct (const b ~width:4 11)
+           |: eq funct (const b ~width:4 12))
+       &: running)
+  in
+  { instr; pc; running; op; funct; rs1; rs2; rd; is_br; is_mem; is_mul }
+
+(* --- Execution cluster: lanes of deep, mostly-idle pipelines ---------- *)
+
+let add_cluster b feed ~index ~lanes ~depth ~lane_width =
+  let open Hcl in
+  in_scope b (Printf.sprintf "cluster%d" index) (fun () ->
+      (* Dispatch gating: the cluster accepts an instruction only when its
+         rs1 tag selects it (cluster 0, the "main ALU", accepts every ALU
+         instruction).  Lanes work from the latched copy, so an idle
+         cluster contributes a constant handful of evaluations per cycle
+         regardless of its size -- the physical reason big cores have low
+         activity factors. *)
+      let is_alu_op =
+        eq feed.op (const b ~width:4 0) |: eq feed.op (const b ~width:4 1)
+      in
+      let accept =
+        if index = 0 then wire b "accept" (feed.running &: is_alu_op)
+        else
+          wire b "accept"
+            (feed.running &: is_alu_op
+             &: eq feed.rs1 (const b ~width:4 (index mod 16)))
+      in
+      let d_instr = reg b "d_instr" 32 in
+      set_when d_instr ~guard:accept feed.instr;
+      let d_valid = reg b "d_valid" 1 in
+      set d_valid accept;
+      let d_funct = wire b "d_funct" (bits (q d_instr) ~hi:27 ~lo:24) in
+      for lane = 0 to lanes - 1 do
+        in_scope b (Printf.sprintf "lane%d" lane) (fun () ->
+            let f_sel = (lane + (index * 3)) mod 13 in
+            let fire =
+              if index = 0 && lane = 0 then wire b "fire" (q d_valid)
+              else wire b "fire" (q d_valid &: eq d_funct (const b ~width:4 f_sel))
+            in
+            let seed =
+              wire b "seed"
+                (resize (q d_instr) lane_width
+                 ^: const b ~width:lane_width (0x51ED + (lane * 0x101) + (index * 7)))
+            in
+            let stage_data = ref seed in
+            let stage_valid = ref fire in
+            for d = 0 to depth - 1 do
+              in_scope b (Printf.sprintf "s%d" d) (fun () ->
+                  let data = reg b "data" lane_width in
+                  let valid = reg b "valid" 1 in
+                  set valid !stage_valid;
+                  (* A handful of materialized operations per stage. *)
+                  let x1 = wire b "x1" (!stage_data ^: q data) in
+                  let rot =
+                    wire b "rot"
+                      (cat
+                         [
+                           bits x1 ~hi:(lane_width / 2 - 1) ~lo:0;
+                           bits x1 ~hi:(lane_width - 1) ~lo:(lane_width / 2);
+                         ])
+                  in
+                  let sum = wire b "sum" (rot +: const b ~width:lane_width (0x9E37 + d)) in
+                  let gated = wire b "gated" (mux2 !stage_valid sum (q data)) in
+                  set_when data ~guard:!stage_valid gated;
+                  stage_data := wire b "out" (q data);
+                  stage_valid := wire b "vout" (q valid))
+            done;
+            (* Lane result register: accumulates when the pipe drains. *)
+            let result = reg b "result" lane_width in
+            set_when result ~guard:!stage_valid (q result ^: !stage_data);
+            ignore (output b "result_out" (q result)))
+      done)
+
+(* --- Branch predictor: counter table + BTB + global history ----------- *)
+
+let add_branch_predictor b feed ~entries ~pcw =
+  let open Hcl in
+  in_scope b "bpred" (fun () ->
+      let iw = clog2 entries in
+      let idx = wire b "idx" (bits feed.pc ~hi:(min (iw - 1) (pcw - 1)) ~lo:0 |> fun s -> resize s iw) in
+      let counters = memory b "pht" ~width:2 ~depth:entries in
+      let btb = memory b "btb" ~width:pcw ~depth:entries in
+      let ghr = reg b "ghr" 16 in
+      let pred = wire b "pred" (read counters ~en:feed.running idx) in
+      let target = wire b "target" (read btb ~en:feed.is_br idx) in
+      (* Keep the BTB observable so dead-code elimination measures real
+         structure, not a dangling table. *)
+      ignore (output b "btb_check" (reduce_xor target));
+      let taken_bit = wire b "taken" (bit feed.instr 0) in
+      (* Saturating 2-bit counter update on branches. *)
+      let inc =
+        wire b "inc"
+          (mux2 (eq pred (const b ~width:2 3)) pred (pred +: const b ~width:2 1))
+      in
+      let dec =
+        wire b "dec"
+          (mux2 (eq pred (const b ~width:2 0)) pred (pred -: const b ~width:2 1))
+      in
+      let updated = wire b "updated" (mux2 taken_bit inc dec) in
+      write counters ~addr:idx ~data:updated ~en:feed.is_br;
+      write btb ~addr:idx ~data:(resize feed.pc pcw) ~en:feed.is_br;
+      set_when ghr ~guard:feed.is_br (cat [ bits (q ghr) ~hi:14 ~lo:0; taken_bit ]);
+      ignore (output b "ghr_out" (q ghr)))
+
+(* --- Set-associative cache model: tags, LRU, miss counter -------------- *)
+
+let add_cache b feed name ~sets ~ways ~probe_addr ~probe_en =
+  let open Hcl in
+  in_scope b name (fun () ->
+      let sw = clog2 sets in
+      let set_idx = wire b "set" (resize probe_addr sw) in
+      let tag = wire b "tag" (shr_const probe_addr sw |> fun s -> resize s 16) in
+      let hits =
+        List.init ways (fun w ->
+            in_scope b (Printf.sprintf "way%d" w) (fun () ->
+                let tags = memory b "tags" ~width:16 ~depth:sets in
+                let valid = memory b "valid" ~width:1 ~depth:sets in
+                let way_tag = wire b "way_tag" (read tags ~en:probe_en set_idx) in
+                let way_valid = wire b "way_valid" (read valid ~en:probe_en set_idx) in
+                let hit = wire b "hit" (probe_en &: way_valid &: eq way_tag tag) in
+                (* Refill this way round-robin on miss. *)
+                (tags, valid, hit)))
+      in
+      let any_hit =
+        wire b "any_hit"
+          (List.fold_left (fun acc (_, _, h) -> acc |: h) (const b ~width:1 0) hits)
+      in
+      let miss = wire b "miss" (probe_en &: lnot any_hit) in
+      let victim = reg b "victim" (clog2 ways) in
+      set_when victim ~guard:miss (q victim +: const b ~width:(clog2 ways) 1);
+      List.iteri
+        (fun w (tags, valid, _) ->
+          let fill =
+            wire b (Printf.sprintf "fill%d" w)
+              (miss &: eq (q victim) (const b ~width:(clog2 ways) w))
+          in
+          write tags ~addr:set_idx ~data:tag ~en:fill;
+          write valid ~addr:set_idx ~data:(const b ~width:1 1) ~en:fill)
+        hits;
+      (* Per-set LRU-ish bits: registers, one per set, touched on access. *)
+      let touched = reg b "touched" sets in
+      let onehot =
+        wire b "onehot" (sll (resize (const b ~width:1 1) sets) (resize set_idx sets))
+      in
+      set_when touched ~guard:probe_en (q touched |: onehot);
+      let misses = reg b "misses" 32 in
+      set_when misses ~guard:miss (q misses +: const b ~width:32 1);
+      ignore (output b "misses_out" (q misses));
+      ignore feed)
+
+(* --- Circular reorder buffer ------------------------------------------- *)
+
+let add_rob b feed ~entries ~pcw =
+  let open Hcl in
+  in_scope b "rob" (fun () ->
+      let iw = clog2 entries in
+      let tail = reg b "tail" iw in
+      set_when tail ~guard:feed.running (q tail +: const b ~width:iw 1);
+      for k = 0 to entries - 1 do
+        in_scope b (Printf.sprintf "e%d" k) (fun () ->
+            let at_tail = wire b "at_tail" (feed.running &: eq (q tail) (const b ~width:iw k)) in
+            let e_pc = reg b "pc" pcw in
+            let e_op = reg b "op" 4 in
+            let e_rd = reg b "rd" 4 in
+            set_when e_pc ~guard:at_tail feed.pc;
+            set_when e_op ~guard:at_tail feed.op;
+            set_when e_rd ~guard:at_tail feed.rd)
+      done;
+      ignore (output b "tail_out" (q tail)))
+
+(* --- Register-file shadow banks (rename/checkpoint model) -------------- *)
+
+let add_regfile_banks b feed ~banks =
+  let open Hcl in
+  in_scope b "banks" (fun () ->
+      let wb =
+        wire b "wb"
+          (feed.running
+           &: (eq feed.op (const b ~width:4 0) |: eq feed.op (const b ~width:4 1)
+               |: eq feed.op (const b ~width:4 2)))
+      in
+      let datum = wire b "datum" (resize feed.instr 32) in
+      let bw = clog2 (max banks 2) in
+      let bank_sel = wire b "bank_sel" (bits feed.pc ~hi:(bw - 1) ~lo:0) in
+      for bank = 0 to banks - 1 do
+        in_scope b (Printf.sprintf "bank%d" bank) (fun () ->
+            let this_bank =
+              wire b "this_bank"
+                (wb &: eq bank_sel (const b ~width:bw (bank land ((1 lsl bw) - 1))))
+            in
+            for r = 1 to 15 do
+              let sh = reg b (Printf.sprintf "x%d" r) 32 in
+              let hit =
+                wire b (Printf.sprintf "hit%d" r)
+                  (this_bank &: eq feed.rd (const b ~width:4 r))
+              in
+              set_when sh ~guard:hit (q sh ^: datum)
+            done)
+      done)
+
+let build ?(config = Stu_core.default_config) scale =
+  let b = Hcl.create ~name:"synth_core" () in
+  let h = Stu_core.add_to b config in
+  let feed = make_feed b h in
+  let pcw = clog2 config.Stu_core.imem_depth in
+  for k = 0 to scale.alu_clusters - 1 do
+    add_cluster b feed ~index:k ~lanes:scale.lanes_per_cluster ~depth:scale.pipe_depth
+      ~lane_width:scale.lane_width
+  done;
+  add_branch_predictor b feed ~entries:scale.bpred_entries ~pcw;
+  add_cache b feed "icache" ~sets:scale.icache_sets ~ways:scale.icache_ways
+    ~probe_addr:(Hcl.resize feed.pc 20) ~probe_en:feed.running;
+  add_cache b feed "dcache" ~sets:scale.dcache_sets ~ways:scale.dcache_ways
+    ~probe_addr:(Hcl.resize feed.instr 20) ~probe_en:feed.is_mem;
+  add_rob b feed ~entries:scale.rob_entries ~pcw;
+  if scale.regfile_banks > 0 then add_regfile_banks b feed ~banks:scale.regfile_banks;
+  let circuit = Hcl.finalize b in
+  { Stu_core.circuit; h }

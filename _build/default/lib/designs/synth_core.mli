@@ -1,0 +1,37 @@
+(** Scaled synthetic processors (the Rocket/BOOM/XiangShan substitutes).
+
+    Each design embeds the runnable {!Stu_core} and surrounds it with the
+    structures that make large cores large: parallel execution clusters
+    with deep pipelines, branch-predictor and BTB tables, set-associative
+    instruction/data cache models, a circular reorder buffer, and
+    register-file shadow banks.  Every structure is driven by the core's
+    real instruction stream, so its activity follows the workload: an
+    integer loop leaves the multiply lanes and most cache sets idle, a
+    pointer-chase lights up the data cache, branches exercise the
+    predictor — reproducing why big cores have low activity factors.
+
+    The configurations are sized to reproduce the paper's Table I shape
+    (each design roughly an order of magnitude above the previous one),
+    not its absolute node counts. *)
+
+type scale = {
+  alu_clusters : int;
+  lanes_per_cluster : int;
+  pipe_depth : int;
+  lane_width : int;          (** datapath width of the cluster lanes *)
+  bpred_entries : int;
+  icache_sets : int;
+  icache_ways : int;
+  dcache_sets : int;
+  dcache_ways : int;
+  rob_entries : int;
+  regfile_banks : int;       (** shadow copies (rename/checkpoint model) *)
+}
+
+val rocket_like : scale
+val boom_like : scale
+val xiangshan_like : scale
+
+val build : ?config:Stu_core.config -> scale -> Stu_core.core
+(** The handles are the embedded core's handles: load programs and poll
+    halt exactly as with {!Stu_core.build}. *)

@@ -1,0 +1,1 @@
+lib/emit/emit.ml: Array Buffer Circuit Expr Format Gsim_bits Gsim_ir Gsim_partition Hashtbl Int64 List Printf String Sys

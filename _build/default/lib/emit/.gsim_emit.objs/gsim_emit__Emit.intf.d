@@ -1,0 +1,1 @@
+lib/emit/emit.mli: Circuit Gsim_ir Gsim_partition

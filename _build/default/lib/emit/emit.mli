@@ -1,0 +1,35 @@
+(** C++ code emission.
+
+    Mirrors the paper's backend: the optimized graph is emitted as a
+    self-contained C++ translation unit.  Values up to 64 bits are plain
+    [uint64_t]; wider signals use the [Wide<N>] limb template from the
+    embedded runtime preamble.  Three emission modes reproduce the
+    simulator families compared in Table IV:
+
+    - {!Full_cycle_mode} (Verilator/Arcilator shape): one [eval()] that
+      computes every node in topological order;
+    - {!Essent_mode}: per-partition functions guarded by active flags;
+    - {!Gsim_mode}: supernode functions with word-packed active bits and
+      slow-path reset handling.
+
+    The emitted source is an artifact (written by the CLI, measured by the
+    resource bench); this repository's engines execute the same graph via
+    closure compilation instead of a C++ toolchain. *)
+
+open Gsim_ir
+
+type mode = Full_cycle_mode | Essent_mode | Gsim_mode
+
+type result = {
+  source : string;
+  emission_seconds : float;
+  code_bytes : int;   (** bytes of generated code (the .text proxy) *)
+  data_bytes : int;   (** bytes of simulation state, memories excluded *)
+  mem_bytes : int;
+}
+
+val emit : ?mode:mode -> ?partition:Gsim_partition.Partition.t -> Circuit.t -> result
+(** [Essent_mode]/[Gsim_mode] require a partition (defaults to
+    {!Gsim_partition.Partition.gsim} with max size 32). *)
+
+val mode_of_string : string -> mode option

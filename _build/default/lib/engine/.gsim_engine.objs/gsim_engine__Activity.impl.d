@@ -1,0 +1,1 @@
+lib/engine/activity.ml: Array Bool Circuit Counters Gsim_bits Gsim_ir Gsim_partition Hashtbl List Partition Runtime Sim

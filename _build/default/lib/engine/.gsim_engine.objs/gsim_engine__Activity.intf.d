@@ -1,0 +1,1 @@
+lib/engine/activity.mli: Circuit Counters Gsim_bits Gsim_ir Gsim_partition Partition Runtime Sim

@@ -1,0 +1,1 @@
+lib/engine/checkpoint.ml: Array Buffer Circuit Counters Format Gsim_bits Gsim_ir Hashtbl List Printf Sim String

@@ -1,0 +1,1 @@
+lib/engine/full_cycle.ml: Array Circuit Counters Gsim_bits Gsim_ir Hashtbl List Runtime Sim

@@ -1,0 +1,1 @@
+lib/engine/full_cycle.mli: Circuit Counters Gsim_bits Gsim_ir Runtime Sim

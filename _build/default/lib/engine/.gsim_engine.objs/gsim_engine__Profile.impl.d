@@ -1,0 +1,1 @@
+lib/engine/profile.ml: Activity Array Circuit Counters Format Gsim_ir Gsim_partition List Partition

@@ -1,0 +1,1 @@
+lib/engine/profile.mli: Activity Circuit Format Gsim_ir Gsim_partition

@@ -1,0 +1,1 @@
+lib/engine/repcut.ml: Array Atomic Circuit Condition Counters Domain Gsim_bits Gsim_ir Hashtbl List Mutex Printf Runtime Sim

@@ -1,0 +1,1 @@
+lib/engine/repcut.mli: Circuit Counters Gsim_bits Gsim_ir Sim

@@ -1,0 +1,1 @@
+lib/engine/runtime.ml: Array Circuit Expr Gsim_bits Gsim_ir List Printf

@@ -1,0 +1,1 @@
+lib/engine/runtime.mli: Circuit Gsim_bits Gsim_ir

@@ -1,0 +1,1 @@
+lib/engine/sim.ml: Array Circuit Counters Gsim_bits Gsim_ir List Reference

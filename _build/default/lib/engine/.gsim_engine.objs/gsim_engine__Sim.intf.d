@@ -1,0 +1,1 @@
+lib/engine/sim.mli: Circuit Counters Gsim_bits Gsim_ir Reference

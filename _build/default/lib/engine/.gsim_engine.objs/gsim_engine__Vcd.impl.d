@@ -1,0 +1,1 @@
+lib/engine/vcd.ml: Array Buffer Char Circuit Gsim_bits Gsim_ir List Printf Sim String

@@ -1,0 +1,1 @@
+lib/engine/vcd.mli: Circuit Gsim_ir Sim

@@ -1,0 +1,58 @@
+(** Activity-driven engines (the essential-signal approach).
+
+    Supernodes carry active bits; a supernode is evaluated only when some
+    producer changed.  This module implements both the ESSENT baseline and
+    the GSIM engine — they differ in the partition supplied and in the
+    configuration:
+
+    - [packed_exam]: GSIM's fast path — active bits are packed 62 per word
+      and a whole word is examined with a single condition (paper §III-A,
+      Listing 4);
+    - [activation]: how a changed node sets its successors' active bits —
+      with a branch, branch-free logical operations (ESSENT's choice), or
+      per-node selection by the paper's cost model (§III-B).
+
+    Slow-path resets (registers whose [reset.slow_path] is set) are applied
+    once per reset signal at the end of each cycle. *)
+
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+open Gsim_partition
+
+type activation_strategy = Branch | Branchless | Cost_model
+
+type config = {
+  packed_exam : bool;
+  activation : activation_strategy;
+}
+
+val essent_config : config
+(** Unpacked examination, branch-free activation — ESSENT's published
+    design. *)
+
+val gsim_config : config
+(** Packed examination, cost-model activation. *)
+
+type t
+
+val create : ?config:config -> Circuit.t -> Partition.t -> t
+(** The partition must be valid for the circuit (see
+    {!Partition.validate}); all supernodes start active. *)
+
+val poke : t -> int -> Bits.t -> unit
+val peek : t -> int -> Bits.t
+val step : t -> unit
+val load_mem : t -> int -> Bits.t array -> unit
+val counters : t -> Counters.t
+val runtime : t -> Runtime.t
+val supernode_count : t -> int
+
+val supernode_hits : t -> int array
+(** How many times each supernode was evaluated since creation (profiling
+    input for {!Profile}). *)
+
+val invalidate_all : t -> unit
+(** Mark every supernode active and every register pending — used after a
+    checkpoint restore. *)
+
+val sim : ?name:string -> t -> Sim.t

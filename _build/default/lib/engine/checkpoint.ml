@@ -1,0 +1,173 @@
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+type t = {
+  ck_cycle : int;
+  inputs : (string * Bits.t) list;
+  registers : (string * Bits.t) list;
+  memories : (string * Bits.t array) list;
+}
+
+let cycle t = t.ck_cycle
+
+let capture (sim : Sim.t) =
+  let c = sim.Sim.circuit in
+  let inputs =
+    List.map
+      (fun (n : Circuit.node) -> (n.Circuit.name, sim.Sim.peek n.Circuit.id))
+      (Circuit.inputs c)
+  in
+  let registers =
+    List.map
+      (fun (r : Circuit.register) -> (r.Circuit.reg_name, sim.Sim.peek r.Circuit.read))
+      (Circuit.registers c)
+  in
+  let memories =
+    Array.to_list (Circuit.memories c)
+    |> List.mapi (fun mi (m : Circuit.memory) ->
+           (m.Circuit.mem_name, Array.init m.Circuit.depth (sim.Sim.read_mem mi)))
+  in
+  {
+    ck_cycle = (sim.Sim.counters ()).Counters.cycles;
+    inputs;
+    registers;
+    memories;
+  }
+
+let restore (sim : Sim.t) t =
+  let c = sim.Sim.circuit in
+  List.iter
+    (fun (name, v) ->
+      match Circuit.find_node c name with
+      | Some n -> sim.Sim.poke n.Circuit.id v
+      | None -> failwith (Printf.sprintf "Checkpoint.restore: no input %S" name))
+    t.inputs;
+  let reg_by_name = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Circuit.register) -> Hashtbl.replace reg_by_name r.Circuit.reg_name r)
+    (Circuit.registers c);
+  List.iter
+    (fun (name, v) ->
+      match Hashtbl.find_opt reg_by_name name with
+      | Some r -> sim.Sim.write_reg r.Circuit.read v
+      | None -> failwith (Printf.sprintf "Checkpoint.restore: no register %S" name))
+    t.registers;
+  let mems = Circuit.memories c in
+  List.iter
+    (fun (name, contents) ->
+      let found = ref false in
+      Array.iteri
+        (fun mi (m : Circuit.memory) ->
+          if m.Circuit.mem_name = name then begin
+            found := true;
+            sim.Sim.load_mem mi contents
+          end)
+        mems;
+      if not !found then failwith (Printf.sprintf "Checkpoint.restore: no memory %S" name))
+    t.memories;
+  sim.Sim.invalidate ()
+
+(* --- Text format -------------------------------------------------------
+   ckpt 1
+   cycle <n>
+   input <name> <width>'h<hex>
+   reg <name> <width>'h<hex>
+   mem <name> <depth> <width>
+   <hex> <hex> ...                (depth words, 16 per line)               *)
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "ckpt 1\n";
+  Buffer.add_string buf (Printf.sprintf "cycle %d\n" t.ck_cycle);
+  let value v = Format.asprintf "%a" Bits.pp v in
+  List.iter
+    (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "input %s %s\n" n (value v)))
+    t.inputs;
+  List.iter
+    (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "reg %s %s\n" n (value v)))
+    t.registers;
+  List.iter
+    (fun (n, contents) ->
+      let width = if Array.length contents = 0 then 1 else Bits.width contents.(0) in
+      Buffer.add_string buf
+        (Printf.sprintf "mem %s %d %d\n" n (Array.length contents) width);
+      Array.iteri
+        (fun i v ->
+          Buffer.add_string buf (Bits.to_hex_string v);
+          Buffer.add_char buf (if (i + 1) mod 16 = 0 then '\n' else ' '))
+        contents;
+      if Array.length contents mod 16 <> 0 then Buffer.add_char buf '\n')
+    t.memories;
+  Buffer.contents buf
+
+let of_string s =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let lines = String.split_on_char '\n' s in
+  let lines = List.filter (fun l -> String.trim l <> "") lines in
+  match lines with
+  | header :: rest when String.trim header = "ckpt 1" ->
+    let cycle = ref 0 in
+    let inputs = ref [] and registers = ref [] and memories = ref [] in
+    let rec go = function
+      | [] -> ()
+      | line :: rest -> (
+          match String.split_on_char ' ' (String.trim line) with
+          | [ "cycle"; n ] ->
+            cycle := int_of_string n;
+            go rest
+          | [ "input"; name; v ] ->
+            inputs := (name, Bits.of_string v) :: !inputs;
+            go rest
+          | [ "reg"; name; v ] ->
+            registers := (name, Bits.of_string v) :: !registers;
+            go rest
+          | [ "mem"; name; depth; width ] ->
+            let depth = int_of_string depth and width = int_of_string width in
+            let words = Array.make depth (Bits.zero width) in
+            let filled = ref 0 in
+            let rec take = function
+              | rest when !filled >= depth -> rest
+              | [] -> fail "checkpoint: memory %s truncated" name
+              | line :: rest ->
+                List.iter
+                  (fun tok ->
+                    if tok <> "" then begin
+                      if !filled >= depth then fail "checkpoint: memory %s overflows" name;
+                      words.(!filled) <- Bits.of_string (Printf.sprintf "%d'h%s" width tok);
+                      incr filled
+                    end)
+                  (String.split_on_char ' ' (String.trim line));
+                take rest
+            in
+            let rest = take rest in
+            memories := (name, words) :: !memories;
+            go rest
+          | _ -> fail "checkpoint: bad line %S" line)
+    in
+    go rest;
+    {
+      ck_cycle = !cycle;
+      inputs = List.rev !inputs;
+      registers = List.rev !registers;
+      memories = List.rev !memories;
+    }
+  | _ -> fail "checkpoint: missing header"
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  of_string s
+
+let equal a b =
+  a.inputs = b.inputs && a.registers = b.registers
+  && List.length a.memories = List.length b.memories
+  && List.for_all2
+       (fun (n1, c1) (n2, c2) -> n1 = n2 && Array.for_all2 Bits.equal c1 c2)
+       a.memories b.memories

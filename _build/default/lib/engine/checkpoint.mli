@@ -1,0 +1,39 @@
+(** Simulation checkpoints.
+
+    Captures architectural state — inputs, registers, memory contents —
+    from any simulator and restores it into any other, the
+    SimPoint-checkpoint workflow the paper uses for its SPEC evaluation
+    (run a fast simulator to the region of interest, snapshot, and resume
+    anywhere).  Checkpoints can also be saved to and loaded from a simple
+    self-describing text format.
+
+    Restoring leaves combinational values stale by design; the wrapped
+    engines re-derive them on the next [step] (activity engines are fully
+    invalidated).  Both circuits must be the same elaboration (node ids
+    are matched by register/input name, so differently-optimized variants
+    of one design interoperate as long as the state-holding nodes
+    survived). *)
+
+
+type t
+
+val capture : Sim.t -> t
+
+val restore : Sim.t -> t -> unit
+(** Raises [Failure] when a register or memory recorded in the checkpoint
+    has no same-named counterpart in the target. *)
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** Raises [Failure] on malformed input. *)
+
+val save : string -> t -> unit
+
+val load : string -> t
+
+val cycle : t -> int
+(** Cycle count recorded at capture time. *)
+
+val equal : t -> t -> bool
+(** Same architectural state (used by the determinism tests). *)

@@ -1,0 +1,25 @@
+(** Per-simulation event counters.
+
+    These are the observable quantities of the paper's overhead model
+    [T = ((E + A_succ) * af + A_exam) * N]: node evaluations (active
+    nodes), active-bit examinations, successor activations, and register
+    traffic. *)
+
+type t = {
+  mutable cycles : int;
+  mutable evals : int;         (** node evaluations performed ("active node") *)
+  mutable changed : int;       (** evaluations whose value changed *)
+  mutable exams : int;         (** active-bit examinations ([A_exam] events) *)
+  mutable activations : int;   (** successor activations ([A_succ] events) *)
+  mutable reg_commits : int;   (** registers actually latched with a new value *)
+  mutable reset_checks : int;  (** reset-signal examinations *)
+}
+
+val create : unit -> t
+
+val clear : t -> unit
+
+val activity_factor : t -> total_nodes:int -> float
+(** Mean fraction of evaluated nodes per cycle. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+type t = {
+  rt : Runtime.t;
+  evals : (unit -> bool) array;
+  write_commits : (unit -> bool) array;
+  reg_copies : (unit -> bool) array;
+  resets : ((unit -> bool) * (unit -> bool) array) array;
+      (** (signal test, per-register appliers), grouped by reset signal *)
+  counters : Counters.t;
+}
+
+(* Group slow-path resets by their signal so a design with one reset net
+   performs one check per cycle regardless of register count. *)
+let reset_groups c rt =
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Circuit.register) ->
+      match r.reset with
+      | Some rst when rst.Circuit.slow_path ->
+        let sig_id = rst.Circuit.reset_signal in
+        let existing = try Hashtbl.find groups sig_id with Not_found -> [] in
+        Hashtbl.replace groups sig_id (Runtime.reset_applier rt r :: existing)
+      | Some _ | None -> ())
+    (Circuit.registers c);
+  Hashtbl.fold
+    (fun sig_id appliers acc ->
+      (Runtime.signal_is_set rt sig_id, Array.of_list appliers) :: acc)
+    groups []
+  |> Array.of_list
+
+let create c =
+  let rt = Runtime.create c in
+  let order = Circuit.eval_order c in
+  let evals = Array.map (fun id -> Runtime.node_evaluator rt (Circuit.node c id)) order in
+  let write_commits =
+    Array.to_list (Circuit.memories c)
+    |> List.mapi (fun mi (m : Circuit.memory) ->
+           List.map (fun w -> Runtime.write_committer rt mi w) m.write_ports)
+    |> List.concat |> Array.of_list
+  in
+  let reg_copies =
+    Circuit.registers c |> List.map (Runtime.reg_copier rt) |> Array.of_list
+  in
+  { rt; evals; write_commits; reg_copies; resets = reset_groups c rt; counters = Counters.create () }
+
+let poke t id v = ignore (Runtime.poke t.rt id v)
+
+let peek t id = Runtime.peek t.rt id
+
+let step t =
+  let ctr = t.counters in
+  let evals = t.evals in
+  for i = 0 to Array.length evals - 1 do
+    if evals.(i) () then ctr.Counters.changed <- ctr.Counters.changed + 1
+  done;
+  ctr.Counters.evals <- ctr.Counters.evals + Array.length evals;
+  (* Memory writes first: they read register outputs of this cycle. *)
+  Array.iter (fun w -> ignore (w ())) t.write_commits;
+  for i = 0 to Array.length t.reg_copies - 1 do
+    if t.reg_copies.(i) () then ctr.Counters.reg_commits <- ctr.Counters.reg_commits + 1
+  done;
+  Array.iter
+    (fun (test, appliers) ->
+      ctr.Counters.reset_checks <- ctr.Counters.reset_checks + 1;
+      if test () then Array.iter (fun a -> ignore (a ())) appliers)
+    t.resets;
+  ctr.Counters.cycles <- ctr.Counters.cycles + 1
+
+let load_mem t mi contents = Runtime.load_mem t.rt mi contents
+
+let counters t = t.counters
+
+let runtime t = t.rt
+
+let sim t =
+  {
+    Sim.sim_name = "full-cycle";
+    circuit = Runtime.circuit t.rt;
+    poke = poke t;
+    peek = peek t;
+    step = (fun () -> step t);
+    load_mem = load_mem t;
+    read_mem = (fun mi addr -> Runtime.read_mem t.rt mi addr);
+    write_reg = (fun id v -> Runtime.poke_register t.rt id v);
+    invalidate = (fun () -> ());
+    counters = (fun () -> t.counters);
+  }

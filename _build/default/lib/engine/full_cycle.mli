@@ -1,0 +1,22 @@
+(** Full-cycle engine (Verilator's model).
+
+    Every expression-carrying node is evaluated every cycle in a fixed
+    topological order; registers then latch and memory writes commit.
+    No activity tracking: [A_exam] and [A_succ] are zero, the activity
+    factor is 1. *)
+
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+type t
+
+val create : Circuit.t -> t
+
+val poke : t -> int -> Bits.t -> unit
+val peek : t -> int -> Bits.t
+val step : t -> unit
+val load_mem : t -> int -> Bits.t array -> unit
+val counters : t -> Counters.t
+val runtime : t -> Runtime.t
+
+val sim : t -> Sim.t

@@ -1,0 +1,261 @@
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+(* Sense-reversing centralized barrier.  Latecomers spin briefly and then
+   block on a condition variable: pure spinning is catastrophic when the
+   host has fewer cores than domains (each wait would burn a scheduling
+   quantum). *)
+module Barrier = struct
+  type t = {
+    count : int Atomic.t;
+    sense : bool Atomic.t;
+    total : int;
+    lock : Mutex.t;
+    cond : Condition.t;
+  }
+
+  let create total =
+    {
+      count = Atomic.make 0;
+      sense = Atomic.make false;
+      total;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+    }
+
+  let spin_limit = 2000
+
+  (* Each participant keeps its own sense flag, flipped per phase. *)
+  let wait b local_sense =
+    if Atomic.fetch_and_add b.count 1 = b.total - 1 then begin
+      Atomic.set b.count 0;
+      Mutex.lock b.lock;
+      Atomic.set b.sense local_sense;
+      Condition.broadcast b.cond;
+      Mutex.unlock b.lock
+    end
+    else begin
+      let spins = ref 0 in
+      while Atomic.get b.sense <> local_sense && !spins < spin_limit do
+        incr spins;
+        Domain.cpu_relax ()
+      done;
+      if Atomic.get b.sense <> local_sense then begin
+        Mutex.lock b.lock;
+        while Atomic.get b.sense <> local_sense do
+          Condition.wait b.cond b.lock
+        done;
+        Mutex.unlock b.lock
+      end
+    end
+end
+
+type t = {
+  rt : Runtime.t;
+  threads : int;
+  (* slices.(level).(worker) = evaluator array *)
+  slices : (unit -> bool) array array array;
+  write_commits : (unit -> bool) array;
+  reg_copies : (unit -> bool) array;
+  resets : ((unit -> bool) * (unit -> bool) array) array;
+  counters : Counters.t;
+  total_evals : int;
+  barrier : Barrier.t;
+  stop : bool Atomic.t;
+  mutable workers : unit Domain.t list;
+  mutable destroyed : bool;
+  mutable coord_sense : bool;
+}
+
+(* Combinational level of each evaluated node: 1 + max level of evaluated
+   dependencies. *)
+let levels_of c =
+  let order = Circuit.eval_order c in
+  let level = Array.make (Circuit.max_id c) (-1) in
+  Array.iter
+    (fun id ->
+      let deps = Circuit.dependencies c id in
+      let l =
+        List.fold_left (fun acc d -> max acc (if level.(d) >= 0 then level.(d) else -1)) (-1) deps
+      in
+      level.(id) <- l + 1)
+    order;
+  let nlevels = Array.fold_left (fun acc l -> max acc (l + 1)) 0 level in
+  let buckets = Array.make (max nlevels 1) [] in
+  (* Reverse iteration keeps each bucket in topological order. *)
+  for i = Array.length order - 1 downto 0 do
+    let id = order.(i) in
+    buckets.(level.(id)) <- id :: buckets.(level.(id))
+  done;
+  buckets
+
+let split_slice arr threads w =
+  let n = Array.length arr in
+  let base = n / threads and extra = n mod threads in
+  let start = (w * base) + min w extra in
+  let len = base + if w < extra then 1 else 0 in
+  Array.sub arr start len
+
+let create ~threads c =
+  if threads < 1 then invalid_arg "Parallel.create: threads >= 1";
+  let rt = Runtime.create c in
+  let buckets = levels_of c in
+  let total_evals = Array.fold_left (fun acc b -> acc + List.length b) 0 buckets in
+  let slices =
+    Array.map
+      (fun bucket ->
+        let evals =
+          Array.of_list
+            (List.map (fun id -> Runtime.node_evaluator rt (Circuit.node c id)) bucket)
+        in
+        Array.init threads (fun w -> split_slice evals threads w))
+      buckets
+  in
+  let write_commits =
+    Array.to_list (Circuit.memories c)
+    |> List.mapi (fun mi (m : Circuit.memory) ->
+           List.map (fun w -> Runtime.write_committer rt mi w) m.write_ports)
+    |> List.concat |> Array.of_list
+  in
+  let reg_copies =
+    Circuit.registers c |> List.map (Runtime.reg_copier rt) |> Array.of_list
+  in
+  let resets =
+    let groups = Hashtbl.create 8 in
+    List.iter
+      (fun (r : Circuit.register) ->
+        match r.reset with
+        | Some rst when rst.Circuit.slow_path ->
+          let s = rst.Circuit.reset_signal in
+          Hashtbl.replace groups s
+            (Runtime.reset_applier rt r :: (try Hashtbl.find groups s with Not_found -> []))
+        | Some _ | None -> ())
+      (Circuit.registers c);
+    Hashtbl.fold
+      (fun s appliers acc -> (Runtime.signal_is_set rt s, Array.of_list appliers) :: acc)
+      groups []
+    |> Array.of_list
+  in
+  let t =
+    {
+      rt;
+      threads;
+      slices;
+      write_commits;
+      reg_copies;
+      resets;
+      counters = Counters.create ();
+      total_evals;
+      barrier = Barrier.create threads;
+      stop = Atomic.make false;
+      workers = [];
+      destroyed = false;
+      coord_sense = true;
+    }
+  in
+  if threads > 1 then begin
+    let worker w () =
+      let sense = ref true in
+      let next_sense () =
+        let s = !sense in
+        sense := not s;
+        Barrier.wait t.barrier s
+      in
+      let running = ref true in
+      while !running do
+        next_sense ();
+        (* cycle start *)
+        if Atomic.get t.stop then running := false
+        else begin
+          Array.iter
+            (fun level ->
+              let slice = level.(w) in
+              for i = 0 to Array.length slice - 1 do
+                ignore (slice.(i) ())
+              done;
+              next_sense ())
+            t.slices;
+          next_sense () (* wait for the coordinator's commit *)
+        end
+      done
+    in
+    t.workers <- List.init (threads - 1) (fun i -> Domain.spawn (worker (i + 1)))
+  end;
+  t
+
+(* The coordinator participates as worker 0 and performs the sequential
+   commit between the last barrier of the sweep and the cycle-start
+   barrier of the next cycle. *)
+let coordinator_wait t =
+  let s = t.coord_sense in
+  t.coord_sense <- not s;
+  Barrier.wait t.barrier s
+
+let step t =
+  let ctr = t.counters in
+  if t.threads = 1 then
+    Array.iter
+      (fun level ->
+        let slice = level.(0) in
+        for i = 0 to Array.length slice - 1 do
+          if slice.(i) () then ctr.Counters.changed <- ctr.Counters.changed + 1
+        done)
+      t.slices
+  else begin
+    let next_sense () = coordinator_wait t in
+    next_sense ();
+    (* release workers into the cycle *)
+    Array.iter
+      (fun level ->
+        let slice = level.(0) in
+        for i = 0 to Array.length slice - 1 do
+          ignore (slice.(i) ())
+        done;
+        next_sense ())
+      t.slices
+  end;
+  ctr.Counters.evals <- ctr.Counters.evals + t.total_evals;
+  Array.iter (fun w -> ignore (w ())) t.write_commits;
+  for i = 0 to Array.length t.reg_copies - 1 do
+    if t.reg_copies.(i) () then ctr.Counters.reg_commits <- ctr.Counters.reg_commits + 1
+  done;
+  Array.iter
+    (fun (test, appliers) ->
+      ctr.Counters.reset_checks <- ctr.Counters.reset_checks + 1;
+      if test () then Array.iter (fun a -> ignore (a ())) appliers)
+    t.resets;
+  ctr.Counters.cycles <- ctr.Counters.cycles + 1;
+  if t.threads > 1 then
+    (* Let workers loop back to the cycle-start barrier. *)
+    coordinator_wait t
+
+let destroy t =
+  if not t.destroyed then begin
+    t.destroyed <- true;
+    if t.threads > 1 then begin
+      Atomic.set t.stop true;
+      coordinator_wait t;
+      List.iter Domain.join t.workers;
+      t.workers <- []
+    end
+  end
+
+let poke t id v = ignore (Runtime.poke t.rt id v)
+let peek t id = Runtime.peek t.rt id
+let load_mem t mi contents = Runtime.load_mem t.rt mi contents
+let counters t = t.counters
+let level_count t = Array.length t.slices
+
+let sim t =
+  {
+    Sim.sim_name = Printf.sprintf "full-cycle-%dT" t.threads;
+    circuit = Runtime.circuit t.rt;
+    poke = poke t;
+    peek = peek t;
+    step = (fun () -> step t);
+    load_mem = load_mem t;
+    read_mem = (fun mi addr -> Runtime.read_mem t.rt mi addr);
+    write_reg = (fun id v -> Runtime.poke_register t.rt id v);
+    invalidate = (fun () -> ());
+    counters = (fun () -> t.counters);
+  }

@@ -1,0 +1,28 @@
+(** Multi-threaded full-cycle engine (Verilator [--threads] model).
+
+    Evaluated nodes are grouped by combinational level; each level is split
+    across worker domains and separated from the next by a barrier, the
+    level-synchronous schedule Verilator's mtask partitioner approximates.
+    Registers and memories commit sequentially on the coordinating domain.
+
+    Worker domains persist across cycles; call {!destroy} (idempotent) when
+    done, otherwise the domains are joined at exit of the process. *)
+
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+type t
+
+val create : threads:int -> Circuit.t -> t
+(** [threads >= 1]; one means no worker domains (sequential). *)
+
+val poke : t -> int -> Bits.t -> unit
+val peek : t -> int -> Bits.t
+val step : t -> unit
+val load_mem : t -> int -> Bits.t array -> unit
+val counters : t -> Counters.t
+val destroy : t -> unit
+val level_count : t -> int
+
+val sim : t -> Sim.t
+(** The wrapper's [step] drives all domains. *)

@@ -1,0 +1,57 @@
+open Gsim_ir
+open Gsim_partition
+
+type entry = {
+  supernode : int;
+  hits : int;
+  share : float;
+  size : int;
+  representative : string;
+}
+
+type report = {
+  cycles : int;
+  total_evals : int;
+  entries : entry list;
+  idle_supernodes : int;
+}
+
+let analyze ?(top = 20) c (part : Partition.t) engine =
+  let hits = Activity.supernode_hits engine in
+  let work = Array.mapi (fun k h -> (h * Array.length part.Partition.supernodes.(k), k)) hits in
+  let total_work = Array.fold_left (fun acc (w, _) -> acc + w) 0 work in
+  Array.sort (fun a b -> compare (fst b) (fst a)) work;
+  let entries =
+    Array.to_list (Array.sub work 0 (min top (Array.length work)))
+    |> List.filter (fun (w, _) -> w > 0)
+    |> List.map (fun (w, k) ->
+           let members = part.Partition.supernodes.(k) in
+           {
+             supernode = k;
+             hits = hits.(k);
+             share = (if total_work = 0 then 0. else float_of_int w /. float_of_int total_work);
+             size = Array.length members;
+             representative =
+               (if Array.length members = 0 then "<empty>"
+                else (Circuit.node c members.(0)).Circuit.name);
+           })
+  in
+  let idle = Array.fold_left (fun acc h -> if h = 0 then acc + 1 else acc) 0 hits in
+  {
+    cycles = (Activity.counters engine).Counters.cycles;
+    total_evals = (Activity.counters engine).Counters.evals;
+    entries;
+    idle_supernodes = idle;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt "activity profile over %d cycles (%d node evaluations)@." r.cycles
+    r.total_evals;
+  Format.fprintf fmt "idle supernodes: %d@." r.idle_supernodes;
+  Format.fprintf fmt "%-6s %10s %8s %6s  %s@." "super" "evals" "share" "size"
+    "representative member";
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "%-6d %10d %7.2f%% %6d  %s@." e.supernode e.hits (100. *. e.share)
+        e.size e.representative)
+    r.entries

@@ -1,0 +1,28 @@
+(** Activity profiling.
+
+    Turns an activity engine's per-supernode evaluation counts into a
+    hot-spot report: which parts of the design burn the simulation time,
+    named by their member nodes — the "where does my activity factor come
+    from" question.  One of the debugging affordances software simulation
+    is used for. *)
+
+open Gsim_ir
+
+type entry = {
+  supernode : int;
+  hits : int;              (** evaluations of this supernode *)
+  share : float;           (** fraction of all evaluation work *)
+  size : int;              (** member count *)
+  representative : string; (** name of the first member node *)
+}
+
+type report = {
+  cycles : int;
+  total_evals : int;
+  entries : entry list;    (** hottest first *)
+  idle_supernodes : int;   (** never evaluated after warmup *)
+}
+
+val analyze : ?top:int -> Circuit.t -> Gsim_partition.Partition.t -> Activity.t -> report
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,37 @@
+(** Replication-aided parallel simulation (RepCut's approach, the paper's
+    "future work" direction).
+
+    The circuit's sinks — register next-values, memory-port operands,
+    outputs — are split into [threads] balanced groups; each worker domain
+    evaluates the full combinational fan-in cone of its group every cycle,
+    *replicating* nodes shared between cones instead of synchronizing on
+    them.  One barrier ends evaluation (replicated writes store identical
+    values, so the shared arena stays consistent), then the coordinator
+    commits registers and memories sequentially.
+
+    The cost of removing mid-cycle synchronization is redundant work,
+    quantified by {!replication_factor} (RepCut reports the same metric).
+    Workers block between cycles, so correctness holds on any host; actual
+    speedups need as many cores as domains. *)
+
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+type t
+
+val create : threads:int -> Circuit.t -> t
+
+val replication_factor : t -> float
+(** (sum of per-thread cone sizes) / (evaluated nodes); 1.0 means no
+    overlap. *)
+
+val cone_sizes : t -> int array
+
+val poke : t -> int -> Bits.t -> unit
+val peek : t -> int -> Bits.t
+val step : t -> unit
+val load_mem : t -> int -> Bits.t array -> unit
+val counters : t -> Counters.t
+val destroy : t -> unit
+
+val sim : t -> Sim.t

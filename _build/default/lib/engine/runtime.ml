@@ -1,0 +1,443 @@
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+type t = {
+  c : Circuit.t;
+  narrow : int array;
+  wide : Bits.t array;
+  is_wide : bool array;
+  mem_narrow : int array array;
+  mem_wide : Bits.t array array;
+  mem_is_wide : bool array;
+}
+
+let circuit t = t.c
+
+let wide_node w = w > 62
+
+let create c =
+  let n = Circuit.max_id c in
+  let narrow = Array.make n 0 in
+  let wide = Array.make n (Bits.zero 1) in
+  let is_wide = Array.make n false in
+  Circuit.iter_nodes c (fun nd ->
+      if wide_node nd.Circuit.width then begin
+        is_wide.(nd.Circuit.id) <- true;
+        wide.(nd.Circuit.id) <- Bits.zero nd.Circuit.width
+      end);
+  let mems = Circuit.memories c in
+  let mem_is_wide = Array.map (fun m -> wide_node m.Circuit.mem_width) mems in
+  let mem_narrow =
+    Array.map
+      (fun (m : Circuit.memory) ->
+        if wide_node m.mem_width then [||] else Array.make m.depth 0)
+      mems
+  in
+  let mem_wide =
+    Array.map
+      (fun (m : Circuit.memory) ->
+        if wide_node m.mem_width then Array.make m.depth (Bits.zero m.mem_width) else [||])
+      mems
+  in
+  let t = { c; narrow; wide; is_wide; mem_narrow; mem_wide; mem_is_wide } in
+  List.iter
+    (fun (r : Circuit.register) ->
+      if is_wide.(r.read) then wide.(r.read) <- r.init
+      else narrow.(r.read) <- Bits.to_packed r.init)
+    (Circuit.registers c);
+  t
+
+let node_width t id = (Circuit.node t.c id).Circuit.width
+
+let peek t id =
+  if t.is_wide.(id) then t.wide.(id)
+  else Bits.unsafe_of_packed ~width:(node_width t id) t.narrow.(id)
+
+let poke t id v =
+  let nd = Circuit.node t.c id in
+  (match nd.Circuit.kind with
+   | Circuit.Input -> ()
+   | _ -> invalid_arg (Printf.sprintf "Runtime.poke: %S is not an input" nd.Circuit.name));
+  if Bits.width v <> nd.Circuit.width then
+    invalid_arg (Printf.sprintf "Runtime.poke: width mismatch on %S" nd.Circuit.name);
+  if t.is_wide.(id) then begin
+    let changed = not (Bits.equal t.wide.(id) v) in
+    t.wide.(id) <- v;
+    changed
+  end
+  else begin
+    let packed = Bits.to_packed v in
+    let changed = t.narrow.(id) <> packed in
+    t.narrow.(id) <- packed;
+    changed
+  end
+
+let load_mem t mi contents =
+  let m = Circuit.memory t.c mi in
+  if Array.length contents > m.Circuit.depth then invalid_arg "Runtime.load_mem: too long";
+  Array.iteri
+    (fun i v ->
+      if Bits.width v <> m.Circuit.mem_width then invalid_arg "Runtime.load_mem: width";
+      if t.mem_is_wide.(mi) then t.mem_wide.(mi).(i) <- v
+      else t.mem_narrow.(mi).(i) <- Bits.to_packed v)
+    contents
+
+let read_mem t mi addr =
+  let m = Circuit.memory t.c mi in
+  if addr < 0 || addr >= m.Circuit.depth then invalid_arg "Runtime.read_mem";
+  if t.mem_is_wide.(mi) then t.mem_wide.(mi).(addr)
+  else Bits.unsafe_of_packed ~width:m.Circuit.mem_width t.mem_narrow.(mi).(addr)
+
+let poke_register t id v =
+  let nd = Circuit.node t.c id in
+  (match nd.Circuit.kind with
+   | Circuit.Reg_read _ -> ()
+   | _ -> invalid_arg "Runtime.poke_register: not a register read node");
+  if Bits.width v <> nd.Circuit.width then invalid_arg "Runtime.poke_register: width";
+  if t.is_wide.(id) then t.wide.(id) <- v else t.narrow.(id) <- Bits.to_packed v
+
+let data_size_bytes t =
+  Circuit.fold_nodes t.c ~init:0 ~f:(fun acc nd ->
+      let w = nd.Circuit.width in
+      acc + (if wide_node w then 8 * ((w + 30) / 31) else 8))
+
+let mem_size_bytes t =
+  Array.fold_left
+    (fun acc (m : Circuit.memory) ->
+      let per_word =
+        if wide_node m.mem_width then 8 * ((m.mem_width + 30) / 31) else 8
+      in
+      acc + (per_word * m.depth))
+    0 (Circuit.memories t.c)
+
+(* ------------------------------------------------------------------ *)
+(* Native-int operations on packed values                              *)
+(* ------------------------------------------------------------------ *)
+
+(* mask w for 1 <= w <= 62; (1 lsl 62) - 1 wraps to max_int, which is the
+   correct 62-bit mask. *)
+let mask w = (1 lsl w) - 1
+
+let sext w x = (x lsl (63 - w)) asr (63 - w)
+
+let popcount_int x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilation                                              *)
+(* ------------------------------------------------------------------ *)
+
+type compiled = I of (unit -> int) | B of (unit -> Bits.t)
+
+let as_bits ~width = function
+  | B f -> f
+  | I f -> fun () -> Bits.unsafe_of_packed ~width (f ())
+
+let compile_unop op ~w_in f =
+  match op with
+  | Expr.Not -> fun () -> lnot (f ()) land mask w_in
+  | Expr.Neg -> fun () -> (0 - f ()) land mask (w_in + 1)
+  | Expr.Reduce_and ->
+    let m = mask w_in in
+    fun () -> if f () = m then 1 else 0
+  | Expr.Reduce_or -> fun () -> if f () <> 0 then 1 else 0
+  | Expr.Reduce_xor -> fun () -> popcount_int (f ()) land 1
+  | Expr.Shl_const n -> fun () -> f () lsl n
+  | Expr.Shr_const n -> fun () -> f () lsr n
+  | Expr.Extract (hi, lo) ->
+    let m = mask (hi - lo + 1) in
+    fun () -> (f () lsr lo) land m
+  | Expr.Pad_unsigned n ->
+    if n >= w_in then f
+    else
+      let m = mask n in
+      fun () -> f () land m
+  | Expr.Pad_signed n ->
+    if n >= w_in then
+      let m = mask n in
+      fun () -> sext w_in (f ()) land m
+    else
+      let m = mask n in
+      fun () -> f () land m
+
+let compile_binop op ~w1 ~w2 ~wr fa fb =
+  match op with
+  | Expr.Add -> fun () -> (fa () + fb ()) land mask wr
+  | Expr.Sub -> fun () -> (fa () - fb ()) land mask wr
+  | Expr.Mul -> fun () -> fa () * fb ()
+  | Expr.Div ->
+    fun () ->
+      let b = fb () in
+      if b = 0 then 0 else fa () / b
+  | Expr.Div_signed ->
+    let m = mask wr in
+    fun () ->
+      let b = sext w2 (fb ()) in
+      if b = 0 then 0 else sext w1 (fa ()) / b land m
+  | Expr.Rem ->
+    let m = mask wr in
+    fun () ->
+      let b = fb () in
+      if b = 0 then fa () land m else fa () mod b land m
+  | Expr.Rem_signed ->
+    let m = mask wr in
+    fun () ->
+      let b = sext w2 (fb ()) in
+      if b = 0 then sext w1 (fa ()) land m else sext w1 (fa ()) mod b land m
+  | Expr.And -> fun () -> fa () land fb ()
+  | Expr.Or -> fun () -> fa () lor fb ()
+  | Expr.Xor -> fun () -> fa () lxor fb ()
+  | Expr.Cat -> fun () -> (fa () lsl w2) lor fb ()
+  | Expr.Eq -> fun () -> if fa () = fb () then 1 else 0
+  | Expr.Neq -> fun () -> if fa () <> fb () then 1 else 0
+  | Expr.Lt -> fun () -> if fa () < fb () then 1 else 0
+  | Expr.Leq -> fun () -> if fa () <= fb () then 1 else 0
+  | Expr.Gt -> fun () -> if fa () > fb () then 1 else 0
+  | Expr.Geq -> fun () -> if fa () >= fb () then 1 else 0
+  | Expr.Lt_signed -> fun () -> if sext w1 (fa ()) < sext w2 (fb ()) then 1 else 0
+  | Expr.Leq_signed -> fun () -> if sext w1 (fa ()) <= sext w2 (fb ()) then 1 else 0
+  | Expr.Gt_signed -> fun () -> if sext w1 (fa ()) > sext w2 (fb ()) then 1 else 0
+  | Expr.Geq_signed -> fun () -> if sext w1 (fa ()) >= sext w2 (fb ()) then 1 else 0
+  | Expr.Dshl ->
+    let m = mask w1 in
+    fun () ->
+      let b = fb () in
+      if b >= w1 then 0 else (fa () lsl b) land m
+  | Expr.Dshr ->
+    fun () ->
+      let b = fb () in
+      if b >= w1 then 0 else fa () lsr b
+  | Expr.Dshr_signed ->
+    let m = mask w1 in
+    fun () ->
+      let b = fb () in
+      if b >= w1 then (if fa () lsr (w1 - 1) = 1 then m else 0)
+      else sext w1 (fa ()) asr b land m
+
+let rec compile t (e : Expr.t) : compiled =
+  let w = Expr.width e in
+  match e.Expr.desc with
+  | Expr.Const b ->
+    if Bits.fits_int w then
+      let v = Bits.to_packed b in
+      I (fun () -> v)
+    else B (fun () -> b)
+  | Expr.Var id ->
+    if t.is_wide.(id) then
+      let wide = t.wide in
+      B (fun () -> wide.(id))
+    else
+      let narrow = t.narrow in
+      I (fun () -> narrow.(id))
+  | Expr.Unop (op, a) ->
+    let ca = compile t a in
+    (match ca with
+     | I fa when Bits.fits_int w -> I (compile_unop op ~w_in:(Expr.width a) fa)
+     | I _ | B _ ->
+       let fa = as_bits ~width:(Expr.width a) ca in
+       let g () = Expr.eval_unop op (fa ()) in
+       if Bits.fits_int w then I (fun () -> Bits.to_packed (g ())) else B g)
+  | Expr.Binop (op, a, b) ->
+    let ca = compile t a and cb = compile t b in
+    (match (ca, cb) with
+     | I fa, I fb when Bits.fits_int w ->
+       I (compile_binop op ~w1:(Expr.width a) ~w2:(Expr.width b) ~wr:w fa fb)
+     | (I _ | B _), (I _ | B _) ->
+       let fa = as_bits ~width:(Expr.width a) ca
+       and fb = as_bits ~width:(Expr.width b) cb in
+       let g () = Expr.eval_binop op (fa ()) (fb ()) in
+       if Bits.fits_int w then I (fun () -> Bits.to_packed (g ())) else B g)
+  | Expr.Mux (s, a, b) ->
+    let test =
+      match compile t s with
+      | I fs -> fun () -> fs () <> 0
+      | B fs -> fun () -> not (Bits.is_zero (fs ()))
+    in
+    let ca = compile t a and cb = compile t b in
+    (match (ca, cb) with
+     | I fa, I fb -> I (fun () -> if test () then fa () else fb ())
+     | (I _ | B _), (I _ | B _) ->
+       let fa = as_bits ~width:w ca and fb = as_bits ~width:w cb in
+       B (fun () -> if test () then fa () else fb ()))
+
+(* ------------------------------------------------------------------ *)
+(* Node evaluators                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let store_and_compare t id = function
+  | I f ->
+    let narrow = t.narrow in
+    fun () ->
+      let v = f () in
+      if v = narrow.(id) then false
+      else begin
+        narrow.(id) <- v;
+        true
+      end
+  | B f ->
+    let wide = t.wide in
+    fun () ->
+      let v = f () in
+      if Bits.equal v wide.(id) then false
+      else begin
+        wide.(id) <- v;
+        true
+      end
+
+(* Reader of a node's value as a clamped nonnegative int (addresses). *)
+let int_reader t id =
+  if t.is_wide.(id) then fun () -> Bits.to_int_trunc t.wide.(id)
+  else fun () -> t.narrow.(id)
+
+let node_evaluator t (nd : Circuit.node) =
+  let id = nd.Circuit.id in
+  match nd.Circuit.kind with
+  | Circuit.Logic | Circuit.Reg_next _ ->
+    (match nd.Circuit.expr with
+     | Some e -> store_and_compare t id (compile t e)
+     | None -> invalid_arg "Runtime.node_evaluator: missing expression")
+  | Circuit.Mem_read pi ->
+    let p = Circuit.read_port t.c pi in
+    let mi = p.Circuit.r_mem in
+    let m = Circuit.memory t.c mi in
+    let depth = m.Circuit.depth in
+    let addr = int_reader t p.Circuit.r_addr in
+    let enabled =
+      match p.Circuit.r_en with
+      | None -> fun () -> true
+      | Some en ->
+        if t.is_wide.(en) then fun () -> not (Bits.is_zero t.wide.(en))
+        else
+          let narrow = t.narrow in
+          fun () -> narrow.(en) <> 0
+    in
+    if t.mem_is_wide.(mi) then begin
+      let contents = t.mem_wide.(mi) in
+      let zero = Bits.zero m.Circuit.mem_width in
+      let wide = t.wide in
+      fun () ->
+        let a = addr () in
+        let v = if enabled () && a < depth then contents.(a) else zero in
+        if Bits.equal v wide.(id) then false
+        else begin
+          wide.(id) <- v;
+          true
+        end
+    end
+    else begin
+      let contents = t.mem_narrow.(mi) in
+      let narrow = t.narrow in
+      fun () ->
+        let a = addr () in
+        let v = if enabled () && a < depth then contents.(a) else 0 in
+        if v = narrow.(id) then false
+        else begin
+          narrow.(id) <- v;
+          true
+        end
+    end
+  | Circuit.Input | Circuit.Reg_read _ ->
+    invalid_arg "Runtime.node_evaluator: node is not evaluated"
+
+let reg_copier t (r : Circuit.register) =
+  if t.is_wide.(r.read) then begin
+    let wide = t.wide in
+    fun () ->
+      let v = wide.(r.next) in
+      if Bits.equal v wide.(r.read) then false
+      else begin
+        wide.(r.read) <- v;
+        true
+      end
+  end
+  else begin
+    let narrow = t.narrow in
+    let next = r.next and read = r.read in
+    fun () ->
+      let v = narrow.(next) in
+      if v = narrow.(read) then false
+      else begin
+        narrow.(read) <- v;
+        true
+      end
+  end
+
+let reset_applier t (r : Circuit.register) =
+  match r.reset with
+  | None -> invalid_arg "Runtime.reset_applier: register has no reset"
+  | Some rst ->
+    if t.is_wide.(r.read) then begin
+      let wide = t.wide in
+      let v = rst.Circuit.reset_value in
+      fun () ->
+        if Bits.equal v wide.(r.read) then false
+        else begin
+          wide.(r.read) <- v;
+          true
+        end
+    end
+    else begin
+      let narrow = t.narrow in
+      let v = Bits.to_packed rst.Circuit.reset_value in
+      let read = r.read in
+      fun () ->
+        if v = narrow.(read) then false
+        else begin
+          narrow.(read) <- v;
+          true
+        end
+    end
+
+let signal_is_set t id =
+  if t.is_wide.(id) then fun () -> not (Bits.is_zero t.wide.(id))
+  else
+    let narrow = t.narrow in
+    fun () -> narrow.(id) <> 0
+
+let write_committer t mi (w : Circuit.write_port) =
+  let m = Circuit.memory t.c mi in
+  let depth = m.Circuit.depth in
+  let addr = int_reader t w.Circuit.w_addr in
+  let enabled = signal_is_set t w.Circuit.w_en in
+  if t.mem_is_wide.(mi) then begin
+    let contents = t.mem_wide.(mi) in
+    let wide = t.wide in
+    let data = w.Circuit.w_data in
+    let read_data =
+      if t.is_wide.(data) then fun () -> wide.(data)
+      else fun () -> Bits.unsafe_of_packed ~width:m.Circuit.mem_width t.narrow.(data)
+    in
+    fun () ->
+      if enabled () then begin
+        let a = addr () in
+        if a < depth then begin
+          let v = read_data () in
+          if Bits.equal contents.(a) v then false
+          else begin
+            contents.(a) <- v;
+            true
+          end
+        end
+        else false
+      end
+      else false
+  end
+  else begin
+    let contents = t.mem_narrow.(mi) in
+    let data = int_reader t w.Circuit.w_data in
+    fun () ->
+      if enabled () then begin
+        let a = addr () in
+        if a < depth then begin
+          let v = data () in
+          if contents.(a) = v then false
+          else begin
+            contents.(a) <- v;
+            true
+          end
+        end
+        else false
+      end
+      else false
+  end

@@ -1,0 +1,58 @@
+(** Shared engine runtime: value arenas and closure compilation.
+
+    The "compiled simulation" backend.  Signals of width <= 62 bits live in
+    a flat int arena and are evaluated by specialized native-int closures;
+    wider signals live in a boxed {!Gsim_bits.Bits} arena.  Each node's
+    expression is compiled once into a closure that evaluates it, stores
+    the result and reports whether the value changed — the unit of work the
+    engines schedule. *)
+
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+type t
+
+val create : Circuit.t -> t
+
+val circuit : t -> Circuit.t
+
+(** {1 Values} *)
+
+val poke : t -> int -> Bits.t -> bool
+(** Set an input; returns [true] when the stored value changed. *)
+
+val peek : t -> int -> Bits.t
+
+val load_mem : t -> int -> Bits.t array -> unit
+
+val read_mem : t -> int -> int -> Bits.t
+
+val poke_register : t -> int -> Bits.t -> unit
+(** Overwrite a register's current value (by read-node id); checkpoint
+    restore. *)
+
+val data_size_bytes : t -> int
+(** Bytes of mutable simulation state excluding memory contents (the
+    paper's Table IV "data size" convention, which also excludes the main
+    memory array). *)
+
+val mem_size_bytes : t -> int
+
+(** {1 Compiled evaluation} *)
+
+val node_evaluator : t -> Circuit.node -> (unit -> bool)
+(** Evaluate the node's expression (or memory read), store the value,
+    report change.  Only for expression-carrying and [Mem_read] nodes. *)
+
+val reg_copier : t -> Circuit.register -> (unit -> bool)
+(** Latch: read-slot := next-slot; reports change. *)
+
+val reset_applier : t -> Circuit.register -> (unit -> bool)
+(** Slow-path reset: read-slot := reset value; reports change. *)
+
+val signal_is_set : t -> int -> (unit -> bool)
+(** Nonzero test of a node's current value (used for reset signals). *)
+
+val write_committer : t -> int -> Circuit.write_port -> (unit -> bool)
+(** [write_committer t mem port] commits the port if enabled; reports
+    whether the memory contents changed. *)

@@ -1,0 +1,56 @@
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+type t = {
+  sim_name : string;
+  circuit : Circuit.t;
+  poke : int -> Bits.t -> unit;
+  peek : int -> Bits.t;
+  step : unit -> unit;
+  load_mem : int -> Bits.t array -> unit;
+  read_mem : int -> int -> Bits.t;
+  write_reg : int -> Bits.t -> unit;
+  invalidate : unit -> unit;
+  counters : unit -> Counters.t;
+}
+
+let run t n =
+  for _ = 1 to n do
+    t.step ()
+  done
+
+let peek_int t id = Bits.to_int_trunc (t.peek id)
+
+let poke_int t id v =
+  let w = (Circuit.node t.circuit id).Circuit.width in
+  t.poke id (Bits.of_int ~width:w v)
+
+let of_reference r =
+  let counters = Counters.create () in
+  {
+    sim_name = "reference";
+    circuit = Reference.circuit r;
+    poke = Reference.poke r;
+    peek = Reference.peek r;
+    step =
+      (fun () ->
+        Reference.step r;
+        counters.Counters.cycles <- counters.Counters.cycles + 1);
+    load_mem = Reference.load_mem r;
+    read_mem = Reference.read_mem r;
+    write_reg = Reference.force_register r;
+    invalidate = (fun () -> ());
+    counters = (fun () -> counters);
+  }
+
+let trace t ~observe ~stimulus =
+  Array.map
+    (fun pokes ->
+      List.iter (fun (id, v) -> t.poke id v) pokes;
+      t.step ();
+      List.map t.peek observe)
+    stimulus
+
+let equal_traces a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun xs ys -> List.equal Bits.equal xs ys) a b

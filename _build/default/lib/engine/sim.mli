@@ -1,0 +1,45 @@
+(** Engine-independent simulator handle.
+
+    Every engine wraps itself in this record so that testbenches, example
+    programs and the benchmark harness can drive any simulator — including
+    the {!Gsim_ir.Reference} interpreter — through one interface. *)
+
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+type t = {
+  sim_name : string;
+  circuit : Circuit.t;
+  poke : int -> Bits.t -> unit;
+  peek : int -> Bits.t;
+  step : unit -> unit;
+  load_mem : int -> Bits.t array -> unit;
+  read_mem : int -> int -> Bits.t;
+  write_reg : int -> Bits.t -> unit;
+      (** Force a register's current value (by read-node id) — checkpoint
+          restore; follow with {!field-invalidate} on activity engines. *)
+  invalidate : unit -> unit;
+      (** Mark all state suspect: activity engines re-evaluate everything
+          on the next step.  No-op for full-cycle engines. *)
+  counters : unit -> Counters.t;
+}
+
+val run : t -> int -> unit
+(** [run t n] steps [n] cycles. *)
+
+val peek_int : t -> int -> int
+(** Low 62 bits of a node's value as an int. *)
+
+val poke_int : t -> int -> int -> unit
+(** Poke an input by int; the value is truncated to the node's width. *)
+
+val of_reference : Reference.t -> t
+(** Wrap the reference interpreter. *)
+
+val trace :
+  t -> observe:int list -> stimulus:(int * Bits.t) list array -> Bits.t list array
+(** [trace t ~observe ~stimulus] applies [stimulus.(i)] before cycle [i],
+    steps, and records the values of [observe] after each cycle.  Used to
+    compare engines for bit-identical behaviour. *)
+
+val equal_traces : Bits.t list array -> Bits.t list array -> bool

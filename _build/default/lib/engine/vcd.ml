@@ -1,0 +1,148 @@
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+type signal = {
+  node : int;
+  ident : string;       (* VCD short identifier *)
+  width : int;
+  mutable last : Bits.t option;
+}
+
+type t = {
+  out : string -> unit;
+  sim : Sim.t;
+  signals : signal array;
+  mutable time : int;
+  mutable header_done : bool;
+}
+
+(* VCD identifiers: printable ASCII 33..126, shortest-first. *)
+let ident_of_index i =
+  let base = 94 and first = 33 in
+  let rec go i acc =
+    let c = Char.chr (first + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let default_observed c =
+  Circuit.fold_nodes c ~init:[] ~f:(fun acc n ->
+      match n.Circuit.kind with
+      | Circuit.Input | Circuit.Reg_read _ -> n.Circuit.id :: acc
+      | Circuit.Logic | Circuit.Reg_next _ | Circuit.Mem_read _ ->
+        if n.Circuit.is_output then n.Circuit.id :: acc else acc)
+  |> List.rev
+
+(* Scope tree from dotted names. *)
+type scope = { mutable children : (string * scope) list; mutable wires : (string * signal) list }
+
+let new_scope () = { children = []; wires = [] }
+
+let rec insert scope path signal =
+  match path with
+  | [] -> assert false
+  | [ leaf ] -> scope.wires <- (leaf, signal) :: scope.wires
+  | hd :: rest ->
+    let child =
+      match List.assoc_opt hd scope.children with
+      | Some s -> s
+      | None ->
+        let s = new_scope () in
+        scope.children <- (hd, s) :: scope.children;
+        s
+    in
+    insert child rest signal
+
+let write_header t ~date circuit =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "$date\n  %s\n$end\n" date);
+  Buffer.add_string buf "$version\n  gsim VCD dumper\n$end\n$timescale\n  1ns\n$end\n";
+  let root = new_scope () in
+  Array.iter
+    (fun s ->
+      let name = (Circuit.node circuit s.node).Circuit.name in
+      let path = String.split_on_char '.' name in
+      let path = List.concat_map (String.split_on_char '$') path in
+      let path = List.filter (fun p -> p <> "") path in
+      let path = if path = [] then [ Printf.sprintf "n%d" s.node ] else path in
+      insert root path s)
+    t.signals;
+  let rec emit_scope name scope =
+    if name <> "" then Buffer.add_string buf (Printf.sprintf "$scope module %s $end\n" name);
+    List.iter
+      (fun (wname, s) ->
+        Buffer.add_string buf
+          (Printf.sprintf "$var wire %d %s %s $end\n" s.width s.ident wname))
+      (List.rev scope.wires);
+    List.iter (fun (cname, child) -> emit_scope cname child) (List.rev scope.children);
+    if name <> "" then Buffer.add_string buf "$upscope $end\n"
+  in
+  emit_scope "" root;
+  Buffer.add_string buf "$enddefinitions $end\n";
+  t.out (Buffer.contents buf)
+
+let value_text s v =
+  if s.width = 1 then (if Bits.is_zero v then "0" ^ s.ident else "1" ^ s.ident)
+  else Printf.sprintf "b%s %s" (Bits.to_binary_string v) s.ident
+
+let sample t =
+  let buf = Buffer.create 256 in
+  let changed = ref false in
+  Array.iter
+    (fun s ->
+      let v = t.sim.Sim.peek s.node in
+      let dump =
+        match s.last with None -> true | Some prev -> not (Bits.equal prev v)
+      in
+      if dump then begin
+        s.last <- Some v;
+        changed := true;
+        Buffer.add_string buf (value_text s v);
+        Buffer.add_char buf '\n'
+      end)
+    t.signals;
+  if !changed then begin
+    t.out (Printf.sprintf "#%d\n" t.time);
+    t.out (Buffer.contents buf)
+  end
+
+let flush t = sample t
+
+let create ~out ?(date = "reproducible-build") ?observe sim =
+  let circuit = sim.Sim.circuit in
+  let observe = match observe with Some o -> o | None -> default_observed circuit in
+  let signals =
+    Array.of_list
+      (List.mapi
+         (fun i node ->
+           {
+             node;
+             ident = ident_of_index i;
+             width = (Circuit.node circuit node).Circuit.width;
+             last = None;
+           })
+         observe)
+  in
+  let t = { out; sim; signals; time = 0; header_done = false } in
+  write_header t ~date circuit;
+  t.header_done <- true;
+  (* Initial values at time 0. *)
+  sample t;
+  let wrapped =
+    {
+      sim with
+      Sim.sim_name = sim.Sim.sim_name ^ "+vcd";
+      step =
+        (fun () ->
+          sim.Sim.step ();
+          t.time <- t.time + 1;
+          sample t);
+    }
+  in
+  (t, wrapped)
+
+let to_file path ?observe sim =
+  let oc = open_out path in
+  let _, wrapped = create ~out:(output_string oc) ?observe sim in
+  (wrapped, fun () -> close_out oc)

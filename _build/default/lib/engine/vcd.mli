@@ -1,0 +1,32 @@
+(** VCD (Value Change Dump) waveform output.
+
+    Wraps any {!Sim.t} so that each [step] records the value changes of a
+    chosen set of nodes in IEEE 1364 VCD format — the format every
+    waveform viewer reads.  Signals are grouped into scopes by their
+    hierarchical names (["core.alu.out"] becomes scope [core.alu], wire
+    [out]).
+
+    Only the observed nodes are sampled, and only changes are written, so
+    tracing cost follows the activity factor like the simulation itself. *)
+
+open Gsim_ir
+
+type t
+
+val create :
+  out:(string -> unit) -> ?date:string -> ?observe:int list -> Sim.t -> t * Sim.t
+(** [create ~out sim] returns the recorder and a wrapped simulator whose
+    [step] additionally samples and dumps changes.  [observe] defaults to
+    every named node of the circuit that is an input, output or register
+    read.  [out] receives chunks of VCD text (e.g. [Buffer.add_string] or
+    [output_string oc]).  [date] defaults to a fixed string so output is
+    reproducible. *)
+
+val flush : t -> unit
+(** Write any buffered changes for the current time step. *)
+
+val to_file : string -> ?observe:int list -> Sim.t -> Sim.t * (unit -> unit)
+(** Convenience: dump to a file; returns the wrapped simulator and a
+    close function. *)
+
+val default_observed : Circuit.t -> int list

@@ -1,0 +1,1 @@
+lib/firrtl/ast.ml: Gsim_bits

@@ -1,0 +1,1 @@
+lib/firrtl/ast.mli: Gsim_bits

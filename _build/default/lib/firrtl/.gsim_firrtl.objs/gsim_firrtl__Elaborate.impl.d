@@ -1,0 +1,1 @@
+lib/firrtl/elaborate.ml: Ast Circuit Expr Gsim_bits Gsim_ir Hashtbl List Printf String

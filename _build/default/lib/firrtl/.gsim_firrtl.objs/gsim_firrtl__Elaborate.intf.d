@@ -1,0 +1,1 @@
+lib/firrtl/elaborate.mli: Ast Circuit Gsim_ir

@@ -1,0 +1,1 @@
+lib/firrtl/firrtl.ml: Elaborate Gsim_ir Parser Printf

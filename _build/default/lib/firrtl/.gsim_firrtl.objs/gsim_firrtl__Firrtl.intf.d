@@ -1,0 +1,1 @@
+lib/firrtl/firrtl.mli: Gsim_ir

@@ -1,0 +1,1 @@
+lib/firrtl/firrtl_emit.ml: Array Buffer Circuit Expr Gsim_bits Gsim_ir Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/firrtl/firrtl_emit.mli: Circuit Gsim_ir

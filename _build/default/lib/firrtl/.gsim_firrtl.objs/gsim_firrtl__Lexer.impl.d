@@ -1,0 +1,1 @@
+lib/firrtl/lexer.ml: Array Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/firrtl/lexer.mli: Format

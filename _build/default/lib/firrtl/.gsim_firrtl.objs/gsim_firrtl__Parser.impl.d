@@ -1,0 +1,1 @@
+lib/firrtl/parser.ml: Array Ast Format Gsim_bits Lexer List Printf String

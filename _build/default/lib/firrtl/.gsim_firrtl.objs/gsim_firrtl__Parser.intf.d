@@ -1,0 +1,1 @@
+lib/firrtl/parser.mli: Ast

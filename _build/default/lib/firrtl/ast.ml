@@ -1,0 +1,48 @@
+type ty = Uint of int | Sint of int | Clock_ty | Reset_ty
+
+type direction = Input | Output
+
+type port = { port_name : string; port_dir : direction; port_ty : ty }
+
+type ref_path = string list
+
+type expr =
+  | Literal of ty * Gsim_bits.Bits.t
+  | Ref of ref_path
+  | Mux of expr * expr * expr
+  | Validif of expr * expr
+  | Primop of string * expr list * int list
+
+type mem_def = {
+  mem_def_name : string;
+  data_type : ty;
+  mem_depth : int;
+  read_latency : int;
+  write_latency : int;
+  readers : string list;
+  writers : string list;
+}
+
+type stmt =
+  | Wire of string * ty
+  | Node of string * expr
+  | Reg of { reg_def_name : string; reg_ty : ty; reset : (expr * expr) option }
+  | Inst of string * string
+  | Mem of mem_def
+  | Connect of ref_path * expr
+  | Invalidate of ref_path
+  | When of expr * stmt list * stmt list
+  | Skip
+  | Stop of expr * int
+  | Printf_stmt
+
+type module_def = { module_name : string; ports : port list; body : stmt list }
+
+type circuit = { circuit_top : string; modules : module_def list }
+
+let ty_width = function
+  | Uint w | Sint w -> w
+  | Reset_ty -> 1
+  | Clock_ty -> failwith "Ast.ty_width: Clock has no width"
+
+let ty_signed = function Sint _ -> true | Uint _ | Clock_ty | Reset_ty -> false

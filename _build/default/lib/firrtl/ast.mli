@@ -1,0 +1,68 @@
+(** Abstract syntax of the supported FIRRTL subset.
+
+    The subset is LoFIRRTL-flavoured: ground types only ([UInt]/[SInt]
+    with explicit widths, [Clock], [Reset]), wires, nodes, registers with
+    optional synchronous reset, module instances, memories with
+    zero-latency readers and unit-latency writers, [when]/[else] blocks
+    and last-connect-wins semantics.  Aggregate types must have been
+    lowered by the producing compiler, which is what ESSENT consumes as
+    well. *)
+
+type ty =
+  | Uint of int
+  | Sint of int
+  | Clock_ty
+  | Reset_ty
+      (** 1-bit, treated as [Uint 1]. *)
+
+type direction = Input | Output
+
+type port = { port_name : string; port_dir : direction; port_ty : ty }
+
+(** References: plain identifiers, or [inst.port] / [mem.port.field]
+    paths. *)
+type ref_path = string list
+
+type expr =
+  | Literal of ty * Gsim_bits.Bits.t
+  | Ref of ref_path
+  | Mux of expr * expr * expr
+  | Validif of expr * expr
+  | Primop of string * expr list * int list
+      (** name, expression arguments, integer (static) arguments *)
+
+type mem_def = {
+  mem_def_name : string;
+  data_type : ty;
+  mem_depth : int;
+  read_latency : int;
+  write_latency : int;
+  readers : string list;
+  writers : string list;
+}
+
+type stmt =
+  | Wire of string * ty
+  | Node of string * expr
+  | Reg of { reg_def_name : string; reg_ty : ty; reset : (expr * expr) option }
+  | Inst of string * string  (** instance name, module name *)
+  | Mem of mem_def
+  | Connect of ref_path * expr
+  | Invalidate of ref_path
+  | When of expr * stmt list * stmt list
+  | Skip
+  | Stop of expr * int       (** halt assertion: guard, exit code *)
+  | Printf_stmt              (** parsed and ignored *)
+
+type module_def = {
+  module_name : string;
+  ports : port list;
+  body : stmt list;
+}
+
+type circuit = { circuit_top : string; modules : module_def list }
+
+val ty_width : ty -> int
+(** Raises [Failure] on [Clock_ty]. *)
+
+val ty_signed : ty -> bool

@@ -1,0 +1,520 @@
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+exception Elab_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Elab_error s)) fmt
+
+type result = { circuit : Circuit.t; halt : int option }
+
+(* A value during elaboration: an IR expression plus its FIRRTL
+   signedness. *)
+type value = { e : Expr.t; signed : bool }
+
+let uint e = { e; signed = false }
+
+(* Resize [v] to [w] bits respecting its signedness. *)
+let resize v ~w =
+  let cur = Expr.width v.e in
+  if cur = w then v
+  else if w < cur then { v with e = Expr.unop (Expr.Extract (w - 1, 0)) v.e }
+  else if v.signed then { v with e = Expr.unop (Expr.Pad_signed w) v.e }
+  else { v with e = Expr.unop (Expr.Pad_unsigned w) v.e }
+
+(* A connect accumulated under the active when-conditions; newest first. *)
+type pending = { guard : Expr.t option; rhs : value }
+
+(* Last-connect-wins with guards: apply connects oldest-to-newest, a
+   guarded connect through a mux over the accumulated value. *)
+let fold_connects ~width ~default pending =
+  List.fold_left
+    (fun acc p ->
+      let rhs = (resize p.rhs ~w:width).e in
+      match p.guard with None -> rhs | Some g -> Expr.mux g rhs acc)
+    default (List.rev pending)
+
+type wire_state = {
+  w_node : Circuit.node;
+  w_signed : bool;
+  mutable w_pending : pending list;
+}
+
+type reg_reset = R_none | R_const | R_expr of Expr.t * Expr.t
+
+type reg_state = {
+  r_reg : Circuit.register;
+  r_signed : bool;
+  r_reset : reg_reset;
+  mutable r_pending : pending list;
+}
+
+type mem_port_state = {
+  p_addr : wire_state;
+  p_en : wire_state;
+  p_data : value;                   (* readable data (readers) *)
+  p_wdata : wire_state option;      (* writers *)
+  p_mask : wire_state option;
+}
+
+type mem_state = {
+  m_index : int;
+  m_ports : (string * mem_port_state) list;
+}
+
+type binding =
+  | Bval of value
+  | Bwire of wire_state
+  | Breg of reg_state
+  | Bmem of mem_state
+  | Binst of (string * binding) list
+  | Bclock
+
+(* ------------------------------------------------------------------ *)
+(* Primops                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let clog2 n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  max 1 (go 0 1)
+
+let truncate_expr e ~w =
+  if Expr.width e = w then e else Expr.unop (Expr.Extract (w - 1, 0)) e
+
+(* Signed-aware extension of both operands to the result width, then a
+   modular operation truncated back to it. *)
+let arith2 op a b ~result_w =
+  let signed = a.signed || b.signed in
+  let ext v =
+    if Expr.width v.e >= result_w then v.e
+    else if signed then Expr.unop (Expr.Pad_signed result_w) v.e
+    else Expr.unop (Expr.Pad_unsigned result_w) v.e
+  in
+  { e = truncate_expr (Expr.binop op (ext a) (ext b)) ~w:result_w; signed }
+
+let primop name args ints =
+  let arg i = try List.nth args i with _ -> err "primop %s: missing argument %d" name i in
+  let static i =
+    try List.nth ints i with _ -> err "primop %s: missing static argument %d" name i
+  in
+  let w0 () = Expr.width (arg 0).e in
+  match (name, List.length args, List.length ints) with
+  | "add", 2, 0 ->
+    arith2 Expr.Add (arg 0) (arg 1) ~result_w:(max (w0 ()) (Expr.width (arg 1).e) + 1)
+  | "sub", 2, 0 ->
+    arith2 Expr.Sub (arg 0) (arg 1) ~result_w:(max (w0 ()) (Expr.width (arg 1).e) + 1)
+  | "mul", 2, 0 ->
+    let a = arg 0 and b = arg 1 in
+    let w = Expr.width a.e + Expr.width b.e in
+    if a.signed || b.signed then arith2 Expr.Mul a b ~result_w:w
+    else { e = Expr.binop Expr.Mul a.e b.e; signed = false }
+  | "div", 2, 0 ->
+    let a = arg 0 and b = arg 1 in
+    if a.signed || b.signed then { e = Expr.binop Expr.Div_signed a.e b.e; signed = true }
+    else { e = Expr.binop Expr.Div a.e b.e; signed = false }
+  | "rem", 2, 0 ->
+    let a = arg 0 and b = arg 1 in
+    if a.signed || b.signed then { e = Expr.binop Expr.Rem_signed a.e b.e; signed = true }
+    else { e = Expr.binop Expr.Rem a.e b.e; signed = false }
+  | ("lt" | "leq" | "gt" | "geq" | "eq" | "neq"), 2, 0 ->
+    let a = arg 0 and b = arg 1 in
+    let signed = a.signed || b.signed in
+    let a, b =
+      if signed then begin
+        (* Compare on a common sign-extended width; the unsigned compare
+           ops then need the signed variants below. *)
+        let w = max (Expr.width a.e) (Expr.width b.e) in
+        (resize a ~w, resize b ~w)
+      end
+      else (a, b)
+    in
+    let op =
+      match (name, signed) with
+      | "lt", false -> Expr.Lt
+      | "lt", true -> Expr.Lt_signed
+      | "leq", false -> Expr.Leq
+      | "leq", true -> Expr.Leq_signed
+      | "gt", false -> Expr.Gt
+      | "gt", true -> Expr.Gt_signed
+      | "geq", false -> Expr.Geq
+      | "geq", true -> Expr.Geq_signed
+      | ("eq" | "neq"), _ -> if name = "eq" then Expr.Eq else Expr.Neq
+      | _ -> assert false
+    in
+    uint (Expr.binop op a.e b.e)
+  | "pad", 1, 1 -> resize (arg 0) ~w:(max (w0 ()) (static 0))
+  | "asUInt", 1, 0 -> { (arg 0) with signed = false }
+  | "asSInt", 1, 0 -> { (arg 0) with signed = true }
+  | ("asClock" | "asAsyncReset"), 1, 0 -> arg 0
+  | "cvt", 1, 0 ->
+    let a = arg 0 in
+    if a.signed then a
+    else { e = Expr.unop (Expr.Pad_unsigned (w0 () + 1)) a.e; signed = true }
+  | "neg", 1, 0 ->
+    let a = arg 0 in
+    let w = w0 () + 1 in
+    if a.signed then
+      {
+        e =
+          truncate_expr
+            (Expr.binop Expr.Sub (Expr.const (Bits.zero w)) (Expr.unop (Expr.Pad_signed w) a.e))
+            ~w;
+        signed = true;
+      }
+    else { e = Expr.unop Expr.Neg a.e; signed = true }
+  | "not", 1, 0 -> uint (Expr.unop Expr.Not (arg 0).e)
+  | ("and" | "or" | "xor"), 2, 0 ->
+    let a = arg 0 and b = arg 1 in
+    let w = max (Expr.width a.e) (Expr.width b.e) in
+    let op = match name with "and" -> Expr.And | "or" -> Expr.Or | _ -> Expr.Xor in
+    uint (Expr.binop op (resize a ~w).e (resize b ~w).e)
+  | "andr", 1, 0 -> uint (Expr.unop Expr.Reduce_and (arg 0).e)
+  | "orr", 1, 0 -> uint (Expr.unop Expr.Reduce_or (arg 0).e)
+  | "xorr", 1, 0 -> uint (Expr.unop Expr.Reduce_xor (arg 0).e)
+  | "cat", 2, 0 -> uint (Expr.binop Expr.Cat (arg 0).e (arg 1).e)
+  | "bits", 1, 2 -> uint (Expr.unop (Expr.Extract (static 0, static 1)) (arg 0).e)
+  | "head", 1, 1 ->
+    let w = w0 () in
+    uint (Expr.unop (Expr.Extract (w - 1, w - static 0)) (arg 0).e)
+  | "tail", 1, 1 -> uint (Expr.unop (Expr.Extract (w0 () - 1 - static 0, 0)) (arg 0).e)
+  | "shl", 1, 1 -> { e = Expr.unop (Expr.Shl_const (static 0)) (arg 0).e; signed = (arg 0).signed }
+  | "shr", 1, 1 ->
+    let a = arg 0 in
+    let n = static 0 and w = w0 () in
+    if a.signed then
+      let lo = min n (w - 1) in
+      { e = Expr.unop (Expr.Extract (w - 1, lo)) a.e; signed = true }
+    else { e = Expr.unop (Expr.Shr_const n) a.e; signed = false }
+  | "dshl", 2, 0 ->
+    let a = arg 0 and b = arg 1 in
+    let wa = Expr.width a.e and wb = Expr.width b.e in
+    if wb > 16 then err "dshl: shift-amount width %d would explode the result width" wb;
+    let w = wa + (1 lsl wb) - 1 in
+    if w > 1 lsl 16 then err "dshl: result width %d too large" w;
+    { e = Expr.binop Expr.Dshl (resize a ~w).e b.e; signed = a.signed }
+  | "dshr", 2, 0 ->
+    let a = arg 0 and b = arg 1 in
+    if a.signed then { e = Expr.binop Expr.Dshr_signed a.e b.e; signed = true }
+    else { e = Expr.binop Expr.Dshr a.e b.e; signed = false }
+  | _ -> err "unsupported primop %s/%d/%d" name (List.length args) (List.length ints)
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  c : Circuit.t;
+  modules : (string, Ast.module_def) Hashtbl.t;
+  mutable halts : Expr.t list;
+  mutable finalizers : (unit -> unit) list;
+      (* Run once after the whole hierarchy is walked: a parent connects to
+         its children's input ports after the child was elaborated, so no
+         wire may be finalized before every module body has been seen. *)
+}
+
+let make_wire ctx ~name ~width ~signed =
+  let node = Circuit.add_logic ctx.c ~name (Expr.const (Bits.zero width)) in
+  { w_node = node; w_signed = signed; w_pending = [] }
+
+let wire_value ws =
+  { e = Expr.var ~width:ws.w_node.Circuit.width ws.w_node.Circuit.id; signed = ws.w_signed }
+
+let finalize_wire ctx ws =
+  let width = ws.w_node.Circuit.width in
+  let e = fold_connects ~width ~default:(Expr.const (Bits.zero width)) ws.w_pending in
+  Circuit.set_expr ctx.c ws.w_node.Circuit.id e
+
+let reg_read_value ctx rs =
+  let node = Circuit.node ctx.c rs.r_reg.Circuit.read in
+  { e = Expr.var ~width:node.Circuit.width node.Circuit.id; signed = rs.r_signed }
+
+let finalize_reg ctx rs =
+  let read = Circuit.node ctx.c rs.r_reg.Circuit.read in
+  let width = read.Circuit.width in
+  let default = Expr.var ~width read.Circuit.id in
+  let next = fold_connects ~width ~default rs.r_pending in
+  let next =
+    match rs.r_reset with
+    | R_none | R_const -> next  (* R_const: set_next adds the canonical mux *)
+    | R_expr (sig_e, val_e) -> Expr.mux sig_e (truncate_expr (Expr.unop (Expr.Pad_unsigned width) val_e) ~w:width) next
+  in
+  Circuit.set_next ctx.c rs.r_reg next
+
+let rec lookup ctx env path =
+  match path with
+  | [] -> err "empty reference"
+  | [ x ] -> (
+      match List.assoc_opt x !env with
+      | Some b -> b
+      | None -> err "unknown identifier %S" x)
+  | x :: rest -> (
+      match List.assoc_opt x !env with
+      | Some (Binst ports) ->
+        let r = ref ports in
+        lookup ctx r rest
+      | Some (Bmem ms) -> lookup_mem ms rest
+      | Some (Bval _ | Bwire _ | Breg _ | Bclock) | None ->
+        err "%S is not an instance or memory" x)
+
+and lookup_mem ms rest =
+  match rest with
+  | [ port; field ] -> (
+      let ps =
+        match List.assoc_opt port ms.m_ports with
+        | Some ps -> ps
+        | None -> err "memory has no port %S" port
+      in
+      match field with
+      | "addr" -> Bwire ps.p_addr
+      | "en" -> Bwire ps.p_en
+      | "clk" -> Bclock
+      | "data" -> (
+          match ps.p_wdata with Some wd -> Bwire wd | None -> Bval ps.p_data)
+      | "mask" -> (
+          match ps.p_mask with Some m -> Bwire m | None -> err "port %S has no mask" port)
+      | f -> err "unknown memory port field %S" f)
+  | _ -> err "malformed memory reference"
+
+let rec eval_expr ctx env (e : Ast.expr) : value =
+  match e with
+  | Ast.Literal (ty, v) -> { e = Expr.const v; signed = Ast.ty_signed ty }
+  | Ast.Ref path -> (
+      match lookup ctx env path with
+      | Bval v -> v
+      | Bwire ws -> wire_value ws
+      | Breg rs -> reg_read_value ctx rs
+      | Bclock -> err "clock used in an expression"
+      | Bmem _ | Binst _ -> err "reference does not denote a value")
+  | Ast.Mux (c, a, b) ->
+    let vc = eval_expr ctx env c in
+    let va = eval_expr ctx env a and vb = eval_expr ctx env b in
+    let w = max (Expr.width va.e) (Expr.width vb.e) in
+    {
+      e = Expr.mux vc.e (resize va ~w).e (resize vb ~w).e;
+      signed = va.signed && vb.signed;
+    }
+  | Ast.Validif (_, a) -> eval_expr ctx env a
+  | Ast.Primop (name, args, ints) ->
+    primop name (List.map (eval_expr ctx env) args) ints
+
+(* A value as a plain node id (for reset signals and port operands). *)
+let materialize ctx ~name v =
+  match v.e.Expr.desc with
+  | Expr.Var id -> id
+  | _ -> (Circuit.add_logic ctx.c ~name v.e).Circuit.id
+
+(* Constant-fold an elaborated expression if it is a literal. *)
+let const_of v = match v.e.Expr.desc with Expr.Const b -> Some b | _ -> None
+
+let conj guard cond =
+  match guard with None -> Some cond | Some g -> Some (Expr.binop Expr.And g cond)
+
+let conj_not guard cond = conj guard (Expr.unop Expr.Not cond)
+
+let rec elaborate_module ctx ~prefix ~top (m : Ast.module_def) :
+    (string * binding) list =
+  let pfx name = if prefix = "" then name else prefix ^ "." ^ name in
+  let env : (string * binding) list ref = ref [] in
+  let bind name b = env := (name, b) :: !env in
+  let defer f = ctx.finalizers <- f :: ctx.finalizers in
+  (* Ports. *)
+  let port_bindings = ref [] in
+  List.iter
+    (fun (p : Ast.port) ->
+      match (p.Ast.port_ty, p.Ast.port_dir) with
+      | Ast.Clock_ty, _ -> bind p.Ast.port_name Bclock
+      | ty, Ast.Input ->
+        let width = Ast.ty_width ty and signed = Ast.ty_signed ty in
+        if top then begin
+          let node = Circuit.add_input ctx.c ~name:(pfx p.Ast.port_name) ~width in
+          bind p.Ast.port_name
+            (Bval { e = Expr.var ~width node.Circuit.id; signed })
+        end
+        else begin
+          (* The parent drives this port: it is a wire from inside. *)
+          let ws = make_wire ctx ~name:(pfx p.Ast.port_name) ~width ~signed in
+          defer (fun () -> finalize_wire ctx ws);
+          bind p.Ast.port_name (Bwire ws);
+          port_bindings := (p.Ast.port_name, Bwire ws) :: !port_bindings
+        end
+      | ty, Ast.Output ->
+        let width = Ast.ty_width ty and signed = Ast.ty_signed ty in
+        let ws = make_wire ctx ~name:(pfx p.Ast.port_name) ~width ~signed in
+        defer (fun () -> finalize_wire ctx ws);
+        bind p.Ast.port_name (Bwire ws);
+        if top then Circuit.mark_output ctx.c ws.w_node.Circuit.id
+        else
+          (* The parent reads this port as a plain value. *)
+          port_bindings := (p.Ast.port_name, Bval (wire_value ws)) :: !port_bindings)
+    m.Ast.ports;
+  (* Body. *)
+  let rec walk guard stmts = List.iter (stmt guard) stmts
+  and stmt guard (s : Ast.stmt) =
+    match s with
+    | Ast.Wire (name, ty) ->
+      let ws =
+        make_wire ctx ~name:(pfx name) ~width:(Ast.ty_width ty) ~signed:(Ast.ty_signed ty)
+      in
+      defer (fun () -> finalize_wire ctx ws);
+      bind name (Bwire ws)
+    | Ast.Node (name, e) ->
+      let v = eval_expr ctx env e in
+      let node = Circuit.add_logic ctx.c ~name:(pfx name) v.e in
+      bind name
+        (Bval { e = Expr.var ~width:node.Circuit.width node.Circuit.id; signed = v.signed })
+    | Ast.Reg { reg_def_name = name; reg_ty; reset } ->
+      let width = Ast.ty_width reg_ty and signed = Ast.ty_signed reg_ty in
+      let reset_info, circuit_reset =
+        match reset with
+        | None -> (R_none, None)
+        | Some (sig_e, val_e) -> (
+            let vs = eval_expr ctx env sig_e in
+            let vv = eval_expr ctx env val_e in
+            let vv = resize vv ~w:width in
+            match const_of vv with
+            | Some bits ->
+              let sig_id = materialize ctx ~name:(pfx (name ^ "$rst")) vs in
+              (R_const, Some (sig_id, bits))
+            | None -> (R_expr (vs.e, vv.e), None))
+      in
+      let r =
+        Circuit.add_register ctx.c ~name:(pfx name) ~width ~init:(Bits.zero width)
+          ?reset:circuit_reset ()
+      in
+      let rs = { r_reg = r; r_signed = signed; r_reset = reset_info; r_pending = [] } in
+      defer (fun () -> finalize_reg ctx rs);
+      bind name (Breg rs)
+    | Ast.Inst (name, module_name) -> (
+        match Hashtbl.find_opt ctx.modules module_name with
+        | Some sub ->
+          let ports = elaborate_module ctx ~prefix:(pfx name) ~top:false sub in
+          bind name (Binst ports)
+        | None -> err "unknown module %S" module_name)
+    | Ast.Mem md -> bind md.Ast.mem_def_name (elaborate_mem ctx ~pfx ~defer md)
+    | Ast.Connect (path, rhs_e) -> (
+        match lookup ctx env path with
+        | Bclock -> ()  (* clock wiring: single global clock *)
+        | Bwire ws ->
+          ws.w_pending <- { guard; rhs = eval_expr ctx env rhs_e } :: ws.w_pending
+        | Breg rs ->
+          rs.r_pending <- { guard; rhs = eval_expr ctx env rhs_e } :: rs.r_pending
+        | Bval _ -> err "cannot connect to node %s" (String.concat "." path)
+        | Bmem _ | Binst _ -> err "cannot connect to %s" (String.concat "." path))
+    | Ast.Invalidate _ -> ()  (* unconnected reads as zero already *)
+    | Ast.When (cond_e, then_b, else_b) ->
+      let cond = (eval_expr ctx env cond_e).e in
+      walk (conj guard cond) then_b;
+      if else_b <> [] then walk (conj_not guard cond) else_b
+    | Ast.Skip | Ast.Printf_stmt -> ()
+    | Ast.Stop (cond_e, _code) ->
+      let cond = (eval_expr ctx env cond_e).e in
+      let full = match guard with None -> cond | Some g -> Expr.binop Expr.And g cond in
+      ctx.halts <- full :: ctx.halts
+  in
+  walk None m.Ast.body;
+  !port_bindings
+
+and elaborate_mem ctx ~pfx ~defer (md : Ast.mem_def) =
+  if md.Ast.write_latency <> 1 then err "memory %S: write latency must be 1" md.Ast.mem_def_name;
+  if md.Ast.read_latency > 1 then err "memory %S: read latency must be 0 or 1" md.Ast.mem_def_name;
+  let width = Ast.ty_width md.Ast.data_type in
+  let signed = Ast.ty_signed md.Ast.data_type in
+  let mem =
+    Circuit.add_memory ctx.c ~name:(pfx md.Ast.mem_def_name) ~width ~depth:md.Ast.mem_depth
+  in
+  let addr_width = clog2 md.Ast.mem_depth in
+  let port_name p f = pfx (Printf.sprintf "%s.%s.%s" md.Ast.mem_def_name p f) in
+  let readers =
+    List.map
+      (fun rname ->
+        let p_addr = make_wire ctx ~name:(port_name rname "addr") ~width:addr_width ~signed:false in
+        let p_en = make_wire ctx ~name:(port_name rname "en") ~width:1 ~signed:false in
+        defer (fun () -> finalize_wire ctx p_addr);
+        defer (fun () -> finalize_wire ctx p_en);
+        let port =
+          Circuit.add_read_port ctx.c ~mem ~name:(port_name rname "data")
+            ~addr:p_addr.w_node.Circuit.id ~en:p_en.w_node.Circuit.id ()
+        in
+        let data_value =
+          if md.Ast.read_latency = 0 then
+            { e = Expr.var ~width port.Circuit.id; signed }
+          else begin
+            (* Latency 1: an output register that holds when disabled. *)
+            let r =
+              Circuit.add_register ctx.c ~name:(port_name rname "data$reg") ~width
+                ~init:(Bits.zero width) ()
+            in
+            Circuit.set_next ctx.c r
+              (Expr.mux
+                 (Expr.var ~width:1 p_en.w_node.Circuit.id)
+                 (Expr.var ~width port.Circuit.id)
+                 (Expr.var ~width r.Circuit.read));
+            { e = Expr.var ~width r.Circuit.read; signed }
+          end
+        in
+        (rname, { p_addr; p_en; p_data = data_value; p_wdata = None; p_mask = None }))
+      md.Ast.readers
+  in
+  let writers =
+    List.map
+      (fun wname ->
+        let p_addr = make_wire ctx ~name:(port_name wname "addr") ~width:addr_width ~signed:false in
+        let p_en = make_wire ctx ~name:(port_name wname "en") ~width:1 ~signed:false in
+        let p_data = make_wire ctx ~name:(port_name wname "data") ~width ~signed in
+        let p_mask = make_wire ctx ~name:(port_name wname "mask") ~width:1 ~signed:false in
+        defer (fun () -> finalize_wire ctx p_addr);
+        defer (fun () -> finalize_wire ctx p_en);
+        defer (fun () -> finalize_wire ctx p_data);
+        defer (fun () ->
+            (* Mask defaults to enabled when never connected. *)
+            if p_mask.w_pending = [] then
+              p_mask.w_pending <- [ { guard = None; rhs = uint (Expr.of_int ~width:1 1) } ];
+            finalize_wire ctx p_mask);
+        defer (fun () ->
+            let en_and_mask =
+              Circuit.add_logic ctx.c ~name:(port_name wname "wen")
+                (Expr.binop Expr.And
+                   (Expr.var ~width:1 p_en.w_node.Circuit.id)
+                   (Expr.var ~width:1 p_mask.w_node.Circuit.id))
+            in
+            Circuit.add_write_port ctx.c ~mem ~addr:p_addr.w_node.Circuit.id
+              ~data:p_data.w_node.Circuit.id ~en:en_and_mask.Circuit.id);
+        ( wname,
+          {
+            p_addr;
+            p_en;
+            p_data = uint (Expr.const (Bits.zero width));
+            p_wdata = Some p_data;
+            p_mask = Some p_mask;
+          } ))
+      md.Ast.writers
+  in
+  Bmem { m_index = mem; m_ports = readers @ writers }
+
+let elaborate (ast : Ast.circuit) =
+  let modules = Hashtbl.create 16 in
+  List.iter (fun m -> Hashtbl.replace modules m.Ast.module_name m) ast.Ast.modules;
+  let top =
+    match Hashtbl.find_opt modules ast.Ast.circuit_top with
+    | Some m -> m
+    | None -> err "top module %S not found" ast.Ast.circuit_top
+  in
+  let c = Circuit.create ~name:ast.Ast.circuit_top () in
+  let ctx = { c; modules; halts = []; finalizers = [] } in
+  ignore (elaborate_module ctx ~prefix:"" ~top:true top);
+  List.iter (fun f -> f ()) (List.rev ctx.finalizers);
+  let halt =
+    match ctx.halts with
+    | [] -> None
+    | conds ->
+      let ored =
+        List.fold_left
+          (fun acc e -> Expr.binop Expr.Or acc (Expr.unop Expr.Reduce_or e))
+          (Expr.const (Bits.zero 1))
+          conds
+      in
+      let node = Circuit.add_logic c ~name:"$halt" ored in
+      Circuit.mark_output c node.Circuit.id;
+      Some node.Circuit.id
+  in
+  Circuit.validate c;
+  { circuit = c; halt }

@@ -1,0 +1,25 @@
+(** Elaboration of a parsed FIRRTL circuit into the graph IR.
+
+    Module instances are flattened (names prefixed with the instance
+    path), [when] blocks are lowered to muxes with last-connect-wins
+    semantics, registers get their accumulated next-value expression
+    (reset muxes are emitted in the canonical shape the reset-optimization
+    pass recognizes), memories become IR memories with combinational read
+    ports (read latency 1 adds an output register), and [stop] statements
+    are ORed into a synthesized 1-bit output named ["$halt"].
+
+    [is invalid] and unconnected signals read as zero: the simulator is
+    x-propagation free, matching two-state simulation. *)
+
+open Gsim_ir
+
+exception Elab_error of string
+
+type result = {
+  circuit : Circuit.t;
+  halt : int option;
+      (** Node id of the synthesized ["$halt"] output, present when the
+          design contains [stop] statements. *)
+}
+
+val elaborate : Ast.circuit -> result

@@ -1,0 +1,21 @@
+type loaded = { circuit : Gsim_ir.Circuit.t; halt : int option }
+
+exception Error of string
+
+let of_ast ast =
+  match Elaborate.elaborate ast with
+  | { Elaborate.circuit; halt } -> { circuit; halt }
+  | exception Elaborate.Elab_error msg -> raise (Error ("elaboration: " ^ msg))
+
+let load_string src =
+  match Parser.parse_string src with
+  | ast -> of_ast ast
+  | exception Parser.Parse_error (line, msg) ->
+    raise (Error (Printf.sprintf "line %d: %s" line msg))
+
+let load_file path =
+  match Parser.parse_file path with
+  | ast -> of_ast ast
+  | exception Parser.Parse_error (line, msg) ->
+    raise (Error (Printf.sprintf "%s:%d: %s" path line msg))
+  | exception Sys_error msg -> raise (Error msg)

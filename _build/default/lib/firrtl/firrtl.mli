@@ -1,0 +1,15 @@
+(** Facade: parse and elaborate FIRRTL into the graph IR. *)
+
+type loaded = {
+  circuit : Gsim_ir.Circuit.t;
+  halt : int option;
+      (** Synthesized ["$halt"] output when the design uses [stop]. *)
+}
+
+exception Error of string
+
+val load_string : string -> loaded
+(** Raises [Error] with a located message on any lexical, syntactic or
+    elaboration problem. *)
+
+val load_file : string -> loaded

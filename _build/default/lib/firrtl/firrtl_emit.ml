@@ -1,0 +1,250 @@
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+type result = {
+  text : string;
+  names : (int * string) list;
+  lossy_inits : string list;
+}
+
+let sanitize name =
+  let b = Buffer.create (String.length name) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b ch
+      | _ -> Buffer.add_char b '_')
+    name;
+  let s = Buffer.contents b in
+  if s = "" || (s.[0] >= '0' && s.[0] <= '9') then "n_" ^ s else s
+
+(* Assign unique sanitized names to all live nodes.  "clock" is reserved
+   for the implicit clock port. *)
+let name_table c =
+  let used = Hashtbl.create 256 in
+  Hashtbl.replace used "clock" ();
+  List.iter (fun kw -> Hashtbl.replace used kw ())
+    [ "reg"; "wire"; "node"; "mem"; "when"; "else"; "skip"; "mux"; "stop"; "printf";
+      "input"; "output"; "module"; "circuit"; "inst"; "of"; "is"; "invalid"; "with" ];
+  let names = Hashtbl.create 256 in
+  let fresh base =
+    let rec pick k =
+      let candidate = if k = 0 then base else Printf.sprintf "%s_%d" base k in
+      if Hashtbl.mem used candidate then pick (k + 1) else candidate
+    in
+    let name = pick 0 in
+    Hashtbl.replace used name ();
+    name
+  in
+  Circuit.iter_nodes c (fun n ->
+      Hashtbl.replace names n.Circuit.id (fresh (sanitize n.Circuit.name)));
+  (names, fresh)
+
+let lit b = Printf.sprintf "UInt<%d>(\"h%s\")" (Bits.width b) (Bits.to_hex_string b)
+
+(* Expression to FIRRTL text.  Signed IR operators are expressed through
+   asSInt/asUInt conversions; [Dshl] (width-preserving) re-truncates the
+   widening FIRRTL dshl. *)
+let rec expr_text names (e : Expr.t) : string =
+  let sub = expr_text names in
+  match e.Expr.desc with
+  | Expr.Const b -> lit b
+  | Expr.Var id -> (
+      match Hashtbl.find_opt names id with
+      | Some n -> n
+      | None -> failwith (Printf.sprintf "Firrtl_emit: dangling node %d" id))
+  | Expr.Mux (s, a, b) ->
+    let sel = if Expr.width s = 1 then sub s else Printf.sprintf "orr(%s)" (sub s) in
+    Printf.sprintf "mux(%s, %s, %s)" sel (sub a) (sub b)
+  | Expr.Unop (op, a) -> (
+      let wa = Expr.width a in
+      let sa = sub a in
+      match op with
+      | Expr.Not -> Printf.sprintf "not(%s)" sa
+      | Expr.Neg -> Printf.sprintf "sub(UInt<1>(\"h0\"), %s)" sa
+      | Expr.Reduce_and -> Printf.sprintf "andr(%s)" sa
+      | Expr.Reduce_or -> Printf.sprintf "orr(%s)" sa
+      | Expr.Reduce_xor -> Printf.sprintf "xorr(%s)" sa
+      | Expr.Shl_const n -> Printf.sprintf "shl(%s, %d)" sa n
+      | Expr.Shr_const n -> Printf.sprintf "shr(%s, %d)" sa n
+      | Expr.Extract (hi, lo) -> Printf.sprintf "bits(%s, %d, %d)" sa hi lo
+      | Expr.Pad_unsigned n ->
+        if n >= wa then Printf.sprintf "pad(%s, %d)" sa n
+        else Printf.sprintf "bits(%s, %d, 0)" sa (n - 1)
+      | Expr.Pad_signed n ->
+        if n >= wa then Printf.sprintf "asUInt(pad(asSInt(%s), %d))" sa n
+        else Printf.sprintf "bits(%s, %d, 0)" sa (n - 1))
+  | Expr.Binop (op, a, b) -> (
+      let wa = Expr.width a in
+      let sa = sub a and sb = sub b in
+      let signed2 name = Printf.sprintf "asUInt(%s(asSInt(%s), asSInt(%s)))" name sa sb in
+      let signed_cmp name = Printf.sprintf "%s(asSInt(%s), asSInt(%s))" name sa sb in
+      match op with
+      | Expr.Add -> Printf.sprintf "add(%s, %s)" sa sb
+      | Expr.Sub -> Printf.sprintf "asUInt(sub(%s, %s))" sa sb
+      | Expr.Mul -> Printf.sprintf "mul(%s, %s)" sa sb
+      | Expr.Div -> Printf.sprintf "div(%s, %s)" sa sb
+      | Expr.Rem -> Printf.sprintf "rem(%s, %s)" sa sb
+      | Expr.Div_signed -> signed2 "div"
+      | Expr.Rem_signed -> signed2 "rem"
+      | Expr.And -> Printf.sprintf "and(%s, %s)" sa sb
+      | Expr.Or -> Printf.sprintf "or(%s, %s)" sa sb
+      | Expr.Xor -> Printf.sprintf "xor(%s, %s)" sa sb
+      | Expr.Cat -> Printf.sprintf "cat(%s, %s)" sa sb
+      | Expr.Eq -> Printf.sprintf "eq(%s, %s)" sa sb
+      | Expr.Neq -> Printf.sprintf "neq(%s, %s)" sa sb
+      | Expr.Lt -> Printf.sprintf "lt(%s, %s)" sa sb
+      | Expr.Leq -> Printf.sprintf "leq(%s, %s)" sa sb
+      | Expr.Gt -> Printf.sprintf "gt(%s, %s)" sa sb
+      | Expr.Geq -> Printf.sprintf "geq(%s, %s)" sa sb
+      | Expr.Lt_signed -> signed_cmp "lt"
+      | Expr.Leq_signed -> signed_cmp "leq"
+      | Expr.Gt_signed -> signed_cmp "gt"
+      | Expr.Geq_signed -> signed_cmp "geq"
+      | Expr.Dshl ->
+        (* The IR form keeps the operand width.  A wide shift amount would
+           explode FIRRTL's dshl result width, so it is clamped: amounts
+           of [wa] or more produce zero anyway. *)
+        let wb = Expr.width b in
+        if wb <= 10 then Printf.sprintf "bits(dshl(%s, %s), %d, 0)" sa sb (wa - 1)
+        else begin
+          let rec clog2 acc v = if v >= wa + 1 then acc else clog2 (acc + 1) (v * 2) in
+          let k = max 1 (clog2 0 1) in
+          Printf.sprintf
+            "mux(geq(%s, UInt<%d>(%d)), UInt<%d>(\"h0\"), bits(dshl(%s, bits(%s, %d, 0)), %d, 0))"
+            sb wb wa wa sa sb (k - 1) (wa - 1)
+        end
+      | Expr.Dshr -> Printf.sprintf "dshr(%s, %s)" sa sb
+      | Expr.Dshr_signed -> Printf.sprintf "asUInt(dshr(asSInt(%s), %s))" sa sb)
+
+let emit c =
+  let names, fresh = name_table c in
+  (* FIRRTL has no name for a register's next value; an expression that
+     reads one cannot be serialized. *)
+  Circuit.iter_nodes c (fun n ->
+      match n.Circuit.expr with
+      | Some e ->
+        Expr.iter_vars
+          (fun v ->
+            match (Circuit.node c v).Circuit.kind with
+            | Circuit.Reg_next _ ->
+              failwith "Firrtl_emit: expression reads a register's next value"
+            | _ -> ())
+          e
+      | None -> ());
+  let name id = Hashtbl.find names id in
+  let buf = Buffer.create (64 * 1024) in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let module_name = sanitize (Circuit.name c) in
+  let lossy = ref [] in
+  add "circuit %s :\n  module %s :\n" module_name module_name;
+  add "    input clock : Clock\n";
+  (* Ports. *)
+  List.iter
+    (fun (n : Circuit.node) -> add "    input %s : UInt<%d>\n" (name n.Circuit.id) n.Circuit.width)
+    (Circuit.inputs c);
+  let outputs = Circuit.outputs c in
+  let out_port = Hashtbl.create 16 in
+  List.iter
+    (fun (n : Circuit.node) ->
+      let pname = fresh (name n.Circuit.id ^ "_out") in
+      Hashtbl.replace out_port n.Circuit.id pname;
+      add "    output %s : UInt<%d>\n" pname n.Circuit.width)
+    outputs;
+  add "\n";
+  (* Memory read-port data values are wires so that textual order does not
+     constrain the node emission below. *)
+  Circuit.iter_nodes c (fun n ->
+      match n.Circuit.kind with
+      | Circuit.Mem_read _ -> add "    wire %s : UInt<%d>\n" (name n.Circuit.id) n.Circuit.width
+      | _ -> ());
+  (* Registers: declared before use. *)
+  List.iter
+    (fun (r : Circuit.register) ->
+      let rname = name r.Circuit.read in
+      let width = (Circuit.node c r.Circuit.read).Circuit.width in
+      (match r.Circuit.reset with
+       | Some rst ->
+         add "    reg %s : UInt<%d>, clock with : (reset => (%s, %s))\n" rname width
+           (expr_text names (Expr.var ~width:1 rst.Circuit.reset_signal))
+           (lit rst.Circuit.reset_value)
+       | None -> add "    reg %s : UInt<%d>, clock\n" rname width);
+      if not (Bits.is_zero r.Circuit.init) then lossy := rname :: !lossy)
+    (Circuit.registers c);
+  (* Memories. *)
+  Array.iteri
+    (fun mi (m : Circuit.memory) ->
+      let mem_name = Printf.sprintf "%s_%d" (sanitize m.Circuit.mem_name) mi in
+      add "    mem %s :\n" mem_name;
+      add "      data-type => UInt<%d>\n" m.Circuit.mem_width;
+      add "      depth => %d\n" m.Circuit.depth;
+      add "      read-latency => 0\n      write-latency => 1\n";
+      List.iteri (fun i _ -> add "      reader => r%d\n" i) m.Circuit.read_port_ids;
+      List.iteri (fun i _ -> add "      writer => w%d\n" i) m.Circuit.write_ports)
+    (Circuit.memories c);
+  add "\n";
+  (* Combinational nodes in evaluation order.  Register-next values and
+     port hookups are emitted as connects after all nodes exist. *)
+  let order = Circuit.eval_order c in
+  Array.iter
+    (fun id ->
+      let n = Circuit.node c id in
+      match n.Circuit.kind with
+      | Circuit.Logic ->
+        add "    node %s = %s\n" (name id) (expr_text names (Option.get n.Circuit.expr))
+      | Circuit.Mem_read _ | Circuit.Reg_next _ | Circuit.Input | Circuit.Reg_read _ -> ())
+    order;
+  add "\n";
+  (* Register next-values. *)
+  List.iter
+    (fun (r : Circuit.register) ->
+      let next = Circuit.node c r.Circuit.next in
+      add "    %s <= %s\n" (name r.Circuit.read) (expr_text names (Option.get next.Circuit.expr)))
+    (Circuit.registers c);
+  (* Memory port hookups; read-port data nodes become node aliases. *)
+  Array.iteri
+    (fun mi (m : Circuit.memory) ->
+      let mem_name = Printf.sprintf "%s_%d" (sanitize m.Circuit.mem_name) mi in
+      List.iteri
+        (fun i data_id ->
+          match (Circuit.node c data_id).Circuit.kind with
+          | Circuit.Mem_read pi ->
+            let p = Circuit.read_port c pi in
+            let addr_node = Circuit.node c p.Circuit.r_addr in
+            let aw =
+              let rec clog2 acc v = if v >= m.Circuit.depth then acc else clog2 (acc + 1) (v * 2) in
+              max 1 (clog2 0 1)
+            in
+            add "    %s.r%d.addr <= bits(pad(%s, %d), %d, 0)\n" mem_name i
+              (name p.Circuit.r_addr)
+              (max aw addr_node.Circuit.width) (aw - 1);
+            (match p.Circuit.r_en with
+             | Some en -> add "    %s.r%d.en <= %s\n" mem_name i (name en)
+             | None -> add "    %s.r%d.en <= UInt<1>(\"h1\")\n" mem_name i);
+            add "    %s.r%d.clk <= clock\n" mem_name i;
+            add "    %s <= %s.r%d.data\n" (name data_id) mem_name i
+          | _ -> ())
+        m.Circuit.read_port_ids;
+      List.iteri
+        (fun i (w : Circuit.write_port) ->
+          let aw =
+            let rec clog2 acc v = if v >= m.Circuit.depth then acc else clog2 (acc + 1) (v * 2) in
+            max 1 (clog2 0 1)
+          in
+          let addr_node = Circuit.node c w.Circuit.w_addr in
+          add "    %s.w%d.addr <= bits(pad(%s, %d), %d, 0)\n" mem_name i
+            (name w.Circuit.w_addr)
+            (max aw addr_node.Circuit.width) (aw - 1);
+          add "    %s.w%d.data <= %s\n" mem_name i (name w.Circuit.w_data);
+          add "    %s.w%d.en <= %s\n" mem_name i (name w.Circuit.w_en);
+          add "    %s.w%d.mask <= UInt<1>(\"h1\")\n" mem_name i;
+          add "    %s.w%d.clk <= clock\n" mem_name i)
+        m.Circuit.write_ports)
+    (Circuit.memories c);
+  (* Output hookups. *)
+  List.iter
+    (fun (n : Circuit.node) ->
+      add "    %s <= %s\n" (Hashtbl.find out_port n.Circuit.id) (name n.Circuit.id))
+    outputs;
+  let pairs = Hashtbl.fold (fun id nm acc -> (id, nm) :: acc) names [] in
+  { text = Buffer.contents buf; names = pairs; lossy_inits = !lossy }

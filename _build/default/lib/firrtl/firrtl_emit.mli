@@ -1,0 +1,21 @@
+(** FIRRTL text emission.
+
+    Serializes a graph IR circuit back to the FIRRTL subset this library
+    parses, as one flat module.  Node names are sanitized (dots and
+    dollars become underscores, clashes get numeric suffixes); the
+    returned table maps node ids to emitted names so testbenches can find
+    their signals after a round trip.
+
+    Caveat: FIRRTL cannot express a nonzero power-on value without a
+    reset, so registers with [init <> 0] and no reset port lose their
+    initial value (a diagnostic lists them). *)
+
+open Gsim_ir
+
+type result = {
+  text : string;
+  names : (int * string) list;   (** live node id -> emitted name *)
+  lossy_inits : string list;     (** registers whose nonzero init was dropped *)
+}
+
+val emit : Circuit.t -> result

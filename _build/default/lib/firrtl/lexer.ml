@@ -1,0 +1,141 @@
+type token =
+  | Id of string
+  | Int of int
+  | Str of string
+  | Punct of string
+  | Newline
+  | Indent
+  | Dedent
+  | Eof
+
+exception Lex_error of int * string
+
+let pp_token fmt = function
+  | Id s -> Format.fprintf fmt "identifier %S" s
+  | Int n -> Format.fprintf fmt "integer %d" n
+  | Str s -> Format.fprintf fmt "string %S" s
+  | Punct s -> Format.fprintf fmt "%S" s
+  | Newline -> Format.pp_print_string fmt "newline"
+  | Indent -> Format.pp_print_string fmt "indent"
+  | Dedent -> Format.pp_print_string fmt "dedent"
+  | Eof -> Format.pp_print_string fmt "end of input"
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9') || c = '$' || c = '-'
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Identifiers may contain '-' (e.g. "data-type") but must not swallow the
+   "=>" of "depth => 16"; a '-' is part of an identifier only when followed
+   by an identifier character. *)
+
+let tokenize src =
+  let tokens = ref [] in
+  let emit line tok = tokens := (tok, line) :: !tokens in
+  let lines = String.split_on_char '\n' src in
+  let indent_stack = ref [ 0 ] in
+  let lineno = ref 0 in
+  let lex_line line text =
+    let n = String.length text in
+    let pos = ref 0 in
+    let error msg = raise (Lex_error (line, msg)) in
+    while !pos < n do
+      let c = text.[!pos] in
+      if c = ' ' || c = '\t' || c = '\r' then incr pos
+      else if c = ';' then pos := n
+      else if c = '@' && !pos + 1 < n && text.[!pos + 1] = '[' then begin
+        (* Source locators: skip to the closing bracket. *)
+        let rec skip i = if i >= n then n else if text.[i] = ']' then i + 1 else skip (i + 1) in
+        pos := skip (!pos + 2)
+      end
+      else if c = '"' then begin
+        let buf = Buffer.create 16 in
+        let rec go i =
+          if i >= n then error "unterminated string"
+          else
+            match text.[i] with
+            | '"' -> i + 1
+            | '\\' when i + 1 < n ->
+              Buffer.add_char buf text.[i + 1];
+              go (i + 2)
+            | ch ->
+              Buffer.add_char buf ch;
+              go (i + 1)
+        in
+        pos := go (!pos + 1);
+        emit line (Str (Buffer.contents buf))
+      end
+      else if is_digit c then begin
+        let start = !pos in
+        while !pos < n && is_digit text.[!pos] do
+          incr pos
+        done;
+        emit line (Int (int_of_string (String.sub text start (!pos - start))))
+      end
+      else if is_id_start c then begin
+        let start = !pos in
+        incr pos;
+        let continue = ref true in
+        while !continue && !pos < n do
+          let ch = text.[!pos] in
+          if ch = '-' then
+            if !pos + 1 < n && is_id_char text.[!pos + 1] && text.[!pos + 1] <> '-' then incr pos
+            else continue := false
+          else if is_id_char ch then incr pos
+          else continue := false
+        done;
+        emit line (Id (String.sub text start (!pos - start)))
+      end
+      else begin
+        let two = if !pos + 1 < n then String.sub text !pos 2 else "" in
+        match two with
+        | "<=" | "=>" | "<-" ->
+          emit line (Punct two);
+          pos := !pos + 2
+        | _ ->
+          (match c with
+           | ':' | ',' | '(' | ')' | '<' | '>' | '.' | '-' | '=' | '[' | ']' ->
+             emit line (Punct (String.make 1 c));
+             incr pos
+           | _ -> error (Printf.sprintf "unexpected character %C" c))
+      end
+    done
+  in
+  List.iter
+    (fun raw ->
+      incr lineno;
+      let line = !lineno in
+      (* Measure indentation; tabs count as a single column like firtool. *)
+      let n = String.length raw in
+      let rec measure i = if i < n && (raw.[i] = ' ' || raw.[i] = '\t') then measure (i + 1) else i in
+      let indent = measure 0 in
+      let rest = String.sub raw indent (n - indent) in
+      let is_blank =
+        String.length rest = 0 || rest.[0] = ';' || String.for_all (fun c -> c = '\r') rest
+      in
+      if not is_blank then begin
+        let top () = match !indent_stack with t :: _ -> t | [] -> 0 in
+        if indent > top () then begin
+          indent_stack := indent :: !indent_stack;
+          emit line Indent
+        end
+        else
+          while indent < top () do
+            (match !indent_stack with
+             | _ :: tl -> indent_stack := tl
+             | [] -> ());
+            emit line Dedent;
+            if indent > top () then raise (Lex_error (line, "inconsistent indentation"))
+          done;
+        lex_line line raw;
+        emit line Newline
+      end)
+    lines;
+  let line = !lineno in
+  while (match !indent_stack with t :: _ -> t > 0 | [] -> false) do
+    (match !indent_stack with _ :: tl -> indent_stack := tl | [] -> ());
+    emit line Dedent
+  done;
+  emit line Eof;
+  Array.of_list (List.rev !tokens)

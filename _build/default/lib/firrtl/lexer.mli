@@ -1,0 +1,21 @@
+(** Indentation-aware FIRRTL lexer. *)
+
+type token =
+  | Id of string
+  | Int of int
+  | Str of string
+  | Punct of string
+  | Newline
+  | Indent
+  | Dedent
+  | Eof
+
+exception Lex_error of int * string
+(** Line number and message. *)
+
+val tokenize : string -> (token * int) array
+(** Token stream with line numbers.  Comments ([;] to end of line), file
+    info ([@[...]]) and blank lines are dropped; INDENT/DEDENT tokens are
+    synthesized from leading whitespace. *)
+
+val pp_token : Format.formatter -> token -> unit

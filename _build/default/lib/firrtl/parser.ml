@@ -1,0 +1,384 @@
+module Bits = Gsim_bits.Bits
+
+exception Parse_error of int * string
+
+type state = { tokens : (Lexer.token * int) array; mutable pos : int }
+
+let peek st = fst st.tokens.(st.pos)
+
+let line st = snd st.tokens.(st.pos)
+
+let error st msg = raise (Parse_error (line st, msg))
+
+let advance st = st.pos <- st.pos + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error st
+      (Format.asprintf "expected %a, found %a" Lexer.pp_token tok Lexer.pp_token (peek st))
+
+let expect_id st =
+  match next st with
+  | Lexer.Id s -> s
+  | t -> error st (Format.asprintf "expected identifier, found %a" Lexer.pp_token t)
+
+let expect_int st =
+  match next st with
+  | Lexer.Int n -> n
+  | t -> error st (Format.asprintf "expected integer, found %a" Lexer.pp_token t)
+
+let accept st tok = if peek st = tok then (advance st; true) else false
+
+let skip_newlines st =
+  while peek st = Lexer.Newline do
+    advance st
+  done
+
+(* --- Types ----------------------------------------------------------- *)
+
+let parse_ty st =
+  match next st with
+  | Lexer.Id "UInt" ->
+    expect st (Lexer.Punct "<");
+    let w = expect_int st in
+    expect st (Lexer.Punct ">");
+    Ast.Uint w
+  | Lexer.Id "SInt" ->
+    expect st (Lexer.Punct "<");
+    let w = expect_int st in
+    expect st (Lexer.Punct ">");
+    Ast.Sint w
+  | Lexer.Id "Clock" -> Ast.Clock_ty
+  | Lexer.Id ("Reset" | "AsyncReset") -> Ast.Reset_ty
+  | t -> error st (Format.asprintf "expected a ground type, found %a" Lexer.pp_token t)
+
+(* --- Expressions ------------------------------------------------------ *)
+
+(* Literal payload: UInt<8>(5), UInt<8>("hab"), SInt<4>(-2). *)
+let literal_value st ty =
+  let width = Ast.ty_width ty in
+  expect st (Lexer.Punct "(");
+  let v =
+    match next st with
+    | Lexer.Int n -> Bits.of_int ~width n
+    | Lexer.Punct "-" -> Bits.of_int ~width (-expect_int st)
+    | Lexer.Str s when String.length s >= 1 -> begin
+        let base, digits =
+          match s.[0] with
+          | 'h' -> (16, String.sub s 1 (String.length s - 1))
+          | 'b' -> (2, String.sub s 1 (String.length s - 1))
+          | 'o' -> (8, String.sub s 1 (String.length s - 1))
+          | _ -> (10, s)
+        in
+        match base with
+        | 16 -> Bits.of_string (Printf.sprintf "%d'h%s" width digits)
+        | 2 -> Bits.of_string (Printf.sprintf "%d'b%s" width digits)
+        | 10 -> Bits.of_string (Printf.sprintf "%d'd%s" width digits)
+        | _ ->
+          (* Octal: widen through an int (octal literals are rare and
+             small in practice). *)
+          Bits.of_int ~width (int_of_string ("0o" ^ digits))
+      end
+    | t -> error st (Format.asprintf "expected literal value, found %a" Lexer.pp_token t)
+  in
+  expect st (Lexer.Punct ")");
+  Ast.Literal (ty, v)
+
+let rec parse_expr st =
+  match peek st with
+  | Lexer.Id "UInt" | Lexer.Id "SInt" -> begin
+      let signed = peek st = Lexer.Id "SInt" in
+      advance st;
+      expect st (Lexer.Punct "<");
+      let w = expect_int st in
+      expect st (Lexer.Punct ">");
+      literal_value st (if signed then Ast.Sint w else Ast.Uint w)
+    end
+  | Lexer.Id "mux" ->
+    advance st;
+    expect st (Lexer.Punct "(");
+    let c = parse_expr st in
+    expect st (Lexer.Punct ",");
+    let a = parse_expr st in
+    expect st (Lexer.Punct ",");
+    let b = parse_expr st in
+    expect st (Lexer.Punct ")");
+    Ast.Mux (c, a, b)
+  | Lexer.Id "validif" ->
+    advance st;
+    expect st (Lexer.Punct "(");
+    let c = parse_expr st in
+    expect st (Lexer.Punct ",");
+    let a = parse_expr st in
+    expect st (Lexer.Punct ")");
+    Ast.Validif (c, a)
+  | Lexer.Id name ->
+    advance st;
+    if peek st = Lexer.Punct "(" then begin
+      (* Primop: expression arguments then static integer arguments. *)
+      advance st;
+      let exprs = ref [] and ints = ref [] in
+      if not (accept st (Lexer.Punct ")")) then begin
+        let rec args () =
+          (match peek st with
+           | Lexer.Int n ->
+             advance st;
+             ints := n :: !ints
+           | _ -> exprs := parse_expr st :: !exprs);
+          if accept st (Lexer.Punct ",") then args () else expect st (Lexer.Punct ")")
+        in
+        args ()
+      end;
+      Ast.Primop (name, List.rev !exprs, List.rev !ints)
+    end
+    else begin
+      let path = ref [ name ] in
+      while accept st (Lexer.Punct ".") do
+        path := expect_id st :: !path
+      done;
+      Ast.Ref (List.rev !path)
+    end
+  | t -> error st (Format.asprintf "expected expression, found %a" Lexer.pp_token t)
+
+(* --- Statements ------------------------------------------------------- *)
+
+let rec parse_block st =
+  (* Indent stmt* Dedent *)
+  skip_newlines st;
+  if accept st Lexer.Indent then begin
+    let stmts = ref [] in
+    let rec go () =
+      skip_newlines st;
+      if accept st Lexer.Dedent then ()
+      else begin
+        stmts := parse_stmt st :: !stmts;
+        go ()
+      end
+    in
+    go ();
+    List.rev !stmts
+  end
+  else []
+
+and parse_mem st name =
+  expect st (Lexer.Punct ":");
+  skip_newlines st;
+  expect st Lexer.Indent;
+  let data_type = ref None
+  and depth = ref None
+  and read_latency = ref 0
+  and write_latency = ref 1
+  and readers = ref []
+  and writers = ref [] in
+  let rec go () =
+    skip_newlines st;
+    if accept st Lexer.Dedent then ()
+    else begin
+      let field = expect_id st in
+      expect st (Lexer.Punct "=>");
+      (match field with
+       | "data-type" -> data_type := Some (parse_ty st)
+       | "depth" -> depth := Some (expect_int st)
+       | "read-latency" -> read_latency := expect_int st
+       | "write-latency" -> write_latency := expect_int st
+       | "reader" -> readers := expect_id st :: !readers
+       | "writer" -> writers := expect_id st :: !writers
+       | "read-under-write" -> ignore (expect_id st)
+       | "readwriter" -> error st "readwrite memory ports are not supported"
+       | f -> error st (Printf.sprintf "unknown memory field %S" f));
+      skip_newlines st;
+      go ()
+    end
+  in
+  go ();
+  match (!data_type, !depth) with
+  | Some data_type, Some mem_depth ->
+    Ast.Mem
+      {
+        Ast.mem_def_name = name;
+        data_type;
+        mem_depth;
+        read_latency = !read_latency;
+        write_latency = !write_latency;
+        readers = List.rev !readers;
+        writers = List.rev !writers;
+      }
+  | _ -> error st "memory needs data-type and depth"
+
+and parse_when st =
+  let cond = parse_expr st in
+  expect st (Lexer.Punct ":");
+  let then_block = parse_block st in
+  skip_newlines st;
+  let else_block =
+    if peek st = Lexer.Id "else" then begin
+      advance st;
+      if peek st = Lexer.Id "when" then begin
+        advance st;
+        [ parse_when st ]
+      end
+      else begin
+        expect st (Lexer.Punct ":");
+        parse_block st
+      end
+    end
+    else []
+  in
+  Ast.When (cond, then_block, else_block)
+
+and parse_stmt st : Ast.stmt =
+  match next st with
+  | Lexer.Id "wire" ->
+    let name = expect_id st in
+    expect st (Lexer.Punct ":");
+    Ast.Wire (name, parse_ty st)
+  | Lexer.Id "node" ->
+    let name = expect_id st in
+    expect st (Lexer.Punct "=");
+    Ast.Node (name, parse_expr st)
+  | Lexer.Id "reg" ->
+    let name = expect_id st in
+    expect st (Lexer.Punct ":");
+    let ty = parse_ty st in
+    expect st (Lexer.Punct ",");
+    let _clock = parse_expr st in
+    let reset =
+      if accept st (Lexer.Id "with") then begin
+        expect st (Lexer.Punct ":");
+        expect st (Lexer.Punct "(");
+        expect st (Lexer.Id "reset");
+        expect st (Lexer.Punct "=>");
+        expect st (Lexer.Punct "(");
+        let sig_ = parse_expr st in
+        expect st (Lexer.Punct ",");
+        let value = parse_expr st in
+        expect st (Lexer.Punct ")");
+        expect st (Lexer.Punct ")");
+        Some (sig_, value)
+      end
+      else None
+    in
+    Ast.Reg { reg_def_name = name; reg_ty = ty; reset }
+  | Lexer.Id "inst" ->
+    let name = expect_id st in
+    expect st (Lexer.Id "of");
+    Ast.Inst (name, expect_id st)
+  | Lexer.Id "mem" -> parse_mem st (expect_id st)
+  | Lexer.Id "when" -> parse_when st
+  | Lexer.Id "skip" -> Ast.Skip
+  | Lexer.Id "stop" ->
+    (* stop(clock, cond, code) *)
+    expect st (Lexer.Punct "(");
+    let _clock = parse_expr st in
+    expect st (Lexer.Punct ",");
+    let cond = parse_expr st in
+    expect st (Lexer.Punct ",");
+    let code = expect_int st in
+    expect st (Lexer.Punct ")");
+    Ast.Stop (cond, code)
+  | Lexer.Id "printf" ->
+    (* printf(clock, cond, "fmt", args...): parsed, not simulated. *)
+    expect st (Lexer.Punct "(");
+    let depth = ref 1 in
+    while !depth > 0 do
+      (match next st with
+       | Lexer.Punct "(" -> incr depth
+       | Lexer.Punct ")" -> decr depth
+       | Lexer.Eof -> error st "unterminated printf"
+       | _ -> ())
+    done;
+    Ast.Printf_stmt
+  | Lexer.Id name ->
+    (* Connect or invalidate on a reference. *)
+    let path = ref [ name ] in
+    while accept st (Lexer.Punct ".") do
+      path := expect_id st :: !path
+    done;
+    let path = List.rev !path in
+    (match next st with
+     | Lexer.Punct "<=" | Lexer.Punct "<-" -> Ast.Connect (path, parse_expr st)
+     | Lexer.Id "is" ->
+       expect st (Lexer.Id "invalid");
+       Ast.Invalidate path
+     | t -> error st (Format.asprintf "expected <= after reference, found %a" Lexer.pp_token t))
+  | t -> error st (Format.asprintf "expected statement, found %a" Lexer.pp_token t)
+
+(* --- Modules and circuit ---------------------------------------------- *)
+
+let parse_ports st =
+  let ports = ref [] in
+  let rec go () =
+    skip_newlines st;
+    match peek st with
+    | Lexer.Id (("input" | "output") as dir) ->
+      advance st;
+      let name = expect_id st in
+      expect st (Lexer.Punct ":");
+      let ty = parse_ty st in
+      skip_newlines st;
+      ports :=
+        { Ast.port_name = name; port_dir = (if dir = "input" then Ast.Input else Ast.Output); port_ty = ty }
+        :: !ports;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  List.rev !ports
+
+let parse_module st =
+  expect st (Lexer.Id "module");
+  let name = expect_id st in
+  expect st (Lexer.Punct ":");
+  skip_newlines st;
+  expect st Lexer.Indent;
+  let ports = parse_ports st in
+  let body = ref [] in
+  let rec go () =
+    skip_newlines st;
+    if accept st Lexer.Dedent then ()
+    else begin
+      body := parse_stmt st :: !body;
+      go ()
+    end
+  in
+  go ();
+  { Ast.module_name = name; ports; body = List.rev !body }
+
+let parse_circuit st =
+  skip_newlines st;
+  expect st (Lexer.Id "circuit");
+  let top = expect_id st in
+  expect st (Lexer.Punct ":");
+  skip_newlines st;
+  expect st Lexer.Indent;
+  let modules = ref [] in
+  let rec go () =
+    skip_newlines st;
+    if accept st Lexer.Dedent || peek st = Lexer.Eof then ()
+    else begin
+      modules := parse_module st :: !modules;
+      go ()
+    end
+  in
+  go ();
+  { Ast.circuit_top = top; modules = List.rev !modules }
+
+let parse_string src =
+  let tokens =
+    try Lexer.tokenize src
+    with Lexer.Lex_error (line, msg) -> raise (Parse_error (line, "lexical error: " ^ msg))
+  in
+  parse_circuit { tokens; pos = 0 }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse_string src

@@ -1,0 +1,8 @@
+(** Recursive-descent parser for the supported FIRRTL subset. *)
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val parse_string : string -> Ast.circuit
+
+val parse_file : string -> Ast.circuit

@@ -1,0 +1,1 @@
+lib/hcl/hcl.ml: Circuit Expr Fun Gsim_bits Gsim_ir List Option String

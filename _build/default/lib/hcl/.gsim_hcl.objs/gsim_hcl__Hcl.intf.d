@@ -1,0 +1,1 @@
+lib/hcl/hcl.mli: Circuit Gsim_bits Gsim_ir

@@ -1,0 +1,267 @@
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+type signal = Expr.t
+
+type pending = { guard : signal option; rhs : signal }
+
+type reg_state = {
+  register : Circuit.register;
+  mutable pending : pending list;  (* newest first *)
+}
+
+type t = {
+  c : Circuit.t;
+  mutable scopes : string list;    (* innermost first *)
+  mutable regs : reg_state list;
+  mutable frozen : bool;
+}
+
+type reg = t * reg_state
+
+type mem = t * int
+
+let create ?(name = "hcl") () =
+  { c = Circuit.create ~name (); scopes = []; regs = []; frozen = false }
+
+let circuit t = t.c
+
+let check_live t = if t.frozen then invalid_arg "Hcl: builder already finalized"
+
+let scoped t name = String.concat "." (List.rev (name :: t.scopes))
+
+let in_scope t name f =
+  t.scopes <- name :: t.scopes;
+  Fun.protect ~finally:(fun () ->
+      match t.scopes with _ :: tl -> t.scopes <- tl | [] -> ())
+    f
+
+let width = Expr.width
+
+let input t name w =
+  check_live t;
+  let n = Circuit.add_input t.c ~name:(scoped t name) ~width:w in
+  Expr.var ~width:w n.Circuit.id
+
+let const t ~width n =
+  ignore t;
+  Expr.of_int ~width n
+
+let const_bits t b =
+  ignore t;
+  Expr.const b
+
+let wire t name s =
+  check_live t;
+  match s.Expr.desc with
+  | Expr.Var _ -> s  (* already a node; renaming adds nothing *)
+  | _ ->
+    let n = Circuit.add_logic t.c ~name:(scoped t name) s in
+    Expr.var ~width:(Expr.width s) n.Circuit.id
+
+let signal_of_node t id =
+  let n = Circuit.node t.c id in
+  Expr.var ~width:n.Circuit.width n.Circuit.id
+
+let expr_of s = s
+
+let of_expr e = e
+
+let node_of s =
+  match s.Expr.desc with
+  | Expr.Var id -> id
+  | _ -> invalid_arg "Hcl.node_of: signal is not materialized; wire it first"
+
+let output t name s =
+  check_live t;
+  let s =
+    match s.Expr.desc with
+    | Expr.Var _ ->
+      (* Outputs must be distinct observable nodes. *)
+      let n = Circuit.add_logic t.c ~name:(scoped t name) s in
+      Expr.var ~width:(Expr.width s) n.Circuit.id
+    | _ -> wire t name s
+  in
+  Circuit.mark_output t.c (node_of s);
+  s
+
+(* --- Registers -------------------------------------------------------- *)
+
+let reg t ?init ?reset name w =
+  check_live t;
+  let init = match init with Some i -> i | None -> Bits.zero w in
+  let reset =
+    Option.map (fun (sig_s, value) -> ((Circuit.add_logic t.c ~name:(scoped t (name ^ "$rst")) sig_s).Circuit.id, value)) (
+      match reset with
+      | Some (sig_s, value) -> Some (sig_s, value)
+      | None -> None)
+  in
+  let register = Circuit.add_register t.c ~name:(scoped t name) ~width:w ~init ?reset () in
+  let rs = { register; pending = [] } in
+  t.regs <- rs :: t.regs;
+  (t, rs)
+
+let q ((t, rs) : reg) =
+  let node = Circuit.node t.c rs.register.Circuit.read in
+  Expr.var ~width:node.Circuit.width node.Circuit.id
+
+let set ((t, rs) : reg) s =
+  check_live t;
+  rs.pending <- { guard = None; rhs = s } :: rs.pending
+
+let set_when ((t, rs) : reg) ~guard s =
+  check_live t;
+  rs.pending <- { guard = Some guard; rhs = s } :: rs.pending
+
+let reg_node ((_, rs) : reg) = rs.register.Circuit.read
+
+let resize_expr s w =
+  if Expr.width s = w then s
+  else if Expr.width s > w then Expr.unop (Expr.Extract (w - 1, 0)) s
+  else Expr.unop (Expr.Pad_unsigned w) s
+
+let finalize t =
+  check_live t;
+  List.iter
+    (fun rs ->
+      let w = (Circuit.node t.c rs.register.Circuit.read).Circuit.width in
+      let default = Expr.var ~width:w rs.register.Circuit.read in
+      let next =
+        List.fold_left
+          (fun acc p ->
+            let rhs = resize_expr p.rhs w in
+            match p.guard with None -> rhs | Some g -> Expr.mux g rhs acc)
+          default (List.rev rs.pending)
+      in
+      Circuit.set_next t.c rs.register next)
+    t.regs;
+  t.frozen <- true;
+  Circuit.validate t.c;
+  t.c
+
+(* --- Memories ---------------------------------------------------------- *)
+
+let memory t name ~width ~depth =
+  check_live t;
+  (t, Circuit.add_memory t.c ~name:(scoped t name) ~width ~depth)
+
+let materialize t name s =
+  match s.Expr.desc with
+  | Expr.Var id -> id
+  | _ -> (Circuit.add_logic t.c ~name:(Circuit.fresh_name t.c (scoped t name))) s |> fun n -> n.Circuit.id
+
+let read ((t, mi) : mem) ?en addr =
+  check_live t;
+  let addr = materialize t "raddr" addr in
+  let en = Option.map (fun e -> materialize t "ren" e) en in
+  let n = Circuit.add_read_port t.c ~mem:mi ~name:(Circuit.fresh_name t.c "rdata") ~addr ?en () in
+  Expr.var ~width:n.Circuit.width n.Circuit.id
+
+let write ((t, mi) : mem) ~addr ~data ~en =
+  check_live t;
+  let addr = materialize t "waddr" addr in
+  let data = materialize t "wdata" data in
+  let en = materialize t "wen" en in
+  Circuit.add_write_port t.c ~mem:mi ~addr ~data ~en
+
+let mem_index ((_, mi) : mem) = mi
+
+(* --- Operators --------------------------------------------------------- *)
+
+let common2 a b =
+  let w = max (Expr.width a) (Expr.width b) in
+  (resize_expr a w, resize_expr b w, w)
+
+let ( +: ) a b =
+  let a, b, w = common2 a b in
+  Expr.unop (Expr.Extract (w - 1, 0)) (Expr.binop Expr.Add a b)
+
+let ( -: ) a b =
+  let a, b, w = common2 a b in
+  Expr.unop (Expr.Extract (w - 1, 0)) (Expr.binop Expr.Sub a b)
+
+let ( *: ) a b =
+  let a, b, w = common2 a b in
+  Expr.unop (Expr.Extract (w - 1, 0)) (Expr.binop Expr.Mul a b)
+
+let add_w a b = Expr.binop Expr.Add a b
+
+let mul_w a b = Expr.binop Expr.Mul a b
+
+let udiv a b = Expr.binop Expr.Div a b
+
+let urem a b =
+  let a, b, _ = common2 a b in
+  Expr.binop Expr.Rem a b
+
+let ( &: ) a b =
+  let a, b, _ = common2 a b in
+  Expr.binop Expr.And a b
+
+let ( |: ) a b =
+  let a, b, _ = common2 a b in
+  Expr.binop Expr.Or a b
+
+let ( ^: ) a b =
+  let a, b, _ = common2 a b in
+  Expr.binop Expr.Xor a b
+
+let lnot a = Expr.unop Expr.Not a
+
+let sll a b = Expr.binop Expr.Dshl a b
+
+let srl a b = Expr.binop Expr.Dshr a b
+
+let sra a b = Expr.binop Expr.Dshr_signed a b
+
+let shl_const a n = Expr.unop (Expr.Shl_const n) a
+
+let shr_const a n = Expr.unop (Expr.Shr_const n) a
+
+let eq a b = Expr.binop Expr.Eq a b
+
+let neq a b = Expr.binop Expr.Neq a b
+
+let ult a b = Expr.binop Expr.Lt a b
+
+let ule a b = Expr.binop Expr.Leq a b
+
+let slt a b =
+  let a, b, _ = common2 a b in
+  Expr.binop Expr.Lt_signed a b
+
+let sle a b =
+  let a, b, _ = common2 a b in
+  Expr.binop Expr.Leq_signed a b
+
+let mux2 sel a b =
+  let a, b, _ = common2 a b in
+  Expr.mux sel a b
+
+let select cases ~default =
+  List.fold_right (fun (guard, value) acc -> mux2 guard value acc) cases default
+
+let bits s ~hi ~lo = Expr.unop (Expr.Extract (hi, lo)) s
+
+let bit s i = Expr.unop (Expr.Extract (i, i)) s
+
+let cat = function
+  | [] -> invalid_arg "Hcl.cat: empty"
+  | s :: rest -> List.fold_left (fun acc x -> Expr.binop Expr.Cat acc x) s rest
+
+let resize s w = resize_expr s w
+
+let sext s w =
+  if Expr.width s = w then s
+  else if Expr.width s > w then Expr.unop (Expr.Extract (w - 1, 0)) s
+  else Expr.unop (Expr.Pad_signed w) s
+
+let reduce_or s = Expr.unop Expr.Reduce_or s
+
+let reduce_and s = Expr.unop Expr.Reduce_and s
+
+let reduce_xor s = Expr.unop Expr.Reduce_xor s
+
+let is_zero s = Expr.unop Expr.Not (Expr.unop Expr.Reduce_or s)
+
+let non_zero s = Expr.unop Expr.Reduce_or s

@@ -1,0 +1,153 @@
+(** A small Chisel-like hardware construction DSL.
+
+    Circuits are built by calling combinators against a mutable builder;
+    {!finalize} resolves pending register updates and returns the
+    validated {!Gsim_ir.Circuit.t}.  Signals are expression values; use
+    {!wire} to materialize (and name) intermediate nodes — materialized
+    nodes are the unit of activity tracking in the engines, so designs
+    materialize at block boundaries.
+
+    All processor models in [gsim_designs] are written in this DSL — it is
+    this repository's substitute for Chisel. *)
+
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+type t
+
+type signal
+
+type reg
+
+type mem
+
+val create : ?name:string -> unit -> t
+
+val finalize : t -> Circuit.t
+(** Installs every register's accumulated next-value, validates, and
+    freezes the builder (later mutations raise). *)
+
+val circuit : t -> Circuit.t
+(** The underlying circuit (also available before [finalize]). *)
+
+(** {1 Scoping} *)
+
+val in_scope : t -> string -> (unit -> 'a) -> 'a
+(** Names created inside get ["scope."] prefixes. *)
+
+(** {1 Ports, constants, wires} *)
+
+val input : t -> string -> int -> signal
+
+val output : t -> string -> signal -> signal
+(** Materializes the signal as a named, observable node. *)
+
+val const : t -> width:int -> int -> signal
+
+val const_bits : t -> Bits.t -> signal
+
+val wire : t -> string -> signal -> signal
+
+val width : signal -> int
+
+val node_of : signal -> int
+(** The backing node id.  Raises [Invalid_argument] if the signal is a
+    bare expression; [wire] it first. *)
+
+val signal_of_node : t -> int -> signal
+(** View an existing node (e.g. from another component's handles) as a
+    signal. *)
+
+val expr_of : signal -> Gsim_ir.Expr.t
+(** Escape hatch to the IR expression. *)
+
+val of_expr : Gsim_ir.Expr.t -> signal
+
+(** {1 Registers} *)
+
+val reg : t -> ?init:Bits.t -> ?reset:signal * Bits.t -> string -> int -> reg
+
+val q : reg -> signal
+(** The register's current value. *)
+
+val set : reg -> signal -> unit
+(** Unconditional next value (last set wins). *)
+
+val set_when : reg -> guard:signal -> signal -> unit
+(** Guarded next value; priority to later calls, holds otherwise. *)
+
+val reg_node : reg -> int
+(** Node id of the read port. *)
+
+(** {1 Memories} *)
+
+val memory : t -> string -> width:int -> depth:int -> mem
+
+val read : mem -> ?en:signal -> signal -> signal
+(** Combinational read port. *)
+
+val write : mem -> addr:signal -> data:signal -> en:signal -> unit
+
+val mem_index : mem -> int
+(** Index for [Sim.load_mem]. *)
+
+(** {1 Operators}
+
+    Unless noted, arithmetic is unsigned and truncating to the wider
+    operand's width (the convenient form for datapaths); [_w]-suffixed
+    variants follow the widening FIRRTL rules. *)
+
+val ( +: ) : signal -> signal -> signal
+val ( -: ) : signal -> signal -> signal
+val ( *: ) : signal -> signal -> signal
+val add_w : signal -> signal -> signal
+val mul_w : signal -> signal -> signal
+val udiv : signal -> signal -> signal
+val urem : signal -> signal -> signal
+val ( &: ) : signal -> signal -> signal
+val ( |: ) : signal -> signal -> signal
+val ( ^: ) : signal -> signal -> signal
+val lnot : signal -> signal
+val sll : signal -> signal -> signal
+(** Dynamic shift left, keeps width; [srl]/[sra] are the logical and
+    arithmetic right shifts. *)
+
+val srl : signal -> signal -> signal
+val sra : signal -> signal -> signal
+
+val shl_const : signal -> int -> signal
+(** Widening static shifts. *)
+
+val shr_const : signal -> int -> signal
+val eq : signal -> signal -> signal
+val neq : signal -> signal -> signal
+val ult : signal -> signal -> signal
+val ule : signal -> signal -> signal
+
+val slt : signal -> signal -> signal
+(** Signed compares. *)
+
+val sle : signal -> signal -> signal
+val mux2 : signal -> signal -> signal -> signal
+(** [mux2 sel a b]; branches are resized to the wider. *)
+
+val select : (signal * signal) list -> default:signal -> signal
+(** Priority selector: first matching guard wins. *)
+
+val bits : signal -> hi:int -> lo:int -> signal
+val bit : signal -> int -> signal
+val cat : signal list -> signal
+(** Head is most significant. *)
+
+val resize : signal -> int -> signal
+(** Zero-extend or truncate. *)
+
+val sext : signal -> int -> signal
+(** Sign-extend (or truncate). *)
+
+val reduce_or : signal -> signal
+val reduce_and : signal -> signal
+val reduce_xor : signal -> signal
+
+val is_zero : signal -> signal
+val non_zero : signal -> signal

@@ -1,0 +1,1 @@
+lib/ir/circuit.ml: Array Expr Format Gsim_bits Hashtbl List Option Printf Queue

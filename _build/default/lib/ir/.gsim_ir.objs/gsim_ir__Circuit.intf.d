@@ -1,0 +1,1 @@
+lib/ir/circuit.mli: Expr Format Gsim_bits

@@ -1,0 +1,1 @@
+lib/ir/rand_circuit.ml: Array Circuit Expr Gsim_bits List Printf Random

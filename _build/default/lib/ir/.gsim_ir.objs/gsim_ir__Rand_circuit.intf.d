@@ -1,0 +1,1 @@
+lib/ir/rand_circuit.mli: Circuit Gsim_bits Random

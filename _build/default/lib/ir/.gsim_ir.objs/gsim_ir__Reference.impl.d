@@ -1,0 +1,1 @@
+lib/ir/reference.ml: Array Circuit Expr Gsim_bits List Printf

@@ -1,0 +1,192 @@
+module Bits = Gsim_bits.Bits
+
+type config = {
+  logic_nodes : int;
+  num_inputs : int;
+  num_registers : int;
+  max_width : int;
+  with_memory : bool;
+  with_reset : bool;
+  max_depth : int;
+}
+
+let default_config =
+  {
+    logic_nodes = 40;
+    num_inputs = 4;
+    num_registers = 6;
+    max_width = 70;
+    with_memory = true;
+    with_reset = true;
+    max_depth = 3;
+  }
+
+let pick st arr = arr.(Random.State.int st (Array.length arr))
+
+(* A random expression of exactly [width] bits over the node pool. *)
+let rec rand_expr st cfg pool ~width ~depth =
+  let leaf () =
+    if Random.State.int st 4 = 0 || Array.length pool = 0 then
+      Expr.const (Bits.random st ~width)
+    else begin
+      let id, w = pick st pool in
+      let v = Expr.var ~width:w id in
+      if w = width then v
+      else if Random.State.bool st then Expr.unop (Expr.Pad_unsigned width) v
+      else Expr.unop (Expr.Pad_signed width) v
+    end
+  in
+  if depth <= 0 then leaf ()
+  else begin
+    let sub ~width = rand_expr st cfg pool ~width ~depth:(depth - 1) in
+    let fit e =
+      if Expr.width e = width then e
+      else if Expr.width e > width then Expr.unop (Expr.Extract (width - 1, 0)) e
+      else Expr.unop (Expr.Pad_unsigned width) e
+    in
+    let rand_w () = 1 + Random.State.int st cfg.max_width in
+    match Random.State.int st 12 with
+    | 0 -> leaf ()
+    | 1 ->
+      let op = pick st [| Expr.Not |] in
+      fit (Expr.unop op (sub ~width))
+    | 2 ->
+      let w = rand_w () in
+      let op = pick st [| Expr.Reduce_and; Expr.Reduce_or; Expr.Reduce_xor |] in
+      fit (Expr.unop op (sub ~width:w))
+    | 3 ->
+      let w = rand_w () in
+      let hi = Random.State.int st w and lo = Random.State.int st w in
+      let hi, lo = (max hi lo, min hi lo) in
+      fit (Expr.unop (Expr.Extract (hi, lo)) (sub ~width:w))
+    | 4 ->
+      let w = rand_w () in
+      let op =
+        pick st [| Expr.Add; Expr.Sub; Expr.And; Expr.Or; Expr.Xor; Expr.Cat |]
+      in
+      fit (Expr.binop op (sub ~width:w) (sub ~width:(rand_w ())))
+    | 5 ->
+      let w = min 16 (rand_w ()) in
+      fit (Expr.binop Expr.Mul (sub ~width:w) (sub ~width:(min 16 (rand_w ()))))
+    | 6 ->
+      let w = rand_w () in
+      let op = pick st [| Expr.Div; Expr.Rem; Expr.Div_signed; Expr.Rem_signed |] in
+      fit (Expr.binop op (sub ~width:w) (sub ~width:(rand_w ())))
+    | 7 ->
+      let w = rand_w () in
+      let op =
+        pick st
+          [|
+            Expr.Eq; Expr.Neq; Expr.Lt; Expr.Leq; Expr.Gt; Expr.Geq;
+            Expr.Lt_signed; Expr.Leq_signed; Expr.Gt_signed; Expr.Geq_signed;
+          |]
+      in
+      fit (Expr.binop op (sub ~width:w) (sub ~width:(rand_w ())))
+    | 8 ->
+      let w = rand_w () in
+      let op = pick st [| Expr.Dshl; Expr.Dshr; Expr.Dshr_signed |] in
+      fit (Expr.binop op (sub ~width:w) (sub ~width:(1 + Random.State.int st 6)))
+    | 9 ->
+      let w = rand_w () in
+      let n = Random.State.int st 8 in
+      let op = if Random.State.bool st then Expr.Shl_const n else Expr.Shr_const n in
+      fit (Expr.unop op (sub ~width:w))
+    | 10 ->
+      let w = rand_w () in
+      fit (Expr.unop Expr.Neg (sub ~width:w))
+    | _ -> Expr.mux (sub ~width:1) (sub ~width) (sub ~width)
+  end
+
+let generate st cfg =
+  let c = Circuit.create ~name:"random" () in
+  let pool = ref [] in
+  let add_pool (n : Circuit.node) = pool := (n.id, n.width) :: !pool in
+  let reset_input =
+    if cfg.with_reset then begin
+      let n = Circuit.add_input c ~name:"reset" ~width:1 in
+      Some n.id
+    end
+    else None
+  in
+  for i = 0 to cfg.num_inputs - 1 do
+    let width = 1 + Random.State.int st cfg.max_width in
+    add_pool (Circuit.add_input c ~name:(Printf.sprintf "in%d" i) ~width)
+  done;
+  let regs =
+    List.init cfg.num_registers (fun i ->
+        let width = 1 + Random.State.int st cfg.max_width in
+        let init = Bits.random st ~width in
+        let reset =
+          match reset_input with
+          | Some rid when Random.State.bool st -> Some (rid, Bits.random st ~width)
+          | Some _ | None -> None
+        in
+        let r =
+          Circuit.add_register c ~name:(Printf.sprintf "r%d" i) ~width ~init ?reset ()
+        in
+        add_pool (Circuit.node c r.Circuit.read);
+        r)
+  in
+  for i = 0 to cfg.logic_nodes - 1 do
+    let width = 1 + Random.State.int st cfg.max_width in
+    let depth = 1 + Random.State.int st cfg.max_depth in
+    let e = rand_expr st cfg (Array.of_list !pool) ~width ~depth in
+    add_pool (Circuit.add_logic c ~name:(Printf.sprintf "w%d" i) e)
+  done;
+  (* Optional memory exercising read and write ports. *)
+  if cfg.with_memory then begin
+    let depth = 16 in
+    let width = 1 + Random.State.int st (min 62 cfg.max_width) in
+    let mem = Circuit.add_memory c ~name:"m" ~width ~depth in
+    let node_of_width target =
+      let candidates = List.filter (fun (_, w) -> w = target) !pool in
+      match candidates with
+      | (id, _) :: _ -> id
+      | [] ->
+        let e =
+          rand_expr st cfg (Array.of_list !pool) ~width:target ~depth:1
+        in
+        let n = Circuit.add_logic c ~name:(Circuit.fresh_name c "madj") e in
+        add_pool n;
+        n.id
+    in
+    let raddr = node_of_width 4 and waddr = node_of_width 4 in
+    let wdata = node_of_width width and wen = node_of_width 1 in
+    let rdata = Circuit.add_read_port c ~mem ~name:"m_r" ~addr:raddr () in
+    add_pool rdata;
+    Circuit.add_write_port c ~mem ~addr:waddr ~data:wdata ~en:wen
+  end;
+  (* Hook register next-values to random expressions. *)
+  List.iter
+    (fun (r : Circuit.register) ->
+      let width = (Circuit.node c r.read).Circuit.width in
+      let e = rand_expr st cfg (Array.of_list !pool) ~width ~depth:cfg.max_depth in
+      Circuit.set_next c r e)
+    regs;
+  (* Mark several observables: a handful of logic nodes plus all register
+     reads, so the trace comparison sees real state. *)
+  let pool_arr = Array.of_list !pool in
+  for _ = 1 to max 3 (Array.length pool_arr / 8) do
+    let id, _ = pick st pool_arr in
+    Circuit.mark_output c id
+  done;
+  List.iter (fun (r : Circuit.register) -> Circuit.mark_output c r.Circuit.read) regs;
+  Circuit.validate c;
+  c
+
+let random_stimulus st c ~cycles =
+  let ins = Circuit.inputs c in
+  Array.init cycles (fun _ ->
+      List.filter_map
+        (fun (n : Circuit.node) ->
+          if Random.State.int st 3 = 0 then None
+          else begin
+            (* Bias the reset input low so reset does not dominate. *)
+            let v =
+              if n.name = "reset" then
+                Bits.of_int ~width:1 (if Random.State.int st 10 = 0 then 1 else 0)
+              else Bits.random st ~width:n.width
+            in
+            Some (n.id, v)
+          end)
+        ins)

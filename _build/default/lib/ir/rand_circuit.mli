@@ -1,0 +1,26 @@
+(** Random circuit generation for property-based testing.
+
+    Generated circuits are valid and acyclic by construction, contain
+    inputs, logic with every operator class, registers (some with reset)
+    and optionally a memory, and have several marked outputs.  Used by the
+    engine-equivalence and pass-soundness qcheck suites. *)
+
+type config = {
+  logic_nodes : int;    (** number of random combinational nodes *)
+  num_inputs : int;
+  num_registers : int;
+  max_width : int;      (** widths are drawn in [1, max_width] *)
+  with_memory : bool;
+  with_reset : bool;
+  max_depth : int;      (** expression tree depth *)
+}
+
+val default_config : config
+
+val generate : Random.State.t -> config -> Circuit.t
+
+val random_stimulus :
+  Random.State.t -> Circuit.t -> cycles:int -> (int * Gsim_bits.Bits.t) list array
+(** [random_stimulus st c ~cycles] draws, for each cycle, a list of
+    (input node id, value) pokes — the same stimulus can then be replayed
+    against several simulators. *)

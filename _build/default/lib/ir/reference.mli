@@ -1,0 +1,49 @@
+(** Reference interpreter.
+
+    A direct, slow execution of the circuit semantics: every cycle, all
+    expression-carrying nodes are evaluated in topological order, then
+    registers latch and memory writes commit.  Every engine in
+    [gsim_engine] must produce bit-identical traces to this interpreter;
+    the test suite enforces it.
+
+    The circuit must not be mutated after [create]. *)
+
+module Bits = Gsim_bits.Bits
+
+type t
+
+val create : Circuit.t -> t
+
+val circuit : t -> Circuit.t
+
+val poke : t -> int -> Bits.t -> unit
+(** Set an input node's value.  Raises [Invalid_argument] if the node is
+    not an input or the width differs. *)
+
+val peek : t -> int -> Bits.t
+(** Current value of any node.  Combinational values are those of the last
+    {!eval_comb}/{!step}. *)
+
+val eval_comb : t -> unit
+(** Settle all combinational values for the current inputs and state
+    without advancing the clock. *)
+
+val step : t -> unit
+(** One clock cycle: evaluate, then latch registers (applying slow-path
+    resets) and commit memory writes. *)
+
+val run : t -> int -> unit
+(** [run t n] steps [n] cycles. *)
+
+val load_mem : t -> int -> Bits.t array -> unit
+(** Initialize the contents of memory [i] (for program loading); lengths
+    beyond the depth are rejected. *)
+
+val read_mem : t -> int -> int -> Bits.t
+(** [read_mem t mem addr]. *)
+
+val force_register : t -> int -> Bits.t -> unit
+(** Overwrite a register's current value (by read-node id); checkpoint
+    restore. *)
+
+val cycle_count : t -> int

@@ -1,0 +1,1 @@
+lib/partition/partition.ml: Array Circuit Format Gsim_ir Hashtbl List Printf Queue Set Stack String

@@ -1,0 +1,1 @@
+lib/partition/partition.mli: Circuit Format Gsim_ir

@@ -1,0 +1,1 @@
+lib/passes/alias.ml: Analysis Array Circuit Expr Gsim_ir List Option Pass

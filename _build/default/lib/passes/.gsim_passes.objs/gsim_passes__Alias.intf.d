@@ -1,0 +1,1 @@
+lib/passes/alias.mli: Pass

@@ -1,0 +1,1 @@
+lib/passes/analysis.ml: Array Circuit Expr Gsim_ir List Queue

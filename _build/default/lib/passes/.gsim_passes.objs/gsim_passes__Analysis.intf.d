@@ -1,0 +1,1 @@
+lib/passes/analysis.mli: Circuit Gsim_ir

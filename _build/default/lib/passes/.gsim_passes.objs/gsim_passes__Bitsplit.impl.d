@@ -1,0 +1,1 @@
+lib/passes/bitsplit.ml: Array Circuit Expr Gsim_bits Gsim_ir Hashtbl List Option Pass

@@ -1,0 +1,1 @@
+lib/passes/bitsplit.mli: Pass

@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Analysis Array Circuit Gsim_ir List Pass

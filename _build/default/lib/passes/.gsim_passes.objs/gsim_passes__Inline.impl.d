@@ -1,0 +1,1 @@
+lib/passes/inline.ml: Analysis Array Circuit Expr Format Gsim_ir Hashtbl List Pass

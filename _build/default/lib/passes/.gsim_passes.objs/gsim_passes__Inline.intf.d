@@ -1,0 +1,1 @@
+lib/passes/inline.mli: Pass

@@ -1,0 +1,1 @@
+lib/passes/pass.ml: Circuit Format Gsim_ir List

@@ -1,0 +1,1 @@
+lib/passes/pass.mli: Circuit Format Gsim_ir

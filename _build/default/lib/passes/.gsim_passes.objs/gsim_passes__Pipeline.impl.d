@@ -1,0 +1,1 @@
+lib/passes/pipeline.ml: Alias Bitsplit Circuit Dce Gsim_ir Inline Pass Reset_opt Simplify

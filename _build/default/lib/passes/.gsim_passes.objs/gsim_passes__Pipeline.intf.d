@@ -1,0 +1,1 @@
+lib/passes/pipeline.mli: Circuit Gsim_ir Pass

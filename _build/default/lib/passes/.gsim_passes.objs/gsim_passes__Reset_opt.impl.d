@@ -1,0 +1,1 @@
+lib/passes/reset_opt.ml: Circuit Expr Gsim_bits Gsim_ir List Pass

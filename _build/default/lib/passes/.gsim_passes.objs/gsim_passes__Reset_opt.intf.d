@@ -1,0 +1,1 @@
+lib/passes/reset_opt.mli: Pass

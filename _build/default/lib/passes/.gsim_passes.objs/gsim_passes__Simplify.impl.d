@@ -1,0 +1,1 @@
+lib/passes/simplify.ml: Circuit Expr Gsim_bits Gsim_ir Option Pass

@@ -1,0 +1,1 @@
+lib/passes/simplify.mli: Gsim_ir Pass

@@ -1,0 +1,10 @@
+(** Alias-node elimination and constant forwarding (paper §III-B,
+    "redundant node elimination" items 1 and 3 preparation).
+
+    A logic node whose expression is exactly another node's value is an
+    alias: all uses are redirected and the node deleted.  A logic node
+    whose expression is a constant is forwarded into its users (ports and
+    reset signals need a real node, so port-referenced constants are
+    kept). *)
+
+val pass : Pass.t

@@ -1,0 +1,79 @@
+open Gsim_ir
+
+let use_counts c =
+  let counts = Array.make (Circuit.max_id c) 0 in
+  Circuit.iter_nodes c (fun n ->
+      match n.Circuit.expr with
+      | Some e -> Expr.iter_vars (fun v -> counts.(v) <- counts.(v) + 1) e
+      | None -> ());
+  counts
+
+let port_protected c =
+  let prot = Array.make (Circuit.max_id c) false in
+  Array.iter
+    (fun (m : Circuit.memory) ->
+      List.iter
+        (fun (w : Circuit.write_port) ->
+          prot.(w.w_addr) <- true;
+          prot.(w.w_data) <- true;
+          prot.(w.w_en) <- true)
+        m.write_ports;
+      List.iter
+        (fun data_id ->
+          match (Circuit.node c data_id).Circuit.kind with
+          | Circuit.Mem_read pi ->
+            let p = Circuit.read_port c pi in
+            prot.(p.Circuit.r_addr) <- true;
+            (match p.Circuit.r_en with Some en -> prot.(en) <- true | None -> ())
+          | _ -> ())
+        m.read_port_ids)
+    (Circuit.memories c);
+  List.iter
+    (fun (r : Circuit.register) ->
+      match r.reset with
+      | Some rst -> prot.(rst.Circuit.reset_signal) <- true
+      | None -> ())
+    (Circuit.registers c);
+  prot
+
+let live c =
+  let live = Array.make (Circuit.max_id c) false in
+  let mem_live = Array.make (Array.length (Circuit.memories c)) false in
+  let queue = Queue.create () in
+  let mark id =
+    if not live.(id) then begin
+      live.(id) <- true;
+      Queue.add id queue
+    end
+  in
+  Circuit.iter_nodes c (fun n ->
+      if n.Circuit.is_output then mark n.Circuit.id;
+      match n.Circuit.kind with Circuit.Input -> mark n.Circuit.id | _ -> ());
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    let n = Circuit.node c id in
+    List.iter mark (Circuit.dependencies c id);
+    match n.Circuit.kind with
+    | Circuit.Reg_read _ ->
+      (match Circuit.register_of_node c id with
+       | Some r ->
+         mark r.Circuit.next;
+         (match r.Circuit.reset with
+          | Some rst -> mark rst.Circuit.reset_signal
+          | None -> ())
+       | None -> ())
+    | Circuit.Mem_read pi ->
+      let p = Circuit.read_port c pi in
+      let mi = p.Circuit.r_mem in
+      if not mem_live.(mi) then begin
+        mem_live.(mi) <- true;
+        List.iter
+          (fun (w : Circuit.write_port) ->
+            mark w.w_addr;
+            mark w.w_data;
+            mark w.w_en)
+          (Circuit.memory c mi).Circuit.write_ports
+      end
+    | Circuit.Input | Circuit.Logic | Circuit.Reg_next _ -> ()
+  done;
+  live

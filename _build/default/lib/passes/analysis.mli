@@ -1,0 +1,21 @@
+(** Shared dataflow analyses used by the optimization passes. *)
+
+open Gsim_ir
+
+val use_counts : Circuit.t -> int array
+(** Number of [Var] occurrences of each node across all expressions
+    (repetitions count; port and reset references are not included — see
+    {!port_protected}). *)
+
+val port_protected : Circuit.t -> bool array
+(** Nodes referenced by memory ports or register reset signals.  These
+    references are plain node ids, so such a node may only be replaced by
+    another node, never by an arbitrary expression. *)
+
+val live : Circuit.t -> bool array
+(** Liveness from the observable roots: output-marked nodes keep their
+    dependency cone alive; a live register read keeps its next-expression
+    and reset signal alive; a live memory read port keeps the memory's
+    write ports alive.  Inputs are always live (they are the circuit's
+    interface).  Everything else is dead — including registers that only
+    update themselves (the paper's "unused registers"). *)

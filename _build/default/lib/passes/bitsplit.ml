@@ -1,0 +1,159 @@
+open Gsim_ir
+
+(* A node qualifies when (a) its expression is a top-level concat whose
+   parts are not already split out, and (b) at least one consumer extracts
+   a range that lies entirely within one part — otherwise splitting only
+   adds nodes without removing activations. *)
+
+let part_widths (e : Expr.t) =
+  match e.Expr.desc with
+  | Expr.Binop (Expr.Cat, a, b) -> Some (a, b)
+  | _ -> None
+
+let run c =
+  (* Collect split candidates: node id -> (hi part, lo part).  Logic nodes
+     split in place; a register whose next value is a concatenation is
+     shadowed by two part registers (r_hi latches the high expression,
+     r_lo the low one) so consumers of one half stop waking on changes to
+     the other — Fig. 4 with state involved. *)
+  let nmax = Circuit.max_id c in
+  let candidate : (Expr.t * Expr.t) option array = Array.make nmax None in
+  let reg_candidate : (Circuit.register * Expr.t * Expr.t) option array =
+    Array.make nmax None
+  in
+  Circuit.iter_nodes c (fun n ->
+      if n.Circuit.kind = Circuit.Logic then
+        match n.Circuit.expr with
+        | Some e ->
+          (match part_widths e with
+           | Some (a, b) -> candidate.(n.Circuit.id) <- Some (a, b)
+           | None -> ())
+        | None -> ());
+  List.iter
+    (fun (r : Circuit.register) ->
+      match (Circuit.node c r.Circuit.next).Circuit.expr with
+      | Some e -> (
+          match part_widths e with
+          | Some (a, b) -> reg_candidate.(r.Circuit.read) <- Some (r, a, b)
+          | None -> ())
+      | None -> ())
+    (Circuit.registers c);
+  (* Does any consumer extract within a part? *)
+  let beneficial = Array.make nmax false in
+  let rec scan (e : Expr.t) =
+    (match e.Expr.desc with
+     | Expr.Unop (Expr.Extract (hi, lo), { Expr.desc = Expr.Var v; _ }) when v < nmax -> (
+         (match candidate.(v) with
+          | Some (_, b) ->
+            let wb = Expr.width b in
+            if hi < wb || lo >= wb then beneficial.(v) <- true
+          | None -> ());
+         match reg_candidate.(v) with
+         | Some (_, _, b) ->
+           let wb = Expr.width b in
+           if hi < wb || lo >= wb then beneficial.(v) <- true
+         | None -> ())
+     | _ -> ());
+    match e.Expr.desc with
+    | Expr.Const _ | Expr.Var _ -> ()
+    | Expr.Unop (_, a) -> scan a
+    | Expr.Binop (_, a, b) -> scan a; scan b
+    | Expr.Mux (s, a, b) -> scan s; scan a; scan b
+  in
+  Circuit.iter_nodes c (fun n ->
+      match n.Circuit.expr with Some e -> scan e | None -> ());
+  (* Materialize parts for the beneficial candidates. *)
+  let parts = Hashtbl.create 16 in
+  let changed = ref 0 in
+  for id = 0 to nmax - 1 do
+    if beneficial.(id) then begin
+      match candidate.(id) with
+      | Some (a, b) ->
+        let n = Circuit.node c id in
+        (* A part that is already another node needs no materialization:
+           consumers retarget straight to it (Fig. 4's register case). *)
+        let part_node suffix (e : Expr.t) =
+          match e.Expr.desc with
+          | Expr.Var v -> v
+          | _ ->
+            (Circuit.add_logic c ~name:(Circuit.fresh_name c (n.Circuit.name ^ suffix)) e)
+              .Circuit.id
+        in
+        let hi_id = part_node "$hi" a and lo_id = part_node "$lo" b in
+        Circuit.set_expr c id
+          (Expr.binop Expr.Cat
+             (Expr.var ~width:(Expr.width a) hi_id)
+             (Expr.var ~width:(Expr.width b) lo_id));
+        Hashtbl.replace parts id (hi_id, lo_id, Expr.width b);
+        incr changed
+      | None -> ()
+    end
+  done;
+  (* Shadow part-registers. *)
+  for id = 0 to nmax - 1 do
+    if beneficial.(id) then begin
+      match reg_candidate.(id) with
+      | Some (r, a, b) ->
+        let module B = Gsim_bits.Bits in
+        let wa = Expr.width a and wb = Expr.width b in
+        let mk suffix ~hi ~lo e w =
+          let init = B.extract r.Circuit.init ~hi ~lo in
+          let reset =
+            Option.map
+              (fun (rst : Circuit.reset) ->
+                (rst.Circuit.reset_signal, B.extract rst.Circuit.reset_value ~hi ~lo))
+              r.Circuit.reset
+          in
+          let part =
+            Circuit.add_register c
+              ~name:(Circuit.fresh_name c (r.Circuit.reg_name ^ suffix))
+              ~width:w ~init ?reset ()
+          in
+          Circuit.set_next c part e;
+          part
+        in
+        let r_hi = mk "$hi" ~hi:(wa + wb - 1) ~lo:wb a wa in
+        let r_lo = mk "$lo" ~hi:(wb - 1) ~lo:0 b wb in
+        Hashtbl.replace parts id (r_hi.Circuit.read, r_lo.Circuit.read, wb);
+        incr changed
+      | None -> ()
+    end
+  done;
+  if !changed > 0 then begin
+    (* Retarget in-part extracts to the part nodes. *)
+    let rec retarget (e : Expr.t) : Expr.t =
+      match e.Expr.desc with
+      | Expr.Unop (Expr.Extract (hi, lo), ({ Expr.desc = Expr.Var v; _ } as whole))
+        when Hashtbl.mem parts v -> begin
+          let hi_id, lo_id, wb = Hashtbl.find parts v in
+          let wa = Expr.width whole - wb in
+          if hi < wb then Expr.unop (Expr.Extract (hi, lo)) (Expr.var ~width:wb lo_id)
+          else if lo >= wb then
+            Expr.unop (Expr.Extract (hi - wb, lo - wb)) (Expr.var ~width:wa hi_id)
+          else
+            Expr.binop Expr.Cat
+              (Expr.unop (Expr.Extract (hi - wb, 0)) (Expr.var ~width:wa hi_id))
+              (Expr.unop (Expr.Extract (wb - 1, lo)) (Expr.var ~width:wb lo_id))
+        end
+      | Expr.Const _ | Expr.Var _ -> e
+      | Expr.Unop (op, a) ->
+        let a' = retarget a in
+        if a' == a then e else Expr.unop op a'
+      | Expr.Binop (op, a, b) ->
+        let a' = retarget a and b' = retarget b in
+        if a' == a && b' == b then e else Expr.binop op a' b'
+      | Expr.Mux (s, a, b) ->
+        let s' = retarget s and a' = retarget a and b' = retarget b in
+        if s' == s && a' == a && b' == b then e else Expr.mux s' a' b'
+    in
+    Circuit.iter_nodes c (fun n ->
+        if not (Hashtbl.mem parts n.Circuit.id) then
+          match n.Circuit.expr with
+          | Some e ->
+            let e' = retarget e in
+            if not (e' == e) then n.Circuit.expr <- Some e'
+          | None -> ())
+  end;
+  !changed
+
+let pass = { Pass.pass_name = "bitsplit"; run }

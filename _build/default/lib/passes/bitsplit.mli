@@ -1,0 +1,13 @@
+(** Bit-level node splitting (paper §III-C, Figure 4).
+
+    A logic node whose expression is a concatenation carries bit ranges
+    that change independently, yet a change in any range activates every
+    consumer.  This pass materializes the concatenation's parts as
+    separate nodes and retargets consumers that extract a sub-range to the
+    part they actually read, so a change confined to the other part no
+    longer activates them — reducing the activity factor.  Consumers of
+    the whole value keep reading the original node, which becomes a plain
+    concat of the two part nodes (and dead code if everyone was
+    retargeted). *)
+
+val pass : Pass.t

@@ -1,0 +1,43 @@
+open Gsim_ir
+
+let run c =
+  let live = Analysis.live c in
+  let deleted = ref 0 in
+  (* Dead registers first so their nodes are dropped in one sweep. *)
+  List.iter
+    (fun (r : Circuit.register) ->
+      if not live.(r.Circuit.read) then begin
+        Circuit.delete_register c r;
+        deleted := !deleted + 2
+      end)
+    (Circuit.registers c);
+  (* Memories without live read ports lose their write ports; the empty
+     memory itself is inert. *)
+  Array.iter
+    (fun (m : Circuit.memory) ->
+      let has_live_reader = List.exists (fun id -> live.(id)) m.Circuit.read_port_ids in
+      if (not has_live_reader) && m.Circuit.write_ports <> [] then begin
+        m.Circuit.write_ports <- [];
+        incr deleted
+      end)
+    (Circuit.memories c);
+  Circuit.iter_nodes c (fun n ->
+      if not live.(n.Circuit.id) then begin
+        match n.Circuit.kind with
+        | Circuit.Logic | Circuit.Mem_read _ ->
+          Circuit.delete_node c n.Circuit.id;
+          incr deleted
+        | Circuit.Input -> ()
+        | Circuit.Reg_read _ | Circuit.Reg_next _ ->
+          (* Removed together with their register above. *)
+          ()
+      end);
+  (* Memory read-port lists may now mention deleted nodes. *)
+  Array.iter
+    (fun (m : Circuit.memory) ->
+      m.Circuit.read_port_ids <-
+        List.filter (fun id -> Circuit.node_opt c id <> None) m.Circuit.read_port_ids)
+    (Circuit.memories c);
+  !deleted
+
+let pass = { Pass.pass_name = "dce"; run }

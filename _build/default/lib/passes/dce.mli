@@ -1,0 +1,6 @@
+(** Redundant-node elimination: dead nodes, unused registers, and the
+    ports of memories nobody reads (paper §III-B, "redundant node
+    elimination" items 2 and 4; aliases and shorted nodes are handled by
+    {!Alias} and {!Simplify}). *)
+
+val pass : Pass.t

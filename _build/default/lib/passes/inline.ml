@@ -1,0 +1,168 @@
+open Gsim_ir
+
+let cost_node = 3
+
+let should_extract ~cost ~refs = cost * refs > cost + cost_node
+
+(* Cap on the size of an expression produced by inlining; beyond this the
+   node is worth its activation overhead regardless of the model. *)
+let max_inlined_size = 64
+
+(* ------------------------------------------------------------------ *)
+(* Inline direction                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let inline_run c =
+  let counts = Analysis.use_counts c in
+  let protected = Analysis.port_protected c in
+  let nmax = Circuit.max_id c in
+  (* Candidate bodies, substituted transitively in one sweep (an inlined
+     body may itself mention inlinable nodes; resolve bodies first). *)
+  let body : Expr.t option array = Array.make nmax None in
+  Circuit.iter_nodes c (fun n ->
+      if
+        n.Circuit.kind = Circuit.Logic
+        && (not n.Circuit.is_output)
+        && (not protected.(n.Circuit.id))
+        && counts.(n.Circuit.id) > 0
+      then begin
+        match n.Circuit.expr with
+        | Some e
+          when (not (should_extract ~cost:(Expr.cost e) ~refs:counts.(n.Circuit.id)))
+               && Expr.size e <= max_inlined_size ->
+          body.(n.Circuit.id) <- Some e
+        | Some _ | None -> ()
+      end);
+  (* Resolve nested candidates bottom-up with memoization. *)
+  let resolved = Array.make nmax false in
+  let rec resolve id =
+    if not resolved.(id) then begin
+      resolved.(id) <- true;
+      match body.(id) with
+      | Some e ->
+        let e' =
+          Expr.map_vars
+            (fun ~width v ->
+              match resolve v with
+              | Some b when Expr.size b + Expr.size e <= max_inlined_size -> b
+              | Some _ | None -> Expr.var ~width v)
+            e
+        in
+        body.(id) <- Some e'
+      | None -> ()
+    end;
+    body.(id)
+  in
+  for id = 0 to nmax - 1 do
+    ignore (resolve id)
+  done;
+  let changed = ref 0 in
+  let subst ~width v =
+    match if v < nmax then body.(v) else None with
+    | Some b -> b
+    | None -> Expr.var ~width v
+  in
+  Circuit.iter_nodes c (fun n ->
+      match n.Circuit.expr with
+      | Some e when body.(n.Circuit.id) = None ->
+        (* Only rewrite nodes that survive; dissolved nodes are deleted. *)
+        let has_candidate = List.exists (fun v -> v < nmax && body.(v) <> None) (Expr.vars e) in
+        if has_candidate then begin
+          let e' = Expr.map_vars subst e in
+          if Expr.size e' <= max_inlined_size || Expr.size e' <= Expr.size e then begin
+            n.Circuit.expr <- Some e';
+            incr changed
+          end
+        end
+      | Some _ | None -> ());
+  (* Delete nodes that no longer have uses (their consumers absorbed the
+     body); nodes that kept a use stay. *)
+  let counts' = Analysis.use_counts c in
+  for id = 0 to nmax - 1 do
+    if body.(id) <> None && counts'.(id) = 0 then begin
+      Circuit.delete_node c id;
+      incr changed
+    end
+  done;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* Extraction direction (cross-node CSE)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Canonical key of an expression for the occurrence table. *)
+let key_of e = Format.asprintf "%a" Expr.pp e
+
+let extract_run c =
+  (* Count occurrences of nontrivial subexpressions across every node. *)
+  let table : (string, int * Expr.t) Hashtbl.t = Hashtbl.create 1024 in
+  let rec visit (e : Expr.t) =
+    (match e.Expr.desc with
+     | Expr.Const _ | Expr.Var _ -> ()
+     | Expr.Unop (_, a) -> visit a
+     | Expr.Binop (_, a, b) -> visit a; visit b
+     | Expr.Mux (s, a, b) -> visit s; visit a; visit b);
+    if Expr.size e >= 2 && Expr.size e <= 24 then begin
+      let k = key_of e in
+      match Hashtbl.find_opt table k with
+      | Some (n, e0) -> Hashtbl.replace table k (n + 1, e0)
+      | None -> Hashtbl.add table k (1, e)
+    end
+  in
+  Circuit.iter_nodes c (fun n ->
+      match n.Circuit.expr with Some e -> visit e | None -> ());
+  (* Pick winners by the cost model; prefer bigger expressions first so
+     nested candidates defer to their enclosing winner. *)
+  let winners =
+    Hashtbl.fold
+      (fun k (refs, e) acc ->
+        if refs >= 2 && should_extract ~cost:(Expr.cost e) ~refs then (k, e) :: acc else acc)
+      table []
+    |> List.sort (fun (_, e1) (_, e2) -> compare (Expr.size e2) (Expr.size e1))
+  in
+  let changed = ref 0 in
+  let extracted : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (k, e) ->
+      (* Skip candidates nested inside an already-extracted expression to
+         avoid churn; the next fixpoint round reconsiders them. *)
+      if Hashtbl.length extracted < 64 && not (Hashtbl.mem extracted k) then begin
+        let node = Circuit.add_logic c ~name:(Circuit.fresh_name c "cse") e in
+        Hashtbl.add extracted k node.Circuit.id;
+        incr changed
+      end)
+    (match winners with _ :: _ -> winners | [] -> []);
+  if !changed > 0 then begin
+    (* Rewrite every occurrence (outermost-first) to reference the new
+       nodes. *)
+    let rec rewrite (e : Expr.t) : Expr.t =
+      match Hashtbl.find_opt extracted (key_of e) with
+      | Some id when Expr.size e >= 2 -> Expr.var ~width:(Expr.width e) id
+      | Some _ | None ->
+        (match e.Expr.desc with
+         | Expr.Const _ | Expr.Var _ -> e
+         | Expr.Unop (op, a) ->
+           let a' = rewrite a in
+           if a' == a then e else Expr.unop op a'
+         | Expr.Binop (op, a, b) ->
+           let a' = rewrite a and b' = rewrite b in
+           if a' == a && b' == b then e else Expr.binop op a' b'
+         | Expr.Mux (s, a, b) ->
+           let s' = rewrite s and a' = rewrite a and b' = rewrite b in
+           if s' == s && a' == a && b' == b then e else Expr.mux s' a' b')
+    in
+    Circuit.iter_nodes c (fun n ->
+        match n.Circuit.expr with
+        | Some e ->
+          (* The freshly created CSE nodes keep their body verbatim. *)
+          if not (Hashtbl.mem extracted (key_of e) && Hashtbl.find extracted (key_of e) = n.Circuit.id)
+          then begin
+            let e' = rewrite e in
+            if not (e' == e) then n.Circuit.expr <- Some e'
+          end
+        | None -> ())
+  end;
+  !changed
+
+let inline_pass = { Pass.pass_name = "inline"; run = inline_run }
+let extract_pass = { Pass.pass_name = "extract"; run = extract_run }

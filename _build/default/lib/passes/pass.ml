@@ -1,0 +1,34 @@
+open Gsim_ir
+
+type t = { pass_name : string; run : Circuit.t -> int }
+
+type outcome = {
+  outcome_pass : string;
+  rewrites : int;
+  nodes_before : int;
+  nodes_after : int;
+}
+
+let apply p c =
+  let nodes_before = Circuit.node_count c in
+  let rewrites = p.run c in
+  { outcome_pass = p.pass_name; rewrites; nodes_before; nodes_after = Circuit.node_count c }
+
+let run_pipeline passes c = List.map (fun p -> apply p c) passes
+
+let run_fixpoint ?(max_rounds = 8) passes c =
+  let rec go round acc =
+    if round >= max_rounds then List.rev acc
+    else begin
+      let outcomes = run_pipeline passes c in
+      Circuit.validate c;
+      let changed = List.exists (fun o -> o.rewrites > 0) outcomes in
+      let acc = List.rev_append outcomes acc in
+      if changed then go (round + 1) acc else List.rev acc
+    end
+  in
+  go 0 []
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "%-16s rewrites=%-6d nodes %d -> %d" o.outcome_pass o.rewrites
+    o.nodes_before o.nodes_after

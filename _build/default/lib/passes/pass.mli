@@ -1,0 +1,27 @@
+(** Pass framework.
+
+    A pass mutates the circuit in place and reports how many rewrites it
+    performed.  {!run_fixpoint} iterates a pipeline until nothing changes,
+    and {!report} captures per-pass statistics for the ablation benches. *)
+
+open Gsim_ir
+
+type t = { pass_name : string; run : Circuit.t -> int }
+
+type outcome = {
+  outcome_pass : string;
+  rewrites : int;
+  nodes_before : int;
+  nodes_after : int;
+}
+
+val apply : t -> Circuit.t -> outcome
+
+val run_pipeline : t list -> Circuit.t -> outcome list
+(** One application of each pass in order. *)
+
+val run_fixpoint : ?max_rounds:int -> t list -> Circuit.t -> outcome list
+(** Repeats the pipeline until a full round performs no rewrites (or the
+    round bound is hit).  Validates the circuit after every round. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,41 @@
+open Gsim_ir
+
+type level = O0 | O1 | O2 | O3
+
+let level_of_string = function
+  | "O0" | "o0" | "0" -> Some O0
+  | "O1" | "o1" | "1" -> Some O1
+  | "O2" | "o2" | "2" -> Some O2
+  | "O3" | "o3" | "3" -> Some O3
+  | _ -> None
+
+let level_to_string = function O0 -> "O0" | O1 -> "O1" | O2 -> "O2" | O3 -> "O3"
+
+let o1_passes = [ Simplify.pass; Alias.pass; Dce.pass ]
+
+let o2_passes = [ Simplify.pass; Alias.pass; Dce.pass; Reset_opt.pass; Inline.extract_pass; Inline.inline_pass ]
+
+let optimize ?(level = O3) c =
+  let outcomes =
+    match level with
+    | O0 -> []
+    | O1 -> Pass.run_fixpoint o1_passes c
+    | O2 -> Pass.run_fixpoint o2_passes c
+    | O3 ->
+      let first = Pass.run_fixpoint o2_passes c in
+      let split = Pass.apply Bitsplit.pass c in
+      (* No inliner here: it would re-absorb the split parts.  Reset_opt
+         restores the slow path on part registers created by the split. *)
+      let cleanup =
+        Pass.run_fixpoint ~max_rounds:4 (o1_passes @ [ Reset_opt.pass ]) c
+      in
+      first @ [ split ] @ cleanup
+  in
+  Circuit.validate c;
+  outcomes
+
+let optimize_and_compact ?level c =
+  ignore (optimize ?level c);
+  let map = Circuit.compact c in
+  Circuit.validate c;
+  map

@@ -1,0 +1,27 @@
+(** Standard optimization pipelines.
+
+    - [O0] — nothing (the Table III/Fig. 8 baseline).
+    - [O1] — redundant-node elimination and expression simplification:
+      simplify, alias, constant forwarding, dead code.
+    - [O2] — [O1] plus the inline/extract cost model and the reset
+      slow-path transform (the paper's full node level).
+    - [O3] — [O2] plus bit-level node splitting (the paper's default).
+
+    Bit-split parts are protected from being re-inlined: the splitting
+    stage runs after the node-level fixpoint and is followed only by a
+    cleanup fixpoint without the inliner. *)
+
+open Gsim_ir
+
+type level = O0 | O1 | O2 | O3
+
+val level_of_string : string -> level option
+val level_to_string : level -> string
+
+val optimize : ?level:level -> Circuit.t -> Pass.outcome list
+(** Runs the pipeline in place (default [O3]) and validates the result.
+    Node ids of inputs and output-marked nodes are preserved. *)
+
+val optimize_and_compact : ?level:level -> Circuit.t -> int array
+(** Like {!optimize} but renumbers the graph densely afterwards; returns
+    the old-id -> new-id map. *)

@@ -1,0 +1,27 @@
+open Gsim_ir
+module Bits = Gsim_bits.Bits
+
+let run c =
+  let changed = ref 0 in
+  List.iter
+    (fun (r : Circuit.register) ->
+      match r.Circuit.reset with
+      | Some rst when not rst.Circuit.slow_path ->
+        let next = Circuit.node c r.Circuit.next in
+        (match next.Circuit.expr with
+         | Some
+             {
+               Expr.desc =
+                 Expr.Mux ({ Expr.desc = Expr.Var s; _ }, { Expr.desc = Expr.Const v; _ }, e);
+               _;
+             }
+           when s = rst.Circuit.reset_signal && Bits.equal v rst.Circuit.reset_value ->
+           rst.Circuit.slow_path <- true;
+           Circuit.set_expr c r.Circuit.next e;
+           incr changed
+         | Some _ | None -> ())
+      | Some _ | None -> ())
+    (Circuit.registers c);
+  !changed
+
+let pass = { Pass.pass_name = "reset"; run }

@@ -1,0 +1,10 @@
+(** Reset-handling optimization (paper §III-B, Listings 5/6).
+
+    A register lowered with a synchronous reset evaluates
+    [mux(reset, init, next)] every cycle.  This pass strips the mux from
+    the next-value expression and marks the register's reset as
+    slow-path: the engines then check each distinct reset signal once per
+    cycle instead of once per register evaluation, reducing reset checks
+    from the number of registers to the number of reset signals. *)
+
+val pass : Pass.t

@@ -1,0 +1,193 @@
+open Gsim_ir
+module Bits = Gsim_bits.Bits
+
+let is_const (e : Expr.t) = match e.Expr.desc with Expr.Const _ -> true | _ -> false
+
+let const_value (e : Expr.t) =
+  match e.Expr.desc with Expr.Const b -> Some b | _ -> None
+
+let is_zero_const e = match const_value e with Some b -> Bits.is_zero b | None -> false
+
+let is_ones_const e =
+  match const_value e with Some b -> Bits.equal b (Bits.ones (Bits.width b)) | None -> false
+
+(* Pad (or no-op) [e] to exactly [w] bits, unsigned. *)
+let fit ~w (e : Expr.t) =
+  if Expr.width e = w then e else Expr.unop (Expr.Pad_unsigned w) e
+
+let single_bit_position b =
+  if Bits.popcount b = 1 then begin
+    let rec find i = if Bits.bit b i then i else find (i + 1) in
+    Some (find 0)
+  end
+  else None
+
+(* [(1 << a) & k] with a single-bit constant [k] selecting position [p]
+   becomes [(a == p) ? 1 << p : 0] — the paper's one-hot pattern.  [w] is
+   the width of the enclosing [And]. *)
+let one_hot ~w (shifted : Expr.t) (k : Expr.t) : Expr.t option =
+  let base_is_one (base : Expr.t) =
+    match const_value base with
+    | Some b -> Bits.width b <= 62 && Bits.to_int_trunc b = 1 && Bits.popcount b = 1
+    | None ->
+      (match base.Expr.desc with
+       | Expr.Unop (Expr.Pad_unsigned _, inner) -> const_value inner = Some (Bits.one 1)
+       | _ -> false)
+  in
+  match (shifted.Expr.desc, const_value k) with
+  | Expr.Binop (Expr.Dshl, base, amount), Some kv when base_is_one base -> begin
+      match single_bit_position kv with
+      | Some p ->
+        if p >= Expr.width shifted then Some (Expr.const (Bits.zero w))
+        else begin
+          let wa = Expr.width amount in
+          if wa >= 30 || p < 1 lsl wa then begin
+            let cond = Expr.binop Expr.Eq amount (Expr.of_int ~width:(max 1 wa) p) in
+            let onehot = Bits.zero_extend (Bits.shift_left (Bits.one 1) p) ~width:w in
+            Some (Expr.mux cond (Expr.const onehot) (Expr.const (Bits.zero w)))
+          end
+          else Some (Expr.const (Bits.zero w))
+        end
+      | None -> None
+    end
+  | _, (Some _ | None) -> None
+
+(* One local rewrite step at the root of [e]; children are already
+   simplified.  Returns [None] when no rule applies. *)
+let step (e : Expr.t) : Expr.t option =
+  let w = Expr.width e in
+  match e.Expr.desc with
+  | Expr.Const _ | Expr.Var _ -> None
+  (* ---- Constant folding -------------------------------------------- *)
+  | Expr.Unop (op, a) when is_const a ->
+    Some (Expr.const (Expr.eval_unop op (Option.get (const_value a))))
+  | Expr.Binop (op, a, b) when is_const a && is_const b ->
+    Some
+      (Expr.const
+         (Expr.eval_binop op (Option.get (const_value a)) (Option.get (const_value b))))
+  | Expr.Mux (s, a, b) when is_const s ->
+    Some (if is_zero_const s then b else a)
+  (* ---- Unary identities -------------------------------------------- *)
+  | Expr.Unop (Expr.Not, { Expr.desc = Expr.Unop (Expr.Not, x); _ }) -> Some x
+  | Expr.Unop (Expr.Shl_const 0, x) | Expr.Unop (Expr.Shr_const 0, x) when Expr.width x = w ->
+    Some x
+  | Expr.Unop ((Expr.Pad_unsigned _ | Expr.Pad_signed _), x) when Expr.width x = w -> Some x
+  | Expr.Unop (Expr.Pad_unsigned n, { Expr.desc = Expr.Unop (Expr.Pad_unsigned m, x); _ })
+    when n <= m ->
+    Some (Expr.unop (Expr.Pad_unsigned n) x)
+  | Expr.Unop (Expr.Extract (hi, lo), x) when lo = 0 && hi = Expr.width x - 1 -> Some x
+  | Expr.Unop (Expr.Extract (hi, lo), { Expr.desc = Expr.Unop (Expr.Extract (_, lo2), x); _ })
+    ->
+    Some (Expr.unop (Expr.Extract (hi + lo2, lo + lo2)) x)
+  | Expr.Unop (Expr.Extract (hi, lo), { Expr.desc = Expr.Binop (Expr.Cat, a, b); _ }) ->
+    let wb = Expr.width b in
+    if hi < wb then Some (Expr.unop (Expr.Extract (hi, lo)) b)
+    else if lo >= wb then Some (Expr.unop (Expr.Extract (hi - wb, lo - wb)) a)
+    else
+      (* Straddles the seam: split into a concat of two extracts, which
+         later feeds the bit-level splitting pass. *)
+      Some
+        (Expr.binop Expr.Cat
+           (Expr.unop (Expr.Extract (hi - wb, 0)) a)
+           (Expr.unop (Expr.Extract (wb - 1, lo)) b))
+  | Expr.Unop (Expr.Extract (hi, lo), { Expr.desc = Expr.Unop (Expr.Pad_unsigned _, x); _ })
+    when hi < Expr.width x ->
+    Some (Expr.unop (Expr.Extract (hi, lo)) x)
+  | Expr.Unop ((Expr.Reduce_or | Expr.Reduce_and | Expr.Reduce_xor), x)
+    when Expr.width x = 1 ->
+    Some x
+  (* ---- Binary identities ------------------------------------------- *)
+  | Expr.Binop (Expr.And, x, z) when is_zero_const z || is_zero_const x ->
+    Some (Expr.const (Bits.zero w))
+  | Expr.Binop (Expr.And, x, m) when is_ones_const m && Expr.width m >= Expr.width x ->
+    Some (fit ~w x)
+  | Expr.Binop (Expr.And, m, x) when is_ones_const m && Expr.width m >= Expr.width x ->
+    Some (fit ~w x)
+  | Expr.Binop (Expr.Or, x, z) when is_zero_const z -> Some (fit ~w x)
+  | Expr.Binop (Expr.Or, z, x) when is_zero_const z -> Some (fit ~w x)
+  | Expr.Binop (Expr.Or, x, m) when is_ones_const m && Expr.width m >= Expr.width x ->
+    Some (Expr.const (Bits.ones w))
+  | Expr.Binop (Expr.Xor, x, z) when is_zero_const z -> Some (fit ~w x)
+  | Expr.Binop (Expr.Xor, z, x) when is_zero_const z -> Some (fit ~w x)
+  | Expr.Binop (Expr.Add, x, z) when is_zero_const z -> Some (fit ~w x)
+  | Expr.Binop (Expr.Add, z, x) when is_zero_const z -> Some (fit ~w x)
+  | Expr.Binop (Expr.Sub, x, z) when is_zero_const z -> Some (fit ~w x)
+  | Expr.Binop (Expr.Mul, x, z) when is_zero_const z || is_zero_const x ->
+    Some (Expr.const (Bits.zero w))
+  | Expr.Binop (Expr.Mul, x, o) when const_value o = Some (Bits.one (Expr.width o)) ->
+    Some (fit ~w x)
+  | Expr.Binop (Expr.Mul, o, x) when const_value o = Some (Bits.one (Expr.width o)) ->
+    Some (fit ~w x)
+  | Expr.Binop (Expr.Div, x, o)
+    when (match const_value o with Some b -> Bits.to_int_trunc b = 1 && Bits.width b <= 62 | None -> false) ->
+    Some (fit ~w x)
+  | Expr.Binop ((Expr.Dshl | Expr.Dshr | Expr.Dshr_signed), x, z) when is_zero_const z ->
+    Some (fit ~w x)
+  (* ---- Comparisons with constants on 1-bit operands ----------------- *)
+  | Expr.Binop (Expr.Eq, x, o)
+    when Expr.width x = 1 && const_value o = Some (Bits.one 1) ->
+    Some x
+  | Expr.Binop (Expr.Eq, x, z) when Expr.width x = 1 && is_zero_const z && Expr.width z = 1 ->
+    Some (Expr.unop Expr.Not x)
+  | Expr.Binop (Expr.Neq, x, z) when is_zero_const z ->
+    Some (Expr.unop Expr.Reduce_or x)
+  (* ---- Same-operand collapses --------------------------------------- *)
+  | Expr.Binop (Expr.Xor, { Expr.desc = Expr.Var u; _ }, { Expr.desc = Expr.Var v; _ })
+    when u = v ->
+    Some (Expr.const (Bits.zero w))
+  | Expr.Binop (Expr.Eq, ({ Expr.desc = Expr.Var u; _ } as a), { Expr.desc = Expr.Var v; _ })
+    when u = v && Expr.width a = Expr.width a ->
+    Some (Expr.const (Bits.one 1))
+  | Expr.Binop ((Expr.And | Expr.Or), ({ Expr.desc = Expr.Var u; _ } as a),
+                { Expr.desc = Expr.Var v; _ })
+    when u = v ->
+    Some (fit ~w a)
+  (* ---- Mux simplifications ------------------------------------------ *)
+  | Expr.Mux (_, a, b) when Expr.equal a b -> Some a
+  | Expr.Mux (s, o, z)
+    when Expr.width o = 1 && const_value o = Some (Bits.one 1) && is_zero_const z
+         && Expr.width s = 1 ->
+    Some s
+  | Expr.Mux (s, z, o)
+    when Expr.width o = 1 && const_value o = Some (Bits.one 1) && is_zero_const z
+         && Expr.width s = 1 ->
+    Some (Expr.unop Expr.Not s)
+  (* ---- The one-hot pattern ------------------------------------------ *)
+  | Expr.Binop (Expr.And, a, b) ->
+    (match one_hot ~w a b with Some _ as r -> r | None -> one_hot ~w b a)
+  | Expr.Unop (_, _) | Expr.Binop (_, _, _) | Expr.Mux (_, _, _) -> None
+
+let rec rewrite (e : Expr.t) : Expr.t =
+  let e' =
+    match e.Expr.desc with
+    | Expr.Const _ | Expr.Var _ -> e
+    | Expr.Unop (op, a) ->
+      let a' = rewrite a in
+      if a' == a then e else Expr.unop op a'
+    | Expr.Binop (op, a, b) ->
+      let a' = rewrite a and b' = rewrite b in
+      if a' == a && b' == b then e else Expr.binop op a' b'
+    | Expr.Mux (s, a, b) ->
+      let s' = rewrite s and a' = rewrite a and b' = rewrite b in
+      if s' == s && a' == a && b' == b then e else Expr.mux s' a' b'
+  in
+  match step e' with
+  | Some e'' ->
+    assert (Expr.width e'' = Expr.width e');
+    rewrite e''
+  | None -> e'
+
+let run c =
+  let changed = ref 0 in
+  Circuit.iter_nodes c (fun n ->
+      match n.Circuit.expr with
+      | Some e ->
+        let e' = rewrite e in
+        if not (Expr.equal e e') then begin
+          n.Circuit.expr <- Some e';
+          incr changed
+        end
+      | None -> ());
+  !changed
+
+let pass = { Pass.pass_name = "simplify"; run }

@@ -1,0 +1,11 @@
+(** Expression simplification (paper §III-B, "expression simplification"
+    and "shorted nodes"): constant folding and propagation, algebraic
+    identities, mux shorting, extract/concat restructuring, and the
+    one-hot pattern [(1 << a) & k  ==>  (a == log2 k) << log2 k].
+
+    Every rewrite preserves the expression's width exactly. *)
+
+val rewrite : Gsim_ir.Expr.t -> Gsim_ir.Expr.t
+(** Bottom-up simplification to a local fixpoint. *)
+
+val pass : Pass.t

@@ -1,0 +1,1 @@
+lib/verilog/vast.ml: Gsim_bits

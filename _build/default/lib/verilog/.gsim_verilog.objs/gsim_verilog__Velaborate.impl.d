@@ -1,0 +1,1 @@
+lib/verilog/velaborate.ml: Circuit Expr Gsim_bits Gsim_ir Hashtbl List Option Printf String Vast

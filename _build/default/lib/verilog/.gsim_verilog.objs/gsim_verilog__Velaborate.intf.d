@@ -1,0 +1,1 @@
+lib/verilog/velaborate.mli: Circuit Gsim_ir Vast

@@ -1,0 +1,1 @@
+lib/verilog/verilog.ml: Printf Velaborate Vparser

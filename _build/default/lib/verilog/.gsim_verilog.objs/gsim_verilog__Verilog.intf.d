@@ -1,0 +1,1 @@
+lib/verilog/verilog.mli: Gsim_ir

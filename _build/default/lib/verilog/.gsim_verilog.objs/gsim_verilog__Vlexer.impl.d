@@ -1,0 +1,1 @@
+lib/verilog/vlexer.ml: Array Char Format Gsim_bits List Printf String

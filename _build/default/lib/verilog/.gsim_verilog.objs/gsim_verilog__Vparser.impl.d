@@ -1,0 +1,1 @@
+lib/verilog/vparser.ml: Array Format Gsim_bits List Vast Vlexer

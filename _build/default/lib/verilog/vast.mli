@@ -1,0 +1,71 @@
+(** Abstract syntax of the supported synthesizable Verilog subset.
+
+    Supported: ANSI module headers, [wire]/[reg] declarations with ranges
+    (including memory arrays), [assign], [always @(posedge clk)] blocks
+    with non-blocking assignments and [if]/[case] control,
+    [always @*] combinational blocks with blocking assignments, module
+    instantiation with named port connections, [parameter]-free constant
+    expressions, concatenation/replication, bit and part selects.
+
+    Width semantics are the explicit, truncating rules common to
+    synthesizable code (documented in {!Velaborate}): binary operators
+    work at the wider operand's width, comparisons produce one bit,
+    shifts keep the left operand's width. *)
+
+type range = { msb : int; lsb : int }
+(** [msb >= lsb]; a scalar is represented by [None] ranges in
+    declarations. *)
+
+type unop = V_not | V_neg | V_red_and | V_red_or | V_red_xor | V_log_not
+
+type binop =
+  | V_add | V_sub | V_mul | V_div | V_mod
+  | V_and | V_or | V_xor
+  | V_eq | V_neq | V_lt | V_le | V_gt | V_ge
+  | V_log_and | V_log_or
+  | V_shl | V_shr | V_ashr
+
+type expr =
+  | E_num of int option * Gsim_bits.Bits.t   (** declared size, value *)
+  | E_ref of string
+  | E_index of string * expr                 (** [x[i]]: bit or memory select *)
+  | E_range of string * int * int            (** [x[msb:lsb]] *)
+  | E_unop of unop * expr
+  | E_binop of binop * expr * expr
+  | E_ternary of expr * expr * expr
+  | E_concat of expr list
+  | E_repl of int * expr
+
+type lvalue =
+  | L_id of string
+  | L_index of string * expr                 (** memory word write *)
+  | L_range of string * int * int
+
+type stmt =
+  | S_nonblocking of lvalue * expr
+  | S_blocking of lvalue * expr
+  | S_if of expr * stmt list * stmt list
+  | S_case of expr * (expr list * stmt list) list * stmt list
+      (** items, default *)
+
+type edge = Posedge of string | Comb
+
+type decl_kind = D_wire | D_reg
+
+type port_dir = P_input | P_output
+
+type item =
+  | I_decl of decl_kind * range option * string * range option * expr option
+      (** kind, width range, name, memory range, init assign (wires) *)
+  | I_assign of lvalue * expr
+  | I_always of edge * stmt list
+  | I_instance of string * string * (string * expr) list
+      (** module name, instance name, named connections [.port(expr)] *)
+
+type port = { p_dir : port_dir; p_range : range option; p_name : string }
+
+type vmodule = { v_name : string; v_ports : port list; v_items : item list }
+
+type design = vmodule list
+
+val range_width : range option -> int

@@ -1,0 +1,594 @@
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+open Vast
+
+exception Elab_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Elab_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Width-explicit expression helpers                                   *)
+(* ------------------------------------------------------------------ *)
+
+let resize e ~w =
+  let cur = Expr.width e in
+  if cur = w then e
+  else if cur > w then Expr.unop (Expr.Extract (w - 1, 0)) e
+  else Expr.unop (Expr.Pad_unsigned w) e
+
+let truncate e ~w = if Expr.width e = w then e else Expr.unop (Expr.Extract (w - 1, 0)) e
+
+let bool_of e = if Expr.width e = 1 then e else Expr.unop Expr.Reduce_or e
+
+(* ------------------------------------------------------------------ *)
+(* Bindings                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type wire_state = {
+  w_node : Circuit.node;
+  mutable w_driver : [ `None | `Assign | `Comb_always ];
+  mutable w_pending : (Expr.t option * Expr.t) list;  (* (guard, rhs), newest first *)
+}
+
+type reg_state = {
+  r_reg : Circuit.register option ref;  (* created at finalize (reset inference) *)
+  r_read : Circuit.node;                (* placeholder holding the read value *)
+  r_width : int;
+  r_name : string;
+  mutable r_pending : (Expr.t option * Expr.t) list;
+  mutable r_driver : bool;              (* written by a clocked block *)
+  mutable r_comb : bool;                (* written by an always @* block *)
+}
+
+type mem_state = { m_index : int; m_width : int; m_depth : int; m_clocked : bool ref }
+
+type binding =
+  | B_wire of wire_state          (* wire, or comb-always reg *)
+  | B_reg of reg_state
+  | B_mem of mem_state
+  | B_val of Expr.t               (* input ports, instance outputs *)
+  | B_clock
+
+type ctx = {
+  c : Circuit.t;
+  modules : (string, vmodule) Hashtbl.t;
+  mutable drivers : (unit -> unit) list;
+      (* phase 1: evaluate assign/connection right-hand sides into pending
+         lists, once the whole hierarchy is walked *)
+  mutable finalizers : (unit -> unit) list;
+      (* phase 2: fold pending lists into node expressions *)
+  mutable instance_path : string list;  (* recursion guard *)
+}
+
+(* The register read placeholder is a Logic node that the finalizer turns
+   into a real register; consumers already hold Var references to it.  We
+   cannot retype a node, so instead the placeholder forwards the real
+   register's value. *)
+
+let clock_names m =
+  List.filter_map
+    (fun item -> match item with I_always (Posedge clk, _) -> Some clk | _ -> None)
+    m.v_items
+  |> List.sort_uniq compare
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval_expr ctx env (e : Vast.expr) : Expr.t =
+  match e with
+  | E_num (_, v) -> Expr.const v
+  | E_ref name -> (
+      match lookup env name with
+      | B_val v -> v
+      | B_wire ws -> Expr.var ~width:ws.w_node.Circuit.width ws.w_node.Circuit.id
+      | B_reg rs -> Expr.var ~width:rs.r_width rs.r_read.Circuit.id
+      | B_mem _ -> err "memory %S read without an index" name
+      | B_clock -> err "clock %S used as data" name)
+  | E_index (name, idx) -> (
+      match lookup env name with
+      | B_mem ms ->
+        let addr = eval_expr ctx env idx in
+        let addr_id =
+          (Circuit.add_logic ctx.c ~name:(Circuit.fresh_name ctx.c (name ^ "_raddr")) addr)
+            .Circuit.id
+        in
+        let port =
+          Circuit.add_read_port ctx.c ~mem:ms.m_index
+            ~name:(Circuit.fresh_name ctx.c (name ^ "_rdata"))
+            ~addr:addr_id ()
+        in
+        Expr.var ~width:ms.m_width port.Circuit.id
+      | B_val _ | B_wire _ | B_reg _ ->
+        (* Dynamic bit select. *)
+        let v = eval_expr ctx env (E_ref name) in
+        let idx = eval_expr ctx env idx in
+        Expr.unop (Expr.Extract (0, 0)) (Expr.binop Expr.Dshr v (resize idx ~w:(Expr.width v)))
+      | B_clock -> err "clock %S used as data" name)
+  | E_range (name, msb, lsb) ->
+    let v = eval_expr ctx env (E_ref name) in
+    if msb >= Expr.width v then err "part-select [%d:%d] exceeds %S" msb lsb name;
+    Expr.unop (Expr.Extract (msb, lsb)) v
+  | E_unop (op, a) -> (
+      let va = eval_expr ctx env a in
+      match op with
+      | V_not -> Expr.unop Expr.Not va
+      | V_neg -> truncate (Expr.unop Expr.Neg va) ~w:(Expr.width va)
+      | V_red_and -> Expr.unop Expr.Reduce_and va
+      | V_red_or -> Expr.unop Expr.Reduce_or va
+      | V_red_xor -> Expr.unop Expr.Reduce_xor va
+      | V_log_not -> Expr.unop Expr.Not (bool_of va))
+  | E_binop (op, a, b) -> (
+      let va = eval_expr ctx env a and vb = eval_expr ctx env b in
+      let w = max (Expr.width va) (Expr.width vb) in
+      let ra = resize va ~w and rb = resize vb ~w in
+      match op with
+      | V_add -> truncate (Expr.binop Expr.Add ra rb) ~w
+      | V_sub -> truncate (Expr.binop Expr.Sub ra rb) ~w
+      | V_mul -> truncate (Expr.binop Expr.Mul ra rb) ~w
+      | V_div -> Expr.binop Expr.Div ra rb
+      | V_mod -> resize (Expr.binop Expr.Rem ra rb) ~w
+      | V_and -> Expr.binop Expr.And ra rb
+      | V_or -> Expr.binop Expr.Or ra rb
+      | V_xor -> Expr.binop Expr.Xor ra rb
+      | V_eq -> Expr.binop Expr.Eq ra rb
+      | V_neq -> Expr.binop Expr.Neq ra rb
+      | V_lt -> Expr.binop Expr.Lt ra rb
+      | V_le -> Expr.binop Expr.Leq ra rb
+      | V_gt -> Expr.binop Expr.Gt ra rb
+      | V_ge -> Expr.binop Expr.Geq ra rb
+      | V_log_and -> Expr.binop Expr.And (bool_of va) (bool_of vb)
+      | V_log_or -> Expr.binop Expr.Or (bool_of va) (bool_of vb)
+      | V_shl -> Expr.binop Expr.Dshl va (resize vb ~w:(Expr.width va))
+      | V_shr -> Expr.binop Expr.Dshr va (resize vb ~w:(Expr.width va))
+      | V_ashr -> Expr.binop Expr.Dshr_signed va (resize vb ~w:(Expr.width va)))
+  | E_ternary (s, a, b) ->
+    let va = eval_expr ctx env a and vb = eval_expr ctx env b in
+    let w = max (Expr.width va) (Expr.width vb) in
+    Expr.mux (bool_of (eval_expr ctx env s)) (resize va ~w) (resize vb ~w)
+  | E_concat parts ->
+    List.map (eval_expr ctx env) parts
+    |> List.fold_left
+         (fun acc p -> match acc with None -> Some p | Some a -> Some (Expr.binop Expr.Cat a p))
+         None
+    |> Option.get
+  | E_repl (n, a) ->
+    if n < 1 then err "replication count must be positive";
+    let va = eval_expr ctx env a in
+    let rec go k acc = if k = 1 then acc else go (k - 1) (Expr.binop Expr.Cat acc va) in
+    go n va
+
+and lookup env name =
+  match List.assoc_opt name !env with
+  | Some b -> b
+  | None -> err "unknown identifier %S" name
+
+(* ------------------------------------------------------------------ *)
+(* Procedural blocks                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Clocked block: fold non-blocking assignments into per-register pending
+   lists; memory writes become write ports guarded by the accumulated
+   condition. *)
+let rec clocked_stmts ctx env guard stmts =
+  List.iter (clocked_stmt ctx env guard) stmts
+
+and clocked_stmt ctx env guard s =
+  let conj cond = match guard with None -> Some cond | Some g -> Some (Expr.binop Expr.And g cond) in
+  match s with
+  | S_nonblocking (L_id name, rhs) -> (
+      match lookup env name with
+      | B_reg rs ->
+        rs.r_driver <- true;
+        rs.r_pending <- (guard, resize (eval_expr ctx env rhs) ~w:rs.r_width) :: rs.r_pending
+      | B_wire _ -> err "%S is not a reg (wires take assign)" name
+      | B_val _ | B_mem _ | B_clock -> err "cannot assign %S" name)
+  | S_nonblocking (L_index (name, addr), rhs) -> (
+      match lookup env name with
+      | B_mem ms ->
+        let addr_e = eval_expr ctx env addr in
+        let data_e = resize (eval_expr ctx env rhs) ~w:ms.m_width in
+        let en_e = match guard with None -> Expr.of_int ~width:1 1 | Some g -> bool_of g in
+        let node label e =
+          (Circuit.add_logic ctx.c ~name:(Circuit.fresh_name ctx.c (name ^ label)) e).Circuit.id
+        in
+        Circuit.add_write_port ctx.c ~mem:ms.m_index ~addr:(node "_waddr" addr_e)
+          ~data:(node "_wdata" data_e) ~en:(node "_wen" en_e)
+      | _ -> err "%S is not a memory" name)
+  | S_nonblocking (L_range _, _) -> err "part-select assignment is not supported"
+  | S_blocking _ -> err "blocking assignment inside a clocked block is not supported"
+  | S_if (cond, then_b, else_b) ->
+    let c = bool_of (eval_expr ctx env cond) in
+    clocked_stmts ctx env (conj c) then_b;
+    clocked_stmts ctx env (conj (Expr.unop Expr.Not c)) else_b
+  | S_case (scrutinee, items, default) ->
+    let sv = eval_expr ctx env scrutinee in
+    let item_conds =
+      List.map
+        (fun (labels, body) ->
+          let cond =
+            List.map
+              (fun l -> Expr.binop Expr.Eq sv (resize (eval_expr ctx env l) ~w:(Expr.width sv)))
+              labels
+            |> function
+            | [] -> err "empty case labels"
+            | x :: tl -> List.fold_left (fun a b -> Expr.binop Expr.Or a b) x tl
+          in
+          (cond, body))
+        items
+    in
+    let rec walk prior = function
+      | [] ->
+        (* default fires when no label matched *)
+        let none_matched =
+          List.fold_left
+            (fun acc (c, _) -> Expr.binop Expr.And acc (Expr.unop Expr.Not c))
+            (Expr.of_int ~width:1 1) prior
+        in
+        clocked_stmts ctx env (conj none_matched) default
+      | (cond, body) :: rest ->
+        (* earlier labels take priority *)
+        let effective =
+          List.fold_left
+            (fun acc (c, _) -> Expr.binop Expr.And acc (Expr.unop Expr.Not c))
+            cond prior
+        in
+        clocked_stmts ctx env (conj effective) body;
+        walk (prior @ [ (cond, body) ]) rest
+    in
+    walk [] item_conds
+
+(* Combinational block with blocking semantics: a sequential overlay maps
+   each assigned variable to its expression-so-far. *)
+let comb_block ctx env stmts =
+  let overlay : (string, Expr.t) Hashtbl.t = Hashtbl.create 8 in
+  let eval e =
+    (* Shadow the environment through a wrapper binding list: names in the
+       overlay read their accumulated expression. *)
+    let wrapped =
+      ref
+        (Hashtbl.fold (fun name expr acc -> (name, B_val expr) :: acc) overlay []
+         @ !env)
+    in
+    eval_expr ctx wrapped e
+  in
+  let target_width name =
+    match lookup env name with
+    | B_wire ws -> ws.w_node.Circuit.width
+    | B_reg rs -> rs.r_width
+    | _ -> err "cannot assign %S" name
+  in
+  let current name w =
+    match Hashtbl.find_opt overlay name with
+    | Some e -> e
+    | None -> Expr.const (Bits.zero w)
+  in
+  let rec walk guard stmts = List.iter (stmt guard) stmts
+  and stmt guard s =
+    match s with
+    | S_blocking (L_id name, rhs) ->
+      let w = target_width name in
+      let rhs = resize (eval rhs) ~w in
+      let value =
+        match guard with None -> rhs | Some g -> Expr.mux g rhs (current name w)
+      in
+      Hashtbl.replace overlay name value;
+      (match lookup env name with
+       | B_wire ws ->
+         if ws.w_driver = `Assign then err "%S driven by both assign and always @*" name;
+         ws.w_driver <- `Comb_always
+       | B_reg rs -> rs.r_comb <- true
+       | _ -> ())
+    | S_blocking _ -> err "only plain identifiers can be blocking-assigned"
+    | S_nonblocking _ -> err "nonblocking assignment inside always @* is not supported"
+    | S_if (cond, then_b, else_b) ->
+      let cv = bool_of (eval cond) in
+      let conj c = match guard with None -> Some c | Some g -> Some (Expr.binop Expr.And g c) in
+      walk (conj cv) then_b;
+      walk (conj (Expr.unop Expr.Not cv)) else_b
+    | S_case (scrutinee, items, default) ->
+      let sv = eval scrutinee in
+      let conds =
+        List.map
+          (fun (labels, body) ->
+            let cond =
+              List.map (fun l -> Expr.binop Expr.Eq sv (resize (eval l) ~w:(Expr.width sv))) labels
+              |> function
+              | [] -> err "empty case labels"
+              | x :: tl -> List.fold_left (fun a b -> Expr.binop Expr.Or a b) x tl
+            in
+            (cond, body))
+          items
+      in
+      let conj c = match guard with None -> Some c | Some g -> Some (Expr.binop Expr.And g c) in
+      let rec go prior = function
+        | [] ->
+          let none =
+            List.fold_left
+              (fun acc c -> Expr.binop Expr.And acc (Expr.unop Expr.Not c))
+              (Expr.of_int ~width:1 1) prior
+          in
+          walk (conj none) default
+        | (cond, body) :: rest ->
+          let eff =
+            List.fold_left
+              (fun acc c -> Expr.binop Expr.And acc (Expr.unop Expr.Not c))
+              cond prior
+          in
+          walk (conj eff) body;
+          go (prior @ [ cond ]) rest
+      in
+      go [] conds
+  in
+  walk None stmts;
+  (* Drive each assigned wire with its final overlay expression. *)
+  Hashtbl.iter
+    (fun name value ->
+      match lookup env name with
+      | B_wire ws -> ws.w_pending <- (None, value) :: ws.w_pending
+      | B_reg rs -> rs.r_pending <- (None, value) :: rs.r_pending
+      | _ -> ())
+    overlay
+
+(* ------------------------------------------------------------------ *)
+(* Module elaboration                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec elaborate_module ctx ~prefix ~top (m : vmodule) : (string * binding) list =
+  let pfx name = if prefix = "" then name else prefix ^ "." ^ name in
+  let env : (string * binding) list ref = ref [] in
+  let bind name b = env := (name, b) :: !env in
+  let drive f = ctx.drivers <- f :: ctx.drivers in
+  let defer f = ctx.finalizers <- f :: ctx.finalizers in
+  let clocks = clock_names m in
+  (* Declarations from items: regs (and output regs) first so ports can
+     resolve. *)
+  let declared = Hashtbl.create 16 in
+  List.iter
+    (fun item ->
+      match item with
+      | I_decl (kind, range, name, mem_range, init) ->
+        if Hashtbl.mem declared name then err "duplicate declaration of %S" name;
+        Hashtbl.replace declared name ();
+        let width = range_width range in
+        (match (kind, mem_range) with
+         | D_reg, Some r ->
+           let depth = range_width (Some r) in
+           let mem = Circuit.add_memory ctx.c ~name:(pfx name) ~width ~depth in
+           bind name (B_mem { m_index = mem; m_width = width; m_depth = depth; m_clocked = ref false })
+         | D_wire, Some _ -> err "wire arrays are not supported (%S)" name
+         | D_reg, None ->
+           (* The placeholder forwards the register's value; it carries a
+              distinct name so lookups by name find the register itself. *)
+           let read =
+             Circuit.add_logic ctx.c ~name:(pfx name ^ "$fwd") (Expr.const (Bits.zero width))
+           in
+           bind name
+             (B_reg
+                {
+                  r_reg = ref None;
+                  r_read = read;
+                  r_width = width;
+                  r_name = pfx name;
+                  r_pending = [];
+                  r_driver = false;
+                  r_comb = false;
+                })
+         | D_wire, None ->
+           let node = Circuit.add_logic ctx.c ~name:(pfx name) (Expr.const (Bits.zero width)) in
+           let ws = { w_node = node; w_driver = `None; w_pending = [] } in
+           (match init with
+            | Some e ->
+              ws.w_driver <- `Assign;
+              drive (fun () -> ws.w_pending <- (None, resize (eval_expr ctx env e) ~w:width) :: ws.w_pending)
+            | None -> ());
+           bind name (B_wire ws))
+      | I_assign _ | I_always _ | I_instance _ -> ())
+    m.v_items;
+  (* Ports. *)
+  let port_bindings = ref [] in
+  List.iter
+    (fun p ->
+      let width = range_width p.p_range in
+      match p.p_dir with
+      | P_input ->
+        if List.mem p.p_name clocks then begin
+          bind p.p_name B_clock;
+          port_bindings := (p.p_name, B_clock) :: !port_bindings
+        end
+        else if top then begin
+          let n = Circuit.add_input ctx.c ~name:(pfx p.p_name) ~width in
+          bind p.p_name (B_val (Expr.var ~width n.Circuit.id))
+        end
+        else begin
+          let node = Circuit.add_logic ctx.c ~name:(pfx p.p_name) (Expr.const (Bits.zero width)) in
+          let ws = { w_node = node; w_driver = `Assign; w_pending = [] } in
+          bind p.p_name (B_wire ws);
+          port_bindings := (p.p_name, B_wire ws) :: !port_bindings
+        end
+      | P_output -> (
+          (* Output regs were declared above; plain outputs become wires. *)
+          match List.assoc_opt p.p_name !env with
+          | Some (B_reg rs) ->
+            if top then Circuit.mark_output ctx.c rs.r_read.Circuit.id;
+            port_bindings :=
+              (p.p_name, B_val (Expr.var ~width:rs.r_width rs.r_read.Circuit.id))
+              :: !port_bindings
+          | Some _ -> err "output %S collides with a declaration" p.p_name
+          | None ->
+            let node = Circuit.add_logic ctx.c ~name:(pfx p.p_name) (Expr.const (Bits.zero width)) in
+            let ws = { w_node = node; w_driver = `None; w_pending = [] } in
+            bind p.p_name (B_wire ws);
+            if top then Circuit.mark_output ctx.c node.Circuit.id;
+            port_bindings :=
+              (p.p_name, B_val (Expr.var ~width node.Circuit.id)) :: !port_bindings))
+    m.v_ports;
+  (* Items. *)
+  List.iter
+    (fun item ->
+      match item with
+      | I_decl _ -> ()
+      | I_assign (L_id name, rhs) -> (
+          match lookup env name with
+          | B_wire ws ->
+            if ws.w_driver <> `None then err "%S has multiple drivers" name;
+            ws.w_driver <- `Assign;
+            drive (fun () ->
+                ws.w_pending <-
+                  (None, resize (eval_expr ctx env rhs) ~w:ws.w_node.Circuit.width)
+                  :: ws.w_pending)
+          | _ -> err "assign target %S is not a wire" name)
+      | I_assign _ -> err "assign supports plain identifiers only"
+      | I_always (Posedge clk, stmts) ->
+        if not (List.mem clk clocks) then err "unknown clock %S" clk;
+        clocked_stmts ctx env None stmts
+      | I_always (Comb, stmts) -> comb_block ctx env stmts
+      | I_instance (module_name, inst_name, conns) -> (
+          match Hashtbl.find_opt ctx.modules module_name with
+          | None -> err "unknown module %S" module_name
+          | Some sub ->
+            if List.mem module_name ctx.instance_path then
+              err "recursive instantiation of %S" module_name;
+            ctx.instance_path <- module_name :: ctx.instance_path;
+            let ports = elaborate_module ctx ~prefix:(pfx inst_name) ~top:false sub in
+            (match ctx.instance_path with
+             | _ :: tl -> ctx.instance_path <- tl
+             | [] -> ());
+            List.iter
+              (fun (port, e) ->
+                match List.assoc_opt port ports with
+                | Some B_clock -> ()
+                | Some (B_wire ws) ->
+                  (* Instance input: driven by the parent's expression. *)
+                  drive (fun () ->
+                      ws.w_pending <-
+                        (None, resize (eval_expr ctx env e) ~w:ws.w_node.Circuit.width)
+                        :: ws.w_pending)
+                | Some (B_val v) -> (
+                    (* Instance output: connect outward to a parent wire. *)
+                    match e with
+                    | E_ref parent_name -> (
+                        match lookup env parent_name with
+                        | B_wire ws ->
+                          if ws.w_driver <> `None then err "%S has multiple drivers" parent_name;
+                          ws.w_driver <- `Assign;
+                          ws.w_pending <-
+                            (None, resize v ~w:ws.w_node.Circuit.width) :: ws.w_pending
+                        | _ -> err "instance output must connect to a wire (%S)" parent_name)
+                    | _ -> err "instance output connection must be a plain wire name")
+                | Some (B_reg _ | B_mem _) -> err "bad port binding for %S" port
+                | None -> err "module %S has no port %S" module_name port)
+              conns)
+    )
+    m.v_items;
+  (* Finalize this module's wires and registers once the whole hierarchy is
+     walked (parents connect instance inputs late). *)
+  List.iter
+    (fun (name, b) ->
+      match b with
+      | B_wire ws ->
+        defer (fun () ->
+            let w = ws.w_node.Circuit.width in
+            let value =
+              List.fold_left
+                (fun acc (guard, rhs) ->
+                  match guard with None -> rhs | Some g -> Expr.mux g rhs acc)
+                (Expr.const (Bits.zero w))
+                (List.rev ws.w_pending)
+            in
+            Circuit.set_expr ctx.c ws.w_node.Circuit.id value)
+      | B_reg rs when rs.r_comb ->
+        defer (fun () ->
+            if rs.r_driver then err "reg %S written by both clocked and @* blocks" name;
+            (Circuit.node ctx.c rs.r_read.Circuit.id).Circuit.name <- rs.r_name;
+            let value =
+              List.fold_left
+                (fun acc (guard, rhs) ->
+                  match guard with None -> rhs | Some g -> Expr.mux g rhs acc)
+                (Expr.const (Bits.zero rs.r_width))
+                (List.rev rs.r_pending)
+            in
+            Circuit.set_expr ctx.c rs.r_read.Circuit.id value)
+      | B_reg rs ->
+        defer (fun () ->
+            if not rs.r_driver then err "reg %S is never assigned" name;
+            (* Reset inference: the [if (rst) q <= CONST; else ...] idiom.
+               A pending guarded by a bare 1-bit signal with a constant
+               value can be hoisted into a register reset when every other
+               pending's guard has [!rst] as a conjunct (the else
+               branches), making the branches exclusive. *)
+            let rec excludes s (g : Expr.t) =
+              match g.Expr.desc with
+              | Expr.Unop (Expr.Not, { Expr.desc = Expr.Var s'; _ }) -> s' = s
+              | Expr.Binop (Expr.And, a, b) -> excludes s a || excludes s b
+              | _ -> false
+            in
+            let is_reset_pending (guard, rhs) =
+              match (guard, rhs.Expr.desc) with
+              | Some { Expr.desc = Expr.Var s; _ }, Expr.Const v
+                when (Circuit.node ctx.c s).Circuit.width = 1 ->
+                Some (s, v)
+              | _ -> None
+            in
+            let reset, pendings =
+              match List.rev rs.r_pending with
+              | first :: rest -> (
+                  match is_reset_pending first with
+                  | Some (s, v)
+                    when List.for_all
+                           (fun (g, _) ->
+                             match g with Some g -> excludes s g | None -> false)
+                           rest ->
+                    (Some (s, v), List.rev rest)
+                  | _ -> (None, rs.r_pending))
+              | [] -> (None, rs.r_pending)
+            in
+            let r =
+              Circuit.add_register ctx.c ~name:rs.r_name ~width:rs.r_width
+                ~init:(Bits.zero rs.r_width) ?reset ()
+            in
+            rs.r_reg := Some r;
+            let read_var = Expr.var ~width:rs.r_width r.Circuit.read in
+            let next =
+              List.fold_left
+                (fun acc (guard, rhs) ->
+                  match guard with None -> rhs | Some g -> Expr.mux g rhs acc)
+                read_var (List.rev pendings)
+            in
+            Circuit.set_next ctx.c r next;
+            (* The placeholder forwards the register's value. *)
+            Circuit.set_expr ctx.c rs.r_read.Circuit.id read_var)
+      | B_val _ | B_mem _ | B_clock -> ())
+    !env;
+  !port_bindings
+
+let elaborate (design : Vast.design) =
+  let modules = Hashtbl.create 8 in
+  List.iter (fun m -> Hashtbl.replace modules m.v_name m) design;
+  (* Top = a module nobody instantiates. *)
+  let instantiated = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun item ->
+          match item with
+          | I_instance (name, _, _) -> Hashtbl.replace instantiated name ()
+          | _ -> ())
+        m.v_items)
+    design;
+  let tops = List.filter (fun m -> not (Hashtbl.mem instantiated m.v_name)) design in
+  let top =
+    match tops with
+    | [ t ] -> t
+    | [] -> err "no top module (instantiation cycle?)"
+    | ts -> err "multiple top candidates: %s" (String.concat ", " (List.map (fun m -> m.v_name) ts))
+  in
+  let c = Circuit.create ~name:top.v_name () in
+  let ctx =
+    { c; modules; drivers = []; finalizers = []; instance_path = [ top.v_name ] }
+  in
+  ignore (elaborate_module ctx ~prefix:"" ~top:true top);
+  List.iter (fun f -> f ()) (List.rev ctx.drivers);
+  List.iter (fun f -> f ()) (List.rev ctx.finalizers);
+  Circuit.validate c;
+  c

@@ -1,0 +1,29 @@
+(** Elaboration of the Verilog subset into the graph IR.
+
+    The design is flattened from the top module (the one no other module
+    instantiates).  Clock inputs — any input that appears in a
+    [posedge] sensitivity — carry no value; simulation is cycle-based, so
+    each [step] is one clock edge.
+
+    Semantics choices (the deterministic, x-free subset):
+    - widths are explicit and truncating: binary operators work at the
+      wider operand's width, shifts keep the left width, comparisons and
+      logical operators produce one bit;
+    - [always @*] blocks evaluate with blocking semantics (later reads in
+      the block see earlier assignments); a path that assigns nothing
+      leaves the default zero — no latch inference, by design;
+    - one driver per signal: a [reg] may be written by exactly one
+      [always] block, a [wire] by exactly one [assign];
+    - the synchronous-reset idiom [if (rst) q <= CONST; else ...] at the
+      top of a clocked block is recognized and recorded as a register
+      reset, so the reset slow-path optimization applies to Verilog
+      designs too. *)
+
+open Gsim_ir
+
+exception Elab_error of string
+
+val elaborate : Vast.design -> Circuit.t
+(** Raises {!Elab_error} on unsupported constructs or semantic errors
+    (multiple drivers, unknown names, width-0 selects, clock used as
+    data, ...). *)

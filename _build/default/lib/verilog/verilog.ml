@@ -1,0 +1,18 @@
+exception Error of string
+
+let of_ast design =
+  try Velaborate.elaborate design
+  with Velaborate.Elab_error msg -> raise (Error ("elaboration: " ^ msg))
+
+let load_string src =
+  match Vparser.parse_string src with
+  | design -> of_ast design
+  | exception Vparser.Parse_error (line, msg) ->
+    raise (Error (Printf.sprintf "line %d: %s" line msg))
+
+let load_file path =
+  match Vparser.parse_file path with
+  | design -> of_ast design
+  | exception Vparser.Parse_error (line, msg) ->
+    raise (Error (Printf.sprintf "%s:%d: %s" path line msg))
+  | exception Sys_error msg -> raise (Error msg)

@@ -1,0 +1,6 @@
+(** Facade: parse and elaborate Verilog into the graph IR. *)
+
+exception Error of string
+
+val load_string : string -> Gsim_ir.Circuit.t
+val load_file : string -> Gsim_ir.Circuit.t

@@ -1,0 +1,127 @@
+module Bits = Gsim_bits.Bits
+
+type token =
+  | Id of string
+  | Number of int option * Bits.t
+  | Punct of string
+  | Eof
+
+exception Lex_error of int * string
+
+let pp_token fmt = function
+  | Id s -> Format.fprintf fmt "identifier %S" s
+  | Number (_, b) -> Format.fprintf fmt "number %a" Bits.pp b
+  | Punct s -> Format.fprintf fmt "%S" s
+  | Eof -> Format.pp_print_string fmt "end of input"
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9') || c = '$'
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+(* Multi-character operators, longest first. *)
+let puncts = [ ">>>"; "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||" ]
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let error msg = raise (Lex_error (!line, msg)) in
+  let emit t = tokens := (t, !line) :: !tokens in
+  let starts_with s =
+    let m = String.length s in
+    !pos + m <= n && String.sub src !pos m = s
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if starts_with "//" then begin
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if starts_with "/*" then begin
+      pos := !pos + 2;
+      let rec skip () =
+        if !pos + 1 >= n then error "unterminated comment"
+        else if src.[!pos] = '*' && src.[!pos + 1] = '/' then pos := !pos + 2
+        else begin
+          if src.[!pos] = '\n' then incr line;
+          incr pos;
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if is_id_start c then begin
+      let start = !pos in
+      while !pos < n && is_id_char src.[!pos] do
+        incr pos
+      done;
+      emit (Id (String.sub src start (!pos - start)))
+    end
+    else if is_digit c || c = '\'' then begin
+      (* [size]'[base][digits] or a plain decimal. *)
+      let start = !pos in
+      while !pos < n && (is_digit src.[!pos] || src.[!pos] = '_') do
+        incr pos
+      done;
+      let size_text = String.sub src start (!pos - start) in
+      if !pos < n && src.[!pos] = '\'' then begin
+        incr pos;
+        if !pos >= n then error "truncated literal";
+        let base = Char.lowercase_ascii src.[!pos] in
+        incr pos;
+        let dstart = !pos in
+        while !pos < n && (is_hex src.[!pos] || src.[!pos] = '_') do
+          incr pos
+        done;
+        let digits =
+          String.concat "" (String.split_on_char '_' (String.sub src dstart (!pos - dstart)))
+        in
+        if digits = "" then error "literal without digits";
+        let size =
+          if size_text = "" then None
+          else Some (int_of_string (String.concat "" (String.split_on_char '_' size_text)))
+        in
+        let width = match size with Some w -> w | None -> 32 in
+        let value =
+          try
+            match base with
+            | 'h' -> Bits.of_string (Printf.sprintf "%d'h%s" width digits)
+            | 'b' -> Bits.of_string (Printf.sprintf "%d'b%s" width digits)
+            | 'd' -> Bits.of_string (Printf.sprintf "%d'd%s" width digits)
+            | 'o' -> Bits.of_int ~width (int_of_string ("0o" ^ digits))
+            | _ -> error (Printf.sprintf "unknown literal base %C" base)
+          with Invalid_argument _ ->
+            error (Printf.sprintf "literal %s'%c%s does not fit" size_text base digits)
+        in
+        emit (Number (size, value))
+      end
+      else begin
+        let text = String.concat "" (String.split_on_char '_' size_text) in
+        emit (Number (None, Bits.of_int ~width:32 (int_of_string text)))
+      end
+    end
+    else begin
+      match List.find_opt starts_with puncts with
+      | Some p ->
+        emit (Punct p);
+        pos := !pos + String.length p
+      | None -> (
+          match c with
+          | '(' | ')' | '[' | ']' | '{' | '}' | ';' | ',' | ':' | '.' | '@' | '#'
+          | '?' | '=' | '&' | '|' | '^' | '~' | '+' | '-' | '*' | '/' | '%' | '<'
+          | '>' | '!' ->
+            emit (Punct (String.make 1 c));
+            incr pos
+          | _ -> error (Printf.sprintf "unexpected character %C" c))
+    end
+  done;
+  emit Eof;
+  Array.of_list (List.rev !tokens)

@@ -1,0 +1,13 @@
+(** Verilog lexer ([//] and [/* */] comments, sized literals). *)
+
+type token =
+  | Id of string
+  | Number of int option * Gsim_bits.Bits.t  (** declared size (if sized), value *)
+  | Punct of string
+  | Eof
+
+exception Lex_error of int * string
+
+val tokenize : string -> (token * int) array
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,368 @@
+module Bits = Gsim_bits.Bits
+open Vast
+
+exception Parse_error of int * string
+
+type state = { tokens : (Vlexer.token * int) array; mutable pos : int }
+
+let peek st = fst st.tokens.(st.pos)
+let line st = snd st.tokens.(st.pos)
+let error st msg = raise (Parse_error (line st, msg))
+let advance st = st.pos <- st.pos + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error st
+      (Format.asprintf "expected %a, found %a" Vlexer.pp_token tok Vlexer.pp_token (peek st))
+
+let expect_id st =
+  match next st with
+  | Vlexer.Id s -> s
+  | t -> error st (Format.asprintf "expected identifier, found %a" Vlexer.pp_token t)
+
+let accept st tok = if peek st = tok then (advance st; true) else false
+
+let expect_int st =
+  match next st with
+  | Vlexer.Number (_, b) -> Bits.to_int b
+  | t -> error st (Format.asprintf "expected integer, found %a" Vlexer.pp_token t)
+
+(* [msb:lsb] *)
+let parse_range st =
+  expect st (Vlexer.Punct "[");
+  let msb = expect_int st in
+  expect st (Vlexer.Punct ":");
+  let lsb = expect_int st in
+  expect st (Vlexer.Punct "]");
+  if msb < lsb then error st "descending ranges only ([msb:lsb] with msb >= lsb)";
+  { msb; lsb }
+
+let maybe_range st = if peek st = Vlexer.Punct "[" then Some (parse_range st) else None
+
+(* ------------------------------------------------------------------ *)
+(* Expressions (precedence climbing)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let cond = parse_binary st 0 in
+  if accept st (Vlexer.Punct "?") then begin
+    let a = parse_expr st in
+    expect st (Vlexer.Punct ":");
+    let b = parse_ternary st in
+    E_ternary (cond, a, b)
+  end
+  else cond
+
+(* Precedence levels, loosest first. *)
+and binop_levels =
+  [|
+    [ ("||", V_log_or) ];
+    [ ("&&", V_log_and) ];
+    [ ("|", V_or) ];
+    [ ("^", V_xor) ];
+    [ ("&", V_and) ];
+    [ ("==", V_eq); ("!=", V_neq) ];
+    [ ("<", V_lt); ("<=", V_le); (">", V_gt); (">=", V_ge) ];
+    [ ("<<", V_shl); (">>", V_shr); (">>>", V_ashr) ];
+    [ ("+", V_add); ("-", V_sub) ];
+    [ ("*", V_mul); ("/", V_div); ("%", V_mod) ];
+  |]
+
+and parse_binary st level =
+  if level >= Array.length binop_levels then parse_unary st
+  else begin
+    let ops = binop_levels.(level) in
+    let lhs = ref (parse_binary st (level + 1)) in
+    let continue = ref true in
+    while !continue do
+      match peek st with
+      | Vlexer.Punct p when List.mem_assoc p ops ->
+        advance st;
+        let rhs = parse_binary st (level + 1) in
+        lhs := E_binop (List.assoc p ops, !lhs, rhs)
+      | _ -> continue := false
+    done;
+    !lhs
+  end
+
+and parse_unary st =
+  match peek st with
+  | Vlexer.Punct "~" ->
+    advance st;
+    E_unop (V_not, parse_unary st)
+  | Vlexer.Punct "-" ->
+    advance st;
+    E_unop (V_neg, parse_unary st)
+  | Vlexer.Punct "!" ->
+    advance st;
+    E_unop (V_log_not, parse_unary st)
+  | Vlexer.Punct "&" ->
+    advance st;
+    E_unop (V_red_and, parse_unary st)
+  | Vlexer.Punct "|" ->
+    advance st;
+    E_unop (V_red_or, parse_unary st)
+  | Vlexer.Punct "^" ->
+    advance st;
+    E_unop (V_red_xor, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match next st with
+  | Vlexer.Number (size, v) -> E_num (size, v)
+  | Vlexer.Id name -> (
+      if peek st = Vlexer.Punct "[" then begin
+        advance st;
+        let first = parse_expr st in
+        if accept st (Vlexer.Punct ":") then begin
+          let lsb = expect_int st in
+          expect st (Vlexer.Punct "]");
+          match first with
+          | E_num (_, b) -> E_range (name, Bits.to_int b, lsb)
+          | _ -> error st "part-select bounds must be constants"
+        end
+        else begin
+          expect st (Vlexer.Punct "]");
+          E_index (name, first)
+        end
+      end
+      else E_ref name)
+  | Vlexer.Punct "(" ->
+    let e = parse_expr st in
+    expect st (Vlexer.Punct ")");
+    e
+  | Vlexer.Punct "{" ->
+    (* Concatenation or replication. *)
+    let first = parse_expr st in
+    if peek st = Vlexer.Punct "{" then begin
+      (* {N{expr}} *)
+      advance st;
+      let inner = parse_expr st in
+      expect st (Vlexer.Punct "}");
+      expect st (Vlexer.Punct "}");
+      match first with
+      | E_num (_, b) -> E_repl (Bits.to_int b, inner)
+      | _ -> error st "replication count must be a constant"
+    end
+    else begin
+      let parts = ref [ first ] in
+      while accept st (Vlexer.Punct ",") do
+        parts := parse_expr st :: !parts
+      done;
+      expect st (Vlexer.Punct "}");
+      E_concat (List.rev !parts)
+    end
+  | t -> error st (Format.asprintf "expected expression, found %a" Vlexer.pp_token t)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_lvalue st =
+  let name = expect_id st in
+  if peek st = Vlexer.Punct "[" then begin
+    advance st;
+    let first = parse_expr st in
+    if accept st (Vlexer.Punct ":") then begin
+      let lsb = expect_int st in
+      expect st (Vlexer.Punct "]");
+      match first with
+      | E_num (_, b) -> L_range (name, Bits.to_int b, lsb)
+      | _ -> error st "part-select bounds must be constants"
+    end
+    else begin
+      expect st (Vlexer.Punct "]");
+      L_index (name, first)
+    end
+  end
+  else L_id name
+
+let rec parse_stmt st : stmt list =
+  match peek st with
+  | Vlexer.Id "begin" ->
+    advance st;
+    let stmts = ref [] in
+    while peek st <> Vlexer.Id "end" do
+      stmts := List.rev_append (parse_stmt st) !stmts
+    done;
+    advance st;
+    List.rev !stmts
+  | Vlexer.Id "if" ->
+    advance st;
+    expect st (Vlexer.Punct "(");
+    let cond = parse_expr st in
+    expect st (Vlexer.Punct ")");
+    let then_b = parse_stmt st in
+    let else_b = if accept st (Vlexer.Id "else") then parse_stmt st else [] in
+    [ S_if (cond, then_b, else_b) ]
+  | Vlexer.Id "case" ->
+    advance st;
+    expect st (Vlexer.Punct "(");
+    let scrutinee = parse_expr st in
+    expect st (Vlexer.Punct ")");
+    let items = ref [] and default = ref [] in
+    while peek st <> Vlexer.Id "endcase" do
+      if accept st (Vlexer.Id "default") then begin
+        ignore (accept st (Vlexer.Punct ":"));
+        default := parse_stmt st
+      end
+      else begin
+        let labels = ref [ parse_expr st ] in
+        while accept st (Vlexer.Punct ",") do
+          labels := parse_expr st :: !labels
+        done;
+        expect st (Vlexer.Punct ":");
+        let body = parse_stmt st in
+        items := (List.rev !labels, body) :: !items
+      end
+    done;
+    advance st;
+    [ S_case (scrutinee, List.rev !items, !default) ]
+  | Vlexer.Punct ";" ->
+    advance st;
+    []
+  | _ ->
+    let lv = parse_lvalue st in
+    let nonblocking =
+      if accept st (Vlexer.Punct "<=") then true
+      else if accept st (Vlexer.Punct "=") then false
+      else error st "expected <= or = in assignment"
+    in
+    let rhs = parse_expr st in
+    expect st (Vlexer.Punct ";");
+    [ (if nonblocking then S_nonblocking (lv, rhs) else S_blocking (lv, rhs)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Module items                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_decl_tail st kind range =
+  (* name [mem range] [= init] { , name ... } ; *)
+  let items = ref [] in
+  let rec one () =
+    let name = expect_id st in
+    let mem = maybe_range st in
+    let init =
+      if kind = D_wire && accept st (Vlexer.Punct "=") then Some (parse_expr st) else None
+    in
+    items := I_decl (kind, range, name, mem, init) :: !items;
+    if accept st (Vlexer.Punct ",") then one () else expect st (Vlexer.Punct ";")
+  in
+  one ();
+  List.rev !items
+
+let parse_always st =
+  expect st (Vlexer.Punct "@");
+  let edge =
+    if accept st (Vlexer.Punct "(") then begin
+      match next st with
+      | Vlexer.Id "posedge" ->
+        let clk = expect_id st in
+        expect st (Vlexer.Punct ")");
+        Posedge clk
+      | Vlexer.Punct "*" ->
+        expect st (Vlexer.Punct ")");
+        Comb
+      | t -> error st (Format.asprintf "expected posedge or *, found %a" Vlexer.pp_token t)
+    end
+    else begin
+      expect st (Vlexer.Punct "*");
+      Comb
+    end
+  in
+  I_always (edge, parse_stmt st)
+
+let parse_instance st module_name =
+  let inst_name = expect_id st in
+  expect st (Vlexer.Punct "(");
+  let conns = ref [] in
+  if not (accept st (Vlexer.Punct ")")) then begin
+    let rec conn () =
+      expect st (Vlexer.Punct ".");
+      let port = expect_id st in
+      expect st (Vlexer.Punct "(");
+      let e = parse_expr st in
+      expect st (Vlexer.Punct ")");
+      conns := (port, e) :: !conns;
+      if accept st (Vlexer.Punct ",") then conn () else expect st (Vlexer.Punct ")")
+    in
+    conn ()
+  end;
+  expect st (Vlexer.Punct ";");
+  I_instance (module_name, inst_name, List.rev !conns)
+
+let parse_module st =
+  expect st (Vlexer.Id "module");
+  let name = expect_id st in
+  (* ANSI port list. *)
+  let ports = ref [] and port_items = ref [] in
+  expect st (Vlexer.Punct "(");
+  if not (accept st (Vlexer.Punct ")")) then begin
+    let rec port () =
+      let dir =
+        match next st with
+        | Vlexer.Id "input" -> P_input
+        | Vlexer.Id "output" -> P_output
+        | t -> error st (Format.asprintf "expected input/output, found %a" Vlexer.pp_token t)
+      in
+      let is_reg = accept st (Vlexer.Id "reg") in
+      ignore (accept st (Vlexer.Id "wire"));
+      let range = maybe_range st in
+      let pname = expect_id st in
+      ports := { p_dir = dir; p_range = range; p_name = pname } :: !ports;
+      if is_reg then port_items := I_decl (D_reg, range, pname, None, None) :: !port_items;
+      if accept st (Vlexer.Punct ",") then port () else expect st (Vlexer.Punct ")")
+    in
+    port ()
+  end;
+  expect st (Vlexer.Punct ";");
+  let items = ref (List.rev !port_items) in
+  while peek st <> Vlexer.Id "endmodule" do
+    match next st with
+    | Vlexer.Id "wire" ->
+      let range = maybe_range st in
+      items := !items @ parse_decl_tail st D_wire range
+    | Vlexer.Id "reg" ->
+      let range = maybe_range st in
+      items := !items @ parse_decl_tail st D_reg range
+    | Vlexer.Id "assign" ->
+      let lv = parse_lvalue st in
+      expect st (Vlexer.Punct "=");
+      let e = parse_expr st in
+      expect st (Vlexer.Punct ";");
+      items := !items @ [ I_assign (lv, e) ]
+    | Vlexer.Id "always" -> items := !items @ [ parse_always st ]
+    | Vlexer.Id "integer" | Vlexer.Id "genvar" ->
+      error st "integer/genvar declarations are not supported"
+    | Vlexer.Id other -> items := !items @ [ parse_instance st other ]
+    | t -> error st (Format.asprintf "unexpected %a in module body" Vlexer.pp_token t)
+  done;
+  advance st;
+  { v_name = name; v_ports = List.rev !ports; v_items = !items }
+
+let parse_string src =
+  let tokens =
+    try Vlexer.tokenize src
+    with Vlexer.Lex_error (l, msg) -> raise (Parse_error (l, "lexical error: " ^ msg))
+  in
+  let st = { tokens; pos = 0 } in
+  let modules = ref [] in
+  while peek st <> Vlexer.Eof do
+    modules := parse_module st :: !modules
+  done;
+  List.rev !modules
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse_string src

@@ -1,0 +1,8 @@
+(** Recursive-descent parser for the supported Verilog subset (ANSI module
+    headers). *)
+
+exception Parse_error of int * string
+
+val parse_string : string -> Vast.design
+
+val parse_file : string -> Vast.design

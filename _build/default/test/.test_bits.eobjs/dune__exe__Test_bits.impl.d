@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Bool Format Gsim_bits List Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Gsim_bits Gsim_ir List Random

@@ -1,0 +1,1 @@
+test/test_designs.ml: Alcotest Array Gsim_bits Gsim_designs Gsim_engine Gsim_ir Gsim_partition Gsim_passes List Printf

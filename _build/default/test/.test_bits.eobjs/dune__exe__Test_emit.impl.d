@@ -1,0 +1,1 @@
+test/test_emit.ml: Alcotest Filename Gsim_bits Gsim_designs Gsim_emit Gsim_firrtl Gsim_ir Gsim_partition Gsim_passes Lazy Printf Random String Sys

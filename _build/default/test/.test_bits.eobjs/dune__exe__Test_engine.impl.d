@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Gsim_bits Gsim_engine Gsim_ir Gsim_partition List Printf QCheck QCheck_alcotest Random

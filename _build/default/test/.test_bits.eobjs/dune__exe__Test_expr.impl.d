@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Gsim_bits Gsim_ir List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_firrtl.ml: Alcotest Array Gsim_bits Gsim_designs Gsim_engine Gsim_firrtl Gsim_ir Gsim_partition Gsim_passes List Printf String

@@ -1,0 +1,1 @@
+test/test_gsim_facade.ml: Alcotest Array Filename Gsim_bits Gsim_core Gsim_designs Gsim_engine Gsim_ir Gsim_passes List Option Printf Random Sys

@@ -1,0 +1,1 @@
+test/test_hcl.ml: Alcotest Bool Gsim_bits Gsim_hcl Gsim_ir List Printf

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Format Gsim_bits Gsim_designs Gsim_engine Gsim_partition List

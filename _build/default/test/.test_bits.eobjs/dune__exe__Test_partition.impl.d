@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Gsim_ir Gsim_partition List Option Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Array Format Gsim_bits Gsim_engine Gsim_ir Gsim_partition Gsim_passes List Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_torture.ml: Alcotest Array Gsim_bits Gsim_designs Gsim_engine Gsim_ir Gsim_partition List Printf QCheck QCheck_alcotest Random

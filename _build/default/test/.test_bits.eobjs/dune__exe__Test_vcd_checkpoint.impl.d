@@ -1,0 +1,1 @@
+test/test_vcd_checkpoint.ml: Alcotest Array Buffer Filename Gsim_bits Gsim_designs Gsim_engine Gsim_ir Gsim_partition List Printf String Sys

@@ -1,0 +1,1 @@
+test/test_verilog.ml: Alcotest Array Gsim_bits Gsim_engine Gsim_firrtl Gsim_ir Gsim_partition Gsim_passes Gsim_verilog List Printf

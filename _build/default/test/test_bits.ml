@@ -1,0 +1,297 @@
+(* Bits: unit tests against native-int semantics on narrow widths, and
+   algebraic invariants on wide values. *)
+
+module Bits = Gsim_bits.Bits
+
+let check_bits msg expected actual =
+  Alcotest.(check string) msg (Format.asprintf "%a" Bits.pp expected)
+    (Format.asprintf "%a" Bits.pp actual)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic unit tests                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_construct () =
+  Alcotest.(check int) "zero width" 8 (Bits.width (Bits.zero 8));
+  Alcotest.(check int) "of_int value" 5 (Bits.to_int (Bits.of_int ~width:8 5));
+  Alcotest.(check int) "of_int truncates" 1 (Bits.to_int (Bits.of_int ~width:1 3));
+  Alcotest.(check int) "of_int negative" 0xFF (Bits.to_int (Bits.of_int ~width:8 (-1)));
+  Alcotest.(check int) "ones" 0x7F (Bits.to_int (Bits.ones 7));
+  Alcotest.(check bool) "is_zero" true (Bits.is_zero (Bits.zero 100));
+  Alcotest.(check bool) "ones not zero" false (Bits.is_zero (Bits.ones 100))
+
+let test_of_string () =
+  Alcotest.(check int) "binary" 5 (Bits.to_int (Bits.of_string "4'b0101"));
+  Alcotest.(check int) "hex" 0xAB (Bits.to_int (Bits.of_string "8'hab"));
+  Alcotest.(check int) "decimal" 1234 (Bits.to_int (Bits.of_string "16'd1234"));
+  Alcotest.(check int) "bare binary" 6 (Bits.to_int (Bits.of_string "110"));
+  Alcotest.(check int) "bare width" 3 (Bits.width (Bits.of_string "110"));
+  Alcotest.(check int) "underscores" 0xF0 (Bits.to_int (Bits.of_string "8'b1111_0000"));
+  Alcotest.check_raises "bad width" (Invalid_argument "Bits.of_string: \"2'b111\"")
+    (fun () -> ignore (Bits.of_string "2'b111"))
+
+let test_strings_roundtrip () =
+  let v = Bits.of_string "100'hdeadbeefdeadbeefdeadbeef0" in
+  check_bits "binary roundtrip" v (Bits.of_string (Bits.to_binary_string v));
+  Alcotest.(check string) "hex" "deadbeefdeadbeefdeadbeef0" (Bits.to_hex_string v)
+
+let test_wide_boundaries () =
+  (* Cross the 31-bit limb and the 62-bit packing boundaries. *)
+  List.iter
+    (fun w ->
+      let v = Bits.ones w in
+      Alcotest.(check int) (Printf.sprintf "popcount ones %d" w) w (Bits.popcount v);
+      Alcotest.(check bool) (Printf.sprintf "msb ones %d" w) true (Bits.msb v);
+      check_bits
+        (Printf.sprintf "not ones = zero %d" w)
+        (Bits.zero w) (Bits.lognot v))
+    [ 1; 30; 31; 32; 61; 62; 63; 93; 124; 200 ]
+
+let test_to_int_bounds () =
+  Alcotest.(check int) "62-bit max" ((1 lsl 62) - 1) (Bits.to_int (Bits.ones 62));
+  Alcotest.check_raises "63 bits overflows" (Failure "Bits.to_int: value exceeds 62 bits")
+    (fun () -> ignore (Bits.to_int (Bits.ones 63)));
+  Alcotest.(check int) "to_int_trunc keeps low bits" ((1 lsl 62) - 1)
+    (Bits.to_int_trunc (Bits.ones 100))
+
+let test_signed_int () =
+  Alcotest.(check int) "minus one" (-1) (Bits.to_signed_int (Bits.ones 8));
+  Alcotest.(check int) "min" (-128) (Bits.to_signed_int (Bits.of_int ~width:8 0x80));
+  Alcotest.(check int) "positive" 127 (Bits.to_signed_int (Bits.of_int ~width:8 0x7F));
+  Alcotest.(check int) "wide minus one" (-1) (Bits.to_signed_int (Bits.ones 150))
+
+let test_extract_concat () =
+  let v = Bits.of_string "16'habcd" in
+  Alcotest.(check int) "low nibble" 0xD (Bits.to_int (Bits.extract v ~hi:3 ~lo:0));
+  Alcotest.(check int) "high nibble" 0xA (Bits.to_int (Bits.extract v ~hi:15 ~lo:12));
+  Alcotest.(check int) "middle" 0xBC (Bits.to_int (Bits.extract v ~hi:11 ~lo:4));
+  let hi = Bits.of_int ~width:4 0xA and lo = Bits.of_int ~width:8 0x5B in
+  Alcotest.(check int) "concat" 0xA5B (Bits.to_int (Bits.concat hi lo));
+  check_bits "concat_list"
+    (Bits.of_string "12'ha5b")
+    (Bits.concat_list [ hi; Bits.extract lo ~hi:7 ~lo:4; Bits.extract lo ~hi:3 ~lo:0 ])
+
+let test_arith_basics () =
+  let a = Bits.of_int ~width:8 200 and b = Bits.of_int ~width:8 100 in
+  Alcotest.(check int) "add" 300 (Bits.to_int (Bits.add a b));
+  Alcotest.(check int) "add width" 9 (Bits.width (Bits.add a b));
+  Alcotest.(check int) "sub wraps" ((100 - 200) land 0x1FF) (Bits.to_int (Bits.sub b a));
+  Alcotest.(check int) "mul" 20000 (Bits.to_int (Bits.mul a b));
+  Alcotest.(check int) "mul width" 16 (Bits.width (Bits.mul a b));
+  Alcotest.(check int) "div" 2 (Bits.to_int (Bits.div a b));
+  Alcotest.(check int) "rem" 0 (Bits.to_int (Bits.rem a b));
+  Alcotest.(check int) "div by zero" 0 (Bits.to_int (Bits.div a (Bits.zero 8)));
+  Alcotest.(check int) "rem by zero" 200 (Bits.to_int (Bits.rem a (Bits.zero 8)));
+  Alcotest.(check int) "neg" ((-200) land 0x1FF) (Bits.to_int (Bits.neg a))
+
+let test_signed_arith () =
+  let m3 = Bits.of_int ~width:4 (-3) and p2 = Bits.of_int ~width:4 2 in
+  Alcotest.(check int) "divs trunc toward zero" (-1)
+    (Bits.to_signed_int (Bits.div_signed m3 p2));
+  Alcotest.(check int) "rems sign of dividend" (-1)
+    (Bits.to_signed_int (Bits.rem_signed m3 p2));
+  Alcotest.(check int) "muls" (-6) (Bits.to_signed_int (Bits.mul_signed m3 p2));
+  Alcotest.(check int) "adds" (-1) (Bits.to_signed_int (Bits.add_signed m3 p2));
+  Alcotest.(check bool) "lts" true (Bits.to_int (Bits.lt_signed m3 p2) = 1);
+  Alcotest.(check bool) "gts" true (Bits.to_int (Bits.gt_signed p2 m3) = 1)
+
+let test_shifts () =
+  let v = Bits.of_int ~width:8 0b1011 in
+  Alcotest.(check int) "shl value" 0b101100 (Bits.to_int (Bits.shift_left v 2));
+  Alcotest.(check int) "shl width" 10 (Bits.width (Bits.shift_left v 2));
+  Alcotest.(check int) "shr value" 0b10 (Bits.to_int (Bits.shift_right v 2));
+  Alcotest.(check int) "shr width" 6 (Bits.width (Bits.shift_right v 2));
+  Alcotest.(check int) "shr beyond" 0 (Bits.to_int (Bits.shift_right v 20));
+  let neg = Bits.of_int ~width:8 0x80 in
+  Alcotest.(check int) "ashr keeps top bits" 0b100000
+    (Bits.to_int (Bits.shift_right_signed neg 2));
+  Alcotest.(check int) "ashr beyond width" 1
+    (Bits.to_int (Bits.shift_right_signed neg 20));
+  let amt = Bits.of_int ~width:4 3 in
+  Alcotest.(check int) "dshl_keep" ((0b1011 lsl 3) land 0xFF)
+    (Bits.to_int (Bits.dshl_keep v amt));
+  Alcotest.(check int) "dshr" 1 (Bits.to_int (Bits.dshr v amt));
+  Alcotest.(check int) "dshr_signed" 0xF0 (Bits.to_int (Bits.dshr_signed neg (Bits.of_int ~width:4 3)));
+  Alcotest.(check int) "dshr huge amount" 0
+    (Bits.to_int (Bits.dshr v (Bits.of_int ~width:40 1000000000)))
+
+let test_reductions () =
+  Alcotest.(check int) "andr ones" 1 (Bits.to_int (Bits.reduce_and (Bits.ones 33)));
+  Alcotest.(check int) "andr mixed" 0
+    (Bits.to_int (Bits.reduce_and (Bits.of_int ~width:33 5)));
+  Alcotest.(check int) "orr zero" 0 (Bits.to_int (Bits.reduce_or (Bits.zero 90)));
+  Alcotest.(check int) "xorr parity" 1
+    (Bits.to_int (Bits.reduce_xor (Bits.of_int ~width:40 0b0111)))
+
+let test_mux_compare () =
+  let a = Bits.of_int ~width:8 7 and b = Bits.of_int ~width:8 9 in
+  check_bits "mux true" a (Bits.mux (Bits.one 1) a b);
+  check_bits "mux false" b (Bits.mux (Bits.zero 1) a b);
+  Alcotest.(check int) "lt across widths" 1
+    (Bits.to_int (Bits.lt (Bits.of_int ~width:4 3) (Bits.of_int ~width:70 5)));
+  Alcotest.(check int) "eq across widths" 1
+    (Bits.to_int (Bits.eq (Bits.of_int ~width:4 3) (Bits.of_int ~width:100 3)))
+
+(* ------------------------------------------------------------------ *)
+(* Properties against native ints (narrow widths are exact)            *)
+(* ------------------------------------------------------------------ *)
+
+let narrow_pair =
+  QCheck.make
+    ~print:(fun (w1, a, w2, b) -> Printf.sprintf "w1=%d a=%d w2=%d b=%d" w1 a w2 b)
+    QCheck.Gen.(
+      let* w1 = int_range 1 30 in
+      let* w2 = int_range 1 30 in
+      let* a = int_bound ((1 lsl w1) - 1) in
+      let* b = int_bound ((1 lsl w2) - 1) in
+      return (w1, a, w2, b))
+
+let sext w x = (x lsl (63 - w)) asr (63 - w)
+
+let prop_narrow name f =
+  QCheck.Test.make ~name ~count:500 narrow_pair f
+
+let narrow_props =
+  let mk (w1, a, w2, b) = (Bits.of_int ~width:w1 a, Bits.of_int ~width:w2 b) in
+  [
+    prop_narrow "add matches int" (fun ((w1, a, w2, b) as q) ->
+        let x, y = mk q in
+        Bits.to_int (Bits.add x y) = (a + b) land ((1 lsl (max w1 w2 + 1)) - 1));
+    prop_narrow "sub matches int" (fun ((w1, a, w2, b) as q) ->
+        let x, y = mk q in
+        Bits.to_int (Bits.sub x y) = (a - b) land ((1 lsl (max w1 w2 + 1)) - 1));
+    prop_narrow "mul matches int" (fun ((_, a, _, b) as q) ->
+        let x, y = mk q in
+        Bits.to_int (Bits.mul x y) = a * b);
+    prop_narrow "div matches int" (fun ((_, a, _, b) as q) ->
+        let x, y = mk q in
+        Bits.to_int (Bits.div x y) = if b = 0 then 0 else a / b);
+    prop_narrow "rem matches int" (fun ((w1, a, w2, b) as q) ->
+        let x, y = mk q in
+        let m = (1 lsl min w1 w2) - 1 in
+        Bits.to_int (Bits.rem x y) = (if b = 0 then a land m else a mod b land m));
+    prop_narrow "div_signed matches int" (fun ((w1, a, w2, b) as q) ->
+        let x, y = mk q in
+        let sa = sext w1 a and sb = sext w2 b in
+        let expect = if sb = 0 then 0 else sa / sb land ((1 lsl (w1 + 1)) - 1) in
+        Bits.to_int (Bits.div_signed x y) = expect);
+    prop_narrow "rem_signed matches int" (fun ((w1, a, w2, b) as q) ->
+        let x, y = mk q in
+        let sa = sext w1 a and sb = sext w2 b in
+        let m = (1 lsl min w1 w2) - 1 in
+        let expect = if sb = 0 then sa land m else sa mod sb land m in
+        Bits.to_int (Bits.rem_signed x y) = expect);
+    prop_narrow "unsigned compare" (fun ((_, a, _, b) as q) ->
+        let x, y = mk q in
+        Bits.to_int (Bits.lt x y) = Bool.to_int (a < b)
+        && Bits.to_int (Bits.geq x y) = Bool.to_int (a >= b));
+    prop_narrow "signed compare" (fun ((w1, a, w2, b) as q) ->
+        let x, y = mk q in
+        Bits.to_int (Bits.lt_signed x y) = Bool.to_int (sext w1 a < sext w2 b));
+    prop_narrow "logic ops match" (fun ((w1, a, w2, b) as q) ->
+        let w = max w1 w2 in
+        let x = Bits.resize_unsigned (fst (mk q)) ~width:w in
+        let y = Bits.resize_unsigned (snd (mk q)) ~width:w in
+        Bits.to_int (Bits.logand x y) = a land b
+        && Bits.to_int (Bits.logor x y) = a lor b
+        && Bits.to_int (Bits.logxor x y) = a lxor b);
+    prop_narrow "cat matches int" (fun ((_, a, w2, b) as q) ->
+        let x, y = mk q in
+        Bits.to_int (Bits.concat x y) = (a lsl w2) lor b);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Wide-value invariants                                               *)
+(* ------------------------------------------------------------------ *)
+
+let st = Random.State.make [| 0x5eed |]
+
+let wide_gen =
+  QCheck.make
+    ~print:(fun (w, _) -> Printf.sprintf "width=%d" w)
+    QCheck.Gen.(
+      let* w = int_range 1 200 in
+      return (w, Bits.random st ~width:w))
+
+let wide_pair_gen =
+  QCheck.make
+    ~print:(fun (w, _, _) -> Printf.sprintf "width=%d" w)
+    QCheck.Gen.(
+      let* w = int_range 1 200 in
+      return (w, Bits.random st ~width:w, Bits.random st ~width:w))
+
+let wide_props =
+  [
+    QCheck.Test.make ~name:"lognot involution" ~count:300 wide_gen (fun (_, v) ->
+        Bits.equal v (Bits.lognot (Bits.lognot v)));
+    QCheck.Test.make ~name:"binary string roundtrip" ~count:300 wide_gen (fun (_, v) ->
+        Bits.equal v (Bits.of_string (Bits.to_binary_string v)));
+    QCheck.Test.make ~name:"bool list roundtrip" ~count:300 wide_gen (fun (_, v) ->
+        Bits.equal v (Bits.of_bool_list (Bits.to_bool_list v)));
+    QCheck.Test.make ~name:"extract/concat inverse" ~count:300 wide_gen (fun (w, v) ->
+        w < 2
+        ||
+        let k = 1 + (w / 3) in
+        let hi = Bits.extract v ~hi:(w - 1) ~lo:k and lo = Bits.extract v ~hi:(k - 1) ~lo:0 in
+        Bits.equal v (Bits.concat hi lo));
+    QCheck.Test.make ~name:"add/sub inverse" ~count:300 wide_pair_gen (fun (w, a, b) ->
+        let sum = Bits.truncate (Bits.add a b) ~width:w in
+        let back = Bits.truncate (Bits.sub sum b) ~width:w in
+        Bits.equal a back);
+    QCheck.Test.make ~name:"add commutes" ~count:300 wide_pair_gen (fun (_, a, b) ->
+        Bits.equal (Bits.add a b) (Bits.add b a));
+    QCheck.Test.make ~name:"divmod identity" ~count:300 wide_pair_gen (fun (w, a, b) ->
+        Bits.is_zero b
+        ||
+        let q = Bits.div a b and r = Bits.rem a b in
+        (* a = q*b + r, all truncated to w bits, and r < b *)
+        let qb = Bits.truncate (Bits.mul q b) ~width:w in
+        let r' = Bits.resize_unsigned r ~width:w in
+        Bits.equal a (Bits.truncate (Bits.add qb r') ~width:(w + 1) |> Bits.truncate ~width:w)
+        && Bits.compare_unsigned r b < 0);
+    QCheck.Test.make ~name:"mul by shift-add" ~count:200 wide_gen (fun (w, a) ->
+        (* a * 5 = (a << 2) + a *)
+        let five = Bits.of_int ~width:3 5 in
+        let prod = Bits.mul a five in
+        let manual =
+          Bits.truncate
+            (Bits.add (Bits.zero_extend (Bits.shift_left a 2) ~width:(w + 3)) a)
+            ~width:(w + 3)
+        in
+        Bits.equal prod manual);
+    QCheck.Test.make ~name:"shift composition" ~count:300 wide_gen (fun (_, a) ->
+        Bits.equal (Bits.shift_left (Bits.shift_left a 3) 4) (Bits.shift_left a 7));
+    QCheck.Test.make ~name:"sign extend preserves signed value" ~count:300 wide_gen
+      (fun (w, a) ->
+        if w > 60 then true
+        else Bits.to_signed_int (Bits.sign_extend a ~width:(w + 5)) = Bits.to_signed_int a);
+    QCheck.Test.make ~name:"compare antisymmetric" ~count:300 wide_pair_gen
+      (fun (_, a, b) ->
+        Bits.compare_unsigned a b = -Bits.compare_unsigned b a
+        && Bits.compare_signed a b = -Bits.compare_signed b a);
+    QCheck.Test.make ~name:"neg is sub from zero" ~count:300 wide_gen (fun (w, a) ->
+        Bits.equal (Bits.neg a) (Bits.sub (Bits.zero w) a));
+  ]
+
+let () =
+  let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests) in
+  Alcotest.run "bits"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "construct" `Quick test_construct;
+          Alcotest.test_case "of_string" `Quick test_of_string;
+          Alcotest.test_case "string roundtrip" `Quick test_strings_roundtrip;
+          Alcotest.test_case "wide boundaries" `Quick test_wide_boundaries;
+          Alcotest.test_case "to_int bounds" `Quick test_to_int_bounds;
+          Alcotest.test_case "signed int" `Quick test_signed_int;
+          Alcotest.test_case "extract/concat" `Quick test_extract_concat;
+          Alcotest.test_case "arith basics" `Quick test_arith_basics;
+          Alcotest.test_case "signed arith" `Quick test_signed_arith;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "reductions" `Quick test_reductions;
+          Alcotest.test_case "mux/compare" `Quick test_mux_compare;
+        ] );
+      qsuite "narrow-vs-int" narrow_props;
+      qsuite "wide-invariants" wide_props;
+    ]

@@ -1,0 +1,203 @@
+(* Designs: the ISA/assembler, the runnable core against the golden model
+   (on every engine), workload sanity, and the scaled synthetic cores. *)
+
+module Bits = Gsim_bits.Bits
+module Circuit = Gsim_ir.Circuit
+module Reference = Gsim_ir.Reference
+module Partition = Gsim_partition.Partition
+module Sim = Gsim_engine.Sim
+module Full_cycle = Gsim_engine.Full_cycle
+module Activity = Gsim_engine.Activity
+module Parallel = Gsim_engine.Parallel
+module Counters = Gsim_engine.Counters
+module Pipeline = Gsim_passes.Pipeline
+module Isa = Gsim_designs.Isa
+module Programs = Gsim_designs.Programs
+module Stu_core = Gsim_designs.Stu_core
+module Synth_core = Gsim_designs.Synth_core
+module Designs = Gsim_designs.Designs
+
+(* --- Assembler --------------------------------------------------------- *)
+
+let test_assembler_encoding () =
+  let code = Isa.assemble [ Isa.Alui (Isa.Add, 1, 2, -3) ] in
+  Alcotest.(check int) "one word" 1 (Array.length code);
+  let w = Bits.to_int code.(0) in
+  Alcotest.(check int) "opcode" 1 (w lsr 28);
+  Alcotest.(check int) "rd" 1 (w lsr 20 land 0xF);
+  Alcotest.(check int) "rs1" 2 (w lsr 16 land 0xF);
+  Alcotest.(check int) "imm two's complement" 0xFFD (w land 0xFFF)
+
+let test_assembler_labels () =
+  let code =
+    Isa.assemble
+      [ Isa.Label "top"; Isa.Nop; Isa.Br (Isa.Bne, 1, 0, "top"); Isa.Jal (0, "top"); Isa.Halt ]
+  in
+  Alcotest.(check int) "label-free length" 4 (Array.length code);
+  (* Branch at pc=1 targeting 0: offset -1. *)
+  Alcotest.(check int) "relative offset" 0xFFF (Bits.to_int code.(1) land 0xFFF);
+  (* Jal at pc=2 absolute target 0. *)
+  Alcotest.(check int) "absolute target" 0 (Bits.to_int code.(2) land 0xFFFFF)
+
+let test_assembler_errors () =
+  let expect_fail instrs =
+    match Isa.assemble instrs with
+    | exception Isa.Asm_error _ -> ()
+    | _ -> Alcotest.fail "expected Asm_error"
+  in
+  expect_fail [ Isa.Br (Isa.Beq, 0, 0, "missing") ];
+  expect_fail [ Isa.Label "x"; Isa.Label "x" ];
+  expect_fail [ Isa.Alui (Isa.Add, 17, 0, 0) ];
+  expect_fail [ Isa.Alui (Isa.Add, 1, 0, 5000) ]
+
+(* --- Golden model ------------------------------------------------------ *)
+
+let test_golden_halts_all_programs () =
+  List.iter
+    (fun name ->
+      match Programs.by_name name with
+      | Some mk ->
+        let p = mk () in
+        let _, _, retired =
+          Isa.reference_execute ~code:p.Isa.code ~data:p.Isa.data ~dmem_size:4096 ()
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s retires instructions (%d)" name retired)
+          true
+          (retired > 10 && retired < 900_000)
+      | None -> Alcotest.failf "unknown program %s" name)
+    Programs.names
+
+(* --- Core vs golden on every engine ------------------------------------ *)
+
+let engines =
+  [
+    ("reference", fun c -> (Sim.of_reference (Reference.create c), fun () -> ()));
+    ("full_cycle", fun c -> (Full_cycle.sim (Full_cycle.create c), fun () -> ()));
+    ( "parallel2",
+      fun c ->
+        let t = Parallel.create ~threads:2 c in
+        (Parallel.sim t, fun () -> Parallel.destroy t) );
+    ( "essent",
+      fun c ->
+        let p = Partition.mffc c ~max_size:12 in
+        (Activity.sim (Activity.create ~config:Activity.essent_config c p), fun () -> ()) );
+    ( "gsim",
+      fun c ->
+        let p = Partition.gsim c ~max_size:32 in
+        (Activity.sim (Activity.create c p), fun () -> ()) );
+  ]
+
+let test_core_matches_golden_all_engines () =
+  let prog = Programs.quick () in
+  List.iter
+    (fun (name, mk) ->
+      let core = Stu_core.build () in
+      let sim, cleanup = mk core.Stu_core.circuit in
+      (try Designs.check_against_golden sim core.Stu_core.h prog ~dmem_size:4096
+       with Failure msg -> Alcotest.failf "%s: %s" name msg);
+      cleanup ())
+    engines
+
+let test_core_runs_coremark () =
+  let prog = Programs.coremark ~iters:2 () in
+  let core = Stu_core.build () in
+  let sim = Full_cycle.sim (Full_cycle.create core.Stu_core.circuit) in
+  Designs.check_against_golden sim core.Stu_core.h prog ~dmem_size:4096
+
+let test_core_runs_spec_profiles () =
+  List.iter
+    (fun p ->
+      let core = Stu_core.build () in
+      let part = Partition.gsim core.Stu_core.circuit ~max_size:32 in
+      let sim = Activity.sim (Activity.create core.Stu_core.circuit part) in
+      try Designs.check_against_golden sim core.Stu_core.h p ~dmem_size:4096
+      with Failure msg -> Alcotest.failf "%s: %s" p.Isa.prog_name msg)
+    (Programs.spec_checkpoints ~scale:1 ())
+
+let test_optimized_core_matches_golden () =
+  List.iter
+    (fun level ->
+      let core = Designs.optimize_design ~level (Stu_core.build ()) in
+      let part = Partition.gsim core.Stu_core.circuit ~max_size:32 in
+      let sim = Activity.sim (Activity.create core.Stu_core.circuit part) in
+      Designs.check_against_golden sim core.Stu_core.h (Programs.quick ()) ~dmem_size:4096)
+    [ Pipeline.O1; Pipeline.O2; Pipeline.O3 ]
+
+(* --- Synthetic scaled cores -------------------------------------------- *)
+
+let test_synth_cores_build_and_scale () =
+  let sizes =
+    List.map
+      (fun d ->
+        let core = d.Designs.build () in
+        Circuit.validate core.Stu_core.circuit;
+        (Circuit.stats core.Stu_core.circuit).Circuit.ir_nodes)
+      Designs.all
+  in
+  match sizes with
+  | [ stu; rocket; boom; xiangshan ] ->
+    Alcotest.(check bool)
+      (Printf.sprintf "strictly increasing scale %d < %d < %d < %d" stu rocket boom xiangshan)
+      true
+      (stu < rocket && rocket < boom && boom < xiangshan);
+    Alcotest.(check bool) "largest is > 100x smallest" true (xiangshan > 100 * stu)
+  | _ -> Alcotest.fail "expected four designs"
+
+let test_synth_core_still_executes () =
+  (* The embedded core must behave identically inside the scaled design. *)
+  let core = Synth_core.build Synth_core.rocket_like in
+  let part = Partition.gsim core.Stu_core.circuit ~max_size:32 in
+  let sim = Activity.sim (Activity.create core.Stu_core.circuit part) in
+  Designs.check_against_golden sim core.Stu_core.h (Programs.quick ()) ~dmem_size:4096
+
+let test_synth_core_low_activity () =
+  let core = Synth_core.build Synth_core.boom_like in
+  let c = core.Stu_core.circuit in
+  let part = Partition.gsim c ~max_size:32 in
+  let sim = Activity.sim (Activity.create c part) in
+  Designs.load_program sim core.Stu_core.h (Programs.coremark ~iters:2 ());
+  ignore (Designs.run_program sim core.Stu_core.h);
+  let af =
+    Counters.activity_factor (sim.Sim.counters ()) ~total_nodes:(Circuit.node_count c)
+  in
+  Alcotest.(check bool) (Printf.sprintf "af=%.3f below 0.25" af) true (af < 0.25)
+
+let test_halted_core_goes_quiet () =
+  let core = Stu_core.build () in
+  let c = core.Stu_core.circuit in
+  let part = Partition.gsim c ~max_size:32 in
+  let sim = Activity.sim (Activity.create c part) in
+  Designs.load_program sim core.Stu_core.h (Programs.quick ());
+  ignore (Designs.run_program sim core.Stu_core.h);
+  Designs.run_cycles sim 10;
+  let evals0 = (sim.Sim.counters ()).Counters.evals in
+  Designs.run_cycles sim 100;
+  Alcotest.(check int) "no evaluations after halt" evals0 (sim.Sim.counters ()).Counters.evals
+
+let () =
+  Alcotest.run "designs"
+    [
+      ( "isa",
+        [
+          Alcotest.test_case "encoding" `Quick test_assembler_encoding;
+          Alcotest.test_case "labels" `Quick test_assembler_labels;
+          Alcotest.test_case "errors" `Quick test_assembler_errors;
+          Alcotest.test_case "golden halts" `Quick test_golden_halts_all_programs;
+        ] );
+      ( "core",
+        [
+          Alcotest.test_case "matches golden (all engines)" `Quick
+            test_core_matches_golden_all_engines;
+          Alcotest.test_case "coremark" `Quick test_core_runs_coremark;
+          Alcotest.test_case "spec profiles" `Quick test_core_runs_spec_profiles;
+          Alcotest.test_case "optimized levels" `Quick test_optimized_core_matches_golden;
+        ] );
+      ( "synthetic",
+        [
+          Alcotest.test_case "build and scale" `Slow test_synth_cores_build_and_scale;
+          Alcotest.test_case "embedded core executes" `Quick test_synth_core_still_executes;
+          Alcotest.test_case "low activity" `Slow test_synth_core_low_activity;
+          Alcotest.test_case "quiet after halt" `Quick test_halted_core_goes_quiet;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+(* C++ emitter: structure of the generated unit, mode differences, size
+   accounting, and (when a C++ compiler is present) a syntax check of the
+   emitted source for narrow, wide, memory and supernode designs. *)
+
+module Bits = Gsim_bits.Bits
+module Circuit = Gsim_ir.Circuit
+module Expr = Gsim_ir.Expr
+module Rand_circuit = Gsim_ir.Rand_circuit
+module Partition = Gsim_partition.Partition
+module Emit = Gsim_emit.Emit
+module Firrtl = Gsim_firrtl.Firrtl
+
+let counter_circuit () =
+  let c = Circuit.create ~name:"counter" () in
+  let en = Circuit.add_input c ~name:"en" ~width:1 in
+  let r = Circuit.add_register c ~name:"r" ~width:8 ~init:(Bits.zero 8) () in
+  Circuit.set_next c r
+    (Expr.mux (Expr.var ~width:1 en.Circuit.id)
+       (Expr.unop (Expr.Extract (7, 0))
+          (Expr.binop Expr.Add (Expr.var ~width:8 r.Circuit.read) (Expr.of_int ~width:8 1)))
+       (Expr.var ~width:8 r.Circuit.read));
+  Circuit.mark_output c r.Circuit.read;
+  c
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_full_cycle_shape () =
+  let r = Emit.emit ~mode:Emit.Full_cycle_mode (counter_circuit ()) in
+  Alcotest.(check bool) "has eval" true (contains r.Emit.source "void eval()");
+  Alcotest.(check bool) "has commit" true (contains r.Emit.source "void commit()");
+  Alcotest.(check bool) "no active bits" false (contains r.Emit.source "act[");
+  Alcotest.(check bool) "code accounted" true (r.Emit.code_bytes > 100);
+  Alcotest.(check bool) "data accounted" true (r.Emit.data_bytes > 0)
+
+let test_gsim_mode_shape () =
+  let c = counter_circuit () in
+  let p = Partition.gsim c ~max_size:8 in
+  let r = Emit.emit ~mode:Emit.Gsim_mode ~partition:p c in
+  Alcotest.(check bool) "packed words" true (contains r.Emit.source "actw[");
+  Alcotest.(check bool) "ctz fast path" true (contains r.Emit.source "__builtin_ctzll");
+  Alcotest.(check bool) "supernode fns" true (contains r.Emit.source "eval_super0")
+
+let test_essent_mode_shape () =
+  let c = counter_circuit () in
+  let p = Partition.mffc c ~max_size:8 in
+  let r = Emit.emit ~mode:Emit.Essent_mode ~partition:p c in
+  Alcotest.(check bool) "bool active bits" true (contains r.Emit.source "bool act[");
+  Alcotest.(check bool) "no packed words" false (contains r.Emit.source "actw[")
+
+let test_slow_path_reset_emitted () =
+  let src =
+    {|
+circuit R :
+  module R :
+    input clock : Clock
+    input reset : UInt<1>
+    input d : UInt<8>
+    output o : UInt<8>
+
+    reg r : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))
+    r <= d
+    o <= r
+|}
+  in
+  let { Firrtl.circuit = c; _ } = Firrtl.load_string src in
+  ignore (Gsim_passes.Pipeline.optimize ~level:Gsim_passes.Pipeline.O2 c);
+  let r = Emit.emit ~mode:Emit.Full_cycle_mode c in
+  (* The reset must appear once, as a guarded block in commit(), not as a
+     mux inside evaluation. *)
+  Alcotest.(check bool) "guarded reset block" true (contains r.Emit.source "if (n")
+
+let test_sizes_scale_with_design () =
+  let small = Emit.emit (counter_circuit ()) in
+  let st = Random.State.make [| 3 |] in
+  let big_c =
+    Rand_circuit.generate st
+      { Rand_circuit.default_config with Rand_circuit.logic_nodes = 300 }
+  in
+  let big = Emit.emit big_c in
+  Alcotest.(check bool) "bigger design emits more code" true
+    (big.Emit.code_bytes > small.Emit.code_bytes);
+  Alcotest.(check bool) "bigger design has more data" true
+    (big.Emit.data_bytes > small.Emit.data_bytes)
+
+let test_mode_of_string () =
+  Alcotest.(check bool) "verilator" true (Emit.mode_of_string "verilator" = Some Emit.Full_cycle_mode);
+  Alcotest.(check bool) "gsim" true (Emit.mode_of_string "gsim" = Some Emit.Gsim_mode);
+  Alcotest.(check bool) "unknown" true (Emit.mode_of_string "vcs" = None)
+
+(* --- Compile the emitted C++ when a compiler is available -------------- *)
+
+let gxx_available =
+  lazy (Sys.command "command -v g++ > /dev/null 2>&1" = 0)
+
+let syntax_check name source =
+  if Lazy.force gxx_available then begin
+    let path = Filename.temp_file ("gsim_emit_" ^ name) ".cpp" in
+    let oc = open_out path in
+    output_string oc source;
+    close_out oc;
+    let rc = Sys.command (Printf.sprintf "g++ -fsyntax-only -std=c++17 %s 2>/dev/null" path) in
+    Sys.remove path;
+    if rc <> 0 then Alcotest.failf "%s: emitted C++ does not compile" name
+  end
+
+let test_emitted_cpp_compiles () =
+  syntax_check "counter" (Emit.emit (counter_circuit ())).Emit.source;
+  let c = counter_circuit () in
+  let p = Partition.gsim c ~max_size:8 in
+  syntax_check "counter_gsim" (Emit.emit ~mode:Emit.Gsim_mode ~partition:p c).Emit.source;
+  (* A design with wide values and memories. *)
+  let src =
+    {|
+circuit W :
+  module W :
+    input clock : Clock
+    input a : UInt<100>
+    input b : UInt<100>
+    input waddr : UInt<4>
+    input wen : UInt<1>
+    output o : UInt<100>
+    output s : UInt<1>
+
+    mem m :
+      data-type => UInt<16>
+      depth => 16
+      read-latency => 0
+      write-latency => 1
+      reader => r0
+      writer => w0
+    m.r0.addr <= waddr
+    m.r0.en <= UInt<1>(1)
+    m.r0.clk <= clock
+    m.w0.addr <= waddr
+    m.w0.data <= bits(a, 15, 0)
+    m.w0.mask <= UInt<1>(1)
+    m.w0.en <= wen
+    m.w0.clk <= clock
+    node t = tail(add(a, b), 1)
+    o <= xor(t, a)
+    s <= lt(a, b)
+|}
+  in
+  let { Firrtl.circuit = c; _ } = Firrtl.load_string src in
+  syntax_check "wide_mem" (Emit.emit c).Emit.source;
+  let p = Partition.gsim c ~max_size:8 in
+  syntax_check "wide_mem_gsim" (Emit.emit ~mode:Emit.Gsim_mode ~partition:p c).Emit.source
+
+let test_stu_core_emits_and_compiles () =
+  let core = Gsim_designs.Stu_core.build () in
+  let c = core.Gsim_designs.Stu_core.circuit in
+  ignore (Gsim_passes.Pipeline.optimize ~level:Gsim_passes.Pipeline.O3 c);
+  let p = Partition.gsim c ~max_size:32 in
+  let r = Emit.emit ~mode:Emit.Gsim_mode ~partition:p c in
+  Alcotest.(check bool) "nontrivial unit" true (r.Emit.code_bytes > 2_000);
+  syntax_check "stu_core" r.Emit.source
+
+let () =
+  Alcotest.run "emit"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "full-cycle shape" `Quick test_full_cycle_shape;
+          Alcotest.test_case "gsim shape" `Quick test_gsim_mode_shape;
+          Alcotest.test_case "essent shape" `Quick test_essent_mode_shape;
+          Alcotest.test_case "slow-path reset" `Quick test_slow_path_reset_emitted;
+          Alcotest.test_case "sizes scale" `Quick test_sizes_scale_with_design;
+          Alcotest.test_case "mode_of_string" `Quick test_mode_of_string;
+        ] );
+      ( "cpp",
+        [
+          Alcotest.test_case "emitted C++ compiles" `Quick test_emitted_cpp_compiles;
+          Alcotest.test_case "stu_core compiles" `Quick test_stu_core_emits_and_compiles;
+        ] );
+    ]

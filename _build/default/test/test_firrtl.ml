@@ -1,0 +1,390 @@
+(* FIRRTL frontend: parsing, elaboration, and end-to-end semantics of
+   generated circuits (checked through the reference interpreter and the
+   GSIM engine). *)
+
+module Bits = Gsim_bits.Bits
+module Circuit = Gsim_ir.Circuit
+module Reference = Gsim_ir.Reference
+module Partition = Gsim_partition.Partition
+module Activity = Gsim_engine.Activity
+module Sim = Gsim_engine.Sim
+module Firrtl = Gsim_firrtl.Firrtl
+module Pipeline = Gsim_passes.Pipeline
+
+let b ~w n = Bits.of_int ~width:w n
+
+let node_id c name =
+  match Circuit.find_node c name with
+  | Some n -> n.Circuit.id
+  | None -> Alcotest.failf "node %S not found" name
+
+(* --- A counter with enable and synchronous reset --------------------- *)
+
+let counter_src =
+  {|
+circuit Counter :
+  module Counter :
+    input clock : Clock
+    input reset : UInt<1>
+    input en : UInt<1>
+    output out : UInt<8>
+
+    reg count : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))
+    when en :
+      count <= tail(add(count, UInt<8>(1)), 1)
+    out <= count
+|}
+
+let test_counter () =
+  let { Firrtl.circuit = c; halt } = Firrtl.load_string counter_src in
+  Alcotest.(check bool) "no halt" true (halt = None);
+  let r = Reference.create c in
+  let en = node_id c "en" and reset = node_id c "reset" and out = node_id c "out" in
+  (* Architectural state: the register read node.  The [out] wire shows the
+     value computed during the last evaluated cycle (pre-latch), one cycle
+     behind the register — the full-cycle simulation convention. *)
+  let count = node_id c "count" in
+  Reference.poke r en (b ~w:1 1);
+  Reference.run r 5;
+  Alcotest.(check int) "counts" 5 (Bits.to_int (Reference.peek r count));
+  Alcotest.(check int) "wire lags one cycle" 4 (Bits.to_int (Reference.peek r out));
+  Reference.poke r en (b ~w:1 0);
+  Reference.run r 3;
+  Alcotest.(check int) "holds" 5 (Bits.to_int (Reference.peek r count));
+  Alcotest.(check int) "wire caught up" 5 (Bits.to_int (Reference.peek r out));
+  Reference.poke r reset (b ~w:1 1);
+  Reference.step r;
+  Reference.poke r reset (b ~w:1 0);
+  Alcotest.(check int) "reset clears" 0 (Bits.to_int (Reference.peek r count))
+
+(* --- Submodule instantiation ------------------------------------------ *)
+
+let hierarchy_src =
+  {|
+circuit Top :
+  module Adder :
+    input a : UInt<8>
+    input b : UInt<8>
+    output sum : UInt<8>
+
+    sum <= tail(add(a, b), 1)
+
+  module Top :
+    input clock : Clock
+    input x : UInt<8>
+    input y : UInt<8>
+    output o1 : UInt<8>
+    output o2 : UInt<8>
+
+    inst add1 of Adder
+    inst add2 of Adder
+    add1.a <= x
+    add1.b <= y
+    add2.a <= add1.sum
+    add2.b <= x
+    o1 <= add1.sum
+    o2 <= add2.sum
+|}
+
+let test_hierarchy () =
+  let { Firrtl.circuit = c; _ } = Firrtl.load_string hierarchy_src in
+  let r = Reference.create c in
+  Reference.poke r (node_id c "x") (b ~w:8 10);
+  Reference.poke r (node_id c "y") (b ~w:8 20);
+  Reference.step r;
+  Alcotest.(check int) "first adder" 30 (Bits.to_int (Reference.peek r (node_id c "o1")));
+  Alcotest.(check int) "chained adder" 40 (Bits.to_int (Reference.peek r (node_id c "o2")))
+
+(* --- Memory ----------------------------------------------------------- *)
+
+let memory_src =
+  {|
+circuit Mem :
+  module Mem :
+    input clock : Clock
+    input waddr : UInt<4>
+    input wdata : UInt<8>
+    input wen : UInt<1>
+    input raddr : UInt<4>
+    output rdata : UInt<8>
+
+    mem m :
+      data-type => UInt<8>
+      depth => 16
+      read-latency => 0
+      write-latency => 1
+      reader => r0
+      writer => w0
+    m.r0.addr <= raddr
+    m.r0.en <= UInt<1>(1)
+    m.r0.clk <= clock
+    m.w0.addr <= waddr
+    m.w0.data <= wdata
+    m.w0.mask <= UInt<1>(1)
+    m.w0.en <= wen
+    m.w0.clk <= clock
+    rdata <= m.r0.data
+|}
+
+let test_memory () =
+  let { Firrtl.circuit = c; _ } = Firrtl.load_string memory_src in
+  let r = Reference.create c in
+  Reference.poke r (node_id c "waddr") (b ~w:4 7);
+  Reference.poke r (node_id c "wdata") (b ~w:8 0xCD);
+  Reference.poke r (node_id c "wen") (b ~w:1 1);
+  Reference.poke r (node_id c "raddr") (b ~w:4 7);
+  Reference.step r;
+  Reference.poke r (node_id c "wen") (b ~w:1 0);
+  Reference.step r;
+  Alcotest.(check int) "readback" 0xCD (Bits.to_int (Reference.peek r (node_id c "rdata")))
+
+(* --- Signed arithmetic ------------------------------------------------- *)
+
+let signed_src =
+  {|
+circuit Signed :
+  module Signed :
+    input clock : Clock
+    input a : SInt<8>
+    input b : SInt<8>
+    output sum : SInt<9>
+    output quot : SInt<9>
+    output less : UInt<1>
+    output shifted : SInt<4>
+
+    sum <= add(a, b)
+    quot <= div(a, b)
+    less <= lt(a, b)
+    shifted <= shr(a, 4)
+|}
+
+let test_signed () =
+  let { Firrtl.circuit = c; _ } = Firrtl.load_string signed_src in
+  let r = Reference.create c in
+  let poke name v = Reference.poke r (node_id c name) (Bits.of_int ~width:8 v) in
+  poke "a" (-20);
+  poke "b" 6;
+  Reference.step r;
+  let peek name = Bits.to_signed_int (Reference.peek r (node_id c name)) in
+  Alcotest.(check int) "signed add" (-14) (peek "sum");
+  Alcotest.(check int) "signed div truncates" (-3) (peek "quot");
+  Alcotest.(check int) "signed lt" 1 (Bits.to_int (Reference.peek r (node_id c "less")));
+  Alcotest.(check int) "arithmetic shr" (-2) (peek "shifted")
+
+(* --- stop() becomes $halt ---------------------------------------------- *)
+
+let halt_src =
+  {|
+circuit Halt :
+  module Halt :
+    input clock : Clock
+    input go : UInt<1>
+
+    reg cnt : UInt<4>, clock
+    cnt <= tail(add(cnt, UInt<4>(1)), 1)
+    when eq(cnt, UInt<4>(9)) :
+      when go :
+        stop(clock, UInt<1>(1), 0)
+|}
+
+let test_stop_halt () =
+  let { Firrtl.circuit = c; halt } = Firrtl.load_string halt_src in
+  let halt = match halt with Some h -> h | None -> Alcotest.fail "expected $halt" in
+  let r = Reference.create c in
+  Reference.poke r (node_id c "go") (b ~w:1 1);
+  let rec run_until_halt n =
+    if n > 20 then Alcotest.fail "halt never asserted"
+    else begin
+      Reference.step r;
+      if Bits.is_zero (Reference.peek r halt) then run_until_halt (n + 1) else n
+    end
+  in
+  let cycles = run_until_halt 0 in
+  Alcotest.(check bool) (Printf.sprintf "halts near count 9 (at %d)" cycles) true
+    (cycles >= 8 && cycles <= 11)
+
+(* --- else-when chains and last-connect-wins ---------------------------- *)
+
+let when_src =
+  {|
+circuit Sel :
+  module Sel :
+    input clock : Clock
+    input s : UInt<2>
+    output o : UInt<8>
+
+    o <= UInt<8>(0)
+    when eq(s, UInt<2>(0)) :
+      o <= UInt<8>(10)
+    else when eq(s, UInt<2>(1)) :
+      o <= UInt<8>(20)
+    else :
+      o <= UInt<8>(30)
+|}
+
+let test_when_chain () =
+  let { Firrtl.circuit = c; _ } = Firrtl.load_string when_src in
+  let r = Reference.create c in
+  let check s expected =
+    Reference.poke r (node_id c "s") (b ~w:2 s);
+    Reference.step r;
+    Alcotest.(check int)
+      (Printf.sprintf "s=%d" s)
+      expected
+      (Bits.to_int (Reference.peek r (node_id c "o")))
+  in
+  check 0 10;
+  check 1 20;
+  check 2 30;
+  check 3 30
+
+(* --- one-hot idiom end-to-end ------------------------------------------ *)
+
+let onehot_src =
+  {|
+circuit Hot :
+  module Hot :
+    input clock : Clock
+    input sel : UInt<3>
+    output hit : UInt<1>
+
+    node shifted = dshl(UInt<8>(1), sel)
+    node masked = and(shifted, UInt<8>("h10"))
+    hit <= orr(masked)
+|}
+
+let test_onehot_roundtrip () =
+  let { Firrtl.circuit = c; _ } = Firrtl.load_string onehot_src in
+  ignore (Pipeline.optimize ~level:Pipeline.O2 c);
+  let r = Reference.create c in
+  for s = 0 to 7 do
+    Reference.poke r (node_id c "sel") (b ~w:3 s);
+    Reference.step r;
+    Alcotest.(check int)
+      (Printf.sprintf "sel=%d" s)
+      (if s = 4 then 1 else 0)
+      (Bits.to_int (Reference.peek r (node_id c "hit")))
+  done
+
+(* --- Parse errors are located ------------------------------------------ *)
+
+let test_parse_errors () =
+  let bad = "circuit X :\n  module X :\n    input a : UInt<8>\n    wire w ; missing colon\n" in
+  (match Firrtl.load_string bad with
+   | exception Firrtl.Error msg ->
+     Alcotest.(check bool) "mentions line number" true
+       (String.split_on_char ' ' msg |> List.exists (fun w -> w = "line" || w = "4:"))
+   | _ -> Alcotest.fail "expected parse error");
+  (match Firrtl.load_string "circuit Y :\n  module Y :\n    output o : UInt<4>\n    o <= unknown_thing\n" with
+   | exception Firrtl.Error _ -> ()
+   | _ -> Alcotest.fail "expected elaboration error")
+
+(* --- Engines agree on an elaborated design ----------------------------- *)
+
+let test_engines_on_firrtl_design () =
+  let { Firrtl.circuit = c; _ } = Firrtl.load_string counter_src in
+  let observe = List.map (fun n -> n.Circuit.id) (Circuit.outputs c) in
+  let en = node_id c "en" and reset = node_id c "reset" in
+  let stimulus =
+    Array.init 40 (fun i ->
+        [ (en, b ~w:1 (if i mod 4 = 3 then 0 else 1)); (reset, b ~w:1 (if i = 25 then 1 else 0)) ])
+  in
+  let expected =
+    Sim.trace (Sim.of_reference (Reference.create c)) ~observe ~stimulus
+  in
+  ignore (Pipeline.optimize ~level:Pipeline.O3 c);
+  let p = Partition.gsim c ~max_size:24 in
+  let got = Sim.trace (Activity.sim (Activity.create c p)) ~observe ~stimulus in
+  Alcotest.(check bool) "optimized gsim equals reference" true
+    (Sim.equal_traces expected got)
+
+let frontend_suite =
+  ( "frontend",
+    [
+      Alcotest.test_case "counter" `Quick test_counter;
+      Alcotest.test_case "hierarchy" `Quick test_hierarchy;
+      Alcotest.test_case "memory" `Quick test_memory;
+      Alcotest.test_case "signed ops" `Quick test_signed;
+      Alcotest.test_case "stop/halt" `Quick test_stop_halt;
+      Alcotest.test_case "when chains" `Quick test_when_chain;
+      Alcotest.test_case "one-hot roundtrip" `Quick test_onehot_roundtrip;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "engines agree" `Quick test_engines_on_firrtl_design;
+    ] )
+
+(* --- FIRRTL emission round-trips ---------------------------------------- *)
+
+module Firrtl_emit = Gsim_firrtl.Firrtl_emit
+module Stu_core = Gsim_designs.Stu_core
+module Programs = Gsim_designs.Programs
+module Isa = Gsim_designs.Isa
+
+let run_stu_like circuit ~imem ~dmem ~halt_name ~instret_name (prog : Isa.program) =
+  let r = Reference.create circuit in
+  Reference.load_mem r imem prog.Isa.code;
+  if Array.length prog.Isa.data > 0 then Reference.load_mem r dmem prog.Isa.data;
+  let halt = node_id circuit halt_name in
+  let rec go n =
+    if n > 100_000 then Alcotest.fail "no halt"
+    else begin
+      Reference.step r;
+      if Bits.is_zero (Reference.peek r halt) then go (n + 1) else n
+    end
+  in
+  let cycles = go 1 in
+  (cycles, Bits.to_int_trunc (Reference.peek r (node_id circuit instret_name)))
+
+let roundtrip_core level =
+  let core = Stu_core.build () in
+  let c = core.Stu_core.circuit in
+  (match level with
+   | Some level -> ignore (Gsim_passes.Pipeline.optimize ~level c)
+   | None -> ());
+  let prog = Programs.quick () in
+  let r1 = Reference.create (Circuit.copy c) in
+  ignore r1;
+  let orig =
+    run_stu_like c ~imem:core.Stu_core.h.Stu_core.imem ~dmem:core.Stu_core.h.Stu_core.dmem
+      ~halt_name:"halt" ~instret_name:"instret" prog
+  in
+  let emitted = Firrtl_emit.emit c in
+  Alcotest.(check (list string)) "no lossy inits" [] emitted.Firrtl_emit.lossy_inits;
+  let { Firrtl.circuit = c2; _ } = Firrtl.load_string emitted.Firrtl_emit.text in
+  let back =
+    run_stu_like c2 ~imem:core.Stu_core.h.Stu_core.imem ~dmem:core.Stu_core.h.Stu_core.dmem
+      ~halt_name:"halt" ~instret_name:"instret" prog
+  in
+  Alcotest.(check (pair int int)) "same halt cycle and instret" orig back
+
+let test_emit_roundtrip_core () = roundtrip_core None
+
+let test_emit_roundtrip_optimized () = roundtrip_core (Some Gsim_passes.Pipeline.O3)
+
+let test_emit_roundtrip_counter () =
+  let { Firrtl.circuit = c; _ } = Firrtl.load_string counter_src in
+  let emitted = Firrtl_emit.emit c in
+  let { Firrtl.circuit = c2; _ } = Firrtl.load_string emitted.Firrtl_emit.text in
+  let drive circuit =
+    let r = Reference.create circuit in
+    let en = node_id circuit "en" and reset = node_id circuit "reset" in
+    Reference.poke r en (b ~w:1 1);
+    Reference.run r 7;
+    Reference.poke r reset (b ~w:1 1);
+    Reference.step r;
+    Reference.poke r reset (b ~w:1 0);
+    Reference.run r 3;
+    Bits.to_int (Reference.peek r (node_id circuit "count"))
+  in
+  Alcotest.(check int) "same behaviour" (drive c) (drive c2)
+
+let () =
+  Alcotest.run "firrtl"
+    [
+      frontend_suite;
+      ( "emit-roundtrip",
+        [
+          Alcotest.test_case "counter" `Quick test_emit_roundtrip_counter;
+          Alcotest.test_case "stu_core" `Quick test_emit_roundtrip_core;
+          Alcotest.test_case "stu_core O3" `Quick test_emit_roundtrip_optimized;
+        ] );
+    ]

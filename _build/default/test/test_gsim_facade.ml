@@ -1,0 +1,123 @@
+(* The Gsim facade: presets, instantiate, id_map semantics, FIRRTL loading,
+   and cross-preset trace equivalence on a nontrivial design. *)
+
+module Bits = Gsim_bits.Bits
+module Circuit = Gsim_ir.Circuit
+module Sim = Gsim_engine.Sim
+module Counters = Gsim_engine.Counters
+module Pipeline = Gsim_passes.Pipeline
+module Stu_core = Gsim_designs.Stu_core
+module Designs = Gsim_designs.Designs
+module Programs = Gsim_designs.Programs
+module Gsim = Gsim_core.Gsim
+
+let firrtl_src =
+  {|
+circuit Pipe :
+  module Pipe :
+    input clock : Clock
+    input d : UInt<16>
+    input en : UInt<1>
+    output o : UInt<16>
+
+    reg s1 : UInt<16>, clock
+    reg s2 : UInt<16>, clock
+    when en :
+      s1 <= d
+      s2 <= s1
+    o <= xor(s2, s1)
+|}
+
+let test_presets_distinct () =
+  let names = List.map (fun c -> c.Gsim.config_name) Gsim.all_presets in
+  Alcotest.(check int) "eight presets" 8 (List.length names);
+  Alcotest.(check int) "distinct names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_all_presets_agree () =
+  let circuit, _ = Gsim.load_firrtl_string firrtl_src in
+  let node name = (Option.get (Circuit.find_node circuit name)).Circuit.id in
+  let st = Random.State.make [| 5 |] in
+  let stimulus =
+    Array.init 40 (fun _ ->
+        [
+          (node "d", Bits.random st ~width:16);
+          (node "en", Bits.of_int ~width:1 (Random.State.int st 2));
+        ])
+  in
+  let observe = [ node "s1"; node "s2" ] in
+  let expected = ref None in
+  List.iter
+    (fun config ->
+      let compiled = Gsim.instantiate config circuit in
+      let trace = Sim.trace compiled.Gsim.sim ~observe ~stimulus in
+      (match !expected with
+       | None -> expected := Some trace
+       | Some e ->
+         Alcotest.(check bool)
+           (config.Gsim.config_name ^ " agrees")
+           true (Sim.equal_traces e trace));
+      compiled.Gsim.destroy ())
+    Gsim.all_presets
+
+let test_instantiate_compact_map () =
+  let circuit, _ = Gsim.load_firrtl_string firrtl_src in
+  let node name = (Option.get (Circuit.find_node circuit name)).Circuit.id in
+  let compiled = Gsim.instantiate ~compact:true Gsim.gsim circuit in
+  let mapped = compiled.Gsim.id_map.(node "o") in
+  Alcotest.(check bool) "output survives compaction" true (mapped >= 0);
+  ignore (compiled.Gsim.sim.Sim.peek mapped);
+  compiled.Gsim.destroy ()
+
+let test_opt_outcomes_reported () =
+  let circuit, _ = Gsim.load_firrtl_string firrtl_src in
+  let compiled = Gsim.instantiate Gsim.gsim circuit in
+  Alcotest.(check bool) "outcomes nonempty at O3" true (compiled.Gsim.outcomes <> []);
+  Alcotest.(check bool) "supernodes reported" true (compiled.Gsim.supernodes > 0);
+  compiled.Gsim.destroy ()
+
+let test_gsim_beats_fullcycle_on_idle_design () =
+  (* A design that goes quiet must be much cheaper on the gsim preset. *)
+  let core = Stu_core.build () in
+  let run config =
+    let compiled = Gsim.instantiate config core.Stu_core.circuit in
+    let sim = compiled.Gsim.sim in
+    Designs.load_program sim core.Stu_core.h (Programs.quick ());
+    ignore (Designs.run_program sim core.Stu_core.h);
+    Counters.clear (sim.Sim.counters ());
+    Designs.run_cycles sim 1000;
+    let evals = (sim.Sim.counters ()).Counters.evals in
+    compiled.Gsim.destroy ();
+    evals
+  in
+  let full = run (Gsim.verilator ()) in
+  let gsim = run Gsim.gsim in
+  Alcotest.(check bool)
+    (Printf.sprintf "halted core evals: gsim %d << full-cycle %d" gsim full)
+    true
+    (gsim = 0 && full > 1000)
+
+let test_load_firrtl_file () =
+  let path = Filename.temp_file "gsim_test" ".fir" in
+  let oc = open_out path in
+  output_string oc firrtl_src;
+  close_out oc;
+  let circuit, halt = Gsim.load_firrtl_file path in
+  Sys.remove path;
+  Alcotest.(check bool) "loaded" true (Circuit.node_count circuit > 0);
+  Alcotest.(check bool) "no halt" true (halt = None)
+
+let () =
+  Alcotest.run "gsim_facade"
+    [
+      ( "facade",
+        [
+          Alcotest.test_case "presets distinct" `Quick test_presets_distinct;
+          Alcotest.test_case "all presets agree" `Quick test_all_presets_agree;
+          Alcotest.test_case "compact id map" `Quick test_instantiate_compact_map;
+          Alcotest.test_case "outcomes reported" `Quick test_opt_outcomes_reported;
+          Alcotest.test_case "idle design goes quiet" `Quick
+            test_gsim_beats_fullcycle_on_idle_design;
+          Alcotest.test_case "load file" `Quick test_load_firrtl_file;
+        ] );
+    ]

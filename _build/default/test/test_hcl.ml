@@ -1,0 +1,176 @@
+(* HCL builder: operators, registers, memories, scoping, and agreement of
+   every operator with the expression semantics. *)
+
+module Bits = Gsim_bits.Bits
+module Circuit = Gsim_ir.Circuit
+module Reference = Gsim_ir.Reference
+module Hcl = Gsim_hcl.Hcl
+
+let b ~w n = Bits.of_int ~width:w n
+
+(* Build a circuit computing [f a b] over two 8-bit inputs and check the
+   result for a set of operand pairs. *)
+let check_op name f expected =
+  let bld = Hcl.create ~name () in
+  let a = Hcl.input bld "a" 8 in
+  let bx = Hcl.input bld "b" 8 in
+  let out = Hcl.output bld "out" (f a bx) in
+  let c = Hcl.finalize bld in
+  let r = Reference.create c in
+  List.iter
+    (fun (x, y) ->
+      Reference.poke r (Hcl.node_of a) (b ~w:8 x);
+      Reference.poke r (Hcl.node_of bx) (b ~w:8 y);
+      Reference.step r;
+      let got = Bits.to_int (Reference.peek r (Hcl.node_of out)) in
+      Alcotest.(check int) (Printf.sprintf "%s %d,%d" name x y) (expected x y land 0xFF) got)
+    [ (0, 0); (1, 2); (200, 100); (255, 255); (128, 64) ]
+
+let test_arith_ops () =
+  Hcl.(
+    check_op "add" ( +: ) ( + );
+    check_op "sub" ( -: ) ( - );
+    check_op "mul" ( *: ) ( * );
+    check_op "and" ( &: ) ( land );
+    check_op "or" ( |: ) ( lor );
+    check_op "xor" ( ^: ) ( lxor ))
+
+let test_compare_ops () =
+  Hcl.(
+    check_op "eq" eq (fun x y -> Bool.to_int (x = y));
+    check_op "ult" ult (fun x y -> Bool.to_int (x < y));
+    check_op "slt" slt (fun x y ->
+        let s v = if v >= 128 then v - 256 else v in
+        Bool.to_int (s x < s y)))
+
+let test_shift_ops () =
+  Hcl.(
+    check_op "udiv" udiv (fun x y -> if y = 0 then 0 else x / y);
+    check_op "urem" urem (fun x y -> if y = 0 then x else x mod y);
+    check_op "sll" (fun a bx -> sll a (bits bx ~hi:2 ~lo:0)) (fun x y -> x lsl (y land 7));
+    check_op "srl" (fun a bx -> srl a (bits bx ~hi:2 ~lo:0)) (fun x y -> x lsr (y land 7)))
+
+let test_structure_ops () =
+  Hcl.(
+    check_op "cat low half" (fun a bx -> bits (cat [ a; bx ]) ~hi:7 ~lo:0) (fun _ y -> y);
+    check_op "cat high half" (fun a bx -> bits (cat [ a; bx ]) ~hi:15 ~lo:8) (fun x _ -> x);
+    check_op "mux2" (fun a bx -> mux2 (ult a bx) a bx) (fun x y -> if x < y then x else y);
+    check_op "select priority"
+      (fun a bx ->
+        select [ (eq a bx, a +: bx); (ult a bx, bx) ] ~default:a)
+      (fun x y -> if x = y then x + y else if x < y then y else x);
+    check_op "resize trunc" (fun a _ -> resize (resize a 4) 8) (fun x _ -> x land 0xF);
+    check_op "sext" (fun a _ -> bits (sext (bits a ~hi:3 ~lo:0) 8) ~hi:7 ~lo:0)
+      (fun x _ ->
+        let v = x land 0xF in
+        if v >= 8 then v lor 0xF0 else v);
+    check_op "reductions" (fun a _ ->
+        cat [ resize (reduce_or a) 1; resize (reduce_and a) 1; resize (reduce_xor a) 6 ])
+      (fun x _ ->
+        let orr = if x <> 0 then 1 else 0 in
+        let andr = if x = 0xFF then 1 else 0 in
+        let xorr =
+          let rec p v acc = if v = 0 then acc else p (v lsr 1) (acc lxor (v land 1)) in
+          p x 0
+        in
+        (orr lsl 7) lor (andr lsl 6) lor xorr))
+
+let test_register_priority () =
+  (* Later set_when wins, matching last-connect semantics. *)
+  let bld = Hcl.create () in
+  let sel = Hcl.input bld "sel" 1 in
+  let r = Hcl.reg bld "r" 8 in
+  Hcl.set r (Hcl.const bld ~width:8 1);
+  Hcl.set_when r ~guard:sel (Hcl.const bld ~width:8 2);
+  let c = Hcl.finalize bld in
+  let rf = Reference.create c in
+  Reference.poke rf (Hcl.node_of sel) (b ~w:1 1);
+  Reference.step rf;
+  Alcotest.(check int) "guarded overrides" 2 (Bits.to_int (Reference.peek rf (Hcl.reg_node r)));
+  Reference.poke rf (Hcl.node_of sel) (b ~w:1 0);
+  Reference.step rf;
+  Alcotest.(check int) "unconditional base" 1 (Bits.to_int (Reference.peek rf (Hcl.reg_node r)))
+
+let test_register_reset_and_init () =
+  let bld = Hcl.create () in
+  let rst = Hcl.input bld "rst" 1 in
+  let r = Hcl.reg bld ~init:(b ~w:8 7) ~reset:(rst, b ~w:8 42) "r" 8 in
+  Hcl.set r Hcl.(q r +: Hcl.const bld ~width:8 1);
+  let c = Hcl.finalize bld in
+  let rf = Reference.create c in
+  Alcotest.(check int) "init value" 7 (Bits.to_int (Reference.peek rf (Hcl.reg_node r)));
+  Reference.step rf;
+  Alcotest.(check int) "counts from init" 8 (Bits.to_int (Reference.peek rf (Hcl.reg_node r)));
+  Reference.poke rf (Hcl.node_of rst) (b ~w:1 1);
+  Reference.step rf;
+  Alcotest.(check int) "reset value" 42 (Bits.to_int (Reference.peek rf (Hcl.reg_node r)))
+
+let test_memory_rw () =
+  let bld = Hcl.create () in
+  let addr = Hcl.input bld "addr" 3 in
+  let data = Hcl.input bld "data" 8 in
+  let wen = Hcl.input bld "wen" 1 in
+  let m = Hcl.memory bld "m" ~width:8 ~depth:8 in
+  let rdata = Hcl.output bld "rdata" (Hcl.read m addr) in
+  Hcl.write m ~addr ~data ~en:wen;
+  let c = Hcl.finalize bld in
+  let rf = Reference.create c in
+  Reference.poke rf (Hcl.node_of addr) (b ~w:3 5);
+  Reference.poke rf (Hcl.node_of data) (b ~w:8 99);
+  Reference.poke rf (Hcl.node_of wen) (b ~w:1 1);
+  Reference.step rf;
+  Reference.poke rf (Hcl.node_of wen) (b ~w:1 0);
+  Reference.step rf;
+  Alcotest.(check int) "write then read" 99 (Bits.to_int (Reference.peek rf (Hcl.node_of rdata)));
+  Alcotest.(check int) "mem_index valid" 99
+    (Bits.to_int (Reference.read_mem rf (Hcl.mem_index m) 5))
+
+let test_scoping_names () =
+  let bld = Hcl.create () in
+  let x = Hcl.input bld "x" 4 in
+  Hcl.in_scope bld "outer" (fun () ->
+      Hcl.in_scope bld "inner" (fun () ->
+          ignore (Hcl.wire bld "w" Hcl.(x +: x))));
+  let c = Hcl.circuit bld in
+  Alcotest.(check bool) "scoped name exists" true
+    (Circuit.find_node c "outer.inner.w" <> None)
+
+let test_finalize_freezes () =
+  let bld = Hcl.create () in
+  ignore (Hcl.input bld "x" 4);
+  ignore (Hcl.finalize bld);
+  Alcotest.check_raises "frozen" (Invalid_argument "Hcl: builder already finalized")
+    (fun () -> ignore (Hcl.input bld "y" 4))
+
+let test_validation_errors () =
+  Alcotest.check_raises "node_of on expression"
+    (Invalid_argument "Hcl.node_of: signal is not materialized; wire it first") (fun () ->
+      let bld = Hcl.create () in
+      let x = Hcl.input bld "x" 4 in
+      ignore (Hcl.node_of Hcl.(x +: x)));
+  Alcotest.check_raises "empty cat" (Invalid_argument "Hcl.cat: empty") (fun () ->
+      ignore (Hcl.cat []))
+
+let () =
+  Alcotest.run "hcl"
+    [
+      ( "operators",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_arith_ops;
+          Alcotest.test_case "compares" `Quick test_compare_ops;
+          Alcotest.test_case "shifts/div" `Quick test_shift_ops;
+          Alcotest.test_case "structure" `Quick test_structure_ops;
+        ] );
+      ( "state",
+        [
+          Alcotest.test_case "register priority" `Quick test_register_priority;
+          Alcotest.test_case "register reset/init" `Quick test_register_reset_and_init;
+          Alcotest.test_case "memory" `Quick test_memory_rw;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "scoping" `Quick test_scoping_names;
+          Alcotest.test_case "finalize freezes" `Quick test_finalize_freezes;
+          Alcotest.test_case "errors" `Quick test_validation_errors;
+        ] );
+    ]

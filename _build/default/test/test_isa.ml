@@ -1,0 +1,220 @@
+(* Instruction-level conformance: every instruction class is executed on
+   the hardware core and compared against the golden software model, one
+   focused program per behaviour. *)
+
+module Bits = Gsim_bits.Bits
+module Isa = Gsim_designs.Isa
+module Programs = Gsim_designs.Programs
+module Stu_core = Gsim_designs.Stu_core
+module Designs = Gsim_designs.Designs
+module Partition = Gsim_partition.Partition
+module Activity = Gsim_engine.Activity
+
+(* Run [instrs] (auto-appending Halt) on both the golden model and the
+   hardware core; require identical register files and retire counts. *)
+let conformance name instrs =
+  let prog =
+    { Isa.prog_name = name; code = Isa.assemble (instrs @ [ Isa.Halt ]); data = [||] }
+  in
+  let core = Stu_core.build () in
+  let p = Partition.gsim core.Stu_core.circuit ~max_size:8 in
+  let sim = Activity.sim (Activity.create core.Stu_core.circuit p) in
+  try Designs.check_against_golden sim core.Stu_core.h prog ~dmem_size:4096
+  with Failure msg -> Alcotest.failf "%s: %s" name msg
+
+let li rd v =
+  (* Load a full 32-bit constant in 11-bit chunks (imm12 is signed, so
+     each OR immediate stays within [0, 2047]). *)
+  if v >= -2048 && v <= 2047 then [ Isa.Alui (Isa.Add, rd, 0, v) ]
+  else begin
+    let v = v land 0xFFFFFFFF in
+    [
+      Isa.Alui (Isa.Add, rd, 0, (v lsr 22) land 0x3FF);
+      Isa.Alui (Isa.Sll, rd, rd, 11);
+      Isa.Alui (Isa.Or, rd, rd, (v lsr 11) land 0x7FF);
+      Isa.Alui (Isa.Sll, rd, rd, 11);
+      Isa.Alui (Isa.Or, rd, rd, v land 0x7FF);
+    ]
+  end
+
+let test_alu_functs () =
+  List.iter
+    (fun f ->
+      conformance
+        (Format.asprintf "alu_%d" (Isa.funct_code f))
+        (li 1 0x12345678 @ li 2 29
+         @ [ Isa.Alu (f, 3, 1, 2); Isa.Alu (f, 4, 2, 1); Isa.Alu (f, 5, 1, 1) ]))
+    [
+      Isa.Add; Isa.Sub; Isa.And; Isa.Or; Isa.Xor; Isa.Sll; Isa.Srl; Isa.Sra; Isa.Slt;
+      Isa.Sltu; Isa.Mul; Isa.Divu; Isa.Remu;
+    ]
+
+let test_alu_edge_values () =
+  (* Overflow, zero divisors, shift amounts >= 32 (masked to 5 bits). *)
+  conformance "alu_edges"
+    (li 1 0x7FFFFFFF @ li 2 0xFFFFFFFF @ li 3 33
+     @ [
+         Isa.Alu (Isa.Add, 4, 1, 1);
+         Isa.Alu (Isa.Sub, 5, 0, 2);
+         Isa.Alu (Isa.Divu, 6, 1, 0);
+         Isa.Alu (Isa.Remu, 7, 1, 0);
+         Isa.Alu (Isa.Sll, 8, 1, 3);
+         Isa.Alu (Isa.Sra, 9, 2, 3);
+         Isa.Alu (Isa.Slt, 10, 2, 1);
+         Isa.Alu (Isa.Sltu, 11, 2, 1);
+       ])
+
+let test_imm_sign_extension () =
+  conformance "imm_sext"
+    [
+      Isa.Alui (Isa.Add, 1, 0, -1);
+      Isa.Alui (Isa.Add, 2, 1, -2048);
+      Isa.Alui (Isa.Xor, 3, 1, 2047);
+      Isa.Alui (Isa.And, 4, 1, -256);
+    ]
+
+let test_r0_is_zero () =
+  conformance "r0"
+    [
+      Isa.Alui (Isa.Add, 0, 0, 55);   (* write to r0 discarded *)
+      Isa.Alu (Isa.Add, 1, 0, 0);
+      Isa.Alui (Isa.Add, 2, 0, 7);
+      Isa.Alu (Isa.Add, 3, 2, 0);
+    ]
+
+let test_load_store_roundtrip () =
+  conformance "mem_roundtrip"
+    (li 1 123456
+     @ [
+         Isa.Store (0, 1, 100);
+         Isa.Load (2, 0, 100);
+         Isa.Alui (Isa.Add, 3, 0, 100);
+         Isa.Load (4, 3, 0);
+         Isa.Store (3, 2, 1);
+         Isa.Load (5, 0, 101);
+       ])
+
+let test_store_load_same_cycle_ordering () =
+  (* A load in the cycle right after a store to the same address must see
+     the stored value (memory commits at cycle end). *)
+  conformance "mem_ordering"
+    (li 1 77
+     @ [ Isa.Store (0, 1, 5); Isa.Load (2, 0, 5); Isa.Alu (Isa.Add, 3, 2, 1) ])
+
+let test_address_wrap () =
+  conformance "mem_wrap"
+    (li 1 4097 (* wraps to 1 in a 4096-word memory *)
+     @ li 2 31415
+     @ [ Isa.Store (1, 2, 0); Isa.Load (3, 0, 1) ])
+
+let test_branches () =
+  List.iter
+    (fun cond ->
+      conformance
+        (Format.asprintf "branch_%d" (Isa.cond_code cond))
+        (li 1 5 @ li 2 (-5)
+         @ [
+             Isa.Br (cond, 1, 2, "taken");
+             Isa.Alui (Isa.Add, 3, 0, 111);
+             Isa.Label "taken";
+             Isa.Alui (Isa.Add, 4, 0, 222);
+             Isa.Br (cond, 1, 1, "eqpath");
+             Isa.Alui (Isa.Add, 5, 0, 333);
+             Isa.Label "eqpath";
+             Isa.Alui (Isa.Add, 6, 0, 444);
+           ]))
+    [ Isa.Beq; Isa.Bne; Isa.Blt; Isa.Bge; Isa.Bltu; Isa.Bgeu ]
+
+let test_backward_branch_loop () =
+  conformance "loop"
+    [
+      Isa.Alui (Isa.Add, 1, 0, 10);
+      Isa.Label "top";
+      Isa.Alu (Isa.Add, 2, 2, 1);
+      Isa.Alui (Isa.Sub, 1, 1, 1);
+      Isa.Br (Isa.Bne, 1, 0, "top");
+    ]
+
+let test_jal_jalr_linkage () =
+  conformance "call_return"
+    [
+      Isa.Jal (7, "fn");
+      Isa.Alui (Isa.Add, 1, 0, 1);   (* executed after return *)
+      Isa.Jal (0, "end");
+      Isa.Label "fn";
+      Isa.Alui (Isa.Add, 2, 0, 2);
+      Isa.Jalr (0, 7, 0);
+      Isa.Label "end";
+      Isa.Alui (Isa.Add, 3, 0, 3);
+    ]
+
+let test_lui () =
+  conformance "lui" [ Isa.Lui (1, 0xFFFFF); Isa.Lui (2, 1); Isa.Alu (Isa.Srl, 3, 1, 2) ]
+
+let test_nop_stream () =
+  conformance "nops" [ Isa.Nop; Isa.Nop; Isa.Alui (Isa.Add, 1, 0, 9); Isa.Nop ]
+
+let test_golden_retired_counts () =
+  (* Retire counts are architecturally defined; check a known loop. *)
+  let code =
+    Isa.assemble
+      [
+        Isa.Alui (Isa.Add, 1, 0, 3);
+        Isa.Label "t";
+        Isa.Alui (Isa.Sub, 1, 1, 1);
+        Isa.Br (Isa.Bne, 1, 0, "t");
+        Isa.Halt;
+      ]
+  in
+  let _, _, retired = Isa.reference_execute ~code ~data:[||] ~dmem_size:64 () in
+  (* 1 init + 3*(sub+br) + halt *)
+  Alcotest.(check int) "retired" 8 retired
+
+let test_all_workloads_on_core () =
+  (* Full conformance of every shipped workload at small scale. *)
+  List.iter
+    (fun (name, prog) ->
+      let core = Stu_core.build () in
+      let p = Partition.gsim core.Stu_core.circuit ~max_size:8 in
+      let sim = Activity.sim (Activity.create core.Stu_core.circuit p) in
+      try Designs.check_against_golden sim core.Stu_core.h prog ~dmem_size:4096
+      with Failure msg -> Alcotest.failf "%s: %s" name msg)
+    [
+      ("coremark", Programs.coremark ~iters:1 ());
+      ("linux_boot", Programs.linux_boot ~phases:4 ());
+      ("streaming", Programs.spec_streaming ~scale:1 ());
+      ("pointer_chase", Programs.spec_pointer_chase ~scale:1 ());
+      ("int_compute", Programs.spec_int_compute ~scale:1 ());
+      ("mul_heavy", Programs.spec_mul_heavy ~scale:1 ());
+      ("branch_heavy", Programs.spec_branch_heavy ~scale:1 ());
+      ("icache", Programs.spec_icache ~scale:1 ());
+    ]
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "alu",
+        [
+          Alcotest.test_case "all functs" `Quick test_alu_functs;
+          Alcotest.test_case "edge values" `Quick test_alu_edge_values;
+          Alcotest.test_case "imm sign extension" `Quick test_imm_sign_extension;
+          Alcotest.test_case "r0 reads zero" `Quick test_r0_is_zero;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_load_store_roundtrip;
+          Alcotest.test_case "store/load ordering" `Quick test_store_load_same_cycle_ordering;
+          Alcotest.test_case "address wrap" `Quick test_address_wrap;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "branch conditions" `Quick test_branches;
+          Alcotest.test_case "backward loop" `Quick test_backward_branch_loop;
+          Alcotest.test_case "jal/jalr" `Quick test_jal_jalr_linkage;
+          Alcotest.test_case "lui" `Quick test_lui;
+          Alcotest.test_case "nops" `Quick test_nop_stream;
+          Alcotest.test_case "retire counts" `Quick test_golden_retired_counts;
+        ] );
+      ( "workloads",
+        [ Alcotest.test_case "all programs conform" `Quick test_all_workloads_on_core ] );
+    ]

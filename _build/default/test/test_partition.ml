@@ -1,0 +1,173 @@
+(* Partitioning algorithms: validity on random circuits, size bounds,
+   quality ordering, and behaviour of the pre-merge rules. *)
+
+module Circuit = Gsim_ir.Circuit
+module Expr = Gsim_ir.Expr
+module Rand_circuit = Gsim_ir.Rand_circuit
+module Partition = Gsim_partition.Partition
+
+let algorithms =
+  [
+    ("none", fun c ~max_size:_ -> Partition.singleton c);
+    ("kernighan", Partition.kernighan);
+    ("mffc", Partition.mffc);
+    ("gsim", Partition.gsim);
+  ]
+
+let test_valid_on_random () =
+  let st = Random.State.make [| 11 |] in
+  for i = 1 to 15 do
+    let cfg =
+      { Rand_circuit.default_config with Rand_circuit.logic_nodes = 20 + (i * 10) }
+    in
+    let c = Rand_circuit.generate st cfg in
+    List.iter
+      (fun (name, algo) ->
+        let p = algo c ~max_size:(1 + (i mod 40)) in
+        try Partition.validate c p
+        with Failure msg -> Alcotest.failf "%s invalid on circuit %d: %s" name i msg)
+      algorithms
+  done
+
+let test_singleton_sizes () =
+  let st = Random.State.make [| 12 |] in
+  let c = Rand_circuit.generate st Rand_circuit.default_config in
+  let p = Partition.singleton c in
+  Array.iter
+    (fun members -> Alcotest.(check int) "singleton size" 1 (Array.length members))
+    p.Partition.supernodes
+
+let test_monolithic () =
+  let st = Random.State.make [| 13 |] in
+  let c = Rand_circuit.generate st Rand_circuit.default_config in
+  let p = Partition.monolithic c in
+  Alcotest.(check int) "one supernode" 1 (Array.length p.Partition.supernodes);
+  Partition.validate c p
+
+let test_max_size_respected () =
+  let st = Random.State.make [| 14 |] in
+  let c =
+    Rand_circuit.generate st
+      { Rand_circuit.default_config with Rand_circuit.logic_nodes = 200 }
+  in
+  List.iter
+    (fun (name, algo) ->
+      if name <> "none" then begin
+        let p = algo c ~max_size:10 in
+        let q = Partition.quality c p in
+        (* GSIM's protected clusters may exceed the bound, but not wildly. *)
+        let limit = if name = "gsim" then 20 else 10 in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s max size (got %d)" name q.Partition.max_size)
+          true
+          (q.Partition.max_size <= limit)
+      end)
+    algorithms
+
+let test_kernighan_minimizes_cuts_on_chain () =
+  (* A chain a -> b -> c -> d -> e -> f: with max_size 3 the optimal
+     2-segment split cuts exactly one edge. *)
+  let c = Circuit.create () in
+  let x = Circuit.add_input c ~name:"x" ~width:8 in
+  let rec chain prev n acc =
+    if n = 0 then acc
+    else begin
+      let nd =
+        Circuit.add_logic c
+          ~name:(Printf.sprintf "n%d" n)
+          (Expr.unop Expr.Not (Expr.var ~width:8 prev))
+      in
+      chain nd.Circuit.id (n - 1) (nd.Circuit.id :: acc)
+    end
+  in
+  let ids = chain x.Circuit.id 6 [] in
+  Circuit.mark_output c (List.hd ids);
+  let p = Partition.kernighan c ~max_size:3 in
+  Partition.validate c p;
+  let q = Partition.quality c p in
+  Alcotest.(check int) "two segments" 2 q.Partition.supernode_count;
+  Alcotest.(check int) "one cut" 1 q.Partition.cut_edges
+
+let test_gsim_groups_correlated () =
+  (* A diamond: src feeds siblings s1 s2 (same predecessor set) which feed
+     sink.  All four are strongly correlated; GSIM should group them into a
+     single supernode when the bound allows. *)
+  let c = Circuit.create () in
+  let x = Circuit.add_input c ~name:"x" ~width:8 in
+  let src = Circuit.add_logic c ~name:"src" (Expr.unop Expr.Not (Expr.var ~width:8 x.Circuit.id)) in
+  let s1 =
+    Circuit.add_logic c ~name:"s1"
+      (Expr.unop (Expr.Shl_const 0) (Expr.var ~width:8 src.Circuit.id))
+  in
+  let s2 =
+    Circuit.add_logic c ~name:"s2" (Expr.unop Expr.Not (Expr.var ~width:8 src.Circuit.id))
+  in
+  let sink =
+    Circuit.add_logic c ~name:"sink"
+      (Expr.binop Expr.Xor (Expr.var ~width:8 s1.Circuit.id) (Expr.var ~width:8 s2.Circuit.id))
+  in
+  Circuit.mark_output c sink.Circuit.id;
+  let p = Partition.gsim c ~max_size:16 in
+  Partition.validate c p;
+  Alcotest.(check int) "single supernode" 1 (Array.length p.Partition.supernodes)
+
+let test_gsim_beats_singleton_on_cuts () =
+  let st = Random.State.make [| 15 |] in
+  let c =
+    Rand_circuit.generate st
+      { Rand_circuit.default_config with Rand_circuit.logic_nodes = 300 }
+  in
+  let cuts algo = (Partition.quality c (algo c ~max_size:30)).Partition.cut_edges in
+  let none = cuts (fun c ~max_size:_ -> Partition.singleton c) in
+  let kern = cuts Partition.kernighan in
+  let gsim = cuts Partition.gsim in
+  Alcotest.(check bool) "kernighan cuts fewer than none" true (kern < none);
+  Alcotest.(check bool) "gsim cuts fewer than none" true (gsim < none)
+
+let test_algorithm_of_string () =
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (Printf.sprintf "resolves %s" name)
+        true
+        (Option.is_some (Partition.algorithm_of_string name)))
+    [ "none"; "kernighan"; "mffc"; "gsim" ];
+  Alcotest.(check bool) "unknown rejected" true
+    (Option.is_none (Partition.algorithm_of_string "bogus"))
+
+let prop_coverage =
+  QCheck.Test.make ~name:"every algorithm covers all evaluated nodes" ~count:20
+    (QCheck.make QCheck.Gen.(int_range 0 10000))
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let c = Rand_circuit.generate st Rand_circuit.default_config in
+      let max_size = 1 + (seed mod 60) in
+      List.for_all
+        (fun (_, algo) ->
+          let p = algo c ~max_size in
+          Partition.validate c p;
+          let covered =
+            Array.fold_left (fun acc m -> acc + Array.length m) 0 p.Partition.supernodes
+          in
+          covered = Array.length (Circuit.eval_order c))
+        algorithms)
+
+let () =
+  Alcotest.run "partition"
+    [
+      ( "validity",
+        [
+          Alcotest.test_case "random circuits" `Quick test_valid_on_random;
+          Alcotest.test_case "singleton" `Quick test_singleton_sizes;
+          Alcotest.test_case "monolithic" `Quick test_monolithic;
+          Alcotest.test_case "max size" `Quick test_max_size_respected;
+        ] );
+      ( "quality",
+        [
+          Alcotest.test_case "kernighan chain" `Quick test_kernighan_minimizes_cuts_on_chain;
+          Alcotest.test_case "gsim groups correlated" `Quick test_gsim_groups_correlated;
+          Alcotest.test_case "cut comparison" `Quick test_gsim_beats_singleton_on_cuts;
+          Alcotest.test_case "algorithm_of_string" `Quick test_algorithm_of_string;
+        ] );
+      ("props", [ QCheck_alcotest.to_alcotest prop_coverage ]);
+    ]

@@ -1,0 +1,170 @@
+(* Torture testing: randomly generated programs executed on the hardware
+   core (under several engines) and compared instruction-for-instruction
+   against the golden software model, plus profile-report sanity. *)
+
+module Bits = Gsim_bits.Bits
+module Circuit = Gsim_ir.Circuit
+module Partition = Gsim_partition.Partition
+module Sim = Gsim_engine.Sim
+module Activity = Gsim_engine.Activity
+module Full_cycle = Gsim_engine.Full_cycle
+module Profile = Gsim_engine.Profile
+module Isa = Gsim_designs.Isa
+module Stu_core = Gsim_designs.Stu_core
+module Designs = Gsim_designs.Designs
+
+(* Random yet always-terminating programs: straight-line random ALU and
+   memory traffic, sprinkled with bounded countdown loops and call/return
+   pairs. *)
+let random_program st =
+  let instrs = ref [] in
+  let emit i = instrs := i :: !instrs in
+  (* x7 is the link register and x14 the loop counter; random code must
+     not clobber them or control flow escapes. *)
+  let usable = [| 1; 2; 3; 4; 5; 6; 8; 9; 10; 11; 12; 13; 15 |] in
+  let reg () = usable.(Random.State.int st (Array.length usable)) in
+  let functs =
+    [| Isa.Add; Isa.Sub; Isa.And; Isa.Or; Isa.Xor; Isa.Sll; Isa.Srl; Isa.Sra; Isa.Slt;
+       Isa.Sltu; Isa.Mul; Isa.Divu; Isa.Remu |]
+  in
+  let imm () = Random.State.int st 4096 - 2048 in
+  let label_count = ref 0 in
+  let fresh_label () =
+    incr label_count;
+    Printf.sprintf "tt_%d" !label_count
+  in
+  (* Seed registers. *)
+  for r = 1 to 15 do
+    emit (Isa.Alui (Isa.Add, r, 0, (r * 137) land 0x7FF))
+  done;
+  let blocks = 12 + Random.State.int st 20 in
+  for _ = 1 to blocks do
+    match Random.State.int st 6 with
+    | 0 | 1 ->
+      (* Random ALU burst. *)
+      for _ = 1 to 4 + Random.State.int st 8 do
+        let f = functs.(Random.State.int st (Array.length functs)) in
+        if Random.State.bool st then emit (Isa.Alu (f, reg (), reg (), reg ()))
+        else emit (Isa.Alui (f, reg (), reg (), imm ()))
+      done
+    | 2 ->
+      (* Memory traffic (addresses wrap; all legal). *)
+      for _ = 1 to 3 + Random.State.int st 5 do
+        if Random.State.bool st then emit (Isa.Store (reg (), reg (), imm ()))
+        else emit (Isa.Load (reg (), reg (), imm ()))
+      done
+    | 3 ->
+      (* Bounded countdown loop on the dedicated counter register. *)
+      let l = fresh_label () in
+      let body = reg () in
+      emit (Isa.Alui (Isa.Add, 14, 0, 1 + Random.State.int st 12));
+      emit (Isa.Label l);
+      emit (Isa.Alu (Isa.Add, body, body, 14));
+      emit (Isa.Alui (Isa.Sub, 14, 14, 1));
+      emit (Isa.Br (Isa.Bne, 14, 0, l))
+    | 4 ->
+      (* Forward skip over a couple of instructions. *)
+      let l = fresh_label () in
+      emit (Isa.Br ((if Random.State.bool st then Isa.Beq else Isa.Bltu), reg (), reg (), l));
+      emit (Isa.Alui (Isa.Xor, reg (), reg (), imm ()));
+      emit (Isa.Alu (Isa.Sub, reg (), reg (), reg ()));
+      emit (Isa.Label l)
+    | _ ->
+      (* Call/return through a unique trampoline. *)
+      let fn = fresh_label () and back = fresh_label () in
+      emit (Isa.Jal (7, fn));
+      emit (Isa.Jal (0, back));
+      emit (Isa.Label fn);
+      emit (Isa.Alui (Isa.Add, reg (), 0, imm ()));
+      emit (Isa.Jalr (0, 7, 0));
+      emit (Isa.Label back)
+  done;
+  emit Isa.Halt;
+  let code = Isa.assemble (List.rev !instrs) in
+  let data =
+    Array.init 256 (fun i -> Bits.of_int ~width:32 ((i * 2654435761) land 0xFFFFFF))
+  in
+  { Isa.prog_name = "torture"; code; data }
+
+let engines =
+  [
+    ("full_cycle", fun c -> Full_cycle.sim (Full_cycle.create c));
+    ( "gsim",
+      fun c ->
+        let p = Partition.gsim c ~max_size:8 in
+        Activity.sim (Activity.create c p) );
+    ( "essent",
+      fun c ->
+        let p = Partition.mffc c ~max_size:20 in
+        Activity.sim (Activity.create ~config:Activity.essent_config c p) );
+  ]
+
+let check_one seed =
+  let st = Random.State.make [| seed; 7777 |] in
+  let prog = random_program st in
+  List.iter
+    (fun (name, mk) ->
+      let core = Stu_core.build () in
+      let sim = mk core.Stu_core.circuit in
+      try Designs.check_against_golden sim core.Stu_core.h prog ~dmem_size:4096
+      with Failure msg -> Alcotest.failf "seed %d on %s: %s" seed name msg)
+    engines
+
+let test_torture_quick () =
+  for seed = 1 to 10 do
+    check_one seed
+  done
+
+let prop_torture =
+  QCheck.Test.make ~name:"random programs conform on every engine" ~count:15
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 100 1_000_000))
+    (fun seed ->
+      check_one seed;
+      true)
+
+(* --- Profile sanity ----------------------------------------------------- *)
+
+let test_profile_report () =
+  let core = Stu_core.build () in
+  let part = Partition.gsim core.Stu_core.circuit ~max_size:8 in
+  let engine = Activity.create core.Stu_core.circuit part in
+  let sim = Activity.sim engine in
+  Designs.load_program sim core.Stu_core.h (Gsim_designs.Programs.quick ());
+  ignore (Designs.run_program sim core.Stu_core.h);
+  Designs.run_cycles sim 200;  (* idle tail *)
+  let r = Profile.analyze ~top:5 core.Stu_core.circuit part engine in
+  Alcotest.(check bool) "has entries" true (r.Profile.entries <> []);
+  Alcotest.(check bool) "entries sorted" true
+    (let shares = List.map (fun e -> e.Profile.share) r.Profile.entries in
+     List.sort (fun a b -> compare b a) shares = shares);
+  let total_share = List.fold_left (fun a e -> a +. e.Profile.share) 0. r.Profile.entries in
+  Alcotest.(check bool) "shares are a fraction" true (total_share <= 1.0 +. 1e-9);
+  Alcotest.(check bool) "cycles recorded" true (r.Profile.cycles > 200)
+
+let test_profile_idle_detection () =
+  (* A design with a frozen half: its supernodes must show up as idle. *)
+  let core = Stu_core.build () in
+  let part = Partition.gsim core.Stu_core.circuit ~max_size:8 in
+  let engine = Activity.create core.Stu_core.circuit part in
+  let sim = Activity.sim engine in
+  Designs.load_program sim core.Stu_core.h (Gsim_designs.Programs.quick ());
+  ignore (Designs.run_program sim core.Stu_core.h);
+  let hits_at_halt = Activity.supernode_hits engine in
+  Designs.run_cycles sim 500;
+  let hits_after = Activity.supernode_hits engine in
+  Alcotest.(check bool) "no evaluations while halted" true (hits_at_halt = hits_after)
+
+let () =
+  Alcotest.run "torture"
+    [
+      ( "programs",
+        [
+          Alcotest.test_case "ten seeds" `Quick test_torture_quick;
+          QCheck_alcotest.to_alcotest prop_torture;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "report" `Quick test_profile_report;
+          Alcotest.test_case "idle detection" `Quick test_profile_idle_detection;
+        ] );
+    ]

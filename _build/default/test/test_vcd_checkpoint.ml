@@ -1,0 +1,213 @@
+(* VCD dumping and checkpoint save/restore. *)
+
+module Bits = Gsim_bits.Bits
+module Expr = Gsim_ir.Expr
+module Circuit = Gsim_ir.Circuit
+module Reference = Gsim_ir.Reference
+module Partition = Gsim_partition.Partition
+module Sim = Gsim_engine.Sim
+module Activity = Gsim_engine.Activity
+module Full_cycle = Gsim_engine.Full_cycle
+module Vcd = Gsim_engine.Vcd
+module Checkpoint = Gsim_engine.Checkpoint
+module Stu_core = Gsim_designs.Stu_core
+module Designs = Gsim_designs.Designs
+module Programs = Gsim_designs.Programs
+module Isa = Gsim_designs.Isa
+
+let b ~w n = Bits.of_int ~width:w n
+
+let counter_circuit () =
+  let c = Circuit.create ~name:"ctr" () in
+  let en = Circuit.add_input c ~name:"top.en" ~width:1 in
+  let r = Circuit.add_register c ~name:"top.count" ~width:8 ~init:(Bits.zero 8) () in
+  Circuit.set_next c r
+    (Expr.mux (Expr.var ~width:1 en.Circuit.id)
+       (Expr.unop (Expr.Extract (7, 0))
+          (Expr.binop Expr.Add (Expr.var ~width:8 r.Circuit.read) (Expr.of_int ~width:8 1)))
+       (Expr.var ~width:8 r.Circuit.read));
+  Circuit.mark_output c r.Circuit.read;
+  (c, en.Circuit.id, r.Circuit.read)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* --- VCD ---------------------------------------------------------------- *)
+
+let test_vcd_header_and_changes () =
+  let c, en, count = counter_circuit () in
+  let buf = Buffer.create 1024 in
+  let sim = Full_cycle.sim (Full_cycle.create c) in
+  let _, sim = Vcd.create ~out:(Buffer.add_string buf) sim in
+  sim.Sim.poke en (b ~w:1 1);
+  Sim.run sim 3;
+  sim.Sim.poke en (b ~w:1 0);
+  Sim.run sim 5;
+  let vcd = Buffer.contents buf in
+  Alcotest.(check bool) "timescale" true (contains vcd "$timescale");
+  Alcotest.(check bool) "enddefinitions" true (contains vcd "$enddefinitions $end");
+  Alcotest.(check bool) "scope from dotted name" true (contains vcd "$scope module top $end");
+  Alcotest.(check bool) "count declared 8 wide" true (contains vcd "$var wire 8");
+  Alcotest.(check bool) "en declared 1 wide" true (contains vcd "$var wire 1");
+  (* Counting to 3 then idling: binary changes recorded, then silence. *)
+  Alcotest.(check bool) "count reaches 3" true (contains vcd "b00000011");
+  Alcotest.(check bool) "no change at idle time" false (contains vcd "#8");
+  ignore count
+
+let test_vcd_only_changes_dumped () =
+  let c, en, _ = counter_circuit () in
+  let buf = Buffer.create 1024 in
+  let sim = Full_cycle.sim (Full_cycle.create c) in
+  let _, sim = Vcd.create ~out:(Buffer.add_string buf) sim in
+  sim.Sim.poke en (b ~w:1 0);
+  let before = Buffer.length buf in
+  Sim.run sim 50;
+  (* Idle: nothing after the initial dump. *)
+  Alcotest.(check int) "no output while idle" before (Buffer.length buf)
+
+let test_vcd_identifiers_unique () =
+  let core = Stu_core.build () in
+  let buf = Buffer.create 65536 in
+  let sim = Full_cycle.sim (Full_cycle.create core.Stu_core.circuit) in
+  let _, _ = Vcd.create ~out:(Buffer.add_string buf) sim in
+  let vcd = Buffer.contents buf in
+  let idents =
+    String.split_on_char '\n' vcd
+    |> List.filter_map (fun l ->
+           match String.split_on_char ' ' l with
+           | [ "$var"; "wire"; _; id; _; "$end" ] -> Some id
+           | _ -> None)
+  in
+  Alcotest.(check bool) "several signals" true (List.length idents > 10);
+  Alcotest.(check int) "identifiers unique" (List.length idents)
+    (List.length (List.sort_uniq compare idents))
+
+let test_vcd_to_file () =
+  let c, en, _ = counter_circuit () in
+  let path = Filename.temp_file "gsim" ".vcd" in
+  let sim = Full_cycle.sim (Full_cycle.create c) in
+  let sim, close = Vcd.to_file path sim in
+  sim.Sim.poke en (b ~w:1 1);
+  Sim.run sim 4;
+  close ();
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "file written" true (len > 100)
+
+(* --- Checkpoints -------------------------------------------------------- *)
+
+let test_checkpoint_roundtrip_text () =
+  let core = Stu_core.build () in
+  let sim = Full_cycle.sim (Full_cycle.create core.Stu_core.circuit) in
+  Designs.load_program sim core.Stu_core.h (Programs.quick ());
+  Sim.run sim 25;
+  let ck = Checkpoint.capture sim in
+  let ck' = Checkpoint.of_string (Checkpoint.to_string ck) in
+  Alcotest.(check bool) "text roundtrip" true (Checkpoint.equal ck ck');
+  Alcotest.(check int) "cycle recorded" 25 (Checkpoint.cycle ck')
+
+let test_checkpoint_resume_same_engine () =
+  (* Run A to completion; run B to cycle 30, snapshot, restore into a fresh
+     simulator, finish; both must agree on final architectural state. *)
+  let prog = Programs.quick () in
+  let full_run () =
+    let core = Stu_core.build () in
+    let sim = Full_cycle.sim (Full_cycle.create core.Stu_core.circuit) in
+    Designs.load_program sim core.Stu_core.h prog;
+    ignore (Designs.run_program sim core.Stu_core.h);
+    (core, sim)
+  in
+  let _, sim_a = full_run () in
+  let core_b = Stu_core.build () in
+  let sim_b = Full_cycle.sim (Full_cycle.create core_b.Stu_core.circuit) in
+  Designs.load_program sim_b core_b.Stu_core.h prog;
+  Sim.run sim_b 30;
+  let ck = Checkpoint.capture sim_b in
+  (* Fresh simulator, restore, finish. *)
+  let core_c = Stu_core.build () in
+  let sim_c = Full_cycle.sim (Full_cycle.create core_c.Stu_core.circuit) in
+  Checkpoint.restore sim_c ck;
+  ignore (Designs.run_program sim_c core_c.Stu_core.h);
+  Array.iteri
+    (fun k id ->
+      if id >= 0 then
+        Alcotest.(check int)
+          (Printf.sprintf "x%d" k)
+          (Sim.peek_int sim_a id) (Sim.peek_int sim_c id))
+    core_b.Stu_core.h.Stu_core.reg_nodes
+
+let test_checkpoint_cross_engine () =
+  (* Snapshot from the reference interpreter mid-run, restore into the GSIM
+     engine, and compare final state with an uninterrupted reference run. *)
+  let prog = Programs.coremark ~iters:1 () in
+  let golden () =
+    let core = Stu_core.build () in
+    let sim = Sim.of_reference (Reference.create core.Stu_core.circuit) in
+    Designs.load_program sim core.Stu_core.h prog;
+    ignore (Designs.run_program sim core.Stu_core.h);
+    (core, sim)
+  in
+  let _, sim_gold = golden () in
+  let core_b = Stu_core.build () in
+  let sim_b = Sim.of_reference (Reference.create core_b.Stu_core.circuit) in
+  Designs.load_program sim_b core_b.Stu_core.h prog;
+  Sim.run sim_b 500;
+  let ck = Checkpoint.capture sim_b in
+  let core_c = Stu_core.build () in
+  let p = Partition.gsim core_c.Stu_core.circuit ~max_size:8 in
+  let sim_c = Activity.sim (Activity.create core_c.Stu_core.circuit p) in
+  Checkpoint.restore sim_c ck;
+  ignore (Designs.run_program sim_c core_c.Stu_core.h);
+  Array.iteri
+    (fun k id ->
+      if id >= 0 then
+        Alcotest.(check int)
+          (Printf.sprintf "x%d" k)
+          (Sim.peek_int sim_gold id) (Sim.peek_int sim_c id))
+    core_b.Stu_core.h.Stu_core.reg_nodes
+
+let test_checkpoint_file () =
+  let core = Stu_core.build () in
+  let sim = Full_cycle.sim (Full_cycle.create core.Stu_core.circuit) in
+  Designs.load_program sim core.Stu_core.h (Programs.quick ());
+  Sim.run sim 10;
+  let ck = Checkpoint.capture sim in
+  let path = Filename.temp_file "gsim" ".ckpt" in
+  Checkpoint.save path ck;
+  let ck' = Checkpoint.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "file roundtrip" true (Checkpoint.equal ck ck')
+
+let test_checkpoint_rejects_garbage () =
+  Alcotest.(check bool) "missing header" true
+    (match Checkpoint.of_string "nonsense" with
+     | exception Failure _ -> true
+     | _ -> false);
+  Alcotest.(check bool) "bad line" true
+    (match Checkpoint.of_string "ckpt 1\nbogus line here extra" with
+     | exception Failure _ -> true
+     | _ -> false)
+
+let () =
+  Alcotest.run "vcd_checkpoint"
+    [
+      ( "vcd",
+        [
+          Alcotest.test_case "header and changes" `Quick test_vcd_header_and_changes;
+          Alcotest.test_case "only changes dumped" `Quick test_vcd_only_changes_dumped;
+          Alcotest.test_case "identifiers unique" `Quick test_vcd_identifiers_unique;
+          Alcotest.test_case "to_file" `Quick test_vcd_to_file;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "text roundtrip" `Quick test_checkpoint_roundtrip_text;
+          Alcotest.test_case "resume same engine" `Quick test_checkpoint_resume_same_engine;
+          Alcotest.test_case "cross engine" `Quick test_checkpoint_cross_engine;
+          Alcotest.test_case "file roundtrip" `Quick test_checkpoint_file;
+          Alcotest.test_case "rejects garbage" `Quick test_checkpoint_rejects_garbage;
+        ] );
+    ]

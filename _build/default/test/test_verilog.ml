@@ -1,0 +1,290 @@
+(* Verilog frontend: parsing, elaboration, semantics (validated against
+   hand expectations, the FIRRTL frontend on an equivalent design, and the
+   engines), and reset inference. *)
+
+module Bits = Gsim_bits.Bits
+module Circuit = Gsim_ir.Circuit
+module Reference = Gsim_ir.Reference
+module Partition = Gsim_partition.Partition
+module Activity = Gsim_engine.Activity
+module Sim = Gsim_engine.Sim
+module Verilog = Gsim_verilog.Verilog
+module Firrtl = Gsim_firrtl.Firrtl
+module Pipeline = Gsim_passes.Pipeline
+
+let b ~w n = Bits.of_int ~width:w n
+
+let node_id c name =
+  match Circuit.find_node c name with
+  | Some n -> n.Circuit.id
+  | None -> Alcotest.failf "node %S not found" name
+
+let counter_v =
+  {|
+// An enabled counter with synchronous reset.
+module counter (input clk, input rst, input en, output [7:0] count);
+  reg [7:0] q;
+  always @(posedge clk) begin
+    if (rst)
+      q <= 8'h0;
+    else if (en)
+      q <= q + 8'h1;
+  end
+  assign count = q;
+endmodule
+|}
+
+let test_counter () =
+  let c = Verilog.load_string counter_v in
+  let r = Reference.create c in
+  Reference.poke r (node_id c "en") (b ~w:1 1);
+  Reference.run r 5;
+  Alcotest.(check int) "counts" 5 (Bits.to_int (Reference.peek r (node_id c "q")));
+  Reference.poke r (node_id c "rst") (b ~w:1 1);
+  Reference.step r;
+  Alcotest.(check int) "resets" 0 (Bits.to_int (Reference.peek r (node_id c "q")));
+  Reference.poke r (node_id c "rst") (b ~w:1 0);
+  Reference.poke r (node_id c "en") (b ~w:1 0);
+  Reference.run r 4;
+  Alcotest.(check int) "holds" 0 (Bits.to_int (Reference.peek r (node_id c "q")))
+
+let test_reset_inference () =
+  (* The [if (rst) q <= 0] idiom must become a register reset so the
+     slow-path optimization applies to Verilog designs. *)
+  let c = Verilog.load_string counter_v in
+  (match Circuit.registers c with
+   | [ r ] -> Alcotest.(check bool) "reset inferred" true (r.Circuit.reset <> None)
+   | _ -> Alcotest.fail "expected one register");
+  let n = Gsim_passes.Reset_opt.pass.Gsim_passes.Pass.run c in
+  Alcotest.(check int) "slow path applies" 1 n
+
+let alu_v =
+  {|
+module alu (input clk, input [1:0] op, input [7:0] a, input [7:0] b,
+            output reg [7:0] y);
+  always @* begin
+    y = 8'h0;
+    case (op)
+      2'd0: y = a + b;
+      2'd1: y = a - b;
+      2'd2: y = a & b;
+      default: y = a ^ b;
+    endcase
+  end
+endmodule
+|}
+
+let test_comb_case () =
+  let c = Verilog.load_string alu_v in
+  let r = Reference.create c in
+  let check op a bb expected =
+    Reference.poke r (node_id c "op") (b ~w:2 op);
+    Reference.poke r (node_id c "a") (b ~w:8 a);
+    Reference.poke r (node_id c "b") (b ~w:8 bb);
+    Reference.step r;
+    Alcotest.(check int) (Printf.sprintf "op=%d" op) (expected land 0xFF)
+      (Bits.to_int (Reference.peek r (node_id c "y")))
+  in
+  check 0 200 100 300;
+  check 1 100 200 (-100);
+  check 2 0xF0 0x3C (0xF0 land 0x3C);
+  check 3 0xF0 0x3C (0xF0 lxor 0x3C)
+
+let test_blocking_sequencing () =
+  (* Blocking assignments: later reads see earlier writes in the block. *)
+  let src =
+    {|
+module seq (input clk, input [7:0] a, output reg [7:0] y, output reg [7:0] z);
+  always @* begin
+    y = a + 8'd1;
+    z = y + 8'd1;
+  end
+endmodule
+|}
+  in
+  let c = Verilog.load_string src in
+  let r = Reference.create c in
+  Reference.poke r (node_id c "a") (b ~w:8 10);
+  Reference.step r;
+  Alcotest.(check int) "y" 11 (Bits.to_int (Reference.peek r (node_id c "y")));
+  Alcotest.(check int) "z sees y" 12 (Bits.to_int (Reference.peek r (node_id c "z")))
+
+let memory_v =
+  {|
+module memo (input clk, input [3:0] waddr, input [7:0] wdata, input wen,
+             input [3:0] raddr, output [7:0] rdata);
+  reg [7:0] mem [15:0];
+  always @(posedge clk) begin
+    if (wen)
+      mem[waddr] <= wdata;
+  end
+  assign rdata = mem[raddr];
+endmodule
+|}
+
+let test_memory () =
+  let c = Verilog.load_string memory_v in
+  let r = Reference.create c in
+  Reference.poke r (node_id c "waddr") (b ~w:4 9);
+  Reference.poke r (node_id c "wdata") (b ~w:8 0x5A);
+  Reference.poke r (node_id c "wen") (b ~w:1 1);
+  Reference.poke r (node_id c "raddr") (b ~w:4 9);
+  Reference.step r;
+  Reference.poke r (node_id c "wen") (b ~w:1 0);
+  Reference.step r;
+  Alcotest.(check int) "readback" 0x5A (Bits.to_int (Reference.peek r (node_id c "rdata")))
+
+let hierarchy_v =
+  {|
+module half_adder (input a, input b, output s, output c);
+  assign s = a ^ b;
+  assign c = a & b;
+endmodule
+
+module full_adder (input clk, input x, input y, input cin,
+                   output sum, output cout);
+  wire s1;
+  wire c1;
+  wire c2;
+  half_adder ha1 (.a(x), .b(y), .s(s1), .c(c1));
+  half_adder ha2 (.a(s1), .b(cin), .s(sum), .c(c2));
+  assign cout = c1 | c2;
+endmodule
+|}
+
+let test_hierarchy () =
+  let c = Verilog.load_string hierarchy_v in
+  let r = Reference.create c in
+  for x = 0 to 1 do
+    for y = 0 to 1 do
+      for cin = 0 to 1 do
+        Reference.poke r (node_id c "x") (b ~w:1 x);
+        Reference.poke r (node_id c "y") (b ~w:1 y);
+        Reference.poke r (node_id c "cin") (b ~w:1 cin);
+        Reference.step r;
+        let total = x + y + cin in
+        Alcotest.(check int)
+          (Printf.sprintf "sum %d%d%d" x y cin)
+          (total land 1)
+          (Bits.to_int (Reference.peek r (node_id c "sum")));
+        Alcotest.(check int)
+          (Printf.sprintf "carry %d%d%d" x y cin)
+          (total lsr 1)
+          (Bits.to_int (Reference.peek r (node_id c "cout")))
+      done
+    done
+  done
+
+let test_operators () =
+  let src =
+    {|
+module ops (input clk, input [7:0] a, input [7:0] b,
+            output [15:0] prod, output [7:0] shifted, output [7:0] ashifted,
+            output red, output [16:0] wide, output [1:0] bitsel);
+  assign prod = {8'h0, a} * {8'h0, b};
+  assign shifted = a >> b[2:0];
+  assign ashifted = a >>> b[2:0];
+  assign red = ^a;
+  assign wide = {1'b1, a, b};
+  assign bitsel = {a[7], a[0]};
+endmodule
+|}
+  in
+  let c = Verilog.load_string src in
+  let r = Reference.create c in
+  Reference.poke r (node_id c "a") (b ~w:8 0xC4);
+  Reference.poke r (node_id c "b") (b ~w:8 0x02);
+  Reference.step r;
+  let peek n = Bits.to_int (Reference.peek r (node_id c n)) in
+  Alcotest.(check int) "mul" (0xC4 * 2) (peek "prod");
+  Alcotest.(check int) "lsr" (0xC4 lsr 2) (peek "shifted");
+  Alcotest.(check int) "asr keeps sign" ((0xC4 lsr 2) lor 0xC0) (peek "ashifted");
+  Alcotest.(check int) "xor reduce" 1 (peek "red");
+  Alcotest.(check int) "concat" ((1 lsl 16) lor (0xC4 lsl 8) lor 2) (peek "wide");
+  Alcotest.(check int) "bit selects" 0b10 (peek "bitsel")
+
+(* Cross-frontend: the same design written in Verilog and FIRRTL must be
+   trace-equivalent. *)
+let test_cross_frontend () =
+  let fir =
+    {|
+circuit Gray :
+  module Gray :
+    input clock : Clock
+    input en : UInt<1>
+    output g : UInt<8>
+
+    reg q : UInt<8>, clock
+    when en :
+      q <= tail(add(q, UInt<8>(1)), 1)
+    g <= xor(q, shr(q, 1))
+|}
+  in
+  let v =
+    {|
+module gray (input clk, input en, output [7:0] g);
+  reg [7:0] q;
+  always @(posedge clk)
+    if (en) q <= q + 8'd1;
+  assign g = q ^ (q >> 3'd1);
+endmodule
+|}
+  in
+  let cf = (Firrtl.load_string fir).Firrtl.circuit in
+  let cv = Verilog.load_string v in
+  let run c en_name g_name =
+    let r = Reference.create c in
+    let en = node_id c en_name and g = node_id c g_name in
+    List.init 30 (fun i ->
+        Reference.poke r en (b ~w:1 (if i mod 7 = 3 then 0 else 1));
+        Reference.step r;
+        Bits.to_int (Reference.peek r g))
+  in
+  Alcotest.(check (list int)) "identical traces" (run cf "en" "g") (run cv "en" "g")
+
+let test_engines_on_verilog () =
+  let c = Verilog.load_string counter_v in
+  let observe = [ node_id c "q" ] in
+  let en = node_id c "en" and rst = node_id c "rst" in
+  let stimulus =
+    Array.init 40 (fun i ->
+        [ (en, b ~w:1 (if i mod 3 = 0 then 0 else 1)); (rst, b ~w:1 (if i = 20 then 1 else 0)) ])
+  in
+  let expected = Sim.trace (Sim.of_reference (Reference.create c)) ~observe ~stimulus in
+  ignore (Pipeline.optimize ~level:Pipeline.O3 c);
+  let p = Partition.gsim c ~max_size:8 in
+  let got = Sim.trace (Activity.sim (Activity.create c p)) ~observe ~stimulus in
+  Alcotest.(check bool) "optimized gsim equals reference" true (Sim.equal_traces expected got)
+
+let test_errors () =
+  let expect_error src =
+    match Verilog.load_string src with
+    | exception Verilog.Error _ -> ()
+    | _ -> Alcotest.fail "expected error"
+  in
+  expect_error "module m (input clk, output x); assign x = y; endmodule";
+  expect_error "module m (input clk, output x); assign x = 1'b0; assign x = 1'b1; endmodule";
+  expect_error
+    "module m (input clk, output reg x); always @(posedge clk) x = 1'b1; endmodule";
+  (* a clock is only a clock when some posedge uses it *)
+  expect_error
+    "module m (input clk, output o); reg r; always @(posedge clk) r <= ~clk; assign o = r; endmodule";
+  expect_error "module a (input clk); b i (); endmodule module b (input clk); a i (); endmodule"
+
+let () =
+  Alcotest.run "verilog"
+    [
+      ( "frontend",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "reset inference" `Quick test_reset_inference;
+          Alcotest.test_case "comb case" `Quick test_comb_case;
+          Alcotest.test_case "blocking sequencing" `Quick test_blocking_sequencing;
+          Alcotest.test_case "memory" `Quick test_memory;
+          Alcotest.test_case "hierarchy" `Quick test_hierarchy;
+          Alcotest.test_case "operators" `Quick test_operators;
+          Alcotest.test_case "cross-frontend" `Quick test_cross_frontend;
+          Alcotest.test_case "engines agree" `Quick test_engines_on_verilog;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+    ]
