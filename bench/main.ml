@@ -5,7 +5,7 @@
    substrate; run without arguments to produce everything.
 
      main.exe [--quick] [table1|fig6|fig7|fig8|fig9|table3|table4|
-               ablation|model|micro|all]                                 *)
+               ablation|model|coverage|micro|all]                        *)
 
 module Bits = Gsim_bits.Bits
 module Circuit = Gsim_ir.Circuit
@@ -361,6 +361,68 @@ let model () =
     (c.Counters.reg_commits / m.cycles)
 
 (* ------------------------------------------------------------------ *)
+(* Coverage collection overhead                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The point of the activity fast path: collection cost should follow the
+   activity factor, not the design size.  Compare the gsim engine with no
+   coverage, with change-event coverage, and with naive per-cycle
+   resampling, plus full-cycle resampling as the conventional baseline. *)
+let coverage () =
+  header "Coverage - collection overhead: change-event fast path vs full resampling";
+  Printf.printf "%-10s %-22s %12s %10s\n" "design" "collector" "speed" "overhead";
+  let prog = coremark_long () in
+  let designs = [ Designs.stu_core; Designs.rocket_like ] in
+  List.iter
+    (fun d ->
+      let core = build_design d in
+      let h = core.Stu_core.h in
+      let nodes = Circuit.node_count core.Stu_core.circuit in
+      let cycles = budget_for nodes in
+      let run config wrap =
+        let pre = optimized_circuit d config.Gsim.opt_level in
+        let compiled =
+          Gsim.instantiate { config with Gsim.opt_level = Pipeline.O0 } pre
+        in
+        let sim = wrap compiled in
+        Designs.load_program sim h prog;
+        let warmup = max 8 (cycles / 20) in
+        Designs.run_cycles sim warmup;
+        let t0 = now () in
+        Designs.run_cycles sim cycles;
+        let dt = now () -. t0 in
+        compiled.Gsim.destroy ();
+        float_of_int cycles /. dt
+      in
+      let plain c = c.Gsim.sim in
+      let fast c =
+        snd (Gsim_coverage.Collect.of_activity (Option.get c.Gsim.activity))
+      in
+      let resample c = snd (Gsim_coverage.Collect.create c.Gsim.sim) in
+      let g_plain = run Gsim.gsim plain in
+      let g_fast = run Gsim.gsim fast in
+      let g_resample = run Gsim.gsim resample in
+      let v_plain = run (Gsim.verilator ()) plain in
+      let v_resample = run (Gsim.verilator ()) resample in
+      let row label hz base =
+        Printf.printf "%-10s %-22s %12s %+9.1f%%\n%!" d.Designs.design_name label
+          (pp_hz hz)
+          (100. *. ((base /. hz) -. 1.))
+      in
+      row "gsim, none" g_plain g_plain;
+      row "gsim, change-event" g_fast g_plain;
+      row "gsim, resample-all" g_resample g_plain;
+      row "full-cycle, none" v_plain v_plain;
+      row "full-cycle, resample" v_resample v_plain;
+      let fast_cost = (g_plain /. g_fast) -. 1. in
+      let resample_cost = (g_plain /. g_resample) -. 1. in
+      Printf.printf
+        "%-10s   -> fast path costs %.1f%% vs %.1f%% for resampling (%s)\n%!"
+        d.Designs.design_name (100. *. fast_cost) (100. *. resample_cost)
+        (if fast_cost < resample_cost then "fast path wins" else "resampling wins"))
+    designs
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernel inner loops                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -424,7 +486,8 @@ let all () =
   table3 ();
   table4 ();
   ablation ();
-  model ()
+  model ();
+  coverage ()
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -453,10 +516,11 @@ let () =
          | "table4" -> table4 ()
          | "ablation" -> ablation ()
          | "model" -> model ()
+         | "coverage" -> coverage ()
          | "micro" -> micro ()
          | other ->
            Printf.eprintf
-             "unknown bench %S (expected table1|fig6|fig7|fig8|fig9|table3|table4|ablation|model|micro|all)\n"
+             "unknown bench %S (expected table1|fig6|fig7|fig8|fig9|table3|table4|ablation|model|coverage|micro|all)\n"
              other;
            exit 2)
        cmds);

@@ -17,6 +17,9 @@ module Stu_core = Gsim_designs.Stu_core
 module Programs = Gsim_designs.Programs
 module Gsim = Gsim_core.Gsim
 module Emit = Gsim_emit.Emit
+module Cov_db = Gsim_coverage.Db
+module Cov_collect = Gsim_coverage.Collect
+module Cov_report = Gsim_coverage.Report
 
 let config_of_engine name threads max_supernode level =
   let level =
@@ -39,6 +42,30 @@ let config_of_engine name threads max_supernode level =
   match level with
   | Some opt_level -> { base with Gsim.opt_level }
   | None -> base
+
+(* Wrap a compiled simulator with a coverage collector when requested.
+   Activity engines (essent/gsim) use the change-event fast path; everything
+   else falls back to per-cycle resampling.  [finish] writes the database,
+   merging into [path] if it already holds coverage from earlier runs. *)
+let attach_coverage coverage_path (compiled : Gsim.compiled) =
+  match coverage_path with
+  | None -> (compiled.Gsim.sim, fun () -> ())
+  | Some path ->
+    let cov, sim =
+      match compiled.Gsim.activity with
+      | Some engine ->
+        Cov_collect.of_activity ~name:compiled.Gsim.sim.Sim.sim_name engine
+      | None -> Cov_collect.create compiled.Gsim.sim
+    in
+    let finish () =
+      let db = Cov_collect.db cov in
+      let db = if Sys.file_exists path then Cov_db.merge (Cov_db.load path) db else db in
+      Cov_db.save path db;
+      let s = Cov_db.summary db in
+      Printf.printf "coverage: %.1f%% -> %s (%d run(s))\n" (Cov_db.total_percent s) path
+        db.Cov_db.runs
+    in
+    (sim, finish)
 
 (* --- common arguments --------------------------------------------------- *)
 
@@ -65,6 +92,16 @@ let supernode_arg =
   Arg.(
     value & opt int 8
     & info [ "max-supernode" ] ~doc:"Maximum supernode size (the paper's knob)")
+
+let coverage_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "coverage" ] ~docv:"FILE.cov"
+        ~doc:"Collect toggle/node/condition coverage; merges into FILE.cov if it exists")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output")
 
 (* --- stats --------------------------------------------------------------- *)
 
@@ -135,11 +172,12 @@ let emit_fir_cmd =
 (* --- sim ----------------------------------------------------------------- *)
 
 let sim_cmd =
-  let run file engine threads level max_supernode cycles pokes vcd_path save_ck restore_ck =
+  let run file engine threads level max_supernode cycles pokes vcd_path save_ck restore_ck
+      coverage json =
     let circuit, halt = Gsim.load_design_file file in
     let config = config_of_engine engine threads max_supernode level in
     let compiled = Gsim.instantiate config circuit in
-    let sim = compiled.Gsim.sim in
+    let sim, finish_coverage = attach_coverage coverage compiled in
     let sim, close_vcd =
       match vcd_path with
       | Some path -> Gsim_engine.Vcd.to_file path sim
@@ -168,15 +206,30 @@ let sim_cmd =
          | Some h when not (Bits.is_zero (sim.Sim.peek h)) -> raise Exit
          | _ -> ()
        done
-     with Exit -> Printf.printf "$halt asserted at cycle %d\n" !ran);
-    Printf.printf "ran %d cycles on %s\n" !ran config.Gsim.config_name;
-    List.iter
-      (fun (n : Circuit.node) ->
-        Printf.printf "  %-24s = %s\n" n.Circuit.name
-          (Format.asprintf "%a" Bits.pp (sim.Sim.peek n.Circuit.id)))
-      (Circuit.outputs circuit);
-    Printf.printf "counters: %s\n"
-      (Format.asprintf "%a" Counters.pp (sim.Sim.counters ()));
+     with Exit -> if not json then Printf.printf "$halt asserted at cycle %d\n" !ran);
+    if json then begin
+      let outputs =
+        Circuit.outputs circuit
+        |> List.map (fun (n : Circuit.node) ->
+               Printf.sprintf "\"%s\":\"%s\"" n.Circuit.name
+                 (Format.asprintf "%a" Bits.pp (sim.Sim.peek n.Circuit.id)))
+        |> String.concat ","
+      in
+      Printf.printf "{\"engine\":\"%s\",\"cycles\":%d,\"outputs\":{%s},\"counters\":%s}\n"
+        config.Gsim.config_name !ran outputs
+        (Counters.to_json (sim.Sim.counters ()))
+    end
+    else begin
+      Printf.printf "ran %d cycles on %s\n" !ran config.Gsim.config_name;
+      List.iter
+        (fun (n : Circuit.node) ->
+          Printf.printf "  %-24s = %s\n" n.Circuit.name
+            (Format.asprintf "%a" Bits.pp (sim.Sim.peek n.Circuit.id)))
+        (Circuit.outputs circuit);
+      Printf.printf "counters: %s\n"
+        (Format.asprintf "%a" Counters.pp (sim.Sim.counters ()))
+    end;
+    finish_coverage ();
     (match save_ck with
      | Some path ->
        Gsim_engine.Checkpoint.save path (Gsim_engine.Checkpoint.capture sim);
@@ -202,12 +255,12 @@ let sim_cmd =
   in
   Cmd.v (Cmd.info "sim" ~doc:"Simulate a FIRRTL design")
     Term.(const run $ file_arg $ engine_arg $ threads_arg $ level_arg $ supernode_arg $ cycles
-          $ pokes $ vcd $ save_ck $ restore_ck)
+          $ pokes $ vcd $ save_ck $ restore_ck $ coverage_arg $ json_arg)
 
 (* --- run ----------------------------------------------------------------- *)
 
 let run_cmd =
-  let run design workload engine threads level max_supernode max_cycles =
+  let run design workload engine threads level max_supernode max_cycles coverage json =
     let d =
       match Designs.by_name design with
       | Some d -> d
@@ -225,23 +278,35 @@ let run_cmd =
              (String.concat ", " Programs.names))
     in
     let core = d.Designs.build () in
-    Printf.printf "%s\n" (Designs.stats_line core.Stu_core.circuit);
+    if not json then Printf.printf "%s\n" (Designs.stats_line core.Stu_core.circuit);
     let config = config_of_engine engine threads max_supernode level in
     let compiled = Gsim.instantiate config core.Stu_core.circuit in
-    let sim = compiled.Gsim.sim in
+    let sim, finish_coverage = attach_coverage coverage compiled in
     Designs.load_program sim core.Stu_core.h prog;
+    (* Write coverage even when the workload exhausts its cycle budget. *)
+    Fun.protect ~finally:finish_coverage @@ fun () ->
     let t0 = Unix.gettimeofday () in
     let cycles = Designs.run_program ~max_cycles sim core.Stu_core.h in
     let dt = Unix.gettimeofday () -. t0 in
     let ctr = sim.Sim.counters () in
-    Printf.printf "%s on %s: %d cycles, %d instructions in %.3fs (%.0f Hz, af %.2f%%)\n"
-      prog.Gsim_designs.Isa.prog_name config.Gsim.config_name cycles
-      (Sim.peek_int sim core.Stu_core.h.Stu_core.instret)
-      dt
-      (float_of_int cycles /. dt)
-      (100.
-       *. Counters.activity_factor ctr
-            ~total_nodes:(Circuit.node_count core.Stu_core.circuit));
+    let af =
+      Counters.activity_factor ctr ~total_nodes:(Circuit.node_count core.Stu_core.circuit)
+    in
+    if json then
+      Printf.printf
+        "{\"design\":\"%s\",\"workload\":\"%s\",\"engine\":\"%s\",\"cycles\":%d,\"instructions\":%d,\"seconds\":%.6f,\"hz\":%.0f,\"activity_factor\":%.6f,\"counters\":%s}\n"
+        design prog.Gsim_designs.Isa.prog_name config.Gsim.config_name cycles
+        (Sim.peek_int sim core.Stu_core.h.Stu_core.instret)
+        dt
+        (float_of_int cycles /. dt)
+        af (Counters.to_json ctr)
+    else
+      Printf.printf "%s on %s: %d cycles, %d instructions in %.3fs (%.0f Hz, af %.2f%%)\n"
+        prog.Gsim_designs.Isa.prog_name config.Gsim.config_name cycles
+        (Sim.peek_int sim core.Stu_core.h.Stu_core.instret)
+        dt
+        (float_of_int cycles /. dt)
+        (100. *. af);
     compiled.Gsim.destroy ()
   in
   let design =
@@ -254,7 +319,135 @@ let run_cmd =
     Arg.(value & opt int 2_000_000 & info [ "max-cycles" ] ~doc:"Abort if no halt")
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a built-in workload on a built-in design")
-    Term.(const run $ design $ workload $ engine_arg $ threads_arg $ level_arg $ supernode_arg $ max_cycles)
+    Term.(const run $ design $ workload $ engine_arg $ threads_arg $ level_arg $ supernode_arg
+          $ max_cycles $ coverage_arg $ json_arg)
+
+(* --- cov ----------------------------------------------------------------- *)
+
+(* gsim cov collect TARGET [WORKLOAD] -o FILE.cov
+   TARGET is either a design file (.fir/.v) driven with --poke for a fixed
+   cycle count, or a built-in design name running a built-in workload. *)
+let cov_collect_cmd =
+  let run target workload engine threads level max_supernode cycles pokes out =
+    let config = config_of_engine engine threads max_supernode level in
+    if Sys.file_exists target then begin
+      let circuit, halt = Gsim.load_design_file target in
+      let compiled = Gsim.instantiate config circuit in
+      let sim, finish = attach_coverage (Some out) compiled in
+      List.iter
+        (fun spec ->
+          match String.split_on_char '=' spec with
+          | [ name; value ] -> (
+              match Circuit.find_node circuit name with
+              | Some n ->
+                sim.Sim.poke n.Circuit.id
+                  (Bits.of_int ~width:n.Circuit.width (int_of_string value))
+              | None -> failwith (Printf.sprintf "no input named %S" name))
+          | _ -> failwith (Printf.sprintf "bad poke %S (want name=value)" spec))
+        pokes;
+      (try
+         for _ = 1 to cycles do
+           sim.Sim.step ();
+           match halt with
+           | Some h when not (Bits.is_zero (sim.Sim.peek h)) -> raise Exit
+           | _ -> ()
+         done
+       with Exit -> ());
+      finish ();
+      compiled.Gsim.destroy ()
+    end
+    else begin
+      let d =
+        match Designs.by_name target with
+        | Some d -> d
+        | None ->
+          failwith
+            (Printf.sprintf "%S is neither a file nor a built-in design (one of: %s)" target
+               (String.concat ", " (List.map (fun d -> d.Designs.design_name) Designs.all)))
+      in
+      let prog =
+        match Programs.by_name workload with
+        | Some mk -> mk ()
+        | None ->
+          failwith
+            (Printf.sprintf "unknown workload %S (one of: %s)" workload
+               (String.concat ", " Programs.names))
+      in
+      let core = d.Designs.build () in
+      let compiled = Gsim.instantiate config core.Stu_core.circuit in
+      let sim, finish = attach_coverage (Some out) compiled in
+      Designs.load_program sim core.Stu_core.h prog;
+      (* An exhausted cycle budget still yields valid coverage. *)
+      (try ignore (Designs.run_program ~max_cycles:cycles sim core.Stu_core.h)
+       with Failure _ -> ());
+      finish ();
+      compiled.Gsim.destroy ()
+    end
+  in
+  let target =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DESIGN|FILE.fir" ~doc:"Built-in design name or design file")
+  in
+  let workload = Arg.(value & pos 1 string "coremark" & info [] ~docv:"WORKLOAD") in
+  let cycles =
+    Arg.(value & opt int 100_000 & info [ "cycles"; "n" ] ~doc:"Cycle budget")
+  in
+  let pokes =
+    Arg.(value & opt_all string [] & info [ "poke"; "p" ] ~docv:"NAME=VAL" ~doc:"Drive an input")
+  in
+  let out =
+    Arg.(value & opt string "gsim.cov"
+         & info [ "o"; "output" ] ~docv:"FILE.cov" ~doc:"Coverage database (merged into if present)")
+  in
+  Cmd.v
+    (Cmd.info "collect" ~doc:"Run a design and collect coverage into a database file")
+    Term.(const run $ target $ workload $ engine_arg $ threads_arg $ level_arg $ supernode_arg
+          $ cycles $ pokes $ out)
+
+let cov_merge_cmd =
+  let run out inputs =
+    match List.map Cov_db.load inputs with
+    | [] -> failwith "nothing to merge"
+    | first :: rest ->
+      let merged = List.fold_left Cov_db.merge first rest in
+      Cov_db.save out merged;
+      let s = Cov_db.summary merged in
+      Printf.printf "merged %d database(s): %d run(s), %d cycles, %.1f%% -> %s\n"
+        (List.length inputs) merged.Cov_db.runs merged.Cov_db.total_cycles
+        (Cov_db.total_percent s) out
+  in
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE.cov" ~doc:"Merged output database")
+  in
+  let inputs =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.cov" ~doc:"Input databases")
+  in
+  Cmd.v
+    (Cmd.info "merge" ~doc:"Merge coverage databases from independent runs")
+    Term.(const run $ out $ inputs)
+
+let cov_report_cmd =
+  let run file json uncovered =
+    let db = Cov_db.load file in
+    if json then print_endline (Cov_report.to_json ~uncovered:(uncovered > 0) db)
+    else print_string (Cov_report.to_string ~uncovered db)
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cov" ~doc:"Coverage database")
+  in
+  let uncovered =
+    Arg.(value & opt int 0
+         & info [ "uncovered"; "u" ] ~docv:"N" ~doc:"List up to N uncovered points (text mode)")
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Render a coverage database as a hierarchical report")
+    Term.(const run $ file $ json_arg $ uncovered)
+
+let cov_cmd =
+  Cmd.group
+    (Cmd.info "cov" ~doc:"Coverage: collect from runs, merge databases, render reports")
+    [ cov_collect_cmd; cov_merge_cmd; cov_report_cmd ]
 
 (* --- equiv --------------------------------------------------------------- *)
 
@@ -375,4 +568,7 @@ let profile_cmd =
 let () =
   let doc = "GSIM: an activity-driven compiled RTL simulator" in
   let info = Cmd.info "gsim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ stats_cmd; emit_cmd; emit_fir_cmd; sim_cmd; run_cmd; profile_cmd; equiv_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ stats_cmd; emit_cmd; emit_fir_cmd; sim_cmd; run_cmd; cov_cmd; profile_cmd; equiv_cmd ]))

@@ -106,6 +106,7 @@ type compiled = {
   id_map : int array;
   outcomes : Pass.outcome list;
   supernodes : int;
+  activity : Activity.t option;
   destroy : unit -> unit;
 }
 
@@ -132,32 +133,27 @@ let instantiate ?(compact = false) config circuit =
       invalid_arg
         (Printf.sprintf "Gsim.instantiate: unknown partition %S" config.partition_algorithm)
   in
-  let sim, supernodes, destroy =
+  let sim, supernodes, activity, destroy =
     match config.engine with
-    | Reference_engine -> (Sim.of_reference (Reference.create c), 0, fun () -> ())
-    | Full_cycle_engine 1 -> (Full_cycle.sim (Full_cycle.create c), 0, fun () -> ())
+    | Reference_engine -> (Sim.of_reference (Reference.create c), 0, None, fun () -> ())
+    | Full_cycle_engine 1 -> (Full_cycle.sim (Full_cycle.create c), 0, None, fun () -> ())
     | Full_cycle_engine threads ->
       let t = Parallel.create ~threads c in
-      (Parallel.sim t, 0, fun () -> Parallel.destroy t)
-    | Essent_engine ->
+      (Parallel.sim t, 0, None, fun () -> Parallel.destroy t)
+    | Essent_engine | Gsim_engine_kind ->
       let p = partition () in
       let t =
         Activity.create
           ~config:{ Activity.packed_exam = config.packed_exam; activation = config.activation }
           c p
       in
-      (Activity.sim ~name:config.config_name t, Array.length p.Partition.supernodes, fun () -> ())
-    | Gsim_engine_kind ->
-      let p = partition () in
-      let t =
-        Activity.create
-          ~config:{ Activity.packed_exam = config.packed_exam; activation = config.activation }
-          c p
-      in
-      (Activity.sim ~name:config.config_name t, Array.length p.Partition.supernodes, fun () -> ())
+      ( Activity.sim ~name:config.config_name t,
+        Array.length p.Partition.supernodes,
+        Some t,
+        fun () -> () )
   in
   let sim = { sim with Sim.sim_name = config.config_name } in
-  { sim; id_map; outcomes; supernodes; destroy }
+  { sim; id_map; outcomes; supernodes; activity; destroy }
 
 let load_firrtl_string src =
   let { Gsim_firrtl.Firrtl.circuit; halt } = Gsim_firrtl.Firrtl.load_string src in

@@ -56,6 +56,11 @@ type compiled = {
           was optimized away); identity-extended for unoptimized levels. *)
   outcomes : Gsim_passes.Pass.outcome list;
   supernodes : int;
+  activity : Gsim_engine.Activity.t option;
+      (** The underlying activity engine for essent/gsim configurations —
+          lets observers (coverage collection) hook its change events
+          instead of resampling every cycle.  [None] for full-cycle and
+          reference engines. *)
   destroy : unit -> unit;
       (** Joins worker domains for multi-threaded engines; otherwise a
           no-op. *)

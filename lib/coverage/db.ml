@@ -1,0 +1,298 @@
+type toggle = { t_width : int; rise : int array; fall : int array }
+
+type node_cov = { n_width : int; mutable changes : int }
+
+type cond = {
+  mutable taken_true : int;
+  mutable taken_false : int;
+  mutable seen_true : bool;
+  mutable seen_false : bool;
+}
+
+type reset_cov = {
+  mutable asserts : int;
+  mutable deasserts : int;
+  mutable seen_on : bool;
+  mutable seen_off : bool;
+}
+
+type t = {
+  mutable design : string;
+  mutable runs : int;
+  mutable total_cycles : int;
+  nodes : (string, node_cov) Hashtbl.t;
+  toggles : (string, toggle) Hashtbl.t;
+  conds : (string * int, cond) Hashtbl.t;
+  resets : (string, reset_cov) Hashtbl.t;
+}
+
+let create ?(design = "") () =
+  {
+    design;
+    runs = 0;
+    total_cycles = 0;
+    nodes = Hashtbl.create 256;
+    toggles = Hashtbl.create 256;
+    conds = Hashtbl.create 64;
+    resets = Hashtbl.create 64;
+  }
+
+let width_check what name expected got =
+  if expected <> got then
+    failwith
+      (Printf.sprintf "coverage: %s %S width mismatch (%d vs %d)" what name expected got)
+
+let node_entry t name ~width =
+  match Hashtbl.find_opt t.nodes name with
+  | Some n ->
+    width_check "node" name n.n_width width;
+    n
+  | None ->
+    let n = { n_width = width; changes = 0 } in
+    Hashtbl.replace t.nodes name n;
+    n
+
+let toggle_entry t name ~width =
+  match Hashtbl.find_opt t.toggles name with
+  | Some tg ->
+    width_check "toggle" name tg.t_width width;
+    tg
+  | None ->
+    let tg = { t_width = width; rise = Array.make width 0; fall = Array.make width 0 } in
+    Hashtbl.replace t.toggles name tg;
+    tg
+
+let cond_entry t name idx =
+  match Hashtbl.find_opt t.conds (name, idx) with
+  | Some c -> c
+  | None ->
+    let c = { taken_true = 0; taken_false = 0; seen_true = false; seen_false = false } in
+    Hashtbl.replace t.conds (name, idx) c;
+    c
+
+let reset_entry t name =
+  match Hashtbl.find_opt t.resets name with
+  | Some r -> r
+  | None ->
+    let r = { asserts = 0; deasserts = 0; seen_on = false; seen_off = false } in
+    Hashtbl.replace t.resets name r;
+    r
+
+(* --- Merge ------------------------------------------------------------- *)
+
+(* Design labels combine as a sorted set of '+'-separated parts, keeping
+   the merge commutative and associative on the label too. *)
+let merge_design a b =
+  if a = b then a
+  else
+    String.split_on_char '+' (a ^ "+" ^ b)
+    |> List.filter (fun s -> s <> "")
+    |> List.sort_uniq compare |> String.concat "+"
+
+let add_into dst src =
+  Hashtbl.iter
+    (fun name (n : node_cov) ->
+      let d = node_entry dst name ~width:n.n_width in
+      d.changes <- d.changes + n.changes)
+    src.nodes;
+  Hashtbl.iter
+    (fun name (tg : toggle) ->
+      let d = toggle_entry dst name ~width:tg.t_width in
+      for b = 0 to tg.t_width - 1 do
+        d.rise.(b) <- d.rise.(b) + tg.rise.(b);
+        d.fall.(b) <- d.fall.(b) + tg.fall.(b)
+      done)
+    src.toggles;
+  Hashtbl.iter
+    (fun (name, idx) (c : cond) ->
+      let d = cond_entry dst name idx in
+      d.taken_true <- d.taken_true + c.taken_true;
+      d.taken_false <- d.taken_false + c.taken_false;
+      d.seen_true <- d.seen_true || c.seen_true;
+      d.seen_false <- d.seen_false || c.seen_false)
+    src.conds;
+  Hashtbl.iter
+    (fun name (r : reset_cov) ->
+      let d = reset_entry dst name in
+      d.asserts <- d.asserts + r.asserts;
+      d.deasserts <- d.deasserts + r.deasserts;
+      d.seen_on <- d.seen_on || r.seen_on;
+      d.seen_off <- d.seen_off || r.seen_off)
+    src.resets
+
+let merge a b =
+  let t = create ~design:(merge_design a.design b.design) () in
+  t.runs <- a.runs + b.runs;
+  t.total_cycles <- a.total_cycles + b.total_cycles;
+  add_into t a;
+  add_into t b;
+  t
+
+(* --- Summary ----------------------------------------------------------- *)
+
+type summary = {
+  toggle_points : int;
+  toggle_covered : int;
+  node_points : int;
+  node_covered : int;
+  cond_points : int;
+  cond_covered : int;
+  reset_points : int;
+  reset_covered : int;
+}
+
+let summary t =
+  let tp = ref 0 and tc = ref 0 in
+  Hashtbl.iter
+    (fun _ (tg : toggle) ->
+      tp := !tp + (2 * tg.t_width);
+      for b = 0 to tg.t_width - 1 do
+        if tg.rise.(b) > 0 then incr tc;
+        if tg.fall.(b) > 0 then incr tc
+      done)
+    t.toggles;
+  let np = Hashtbl.length t.nodes in
+  let nc = Hashtbl.fold (fun _ n acc -> if n.changes > 0 then acc + 1 else acc) t.nodes 0 in
+  let cp = 2 * Hashtbl.length t.conds in
+  let cc =
+    Hashtbl.fold
+      (fun _ (c : cond) acc ->
+        acc + (if c.seen_true then 1 else 0) + if c.seen_false then 1 else 0)
+      t.conds 0
+  in
+  let rp = Hashtbl.length t.resets in
+  let rc = Hashtbl.fold (fun _ r acc -> if r.seen_on then acc + 1 else acc) t.resets 0 in
+  {
+    toggle_points = !tp;
+    toggle_covered = !tc;
+    node_points = np;
+    node_covered = nc;
+    cond_points = cp;
+    cond_covered = cc;
+    reset_points = rp;
+    reset_covered = rc;
+  }
+
+let summary_equal (a : summary) b = a = b
+
+let percent ~covered ~total =
+  if total = 0 then 100. else 100. *. float_of_int covered /. float_of_int total
+
+let total_percent s =
+  percent
+    ~covered:(s.toggle_covered + s.node_covered + s.cond_covered + s.reset_covered)
+    ~total:(s.toggle_points + s.node_points + s.cond_points + s.reset_points)
+
+(* --- Text format -------------------------------------------------------
+   gsim-coverage 1
+   design <name>
+   runs <n>
+   cycles <n>
+   node <name> <width> <changes>
+   toggle <name> <width> <rise>/<fall> ...   (one pair per bit, LSB first)
+   cond <name> <mux-index> <into-true> <into-false> <seenT> <seenF>
+   reset <name> <asserts> <deasserts> <seenOn> <seenOff>                  *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let b01 = function true -> "1" | false -> "0"
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "gsim-coverage 1\n";
+  Buffer.add_string buf (Printf.sprintf "design %s\n" t.design);
+  Buffer.add_string buf (Printf.sprintf "runs %d\n" t.runs);
+  Buffer.add_string buf (Printf.sprintf "cycles %d\n" t.total_cycles);
+  List.iter
+    (fun (name, (n : node_cov)) ->
+      Buffer.add_string buf (Printf.sprintf "node %s %d %d\n" name n.n_width n.changes))
+    (sorted_bindings t.nodes);
+  List.iter
+    (fun (name, (tg : toggle)) ->
+      Buffer.add_string buf (Printf.sprintf "toggle %s %d" name tg.t_width);
+      for b = 0 to tg.t_width - 1 do
+        Buffer.add_string buf (Printf.sprintf " %d/%d" tg.rise.(b) tg.fall.(b))
+      done;
+      Buffer.add_char buf '\n')
+    (sorted_bindings t.toggles);
+  List.iter
+    (fun ((name, idx), (c : cond)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "cond %s %d %d %d %s %s\n" name idx c.taken_true c.taken_false
+           (b01 c.seen_true) (b01 c.seen_false)))
+    (sorted_bindings t.conds);
+  List.iter
+    (fun (name, (r : reset_cov)) ->
+      Buffer.add_string buf
+        (Printf.sprintf "reset %s %d %d %s %s\n" name r.asserts r.deasserts (b01 r.seen_on)
+           (b01 r.seen_off)))
+    (sorted_bindings t.resets);
+  Buffer.contents buf
+
+let equal a b = to_string a = to_string b
+
+let of_string s =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let bool_of = function
+    | "0" -> false
+    | "1" -> true
+    | other -> fail "coverage: bad flag %S" other
+  in
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | header :: rest when String.trim header = "gsim-coverage 1" ->
+    let t = create () in
+    List.iter
+      (fun line ->
+        match String.split_on_char ' ' (String.trim line) with
+        | [ "design"; name ] -> t.design <- name
+        | [ "design" ] -> t.design <- ""
+        | [ "runs"; n ] -> t.runs <- int_of_string n
+        | [ "cycles"; n ] -> t.total_cycles <- int_of_string n
+        | [ "node"; name; width; changes ] ->
+          let n = node_entry t name ~width:(int_of_string width) in
+          n.changes <- int_of_string changes
+        | "toggle" :: name :: width :: pairs ->
+          let width = int_of_string width in
+          if List.length pairs <> width then fail "coverage: toggle %s truncated" name;
+          let tg = toggle_entry t name ~width in
+          List.iteri
+            (fun b pair ->
+              match String.split_on_char '/' pair with
+              | [ r; f ] ->
+                tg.rise.(b) <- int_of_string r;
+                tg.fall.(b) <- int_of_string f
+              | _ -> fail "coverage: bad toggle pair %S" pair)
+            pairs
+        | [ "cond"; name; idx; tt; tf; st; sf ] ->
+          let c = cond_entry t name (int_of_string idx) in
+          c.taken_true <- int_of_string tt;
+          c.taken_false <- int_of_string tf;
+          c.seen_true <- bool_of st;
+          c.seen_false <- bool_of sf
+        | [ "reset"; name; a; d; on; off ] ->
+          let r = reset_entry t name in
+          r.asserts <- int_of_string a;
+          r.deasserts <- int_of_string d;
+          r.seen_on <- bool_of on;
+          r.seen_off <- bool_of off
+        | _ -> fail "coverage: bad line %S" line)
+      rest;
+    t
+  | _ -> fail "coverage: missing header"
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  of_string s

@@ -1,0 +1,116 @@
+(** The mergeable coverage database.
+
+    A database accumulates four kinds of coverage points, all keyed by
+    node (or register) name so that records from independent runs of the
+    same design — different programs, different engines, different
+    SimPoint checkpoint slices — line up:
+
+    - {e toggle}: per bit of a node, how often it rose (0→1) and fell
+      (1→0), counted over consecutive cycle-end samples;
+    - {e node}: how often a node's cycle-end value changed at all;
+    - {e condition}: per mux inside a node's expression, how often the
+      selector switched into each arm, plus whether each arm was ever
+      observed selected (including the initial sample);
+    - {e reset}: per register with a reset, how often the reset signal
+      asserted and deasserted, and whether each state was observed.
+
+    All quantities are defined over cycle-end samples, never over engine
+    internals, so a full-cycle engine resampling everything and an
+    activity engine sampling only changed nodes produce bit-identical
+    databases for the same trace.
+
+    [merge] sums the counts and ORs the observation flags: it is
+    associative and commutative on the whole database, and idempotent on
+    the derived {!summary} (covered-ness never changes when a database is
+    merged with itself).  The text format follows the same self-describing
+    conventions as {!Gsim_engine.Checkpoint}. *)
+
+type toggle = {
+  t_width : int;
+  rise : int array;  (** 0→1 transitions, per bit (index 0 = LSB) *)
+  fall : int array;  (** 1→0 transitions, per bit *)
+}
+
+type node_cov = { n_width : int; mutable changes : int }
+
+type cond = {
+  mutable taken_true : int;   (** selector transitions into the true arm *)
+  mutable taken_false : int;
+  mutable seen_true : bool;   (** selector observed true (incl. baseline) *)
+  mutable seen_false : bool;
+}
+
+type reset_cov = {
+  mutable asserts : int;      (** transitions into the asserted state *)
+  mutable deasserts : int;
+  mutable seen_on : bool;
+  mutable seen_off : bool;
+}
+
+type t = {
+  mutable design : string;
+  mutable runs : int;
+  mutable total_cycles : int;
+  nodes : (string, node_cov) Hashtbl.t;
+  toggles : (string, toggle) Hashtbl.t;
+  conds : (string * int, cond) Hashtbl.t;
+      (** keyed by owning node name and pre-order mux index within its
+          expression *)
+  resets : (string, reset_cov) Hashtbl.t;  (** keyed by register name *)
+}
+
+val create : ?design:string -> unit -> t
+(** An empty database with [runs = 0]. *)
+
+(** {1 Entry accessors (used by the collector)}
+
+    Find-or-create; an existing entry's width must match. *)
+
+val node_entry : t -> string -> width:int -> node_cov
+val toggle_entry : t -> string -> width:int -> toggle
+val cond_entry : t -> string -> int -> cond
+val reset_entry : t -> string -> reset_cov
+
+(** {1 Merge} *)
+
+val merge : t -> t -> t
+(** Pure: neither input is modified.  Counts are summed, observation flags
+    ORed, [runs] and [total_cycles] summed.  Raises [Failure] when the
+    same name carries different widths in the two databases. *)
+
+val equal : t -> t -> bool
+(** Structural equality of the canonical (sorted) form. *)
+
+(** {1 Summary} *)
+
+type summary = {
+  toggle_points : int;   (** 2 per bit: the rise point and the fall point *)
+  toggle_covered : int;
+  node_points : int;     (** 1 per node *)
+  node_covered : int;    (** nodes whose value changed at least once *)
+  cond_points : int;     (** 2 per mux: each arm observed selected *)
+  cond_covered : int;
+  reset_points : int;    (** 1 per register with a reset *)
+  reset_covered : int;   (** resets observed asserted at least once *)
+}
+
+val summary : t -> summary
+
+val summary_equal : summary -> summary -> bool
+
+val percent : covered:int -> total:int -> float
+(** 100 when [total = 0] (vacuously covered). *)
+
+val total_percent : summary -> float
+(** Covered share over all point kinds together. *)
+
+(** {1 Persistence (self-describing text, like [Checkpoint])} *)
+
+val to_string : t -> string
+(** Canonical: entries are sorted, so equal databases print identically. *)
+
+val of_string : string -> t
+(** Raises [Failure] on malformed input. *)
+
+val save : string -> t -> unit
+val load : string -> t

@@ -1,0 +1,226 @@
+(* Hierarchical coverage reports over a Db.t. *)
+
+type agg = {
+  mutable tp : int;  (* toggle points / covered *)
+  mutable tc : int;
+  mutable np : int;  (* node *)
+  mutable nc : int;
+  mutable cp : int;  (* condition *)
+  mutable cc : int;
+  mutable rp : int;  (* reset *)
+  mutable rc : int;
+}
+
+let new_agg () = { tp = 0; tc = 0; np = 0; nc = 0; cp = 0; cc = 0; rp = 0; rc = 0 }
+
+type scope = { mutable children : (string * scope) list; agg : agg }
+
+let new_scope () = { children = []; agg = new_agg () }
+
+(* Same scope-splitting convention as the VCD dumper. *)
+let path_of name =
+  String.split_on_char '.' name
+  |> List.concat_map (String.split_on_char '$')
+  |> List.filter (fun p -> p <> "")
+
+(* The scopes a name contributes to: the root and every ancestor (the last
+   path component is the wire, not a scope). *)
+let scopes_for root path =
+  let rec go scope acc = function
+    | [] | [ _ ] -> List.rev acc
+    | hd :: rest ->
+      let child =
+        match List.assoc_opt hd scope.children with
+        | Some s -> s
+        | None ->
+          let s = new_scope () in
+          scope.children <- (hd, s) :: scope.children;
+          s
+      in
+      go child (child :: acc) rest
+  in
+  root :: go root [] path
+
+let build (db : Db.t) =
+  let root = new_scope () in
+  let touch name f = List.iter (fun s -> f s.agg) (scopes_for root (path_of name)) in
+  Hashtbl.iter
+    (fun name (tg : Db.toggle) ->
+      let covered = ref 0 in
+      for b = 0 to tg.Db.t_width - 1 do
+        if tg.Db.rise.(b) > 0 then incr covered;
+        if tg.Db.fall.(b) > 0 then incr covered
+      done;
+      touch name (fun a ->
+          a.tp <- a.tp + (2 * tg.Db.t_width);
+          a.tc <- a.tc + !covered))
+    db.Db.toggles;
+  Hashtbl.iter
+    (fun name (n : Db.node_cov) ->
+      touch name (fun a ->
+          a.np <- a.np + 1;
+          if n.Db.changes > 0 then a.nc <- a.nc + 1))
+    db.Db.nodes;
+  Hashtbl.iter
+    (fun (name, _) (c : Db.cond) ->
+      touch name (fun a ->
+          a.cp <- a.cp + 2;
+          if c.Db.seen_true then a.cc <- a.cc + 1;
+          if c.Db.seen_false then a.cc <- a.cc + 1))
+    db.Db.conds;
+  Hashtbl.iter
+    (fun name (r : Db.reset_cov) ->
+      touch name (fun a ->
+          a.rp <- a.rp + 1;
+          if r.Db.seen_on then a.rc <- a.rc + 1))
+    db.Db.resets;
+  root
+
+(* --- Uncovered listing -------------------------------------------------- *)
+
+let uncovered_list (db : Db.t) =
+  let acc = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> acc := s :: !acc) fmt in
+  Hashtbl.iter
+    (fun name (tg : Db.toggle) ->
+      for b = 0 to tg.Db.t_width - 1 do
+        if tg.Db.rise.(b) = 0 then add "toggle %s[%d] never rose" name b;
+        if tg.Db.fall.(b) = 0 then add "toggle %s[%d] never fell" name b
+      done)
+    db.Db.toggles;
+  Hashtbl.iter
+    (fun name (n : Db.node_cov) ->
+      if n.Db.changes = 0 then add "node %s never changed" name)
+    db.Db.nodes;
+  Hashtbl.iter
+    (fun (name, idx) (c : Db.cond) ->
+      if not c.Db.seen_true then add "cond %s#%d true arm never taken" name idx;
+      if not c.Db.seen_false then add "cond %s#%d false arm never taken" name idx)
+    db.Db.conds;
+  Hashtbl.iter
+    (fun name (r : Db.reset_cov) ->
+      if not r.Db.seen_on then add "reset %s never asserted" name)
+    db.Db.resets;
+  List.sort compare !acc
+
+let uncovered = uncovered_list
+
+(* --- Text rendering ----------------------------------------------------- *)
+
+let pct covered total = Db.percent ~covered ~total
+
+let kind_cell label covered total =
+  if total = 0 then Printf.sprintf "%s      -" label
+  else Printf.sprintf "%s %5.1f%%" label (pct covered total)
+
+let pp ?(uncovered = 0) fmt (db : Db.t) =
+  let s = Db.summary db in
+  Format.fprintf fmt "design %s: %d run(s), %d cycles@."
+    (if db.Db.design = "" then "?" else db.Db.design)
+    db.Db.runs db.Db.total_cycles;
+  Format.fprintf fmt
+    "total %.1f%%  toggle %.1f%% (%d/%d)  node %.1f%% (%d/%d)  cond %.1f%% (%d/%d)  reset %.1f%% (%d/%d)@."
+    (Db.total_percent s)
+    (pct s.Db.toggle_covered s.Db.toggle_points)
+    s.Db.toggle_covered s.Db.toggle_points
+    (pct s.Db.node_covered s.Db.node_points)
+    s.Db.node_covered s.Db.node_points
+    (pct s.Db.cond_covered s.Db.cond_points)
+    s.Db.cond_covered s.Db.cond_points
+    (pct s.Db.reset_covered s.Db.reset_points)
+    s.Db.reset_covered s.Db.reset_points;
+  let root = build db in
+  let rec emit indent name scope =
+    if name <> "" then
+      Format.fprintf fmt "%s%-*s %s %s %s %s@." indent
+        (max 1 (24 - String.length indent))
+        name
+        (kind_cell "toggle" scope.agg.tc scope.agg.tp)
+        (kind_cell "node" scope.agg.nc scope.agg.np)
+        (kind_cell "cond" scope.agg.cc scope.agg.cp)
+        (kind_cell "reset" scope.agg.rc scope.agg.rp);
+    List.iter
+      (fun (cname, child) -> emit (if name = "" then indent else indent ^ "  ") cname child)
+      (List.sort (fun (a, _) (b, _) -> compare a b) scope.children)
+  in
+  emit "" "" root;
+  if uncovered > 0 then begin
+    let items = uncovered_list db in
+    let total = List.length items in
+    Format.fprintf fmt "uncovered: %d point(s)@." total;
+    List.iteri (fun i item -> if i < uncovered then Format.fprintf fmt "  %s@." item) items;
+    if total > uncovered then Format.fprintf fmt "  ... and %d more@." (total - uncovered)
+  end
+
+let to_string ?uncovered db = Format.asprintf "%a" (fun fmt -> pp ?uncovered fmt) db
+
+(* --- JSON --------------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_kind buf label covered total =
+  Buffer.add_string buf
+    (Printf.sprintf "\"%s\":{\"covered\":%d,\"total\":%d,\"percent\":%.2f}" label covered
+       total (pct covered total))
+
+let to_json ?(uncovered = false) (db : Db.t) =
+  let buf = Buffer.create 4096 in
+  let s = Db.summary db in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"design\":\"%s\",\"runs\":%d,\"cycles\":%d,\"summary\":{"
+       (json_escape db.Db.design) db.Db.runs db.Db.total_cycles);
+  json_kind buf "toggle" s.Db.toggle_covered s.Db.toggle_points;
+  Buffer.add_char buf ',';
+  json_kind buf "node" s.Db.node_covered s.Db.node_points;
+  Buffer.add_char buf ',';
+  json_kind buf "cond" s.Db.cond_covered s.Db.cond_points;
+  Buffer.add_char buf ',';
+  json_kind buf "reset" s.Db.reset_covered s.Db.reset_points;
+  Buffer.add_string buf (Printf.sprintf ",\"percent\":%.2f}" (Db.total_percent s));
+  let root = build db in
+  let rec emit_scope name scope =
+    Buffer.add_string buf (Printf.sprintf "{\"name\":\"%s\"," (json_escape name));
+    json_kind buf "toggle" scope.agg.tc scope.agg.tp;
+    Buffer.add_char buf ',';
+    json_kind buf "node" scope.agg.nc scope.agg.np;
+    Buffer.add_char buf ',';
+    json_kind buf "cond" scope.agg.cc scope.agg.cp;
+    Buffer.add_char buf ',';
+    json_kind buf "reset" scope.agg.rc scope.agg.rp;
+    Buffer.add_string buf ",\"children\":[";
+    List.iteri
+      (fun i (cname, child) ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit_scope cname child)
+      (List.sort (fun (a, _) (b, _) -> compare a b) scope.children);
+    Buffer.add_string buf "]}"
+  in
+  Buffer.add_string buf ",\"scopes\":[";
+  List.iteri
+    (fun i (cname, child) ->
+      if i > 0 then Buffer.add_char buf ',';
+      emit_scope cname child)
+    (List.sort (fun (a, _) (b, _) -> compare a b) root.children);
+  Buffer.add_char buf ']';
+  if uncovered then begin
+    Buffer.add_string buf ",\"uncovered\":[";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "\"%s\"" (json_escape item)))
+      (uncovered_list db);
+    Buffer.add_char buf ']'
+  end;
+  Buffer.add_char buf '}';
+  Buffer.contents buf

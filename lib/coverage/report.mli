@@ -1,0 +1,19 @@
+(** Coverage reporting.
+
+    Renders a {!Db.t} as a hierarchical per-scope report — names are split
+    on ['.'] and ['$'] into scopes exactly like the VCD dumper, so
+    ["core.alu.out"] contributes to scopes [core] and [core.alu] — with
+    summary percentages per kind, an optional listing of uncovered points,
+    and a machine-readable JSON form. *)
+
+val pp : ?uncovered:int -> Format.formatter -> Db.t -> unit
+(** Summary line, scope tree, and (when [uncovered > 0]) up to [uncovered]
+    uncovered points with the reason each is uncovered. *)
+
+val to_string : ?uncovered:int -> Db.t -> string
+
+val uncovered : Db.t -> string list
+(** Every uncovered point as a one-line description, sorted. *)
+
+val to_json : ?uncovered:bool -> Db.t -> string
+(** Summary, scope tree and (optionally) the uncovered listing as JSON. *)

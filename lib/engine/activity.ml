@@ -21,8 +21,11 @@ type t = {
   sn_steps : (unit -> bool) array array;
       (* per supernode: fused member evaluate-and-activate closures,
          returning whether the value changed *)
+  sn_members : int array array;
+      (* member node ids, parallel to [sn_steps] (change-hook support) *)
   sn_hits : int array;  (* evaluation count per supernode (profiling) *)
   (* Registers *)
+  reg_reads : int array;          (* read-node id per register table index *)
   reg_copy : (unit -> bool) array;
   reg_read_activate : (unit -> unit) array;  (* activate successors of the read node *)
   pending : bool array;
@@ -143,7 +146,9 @@ let create ?(config = gsim_config) c part =
       words = Array.make (max nwords 1) 0;
       active = Array.make (max nsuper 1) false;
       sn_steps = Array.make (max nsuper 1) [||];
+      sn_members = part.Partition.supernodes;
       sn_hits = Array.make (max nsuper 1) 0;
+      reg_reads = Array.map (fun (r : Circuit.register) -> r.read) regs;
       reg_copy = Array.map (Runtime.reg_copier rt) regs;
       reg_read_activate = Array.make (max nregs 1) (fun () -> ());
       pending = Array.make (max nregs 1) false;
@@ -392,6 +397,43 @@ let invalidate_all t =
   for ri = 0 to Array.length t.reg_copy - 1 do
     push_pending t ri
   done
+
+(* Change-event hook: wrap every value-mutating closure (member evaluation,
+   register latch, slow-path reset) so that a changed value reports the
+   node id.  Pokes mutate input slots outside these closures; observers
+   intercept them at the Sim.t layer. *)
+let set_change_hook t hook =
+  Array.iteri
+    (fun k steps ->
+      let members = t.sn_members.(k) in
+      t.sn_steps.(k) <-
+        Array.mapi
+          (fun i step ->
+            let id = members.(i) in
+            fun () ->
+              let changed = step () in
+              if changed then hook id;
+              changed)
+          steps)
+    t.sn_steps;
+  Array.iteri
+    (fun ri copy ->
+      let id = t.reg_reads.(ri) in
+      t.reg_copy.(ri) <-
+        (fun () ->
+          let changed = copy () in
+          if changed then hook id;
+          changed))
+    t.reg_copy;
+  Array.iteri
+    (fun ri apply ->
+      let id = t.reg_reads.(ri) in
+      t.reset_apply.(ri) <-
+        (fun () ->
+          let changed = apply () in
+          if changed then hook id;
+          changed))
+    t.reset_apply
 
 let sim ?(name = "activity") t =
   {

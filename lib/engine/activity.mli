@@ -55,4 +55,15 @@ val invalidate_all : t -> unit
 (** Mark every supernode active and every register pending — used after a
     checkpoint restore. *)
 
+val set_change_hook : t -> (int -> unit) -> unit
+(** [set_change_hook t f] arranges for [f id] to run whenever a node
+    evaluation, register latch or slow-path reset changes the stored value
+    of node [id].  Because the engine already computes "did the value
+    change" for every evaluation, observers (coverage collection) that hang
+    off this hook pay a cost proportional to the activity factor instead of
+    resampling the whole design every cycle.
+
+    Install at most once, before simulation starts.  Pokes are not
+    reported — intercept them at the {!Sim.t} layer. *)
+
 val sim : ?name:string -> t -> Sim.t

@@ -32,6 +32,11 @@ let activity_factor t ~total_nodes =
   if t.cycles = 0 || total_nodes = 0 then 0.
   else float_of_int t.evals /. (float_of_int t.cycles *. float_of_int total_nodes)
 
+let to_json t =
+  Printf.sprintf
+    "{\"cycles\":%d,\"evals\":%d,\"changed\":%d,\"exams\":%d,\"activations\":%d,\"reg_commits\":%d,\"reset_checks\":%d}"
+    t.cycles t.evals t.changed t.exams t.activations t.reg_commits t.reset_checks
+
 let pp fmt t =
   Format.fprintf fmt
     "cycles=%d evals=%d changed=%d exams=%d activations=%d reg_commits=%d reset_checks=%d"

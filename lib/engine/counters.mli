@@ -22,4 +22,8 @@ val clear : t -> unit
 val activity_factor : t -> total_nodes:int -> float
 (** Mean fraction of evaluated nodes per cycle. *)
 
+val to_json : t -> string
+(** One flat JSON object with every counter field — the CLI embeds it in
+    its [--json] output so bench tooling can script the counters. *)
+
 val pp : Format.formatter -> t -> unit

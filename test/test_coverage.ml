@@ -1,0 +1,362 @@
+(* The coverage subsystem: collection exactness, database laws, persistence,
+   cross-engine identity of the activity fast path vs full resampling. *)
+
+module Bits = Gsim_bits.Bits
+module Expr = Gsim_ir.Expr
+module Circuit = Gsim_ir.Circuit
+module Partition = Gsim_partition.Partition
+module Sim = Gsim_engine.Sim
+module Activity = Gsim_engine.Activity
+module Full_cycle = Gsim_engine.Full_cycle
+module Checkpoint = Gsim_engine.Checkpoint
+module Db = Gsim_coverage.Db
+module Collect = Gsim_coverage.Collect
+module Report = Gsim_coverage.Report
+module Stu_core = Gsim_designs.Stu_core
+module Designs = Gsim_designs.Designs
+module Programs = Gsim_designs.Programs
+
+let b ~w n = Bits.of_int ~width:w n
+
+(* The enable-counter from the VCD tests: an 8-bit register that counts
+   while [top.en] is high (a mux on the enable). *)
+let counter_circuit () =
+  let c = Circuit.create ~name:"ctr" () in
+  let en = Circuit.add_input c ~name:"top.en" ~width:1 in
+  let r = Circuit.add_register c ~name:"top.count" ~width:8 ~init:(Bits.zero 8) () in
+  Circuit.set_next c r
+    (Expr.mux (Expr.var ~width:1 en.Circuit.id)
+       (Expr.unop (Expr.Extract (7, 0))
+          (Expr.binop Expr.Add (Expr.var ~width:8 r.Circuit.read) (Expr.of_int ~width:8 1)))
+       (Expr.var ~width:8 r.Circuit.read));
+  Circuit.mark_output c r.Circuit.read;
+  (c, en.Circuit.id, r.Circuit.read)
+
+(* --- Collection exactness ----------------------------------------------- *)
+
+let test_toggle_counts_exact () =
+  let c, en, _count = counter_circuit () in
+  let sim = Full_cycle.sim (Full_cycle.create c) in
+  let cov, sim = Collect.create sim in
+  sim.Sim.poke en (b ~w:1 1);
+  Sim.run sim 3;
+  sim.Sim.poke en (b ~w:1 0);
+  Sim.run sim 5;
+  let db = Collect.db cov in
+  (* count: 0 -> 1 -> 2 -> 3, then holds.
+     bit0: 0->1 (rise), 1->0 (fall), 0->1 (rise); bit1: 0->1 at value 2. *)
+  let tg = Hashtbl.find db.Db.toggles "top.count" in
+  Alcotest.(check int) "bit0 rises" 2 tg.Db.rise.(0);
+  Alcotest.(check int) "bit0 falls" 1 tg.Db.fall.(0);
+  Alcotest.(check int) "bit1 rises" 1 tg.Db.rise.(1);
+  Alcotest.(check int) "bit1 falls" 0 tg.Db.fall.(1);
+  Alcotest.(check int) "bit7 untouched" 0 (tg.Db.rise.(7) + tg.Db.fall.(7));
+  let n = Hashtbl.find db.Db.nodes "top.count" in
+  Alcotest.(check int) "count changed 3 times" 3 n.Db.changes;
+  (* en rose once (poke 1) and fell once (poke 0). *)
+  let te = Hashtbl.find db.Db.toggles "top.en" in
+  Alcotest.(check int) "en rises" 1 te.Db.rise.(0);
+  Alcotest.(check int) "en falls" 1 te.Db.fall.(0);
+  Alcotest.(check int) "cycles recorded" 8 db.Db.total_cycles
+
+let test_cond_coverage () =
+  (* Enable seen both ways: both mux arms covered. *)
+  let c, en, _ = counter_circuit () in
+  let sim = Full_cycle.sim (Full_cycle.create c) in
+  let cov, sim = Collect.create sim in
+  sim.Sim.poke en (b ~w:1 1);
+  Sim.run sim 2;
+  sim.Sim.poke en (b ~w:1 0);
+  Sim.run sim 2;
+  let db = Collect.db cov in
+  Alcotest.(check int) "one mux tracked" 1 (Hashtbl.length db.Db.conds);
+  Hashtbl.iter
+    (fun _ (cd : Db.cond) ->
+      Alcotest.(check bool) "true arm seen" true cd.Db.seen_true;
+      Alcotest.(check bool) "false arm seen" true cd.Db.seen_false;
+      Alcotest.(check int) "switched into true once" 1 cd.Db.taken_true;
+      Alcotest.(check int) "switched into false once" 1 cd.Db.taken_false)
+    db.Db.conds;
+  (* Enable constantly high from before collection: false arm never seen. *)
+  let c2, en2, _ = counter_circuit () in
+  let sim2 = Full_cycle.sim (Full_cycle.create c2) in
+  sim2.Sim.poke en2 (b ~w:1 1);
+  let cov2, sim2 = Collect.create sim2 in
+  Sim.run sim2 4;
+  let db2 = Collect.db cov2 in
+  Hashtbl.iter
+    (fun _ (cd : Db.cond) ->
+      Alcotest.(check bool) "true arm seen" true cd.Db.seen_true;
+      Alcotest.(check bool) "false arm unseen" false cd.Db.seen_false)
+    db2.Db.conds;
+  let unc = Report.uncovered db2 in
+  Alcotest.(check bool) "uncovered lists the false arm" true
+    (List.exists
+       (fun s ->
+         let n = String.length s in
+         n >= 21 && String.sub s (n - 21) 21 = "false arm never taken")
+       unc)
+
+let test_reset_coverage () =
+  let c = Circuit.create ~name:"rst" () in
+  let rst = Circuit.add_input c ~name:"rst" ~width:1 in
+  let r =
+    Circuit.add_register c ~name:"top.state" ~width:4 ~init:(b ~w:4 5)
+      ~reset:(rst.Circuit.id, b ~w:4 0) ()
+  in
+  Circuit.set_next c r
+    (Expr.unop (Expr.Extract (3, 0))
+       (Expr.binop Expr.Add (Expr.var ~width:4 r.Circuit.read) (Expr.of_int ~width:4 1)));
+  Circuit.mark_output c r.Circuit.read;
+  let sim = Full_cycle.sim (Full_cycle.create c) in
+  let cov, sim = Collect.create sim in
+  Sim.run sim 3;
+  sim.Sim.poke rst.Circuit.id (b ~w:1 1);
+  Sim.run sim 2;
+  sim.Sim.poke rst.Circuit.id (b ~w:1 0);
+  Sim.run sim 3;
+  let db = Collect.db cov in
+  let rc = Hashtbl.find db.Db.resets "top.state" in
+  Alcotest.(check int) "asserted once" 1 rc.Db.asserts;
+  Alcotest.(check int) "deasserted once" 1 rc.Db.deasserts;
+  Alcotest.(check bool) "seen on" true rc.Db.seen_on;
+  let s = Db.summary db in
+  Alcotest.(check int) "reset point covered" 1 s.Db.reset_covered;
+  (* Never asserted: uncovered. *)
+  let c2 = Circuit.create ~name:"rst2" () in
+  let rst2 = Circuit.add_input c2 ~name:"rst" ~width:1 in
+  let r2 =
+    Circuit.add_register c2 ~name:"top.state" ~width:4 ~init:(b ~w:4 0)
+      ~reset:(rst2.Circuit.id, b ~w:4 0) ()
+  in
+  Circuit.set_next c2 r2 (Expr.var ~width:4 r2.Circuit.read);
+  Circuit.mark_output c2 r2.Circuit.read;
+  let sim2 = Full_cycle.sim (Full_cycle.create c2) in
+  let cov2, sim2 = Collect.create sim2 in
+  Sim.run sim2 3;
+  let db2 = Collect.db cov2 in
+  let s2 = Db.summary db2 in
+  Alcotest.(check int) "reset uncovered" 0 s2.Db.reset_covered;
+  Alcotest.(check bool) "listed as never asserted" true
+    (List.mem "reset top.state never asserted" (Report.uncovered db2))
+
+(* --- Database laws ------------------------------------------------------ *)
+
+(* A small family of databases from genuinely different runs. *)
+let counter_db pattern =
+  let c, en, _ = counter_circuit () in
+  let sim = Full_cycle.sim (Full_cycle.create c) in
+  let cov, sim = Collect.create sim in
+  List.iter
+    (fun e ->
+      sim.Sim.poke en (b ~w:1 e);
+      Sim.run sim 1)
+    pattern;
+  Collect.db cov
+
+let test_merge_laws () =
+  let a = counter_db [ 1; 1; 0; 1 ] in
+  let b_ = counter_db [ 0; 1; 0; 0; 1; 1 ] in
+  let c = counter_db [ 1; 0 ] in
+  Alcotest.(check bool) "commutative" true (Db.equal (Db.merge a b_) (Db.merge b_ a));
+  Alcotest.(check bool) "associative" true
+    (Db.equal (Db.merge (Db.merge a b_) c) (Db.merge a (Db.merge b_ c)));
+  Alcotest.(check bool) "idempotent on covered-ness" true
+    (Db.summary_equal (Db.summary (Db.merge a a)) (Db.summary a));
+  let m = Db.merge a b_ in
+  Alcotest.(check int) "runs accumulate" 2 m.Db.runs;
+  Alcotest.(check int) "cycles accumulate" 10 m.Db.total_cycles;
+  (* Counts sum. *)
+  let tg_a = Hashtbl.find a.Db.toggles "top.count" in
+  let tg_b = Hashtbl.find b_.Db.toggles "top.count" in
+  let tg_m = Hashtbl.find m.Db.toggles "top.count" in
+  for bit = 0 to 7 do
+    Alcotest.(check int) "rise sums" (tg_a.Db.rise.(bit) + tg_b.Db.rise.(bit)) tg_m.Db.rise.(bit)
+  done
+
+let test_merge_width_mismatch_rejected () =
+  let a = Db.create () in
+  ignore (Db.toggle_entry a "x" ~width:4);
+  let b_ = Db.create () in
+  ignore (Db.toggle_entry b_ "x" ~width:8);
+  Alcotest.(check bool) "width clash fails" true
+    (match Db.merge a b_ with exception Failure _ -> true | _ -> false)
+
+let test_save_load_roundtrip () =
+  let core = Stu_core.build () in
+  let sim = Full_cycle.sim (Full_cycle.create core.Stu_core.circuit) in
+  let cov, sim = Collect.create sim in
+  Designs.load_program sim core.Stu_core.h (Programs.quick ());
+  Sim.run sim 40;
+  let db = Collect.db cov in
+  let path = Filename.temp_file "gsim" ".cov" in
+  Db.save path db;
+  let db' = Db.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "file roundtrip" true (Db.equal db db');
+  let db'' = Db.of_string (Db.to_string db) in
+  Alcotest.(check bool) "string roundtrip" true (Db.equal db db'');
+  Alcotest.(check bool) "rejects garbage" true
+    (match Db.of_string "nonsense" with exception Failure _ -> true | _ -> false)
+
+let test_split_run_counts_sum () =
+  (* Coverage of a run split across two collectors sums to the unsplit
+     run's coverage: the second collector's baseline re-anchors at the
+     boundary values, so no transition is lost or double-counted. *)
+  let pattern i = if i mod 3 = 0 then 0 else 1 in
+  let drive sim en lo hi =
+    for i = lo to hi - 1 do
+      sim.Sim.poke en (b ~w:1 (pattern i));
+      Sim.run sim 1
+    done
+  in
+  let c_full, en_full, _ = counter_circuit () in
+  let sim = Full_cycle.sim (Full_cycle.create c_full) in
+  let cov_full, sim = Collect.create sim in
+  drive sim en_full 0 20;
+  let full = Collect.db cov_full in
+  let c2, en2, _ = counter_circuit () in
+  let base = Full_cycle.sim (Full_cycle.create c2) in
+  let cov1, sim1 = Collect.create base in
+  drive sim1 en2 0 9;
+  let cov2, sim2 = Collect.create base in
+  drive sim2 en2 9 20;
+  let merged = Db.merge (Collect.db cov1) (Collect.db cov2) in
+  Hashtbl.iter
+    (fun name (tg : Db.toggle) ->
+      let tg' = Hashtbl.find merged.Db.toggles name in
+      for bit = 0 to tg.Db.t_width - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "%s[%d] rise" name bit)
+          tg.Db.rise.(bit) tg'.Db.rise.(bit);
+        Alcotest.(check int)
+          (Printf.sprintf "%s[%d] fall" name bit)
+          tg.Db.fall.(bit) tg'.Db.fall.(bit)
+      done)
+    full.Db.toggles;
+  Hashtbl.iter
+    (fun name (n : Db.node_cov) ->
+      Alcotest.(check int) (name ^ " changes")
+        n.Db.changes
+        (Hashtbl.find merged.Db.nodes name).Db.changes)
+    full.Db.nodes;
+  Hashtbl.iter
+    (fun (name, idx) (cd : Db.cond) ->
+      let cd' = Hashtbl.find merged.Db.conds (name, idx) in
+      Alcotest.(check int) "into-true sums" cd.Db.taken_true cd'.Db.taken_true;
+      Alcotest.(check int) "into-false sums" cd.Db.taken_false cd'.Db.taken_false)
+    full.Db.conds;
+  Alcotest.(check int) "cycles sum" full.Db.total_cycles merged.Db.total_cycles
+
+(* --- Cross-engine identity ---------------------------------------------- *)
+
+let test_cross_engine_identical () =
+  (* Full-cycle resampling vs the gsim activity engine's change-event fast
+     path, same design, same program, same cycle count: the databases must
+     be bit-identical. *)
+  let prog = Programs.quick () in
+  let cycles = 400 in
+  let full_db =
+    let core = Stu_core.build () in
+    let sim = Full_cycle.sim (Full_cycle.create core.Stu_core.circuit) in
+    let cov, sim = Collect.create sim in
+    Designs.load_program sim core.Stu_core.h prog;
+    Designs.run_cycles sim cycles;
+    Collect.db cov
+  in
+  let fast_db =
+    let core = Stu_core.build () in
+    let p = Partition.gsim core.Stu_core.circuit ~max_size:8 in
+    let engine = Activity.create core.Stu_core.circuit p in
+    let cov, sim = Collect.of_activity engine in
+    Designs.load_program sim core.Stu_core.h prog;
+    Designs.run_cycles sim cycles;
+    Collect.db cov
+  in
+  Alcotest.(check bool) "identical databases" true (Db.equal full_db fast_db);
+  (* The program halts early; the activity engine goes idle, so coverage
+     must have been collected without resampling everything each cycle. *)
+  let s = Db.summary full_db in
+  Alcotest.(check bool) "some toggles covered" true (s.Db.toggle_covered > 0);
+  Alcotest.(check bool) "some conds covered" true (s.Db.cond_covered > 0)
+
+let test_cross_engine_with_checkpoint_restore () =
+  (* Restoring a checkpoint into a covered activity engine must not lose
+     value changes (write_reg bypasses the change hook). *)
+  let prog = Programs.quick () in
+  let core_a = Stu_core.build () in
+  let sim_a = Full_cycle.sim (Full_cycle.create core_a.Stu_core.circuit) in
+  Designs.load_program sim_a core_a.Stu_core.h prog;
+  Sim.run sim_a 50;
+  let ck = Checkpoint.capture sim_a in
+  let restore_and_run mk =
+    let core = Stu_core.build () in
+    let cov, sim = mk core in
+    Designs.load_program sim core.Stu_core.h prog;
+    Sim.run sim 50;
+    Checkpoint.restore sim ck;
+    Sim.run sim 100;
+    Collect.db cov
+  in
+  let db_full =
+    restore_and_run (fun core ->
+        Collect.create (Full_cycle.sim (Full_cycle.create core.Stu_core.circuit)))
+  in
+  let db_fast =
+    restore_and_run (fun core ->
+        let p = Partition.gsim core.Stu_core.circuit ~max_size:8 in
+        Collect.of_activity (Activity.create core.Stu_core.circuit p))
+  in
+  Alcotest.(check bool) "identical after restore" true (Db.equal db_full db_fast)
+
+(* --- Reporting ---------------------------------------------------------- *)
+
+let test_report_renders () =
+  let core = Stu_core.build () in
+  let sim = Full_cycle.sim (Full_cycle.create core.Stu_core.circuit) in
+  let cov, sim = Collect.create sim in
+  Designs.load_program sim core.Stu_core.h (Programs.quick ());
+  Sim.run sim 60;
+  let db = Collect.db cov in
+  let text = Report.to_string ~uncovered:5 db in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  Alcotest.(check bool) "summary line" true (contains text "toggle");
+  Alcotest.(check bool) "uncovered section" true (contains text "uncovered:");
+  let json = Report.to_json ~uncovered:true db in
+  Alcotest.(check bool) "json summary" true (contains json "\"summary\"");
+  Alcotest.(check bool) "json scopes" true (contains json "\"scopes\"");
+  Alcotest.(check bool) "json uncovered" true (contains json "\"uncovered\"");
+  Alcotest.(check bool) "json balanced" true
+    (String.length json > 2
+    && json.[0] = '{'
+    && json.[String.length json - 1] = '}')
+
+let () =
+  Alcotest.run "coverage"
+    [
+      ( "collect",
+        [
+          Alcotest.test_case "toggle counts exact" `Quick test_toggle_counts_exact;
+          Alcotest.test_case "condition coverage" `Quick test_cond_coverage;
+          Alcotest.test_case "reset coverage" `Quick test_reset_coverage;
+        ] );
+      ( "db",
+        [
+          Alcotest.test_case "merge laws" `Quick test_merge_laws;
+          Alcotest.test_case "merge width mismatch" `Quick test_merge_width_mismatch_rejected;
+          Alcotest.test_case "save/load roundtrip" `Quick test_save_load_roundtrip;
+          Alcotest.test_case "split-run counts sum" `Quick test_split_run_counts_sum;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "cross-engine identical" `Quick test_cross_engine_identical;
+          Alcotest.test_case "identical after restore" `Quick
+            test_cross_engine_with_checkpoint_restore;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "text and json" `Quick test_report_renders ] );
+    ]
