@@ -5,7 +5,7 @@
    substrate; run without arguments to produce everything.
 
      main.exe [--quick] [table1|fig6|fig7|fig8|fig9|table3|table4|
-               ablation|model|coverage|micro|all]                        *)
+               ablation|model|coverage|backend|micro|all]                *)
 
 module Bits = Gsim_bits.Bits
 module Circuit = Gsim_ir.Circuit
@@ -423,6 +423,83 @@ let coverage () =
     designs
 
 (* ------------------------------------------------------------------ *)
+(* Evaluation-backend comparison: closures vs flat bytecode             *)
+(* ------------------------------------------------------------------ *)
+
+(* One short deterministic run whose folded node values certify that the
+   two backends computed identical simulations, plus the speed comparison
+   the backend exists for.  Results also land in BENCH_backends.json so CI
+   can archive them. *)
+let backend_checksum config d prog =
+  let core = build_design d in
+  let pre = optimized_circuit d config.Gsim.opt_level in
+  let compiled =
+    Gsim.instantiate { config with Gsim.opt_level = Pipeline.O0 } pre
+  in
+  let sim = compiled.Gsim.sim in
+  Designs.load_program sim core.Stu_core.h prog;
+  Designs.run_cycles sim (if !Harness.quick then 100 else 500);
+  let c = sim.Gsim_engine.Sim.circuit in
+  let acc = ref 0 in
+  Circuit.iter_nodes c (fun nd ->
+      let v = sim.Gsim_engine.Sim.peek nd.Circuit.id in
+      (* 63-bit mixing fold; to_packed is exact for narrow nodes and
+         to_int_trunc truncates wide ones deterministically. *)
+      let x =
+        if Bits.width v <= 62 then Bits.to_packed v else Bits.to_int_trunc v
+      in
+      acc := ((!acc * 1099511628211) + x + nd.Circuit.id) land max_int);
+  let changed = (sim.Gsim_engine.Sim.counters ()).Counters.changed in
+  compiled.Gsim.destroy ();
+  (!acc, changed)
+
+let backend_configs () =
+  [
+    ("full-cycle", fun be -> { (Gsim.verilator ()) with Gsim.backend = be });
+    ("gsim", fun be -> { Gsim.gsim with Gsim.backend = be });
+  ]
+
+let backend () =
+  header "Backend - closure trees vs flat bytecode (narrow hot path)";
+  Printf.printf "%-10s %-11s %12s %12s %9s %9s %9s\n" "design" "engine" "closures"
+    "bytecode" "ns/ev(c)" "ns/ev(b)" "speedup";
+  let prog = coremark_long () in
+  let rows = ref [] in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun (ename, mk) ->
+          let mc = measure (mk `Closures) d prog in
+          let mb = measure (mk `Bytecode) d prog in
+          let ns m =
+            m.seconds *. 1e9 /. float_of_int (max m.counters.Counters.evals 1)
+          in
+          let kc, chc = backend_checksum (mk `Closures) d prog in
+          let kb, chb = backend_checksum (mk `Bytecode) d prog in
+          if kc <> kb || chc <> chb then
+            failwith
+              (Printf.sprintf "backend mismatch on %s/%s: %x/%d vs %x/%d"
+                 d.Designs.design_name ename kc chc kb chb);
+          let speedup = mb.hz /. mc.hz in
+          Printf.printf "%-10s %-11s %12s %12s %9.1f %9.1f %8.2fx  (checksums agree)\n%!"
+            d.Designs.design_name ename (pp_hz mc.hz) (pp_hz mb.hz) (ns mc) (ns mb)
+            speedup;
+          rows :=
+            Printf.sprintf
+              "    {\"design\":%S,\"engine\":%S,\"closures_hz\":%.1f,\"bytecode_hz\":%.1f,\"ns_per_eval_closures\":%.2f,\"ns_per_eval_bytecode\":%.2f,\"speedup\":%.3f,\"instrs_per_cycle\":%d,\"checksum\":%d}"
+              d.Designs.design_name ename mc.hz mb.hz (ns mc) (ns mb) speedup
+              (mb.counters.Counters.instrs / max mb.cycles 1)
+              kb
+            :: !rows)
+        (backend_configs ()))
+    Designs.all;
+  let oc = open_out "BENCH_backends.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"backend\",\n  \"rows\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.rev !rows));
+  close_out oc;
+  Printf.printf "  [wrote BENCH_backends.json]\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernel inner loops                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -517,10 +594,11 @@ let () =
          | "ablation" -> ablation ()
          | "model" -> model ()
          | "coverage" -> coverage ()
+         | "backend" -> backend ()
          | "micro" -> micro ()
          | other ->
            Printf.eprintf
-             "unknown bench %S (expected table1|fig6|fig7|fig8|fig9|table3|table4|ablation|model|coverage|micro|all)\n"
+             "unknown bench %S (expected table1|fig6|fig7|fig8|fig9|table3|table4|ablation|model|coverage|backend|micro|all)\n"
              other;
            exit 2)
        cmds);

@@ -21,7 +21,7 @@ module Cov_db = Gsim_coverage.Db
 module Cov_collect = Gsim_coverage.Collect
 module Cov_report = Gsim_coverage.Report
 
-let config_of_engine name threads max_supernode level =
+let config_of_engine name threads max_supernode level backend =
   let level =
     Option.map
       (fun l ->
@@ -29,6 +29,11 @@ let config_of_engine name threads max_supernode level =
         | Some l -> l
         | None -> failwith (Printf.sprintf "unknown optimization level %S" l))
       level
+  in
+  let backend =
+    match Gsim_engine.Eval.of_string backend with
+    | Some b -> b
+    | None -> failwith (Printf.sprintf "unknown backend %S (bytecode or closures)" backend)
   in
   let base =
     match name with
@@ -39,6 +44,7 @@ let config_of_engine name threads max_supernode level =
     | "reference" -> Gsim.reference
     | other -> failwith (Printf.sprintf "unknown engine %S" other)
   in
+  let base = { base with Gsim.backend } in
   match level with
   | Some opt_level -> { base with Gsim.opt_level }
   | None -> base
@@ -93,6 +99,15 @@ let supernode_arg =
     value & opt int 8
     & info [ "max-supernode" ] ~doc:"Maximum supernode size (the paper's knob)")
 
+let backend_arg =
+  Arg.(
+    value
+    & opt string (Gsim_engine.Eval.to_string Gsim_engine.Eval.default)
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Per-node evaluation backend: bytecode (flat instruction streams for narrow \
+           signals, the default) or closures (the original closure trees)")
+
 let coverage_arg =
   Arg.(
     value
@@ -123,9 +138,9 @@ let stats_cmd =
 (* --- emit ---------------------------------------------------------------- *)
 
 let emit_cmd =
-  let run file engine threads level max_supernode output =
+  let run file engine threads level max_supernode backend output =
     let circuit, _ = Gsim.load_design_file file in
-    let config = config_of_engine engine threads max_supernode level in
+    let config = config_of_engine engine threads max_supernode level backend in
     let r = Gsim.emit_cpp config circuit in
     (match output with
      | Some path ->
@@ -141,7 +156,8 @@ let emit_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE.cpp")
   in
   Cmd.v (Cmd.info "emit" ~doc:"Emit C++ simulation code")
-    Term.(const run $ file_arg $ engine_arg $ threads_arg $ level_arg $ supernode_arg $ output)
+    Term.(const run $ file_arg $ engine_arg $ threads_arg $ level_arg $ supernode_arg
+          $ backend_arg $ output)
 
 (* --- emit-firrtl ----------------------------------------------------------- *)
 
@@ -172,10 +188,10 @@ let emit_fir_cmd =
 (* --- sim ----------------------------------------------------------------- *)
 
 let sim_cmd =
-  let run file engine threads level max_supernode cycles pokes vcd_path save_ck restore_ck
-      coverage json =
+  let run file engine threads level max_supernode backend cycles pokes vcd_path save_ck
+      restore_ck coverage json =
     let circuit, halt = Gsim.load_design_file file in
-    let config = config_of_engine engine threads max_supernode level in
+    let config = config_of_engine engine threads max_supernode level backend in
     let compiled = Gsim.instantiate config circuit in
     let sim, finish_coverage = attach_coverage coverage compiled in
     let sim, close_vcd =
@@ -254,13 +270,14 @@ let sim_cmd =
          & info [ "restore-checkpoint" ] ~docv:"FILE" ~doc:"Start from a checkpoint")
   in
   Cmd.v (Cmd.info "sim" ~doc:"Simulate a FIRRTL design")
-    Term.(const run $ file_arg $ engine_arg $ threads_arg $ level_arg $ supernode_arg $ cycles
-          $ pokes $ vcd $ save_ck $ restore_ck $ coverage_arg $ json_arg)
+    Term.(const run $ file_arg $ engine_arg $ threads_arg $ level_arg $ supernode_arg
+          $ backend_arg $ cycles $ pokes $ vcd $ save_ck $ restore_ck $ coverage_arg
+          $ json_arg)
 
 (* --- run ----------------------------------------------------------------- *)
 
 let run_cmd =
-  let run design workload engine threads level max_supernode max_cycles coverage json =
+  let run design workload engine threads level max_supernode backend max_cycles coverage json =
     let d =
       match Designs.by_name design with
       | Some d -> d
@@ -279,7 +296,7 @@ let run_cmd =
     in
     let core = d.Designs.build () in
     if not json then Printf.printf "%s\n" (Designs.stats_line core.Stu_core.circuit);
-    let config = config_of_engine engine threads max_supernode level in
+    let config = config_of_engine engine threads max_supernode level backend in
     let compiled = Gsim.instantiate config core.Stu_core.circuit in
     let sim, finish_coverage = attach_coverage coverage compiled in
     Designs.load_program sim core.Stu_core.h prog;
@@ -320,7 +337,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a built-in workload on a built-in design")
     Term.(const run $ design $ workload $ engine_arg $ threads_arg $ level_arg $ supernode_arg
-          $ max_cycles $ coverage_arg $ json_arg)
+          $ backend_arg $ max_cycles $ coverage_arg $ json_arg)
 
 (* --- cov ----------------------------------------------------------------- *)
 
@@ -328,8 +345,8 @@ let run_cmd =
    TARGET is either a design file (.fir/.v) driven with --poke for a fixed
    cycle count, or a built-in design name running a built-in workload. *)
 let cov_collect_cmd =
-  let run target workload engine threads level max_supernode cycles pokes out =
-    let config = config_of_engine engine threads max_supernode level in
+  let run target workload engine threads level max_supernode backend cycles pokes out =
+    let config = config_of_engine engine threads max_supernode level backend in
     if Sys.file_exists target then begin
       let circuit, halt = Gsim.load_design_file target in
       let compiled = Gsim.instantiate config circuit in
@@ -402,7 +419,7 @@ let cov_collect_cmd =
   Cmd.v
     (Cmd.info "collect" ~doc:"Run a design and collect coverage into a database file")
     Term.(const run $ target $ workload $ engine_arg $ threads_arg $ level_arg $ supernode_arg
-          $ cycles $ pokes $ out)
+          $ backend_arg $ cycles $ pokes $ out)
 
 let cov_merge_cmd =
   let run out inputs =

@@ -22,6 +22,7 @@ type config = {
   max_supernode : int;
   activation : Activity.activation_strategy;
   packed_exam : bool;
+  backend : Gsim_engine.Eval.backend;
 }
 
 let verilator ?(threads = 1) () =
@@ -33,6 +34,7 @@ let verilator ?(threads = 1) () =
     max_supernode = 1;
     activation = Activity.Branch;
     packed_exam = false;
+    backend = Gsim_engine.Eval.default;
   }
 
 let arcilator =
@@ -44,6 +46,7 @@ let arcilator =
     max_supernode = 1;
     activation = Activity.Branch;
     packed_exam = false;
+    backend = Gsim_engine.Eval.default;
   }
 
 let essent =
@@ -55,6 +58,7 @@ let essent =
     max_supernode = 20;
     activation = Activity.Branchless;
     packed_exam = false;
+    backend = Gsim_engine.Eval.default;
   }
 
 let gsim =
@@ -70,10 +74,12 @@ let gsim =
     max_supernode = 8;
     activation = Activity.Cost_model;
     packed_exam = true;
+    backend = Gsim_engine.Eval.default;
   }
 
 let gsim_with ?(max_supernode = 8) ?(partition_algorithm = "gsim")
-    ?(opt_level = Pipeline.O3) ?(activation = Activity.Cost_model) ?(packed_exam = true) () =
+    ?(opt_level = Pipeline.O3) ?(activation = Activity.Cost_model) ?(packed_exam = true)
+    ?(backend = Gsim_engine.Eval.default) () =
   {
     gsim with
     config_name =
@@ -84,6 +90,7 @@ let gsim_with ?(max_supernode = 8) ?(partition_algorithm = "gsim")
     opt_level;
     activation;
     packed_exam;
+    backend;
   }
 
 let reference =
@@ -95,6 +102,7 @@ let reference =
     max_supernode = 1;
     activation = Activity.Branch;
     packed_exam = false;
+    backend = Gsim_engine.Eval.default;
   }
 
 let all_presets =
@@ -136,16 +144,17 @@ let instantiate ?(compact = false) config circuit =
   let sim, supernodes, activity, destroy =
     match config.engine with
     | Reference_engine -> (Sim.of_reference (Reference.create c), 0, None, fun () -> ())
-    | Full_cycle_engine 1 -> (Full_cycle.sim (Full_cycle.create c), 0, None, fun () -> ())
+    | Full_cycle_engine 1 ->
+      (Full_cycle.sim (Full_cycle.create ~backend:config.backend c), 0, None, fun () -> ())
     | Full_cycle_engine threads ->
-      let t = Parallel.create ~threads c in
+      let t = Parallel.create ~backend:config.backend ~threads c in
       (Parallel.sim t, 0, None, fun () -> Parallel.destroy t)
     | Essent_engine | Gsim_engine_kind ->
       let p = partition () in
       let t =
         Activity.create
           ~config:{ Activity.packed_exam = config.packed_exam; activation = config.activation }
-          c p
+          ~backend:config.backend c p
       in
       ( Activity.sim ~name:config.config_name t,
         Array.length p.Partition.supernodes,

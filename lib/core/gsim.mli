@@ -31,6 +31,11 @@ type config = {
   max_supernode : int;
   activation : Gsim_engine.Activity.activation_strategy;
   packed_exam : bool;
+  backend : Gsim_engine.Eval.backend;
+      (** Per-node evaluation strategy (see {!Gsim_engine.Eval}): flat
+          bytecode for narrow nodes ([`Bytecode], the default everywhere)
+          or the original closure trees ([`Closures]).  The reference
+          engine ignores it. *)
 }
 
 val verilator : ?threads:int -> unit -> config
@@ -43,6 +48,7 @@ val gsim : config
 val gsim_with : ?max_supernode:int -> ?partition_algorithm:string ->
   ?opt_level:Gsim_passes.Pipeline.level ->
   ?activation:Gsim_engine.Activity.activation_strategy -> ?packed_exam:bool ->
+  ?backend:Gsim_engine.Eval.backend ->
   unit -> config
 
 val reference : config

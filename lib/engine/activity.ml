@@ -24,6 +24,9 @@ type t = {
   sn_members : int array array;
       (* member node ids, parallel to [sn_steps] (change-hook support) *)
   sn_hits : int array;  (* evaluation count per supernode (profiling) *)
+  sn_instrs : int array;
+      (* static bytecode cost of one supernode sweep (sum over members);
+         zero under the closure backend *)
   (* Registers *)
   reg_reads : int array;          (* read-node id per register table index *)
   reg_copy : (unit -> bool) array;
@@ -130,7 +133,7 @@ let target_supers (part : Partition.t) ?(exclude = -1) ids =
     ids
   |> List.sort_uniq compare |> Array.of_list
 
-let create ?(config = gsim_config) c part =
+let create ?(config = gsim_config) ?(backend = Eval.default) c part =
   let rt = Runtime.create c in
   let nsuper = Array.length part.Partition.supernodes in
   let nwords = (nsuper + word_bits - 1) / word_bits in
@@ -148,6 +151,7 @@ let create ?(config = gsim_config) c part =
       sn_steps = Array.make (max nsuper 1) [||];
       sn_members = part.Partition.supernodes;
       sn_hits = Array.make (max nsuper 1) 0;
+      sn_instrs = Array.make (max nsuper 1) 0;
       reg_reads = Array.map (fun (r : Circuit.register) -> r.read) regs;
       reg_copy = Array.map (Runtime.reg_copier rt) regs;
       reg_read_activate = Array.make (max nregs 1) (fun () -> ());
@@ -180,7 +184,8 @@ let create ?(config = gsim_config) c part =
       let steps =
         Array.map
           (fun id ->
-            let eval = Runtime.node_evaluator rt (Circuit.node c id) in
+            let eval, ni = Eval.node_evaluator ~backend rt (Circuit.node c id) in
+            t.sn_instrs.(k) <- t.sn_instrs.(k) + ni;
             let targets = target_supers part ~exclude:k succs.(id) in
             let act = make_activator t config.activation targets in
             let no_targets = Array.length targets = 0 in
@@ -282,7 +287,8 @@ let eval_super t k =
     if (Array.unsafe_get steps i) () then
       ctr.Counters.changed <- ctr.Counters.changed + 1
   done;
-  ctr.Counters.evals <- ctr.Counters.evals + n
+  ctr.Counters.evals <- ctr.Counters.evals + n;
+  ctr.Counters.instrs <- ctr.Counters.instrs + Array.unsafe_get t.sn_instrs k
 
 let sweep_packed t =
   let ctr = t.counters in

@@ -35,8 +35,9 @@ val gsim_config : config
 
 type t
 
-val create : ?config:config -> Circuit.t -> Partition.t -> t
-(** The partition must be valid for the circuit (see
+val create : ?config:config -> ?backend:Eval.backend -> Circuit.t -> Partition.t -> t
+(** [backend] defaults to {!Eval.default} ([`Bytecode]).
+    The partition must be valid for the circuit (see
     {!Partition.validate}); all supernodes start active. *)
 
 val poke : t -> int -> Bits.t -> unit

@@ -1,0 +1,959 @@
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+(* A node's expression tree lowered to a linear register-machine program.
+
+   Instructions live in one flat [int array] with a fixed stride of six
+   slots per instruction: opcode, destination slot, two source slots and
+   two immediates.  All values are packed narrow ints; the machine state is
+   a per-program scratch [int array] whose low slots hold the expression's
+   distinct constants (written once at evaluator creation) followed by its
+   distinct variables (reloaded from the narrow arena at the start of every
+   evaluation), with the expression stack above.  The program ends with a
+   store instruction that commits the result to the narrow arena and
+   reports change.  One evaluation is one pass of the dispatch loop — no
+   closure calls, no allocation.
+
+   Programs of consecutive nodes can further be {!fuse}d into one segment.
+   A segment is rebased into a single flat address space: the narrow arena
+   is extended past the node ids (see [Runtime.create ~extra_slots]) and
+   the segment's pooled constants and shared expression stack live in that
+   extension, so every operand — node value, constant, or stack temporary —
+   is an absolute index into the one arena array.  Variable reads address
+   the producer's arena slot directly, which eliminates the per-node
+   preload loop entirely; stores stay the only instructions with
+   side-effects, so per-node change semantics are identical to the
+   standalone programs. *)
+
+type program = {
+  node : int;           (* node id the result is stored to *)
+  code : int array;     (* stride-6 stream: op, dst, a, b, i1, i2 *)
+  consts : int array;   (* packed values of slots [0, vbase) *)
+  var_ids : int array;  (* node ids preloaded into slots [vbase, vbase+n) *)
+  vbase : int;
+  result : int;         (* slot holding the node's value after the loop *)
+  scratch : int;        (* total slot count *)
+}
+
+let stride = 6
+
+let instr_count p = Array.length p.var_ids + (Array.length p.code / stride)
+
+let scratch_size p = p.scratch
+
+(* --- Opcodes ----------------------------------------------------------- *)
+
+(* Dense ints so the dispatch match compiles to a jump table; the common
+   cheap operations sit first. *)
+let op_and = 0        (* d <- a land b *)
+let op_or = 1         (* d <- a lor b *)
+let op_xor = 2        (* d <- a lxor b *)
+let op_not = 3        (* d <- lnot a land i1 *)
+let op_add = 4        (* d <- (a + b) land i1 *)
+let op_sub = 5        (* d <- (a - b) land i1 *)
+let op_extract = 6    (* d <- (a lsr i1) land i2 *)
+let op_mask = 7       (* d <- a land i1 *)
+let op_cat = 8        (* d <- (a lsl i1) lor b *)
+let op_eq = 9
+let op_neq = 10
+let op_lt = 11
+let op_leq = 12
+let op_gt = 13
+let op_geq = 14
+let op_select = 15    (* d <- if a <> 0 then b else slot i1 *)
+let op_shl = 16       (* d <- a lsl i1 *)
+let op_shr = 17       (* d <- a lsr i1 *)
+let op_red_and = 18   (* d <- a = i1 *)
+let op_red_or = 19    (* d <- a <> 0 *)
+let op_red_xor = 20   (* d <- popcount a land 1 *)
+let op_sext_mask = 21 (* d <- ((a lsl i1) asr i1) land i2 *)
+let op_neg = 22       (* d <- (0 - a) land i1 *)
+let op_mul = 23
+let op_div = 24
+let op_div_s = 25     (* i1 packs the operand sext shifts, i2 the mask *)
+let op_rem = 26
+let op_rem_s = 27
+let op_lt_s = 28
+let op_leq_s = 29
+let op_gt_s = 30
+let op_geq_s = 31
+let op_dshl = 32      (* i1 = operand width, i2 = mask *)
+let op_dshr = 33
+let op_dshr_s = 34
+let op_load = 35      (* d <- narrow.(i1) *)
+let op_store = 36     (* narrow.(i1) <- a when different; counts change *)
+let op_load2 = 37     (* d <- narrow.(i1); slot b <- narrow.(i2) *)
+let op_copy = 38      (* narrow.(i2) <- narrow.(i1) when different; counts *)
+let op_select_eq = 39 (* d <- if a = slot b then slot i1 else slot i2 *)
+
+(* Conditional-skip instructions (above the fused-store range): one level
+   of a right-nested mux chain.  When the condition holds, the arm value
+   is written and [i2] code elements are skipped (a relative distance, so
+   segment concatenation preserves it); otherwise fall through to the next
+   level.  This mirrors the closure backend's lazy mux evaluation: a
+   priority chain of k levels retires ~k/2 instructions instead of the
+   2k+1 of eager selects. *)
+let op_case_eq = 100  (* if a = slot b then (d <- slot i1; skip i2) *)
+let op_case_nz = 101  (* if a <> 0 then (d <- slot b; skip i2) *)
+
+(* Superinstructions: [base + fused_store_offset] computes the base
+   operation and immediately compare-stores the result to node [i2] —
+   the final operator of a node's program fuses with its store, saving a
+   dispatch per evaluation.  Only bases whose [i2] immediate is free are
+   eligible, except [op_select_eq], whose fused form carries the node id
+   in the (otherwise unused) [d] field. *)
+let fused_store_offset = 40
+
+let fusable op =
+  op <= op_dshr
+  && op <> op_extract && op <> op_sext_mask && op <> op_div_s && op <> op_rem_s
+  && op <> op_dshl
+
+let base_op op =
+  if op >= fused_store_offset && op <= op_select_eq + fused_store_offset then
+    op - fused_store_offset
+  else op
+
+(* Operand [b] (and, for select, [i1]) is a scratch slot for most opcodes;
+   fusion needs to know which in order to renumber slots. *)
+let b_is_slot op =
+  not
+    (op = op_not || op = op_extract || op = op_mask || op = op_shl || op = op_shr
+   || op = op_red_and || op = op_red_or || op = op_red_xor || op = op_sext_mask
+   || op = op_neg || op = op_load || op = op_store)
+
+(* Sext shift amounts are at most 62 (width >= 1), so two of them pack
+   into one immediate. *)
+let pack2 k1 k2 = k1 lor (k2 lsl 6)
+
+(* --- Compilation ------------------------------------------------------- *)
+
+(* Raised when any subexpression leaves the narrow path: the node falls
+   back to the closure compiler. *)
+exception Wide
+
+(* Pass 1: check every subexpression is narrow and collect the distinct
+   constants and variables in first-occurrence order.  Works from the
+   circuit alone so engines can compile (and size their arena extension)
+   before the runtime exists. *)
+let scan c e =
+  let const_ord = Hashtbl.create 4 and var_ord = Hashtbl.create 4 in
+  let consts = ref [] and vars = ref [] in
+  let rec go e =
+    if not (Bits.fits_int (Expr.width e)) then raise Wide;
+    match e.Expr.desc with
+    | Expr.Const v ->
+      let packed = Bits.to_packed v in
+      if not (Hashtbl.mem const_ord packed) then begin
+        Hashtbl.replace const_ord packed (Hashtbl.length const_ord);
+        consts := packed :: !consts
+      end
+    | Expr.Var id ->
+      if not (Bits.fits_int (Circuit.node c id).Circuit.width) then raise Wide;
+      if not (Hashtbl.mem var_ord id) then begin
+        Hashtbl.replace var_ord id (Hashtbl.length var_ord);
+        vars := id :: !vars
+      end
+    | Expr.Unop (_, a) -> go a
+    | Expr.Binop (_, a, b) ->
+      go a;
+      go b
+    | Expr.Mux (s, a, b) ->
+      go s;
+      go a;
+      go b
+  in
+  go e;
+  (Array.of_list (List.rev !consts), Array.of_list (List.rev !vars), const_ord, var_ord)
+
+type builder = {
+  mutable rev_code : int list;  (* flattened instructions, reversed *)
+  mutable count : int;          (* instructions emitted so far *)
+  mutable max_slot : int;
+  mutable patches : (int * int) list;
+      (* (case instr index, chain end index): the case's i2 skip field is
+         patched to the relative distance once the code array exists *)
+  cslot : (int, int) Hashtbl.t;
+  vslot : (int, int) Hashtbl.t;  (* node id -> absolute slot *)
+}
+
+let push b op dst a bb i1 i2 =
+  b.rev_code <- i2 :: i1 :: bb :: a :: dst :: op :: b.rev_code;
+  b.count <- b.count + 1;
+  if dst > b.max_slot then b.max_slot <- dst
+
+let is_leaf e =
+  match e.Expr.desc with Expr.Const _ | Expr.Var _ -> true | _ -> false
+
+(* Pass 2: stack-style emission.  [sp] is the first free stack slot; the
+   result lands either in a const/var slot (leaves, identity pads) or at
+   [sp].  Operands are read before the destination is written, so reusing
+   [sp] as both source and destination is safe. *)
+let rec emit b e ~sp =
+  match e.Expr.desc with
+  | Expr.Const v -> Hashtbl.find b.cslot (Bits.to_packed v)
+  | Expr.Var id -> Hashtbl.find b.vslot id
+  | Expr.Unop (op, a) ->
+    let w_in = Expr.width a in
+    let sa = emit b a ~sp in
+    (match op with
+     | Expr.Pad_unsigned n when n >= w_in -> sa  (* identity, no code *)
+     | _ ->
+       let dst = sp in
+       (match op with
+        | Expr.Not -> push b op_not dst sa 0 (Runtime.mask w_in) 0
+        | Expr.Neg -> push b op_neg dst sa 0 (Runtime.mask (w_in + 1)) 0
+        | Expr.Reduce_and -> push b op_red_and dst sa 0 (Runtime.mask w_in) 0
+        | Expr.Reduce_or -> push b op_red_or dst sa 0 0 0
+        | Expr.Reduce_xor -> push b op_red_xor dst sa 0 0 0
+        | Expr.Shl_const n -> push b op_shl dst sa 0 n 0
+        | Expr.Shr_const n -> push b op_shr dst sa 0 n 0
+        | Expr.Extract (hi, lo) ->
+          push b op_extract dst sa 0 lo (Runtime.mask (hi - lo + 1))
+        | Expr.Pad_unsigned n -> push b op_mask dst sa 0 (Runtime.mask n) 0
+        | Expr.Pad_signed n ->
+          if n >= w_in then push b op_sext_mask dst sa 0 (63 - w_in) (Runtime.mask n)
+          else push b op_mask dst sa 0 (Runtime.mask n) 0);
+       dst)
+  | Expr.Binop (op, a, bx) ->
+    let w1 = Expr.width a and w2 = Expr.width bx and wr = Expr.width e in
+    let sa = emit b a ~sp in
+    let sp2 = if sa >= sp then sp + 1 else sp in
+    let sb = emit b bx ~sp:sp2 in
+    let dst = sp in
+    (match op with
+     | Expr.Add -> push b op_add dst sa sb (Runtime.mask wr) 0
+     | Expr.Sub -> push b op_sub dst sa sb (Runtime.mask wr) 0
+     | Expr.Mul -> push b op_mul dst sa sb 0 0
+     | Expr.Div -> push b op_div dst sa sb 0 0
+     | Expr.Div_signed ->
+       push b op_div_s dst sa sb (pack2 (63 - w1) (63 - w2)) (Runtime.mask wr)
+     | Expr.Rem -> push b op_rem dst sa sb (Runtime.mask wr) 0
+     | Expr.Rem_signed ->
+       push b op_rem_s dst sa sb (pack2 (63 - w1) (63 - w2)) (Runtime.mask wr)
+     | Expr.And -> push b op_and dst sa sb 0 0
+     | Expr.Or -> push b op_or dst sa sb 0 0
+     | Expr.Xor -> push b op_xor dst sa sb 0 0
+     | Expr.Cat -> push b op_cat dst sa sb w2 0
+     | Expr.Eq -> push b op_eq dst sa sb 0 0
+     | Expr.Neq -> push b op_neq dst sa sb 0 0
+     | Expr.Lt -> push b op_lt dst sa sb 0 0
+     | Expr.Leq -> push b op_leq dst sa sb 0 0
+     | Expr.Gt -> push b op_gt dst sa sb 0 0
+     | Expr.Geq -> push b op_geq dst sa sb 0 0
+     | Expr.Lt_signed -> push b op_lt_s dst sa sb (pack2 (63 - w1) (63 - w2)) 0
+     | Expr.Leq_signed -> push b op_leq_s dst sa sb (pack2 (63 - w1) (63 - w2)) 0
+     | Expr.Gt_signed -> push b op_gt_s dst sa sb (pack2 (63 - w1) (63 - w2)) 0
+     | Expr.Geq_signed -> push b op_geq_s dst sa sb (pack2 (63 - w1) (63 - w2)) 0
+     | Expr.Dshl -> push b op_dshl dst sa sb w1 (Runtime.mask w1)
+     | Expr.Dshr -> push b op_dshr dst sa sb w1 0
+     | Expr.Dshr_signed -> push b op_dshr_s dst sa sb w1 (Runtime.mask w1));
+    dst
+  | Expr.Mux (s, a, bx) ->
+    (* A right-nested chain of muxes with leaf true-arms — the priority
+       mux / register-file-read shape — lowers to short-circuit case
+       instructions: each level tests its condition and, when it holds,
+       writes its arm and skips the rest of the chain.  Skipped levels
+       never evaluate, exactly like the closure backend's lazy muxes. *)
+    let rec split acc e' =
+      match e'.Expr.desc with
+      | Expr.Mux (s', a', rest) when is_leaf a' -> split ((s', a') :: acc) rest
+      | _ -> (List.rev acc, e')
+    in
+    let levels, tail = split [] e in
+    if List.length levels >= 2 then begin
+      let dst = sp in
+      let cases =
+        List.map
+          (fun (s', a') ->
+            let sa = emit b a' ~sp:(sp + 1) in
+            (match s'.Expr.desc with
+             | Expr.Binop (Expr.Eq, l, r) when is_leaf l && is_leaf r ->
+               let sl = emit b l ~sp:(sp + 1) in
+               let sr = emit b r ~sp:(sp + 1) in
+               push b op_case_eq dst sl sr sa 0
+             | _ ->
+               let sc = emit b s' ~sp:(sp + 1) in
+               push b op_case_nz dst sc sa 0 0);
+            b.count - 1)
+          levels
+      in
+      let st = emit b tail ~sp:(sp + 1) in
+      if st <> dst then
+        push b op_mask dst st 0 (Runtime.mask (Expr.width e)) 0;
+      let chain_end = b.count in
+      b.patches <- List.map (fun ci -> (ci, chain_end)) cases @ b.patches;
+      dst
+    end
+    else begin
+      (* Single level: both arms evaluate unconditionally (expressions are
+         pure and total), then a select picks one. *)
+      let ss = emit b s ~sp in
+      let sp2 = if ss >= sp then sp + 1 else sp in
+      let sa = emit b a ~sp:sp2 in
+      let sp3 = if sa >= sp2 then sp2 + 1 else sp2 in
+      let sb = emit b bx ~sp:sp3 in
+      push b op_select sp ss sa sb 0;
+      sp
+    end
+
+let compile c (nd : Circuit.node) =
+  match (nd.Circuit.kind, nd.Circuit.expr) with
+  | ((Circuit.Logic | Circuit.Reg_next _), Some e)
+    when Bits.fits_int nd.Circuit.width -> (
+    try
+      let consts, var_ids, const_ord, var_ord = scan c e in
+      let vbase = Array.length consts in
+      let base = vbase + Array.length var_ids in
+      let b =
+        {
+          rev_code = [];
+          count = 0;
+          max_slot = base - 1;
+          patches = [];
+          cslot = const_ord;
+          vslot = Hashtbl.create (Array.length var_ids);
+        }
+      in
+      Hashtbl.iter (fun id ord -> Hashtbl.replace b.vslot id (vbase + ord)) var_ord;
+      let result = emit b e ~sp:base in
+      push b op_store 0 result 0 nd.Circuit.id 0;
+      let code = Array.of_list (List.rev b.rev_code) in
+      (* Resolve chain skips: distance from the element after the case
+         instruction to the chain end.  The peepholes below delete
+         instructions, which would invalidate these relative distances, so
+         they only run on patch-free programs. *)
+      let has_patches = b.patches <> [] in
+      List.iter
+        (fun (ci, ei) -> code.((ci * stride) + 5) <- (ei - ci - 1) * stride)
+        b.patches;
+      (* Peephole: an eq whose sole consumer is the select immediately
+         after it (a mux with leaf arms and an equality condition — the
+         most common narrow pattern) merges into one select_eq.  Stack
+         slots are consumed exactly once, so adjacency plus operand match
+         is a complete soundness check. *)
+      let code =
+        let n = Array.length code / stride in
+        if has_patches || n < 2 then code
+        else begin
+          let out = Array.make (Array.length code) 0 in
+          let k = ref 0 in
+          let j = ref 0 in
+          while !j < n do
+            let o = !j * stride in
+            let nx = o + stride in
+            if
+              !j + 1 < n
+              && code.(o) = op_eq
+              && code.(nx) = op_select
+              && code.(nx + 2) = code.(o + 1)
+              && code.(nx + 3) <> code.(o + 1)
+              && code.(nx + 4) <> code.(o + 1)
+            then begin
+              out.(!k) <- op_select_eq;
+              out.(!k + 1) <- code.(nx + 1);
+              out.(!k + 2) <- code.(o + 2);
+              out.(!k + 3) <- code.(o + 3);
+              out.(!k + 4) <- code.(nx + 3);
+              out.(!k + 5) <- code.(nx + 4);
+              k := !k + stride;
+              j := !j + 2
+            end
+            else begin
+              Array.blit code o out !k stride;
+              k := !k + stride;
+              incr j
+            end
+          done;
+          Array.sub out 0 !k
+        end
+      in
+      (* Peephole: when the instruction before the final store computes the
+         stored slot and has a free field for the node id, fuse the two —
+         one dispatch fewer per evaluation. *)
+      let code =
+        let n = Array.length code / stride in
+        if has_patches || n < 2 then code
+        else begin
+          let last = (n - 1) * stride and prev = (n - 2) * stride in
+          if
+            code.(last) = op_store
+            && code.(prev + 1) = code.(last + 2)
+            && (fusable code.(prev) || code.(prev) = op_select_eq)
+          then begin
+            let code' = Array.sub code 0 last in
+            code'.(prev) <- code.(prev) + fused_store_offset;
+            if code.(prev) = op_select_eq then code'.(prev + 1) <- code.(last + 4)
+            else code'.(prev + 5) <- code.(last + 4);
+            code'
+          end
+          else code
+        end
+      in
+      Some
+        {
+          node = nd.Circuit.id;
+          code;
+          consts;
+          var_ids;
+          vbase;
+          result;
+          scratch = b.max_slot + 1;
+        }
+    with Wide -> None)
+  | _ -> None
+
+(* --- The dispatch loop ------------------------------------------------- *)
+
+(* All slot and arena indices were produced by [compile]/[fuse] against the
+   same runtime, so the loop uses unchecked accesses throughout.  Returns
+   the number of store instructions whose node value changed. *)
+let exec regs narrow code ncode =
+  let changed = ref 0 in
+  let pc = ref 0 in
+  while !pc < ncode do
+    let i = !pc in
+    pc := i + stride;
+    (* default advance; the case arms add their skip on top *)
+    let op = Array.unsafe_get code i in
+    let d = Array.unsafe_get code (i + 1) in
+    let a = Array.unsafe_get regs (Array.unsafe_get code (i + 2)) in
+    let sb = Array.unsafe_get code (i + 3) in
+    let i1 = Array.unsafe_get code (i + 4) in
+    let i2 = Array.unsafe_get code (i + 5) in
+    (match op with
+     | 0 -> Array.unsafe_set regs d (a land Array.unsafe_get regs sb)
+     | 1 -> Array.unsafe_set regs d (a lor Array.unsafe_get regs sb)
+     | 2 -> Array.unsafe_set regs d (a lxor Array.unsafe_get regs sb)
+     | 3 -> Array.unsafe_set regs d (lnot a land i1)
+     | 4 -> Array.unsafe_set regs d ((a + Array.unsafe_get regs sb) land i1)
+     | 5 -> Array.unsafe_set regs d ((a - Array.unsafe_get regs sb) land i1)
+     | 6 -> Array.unsafe_set regs d ((a lsr i1) land i2)
+     | 7 -> Array.unsafe_set regs d (a land i1)
+     | 8 -> Array.unsafe_set regs d ((a lsl i1) lor Array.unsafe_get regs sb)
+     | 9 -> Array.unsafe_set regs d (if a = Array.unsafe_get regs sb then 1 else 0)
+     | 10 -> Array.unsafe_set regs d (if a <> Array.unsafe_get regs sb then 1 else 0)
+     | 11 -> Array.unsafe_set regs d (if a < Array.unsafe_get regs sb then 1 else 0)
+     | 12 -> Array.unsafe_set regs d (if a <= Array.unsafe_get regs sb then 1 else 0)
+     | 13 -> Array.unsafe_set regs d (if a > Array.unsafe_get regs sb then 1 else 0)
+     | 14 -> Array.unsafe_set regs d (if a >= Array.unsafe_get regs sb then 1 else 0)
+     | 15 ->
+       Array.unsafe_set regs d
+         (if a <> 0 then Array.unsafe_get regs sb else Array.unsafe_get regs i1)
+     | 16 -> Array.unsafe_set regs d (a lsl i1)
+     | 17 -> Array.unsafe_set regs d (a lsr i1)
+     | 18 -> Array.unsafe_set regs d (if a = i1 then 1 else 0)
+     | 19 -> Array.unsafe_set regs d (if a <> 0 then 1 else 0)
+     | 20 -> Array.unsafe_set regs d (Runtime.popcount_int a land 1)
+     | 21 -> Array.unsafe_set regs d (((a lsl i1) asr i1) land i2)
+     | 22 -> Array.unsafe_set regs d ((0 - a) land i1)
+     | 23 -> Array.unsafe_set regs d (a * Array.unsafe_get regs sb)
+     | 24 ->
+       let bv = Array.unsafe_get regs sb in
+       Array.unsafe_set regs d (if bv = 0 then 0 else a / bv)
+     | 25 ->
+       let k1 = i1 land 63 and k2 = i1 lsr 6 in
+       let bv = (Array.unsafe_get regs sb lsl k2) asr k2 in
+       Array.unsafe_set regs d (if bv = 0 then 0 else (((a lsl k1) asr k1) / bv) land i2)
+     | 26 ->
+       let bv = Array.unsafe_get regs sb in
+       Array.unsafe_set regs d ((if bv = 0 then a else a mod bv) land i1)
+     | 27 ->
+       let k1 = i1 land 63 and k2 = i1 lsr 6 in
+       let bv = (Array.unsafe_get regs sb lsl k2) asr k2 in
+       let av = (a lsl k1) asr k1 in
+       Array.unsafe_set regs d ((if bv = 0 then av else av mod bv) land i2)
+     | 28 ->
+       let k1 = i1 land 63 and k2 = i1 lsr 6 in
+       Array.unsafe_set regs d
+         (if (a lsl k1) asr k1 < (Array.unsafe_get regs sb lsl k2) asr k2 then 1 else 0)
+     | 29 ->
+       let k1 = i1 land 63 and k2 = i1 lsr 6 in
+       Array.unsafe_set regs d
+         (if (a lsl k1) asr k1 <= (Array.unsafe_get regs sb lsl k2) asr k2 then 1 else 0)
+     | 30 ->
+       let k1 = i1 land 63 and k2 = i1 lsr 6 in
+       Array.unsafe_set regs d
+         (if (a lsl k1) asr k1 > (Array.unsafe_get regs sb lsl k2) asr k2 then 1 else 0)
+     | 31 ->
+       let k1 = i1 land 63 and k2 = i1 lsr 6 in
+       Array.unsafe_set regs d
+         (if (a lsl k1) asr k1 >= (Array.unsafe_get regs sb lsl k2) asr k2 then 1 else 0)
+     | 32 ->
+       let s = Array.unsafe_get regs sb in
+       Array.unsafe_set regs d (if s >= i1 then 0 else (a lsl s) land i2)
+     | 33 ->
+       let s = Array.unsafe_get regs sb in
+       Array.unsafe_set regs d (if s >= i1 then 0 else a lsr s)
+     | 34 ->
+       let s = Array.unsafe_get regs sb in
+       Array.unsafe_set regs d
+         (if s >= i1 then (if a lsr (i1 - 1) = 1 then i2 else 0)
+          else (((a lsl (63 - i1)) asr (63 - i1)) asr s) land i2)
+     | 35 -> Array.unsafe_set regs d (Array.unsafe_get narrow i1)
+     | 36 ->
+       if a <> Array.unsafe_get narrow i1 then begin
+         Array.unsafe_set narrow i1 a;
+         incr changed
+       end
+     | 37 ->
+       Array.unsafe_set regs d (Array.unsafe_get narrow i1);
+       Array.unsafe_set regs sb (Array.unsafe_get narrow i2)
+     | 38 ->
+       let v = Array.unsafe_get narrow i1 in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 39 ->
+       Array.unsafe_set regs d
+         (if a = Array.unsafe_get regs sb then Array.unsafe_get regs i1
+          else Array.unsafe_get regs i2)
+     (* Fused op+store variants: base opcode + 40. *)
+     | 40 ->
+       let v = a land Array.unsafe_get regs sb in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 41 ->
+       let v = a lor Array.unsafe_get regs sb in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 42 ->
+       let v = a lxor Array.unsafe_get regs sb in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 43 ->
+       let v = lnot a land i1 in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 44 ->
+       let v = (a + Array.unsafe_get regs sb) land i1 in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 45 ->
+       let v = (a - Array.unsafe_get regs sb) land i1 in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 47 ->
+       let v = a land i1 in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 48 ->
+       let v = (a lsl i1) lor Array.unsafe_get regs sb in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 49 ->
+       let v = if a = Array.unsafe_get regs sb then 1 else 0 in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 50 ->
+       let v = if a <> Array.unsafe_get regs sb then 1 else 0 in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 51 ->
+       let v = if a < Array.unsafe_get regs sb then 1 else 0 in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 52 ->
+       let v = if a <= Array.unsafe_get regs sb then 1 else 0 in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 53 ->
+       let v = if a > Array.unsafe_get regs sb then 1 else 0 in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 54 ->
+       let v = if a >= Array.unsafe_get regs sb then 1 else 0 in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 55 ->
+       let v = if a <> 0 then Array.unsafe_get regs sb else Array.unsafe_get regs i1 in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 56 ->
+       let v = a lsl i1 in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 57 ->
+       let v = a lsr i1 in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 58 ->
+       let v = if a = i1 then 1 else 0 in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 59 ->
+       let v = if a <> 0 then 1 else 0 in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 60 ->
+       let v = Runtime.popcount_int a land 1 in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 62 ->
+       let v = (0 - a) land i1 in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 63 ->
+       let v = a * Array.unsafe_get regs sb in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 64 ->
+       let bv = Array.unsafe_get regs sb in
+       let v = if bv = 0 then 0 else a / bv in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 66 ->
+       let bv = Array.unsafe_get regs sb in
+       let v = (if bv = 0 then a else a mod bv) land i1 in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 68 ->
+       let k1 = i1 land 63 and k2 = i1 lsr 6 in
+       let v =
+         if (a lsl k1) asr k1 < (Array.unsafe_get regs sb lsl k2) asr k2 then 1 else 0
+       in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 69 ->
+       let k1 = i1 land 63 and k2 = i1 lsr 6 in
+       let v =
+         if (a lsl k1) asr k1 <= (Array.unsafe_get regs sb lsl k2) asr k2 then 1 else 0
+       in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 70 ->
+       let k1 = i1 land 63 and k2 = i1 lsr 6 in
+       let v =
+         if (a lsl k1) asr k1 > (Array.unsafe_get regs sb lsl k2) asr k2 then 1 else 0
+       in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 71 ->
+       let k1 = i1 land 63 and k2 = i1 lsr 6 in
+       let v =
+         if (a lsl k1) asr k1 >= (Array.unsafe_get regs sb lsl k2) asr k2 then 1 else 0
+       in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 73 ->
+       let s = Array.unsafe_get regs sb in
+       let v = if s >= i1 then 0 else a lsr s in
+       if v <> Array.unsafe_get narrow i2 then begin
+         Array.unsafe_set narrow i2 v;
+         incr changed
+       end
+     | 79 ->
+       (* select_eq_st: node id in d, both arms in i1/i2. *)
+       let v =
+         if a = Array.unsafe_get regs sb then Array.unsafe_get regs i1
+         else Array.unsafe_get regs i2
+       in
+       if v <> Array.unsafe_get narrow d then begin
+         Array.unsafe_set narrow d v;
+         incr changed
+       end
+     | 100 ->
+       if a = Array.unsafe_get regs sb then begin
+         Array.unsafe_set regs d (Array.unsafe_get regs i1);
+         pc := !pc + i2
+       end
+     | 101 ->
+       if a <> 0 then begin
+         Array.unsafe_set regs d (Array.unsafe_get regs sb);
+         pc := !pc + i2
+       end
+     | _ -> assert false)
+  done;
+  !changed
+
+let evaluator rt p =
+  let narrow = Runtime.narrow_values rt in
+  let regs = Array.make (max p.scratch 1) 0 in
+  Array.blit p.consts 0 regs 0 (Array.length p.consts);
+  let code = p.code in
+  let ncode = Array.length code in
+  let var_ids = p.var_ids in
+  let nvars = Array.length var_ids in
+  let vbase = p.vbase in
+  fun () ->
+    for i = 0 to nvars - 1 do
+      Array.unsafe_set regs (vbase + i)
+        (Array.unsafe_get narrow (Array.unsafe_get var_ids i))
+    done;
+    exec regs narrow code ncode > 0
+
+(* --- Segment fusion ---------------------------------------------------- *)
+
+type segment = {
+  seg_code : int array;
+  seg_consts : int array;  (* written once into narrow.[seg_base, ...) *)
+  seg_base : int;          (* first arena slot of this segment's extension *)
+  seg_scratch : int;       (* arena slots consumed starting at seg_base *)
+  seg_instrs : int;
+}
+
+let segment_instrs s = s.seg_instrs
+
+let segment_scratch s = s.seg_scratch
+
+(* Fuse the programs of consecutive nodes into one instruction stream over
+   one flat address space: every operand is an absolute index into the
+   narrow arena, whose extension (starting at [base]) holds
+
+     [base, base + npool)            constants, pooled across all programs
+     [base + npool, base + scratch)  expression stack, reused per program
+
+   Variable operands address the producer's arena slot directly — no load
+   instructions at all, so the per-evaluation work drops to the operations
+   themselves plus one (usually fused) store.  This is sound everywhere a
+   run of consecutive programs is sound under the closure backend: closures
+   also read operand values straight from the arena at evaluation time. *)
+let fuse ~base programs =
+  let pool = Hashtbl.create 16 in
+  let pool_rev = ref [] in
+  let pool_slot v =
+    match Hashtbl.find_opt pool v with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.length pool in
+      Hashtbl.replace pool v s;
+      pool_rev := v :: !pool_rev;
+      s
+  in
+  let cmaps = List.map (fun p -> Array.map pool_slot p.consts) programs in
+  let npool = Hashtbl.length pool in
+  let stack_base = base + npool in
+  let max_stack = ref 0 in
+  let rev_code = ref [] in
+  let ninstrs = ref 0 in
+  let emit6 op d a bb i1 i2 =
+    rev_code := i2 :: i1 :: bb :: a :: d :: op :: !rev_code;
+    incr ninstrs
+  in
+  List.iter2
+    (fun p cmap ->
+      let stack0 = p.vbase + Array.length p.var_ids in
+      if p.scratch - stack0 > !max_stack then max_stack := p.scratch - stack0;
+      let remap s =
+        if s < p.vbase then base + cmap.(s)
+        else if s < stack0 then p.var_ids.(s - p.vbase)
+        else stack_base + (s - stack0)
+      in
+      let m = Array.length p.code / stride in
+      for j = 0 to m - 1 do
+        let o = j * stride in
+        let op = p.code.(o) in
+        let bop = base_op op in
+        emit6 op
+          (if bop = op_store then 0
+           else if op = op_select_eq + fused_store_offset then p.code.(o + 1)
+           else remap p.code.(o + 1))
+          (remap p.code.(o + 2))
+          (if b_is_slot bop then remap p.code.(o + 3) else p.code.(o + 3))
+          (if bop = op_select || bop = op_select_eq || bop = op_case_eq then
+             remap p.code.(o + 4)
+           else p.code.(o + 4))
+          (if bop = op_select_eq then remap p.code.(o + 5) else p.code.(o + 5))
+      done)
+    programs cmaps;
+  {
+    seg_code = Array.of_list (List.rev !rev_code);
+    seg_consts = Array.of_list (List.rev !pool_rev);
+    seg_base = base;
+    seg_scratch = npool + !max_stack;
+    seg_instrs = !ninstrs;
+  }
+
+(* A segment of [op_copy] instructions: the register-commit phase as
+   bytecode.  [pairs] lists (source node, destination node); each copy
+   compare-stores and counts a change exactly like [Runtime.reg_copier]
+   does on the narrow path. *)
+let copy_segment pairs =
+  let n = Array.length pairs in
+  let code = Array.make (n * stride) 0 in
+  Array.iteri
+    (fun j (src, dst) ->
+      let o = j * stride in
+      code.(o) <- op_copy;
+      code.(o + 4) <- src;
+      code.(o + 5) <- dst)
+    pairs;
+  { seg_code = code; seg_consts = [||]; seg_base = 0; seg_scratch = 0; seg_instrs = n }
+
+let segment_evaluator rt seg =
+  let narrow = Runtime.narrow_values rt in
+  Array.blit seg.seg_consts 0 narrow seg.seg_base (Array.length seg.seg_consts);
+  let code = seg.seg_code in
+  let ncode = Array.length code in
+  (* One flat address space: the arena doubles as the register file. *)
+  fun () -> exec narrow narrow code ncode
+
+(* --- Debugging --------------------------------------------------------- *)
+
+let rec op_name op =
+  if op = op_and then "and"
+  else if op = op_or then "or"
+  else if op = op_xor then "xor"
+  else if op = op_not then "not"
+  else if op = op_add then "add"
+  else if op = op_sub then "sub"
+  else if op = op_extract then "extract"
+  else if op = op_mask then "mask"
+  else if op = op_cat then "cat"
+  else if op = op_eq then "eq"
+  else if op = op_neq then "neq"
+  else if op = op_lt then "lt"
+  else if op = op_leq then "leq"
+  else if op = op_gt then "gt"
+  else if op = op_geq then "geq"
+  else if op = op_select then "select"
+  else if op = op_shl then "shl"
+  else if op = op_shr then "shr"
+  else if op = op_red_and then "red_and"
+  else if op = op_red_or then "red_or"
+  else if op = op_red_xor then "red_xor"
+  else if op = op_sext_mask then "sext_mask"
+  else if op = op_neg then "neg"
+  else if op = op_mul then "mul"
+  else if op = op_div then "div"
+  else if op = op_div_s then "div_s"
+  else if op = op_rem then "rem"
+  else if op = op_rem_s then "rem_s"
+  else if op = op_lt_s then "lt_s"
+  else if op = op_leq_s then "leq_s"
+  else if op = op_gt_s then "gt_s"
+  else if op = op_geq_s then "geq_s"
+  else if op = op_dshl then "dshl"
+  else if op = op_dshr then "dshr"
+  else if op = op_dshr_s then "dshr_s"
+  else if op = op_load then "load"
+  else if op = op_store then "store"
+  else if op = op_load2 then "load2"
+  else if op = op_copy then "copy"
+  else if op = op_select_eq then "select_eq"
+  else if op = op_case_eq then "case_eq"
+  else if op = op_case_nz then "case_nz"
+  else if op >= fused_store_offset && op <= op_select_eq + fused_store_offset then
+    op_name (op - fused_store_offset) ^ "_st"
+  else "?"
+
+let pp_code buf code =
+  let n = Array.length code / stride in
+  for i = 0 to n - 1 do
+    let base = i * stride in
+    let op = code.(base) in
+    if op = op_store then
+      Buffer.add_string buf
+        (Printf.sprintf "  store n%d <- r%d\n" code.(base + 4) code.(base + 2))
+    else if op = op_load then
+      Buffer.add_string buf
+        (Printf.sprintf "  r%d = load n%d\n" code.(base + 1) code.(base + 4))
+    else if op = op_load2 then
+      Buffer.add_string buf
+        (Printf.sprintf "  r%d = load n%d; r%d = load n%d\n" code.(base + 1)
+           code.(base + 4) code.(base + 3) code.(base + 5))
+    else if op = op_copy then
+      Buffer.add_string buf
+        (Printf.sprintf "  copy n%d <- n%d\n" code.(base + 5) code.(base + 4))
+    else if op = op_select_eq + fused_store_offset then
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d <- select_eq_st r%d r%d r%d r%d\n" code.(base + 1)
+           code.(base + 2) code.(base + 3) code.(base + 4) code.(base + 5))
+    else if op = op_case_eq || op = op_case_nz then
+      Buffer.add_string buf
+        (Printf.sprintf "  r%d = %s r%d r%d r%d skip+%d\n" code.(base + 1)
+           (op_name op) code.(base + 2) code.(base + 3) code.(base + 4)
+           (code.(base + 5) / stride))
+    else if op >= fused_store_offset then
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d <- %s r%d r%d #%d\n" code.(base + 5) (op_name op)
+           code.(base + 2) code.(base + 3) code.(base + 4))
+    else
+      Buffer.add_string buf
+        (Printf.sprintf "  r%d = %s r%d r%d #%d #%d\n" code.(base + 1) (op_name op)
+           code.(base + 2) code.(base + 3) code.(base + 4) code.(base + 5))
+  done
+
+let disassemble p =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "node %d: %d const(s), %d var(s), %d slot(s)\n" p.node
+       (Array.length p.consts) (Array.length p.var_ids) p.scratch);
+  Array.iteri
+    (fun i v -> Buffer.add_string buf (Printf.sprintf "  r%d = const %d\n" i v))
+    p.consts;
+  Array.iteri
+    (fun i id ->
+      Buffer.add_string buf (Printf.sprintf "  r%d = preload n%d\n" (p.vbase + i) id))
+    p.var_ids;
+  pp_code buf p.code;
+  Buffer.contents buf
+
+let disassemble_segment s =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "segment @%d: %d instr(s), %d const(s), %d slot(s)\n" s.seg_base
+       s.seg_instrs (Array.length s.seg_consts) s.seg_scratch);
+  Array.iteri
+    (fun i v ->
+      Buffer.add_string buf (Printf.sprintf "  r%d = const %d\n" (s.seg_base + i) v))
+    s.seg_consts;
+  pp_code buf s.seg_code;
+  Buffer.contents buf

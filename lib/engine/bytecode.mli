@@ -1,0 +1,76 @@
+(** Flat bytecode for narrow-node expression evaluation.
+
+    The closure evaluator ({!Runtime.node_evaluator}) interprets each node
+    as a tree of nested closures — one indirect call and one boxed-or-int
+    dance per operator.  This module instead lowers a narrow node
+    (result and every subexpression ≤ 62 bits, so all values are packed
+    nonnegative OCaml ints) to a linear register-machine program: a single
+    [int array] of stride-6 instructions dispatched by one tight loop over
+    an [int array] scratch file.  Evaluation performs zero allocation and
+    no calls except the dispatch loop itself.
+
+    Nodes that touch the wide path ({!compile} returns [None]) keep their
+    closure evaluators; engines mix the two behind {!Eval}.
+
+    Programs of consecutively-evaluated nodes can be {!fuse}d into a
+    single segment — one instruction stream, one dispatch pass per sweep —
+    rebased into a single flat address space: the narrow arena is extended
+    past the node ids ([Runtime.create ~extra_slots]) to hold the
+    segment's pooled constants and shared expression stack, and every
+    operand becomes an absolute arena index.  Variable operands then read
+    the producer's slot directly, eliminating load instructions
+    altogether. *)
+
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+(** A single node's compiled program. *)
+type program
+
+val compile : Circuit.t -> Circuit.node -> program option
+(** [None] when the node is not a narrow [Logic]/[Reg_next] expression
+    node (wide result, wide subexpression, memory port, source node).
+    Compilation needs only the circuit, so engines can compile — and size
+    the arena extension that fused segments need — before creating the
+    runtime. *)
+
+val instr_count : program -> int
+(** Instructions executed per evaluation, counting variable preloads. *)
+
+val scratch_size : program -> int
+
+val evaluator : Runtime.t -> program -> unit -> bool
+(** A drop-in replacement for {!Runtime.node_evaluator}: evaluates the
+    node against the runtime's narrow arena, stores the result, and
+    returns whether the value changed.  Bit-identical to the closure
+    evaluator by construction. *)
+
+(** Several programs fused into one instruction stream. *)
+type segment
+
+val fuse : base:int -> program list -> segment
+(** Fuse the programs of consecutively-evaluated nodes, in evaluation
+    order.  Sound whenever the nodes are evaluated back-to-back with no
+    intervening writes to the narrow arena between them.  [base] is the
+    first free arena slot for this segment's constants and stack; the
+    runtime must be created with enough [extra_slots] to cover
+    [base + segment_scratch - Circuit.max_id]. *)
+
+val copy_segment : (int * int) array -> segment
+(** A segment of compare-copy instructions, one per [(src, dst)] node
+    pair — the register-commit phase as bytecode.  Each copy counts a
+    change exactly like {!Runtime.reg_copier} does on the narrow path.
+    Needs no arena extension. *)
+
+val segment_instrs : segment -> int
+(** Instructions executed per sweep of the segment. *)
+
+val segment_scratch : segment -> int
+(** Arena slots the segment occupies starting at its [base]. *)
+
+val segment_evaluator : Runtime.t -> segment -> unit -> int
+(** One sweep: evaluates and commits every node in the segment, returning
+    how many changed value. *)
+
+val disassemble : program -> string
+val disassemble_segment : segment -> string

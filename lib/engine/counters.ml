@@ -6,6 +6,7 @@ type t = {
   mutable activations : int;
   mutable reg_commits : int;
   mutable reset_checks : int;
+  mutable instrs : int;
 }
 
 let create () =
@@ -17,6 +18,7 @@ let create () =
     activations = 0;
     reg_commits = 0;
     reset_checks = 0;
+    instrs = 0;
   }
 
 let clear t =
@@ -26,18 +28,24 @@ let clear t =
   t.exams <- 0;
   t.activations <- 0;
   t.reg_commits <- 0;
-  t.reset_checks <- 0
+  t.reset_checks <- 0;
+  t.instrs <- 0
 
 let activity_factor t ~total_nodes =
   if t.cycles = 0 || total_nodes = 0 then 0.
   else float_of_int t.evals /. (float_of_int t.cycles *. float_of_int total_nodes)
 
+(* [instrs] is reported only when nonzero: the closure backend retires no
+   bytecode, and its output stays byte-identical to what it was before the
+   field existed. *)
 let to_json t =
   Printf.sprintf
-    "{\"cycles\":%d,\"evals\":%d,\"changed\":%d,\"exams\":%d,\"activations\":%d,\"reg_commits\":%d,\"reset_checks\":%d}"
+    "{\"cycles\":%d,\"evals\":%d,\"changed\":%d,\"exams\":%d,\"activations\":%d,\"reg_commits\":%d,\"reset_checks\":%d%s}"
     t.cycles t.evals t.changed t.exams t.activations t.reg_commits t.reset_checks
+    (if t.instrs = 0 then "" else Printf.sprintf ",\"instrs\":%d" t.instrs)
 
 let pp fmt t =
   Format.fprintf fmt
-    "cycles=%d evals=%d changed=%d exams=%d activations=%d reg_commits=%d reset_checks=%d"
+    "cycles=%d evals=%d changed=%d exams=%d activations=%d reg_commits=%d reset_checks=%d%t"
     t.cycles t.evals t.changed t.exams t.activations t.reg_commits t.reset_checks
+    (fun fmt -> if t.instrs <> 0 then Format.fprintf fmt " instrs=%d" t.instrs)

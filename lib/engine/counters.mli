@@ -13,6 +13,10 @@ type t = {
   mutable activations : int;   (** successor activations ([A_succ] events) *)
   mutable reg_commits : int;   (** registers actually latched with a new value *)
   mutable reset_checks : int;  (** reset-signal examinations *)
+  mutable instrs : int;
+      (** static bytecode stream length dispatched per evaluation
+          (short-circuit [case] instructions may skip past part of it, so
+          retired counts can be lower); zero under the closure backend *)
 }
 
 val create : unit -> t
@@ -24,6 +28,8 @@ val activity_factor : t -> total_nodes:int -> float
 
 val to_json : t -> string
 (** One flat JSON object with every counter field — the CLI embeds it in
-    its [--json] output so bench tooling can script the counters. *)
+    its [--json] output so bench tooling can script the counters.
+    [instrs] appears only when nonzero, keeping closure-backend output
+    unchanged. *)
 
 val pp : Format.formatter -> t -> unit

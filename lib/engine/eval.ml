@@ -1,0 +1,72 @@
+open Gsim_ir
+
+type backend = [ `Closures | `Bytecode ]
+
+let default : backend = `Bytecode
+
+let to_string = function `Closures -> "closures" | `Bytecode -> "bytecode"
+
+let of_string = function
+  | "closures" | "closure" -> Some `Closures
+  | "bytecode" -> Some `Bytecode
+  | _ -> None
+
+let node_evaluator ~backend rt (nd : Circuit.node) =
+  match backend with
+  | `Closures -> (Runtime.node_evaluator rt nd, 0)
+  | `Bytecode -> (
+    match Bytecode.compile (Runtime.circuit rt) nd with
+    | Some p -> (Bytecode.evaluator rt p, Bytecode.instr_count p)
+    | None -> (Runtime.node_evaluator rt nd, 0))
+
+(* A sweep plan: maximal runs of bytecode-compilable nodes fused into
+   segments, wide/fallback nodes interleaved as singleton closure steps.
+   Planning happens before the runtime exists — segments claim arena
+   extension slots from [scratch_base] upward, and the engine creates the
+   runtime with [plan_scratch] extra slots before realizing the plan. *)
+
+type item = Seg of Bytecode.segment | Fallback of int
+
+type plan = { items : item array; scratch : int }
+
+let plan c ~scratch_base ids =
+  let items = ref [] in
+  let run = ref [] in
+  let off = ref 0 in
+  let flush () =
+    match !run with
+    | [] -> ()
+    | ps ->
+      let seg = Bytecode.fuse ~base:(scratch_base + !off) (List.rev ps) in
+      off := !off + Bytecode.segment_scratch seg;
+      items := Seg seg :: !items;
+      run := []
+  in
+  Array.iter
+    (fun id ->
+      match Bytecode.compile c (Circuit.node c id) with
+      | Some p -> run := p :: !run
+      | None ->
+        flush ();
+        items := Fallback id :: !items)
+    ids;
+  flush ();
+  { items = Array.of_list (List.rev !items); scratch = !off }
+
+let plan_scratch pl = pl.scratch
+
+let realize rt pl =
+  let c = Runtime.circuit rt in
+  let instrs = ref 0 in
+  let steps =
+    Array.map
+      (function
+        | Seg seg ->
+          instrs := !instrs + Bytecode.segment_instrs seg;
+          Bytecode.segment_evaluator rt seg
+        | Fallback id ->
+          let f = Runtime.node_evaluator rt (Circuit.node c id) in
+          fun () -> if f () then 1 else 0)
+      pl.items
+  in
+  (steps, !instrs)

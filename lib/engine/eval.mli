@@ -1,0 +1,58 @@
+(** Backend selection for per-node evaluation.
+
+    Engines build their per-node step functions through this module rather
+    than calling {!Runtime.node_evaluator} directly, so one switch selects
+    between the two evaluation strategies:
+
+    - [`Closures] — the original tree of specialized closures built by
+      {!Runtime.node_evaluator};
+    - [`Bytecode] — the flat register-machine programs of {!Bytecode} for
+      narrow (packed-int) nodes, with an automatic per-node fallback to
+      closures for wide nodes, memory reads, and expressions that touch the
+      wide arena.
+
+    Both backends are bit-identical by construction; the bytecode backend
+    trades closure-call overhead for one tight dispatch loop on the narrow
+    hot path. *)
+
+open Gsim_ir
+
+type backend = [ `Closures | `Bytecode ]
+
+val default : backend
+(** [`Bytecode]. *)
+
+val to_string : backend -> string
+
+val of_string : string -> backend option
+(** Accepts ["bytecode"], ["closures"] (and ["closure"]). *)
+
+val node_evaluator : backend:backend -> Runtime.t -> Circuit.node -> (unit -> bool) * int
+(** The node's step function (evaluate, store, report change) plus its
+    static bytecode cost — the number of instructions retired per
+    evaluation (variable preloads + operations), for the
+    {!Counters.t.instrs} counter.  Zero whenever the node evaluates
+    through closures (explicitly, or by fallback). *)
+
+(** A compiled sweep over a node sequence: maximal runs of
+    bytecode-compilable nodes fused into segments, wide/fallback nodes
+    interleaved as singleton closure steps. *)
+type plan
+
+val plan : Circuit.t -> scratch_base:int -> int array -> plan
+(** [plan c ~scratch_base ids] compiles [ids] (evaluated in order,
+    back-to-back) into segments whose constants and expression stacks
+    claim narrow-arena slots from [scratch_base] upward.  Planning needs
+    no runtime: create it afterwards with at least {!plan_scratch} extra
+    slots past [scratch_base] (see [Runtime.create ~extra_slots]). *)
+
+val plan_scratch : plan -> int
+(** Arena-extension slots the plan's segments occupy past its
+    [scratch_base]. *)
+
+val realize : Runtime.t -> plan -> (unit -> int) array * int
+(** Bind a plan to a runtime.  Each returned step evaluates its segment
+    (or fallback node) and returns how many node values changed; calling
+    all steps in order evaluates exactly the planned ids in order.  The
+    [int] is the total static instruction count per full sweep, for
+    {!Counters.t.instrs}. *)

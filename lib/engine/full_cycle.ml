@@ -4,8 +4,20 @@ open Gsim_ir
 type t = {
   rt : Runtime.t;
   evals : (unit -> bool) array;
+      (** per-node closure steps (closure backend); empty under bytecode *)
+  sweeps : (unit -> int) array;
+      (** fused segment steps (bytecode backend); empty under closures *)
+  nevals : int;  (** nodes evaluated per cycle, either way *)
+  instrs_per_cycle : int;
+      (** static sum of the bytecode cost of every evaluator; zero under
+          the closure backend *)
   write_commits : (unit -> bool) array;
   reg_copies : (unit -> bool) array;
+      (** closure compare-copies: all registers under the closure backend,
+          only wide ones under bytecode *)
+  reg_sweep : (unit -> int) array;
+      (** singleton [op_copy] segment committing every narrow register
+          (bytecode backend); empty otherwise.  Returns the commit count. *)
   resets : ((unit -> bool) * (unit -> bool) array) array;
       (** (signal test, per-register appliers), grouped by reset signal *)
   counters : Counters.t;
@@ -30,20 +42,68 @@ let reset_groups c rt =
     groups []
   |> Array.of_list
 
-let create c =
-  let rt = Runtime.create c in
+let create ?(backend = Eval.default) c =
   let order = Circuit.eval_order c in
-  let evals = Array.map (fun id -> Runtime.node_evaluator rt (Circuit.node c id)) order in
+  let registers = Circuit.registers c in
+  let rt, evals, sweeps, instrs_per_cycle, reg_copies, reg_sweep =
+    match backend with
+    | `Closures ->
+      let rt = Runtime.create c in
+      ( rt,
+        Array.map (fun id -> Runtime.node_evaluator rt (Circuit.node c id)) order,
+        [||], 0,
+        registers |> List.map (Runtime.reg_copier rt) |> Array.of_list,
+        [||] )
+    | `Bytecode ->
+      (* Plan first (segments claim arena-extension slots), then create the
+         runtime with the extension, then bind. *)
+      let pl = Eval.plan c ~scratch_base:(Circuit.max_id c) order in
+      let rt = Runtime.create ~extra_slots:(Eval.plan_scratch pl) c in
+      let sweeps, instrs = Eval.realize rt pl in
+      (* Narrow registers commit through one op_copy segment; wide ones
+         keep their closure copiers. *)
+      let narrow_regs, wide_regs =
+        List.partition
+          (fun (r : Circuit.register) ->
+            Bits.fits_int (Circuit.node c r.Circuit.read).Circuit.width
+            && Bits.fits_int (Circuit.node c r.Circuit.next).Circuit.width)
+          registers
+      in
+      let reg_sweep =
+        match narrow_regs with
+        | [] -> [||]
+        | _ ->
+          let pairs =
+            Array.of_list
+              (List.map
+                 (fun (r : Circuit.register) -> (r.Circuit.next, r.Circuit.read))
+                 narrow_regs)
+          in
+          [| Bytecode.segment_evaluator rt (Bytecode.copy_segment pairs) |]
+      in
+      ( rt, [||], sweeps,
+        instrs + List.length narrow_regs,
+        wide_regs |> List.map (Runtime.reg_copier rt) |> Array.of_list,
+        reg_sweep )
+  in
   let write_commits =
     Array.to_list (Circuit.memories c)
     |> List.mapi (fun mi (m : Circuit.memory) ->
            List.map (fun w -> Runtime.write_committer rt mi w) m.write_ports)
     |> List.concat |> Array.of_list
   in
-  let reg_copies =
-    Circuit.registers c |> List.map (Runtime.reg_copier rt) |> Array.of_list
-  in
-  { rt; evals; write_commits; reg_copies; resets = reset_groups c rt; counters = Counters.create () }
+  {
+    rt;
+    evals;
+    sweeps;
+    nevals = Array.length order;
+    instrs_per_cycle;
+    write_commits;
+    reg_copies;
+    reg_sweep;
+    resets = reset_groups c rt;
+    counters = Counters.create ();
+  }
 
 let poke t id v = ignore (Runtime.poke t.rt id v)
 
@@ -51,15 +111,27 @@ let peek t id = Runtime.peek t.rt id
 
 let step t =
   let ctr = t.counters in
-  let evals = t.evals in
-  for i = 0 to Array.length evals - 1 do
-    if evals.(i) () then ctr.Counters.changed <- ctr.Counters.changed + 1
-  done;
-  ctr.Counters.evals <- ctr.Counters.evals + Array.length evals;
+  (if Array.length t.evals > 0 then begin
+     let evals = t.evals in
+     for i = 0 to Array.length evals - 1 do
+       if evals.(i) () then ctr.Counters.changed <- ctr.Counters.changed + 1
+     done
+   end
+   else begin
+     let sweeps = t.sweeps in
+     for i = 0 to Array.length sweeps - 1 do
+       ctr.Counters.changed <- ctr.Counters.changed + (Array.unsafe_get sweeps i) ()
+     done
+   end);
+  ctr.Counters.evals <- ctr.Counters.evals + t.nevals;
+  ctr.Counters.instrs <- ctr.Counters.instrs + t.instrs_per_cycle;
   (* Memory writes first: they read register outputs of this cycle. *)
   Array.iter (fun w -> ignore (w ())) t.write_commits;
   for i = 0 to Array.length t.reg_copies - 1 do
     if t.reg_copies.(i) () then ctr.Counters.reg_commits <- ctr.Counters.reg_commits + 1
+  done;
+  for i = 0 to Array.length t.reg_sweep - 1 do
+    ctr.Counters.reg_commits <- ctr.Counters.reg_commits + t.reg_sweep.(i) ()
   done;
   Array.iter
     (fun (test, appliers) ->

@@ -10,7 +10,8 @@ open Gsim_ir
 
 type t
 
-val create : Circuit.t -> t
+val create : ?backend:Eval.backend -> Circuit.t -> t
+(** [backend] defaults to {!Eval.default} ([`Bytecode]). *)
 
 val poke : t -> int -> Bits.t -> unit
 val peek : t -> int -> Bits.t

@@ -53,13 +53,26 @@ end
 type t = {
   rt : Runtime.t;
   threads : int;
-  (* slices.(level).(worker) = evaluator array *)
+  (* slices.(level).(worker) = evaluator array (closure backend; empty
+     under bytecode) *)
   slices : (unit -> bool) array array array;
+  (* sweep_slices.(level).(worker) = fused segment steps (bytecode
+     backend; empty under closures).  Each step returns its changed
+     count; only the single-threaded coordinator reads it — workers never
+     touch the shared counters. *)
+  sweep_slices : (unit -> int) array array array;
+  nlevels : int;
   write_commits : (unit -> bool) array;
   reg_copies : (unit -> bool) array;
+  reg_sweep : (unit -> int) array;
+      (* singleton op_copy segment for narrow registers (bytecode backend);
+         runs in the coordinator's sequential commit phase *)
   resets : ((unit -> bool) * (unit -> bool) array) array;
   counters : Counters.t;
   total_evals : int;
+  instrs_per_cycle : int;
+      (* static bytecode cost of one full sweep; the evaluators never touch
+         the (shared) counters, so the coordinator adds this once per cycle *)
   barrier : Barrier.t;
   stop : bool Atomic.t;
   mutable workers : unit Domain.t list;
@@ -96,29 +109,88 @@ let split_slice arr threads w =
   let len = base + if w < extra then 1 else 0 in
   Array.sub arr start len
 
-let create ~threads c =
+let create ?(backend = Eval.default) ~threads c =
   if threads < 1 then invalid_arg "Parallel.create: threads >= 1";
-  let rt = Runtime.create c in
   let buckets = levels_of c in
   let total_evals = Array.fold_left (fun acc b -> acc + List.length b) 0 buckets in
-  let slices =
-    Array.map
-      (fun bucket ->
-        let evals =
-          Array.of_list
-            (List.map (fun id -> Runtime.node_evaluator rt (Circuit.node c id)) bucket)
-        in
-        Array.init threads (fun w -> split_slice evals threads w))
-      buckets
+  let registers = Circuit.registers c in
+  let instrs_per_cycle = ref 0 in
+  let rt, slices, sweep_slices, reg_copies, reg_sweep =
+    match backend with
+    | `Closures ->
+      let rt = Runtime.create c in
+      ( rt,
+        Array.map
+          (fun bucket ->
+            let evals =
+              Array.of_list
+                (List.map (fun id -> Runtime.node_evaluator rt (Circuit.node c id)) bucket)
+            in
+            Array.init threads (fun w -> split_slice evals threads w))
+          buckets,
+        [||],
+        registers |> List.map (Runtime.reg_copier rt) |> Array.of_list,
+        [||] )
+    | `Bytecode ->
+      (* Split each level's ids across workers first, then fuse each
+         worker's run: same-level nodes never consume each other, and
+         cross-level values are committed before the level barrier, so
+         every operand a segment reads from the arena is stable while it
+         runs — exactly the access pattern of the closure backend.  Each
+         (level, worker) plan claims its own disjoint arena-extension
+         region, so workers never write a shared slot. *)
+      let off = ref 0 in
+      let scratch_base = Circuit.max_id c in
+      let plans =
+        Array.map
+          (fun bucket ->
+            let ids = Array.of_list bucket in
+            Array.init threads (fun w ->
+                let pl = Eval.plan c ~scratch_base:(scratch_base + !off)
+                    (split_slice ids threads w)
+                in
+                off := !off + Eval.plan_scratch pl;
+                pl))
+          buckets
+      in
+      let rt = Runtime.create ~extra_slots:!off c in
+      let sweep_slices =
+        Array.map
+          (Array.map (fun pl ->
+               let sweeps, ni = Eval.realize rt pl in
+               instrs_per_cycle := !instrs_per_cycle + ni;
+               sweeps))
+          plans
+      in
+      let narrow_regs, wide_regs =
+        List.partition
+          (fun (r : Circuit.register) ->
+            Bits.fits_int (Circuit.node c r.Circuit.read).Circuit.width
+            && Bits.fits_int (Circuit.node c r.Circuit.next).Circuit.width)
+          registers
+      in
+      let reg_sweep =
+        match narrow_regs with
+        | [] -> [||]
+        | _ ->
+          let pairs =
+            Array.of_list
+              (List.map
+                 (fun (r : Circuit.register) -> (r.Circuit.next, r.Circuit.read))
+                 narrow_regs)
+          in
+          instrs_per_cycle := !instrs_per_cycle + Array.length pairs;
+          [| Bytecode.segment_evaluator rt (Bytecode.copy_segment pairs) |]
+      in
+      ( rt, [||], sweep_slices,
+        wide_regs |> List.map (Runtime.reg_copier rt) |> Array.of_list,
+        reg_sweep )
   in
   let write_commits =
     Array.to_list (Circuit.memories c)
     |> List.mapi (fun mi (m : Circuit.memory) ->
            List.map (fun w -> Runtime.write_committer rt mi w) m.write_ports)
     |> List.concat |> Array.of_list
-  in
-  let reg_copies =
-    Circuit.registers c |> List.map (Runtime.reg_copier rt) |> Array.of_list
   in
   let resets =
     let groups = Hashtbl.create 8 in
@@ -141,11 +213,15 @@ let create ~threads c =
       rt;
       threads;
       slices;
+      sweep_slices;
+      nlevels = Array.length buckets;
       write_commits;
       reg_copies;
+      reg_sweep;
       resets;
       counters = Counters.create ();
       total_evals;
+      instrs_per_cycle = !instrs_per_cycle;
       barrier = Barrier.create threads;
       stop = Atomic.make false;
       workers = [];
@@ -167,14 +243,24 @@ let create ~threads c =
         (* cycle start *)
         if Atomic.get t.stop then running := false
         else begin
-          Array.iter
-            (fun level ->
-              let slice = level.(w) in
-              for i = 0 to Array.length slice - 1 do
-                ignore (slice.(i) ())
-              done;
-              next_sense ())
-            t.slices;
+          (if Array.length t.slices > 0 then
+             Array.iter
+               (fun level ->
+                 let slice = level.(w) in
+                 for i = 0 to Array.length slice - 1 do
+                   ignore (slice.(i) ())
+                 done;
+                 next_sense ())
+               t.slices
+           else
+             Array.iter
+               (fun level ->
+                 let slice = level.(w) in
+                 for i = 0 to Array.length slice - 1 do
+                   ignore (slice.(i) ())
+                 done;
+                 next_sense ())
+               t.sweep_slices);
           next_sense () (* wait for the coordinator's commit *)
         end
       done
@@ -193,31 +279,55 @@ let coordinator_wait t =
 
 let step t =
   let ctr = t.counters in
-  if t.threads = 1 then
-    Array.iter
-      (fun level ->
-        let slice = level.(0) in
-        for i = 0 to Array.length slice - 1 do
-          if slice.(i) () then ctr.Counters.changed <- ctr.Counters.changed + 1
-        done)
-      t.slices
+  if t.threads = 1 then begin
+    if Array.length t.slices > 0 then
+      Array.iter
+        (fun level ->
+          let slice = level.(0) in
+          for i = 0 to Array.length slice - 1 do
+            if slice.(i) () then ctr.Counters.changed <- ctr.Counters.changed + 1
+          done)
+        t.slices
+    else
+      Array.iter
+        (fun level ->
+          let slice = level.(0) in
+          for i = 0 to Array.length slice - 1 do
+            ctr.Counters.changed <- ctr.Counters.changed + slice.(i) ()
+          done)
+        t.sweep_slices
+  end
   else begin
     let next_sense () = coordinator_wait t in
     next_sense ();
     (* release workers into the cycle *)
-    Array.iter
-      (fun level ->
-        let slice = level.(0) in
-        for i = 0 to Array.length slice - 1 do
-          ignore (slice.(i) ())
-        done;
-        next_sense ())
-      t.slices
+    if Array.length t.slices > 0 then
+      Array.iter
+        (fun level ->
+          let slice = level.(0) in
+          for i = 0 to Array.length slice - 1 do
+            ignore (slice.(i) ())
+          done;
+          next_sense ())
+        t.slices
+    else
+      Array.iter
+        (fun level ->
+          let slice = level.(0) in
+          for i = 0 to Array.length slice - 1 do
+            ignore (slice.(i) ())
+          done;
+          next_sense ())
+        t.sweep_slices
   end;
   ctr.Counters.evals <- ctr.Counters.evals + t.total_evals;
+  ctr.Counters.instrs <- ctr.Counters.instrs + t.instrs_per_cycle;
   Array.iter (fun w -> ignore (w ())) t.write_commits;
   for i = 0 to Array.length t.reg_copies - 1 do
     if t.reg_copies.(i) () then ctr.Counters.reg_commits <- ctr.Counters.reg_commits + 1
+  done;
+  for i = 0 to Array.length t.reg_sweep - 1 do
+    ctr.Counters.reg_commits <- ctr.Counters.reg_commits + t.reg_sweep.(i) ()
   done;
   Array.iter
     (fun (test, appliers) ->
@@ -244,7 +354,7 @@ let poke t id v = ignore (Runtime.poke t.rt id v)
 let peek t id = Runtime.peek t.rt id
 let load_mem t mi contents = Runtime.load_mem t.rt mi contents
 let counters t = t.counters
-let level_count t = Array.length t.slices
+let level_count t = t.nlevels
 
 let sim t =
   {

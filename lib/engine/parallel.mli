@@ -13,8 +13,9 @@ open Gsim_ir
 
 type t
 
-val create : threads:int -> Circuit.t -> t
-(** [threads >= 1]; one means no worker domains (sequential). *)
+val create : ?backend:Eval.backend -> threads:int -> Circuit.t -> t
+(** [backend] defaults to {!Eval.default} ([`Bytecode]);
+    [threads >= 1]; one means no worker domains (sequential). *)
 
 val poke : t -> int -> Bits.t -> unit
 val peek : t -> int -> Bits.t

@@ -15,9 +15,13 @@ let circuit t = t.c
 
 let wide_node w = w > 62
 
-let create c =
+let create ?(extra_slots = 0) c =
   let n = Circuit.max_id c in
-  let narrow = Array.make n 0 in
+  (* [extra_slots] extends the narrow arena past the node ids: the bytecode
+     backend allocates its constants and expression stacks there so fused
+     programs address one flat array.  Nothing else ever touches indices
+     >= [n]. *)
+  let narrow = Array.make (n + extra_slots) 0 in
   let wide = Array.make n (Bits.zero 1) in
   let is_wide = Array.make n false in
   Circuit.iter_nodes c (fun nd ->
@@ -48,6 +52,10 @@ let create c =
   t
 
 let node_width t id = (Circuit.node t.c id).Circuit.width
+
+let narrow_values t = t.narrow
+
+let is_wide t id = t.is_wide.(id)
 
 let peek t id =
   if t.is_wide.(id) then t.wide.(id)
@@ -120,9 +128,17 @@ let mask w = (1 lsl w) - 1
 
 let sext w x = (x lsl (63 - w)) asr (63 - w)
 
+(* Constant-time SWAR popcount for packed (<= 62-bit, nonnegative) values.
+   The usual 64-bit masks are truncated to OCaml's 63-bit ints: [m1] keeps
+   the even bit positions up to 60, which covers every bit of [x lsr 1]
+   when [x] has at most 62 bits.  The final byte-summing multiply wraps
+   mod 2^63, but the total (<= 62) lives entirely in bits 56..62, which
+   truncation cannot disturb. *)
 let popcount_int x =
-  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
-  go x 0
+  let x = x - ((x lsr 1) land 0x1555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (x * 0x0101010101010101) lsr 56
 
 (* ------------------------------------------------------------------ *)
 (* Expression compilation                                              *)
@@ -174,17 +190,17 @@ let compile_binop op ~w1 ~w2 ~wr fa fb =
     let m = mask wr in
     fun () ->
       let b = sext w2 (fb ()) in
-      if b = 0 then 0 else sext w1 (fa ()) / b land m
+      if b = 0 then 0 else (sext w1 (fa ()) / b) land m
   | Expr.Rem ->
     let m = mask wr in
     fun () ->
       let b = fb () in
-      if b = 0 then fa () land m else fa () mod b land m
+      if b = 0 then fa () land m else (fa () mod b) land m
   | Expr.Rem_signed ->
     let m = mask wr in
     fun () ->
       let b = sext w2 (fb ()) in
-      if b = 0 then sext w1 (fa ()) land m else sext w1 (fa ()) mod b land m
+      if b = 0 then sext w1 (fa ()) land m else (sext w1 (fa ()) mod b) land m
   | Expr.And -> fun () -> fa () land fb ()
   | Expr.Or -> fun () -> fa () lor fb ()
   | Expr.Xor -> fun () -> fa () lxor fb ()
@@ -213,7 +229,7 @@ let compile_binop op ~w1 ~w2 ~wr fa fb =
     fun () ->
       let b = fb () in
       if b >= w1 then (if fa () lsr (w1 - 1) = 1 then m else 0)
-      else sext w1 (fa ()) asr b land m
+      else (sext w1 (fa ()) asr b) land m
 
 let rec compile t (e : Expr.t) : compiled =
   let w = Expr.width e in

@@ -12,7 +12,11 @@ open Gsim_ir
 
 type t
 
-val create : Circuit.t -> t
+val create : ?extra_slots:int -> Circuit.t -> t
+(** [extra_slots] (default 0) extends the narrow value arena past the node
+    ids.  The bytecode backend places its pooled constants and expression
+    stacks there, so fused programs run over one flat array; nothing else
+    reads or writes those slots. *)
 
 val circuit : t -> Circuit.t
 
@@ -31,12 +35,32 @@ val poke_register : t -> int -> Bits.t -> unit
 (** Overwrite a register's current value (by read-node id); checkpoint
     restore. *)
 
+val narrow_values : t -> int array
+(** The raw narrow arena itself (indexed by node id), not a copy.  Engine
+    internals only: the {!Bytecode} backend reads and writes packed values
+    through it directly; everything else should go through {!peek} and the
+    compiled evaluators. *)
+
+val is_wide : t -> int -> bool
+(** Whether the node's value lives in the wide (boxed) arena. *)
+
 val data_size_bytes : t -> int
 (** Bytes of mutable simulation state excluding memory contents (the
     paper's Table IV "data size" convention, which also excludes the main
     memory array). *)
 
 val mem_size_bytes : t -> int
+
+(** {1 Packed-value primitives}
+
+    Shared by the closure compiler below and the {!Bytecode} backend. *)
+
+val mask : int -> int
+(** [mask w] is the all-ones pattern of [w] bits, [1 <= w <= 62]. *)
+
+val popcount_int : int -> int
+(** Constant-time (SWAR) population count of a packed value: nonnegative,
+    at most 62 significant bits. *)
 
 (** {1 Compiled evaluation} *)
 

@@ -1,0 +1,230 @@
+(* Bytecode backend: the flat register-machine evaluator must be
+   bit-identical to the closure backend on every engine that can select
+   it, over hand-written edge cases and a large random-circuit torture
+   sweep.  Also pins the SWAR popcount and the signed div/rem corner
+   cases, and checks the [instrs] counter surfaces only under bytecode. *)
+
+module Bits = Gsim_bits.Bits
+module Expr = Gsim_ir.Expr
+module Circuit = Gsim_ir.Circuit
+module Reference = Gsim_ir.Reference
+module Rand_circuit = Gsim_ir.Rand_circuit
+module Partition = Gsim_partition.Partition
+module Sim = Gsim_engine.Sim
+module Counters = Gsim_engine.Counters
+module Runtime = Gsim_engine.Runtime
+module Full_cycle = Gsim_engine.Full_cycle
+module Activity = Gsim_engine.Activity
+module Parallel = Gsim_engine.Parallel
+module Collect = Gsim_coverage.Collect
+module Db = Gsim_coverage.Db
+
+let b ~w n = Bits.of_int ~width:w n
+
+(* --- popcount --------------------------------------------------------- *)
+
+let naive_popcount n =
+  let rec go acc n = if n = 0 then acc else go (acc + (n land 1)) (n lsr 1) in
+  go 0 n
+
+let test_popcount () =
+  let check v =
+    Alcotest.(check int)
+      (Printf.sprintf "popcount %d" v)
+      (naive_popcount v) (Runtime.popcount_int v)
+  in
+  List.iter check [ 0; 1; 2; 3; 0x55; 0xAA; (1 lsl 62) - 1; 1 lsl 61; max_int ];
+  let st = Random.State.make [| 4242 |] in
+  for _ = 1 to 1000 do
+    check (Int64.to_int (Random.State.int64 st (Int64.shift_left 1L 62)))
+  done
+
+(* --- signed div/rem edge cases --------------------------------------- *)
+
+(* One circuit computing both signed quotient and remainder of the two
+   inputs; pinned stimulus hits zero divisors, the most-negative value and
+   -1 at width 8, then the same corners at width 62 (the widest packed
+   width, where the parenthesization of the sign-extended operands in the
+   emitted closures matters most). *)
+let divrem_circuit ~w =
+  let c = Circuit.create ~name:"divrem" () in
+  let a = Circuit.add_input c ~name:"a" ~width:w in
+  let d = Circuit.add_input c ~name:"d" ~width:w in
+  let va = Expr.var ~width:w a.Circuit.id and vd = Expr.var ~width:w d.Circuit.id in
+  let q = Circuit.add_logic c ~name:"q" (Expr.binop Expr.Div_signed va vd) in
+  let r = Circuit.add_logic c ~name:"r" (Expr.binop Expr.Rem_signed va vd) in
+  let uq = Circuit.add_logic c ~name:"uq" (Expr.binop Expr.Div va vd) in
+  let ur = Circuit.add_logic c ~name:"ur" (Expr.binop Expr.Rem va vd) in
+  List.iter (fun (n : Circuit.node) -> Circuit.mark_output c n.Circuit.id) [ q; r; uq; ur ];
+  (c, a.Circuit.id, d.Circuit.id)
+
+let divrem_corners w =
+  (* Bit patterns, interpreted signed by the ops. *)
+  let minv = 1 lsl (w - 1) in
+  let m1 = (1 lsl w) - 1 in
+  [ 0; 1; m1; minv; minv lor 1; m1 lxor minv (* max positive *) ]
+
+let test_signed_divrem ~w () =
+  let c, a, d = divrem_circuit ~w in
+  let corners = divrem_corners w in
+  let stimulus =
+    List.concat_map (fun x -> List.map (fun y -> [ (a, b ~w x); (d, b ~w y) ]) corners) corners
+    |> Array.of_list
+  in
+  let observe = List.map (fun (n : Circuit.node) -> n.Circuit.id) (Circuit.outputs c) in
+  let expected = Sim.trace (Sim.of_reference (Reference.create c)) ~observe ~stimulus in
+  List.iter
+    (fun backend ->
+      let sim = Full_cycle.sim (Full_cycle.create ~backend c) in
+      let got = Sim.trace sim ~observe ~stimulus in
+      if not (Sim.equal_traces expected got) then
+        Alcotest.failf "signed div/rem (w=%d) diverges under %s" w
+          (Gsim_engine.Eval.to_string backend))
+    [ `Closures; `Bytecode ]
+
+(* --- differential torture: closures vs bytecode ----------------------- *)
+
+(* Engines that accept a backend, as (name, make). *)
+let engines backend :
+    (string * (Circuit.t -> Sim.t * (unit -> unit))) list =
+  [
+    ("full_cycle", fun c -> (Full_cycle.sim (Full_cycle.create ~backend c), fun () -> ()));
+    ( "essent_mffc",
+      fun c ->
+        let p = Partition.mffc c ~max_size:12 in
+        ( Activity.sim ~name:"essent_mffc"
+            (Activity.create ~config:Activity.essent_config ~backend c p),
+          fun () -> () ) );
+    ( "gsim",
+      fun c ->
+        let p = Partition.gsim c ~max_size:24 in
+        ( Activity.sim ~name:"gsim"
+            (Activity.create ~config:Activity.gsim_config ~backend c p),
+          fun () -> () ) );
+  ]
+
+let parallel2 backend c =
+  let t = Parallel.create ~backend ~threads:2 c in
+  (Parallel.sim t, fun () -> Parallel.destroy t)
+
+(* Run one engine under one backend; return the trace over every live node
+   plus the cycle-change count. *)
+let run_engine make ~observe ~stimulus c =
+  let sim, cleanup = make c in
+  let trace = Sim.trace sim ~observe ~stimulus in
+  let changed = (sim.Sim.counters ()).Counters.changed in
+  cleanup ();
+  (trace, changed)
+
+let torture_one ~seed ~with_parallel =
+  let st = Random.State.make [| seed; 3111 |] in
+  let cfg =
+    {
+      Rand_circuit.default_config with
+      Rand_circuit.logic_nodes = 25 + (seed mod 40);
+      max_width = (if seed mod 4 = 0 then 120 else 62);
+    }
+  in
+  let c = Rand_circuit.generate st cfg in
+  let stimulus = Rand_circuit.random_stimulus st c ~cycles:12 in
+  let observe = Collect.default_observed c in
+  let makes =
+    List.map2
+      (fun (name, mc) (_, mb) -> (name, mc, mb))
+      (engines `Closures) (engines `Bytecode)
+    @ (if with_parallel then [ ("parallel2", parallel2 `Closures, parallel2 `Bytecode) ]
+       else [])
+  in
+  List.iter
+    (fun (name, make_c, make_b) ->
+      let trace_c, changed_c = run_engine make_c ~observe ~stimulus c in
+      let trace_b, changed_b = run_engine make_b ~observe ~stimulus c in
+      if not (Sim.equal_traces trace_c trace_b) then
+        Alcotest.failf "seed %d: %s: bytecode diverges from closures on live nodes" seed
+          name;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: %s: changed counter" seed name)
+        changed_c changed_b)
+    makes
+
+let test_torture () =
+  for seed = 0 to 119 do
+    torture_one ~seed ~with_parallel:(seed mod 12 = 0)
+  done
+
+(* --- coverage databases must not depend on the backend ---------------- *)
+
+let test_coverage_identical () =
+  for seed = 0 to 9 do
+    let st = Random.State.make [| seed; 5150 |] in
+    let c = Rand_circuit.generate st Rand_circuit.default_config in
+    let stimulus = Rand_circuit.random_stimulus st c ~cycles:20 in
+    let observe = Collect.default_observed c in
+    let db_of backend =
+      let sim = Full_cycle.sim (Full_cycle.create ~backend c) in
+      let coll, wrapped = Collect.create sim in
+      ignore (Sim.trace wrapped ~observe ~stimulus);
+      Collect.db coll
+    in
+    if not (Db.equal (db_of `Closures) (db_of `Bytecode)) then
+      Alcotest.failf "seed %d: coverage db differs between backends" seed
+  done
+
+(* --- instrs counter --------------------------------------------------- *)
+
+let counter_circuit () =
+  let c = Circuit.create ~name:"counter" () in
+  let en = Circuit.add_input c ~name:"en" ~width:1 in
+  let count = Circuit.add_register c ~name:"count" ~width:8 ~init:(Bits.zero 8) () in
+  let count_read = Expr.var ~width:8 count.Circuit.read in
+  Circuit.set_next c count
+    (Expr.mux
+       (Expr.var ~width:1 en.Circuit.id)
+       (Expr.unop (Expr.Extract (7, 0))
+          (Expr.binop Expr.Add count_read (Expr.of_int ~width:8 1)))
+       count_read);
+  Circuit.mark_output c count.Circuit.read;
+  (c, en.Circuit.id)
+
+let test_instrs_counter () =
+  let c, en = counter_circuit () in
+  let run backend =
+    let t = Full_cycle.create ~backend c in
+    Full_cycle.poke t en (b ~w:1 1);
+    for _ = 1 to 5 do
+      Full_cycle.step t
+    done;
+    Full_cycle.counters t
+  in
+  let cc = run `Closures and cb = run `Bytecode in
+  Alcotest.(check int) "closures retire no bytecode" 0 cc.Counters.instrs;
+  Alcotest.(check bool) "bytecode counts instructions" true (cb.Counters.instrs > 0);
+  (* JSON gating: the field appears only when nonzero. *)
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    "closures json omits instrs" false
+    (contains (Counters.to_json cc) "instrs");
+  Alcotest.(check bool)
+    "bytecode json has instrs" true
+    (contains (Counters.to_json cb) "instrs")
+
+let () =
+  Alcotest.run "bytecode"
+    [
+      ("popcount", [ Alcotest.test_case "swar vs naive" `Quick test_popcount ]);
+      ( "divrem",
+        [
+          Alcotest.test_case "signed corners w=8" `Quick (test_signed_divrem ~w:8);
+          Alcotest.test_case "signed corners w=62" `Quick (test_signed_divrem ~w:62);
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "torture 120 random circuits" `Slow test_torture;
+          Alcotest.test_case "coverage identical" `Quick test_coverage_identical;
+        ] );
+      ("counters", [ Alcotest.test_case "instrs gating" `Quick test_instrs_counter ]);
+    ]
