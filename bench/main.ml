@@ -5,7 +5,7 @@
    substrate; run without arguments to produce everything.
 
      main.exe [--quick] [table1|fig6|fig7|fig8|fig9|table3|table4|
-               ablation|model|coverage|backend|micro|all]                *)
+               ablation|model|coverage|fault|backend|micro|all]                *)
 
 module Bits = Gsim_bits.Bits
 module Circuit = Gsim_ir.Circuit
@@ -423,6 +423,59 @@ let coverage () =
     designs
 
 (* ------------------------------------------------------------------ *)
+(* Fault-injection campaign throughput                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Faults/sec per engine x backend on a real core, with the same fault
+   list everywhere.  The run FAILS unless every configuration classifies
+   every fault identically — the campaign's portability guarantee. *)
+let fault () =
+  header "Fault - campaign throughput (faults/sec) per engine x backend";
+  let module Fault = Gsim_fault.Fault in
+  let module Fdb = Gsim_fault.Db in
+  let module Campaign = Gsim_fault.Campaign in
+  let core = build_design Designs.stu_core in
+  let circuit = core.Stu_core.circuit in
+  let horizon = if !Harness.quick then 40 else 120 in
+  let count = if !Harness.quick then 12 else 60 in
+  let cfg = { Campaign.horizon; budget = (if !Harness.quick then 15 else 40) } in
+  let faults = Fault.random ~seed:7 ~count ~horizon circuit in
+  let configs =
+    List.concat_map
+      (fun (name, mk) ->
+        List.map
+          (fun be ->
+            (name, Gsim_engine.Eval.to_string be, (mk be : Gsim.config)))
+          [ `Closures; `Bytecode ])
+      [
+        ("full-cycle", fun be -> { (Gsim.verilator ()) with Gsim.backend = be });
+        ("essent", fun be -> { Gsim.essent with Gsim.backend = be });
+        ("gsim", fun be -> { Gsim.gsim with Gsim.backend = be });
+      ]
+  in
+  Printf.printf "%-12s %-10s %8s %10s   %s\n" "engine" "backend" "secs" "faults/s"
+    "det/lat/mask/hang/unin";
+  let baseline = ref None in
+  List.iter
+    (fun (ename, bname, config) ->
+      let t0 = now () in
+      let db = Campaign.run cfg config circuit faults in
+      let dt = now () -. t0 in
+      let s = Fdb.summary db in
+      Printf.printf "%-12s %-10s %8.2f %10.1f   %d/%d/%d/%d/%d\n%!" ename bname dt
+        (float_of_int s.Fdb.total /. dt)
+        s.Fdb.detected s.Fdb.latent s.Fdb.masked s.Fdb.hangs s.Fdb.uninjectable;
+      match !baseline with
+      | None -> baseline := Some db
+      | Some b ->
+        if not (Fdb.equal b db) then
+          failwith
+            (Printf.sprintf "fault classification differs between configurations (%s/%s)"
+               ename bname))
+    configs;
+  Printf.printf "  -> all %d configurations agree on every fault\n%!" (List.length configs)
+
+(* ------------------------------------------------------------------ *)
 (* Evaluation-backend comparison: closures vs flat bytecode             *)
 (* ------------------------------------------------------------------ *)
 
@@ -564,7 +617,8 @@ let all () =
   table4 ();
   ablation ();
   model ();
-  coverage ()
+  coverage ();
+  fault ()
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -594,11 +648,12 @@ let () =
          | "ablation" -> ablation ()
          | "model" -> model ()
          | "coverage" -> coverage ()
+         | "fault" -> fault ()
          | "backend" -> backend ()
          | "micro" -> micro ()
          | other ->
            Printf.eprintf
-             "unknown bench %S (expected table1|fig6|fig7|fig8|fig9|table3|table4|ablation|model|coverage|backend|micro|all)\n"
+             "unknown bench %S (expected table1|fig6|fig7|fig8|fig9|table3|table4|ablation|model|coverage|fault|backend|micro|all)\n"
              other;
            exit 2)
        cmds);

@@ -20,6 +20,10 @@ module Emit = Gsim_emit.Emit
 module Cov_db = Gsim_coverage.Db
 module Cov_collect = Gsim_coverage.Collect
 module Cov_report = Gsim_coverage.Report
+module Fault = Gsim_fault.Fault
+module Fault_db = Gsim_fault.Db
+module Campaign = Gsim_fault.Campaign
+module Fault_report = Gsim_fault.Report
 
 let config_of_engine name threads max_supernode level backend =
   let level =
@@ -466,6 +470,178 @@ let cov_cmd =
     (Cmd.info "cov" ~doc:"Coverage: collect from runs, merge databases, render reports")
     [ cov_collect_cmd; cov_merge_cmd; cov_report_cmd ]
 
+(* --- fault --------------------------------------------------------------- *)
+
+let parse_pokes circuit specs =
+  List.map
+    (fun spec ->
+      match String.split_on_char '=' spec with
+      | [ name; value ] -> (
+        match Circuit.find_node circuit name with
+        | Some n -> (n.Circuit.id, Bits.of_int ~width:n.Circuit.width (int_of_string value))
+        | None -> failwith (Printf.sprintf "no input named %S" name))
+      | _ -> failwith (Printf.sprintf "bad poke %S (want name=value)" spec))
+    specs
+
+let fault_campaign_cmd =
+  let run file engine threads level max_supernode backend horizon budget nfaults seed models
+      duration fault_keys pokes db_path resume stop_after latent json =
+    let circuit, _ = Gsim.load_design_file file in
+    let config = config_of_engine engine threads max_supernode level backend in
+    let cfg = { Campaign.horizon; budget } in
+    let models =
+      Option.map
+        (fun s ->
+          List.map
+            (function
+              | "seu" -> `Seu
+              | "stuck0" -> `Stuck0
+              | "stuck1" -> `Stuck1
+              | "word" -> `Word
+              | other ->
+                failwith
+                  (Printf.sprintf "unknown fault model %S (seu, stuck0, stuck1, word)" other))
+            (String.split_on_char ',' s))
+        models
+    in
+    let faults =
+      List.map Fault.of_key fault_keys
+      @ (if nfaults > 0 then Fault.random ?models ~duration ~seed ~count:nfaults ~horizon circuit
+         else [])
+    in
+    if faults = [] then failwith "no faults to inject: give --faults N and/or --fault KEY";
+    let const_pokes = parse_pokes circuit pokes in
+    let stimulus _cycle = const_pokes in
+    (* The on-disk database is the crash-safety mechanism: records are
+       appended (and flushed) as they are produced, so a killed campaign
+       leaves a loadable prefix that --resume skips. *)
+    let partial =
+      if resume && Sys.file_exists db_path then Fault_db.load ~lenient:true db_path
+      else Fault_db.create ~design:(Circuit.name circuit) ~horizon ()
+    in
+    Fault_db.init_file db_path partial;
+    let skip k = Fault_db.mem partial k in
+    let total = List.length faults in
+    let progress d _ =
+      if not json then Printf.eprintf "\r[%d/%d]%!" (d + Fault_db.count partial) total
+    in
+    let fresh =
+      Campaign.run ~skip
+        ~on_record:(Fault_db.append_record db_path)
+        ~progress ?stop_after ~stimulus cfg config circuit faults
+    in
+    if not json then Printf.eprintf "\r%!";
+    let db = Fault_db.merge partial fresh in
+    (* Canonical sorted rewrite: an interrupted-then-resumed campaign ends
+       with a byte-identical database to an uninterrupted one. *)
+    Fault_db.save db_path db;
+    if json then print_endline (Fault_report.to_json db)
+    else begin
+      print_string (Fault_report.to_string ~latent db);
+      Printf.printf "database: %s (%d of %d fault(s) done)\n" db_path (Fault_db.count db) total
+    end
+  in
+  let horizon =
+    Arg.(value & opt int Campaign.default_config.Campaign.horizon
+         & info [ "cycles"; "n" ] ~docv:"N" ~doc:"Golden-run horizon in cycles")
+  in
+  let budget =
+    Arg.(value & opt int Campaign.default_config.Campaign.budget
+         & info [ "budget" ] ~docv:"N" ~doc:"Observation window per fault (watchdog)")
+  in
+  let nfaults =
+    Arg.(value & opt int 0
+         & info [ "faults" ] ~docv:"N" ~doc:"Draw N random faults over the design's signals")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random fault-list seed") in
+  let models =
+    Arg.(value & opt (some string) None
+         & info [ "models" ] ~docv:"M,M" ~doc:"Restrict random faults: seu, stuck0, stuck1, word")
+  in
+  let duration =
+    Arg.(value & opt int 1 & info [ "duration" ] ~doc:"Duration of random stuck/word faults")
+  in
+  let fault_keys =
+    Arg.(value & opt_all string []
+         & info [ "fault"; "f" ] ~docv:"KEY"
+             ~doc:"Inject a specific fault, e.g. cpu.pc#seu:3\\@120 (repeatable)")
+  in
+  let pokes =
+    Arg.(value & opt_all string []
+         & info [ "poke"; "p" ] ~docv:"NAME=VAL"
+             ~doc:"Drive an input every cycle (golden and faulty runs alike)")
+  in
+  let db_path =
+    Arg.(value & opt string "gsim.fdb"
+         & info [ "db"; "o" ] ~docv:"FILE.fdb" ~doc:"Campaign database (appended as faults finish)")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ] ~doc:"Skip faults already classified in the database")
+  in
+  let stop_after =
+    Arg.(value & opt (some int) None
+         & info [ "stop-after" ] ~docv:"N" ~doc:"Classify at most N faults, then exit (sharding)")
+  in
+  let latent =
+    Arg.(value & opt int 0
+         & info [ "latent" ] ~docv:"N" ~doc:"List up to N latent faults in the text report")
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run a fault-injection campaign against a golden run of the design")
+    Term.(const run $ file_arg $ engine_arg $ threads_arg $ level_arg $ supernode_arg
+          $ backend_arg $ horizon $ budget $ nfaults $ seed $ models $ duration $ fault_keys
+          $ pokes $ db_path $ resume $ stop_after $ latent $ json_arg)
+
+let fault_merge_cmd =
+  let run out inputs =
+    match List.map (fun p -> Fault_db.load p) inputs with
+    | [] -> failwith "nothing to merge"
+    | first :: rest ->
+      let merged = List.fold_left Fault_db.merge first rest in
+      Fault_db.save out merged;
+      let s = Fault_db.summary merged in
+      Printf.printf "merged %d shard(s): %d fault(s), %.1f%% coverage -> %s\n"
+        (List.length inputs) s.Fault_db.total (Fault_db.coverage_percent s) out
+  in
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE.fdb" ~doc:"Merged output database")
+  in
+  let inputs =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.fdb" ~doc:"Shard databases")
+  in
+  Cmd.v
+    (Cmd.info "merge" ~doc:"Merge fault-campaign shards over disjoint fault lists")
+    Term.(const run $ out $ inputs)
+
+let fault_report_cmd =
+  let run file json latent per_fault =
+    let db = Fault_db.load file in
+    if json then print_endline (Fault_report.to_json ~faults:per_fault db)
+    else print_string (Fault_report.to_string ~latent db)
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.fdb" ~doc:"Campaign database")
+  in
+  let latent =
+    Arg.(value & opt int 0
+         & info [ "latent" ] ~docv:"N" ~doc:"List up to N latent faults (text mode)")
+  in
+  let per_fault =
+    Arg.(value & flag & info [ "faults" ] ~doc:"Include the per-fault array (JSON mode)")
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Render a fault-campaign database")
+    Term.(const run $ file $ json_arg $ latent $ per_fault)
+
+let fault_cmd =
+  Cmd.group
+    (Cmd.info "fault"
+       ~doc:"Fault injection: run campaigns, merge shards, render reports")
+    [ fault_campaign_cmd; fault_merge_cmd; fault_report_cmd ]
+
 (* --- equiv --------------------------------------------------------------- *)
 
 let equiv_cmd =
@@ -585,7 +761,24 @@ let profile_cmd =
 let () =
   let doc = "GSIM: an activity-driven compiled RTL simulator" in
   let info = Cmd.info "gsim" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [ stats_cmd; emit_cmd; emit_fir_cmd; sim_cmd; run_cmd; cov_cmd; fault_cmd; profile_cmd;
+        equiv_cmd ]
+  in
+  (* Every error reaches the user as one line on stderr, never a
+     backtrace: 2 for usage errors (cmdliner has already printed those),
+     1 for runtime failures. *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [ stats_cmd; emit_cmd; emit_fir_cmd; sim_cmd; run_cmd; cov_cmd; profile_cmd; equiv_cmd ]))
+    (try
+       match Cmd.eval_value ~catch:false group with
+       | Ok (`Ok ()) | Ok `Help | Ok `Version -> 0
+       | Error (`Parse | `Term) -> 2
+       | Error `Exn -> 1
+     with
+     | Failure msg | Sys_error msg ->
+       Printf.eprintf "gsim: %s\n" msg;
+       1
+     | e ->
+       Printf.eprintf "gsim: %s\n" (Printexc.to_string e);
+       1)

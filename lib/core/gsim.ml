@@ -118,9 +118,25 @@ type compiled = {
   destroy : unit -> unit;
 }
 
-let instantiate ?(compact = false) config circuit =
+let instantiate_exn ~compact ~forcible ~keep config circuit =
   let c = Circuit.copy circuit in
+  (* Fault-injection targets must survive optimization with their
+     consumers still reading them: output-marked nodes are never aliased,
+     inlined or dead-code eliminated, at any opt level — which is what
+     keeps per-fault behaviour identical across presets.  [keep] nodes
+     get the same survival guarantee without the engines' force plumbing
+     (campaigns keep every register so the architectural-state compare
+     sees the same state set under every preset). *)
+  List.iter
+    (fun id ->
+      match Circuit.node_opt c id with
+      | Some _ -> Circuit.mark_output c id
+      | None -> ())
+    (keep @ forcible);
   let original_max = Circuit.max_id c in
+  (* Detect combinational loops up front, while node ids still match the
+     caller's circuit (compaction would renumber the witness). *)
+  Circuit.check_acyclic c;
   let outcomes = Pipeline.optimize ~level:config.opt_level c in
   let id_map =
     if compact then begin
@@ -134,6 +150,14 @@ let instantiate ?(compact = false) config circuit =
     (* Identity-extend so callers can index with original ids. *)
     Array.init original_max (fun i -> if i < Array.length id_map then id_map.(i) else -1)
   in
+  let forcible_ids =
+    List.filter_map
+      (fun id ->
+        if id >= 0 && id < Array.length id_map && id_map.(id) >= 0 then Some id_map.(id)
+        else None)
+      forcible
+    |> List.sort_uniq compare
+  in
   let partition () =
     match Partition.algorithm_of_string config.partition_algorithm with
     | Some algo -> algo c ~max_size:config.max_supernode
@@ -145,16 +169,17 @@ let instantiate ?(compact = false) config circuit =
     match config.engine with
     | Reference_engine -> (Sim.of_reference (Reference.create c), 0, None, fun () -> ())
     | Full_cycle_engine 1 ->
-      (Full_cycle.sim (Full_cycle.create ~backend:config.backend c), 0, None, fun () -> ())
+      ( Full_cycle.sim (Full_cycle.create ~backend:config.backend ~forcible:forcible_ids c),
+        0, None, fun () -> () )
     | Full_cycle_engine threads ->
-      let t = Parallel.create ~backend:config.backend ~threads c in
+      let t = Parallel.create ~backend:config.backend ~forcible:forcible_ids ~threads c in
       (Parallel.sim t, 0, None, fun () -> Parallel.destroy t)
     | Essent_engine | Gsim_engine_kind ->
       let p = partition () in
       let t =
         Activity.create
           ~config:{ Activity.packed_exam = config.packed_exam; activation = config.activation }
-          ~backend:config.backend c p
+          ~backend:config.backend ~forcible:forcible_ids c p
       in
       ( Activity.sim ~name:config.config_name t,
         Array.length p.Partition.supernodes,
@@ -163,6 +188,16 @@ let instantiate ?(compact = false) config circuit =
   in
   let sim = { sim with Sim.sim_name = config.config_name } in
   { sim; id_map; outcomes; supernodes; activity; destroy }
+
+let instantiate ?(compact = false) ?(forcible = []) ?(keep = []) config circuit =
+  (* A combinational loop surfaces as [Circuit.Combinational_cycle] from
+     whichever stage first needs a topological order (passes, partitioning
+     or engine construction); turn it into a [Failure] that names the
+     nodes on the loop instead of escaping as a raw exception. *)
+  match instantiate_exn ~compact ~forcible ~keep config circuit with
+  | compiled -> compiled
+  | exception Circuit.Combinational_cycle ids ->
+    failwith (Circuit.cycle_diagnostic circuit ids)
 
 let load_firrtl_string src =
   let { Gsim_firrtl.Firrtl.circuit; halt } = Gsim_firrtl.Firrtl.load_string src in

@@ -72,10 +72,26 @@ type compiled = {
           no-op. *)
 }
 
-val instantiate : ?compact:bool -> config -> Circuit.t -> compiled
+val instantiate :
+  ?compact:bool -> ?forcible:int list -> ?keep:int list -> config -> Circuit.t -> compiled
 (** Runs the configured pass pipeline on (a private copy of) the circuit,
     partitions it, and builds the engine.  Inputs and output-marked nodes
-    always survive; look them up through [id_map]. *)
+    always survive; look them up through [id_map].
+
+    [forcible] (node ids in the {e original} circuit) declares
+    fault-injection targets for [sim.force]/[sim.release]: they are
+    output-marked before optimization so they survive at every level, and
+    the engines route them around bytecode fusion and guard their latches.
+    Ids that do not exist are ignored (the campaign layer reports them as
+    uninjectable).
+
+    [keep] (also original node ids) get the same survive-optimization
+    guarantee without any engine-level force support — fault campaigns
+    keep every register so the architectural state a checkpoint captures
+    is the same set under every preset and fault subset.
+
+    A combinational loop in the design raises [Failure] with a diagnostic
+    naming the nodes on the loop. *)
 
 val load_firrtl_string : string -> Circuit.t * int option
 (** Circuit and optional ["$halt"] node (see {!Gsim_firrtl.Firrtl}). *)

@@ -45,6 +45,10 @@ type t = {
   dirty_inputs : bool array;
   mutable dirty_stack : int array;
   mutable dirty_len : int;
+  (* Fault injection: per declared forcible node, (on_force, on_release)
+     wake closures — force marks the consumers' active bits, release
+     re-activates the node's own supernode / re-latches its register. *)
+  force_wakes : (int, (unit -> unit) * (unit -> unit)) Hashtbl.t;
 }
 
 (* --- Active-bit primitives ------------------------------------------- *)
@@ -133,8 +137,16 @@ let target_supers (part : Partition.t) ?(exclude = -1) ids =
     ids
   |> List.sort_uniq compare |> Array.of_list
 
-let create ?(config = gsim_config) ?(backend = Eval.default) c part =
+let create ?(config = gsim_config) ?(backend = Eval.default) ?(forcible = []) c part =
   let rt = Runtime.create c in
+  let fset = Hashtbl.create (max (2 * List.length forcible) 1) in
+  List.iter
+    (fun id ->
+      match (Circuit.node c id).Circuit.kind with
+      | Circuit.Input -> ()
+      | _ -> Hashtbl.replace fset id ())
+    forcible;
+  let is_forcible id = Hashtbl.mem fset id in
   let nsuper = Array.length part.Partition.supernodes in
   let nwords = (nsuper + word_bits - 1) / word_bits in
   let regs = Array.of_list (Circuit.registers c) in
@@ -153,7 +165,12 @@ let create ?(config = gsim_config) ?(backend = Eval.default) c part =
       sn_hits = Array.make (max nsuper 1) 0;
       sn_instrs = Array.make (max nsuper 1) 0;
       reg_reads = Array.map (fun (r : Circuit.register) -> r.read) regs;
-      reg_copy = Array.map (Runtime.reg_copier rt) regs;
+      reg_copy =
+        Array.map
+          (fun (r : Circuit.register) ->
+            let f = Runtime.reg_copier rt r in
+            if is_forcible r.read then Runtime.guard rt r.read f else f)
+          regs;
       reg_read_activate = Array.make (max nregs 1) (fun () -> ());
       pending = Array.make (max nregs 1) false;
       pending_stack = Array.make (max nregs 1) 0;
@@ -163,7 +180,9 @@ let create ?(config = gsim_config) ?(backend = Eval.default) c part =
         Array.map
           (fun (r : Circuit.register) ->
             match r.reset with
-            | Some rst when rst.Circuit.slow_path -> Runtime.reset_applier rt r
+            | Some rst when rst.Circuit.slow_path ->
+              let f = Runtime.reset_applier rt r in
+              if is_forcible r.read then Runtime.guard rt r.read f else f
             | Some _ | None -> (fun () -> false))
           regs;
       write_commits = [||];
@@ -172,6 +191,7 @@ let create ?(config = gsim_config) ?(backend = Eval.default) c part =
       dirty_inputs = Array.make (Circuit.max_id c) false;
       dirty_stack = Array.make (max (Circuit.max_id c) 1) 0;
       dirty_len = 0;
+      force_wakes = Hashtbl.create (max (2 * List.length forcible) 1);
     }
   in
   (* Node index -> register table index for Reg_next pending marking. *)
@@ -184,7 +204,9 @@ let create ?(config = gsim_config) ?(backend = Eval.default) c part =
       let steps =
         Array.map
           (fun id ->
-            let eval, ni = Eval.node_evaluator ~backend rt (Circuit.node c id) in
+            let eval, ni =
+              Eval.node_evaluator ~backend ~forcible:is_forcible rt (Circuit.node c id)
+            in
             t.sn_instrs.(k) <- t.sn_instrs.(k) + ni;
             let targets = target_supers part ~exclude:k succs.(id) in
             let act = make_activator t config.activation targets in
@@ -256,6 +278,59 @@ let create ?(config = gsim_config) ?(backend = Eval.default) c part =
       let act = make_activator t Branch targets in
       t.input_activate.(nd.id) <- (fun () -> act true))
     (Circuit.inputs c);
+  (* Fault-injection wake closures.  A force that changes the stored value
+     must mark the consumers' active bits (supernode-aware: same-supernode
+     consumers are reached by re-activating that supernode, which
+     [target_supers] includes here — no [~exclude]).  A release must make
+     the node recompute: re-activate its own supernode, or re-latch its
+     register. *)
+  let reg_index_of_read = Hashtbl.create (max nregs 1) in
+  Array.iteri (fun i (r : Circuit.register) -> Hashtbl.replace reg_index_of_read r.read i) regs;
+  Hashtbl.iter
+    (fun id () ->
+      let nd = Circuit.node c id in
+      let targets = target_supers part succs.(id) in
+      let act = make_activator t Branch targets in
+      let own =
+        if id < Array.length part.Partition.of_node then part.Partition.of_node.(id) else -1
+      in
+      let wake_own () = if own >= 0 then set_super t own else act true in
+      (* on_force must also refresh the node's own computation: a masked
+         force (or a mask change on an already-forced node) leaves the
+         unmasked bits holding whatever the slot had at force time, and
+         only a re-evaluation (re-latch for registers) makes them track
+         the computed value the way the reference's every-cycle sweep
+         does. *)
+      let wakes =
+        match nd.Circuit.kind with
+        | Circuit.Reg_read _ ->
+          (match Hashtbl.find_opt reg_index_of_read id with
+           | Some ri ->
+             ( (fun () ->
+                 push_pending t ri;
+                 act true),
+               fun () -> push_pending t ri )
+           | None -> ((fun () -> act true), fun () -> ()))
+        | Circuit.Reg_next _ ->
+          (match Hashtbl.find_opt reg_index_of_next id with
+           | Some ri ->
+             ( (fun () ->
+                 wake_own ();
+                 push_pending t ri;
+                 act true),
+               fun () ->
+                 wake_own ();
+                 push_pending t ri )
+           | None -> ((fun () -> act true), wake_own))
+        | Circuit.Logic | Circuit.Mem_read _ ->
+          ( (fun () ->
+              wake_own ();
+              act true),
+            wake_own )
+        | Circuit.Input -> assert false
+      in
+      Hashtbl.replace t.force_wakes id wakes)
+    fset;
   t.resets <- resets;
   t.write_commits <- write_commits;
   t.mem_activate <- mem_activate;
@@ -277,6 +352,41 @@ let poke t id v =
   end
 
 let peek t id = Runtime.peek t.rt id
+
+let mark_dirty_input t id =
+  if not t.dirty_inputs.(id) then begin
+    t.dirty_inputs.(id) <- true;
+    t.dirty_stack.(t.dirty_len) <- id;
+    t.dirty_len <- t.dirty_len + 1
+  end
+
+let force t ?mask id v =
+  let nd = Circuit.node (Runtime.circuit t.rt) id in
+  match nd.Circuit.kind with
+  | Circuit.Input -> if Runtime.force t.rt ?mask id v then mark_dirty_input t id
+  | _ -> (
+    match Hashtbl.find_opt t.force_wakes id with
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Activity.force: node %S was not declared forcible"
+           nd.Circuit.name)
+    | Some (on_force, _) ->
+      (* Unconditional: even when the slot value is unchanged, the MASK
+         may have changed, and the newly unmasked bits must start
+         tracking the computed value (re-eval / re-latch under the
+         guard), as the reference's every-cycle sweep does. *)
+      ignore (Runtime.force t.rt ?mask id v : bool);
+      on_force ())
+
+let release t id =
+  let nd = Circuit.node (Runtime.circuit t.rt) id in
+  if Runtime.release t.rt id then
+    match nd.Circuit.kind with
+    | Circuit.Input -> ()  (* an input keeps its value until re-poked *)
+    | _ -> (
+      match Hashtbl.find_opt t.force_wakes id with
+      | Some (_, on_release) -> on_release ()
+      | None -> ())
 
 let eval_super t k =
   let steps = Array.unsafe_get t.sn_steps k in
@@ -451,6 +561,8 @@ let sim ?(name = "activity") t =
     load_mem = load_mem t;
     read_mem = (fun mi addr -> Runtime.read_mem t.rt mi addr);
     write_reg = (fun id v -> Runtime.poke_register t.rt id v);
+    force = (fun ?mask id v -> force t ?mask id v);
+    release = (fun id -> release t id);
     invalidate = (fun () -> invalidate_all t);
     counters = (fun () -> t.counters);
   }

@@ -35,13 +35,28 @@ val gsim_config : config
 
 type t
 
-val create : ?config:config -> ?backend:Eval.backend -> Circuit.t -> Partition.t -> t
+val create :
+  ?config:config -> ?backend:Eval.backend -> ?forcible:int list ->
+  Circuit.t -> Partition.t -> t
 (** [backend] defaults to {!Eval.default} ([`Bytecode]).
     The partition must be valid for the circuit (see
-    {!Partition.validate}); all supernodes start active. *)
+    {!Partition.validate}); all supernodes start active.
+    [forcible] declares fault-injection targets: those nodes evaluate
+    through guarded closures (never fused into bytecode segments) and get
+    supernode-aware wake closures for {!force}/{!release}. *)
 
 val poke : t -> int -> Bits.t -> unit
 val peek : t -> int -> Bits.t
+
+val force : t -> ?mask:Bits.t -> int -> Bits.t -> unit
+(** Pin the masked bits of a node until {!release}.  Marks the consumers'
+    active bits when the stored value changes, so the override propagates
+    on the next {!step} exactly as an organic change would.  Non-input
+    targets must appear in [create]'s [forcible] list. *)
+
+(** Remove an override: re-activates the node's own supernode (or
+    re-latches its register) so it recomputes next step. *)
+val release : t -> int -> unit
 val step : t -> unit
 val load_mem : t -> int -> Bits.t array -> unit
 val counters : t -> Counters.t

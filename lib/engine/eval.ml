@@ -11,13 +11,22 @@ let of_string = function
   | "bytecode" -> Some `Bytecode
   | _ -> None
 
-let node_evaluator ~backend rt (nd : Circuit.node) =
-  match backend with
-  | `Closures -> (Runtime.node_evaluator rt nd, 0)
-  | `Bytecode -> (
-    match Bytecode.compile (Runtime.circuit rt) nd with
-    | Some p -> (Bytecode.evaluator rt p, Bytecode.instr_count p)
-    | None -> (Runtime.node_evaluator rt nd, 0))
+let never_forcible _ = false
+
+let node_evaluator ~backend ?(forcible = never_forcible) rt (nd : Circuit.node) =
+  (* Forcible nodes evaluate through a guarded closure under either
+     backend: consumers fused into the same bytecode segment would read
+     the node's arena slot mid-dispatch, so the slot must hold the
+     overridden value the moment it is written. *)
+  if forcible nd.Circuit.id then
+    (Runtime.guard rt nd.Circuit.id (Runtime.node_evaluator rt nd), 0)
+  else
+    match backend with
+    | `Closures -> (Runtime.node_evaluator rt nd, 0)
+    | `Bytecode -> (
+      match Bytecode.compile (Runtime.circuit rt) nd with
+      | Some p -> (Bytecode.evaluator rt p, Bytecode.instr_count p)
+      | None -> (Runtime.node_evaluator rt nd, 0))
 
 (* A sweep plan: maximal runs of bytecode-compilable nodes fused into
    segments, wide/fallback nodes interleaved as singleton closure steps.
@@ -25,11 +34,11 @@ let node_evaluator ~backend rt (nd : Circuit.node) =
    extension slots from [scratch_base] upward, and the engine creates the
    runtime with [plan_scratch] extra slots before realizing the plan. *)
 
-type item = Seg of Bytecode.segment | Fallback of int
+type item = Seg of Bytecode.segment | Fallback of int | Guarded of int
 
 type plan = { items : item array; scratch : int }
 
-let plan c ~scratch_base ids =
+let plan ?(forcible = never_forcible) c ~scratch_base ids =
   let items = ref [] in
   let run = ref [] in
   let off = ref 0 in
@@ -44,11 +53,18 @@ let plan c ~scratch_base ids =
   in
   Array.iter
     (fun id ->
-      match Bytecode.compile c (Circuit.node c id) with
-      | Some p -> run := p :: !run
-      | None ->
+      if forcible id then begin
+        (* Demoted from fusion: a forced node's slot must hold the
+           overridden value before any same-segment consumer reads it. *)
         flush ();
-        items := Fallback id :: !items)
+        items := Guarded id :: !items
+      end
+      else
+        match Bytecode.compile c (Circuit.node c id) with
+        | Some p -> run := p :: !run
+        | None ->
+          flush ();
+          items := Fallback id :: !items)
     ids;
   flush ();
   { items = Array.of_list (List.rev !items); scratch = !off }
@@ -66,6 +82,9 @@ let realize rt pl =
           Bytecode.segment_evaluator rt seg
         | Fallback id ->
           let f = Runtime.node_evaluator rt (Circuit.node c id) in
+          fun () -> if f () then 1 else 0
+        | Guarded id ->
+          let f = Runtime.guard rt id (Runtime.node_evaluator rt (Circuit.node c id)) in
           fun () -> if f () then 1 else 0)
       pl.items
   in

@@ -27,24 +27,31 @@ val to_string : backend -> string
 val of_string : string -> backend option
 (** Accepts ["bytecode"], ["closures"] (and ["closure"]). *)
 
-val node_evaluator : backend:backend -> Runtime.t -> Circuit.node -> (unit -> bool) * int
+val node_evaluator :
+  backend:backend -> ?forcible:(int -> bool) -> Runtime.t -> Circuit.node ->
+  (unit -> bool) * int
 (** The node's step function (evaluate, store, report change) plus its
     static bytecode cost — the number of instructions retired per
     evaluation (variable preloads + operations), for the
     {!Counters.t.instrs} counter.  Zero whenever the node evaluates
-    through closures (explicitly, or by fallback). *)
+    through closures (explicitly, or by fallback).  Nodes for which
+    [forcible] holds (fault-injection targets) are wrapped with
+    {!Runtime.guard} and always evaluate through closures, so a force
+    override is visible to every consumer under both backends. *)
 
 (** A compiled sweep over a node sequence: maximal runs of
     bytecode-compilable nodes fused into segments, wide/fallback nodes
     interleaved as singleton closure steps. *)
 type plan
 
-val plan : Circuit.t -> scratch_base:int -> int array -> plan
+val plan : ?forcible:(int -> bool) -> Circuit.t -> scratch_base:int -> int array -> plan
 (** [plan c ~scratch_base ids] compiles [ids] (evaluated in order,
     back-to-back) into segments whose constants and expression stacks
     claim narrow-arena slots from [scratch_base] upward.  Planning needs
     no runtime: create it afterwards with at least {!plan_scratch} extra
-    slots past [scratch_base] (see [Runtime.create ~extra_slots]). *)
+    slots past [scratch_base] (see [Runtime.create ~extra_slots]).
+    [forcible] nodes are excluded from fusion and realized as guarded
+    closure steps (see {!node_evaluator}). *)
 
 val plan_scratch : plan -> int
 (** Arena-extension slots the plan's segments occupy past its

@@ -20,12 +20,16 @@ type t = {
           (bytecode backend); empty otherwise.  Returns the commit count. *)
   resets : ((unit -> bool) * (unit -> bool) array) array;
       (** (signal test, per-register appliers), grouped by reset signal *)
+  forcible : (int, unit) Hashtbl.t;
+      (** non-input node ids declared forcible at build time *)
   counters : Counters.t;
 }
 
 (* Group slow-path resets by their signal so a design with one reset net
-   performs one check per cycle regardless of register count. *)
-let reset_groups c rt =
+   performs one check per cycle regardless of register count.  Appliers
+   for forcible read nodes are guarded so a stuck-at override survives a
+   reset. *)
+let reset_groups c rt is_forcible =
   let groups = Hashtbl.create 8 in
   List.iter
     (fun (r : Circuit.register) ->
@@ -33,7 +37,12 @@ let reset_groups c rt =
       | Some rst when rst.Circuit.slow_path ->
         let sig_id = rst.Circuit.reset_signal in
         let existing = try Hashtbl.find groups sig_id with Not_found -> [] in
-        Hashtbl.replace groups sig_id (Runtime.reset_applier rt r :: existing)
+        let applier = Runtime.reset_applier rt r in
+        let applier =
+          if is_forcible r.Circuit.read then Runtime.guard rt r.Circuit.read applier
+          else applier
+        in
+        Hashtbl.replace groups sig_id (applier :: existing)
       | Some _ | None -> ())
     (Circuit.registers c);
   Hashtbl.fold
@@ -42,32 +51,54 @@ let reset_groups c rt =
     groups []
   |> Array.of_list
 
-let create ?(backend = Eval.default) c =
+let create ?(backend = Eval.default) ?(forcible = []) c =
   let order = Circuit.eval_order c in
   let registers = Circuit.registers c in
+  let fset = Hashtbl.create (max (2 * List.length forcible) 1) in
+  List.iter
+    (fun id ->
+      match (Circuit.node c id).Circuit.kind with
+      | Circuit.Input -> ()  (* pokes re-apply overrides; no guard needed *)
+      | _ -> Hashtbl.replace fset id ())
+    forcible;
+  let is_forcible id = Hashtbl.mem fset id in
   let rt, evals, sweeps, instrs_per_cycle, reg_copies, reg_sweep =
     match backend with
     | `Closures ->
       let rt = Runtime.create c in
+      let copier (r : Circuit.register) =
+        let f = Runtime.reg_copier rt r in
+        if is_forcible r.Circuit.read then Runtime.guard rt r.Circuit.read f else f
+      in
       ( rt,
-        Array.map (fun id -> Runtime.node_evaluator rt (Circuit.node c id)) order,
+        Array.map
+          (fun id ->
+            fst (Eval.node_evaluator ~backend:`Closures ~forcible:is_forcible rt
+                   (Circuit.node c id)))
+          order,
         [||], 0,
-        registers |> List.map (Runtime.reg_copier rt) |> Array.of_list,
+        registers |> List.map copier |> Array.of_list,
         [||] )
     | `Bytecode ->
       (* Plan first (segments claim arena-extension slots), then create the
          runtime with the extension, then bind. *)
-      let pl = Eval.plan c ~scratch_base:(Circuit.max_id c) order in
+      let pl = Eval.plan ~forcible:is_forcible c ~scratch_base:(Circuit.max_id c) order in
       let rt = Runtime.create ~extra_slots:(Eval.plan_scratch pl) c in
       let sweeps, instrs = Eval.realize rt pl in
-      (* Narrow registers commit through one op_copy segment; wide ones
-         keep their closure copiers. *)
-      let narrow_regs, wide_regs =
+      (* Narrow registers commit through one op_copy segment; wide ones —
+         and forcible ones, whose latch must re-apply the override — keep
+         their (guarded) closure copiers. *)
+      let narrow_regs, closure_regs =
         List.partition
           (fun (r : Circuit.register) ->
             Bits.fits_int (Circuit.node c r.Circuit.read).Circuit.width
-            && Bits.fits_int (Circuit.node c r.Circuit.next).Circuit.width)
+            && Bits.fits_int (Circuit.node c r.Circuit.next).Circuit.width
+            && not (is_forcible r.Circuit.read))
           registers
+      in
+      let copier (r : Circuit.register) =
+        let f = Runtime.reg_copier rt r in
+        if is_forcible r.Circuit.read then Runtime.guard rt r.Circuit.read f else f
       in
       let reg_sweep =
         match narrow_regs with
@@ -83,7 +114,7 @@ let create ?(backend = Eval.default) c =
       in
       ( rt, [||], sweeps,
         instrs + List.length narrow_regs,
-        wide_regs |> List.map (Runtime.reg_copier rt) |> Array.of_list,
+        closure_regs |> List.map copier |> Array.of_list,
         reg_sweep )
   in
   let write_commits =
@@ -101,13 +132,33 @@ let create ?(backend = Eval.default) c =
     write_commits;
     reg_copies;
     reg_sweep;
-    resets = reset_groups c rt;
+    resets = reset_groups c rt is_forcible;
+    forcible = fset;
     counters = Counters.create ();
   }
 
 let poke t id v = ignore (Runtime.poke t.rt id v)
 
 let peek t id = Runtime.peek t.rt id
+
+(* Full-cycle engines re-evaluate everything each step, so force/release
+   need no wakeup — only the declaration check (non-input targets must
+   have been routed around bytecode fusion at build time). *)
+let check_forcible t id =
+  let nd = Circuit.node (Runtime.circuit t.rt) id in
+  match nd.Circuit.kind with
+  | Circuit.Input -> ()
+  | _ ->
+    if not (Hashtbl.mem t.forcible id) then
+      invalid_arg
+        (Printf.sprintf "Full_cycle.force: node %S was not declared forcible"
+           nd.Circuit.name)
+
+let force t ?mask id v =
+  check_forcible t id;
+  ignore (Runtime.force t.rt ?mask id v)
+
+let release t id = ignore (Runtime.release t.rt id)
 
 let step t =
   let ctr = t.counters in
@@ -156,6 +207,8 @@ let sim t =
     load_mem = load_mem t;
     read_mem = (fun mi addr -> Runtime.read_mem t.rt mi addr);
     write_reg = (fun id v -> Runtime.poke_register t.rt id v);
+    force = (fun ?mask id v -> force t ?mask id v);
+    release = (fun id -> release t id);
     invalidate = (fun () -> ());
     counters = (fun () -> t.counters);
   }

@@ -10,11 +10,20 @@ open Gsim_ir
 
 type t
 
-val create : ?backend:Eval.backend -> Circuit.t -> t
-(** [backend] defaults to {!Eval.default} ([`Bytecode]). *)
+val create : ?backend:Eval.backend -> ?forcible:int list -> Circuit.t -> t
+(** [backend] defaults to {!Eval.default} ([`Bytecode]).  [forcible]
+    declares fault-injection targets: those nodes evaluate through
+    guarded closures (never fused into bytecode segments) so {!force}
+    overrides are visible to every consumer. *)
 
 val poke : t -> int -> Bits.t -> unit
 val peek : t -> int -> Bits.t
+
+val force : t -> ?mask:Bits.t -> int -> Bits.t -> unit
+(** Pin the masked bits of a node until {!release}.  Non-input targets
+    must appear in [create]'s [forcible] list. *)
+
+val release : t -> int -> unit
 val step : t -> unit
 val load_mem : t -> int -> Bits.t array -> unit
 val counters : t -> Counters.t

@@ -68,6 +68,8 @@ type t = {
       (* singleton op_copy segment for narrow registers (bytecode backend);
          runs in the coordinator's sequential commit phase *)
   resets : ((unit -> bool) * (unit -> bool) array) array;
+  forcible : (int, unit) Hashtbl.t;
+      (* non-input node ids declared forcible at build time *)
   counters : Counters.t;
   total_evals : int;
   instrs_per_cycle : int;
@@ -109,27 +111,43 @@ let split_slice arr threads w =
   let len = base + if w < extra then 1 else 0 in
   Array.sub arr start len
 
-let create ?(backend = Eval.default) ~threads c =
+let create ?(backend = Eval.default) ?(forcible = []) ~threads c =
   if threads < 1 then invalid_arg "Parallel.create: threads >= 1";
   let buckets = levels_of c in
   let total_evals = Array.fold_left (fun acc b -> acc + List.length b) 0 buckets in
   let registers = Circuit.registers c in
+  let fset = Hashtbl.create (max (2 * List.length forcible) 1) in
+  List.iter
+    (fun id ->
+      match (Circuit.node c id).Circuit.kind with
+      | Circuit.Input -> ()
+      | _ -> Hashtbl.replace fset id ())
+    forcible;
+  let is_forcible id = Hashtbl.mem fset id in
   let instrs_per_cycle = ref 0 in
   let rt, slices, sweep_slices, reg_copies, reg_sweep =
     match backend with
     | `Closures ->
       let rt = Runtime.create c in
+      let copier (r : Circuit.register) =
+        let f = Runtime.reg_copier rt r in
+        if is_forcible r.Circuit.read then Runtime.guard rt r.Circuit.read f else f
+      in
       ( rt,
         Array.map
           (fun bucket ->
             let evals =
               Array.of_list
-                (List.map (fun id -> Runtime.node_evaluator rt (Circuit.node c id)) bucket)
+                (List.map
+                   (fun id ->
+                     fst (Eval.node_evaluator ~backend:`Closures ~forcible:is_forcible
+                            rt (Circuit.node c id)))
+                   bucket)
             in
             Array.init threads (fun w -> split_slice evals threads w))
           buckets,
         [||],
-        registers |> List.map (Runtime.reg_copier rt) |> Array.of_list,
+        registers |> List.map copier |> Array.of_list,
         [||] )
     | `Bytecode ->
       (* Split each level's ids across workers first, then fuse each
@@ -146,7 +164,8 @@ let create ?(backend = Eval.default) ~threads c =
           (fun bucket ->
             let ids = Array.of_list bucket in
             Array.init threads (fun w ->
-                let pl = Eval.plan c ~scratch_base:(scratch_base + !off)
+                let pl = Eval.plan ~forcible:is_forcible c
+                    ~scratch_base:(scratch_base + !off)
                     (split_slice ids threads w)
                 in
                 off := !off + Eval.plan_scratch pl;
@@ -166,7 +185,8 @@ let create ?(backend = Eval.default) ~threads c =
         List.partition
           (fun (r : Circuit.register) ->
             Bits.fits_int (Circuit.node c r.Circuit.read).Circuit.width
-            && Bits.fits_int (Circuit.node c r.Circuit.next).Circuit.width)
+            && Bits.fits_int (Circuit.node c r.Circuit.next).Circuit.width
+            && not (is_forcible r.Circuit.read))
           registers
       in
       let reg_sweep =
@@ -182,8 +202,12 @@ let create ?(backend = Eval.default) ~threads c =
           instrs_per_cycle := !instrs_per_cycle + Array.length pairs;
           [| Bytecode.segment_evaluator rt (Bytecode.copy_segment pairs) |]
       in
+      let copier (r : Circuit.register) =
+        let f = Runtime.reg_copier rt r in
+        if is_forcible r.Circuit.read then Runtime.guard rt r.Circuit.read f else f
+      in
       ( rt, [||], sweep_slices,
-        wide_regs |> List.map (Runtime.reg_copier rt) |> Array.of_list,
+        wide_regs |> List.map copier |> Array.of_list,
         reg_sweep )
   in
   let write_commits =
@@ -199,8 +223,13 @@ let create ?(backend = Eval.default) ~threads c =
         match r.reset with
         | Some rst when rst.Circuit.slow_path ->
           let s = rst.Circuit.reset_signal in
+          let applier = Runtime.reset_applier rt r in
+          let applier =
+            if is_forcible r.Circuit.read then Runtime.guard rt r.Circuit.read applier
+            else applier
+          in
           Hashtbl.replace groups s
-            (Runtime.reset_applier rt r :: (try Hashtbl.find groups s with Not_found -> []))
+            (applier :: (try Hashtbl.find groups s with Not_found -> []))
         | Some _ | None -> ())
       (Circuit.registers c);
     Hashtbl.fold
@@ -219,6 +248,7 @@ let create ?(backend = Eval.default) ~threads c =
       reg_copies;
       reg_sweep;
       resets;
+      forcible = fset;
       counters = Counters.create ();
       total_evals;
       instrs_per_cycle = !instrs_per_cycle;
@@ -352,6 +382,21 @@ let destroy t =
 
 let poke t id v = ignore (Runtime.poke t.rt id v)
 let peek t id = Runtime.peek t.rt id
+
+(* No wakeup needed: every node re-evaluates each cycle.  Forces happen
+   between steps, so no worker is concurrently reading the slot. *)
+let force t ?mask id v =
+  let nd = Circuit.node (Runtime.circuit t.rt) id in
+  (match nd.Circuit.kind with
+   | Circuit.Input -> ()
+   | _ ->
+     if not (Hashtbl.mem t.forcible id) then
+       invalid_arg
+         (Printf.sprintf "Parallel.force: node %S was not declared forcible"
+            nd.Circuit.name));
+  ignore (Runtime.force t.rt ?mask id v)
+
+let release t id = ignore (Runtime.release t.rt id)
 let load_mem t mi contents = Runtime.load_mem t.rt mi contents
 let counters t = t.counters
 let level_count t = t.nlevels
@@ -366,6 +411,8 @@ let sim t =
     load_mem = load_mem t;
     read_mem = (fun mi addr -> Runtime.read_mem t.rt mi addr);
     write_reg = (fun id v -> Runtime.poke_register t.rt id v);
+    force = (fun ?mask id v -> force t ?mask id v);
+    release = (fun id -> release t id);
     invalidate = (fun () -> ());
     counters = (fun () -> t.counters);
   }

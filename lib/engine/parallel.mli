@@ -13,12 +13,20 @@ open Gsim_ir
 
 type t
 
-val create : ?backend:Eval.backend -> threads:int -> Circuit.t -> t
+val create : ?backend:Eval.backend -> ?forcible:int list -> threads:int -> Circuit.t -> t
 (** [backend] defaults to {!Eval.default} ([`Bytecode]);
-    [threads >= 1]; one means no worker domains (sequential). *)
+    [threads >= 1]; one means no worker domains (sequential).
+    [forcible] declares fault-injection targets (see
+    {!Full_cycle.create}). *)
 
 val poke : t -> int -> Bits.t -> unit
 val peek : t -> int -> Bits.t
+
+val force : t -> ?mask:Bits.t -> int -> Bits.t -> unit
+(** Pin the masked bits of a node until {!release}; only between steps.
+    Non-input targets must appear in [create]'s [forcible] list. *)
+
+val release : t -> int -> unit
 val step : t -> unit
 val load_mem : t -> int -> Bits.t array -> unit
 val counters : t -> Counters.t

@@ -286,6 +286,15 @@ let sim t =
     load_mem = load_mem t;
     read_mem = (fun mi addr -> Runtime.read_mem t.rt mi addr);
     write_reg = (fun id v -> Runtime.poke_register t.rt id v);
+    force =
+      (fun ?mask id v ->
+        (* Replicated cones each own a private copy of shared nodes; a
+           force would have to pin every replica.  Inputs are shared, so
+           they remain forcible. *)
+        match (Circuit.node (Runtime.circuit t.rt) id).Circuit.kind with
+        | Circuit.Input -> ignore (Runtime.force t.rt ?mask id v)
+        | _ -> failwith "repcut: force on non-input nodes is not supported");
+    release = (fun id -> ignore (Runtime.release t.rt id));
     invalidate = (fun () -> ());
     counters = (fun () -> t.counters);
   }

@@ -9,6 +9,13 @@ type t = {
   mem_narrow : int array array;
   mem_wide : Bits.t array array;
   mem_is_wide : bool array;
+  (* Force overrides (fault injection): while [forced.(id)] the arena slot
+     always holds [(computed land lnot mask) lor value]; every writer of
+     the slot must re-apply the override (see [guard] and [poke]). *)
+  forced : bool array;
+  fmask_n : int array;  (* packed mask, narrow nodes *)
+  fval_n : int array;   (* packed value, pre-masked *)
+  fwide : (int, Bits.t * Bits.t) Hashtbl.t;  (* id -> mask, pre-masked value *)
 }
 
 let circuit t = t.c
@@ -43,7 +50,21 @@ let create ?(extra_slots = 0) c =
         if wide_node m.mem_width then Array.make m.depth (Bits.zero m.mem_width) else [||])
       mems
   in
-  let t = { c; narrow; wide; is_wide; mem_narrow; mem_wide; mem_is_wide } in
+  let t =
+    {
+      c;
+      narrow;
+      wide;
+      is_wide;
+      mem_narrow;
+      mem_wide;
+      mem_is_wide;
+      forced = Array.make (max n 1) false;
+      fmask_n = Array.make (max n 1) 0;
+      fval_n = Array.make (max n 1) 0;
+      fwide = Hashtbl.create 8;
+    }
+  in
   List.iter
     (fun (r : Circuit.register) ->
       if is_wide.(r.read) then wide.(r.read) <- r.init
@@ -61,6 +82,13 @@ let peek t id =
   if t.is_wide.(id) then t.wide.(id)
   else Bits.unsafe_of_packed ~width:(node_width t id) t.narrow.(id)
 
+let override_wide t id v =
+  match Hashtbl.find_opt t.fwide id with
+  | None -> v
+  | Some (m, mv) -> Bits.logor (Bits.logand v (Bits.lognot m)) mv
+
+let override_narrow t id v = (v land lnot t.fmask_n.(id)) lor t.fval_n.(id)
+
 let poke t id v =
   let nd = Circuit.node t.c id in
   (match nd.Circuit.kind with
@@ -69,12 +97,14 @@ let poke t id v =
   if Bits.width v <> nd.Circuit.width then
     invalid_arg (Printf.sprintf "Runtime.poke: width mismatch on %S" nd.Circuit.name);
   if t.is_wide.(id) then begin
+    let v = if t.forced.(id) then override_wide t id v else v in
     let changed = not (Bits.equal t.wide.(id) v) in
     t.wide.(id) <- v;
     changed
   end
   else begin
     let packed = Bits.to_packed v in
+    let packed = if t.forced.(id) then override_narrow t id packed else packed in
     let changed = t.narrow.(id) <> packed in
     t.narrow.(id) <- packed;
     changed
@@ -102,7 +132,86 @@ let poke_register t id v =
    | Circuit.Reg_read _ -> ()
    | _ -> invalid_arg "Runtime.poke_register: not a register read node");
   if Bits.width v <> nd.Circuit.width then invalid_arg "Runtime.poke_register: width";
-  if t.is_wide.(id) then t.wide.(id) <- v else t.narrow.(id) <- Bits.to_packed v
+  if t.is_wide.(id) then
+    t.wide.(id) <- (if t.forced.(id) then override_wide t id v else v)
+  else
+    let packed = Bits.to_packed v in
+    t.narrow.(id) <- (if t.forced.(id) then override_narrow t id packed else packed)
+
+(* ------------------------------------------------------------------ *)
+(* Force overrides                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let force t ?mask id v =
+  let nd = Circuit.node t.c id in
+  let w = nd.Circuit.width in
+  if Bits.width v <> w then
+    invalid_arg (Printf.sprintf "Runtime.force: width mismatch on %S" nd.Circuit.name);
+  let m =
+    match mask with
+    | None -> Bits.ones w
+    | Some m ->
+      if Bits.width m <> w then
+        invalid_arg (Printf.sprintf "Runtime.force: mask width mismatch on %S" nd.Circuit.name);
+      m
+  in
+  t.forced.(id) <- true;
+  if t.is_wide.(id) then begin
+    Hashtbl.replace t.fwide id (m, Bits.logand v m);
+    let cur = t.wide.(id) in
+    let nv = override_wide t id cur in
+    t.wide.(id) <- nv;
+    not (Bits.equal nv cur)
+  end
+  else begin
+    let mp = Bits.to_packed m in
+    t.fmask_n.(id) <- mp;
+    t.fval_n.(id) <- Bits.to_packed v land mp;
+    let cur = t.narrow.(id) in
+    let nv = override_narrow t id cur in
+    t.narrow.(id) <- nv;
+    nv <> cur
+  end
+
+let release t id =
+  ignore (Circuit.node t.c id);
+  let was = t.forced.(id) in
+  t.forced.(id) <- false;
+  t.fmask_n.(id) <- 0;
+  t.fval_n.(id) <- 0;
+  Hashtbl.remove t.fwide id;
+  was
+
+let is_forced t id = t.forced.(id)
+
+(* Wrap a step that writes the node's slot so the override is re-applied
+   after every evaluation and change is reported against the overridden
+   value.  The un-forced path costs one array load and one branch. *)
+let guard t id step =
+  if t.is_wide.(id) then begin
+    let wide = t.wide and forced = t.forced in
+    fun () ->
+      if not forced.(id) then step ()
+      else begin
+        let old = wide.(id) in
+        ignore (step ());
+        let nv = override_wide t id wide.(id) in
+        wide.(id) <- nv;
+        not (Bits.equal nv old)
+      end
+  end
+  else begin
+    let narrow = t.narrow and forced = t.forced in
+    fun () ->
+      if not forced.(id) then step ()
+      else begin
+        let old = narrow.(id) in
+        ignore (step ());
+        let nv = override_narrow t id narrow.(id) in
+        narrow.(id) <- nv;
+        nv <> old
+      end
+  end
 
 let data_size_bytes t =
   Circuit.fold_nodes t.c ~init:0 ~f:(fun acc nd ->

@@ -35,6 +35,31 @@ val poke_register : t -> int -> Bits.t -> unit
 (** Overwrite a register's current value (by read-node id); checkpoint
     restore. *)
 
+(** {1 Force overrides (fault injection)}
+
+    While a node is forced, its arena slot always holds
+    [(computed land lnot mask) lor (value land mask)].  [poke] and
+    [poke_register] re-apply the override; evaluators and register
+    copiers must be wrapped with {!guard} for every node that may be
+    forced (engines do this for their declared forcible set). *)
+
+val force : t -> ?mask:Bits.t -> int -> Bits.t -> bool
+(** [force t ?mask id v] pins the masked bits of the node to [v]
+    (default mask: all ones).  Applies immediately to the stored value
+    and returns whether it changed. *)
+
+val release : t -> int -> bool
+(** Remove the override.  The stored value keeps the last forced bits
+    until the node is next evaluated (or latched / poked); returns
+    whether an override was active. *)
+
+val is_forced : t -> int -> bool
+
+val guard : t -> int -> (unit -> bool) -> (unit -> bool)
+(** [guard t id step] wraps a step writing node [id]'s slot so the
+    override is re-applied after evaluation and change is reported
+    against the overridden value. *)
+
 val narrow_values : t -> int array
 (** The raw narrow arena itself (indexed by node id), not a copy.  Engine
     internals only: the {!Bytecode} backend reads and writes packed values

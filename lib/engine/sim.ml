@@ -10,6 +10,8 @@ type t = {
   load_mem : int -> Bits.t array -> unit;
   read_mem : int -> int -> Bits.t;
   write_reg : int -> Bits.t -> unit;
+  force : ?mask:Bits.t -> int -> Bits.t -> unit;
+  release : int -> unit;
   invalidate : unit -> unit;
   counters : unit -> Counters.t;
 }
@@ -39,6 +41,8 @@ let of_reference r =
     load_mem = Reference.load_mem r;
     read_mem = Reference.read_mem r;
     write_reg = Reference.force_register r;
+    force = (fun ?mask id v -> ignore (Reference.force r ?mask id v));
+    release = (fun id -> ignore (Reference.release r id));
     invalidate = (fun () -> ());
     counters = (fun () -> counters);
   }

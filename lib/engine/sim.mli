@@ -18,6 +18,17 @@ type t = {
   write_reg : int -> Bits.t -> unit;
       (** Force a register's current value (by read-node id) — checkpoint
           restore; follow with {!field-invalidate} on activity engines. *)
+  force : ?mask:Bits.t -> int -> Bits.t -> unit;
+      (** Pin the masked bits of a node to a value until {!field-release}
+          (fault injection); wakes the node's consumers on activity
+          engines.  Non-input targets must have been declared forcible at
+          engine build time ([Gsim.instantiate ~forcible], or the
+          engine's [create ~forcible]); raises [Invalid_argument]
+          otherwise.  Default mask: all ones. *)
+  release : int -> unit;
+      (** Remove a force override.  The node recomputes on the next step
+          (registers re-latch); an input keeps the last forced value
+          until re-poked. *)
   invalidate : unit -> unit;
       (** Mark all state suspect: activity engines re-evaluate everything
           on the next step.  No-op for full-cycle engines. *)

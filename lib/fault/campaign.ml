@@ -1,0 +1,228 @@
+module Bits = Gsim_bits.Bits
+module Circuit = Gsim_ir.Circuit
+module Sim = Gsim_engine.Sim
+module Checkpoint = Gsim_engine.Checkpoint
+module Gsim = Gsim_core.Gsim
+
+type config = { horizon : int; budget : int }
+
+let default_config = { horizon = 100; budget = 50 }
+
+(* --- Target resolution --------------------------------------------------- *)
+
+type target = { orig_id : int; is_register : bool }
+type resolved = Injectable of target | Bad of string
+
+let resolve circuit cfg (f : Fault.t) =
+  match Circuit.find_node circuit f.Fault.target with
+  | None -> Bad "no-such-node"
+  | Some n ->
+    let w = n.Circuit.width in
+    if f.Fault.cycle < 0 || f.Fault.cycle >= cfg.horizon then Bad "cycle-beyond-horizon"
+    else (
+      match f.Fault.model with
+      | (Fault.Seu b | Fault.Stuck (_, b, _)) when b < 0 || b >= w -> Bad "bit-out-of-range"
+      | (Fault.Stuck (_, _, d) | Fault.Word_force (_, d)) when d <= 0 ->
+        Bad "nonpositive-duration"
+      | Fault.Word_force (v, _) when Bits.width v <> w -> Bad "width-mismatch"
+      | _ ->
+        Injectable
+          {
+            orig_id = n.Circuit.id;
+            is_register = Circuit.register_of_node circuit n.Circuit.id <> None;
+          })
+
+(* --- Campaign ------------------------------------------------------------ *)
+
+(* One golden simulation provides, for every cycle a fault needs:
+   - the per-cycle trace of the design's observable outputs (detection);
+   - architectural checkpoints at each injection cycle (the fork point)
+     and each observation-window end (the latent/masked compare);
+   - for SEUs on combinational signals, the golden value of the target
+     after the injection step — the flip is expressed as a one-cycle
+     force to (golden xor bit), which is engine-independent, unlike
+     peeking the faulty simulator's stale slot after a restore.
+
+   Each fault then reuses ONE faulty simulator: release leftover forces,
+   restore the fork checkpoint, inject, and run the observation window
+   in lockstep against the recorded golden trace.  Both simulators are
+   built with the same [forcible] set, so they are the same compilation
+   and their checkpoints and id maps interoperate trivially. *)
+
+let run ?(skip = fun _ -> false) ?on_record ?progress ?stop_after
+    ?(stimulus = fun _ -> []) cfg sim_config circuit faults =
+  if cfg.horizon <= 0 then invalid_arg "Campaign.run: horizon must be positive";
+  let db = Db.create ~design:(Circuit.name circuit) ~horizon:cfg.horizon () in
+  let record key r =
+    Db.add db key r;
+    match on_record with Some f -> f key r | None -> ()
+  in
+  let faults =
+    List.map (fun f -> (Fault.key f, f)) faults
+    |> List.sort_uniq (fun (a, _) (b, _) -> compare a b)
+  in
+  let todo = List.filter (fun (k, _) -> not (skip k)) faults in
+  let todo =
+    match stop_after with
+    | Some n -> List.filteri (fun i _ -> i < n) todo
+    | None -> todo
+  in
+  let prepared = List.map (fun (k, f) -> (k, f, resolve circuit cfg f)) todo in
+  List.iter
+    (fun (k, _, res) ->
+      match res with
+      | Bad reason -> record k { Db.classification = Db.Uninjectable reason; cycles_run = 0 }
+      | Injectable _ -> ())
+    prepared;
+  let inj =
+    List.filter_map
+      (fun (k, f, res) ->
+        match res with Injectable r -> Some (k, f, r) | Bad _ -> None)
+      prepared
+  in
+  if inj = [] then db
+  else begin
+    let forcible =
+      List.map (fun (_, _, r) -> match r with { orig_id; _ } -> orig_id) inj
+      |> List.sort_uniq compare
+    in
+    (* Keep every register alive in both compilations: the latent/masked
+       distinction compares architectural state, so the state set must
+       not depend on the optimization level or on WHICH faults this
+       shard happens to run (dead-register elimination would otherwise
+       drop state that no surviving output reads). *)
+    let keep =
+      List.map (fun (r : Circuit.register) -> r.Circuit.read) (Circuit.registers circuit)
+    in
+    let golden = Gsim.instantiate ~forcible ~keep sim_config circuit in
+    let faulty = Gsim.instantiate ~forcible ~keep sim_config circuit in
+    Fun.protect
+      ~finally:(fun () ->
+        golden.Gsim.destroy ();
+        faulty.Gsim.destroy ())
+    @@ fun () ->
+    let id_map = golden.Gsim.id_map in
+    let sid id = if id >= 0 && id < Array.length id_map then id_map.(id) else -1 in
+    (* The lockstep compare watches the ORIGINAL design's outputs only —
+       instantiate additionally output-marks the forcible targets (on its
+       private copy) so they survive optimization, and treating those as
+       observable would turn every latent fault into a detected one. *)
+    let observed =
+      Circuit.outputs circuit
+      |> List.filter_map (fun (n : Circuit.node) ->
+             let i = sid n.Circuit.id in
+             if i >= 0 then Some i else None)
+    in
+    let gsim = golden.Gsim.sim and fsim = faulty.Gsim.sim in
+    let window_end k = min cfg.horizon (k + max 1 cfg.budget) in
+    let ck_wanted = Hashtbl.create 64 in
+    let samples_at = Hashtbl.create 64 in
+    List.iter
+      (fun (_, (f : Fault.t), r) ->
+        Hashtbl.replace ck_wanted f.Fault.cycle ();
+        Hashtbl.replace ck_wanted (window_end f.Fault.cycle) ();
+        match (f.Fault.model, r) with
+        | Fault.Seu _, { is_register = false; orig_id } ->
+          let prev = try Hashtbl.find samples_at f.Fault.cycle with Not_found -> [] in
+          Hashtbl.replace samples_at f.Fault.cycle (orig_id :: prev)
+        | _ -> ())
+      inj;
+    (* Golden pass: trace + checkpoints + SEU samples. *)
+    let cks = Hashtbl.create 64 in
+    let samples = Hashtbl.create 64 in
+    let golden_out = Array.make cfg.horizon [] in
+    let apply_stim s c =
+      List.iter
+        (fun (id, v) ->
+          let i = sid id in
+          if i >= 0 then s.Sim.poke i v)
+        (stimulus c)
+    in
+    for c = 0 to cfg.horizon do
+      if Hashtbl.mem ck_wanted c then Hashtbl.replace cks c (Checkpoint.capture gsim);
+      if c < cfg.horizon then begin
+        apply_stim gsim c;
+        gsim.Sim.step ();
+        golden_out.(c) <- List.map gsim.Sim.peek observed;
+        List.iter
+          (fun orig_id ->
+            Hashtbl.replace samples (orig_id, c) (gsim.Sim.peek (sid orig_id)))
+          (try Hashtbl.find samples_at c with Not_found -> [])
+      end
+    done;
+    (* Per-fault forks. *)
+    let active_forces = ref [] in
+    let release_due c =
+      let due, keep = List.partition (fun (_, at) -> at <= c) !active_forces in
+      List.iter (fun (i, _) -> fsim.Sim.release i) due;
+      active_forces := keep
+    in
+    let release_all () = release_due max_int in
+    let total = List.length inj and done_ = ref 0 in
+    List.iter
+      (fun (key, (f : Fault.t), { orig_id; is_register }) ->
+        let inject_cycle = f.Fault.cycle in
+        let endc = window_end inject_cycle in
+        let id = sid orig_id in
+        let c = ref inject_cycle in
+        (if id < 0 then
+           record key { Db.classification = Db.Uninjectable "optimized-away"; cycles_run = 0 }
+         else
+           match
+             release_all ();
+             Checkpoint.restore fsim (Hashtbl.find cks inject_cycle);
+             let width = (Circuit.node circuit orig_id).Circuit.width in
+             (* Bits.shift_left widens by the shift amount; resize back. *)
+             let onehot b = Bits.resize_unsigned (Bits.shift_left (Bits.one 1) b) ~width in
+             (match f.Fault.model with
+              | Fault.Seu b when is_register ->
+                (* Latch the flipped value; the state evolves from it. *)
+                fsim.Sim.write_reg id (Bits.logxor (fsim.Sim.peek id) (onehot b));
+                fsim.Sim.invalidate ()
+              | Fault.Seu b ->
+                let gv = Hashtbl.find samples (orig_id, inject_cycle) in
+                fsim.Sim.force ~mask:(onehot b) id (Bits.logxor gv (onehot b));
+                active_forces := [ (id, inject_cycle + 1) ]
+              | Fault.Stuck (v, b, d) ->
+                let m = onehot b in
+                fsim.Sim.force ~mask:m id (if v then m else Bits.zero width);
+                active_forces := [ (id, inject_cycle + d) ]
+              | Fault.Word_force (v, d) ->
+                fsim.Sim.force id v;
+                active_forces := [ (id, inject_cycle + d) ]);
+             let detected = ref None in
+             while !detected = None && !c < endc do
+               release_due !c;
+               apply_stim fsim !c;
+               fsim.Sim.step ();
+               if not (List.equal Bits.equal (List.map fsim.Sim.peek observed) golden_out.(!c))
+               then detected := Some !c
+               else incr c
+             done;
+             match !detected with
+             | Some dc -> { Db.classification = Db.Detected dc; cycles_run = dc - inject_cycle + 1 }
+             | None ->
+               release_all ();
+               let st = Checkpoint.capture fsim in
+               let cls =
+                 if Checkpoint.equal st (Hashtbl.find cks endc) then Db.Masked else Db.Latent
+               in
+               { Db.classification = cls; cycles_run = endc - inject_cycle }
+           with
+           | r -> record key r
+           | exception e ->
+             (* A fault must never take the campaign down: anything the
+                faulty run raises — engine invariant violation, watchdog —
+                classifies the fault as a hang and moves on. *)
+             (try release_all () with _ -> active_forces := []);
+             record key
+               {
+                 Db.classification = Db.Hang;
+                 cycles_run = max 0 (!c - inject_cycle);
+               };
+             Printf.eprintf "fault %s: hang: %s\n%!" key (Printexc.to_string e));
+        incr done_;
+        match progress with Some p -> p !done_ total | None -> ())
+      inj;
+    db
+  end

@@ -1,0 +1,59 @@
+(** Fault-injection campaign runner.
+
+    A campaign runs one {e golden} (fault-free) simulation of the design
+    over [horizon] cycles, recording the per-cycle values of the design's
+    outputs and checkpointing the architectural state at every cycle a
+    fault will need.  Each fault is then {e forked} from the golden
+    checkpoint at its injection cycle into a single reused faulty
+    simulator, injected (registers: latch the flipped value; wires and
+    inputs: force/release through the engine's override layer), and run
+    in lockstep against the golden trace for at most [budget] cycles —
+    the per-fault watchdog that bounds every fault's cost.
+
+    Classification ({!Db.classification}):
+    - outputs diverge at cycle [c] → [Detected c];
+    - no divergence by the window end, architectural state differs from
+      the golden checkpoint there → [Latent];
+    - state also matches → [Masked];
+    - the faulty run raises → [Hang] (the campaign never crashes);
+    - unresolvable target / out-of-range bit / bad cycle →
+      [Uninjectable].
+
+    Golden and faulty simulators are built by {!Gsim_core.Gsim.instantiate}
+    with the same [forcible] set (every resolvable target), so the
+    classification of each fault is identical across engine presets and
+    evaluation backends. *)
+
+module Bits = Gsim_bits.Bits
+
+type config = {
+  horizon : int;  (** golden-run length, in cycles *)
+  budget : int;  (** max cycles a fault is observed after injection *)
+}
+
+val default_config : config
+(** 100 cycles, budget 50. *)
+
+val run :
+  ?skip:(string -> bool) ->
+  ?on_record:(string -> Db.record -> unit) ->
+  ?progress:(int -> int -> unit) ->
+  ?stop_after:int ->
+  ?stimulus:(int -> (int * Bits.t) list) ->
+  config ->
+  Gsim_core.Gsim.config ->
+  Gsim_ir.Circuit.t ->
+  Fault.t list ->
+  Db.t
+(** [run cfg sim_config circuit faults] classifies every fault and
+    returns the database.
+
+    [skip key] — pre-classified faults to omit ([--resume]);
+    [on_record key record] — called as each fault is classified (append
+    to the on-disk db for crash safety);
+    [progress done total] — called after each injectable fault;
+    [stop_after n] — process at most [n] not-skipped faults ([--stop-after],
+    sharding / CI interruption);
+    [stimulus cycle] — pokes (original-circuit node id, value) applied
+    before each cycle's step, identically in the golden and every faulty
+    run. *)

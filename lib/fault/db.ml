@@ -1,0 +1,222 @@
+type classification =
+  | Detected of int
+  | Latent
+  | Masked
+  | Hang
+  | Uninjectable of string
+
+type record = { classification : classification; cycles_run : int }
+
+type t = {
+  mutable design : string;
+  mutable horizon : int;
+  records : (string, record) Hashtbl.t;
+}
+
+let create ?(design = "") ?(horizon = 0) () =
+  { design; horizon; records = Hashtbl.create 256 }
+
+(* Reasons appear as one whitespace-free token on a db line. *)
+let sanitize_reason r =
+  String.map (fun ch -> if ch = ' ' || ch = '\t' || ch = '\n' then '-' else ch) r
+
+let classification_to_string = function
+  | Detected c -> Printf.sprintf "detected@%d" c
+  | Latent -> "latent"
+  | Masked -> "masked"
+  | Hang -> "hang"
+  | Uninjectable reason -> Printf.sprintf "uninjectable:%s" (sanitize_reason reason)
+
+let classification_of_string s =
+  let fail () = Printf.ksprintf failwith "faultdb: bad classification %S" s in
+  match s with
+  | "latent" -> Latent
+  | "masked" -> Masked
+  | "hang" -> Hang
+  | _ ->
+    if String.length s > 9 && String.sub s 0 9 = "detected@" then
+      match int_of_string_opt (String.sub s 9 (String.length s - 9)) with
+      | Some c -> Detected c
+      | None -> fail ()
+    else if String.length s > 13 && String.sub s 0 13 = "uninjectable:" then
+      Uninjectable (String.sub s 13 (String.length s - 13))
+    else fail ()
+
+let add t key record =
+  match Hashtbl.find_opt t.records key with
+  | Some existing when existing <> record ->
+    Printf.ksprintf failwith
+      "faultdb: conflicting records for %s (%s/%d vs %s/%d)" key
+      (classification_to_string existing.classification)
+      existing.cycles_run
+      (classification_to_string record.classification)
+      record.cycles_run
+  | Some _ -> ()
+  | None -> Hashtbl.replace t.records key record
+
+let find t key = Hashtbl.find_opt t.records key
+let mem t key = Hashtbl.mem t.records key
+let count t = Hashtbl.length t.records
+
+let iter t f =
+  Hashtbl.fold (fun k r acc -> (k, r) :: acc) t.records []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (k, r) -> f k r)
+
+(* --- Merge -------------------------------------------------------------- *)
+
+let merge_design a b =
+  if a = b then a
+  else
+    String.split_on_char '+' (a ^ "+" ^ b)
+    |> List.filter (fun s -> s <> "")
+    |> List.sort_uniq compare |> String.concat "+"
+
+let merge a b =
+  if a.horizon <> 0 && b.horizon <> 0 && a.horizon <> b.horizon then
+    Printf.ksprintf failwith "faultdb: horizon mismatch (%d vs %d)" a.horizon b.horizon;
+  let t = create ~design:(merge_design a.design b.design) ~horizon:(max a.horizon b.horizon) () in
+  Hashtbl.iter (fun k r -> add t k r) a.records;
+  Hashtbl.iter (fun k r -> add t k r) b.records;
+  t
+
+(* --- Summary ------------------------------------------------------------ *)
+
+type summary = {
+  total : int;
+  detected : int;
+  latent : int;
+  masked : int;
+  hangs : int;
+  uninjectable : int;
+  mean_detection_latency : float;  (** cycles from injection to divergence *)
+}
+
+let summary t =
+  let det = ref 0 and lat = ref 0 and msk = ref 0 and hng = ref 0 and uni = ref 0 in
+  let latency_sum = ref 0 in
+  Hashtbl.iter
+    (fun key r ->
+      match r.classification with
+      | Detected c ->
+        incr det;
+        let inject =
+          match String.rindex_opt key '@' with
+          | Some i ->
+            Option.value ~default:0
+              (int_of_string_opt (String.sub key (i + 1) (String.length key - i - 1)))
+          | None -> 0
+        in
+        latency_sum := !latency_sum + max 0 (c - inject)
+      | Latent -> incr lat
+      | Masked -> incr msk
+      | Hang -> incr hng
+      | Uninjectable _ -> incr uni)
+    t.records;
+  {
+    total = Hashtbl.length t.records;
+    detected = !det;
+    latent = !lat;
+    masked = !msk;
+    hangs = !hng;
+    uninjectable = !uni;
+    mean_detection_latency =
+      (if !det = 0 then 0. else float_of_int !latency_sum /. float_of_int !det);
+  }
+
+let coverage_percent s =
+  let injectable = s.total - s.uninjectable in
+  if injectable = 0 then 0. else 100. *. float_of_int s.detected /. float_of_int injectable
+
+(* --- Text format ---------------------------------------------------------
+   faultdb 1
+   design <name>
+   horizon <n>
+   fault <key> <class> <cycles-run>
+
+   Keys may contain spaces in pathological designs, so records are parsed
+   from the right: the last two fields are the classification and cycle
+   count, everything between is the key. *)
+
+let record_line key r =
+  Printf.sprintf "fault %s %s %d\n" key
+    (classification_to_string r.classification)
+    r.cycles_run
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "faultdb 1\n";
+  Buffer.add_string buf (Printf.sprintf "design %s\n" t.design);
+  Buffer.add_string buf (Printf.sprintf "horizon %d\n" t.horizon);
+  iter t (fun key r -> Buffer.add_string buf (record_line key r));
+  Buffer.contents buf
+
+let equal a b = to_string a = to_string b
+
+let parse_line t line =
+  let fail () = Printf.ksprintf failwith "faultdb: bad line %S" line in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "design"; name ] -> t.design <- name
+  | [ "design" ] -> t.design <- ""
+  | [ "horizon"; n ] -> (
+    match int_of_string_opt n with
+    | Some n -> t.horizon <- n
+    | None -> fail ())
+  | "fault" :: rest when List.length rest >= 3 ->
+    let fields = Array.of_list rest in
+    let n = Array.length fields in
+    let cycles =
+      match int_of_string_opt fields.(n - 1) with Some c -> c | None -> fail ()
+    in
+    let classification = classification_of_string fields.(n - 2) in
+    let key = String.concat " " (Array.to_list (Array.sub fields 0 (n - 2))) in
+    add t key { classification; cycles_run = cycles }
+  | _ -> fail ()
+
+let of_string ?(lenient = false) s =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "") in
+  match lines with
+  | header :: rest when String.trim header = "faultdb 1" ->
+    let t = create () in
+    let n = List.length rest in
+    List.iteri
+      (fun i line ->
+        try parse_line t line
+        with Failure _ when lenient && i = n - 1 ->
+          (* A campaign killed mid-append leaves a torn final line; a
+             resuming shard re-runs that fault. *)
+          ())
+      rest;
+    t
+  | _ -> fail "faultdb: missing header"
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let load ?lenient path = of_string ?lenient (read_file path)
+
+(* --- Crash-safe appending ------------------------------------------------ *)
+
+let init_file path t =
+  let oc = open_out path in
+  output_string oc "faultdb 1\n";
+  output_string oc (Printf.sprintf "design %s\n" t.design);
+  output_string oc (Printf.sprintf "horizon %d\n" t.horizon);
+  iter t (fun key r -> output_string oc (record_line key r));
+  close_out oc
+
+let append_record path key r =
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
+  output_string oc (record_line key r);
+  flush oc;
+  close_out oc

@@ -1,0 +1,93 @@
+(** Fault-campaign results database.
+
+    One record per fault key, classifying the fault's effect:
+
+    - [Detected c] — an observable output diverged from the golden run at
+      cycle [c];
+    - [Latent] — outputs never diverged inside the observation window but
+      the architectural state (registers, memories) differs at its end;
+    - [Masked] — the fault left no trace: outputs and final state match
+      the golden run;
+    - [Hang] — the faulty run crashed or tripped the per-fault watchdog;
+    - [Uninjectable reason] — the target does not exist, was optimized
+      away, or the fault is out of range (bit index, cycle).
+
+    The database is a self-describing text file (same conventions as
+    {!Gsim_coverage.Db}): a [faultdb 1] header, [design]/[horizon]
+    metadata, and one [fault <key> <class> <cycles>] line per record,
+    sorted by key in the canonical form.  Campaigns append each record as
+    it is produced ({!append_record}), so a killed campaign leaves a
+    loadable prefix ({!load} with [~lenient:true] drops a torn final
+    line) that [--resume] picks up.  Shards over disjoint fault lists
+    {!merge}; conflicting classifications for one key raise. *)
+
+type classification =
+  | Detected of int  (** cycle of first output divergence *)
+  | Latent
+  | Masked
+  | Hang
+  | Uninjectable of string
+
+type record = { classification : classification; cycles_run : int }
+
+type t = {
+  mutable design : string;
+  mutable horizon : int;
+  records : (string, record) Hashtbl.t;
+}
+
+val create : ?design:string -> ?horizon:int -> unit -> t
+
+val classification_to_string : classification -> string
+(** [detected@C] | [latent] | [masked] | [hang] | [uninjectable:<reason>]. *)
+
+val classification_of_string : string -> classification
+(** Raises [Failure] on malformed input. *)
+
+val add : t -> string -> record -> unit
+(** Idempotent for identical records; raises [Failure] on a conflicting
+    record for an existing key. *)
+
+val find : t -> string -> record option
+val mem : t -> string -> bool
+val count : t -> int
+
+val iter : t -> (string -> record -> unit) -> unit
+(** In canonical (sorted-key) order. *)
+
+val merge : t -> t -> t
+(** Union of two shards.  Raises [Failure] on a horizon mismatch (a
+    horizon of 0 is a wildcard) or conflicting records. *)
+
+type summary = {
+  total : int;
+  detected : int;
+  latent : int;
+  masked : int;
+  hangs : int;
+  uninjectable : int;
+  mean_detection_latency : float;
+}
+
+val summary : t -> summary
+
+val coverage_percent : summary -> float
+(** Detected over injectable (total minus uninjectable), as a percent. *)
+
+val to_string : t -> string
+val equal : t -> t -> bool
+
+val of_string : ?lenient:bool -> string -> t
+(** Raises [Failure] on malformed input.  With [~lenient:true] a parse
+    failure on the {e final} record line is ignored — the torn-write case
+    of a campaign killed mid-append. *)
+
+val save : string -> t -> unit
+val load : ?lenient:bool -> string -> t
+
+val init_file : string -> t -> unit
+(** Write header plus any existing records, truncating [path] — the
+    starting point for {!append_record}. *)
+
+val append_record : string -> string -> record -> unit
+(** Append one record line and flush, creating the file if needed. *)

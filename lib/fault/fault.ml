@@ -1,0 +1,115 @@
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+type model =
+  | Seu of int
+  | Stuck of bool * int * int
+  | Word_force of Bits.t * int
+
+type t = { target : string; model : model; cycle : int }
+
+let model_to_string = function
+  | Seu b -> Printf.sprintf "seu:%d" b
+  | Stuck (v, b, d) -> Printf.sprintf "stuck%d:%d+%d" (if v then 1 else 0) b d
+  | Word_force (v, d) ->
+    Printf.sprintf "word:%d'h%s+%d" (Bits.width v) (Bits.to_hex_string v) d
+
+let key f = Printf.sprintf "%s#%s@%d" f.target (model_to_string f.model) f.cycle
+
+(* Split [s] at the LAST occurrence of [ch]: target names may themselves
+   contain '#' or '@' (generated hierarchy separators never do, but a
+   hand-written design could), while the model and cycle syntax never
+   does. *)
+let rsplit ch s =
+  match String.rindex_opt s ch with
+  | None -> None
+  | Some i ->
+    Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let model_of_string s =
+  let fail () = Printf.ksprintf failwith "fault: bad model %S" s in
+  let int_of x = match int_of_string_opt x with Some n -> n | None -> fail () in
+  let bit_dur rest =
+    match String.split_on_char '+' rest with
+    | [ b; d ] -> (int_of b, int_of d)
+    | _ -> fail ()
+  in
+  match String.index_opt s ':' with
+  | None -> fail ()
+  | Some i ->
+    let head = String.sub s 0 i
+    and rest = String.sub s (i + 1) (String.length s - i - 1) in
+    (match head with
+     | "seu" -> Seu (int_of rest)
+     | "stuck0" ->
+       let b, d = bit_dur rest in
+       Stuck (false, b, d)
+     | "stuck1" ->
+       let b, d = bit_dur rest in
+       Stuck (true, b, d)
+     | "word" -> (
+       match rsplit '+' rest with
+       | Some (v, d) -> (
+         match Bits.of_string v with
+         | bits -> Word_force (bits, int_of d)
+         | exception Invalid_argument _ -> fail ())
+       | None -> fail ())
+     | _ -> fail ())
+
+let of_key s =
+  let fail () = Printf.ksprintf failwith "fault: bad key %S" s in
+  match rsplit '@' s with
+  | None -> fail ()
+  | Some (head, cycle) -> (
+    match (rsplit '#' head, int_of_string_opt cycle) with
+    | Some (target, model), Some cycle when target <> "" && cycle >= 0 ->
+      { target; model = model_of_string model; cycle }
+    | _ -> fail ())
+
+(* --- Random campaign generation ---------------------------------------- *)
+
+(* Every named register read and logic node is a candidate; anonymous
+   intermediates (names starting with '_') are skipped so keys stay
+   meaningful across optimization levels. *)
+let candidates c =
+  let regs =
+    Circuit.registers c
+    |> List.filter_map (fun (r : Circuit.register) ->
+           let n = Circuit.node c r.Circuit.read in
+           if String.length n.Circuit.name > 0 && n.Circuit.name.[0] <> '_' then
+             Some (n.Circuit.name, n.Circuit.width)
+           else None)
+  in
+  let wires =
+    Circuit.fold_nodes c ~init:[] ~f:(fun acc (n : Circuit.node) ->
+        match n.Circuit.kind with
+        | Circuit.Logic
+          when String.length n.Circuit.name > 0 && n.Circuit.name.[0] <> '_' ->
+          (n.Circuit.name, n.Circuit.width) :: acc
+        | _ -> acc)
+    |> List.rev
+  in
+  regs @ wires
+
+let random ?(models = [ `Seu; `Stuck0; `Stuck1; `Word ]) ?(duration = 2) ~seed ~count
+    ~horizon c =
+  if models = [] then invalid_arg "Fault.random: empty model list";
+  let pool = Array.of_list (candidates c) in
+  if Array.length pool = 0 then []
+  else begin
+    let st = Random.State.make [| 0x6f17; seed |] in
+    let models = Array.of_list models in
+    List.init count (fun _ ->
+        let name, width = pool.(Random.State.int st (Array.length pool)) in
+        let cycle = Random.State.int st (max 1 horizon) in
+        let bit = Random.State.int st width in
+        let model =
+          match models.(Random.State.int st (Array.length models)) with
+          | `Seu -> Seu bit
+          | `Stuck0 -> Stuck (false, bit, duration)
+          | `Stuck1 -> Stuck (true, bit, duration)
+          | `Word -> Word_force (Bits.random st ~width, duration)
+        in
+        { target = name; model; cycle })
+    |> List.sort_uniq compare
+  end

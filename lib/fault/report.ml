@@ -1,0 +1,98 @@
+(* Reports over a campaign database: a human-readable summary grouped by
+   target, and machine-readable JSON. *)
+
+let target_of_key key =
+  match String.rindex_opt key '#' with
+  | Some i -> String.sub key 0 i
+  | None -> key
+
+let by_target db =
+  let tbl = Hashtbl.create 64 in
+  Db.iter db (fun key (r : Db.record) ->
+      let t = target_of_key key in
+      let det, lat, msk, other =
+        try Hashtbl.find tbl t with Not_found -> (0, 0, 0, 0)
+      in
+      let entry =
+        match r.Db.classification with
+        | Db.Detected _ -> (det + 1, lat, msk, other)
+        | Db.Latent -> (det, lat + 1, msk, other)
+        | Db.Masked -> (det, lat, msk + 1, other)
+        | Db.Hang | Db.Uninjectable _ -> (det, lat, msk, other + 1)
+      in
+      Hashtbl.replace tbl t entry);
+  Hashtbl.fold (fun t e acc -> (t, e) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let pct part total =
+  if total = 0 then 0. else 100. *. float_of_int part /. float_of_int total
+
+let to_string ?(latent = 0) db =
+  let s = Db.summary db in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "fault campaign: %s\n" db.Db.design;
+  add "horizon %d cycle(s), %d fault(s)\n" db.Db.horizon s.Db.total;
+  add "  detected      %6d  (%.1f%%)\n" s.Db.detected (pct s.Db.detected s.Db.total);
+  add "  latent        %6d  (%.1f%%)\n" s.Db.latent (pct s.Db.latent s.Db.total);
+  add "  masked        %6d  (%.1f%%)\n" s.Db.masked (pct s.Db.masked s.Db.total);
+  add "  hangs         %6d\n" s.Db.hangs;
+  add "  uninjectable  %6d\n" s.Db.uninjectable;
+  add "fault coverage: %.1f%% of injectable faults detected\n" (Db.coverage_percent s);
+  if s.Db.detected > 0 then
+    add "mean detection latency: %.1f cycle(s)\n" s.Db.mean_detection_latency;
+  let targets = by_target db in
+  if targets <> [] then begin
+    add "per-target (detected/latent/masked/other):\n";
+    List.iter
+      (fun (t, (det, lat, msk, other)) ->
+        add "  %-32s %d/%d/%d/%d\n" t det lat msk other)
+      targets
+  end;
+  if latent > 0 then begin
+    let shown = ref 0 in
+    Db.iter db (fun key (r : Db.record) ->
+        if r.Db.classification = Db.Latent && !shown < latent then begin
+          if !shown = 0 then add "latent faults (silent data corruption risks):\n";
+          incr shown;
+          add "  %s\n" key
+        end)
+  end;
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ?(faults = true) db =
+  let s = Db.summary db in
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\"design\":\"%s\",\"horizon\":%d,\"total\":%d," (json_escape db.Db.design)
+    db.Db.horizon s.Db.total;
+  add "\"detected\":%d,\"latent\":%d,\"masked\":%d,\"hangs\":%d,\"uninjectable\":%d,"
+    s.Db.detected s.Db.latent s.Db.masked s.Db.hangs s.Db.uninjectable;
+  add "\"coverage_percent\":%.2f,\"mean_detection_latency\":%.2f" (Db.coverage_percent s)
+    s.Db.mean_detection_latency;
+  if faults then begin
+    add ",\"faults\":[";
+    let first = ref true in
+    Db.iter db (fun key (r : Db.record) ->
+        if not !first then Buffer.add_char buf ',';
+        first := false;
+        add "{\"key\":\"%s\",\"class\":\"%s\",\"cycles\":%d}" (json_escape key)
+          (json_escape (Db.classification_to_string r.Db.classification))
+          r.Db.cycles_run);
+    add "]"
+  end;
+  add "}";
+  Buffer.contents buf

@@ -1,0 +1,10 @@
+(** Render a fault-campaign database. *)
+
+val to_string : ?latent:int -> Db.t -> string
+(** Human-readable summary: per-class counts, fault coverage, mean
+    detection latency, per-target breakdown.  [?latent] additionally
+    lists up to that many latent faults — the silent-corruption risks a
+    campaign exists to surface. *)
+
+val to_json : ?faults:bool -> Db.t -> string
+(** Machine-readable.  [~faults:false] omits the per-fault array. *)

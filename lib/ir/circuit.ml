@@ -384,6 +384,33 @@ let eval_order c =
 
 let check_acyclic c = ignore (eval_order c)
 
+let cycle_diagnostic c ids =
+  let name id =
+    match node_opt c id with
+    | Some n -> Printf.sprintf "%S" n.name
+    | None -> Printf.sprintf "#%d" id
+  in
+  (* The witness walk may carry a tail before it enters the cycle and ends
+     at the first revisited node; keep only the closed loop. *)
+  let closed =
+    match List.rev ids with
+    | [] -> []
+    | last :: _ ->
+      let rec drop = function
+        | x :: _ as l when x = last -> l
+        | _ :: tl -> drop tl
+        | [] -> []
+      in
+      drop ids
+  in
+  match closed with
+  | [] -> "combinational cycle (empty witness)"
+  | _ ->
+    let n = List.length closed - 1 in
+    Printf.sprintf "combinational cycle through %d node%s: %s" (max n 1)
+      (if n <= 1 then "" else "s")
+      (String.concat " -> " (List.map name closed))
+
 let validate c =
   let fail fmt = Printf.ksprintf failwith fmt in
   iter_nodes c (fun n ->

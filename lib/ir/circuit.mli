@@ -173,6 +173,10 @@ val eval_order : t -> int array
 
 val check_acyclic : t -> unit
 
+val cycle_diagnostic : t -> int list -> string
+(** Human-readable description of a {!Combinational_cycle} witness,
+    naming the nodes on the loop ([a -> b -> a]). *)
+
 val validate : t -> unit
 (** Checks the representation invariants: expression widths match node
     widths, variable references point to live nodes with matching widths,

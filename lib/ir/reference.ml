@@ -6,6 +6,11 @@ type t = {
   mems : Bits.t array array;
   order : int array;
   mutable cycles : int;
+  (* Force overrides: while set, [values.(id)] always holds
+     [(computed land lnot mask) lor value]; every write to the slot
+     re-applies the override. *)
+  forced_flag : bool array;
+  forced : (int, Bits.t * Bits.t) Hashtbl.t;  (* id -> mask, pre-masked value *)
 }
 
 let circuit t = t.c
@@ -29,7 +34,20 @@ let create c =
       (fun (m : Circuit.memory) -> Array.make m.depth (Bits.zero m.mem_width))
       (Circuit.memories c)
   in
-  { c; values; mems; order = Circuit.eval_order c; cycles = 0 }
+  {
+    c;
+    values;
+    mems;
+    order = Circuit.eval_order c;
+    cycles = 0;
+    forced_flag = Array.make (max (Circuit.max_id c) 1) false;
+    forced = Hashtbl.create 8;
+  }
+
+let override t id v =
+  match Hashtbl.find_opt t.forced id with
+  | None -> v
+  | Some (m, mv) -> Bits.logor (Bits.logand v (Bits.lognot m)) mv
 
 let poke t id v =
   let n = Circuit.node t.c id in
@@ -40,7 +58,7 @@ let poke t id v =
     invalid_arg
       (Printf.sprintf "Reference.poke: %S has width %d, value %d" n.Circuit.name
          n.Circuit.width (Bits.width v));
-  t.values.(id) <- v
+  t.values.(id) <- (if t.forced_flag.(id) then override t id v else v)
 
 let peek t id =
   ignore (Circuit.node t.c id);
@@ -48,7 +66,7 @@ let peek t id =
 
 let eval_node t id =
   let n = Circuit.node t.c id in
-  match n.Circuit.kind with
+  (match n.Circuit.kind with
   | Circuit.Logic | Circuit.Reg_next _ ->
     (match n.Circuit.expr with
      | Some e -> t.values.(id) <- Expr.eval (fun v -> t.values.(v)) e
@@ -63,7 +81,8 @@ let eval_node t id =
     t.values.(id) <-
       (if enabled && addr < m.Circuit.depth then t.mems.(p.Circuit.r_mem).(addr)
        else Bits.zero m.Circuit.mem_width)
-  | Circuit.Input | Circuit.Reg_read _ -> assert false
+  | Circuit.Input | Circuit.Reg_read _ -> assert false);
+  if t.forced_flag.(id) then t.values.(id) <- override t id t.values.(id)
 
 let eval_comb t = Array.iter (eval_node t) t.order
 
@@ -88,7 +107,7 @@ let commit t =
           rst.reset_value
         | Some _ | None -> t.values.(r.next)
       in
-      t.values.(r.read) <- v)
+      t.values.(r.read) <- (if t.forced_flag.(r.read) then override t r.read v else v))
     (Circuit.registers t.c)
 
 let step t =
@@ -120,7 +139,32 @@ let force_register t id v =
   | Circuit.Reg_read _ ->
     if Bits.width v <> (Circuit.node t.c id).Circuit.width then
       invalid_arg "Reference.force_register: width";
-    t.values.(id) <- v
+    t.values.(id) <- (if t.forced_flag.(id) then override t id v else v)
   | _ -> invalid_arg "Reference.force_register: not a register read node"
+
+let force t ?mask id v =
+  let n = Circuit.node t.c id in
+  let w = n.Circuit.width in
+  if Bits.width v <> w then invalid_arg "Reference.force: width mismatch";
+  let m =
+    match mask with
+    | None -> Bits.ones w
+    | Some m ->
+      if Bits.width m <> w then invalid_arg "Reference.force: mask width mismatch";
+      m
+  in
+  t.forced_flag.(id) <- true;
+  Hashtbl.replace t.forced id (m, Bits.logand v m);
+  let cur = t.values.(id) in
+  let nv = override t id cur in
+  t.values.(id) <- nv;
+  not (Bits.equal nv cur)
+
+let release t id =
+  ignore (Circuit.node t.c id);
+  let was = t.forced_flag.(id) in
+  t.forced_flag.(id) <- false;
+  Hashtbl.remove t.forced id;
+  was
 
 let cycle_count t = t.cycles

@@ -46,4 +46,14 @@ val force_register : t -> int -> Bits.t -> unit
 (** Overwrite a register's current value (by read-node id); checkpoint
     restore. *)
 
+val force : t -> ?mask:Bits.t -> int -> Bits.t -> bool
+(** Pin the masked bits of any node to the given value until {!release}
+    (fault injection).  The override survives evaluation, latching and
+    pokes; returns whether the stored value changed. *)
+
+val release : t -> int -> bool
+(** Remove a {!force} override; the stored value keeps the forced bits
+    until the node is next evaluated / latched / poked.  Returns whether
+    an override was active. *)
+
 val cycle_count : t -> int

@@ -152,6 +152,140 @@ let test_torture () =
     torture_one ~seed ~with_parallel:(seed mod 12 = 0)
   done
 
+(* --- differential force/release torture (fault-injection layer) -------- *)
+
+(* Random force/release schedules over random circuits must leave every
+   engine × backend combination bit-identical to the reference
+   interpreter — the soundness property the fault campaign stands on.
+   Targets are declared forcible at build time, so under bytecode they
+   are demoted out of segment fusion into guarded closures. *)
+let force_engines backend targets :
+    (string * (Circuit.t -> Sim.t * (unit -> unit))) list =
+  [
+    ( "full_cycle",
+      fun c -> (Full_cycle.sim (Full_cycle.create ~backend ~forcible:targets c), fun () -> ()) );
+    ( "essent_mffc",
+      fun c ->
+        let p = Partition.mffc c ~max_size:12 in
+        ( Activity.sim ~name:"essent_mffc"
+            (Activity.create ~config:Activity.essent_config ~backend ~forcible:targets c p),
+          fun () -> () ) );
+    ( "gsim",
+      fun c ->
+        let p = Partition.gsim c ~max_size:24 in
+        ( Activity.sim ~name:"gsim"
+            (Activity.create ~config:Activity.gsim_config ~backend ~forcible:targets c p),
+          fun () -> () ) );
+    ( "parallel2",
+      fun c ->
+        let t = Parallel.create ~backend ~forcible:targets ~threads:2 c in
+        (Parallel.sim t, fun () -> Parallel.destroy t) );
+  ]
+
+let torture_force_one ~seed =
+  let st = Random.State.make [| seed; 9021 |] in
+  let cfg =
+    {
+      Rand_circuit.default_config with
+      Rand_circuit.logic_nodes = 20 + (seed mod 25);
+      max_width = (if seed mod 5 = 0 then 100 else 62);
+    }
+  in
+  let c = Rand_circuit.generate st cfg in
+  let cycles = 14 in
+  let stimulus = Rand_circuit.random_stimulus st c ~cycles in
+  (* Up to four forcible targets among logic nodes and register reads. *)
+  let candidates =
+    Circuit.fold_nodes c ~init:[] ~f:(fun acc n ->
+        match n.Circuit.kind with
+        | Circuit.Logic | Circuit.Reg_read _ -> n.Circuit.id :: acc
+        | _ -> acc)
+    |> Array.of_list
+  in
+  let targets =
+    List.init
+      (min 4 (Array.length candidates))
+      (fun _ -> candidates.(Random.State.int st (Array.length candidates)))
+    |> List.sort_uniq compare
+  in
+  (* Per-cycle schedule: each target may be forced (random mask/value,
+     sometimes a full-word force) or released before the step. *)
+  let schedule =
+    Array.init cycles (fun _ ->
+        List.filter_map
+          (fun id ->
+            let w = (Circuit.node c id).Circuit.width in
+            match Random.State.int st 5 with
+            | 0 -> Some (id, Some (None, Bits.random st ~width:w))
+            | 1 ->
+              Some (id, Some (Some (Bits.random st ~width:w), Bits.random st ~width:w))
+            | 2 -> Some (id, None)
+            | _ -> None)
+          targets)
+  in
+  let observe = Collect.default_observed c in
+  let run make =
+    let sim, cleanup = make c in
+    let out =
+      Array.init cycles (fun i ->
+          List.iter (fun (id, v) -> sim.Sim.poke id v) stimulus.(i);
+          List.iter
+            (function
+              | id, Some (mask, v) -> sim.Sim.force ?mask id v
+              | id, None -> sim.Sim.release id)
+            schedule.(i);
+          sim.Sim.step ();
+          List.map sim.Sim.peek observe)
+    in
+    cleanup ();
+    out
+  in
+  let expected = run (fun c -> (Sim.of_reference (Reference.create c), fun () -> ())) in
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun (name, make) ->
+          let got = run make in
+          if not (Sim.equal_traces expected got) then begin
+            (* Locate the first divergence for the failure message. *)
+            let where = ref "" in
+            Array.iteri
+              (fun cyc row ->
+                if !where = "" then
+                  List.iteri
+                    (fun k v ->
+                      let g = List.nth got.(cyc) k in
+                      if !where = "" && not (Bits.equal v g) then
+                        let id = List.nth observe k in
+                        let kind =
+                          match (Circuit.node c id).Circuit.kind with
+                          | Circuit.Input -> "input"
+                          | Circuit.Logic -> "logic"
+                          | Circuit.Reg_read _ -> "reg_read"
+                          | Circuit.Reg_next _ -> "reg_next"
+                          | Circuit.Mem_read _ -> "mem_read"
+                        in
+                        where :=
+                          Printf.sprintf "cycle %d node %d (%s, target=%b): %s vs %s" cyc
+                            id kind
+                            (List.mem id targets)
+                            (Format.asprintf "%a" Bits.pp v)
+                            (Format.asprintf "%a" Bits.pp g))
+                    row)
+              expected;
+            Alcotest.failf "seed %d: %s/%s: forced run diverges from reference at %s" seed
+              name
+              (Gsim_engine.Eval.to_string backend)
+              !where
+          end)
+        (force_engines backend targets))
+    [ `Closures; `Bytecode ]
+
+let test_force_torture () =
+  for seed = 0 to 59 do
+    torture_force_one ~seed
+  done
+
 (* --- coverage databases must not depend on the backend ---------------- *)
 
 let test_coverage_identical () =
@@ -224,6 +358,7 @@ let () =
       ( "differential",
         [
           Alcotest.test_case "torture 120 random circuits" `Slow test_torture;
+          Alcotest.test_case "force/release torture 60 circuits" `Slow test_force_torture;
           Alcotest.test_case "coverage identical" `Quick test_coverage_identical;
         ] );
       ("counters", [ Alcotest.test_case "instrs gating" `Quick test_instrs_counter ]);
