@@ -5,7 +5,7 @@
    substrate; run without arguments to produce everything.
 
      main.exe [--quick] [table1|fig6|fig7|fig8|fig9|table3|table4|
-               ablation|model|coverage|fault|backend|micro|all]                *)
+               ablation|model|coverage|fault|backend|resilience|micro|all]     *)
 
 module Bits = Gsim_bits.Bits
 module Circuit = Gsim_ir.Circuit
@@ -553,6 +553,97 @@ let backend () =
   Printf.printf "  [wrote BENCH_backends.json]\n"
 
 (* ------------------------------------------------------------------ *)
+(* Resilience: checkpoint + shadow-verification overhead                *)
+(* ------------------------------------------------------------------ *)
+
+(* What a long-running session pays for crash safety and for lockstep
+   verification, against the same workload run bare.  Periodic persistent
+   checkpoints should be noise; shadow verification is expected to cost
+   about one reference-engine replay of every verified window — the
+   price of the guarantee, reported rather than hidden. *)
+let resilience () =
+  let module Session = Gsim_resilience.Session in
+  header "Resilience - checkpoint ring and shadow lockstep overhead (stuCore, coremark)";
+  let d = Designs.stu_core in
+  let prog = coremark_long () in
+  let cycles = if !quick then 2_000 else 20_000 in
+  let stride = cycles / 10 in
+  let tmp_dir tag =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gsim-bench-res-%d-%s" (Unix.getpid ()) tag)
+    in
+    Gsim_resilience.Store.ensure_dir dir;
+    dir
+  in
+  let variants =
+    [
+      ("bare", None);
+      ("session", Some Session.default);
+      ( "checkpoints",
+        Some
+          { Session.default with
+            Session.checkpoint_every = Some stride;
+            checkpoint_dir = Some (tmp_dir "ck") } );
+      ("shadow", Some { Session.default with Session.shadow_stride = Some stride });
+      ( "checkpoints+shadow",
+        Some
+          { Session.default with
+            Session.checkpoint_every = Some stride;
+            checkpoint_dir = Some (tmp_dir "both");
+            shadow_stride = Some stride } );
+    ]
+  in
+  let run_variant config = function
+    | None ->
+      let core = build_design d in
+      let compiled = Gsim.instantiate config core.Stu_core.circuit in
+      let sim = compiled.Gsim.sim in
+      Designs.load_program sim core.Stu_core.h prog;
+      let t0 = now () in
+      Designs.run_cycles sim cycles;
+      let dt = now () -. t0 in
+      compiled.Gsim.destroy ();
+      (dt, 0, 0)
+    | Some cfg ->
+      let core = build_design d in
+      let t = Session.create cfg config core.Stu_core.circuit in
+      Designs.load_program (Session.sim t) core.Stu_core.h prog;
+      let t0 = now () in
+      let o = Session.run t cycles in
+      let dt = now () -. t0 in
+      Session.destroy t;
+      (dt, o.Session.checkpoints_written, o.Session.windows_verified)
+  in
+  Printf.printf "%-11s %-19s %12s %9s %6s %8s\n" "engine" "variant" "speed" "overhead"
+    "ckpts" "windows";
+  let rows = ref [] in
+  List.iter
+    (fun (ename, config) ->
+      let base = ref nan in
+      List.iter
+        (fun (vname, cfg) ->
+          let dt, ckpts, windows = run_variant config cfg in
+          let hz = float_of_int cycles /. dt in
+          if cfg = None then base := hz;
+          let overhead = (!base /. hz -. 1.) *. 100. in
+          Printf.printf "%-11s %-19s %12s %8.1f%% %6d %8d\n%!" ename vname (pp_hz hz)
+            overhead ckpts windows;
+          rows :=
+            Printf.sprintf
+              "    {\"engine\":%S,\"variant\":%S,\"hz\":%.1f,\"overhead_pct\":%.2f,\"checkpoints\":%d,\"windows_verified\":%d,\"cycles\":%d}"
+              ename vname hz overhead ckpts windows cycles
+            :: !rows)
+        variants)
+    [ ("gsim", Gsim.gsim); ("full-cycle", Gsim.verilator ()) ];
+  let oc = open_out "BENCH_resilience.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"resilience\",\n  \"rows\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.rev !rows));
+  close_out oc;
+  Printf.printf "  [wrote BENCH_resilience.json]\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernel inner loops                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -650,10 +741,11 @@ let () =
          | "coverage" -> coverage ()
          | "fault" -> fault ()
          | "backend" -> backend ()
+         | "resilience" -> resilience ()
          | "micro" -> micro ()
          | other ->
            Printf.eprintf
-             "unknown bench %S (expected table1|fig6|fig7|fig8|fig9|table3|table4|ablation|model|coverage|fault|backend|micro|all)\n"
+             "unknown bench %S (expected table1|fig6|fig7|fig8|fig9|table3|table4|ablation|model|coverage|fault|backend|resilience|micro|all)\n"
              other;
            exit 2)
        cmds);

@@ -24,6 +24,10 @@ module Fault = Gsim_fault.Fault
 module Fault_db = Gsim_fault.Db
 module Campaign = Gsim_fault.Campaign
 module Fault_report = Gsim_fault.Report
+module Session = Gsim_resilience.Session
+module Incident = Gsim_resilience.Incident
+
+exception Usage of string
 
 let config_of_engine name threads max_supernode level backend =
   let level =
@@ -122,6 +126,157 @@ let coverage_arg =
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output")
 
+let parse_pokes circuit specs =
+  List.map
+    (fun spec ->
+      match String.split_on_char '=' spec with
+      | [ name; value ] -> (
+        match Circuit.find_node circuit name with
+        | Some n -> (n.Circuit.id, Bits.of_int ~width:n.Circuit.width (int_of_string value))
+        | None -> failwith (Printf.sprintf "no input named %S" name))
+      | _ -> failwith (Printf.sprintf "bad poke %S (want name=value)" spec))
+    specs
+
+(* --- resilience ----------------------------------------------------------
+   The flags shared by `sim` and `run` that route execution through a
+   resilient session (lib/resilience): crash-safe periodic checkpoints,
+   shadow lockstep verification, wall-clock watchdog, and graceful
+   degradation onto the reference engine. *)
+
+let ck_every_arg =
+  Arg.(value & opt (some int) None
+       & info [ "checkpoint-every" ] ~docv:"N"
+           ~doc:"Persist a crash-safe checkpoint every N cycles (needs --checkpoint-dir)")
+
+let ck_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint-dir" ] ~docv:"DIR"
+           ~doc:"Directory for the checkpoint ring (and incident reports)")
+
+let ck_ring_arg =
+  Arg.(value & opt int 3
+       & info [ "checkpoint-ring" ] ~docv:"K"
+           ~doc:"Checkpoint generations to keep (0 keeps everything)")
+
+let resume_arg =
+  Arg.(value & flag
+       & info [ "resume" ]
+           ~doc:"Restore the newest valid checkpoint from --checkpoint-dir before running")
+
+let shadow_arg =
+  Arg.(value & opt (some int) None
+       & info [ "shadow-stride" ] ~docv:"N"
+           ~doc:"Every N cycles, re-execute the window on the reference engine and \
+                 compare architectural state; divergences are bisected to a minimal \
+                 replayable incident and the session degrades onto the reference engine")
+
+let watchdog_arg =
+  Arg.(value & opt (some float) None
+       & info [ "watchdog" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget per step batch on the primary engine; a trip rolls \
+                 back to the last verified checkpoint and degrades")
+
+let inject_arg =
+  Arg.(value & opt_all string []
+       & info [ "inject" ] ~docv:"KEY"
+           ~doc:"Seed a primary-only fault (same KEY syntax as fault campaigns, e.g. \
+                 r#stuck1:0+100\\@50) — exercises detection and degradation")
+
+let incident_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "incident-dir" ] ~docv:"DIR"
+           ~doc:"Where incident reports are written (default: --checkpoint-dir)")
+
+let session_config ck_every ck_dir ring resume shadow_stride watchdog incident_dir injects
+    =
+  let wants =
+    ck_every <> None || ck_dir <> None || resume || shadow_stride <> None
+    || watchdog <> None || incident_dir <> None || injects <> []
+  in
+  if not wants then None
+  else begin
+    if resume && ck_dir = None then raise (Usage "--resume requires --checkpoint-dir");
+    if ck_every <> None && ck_dir = None then
+      raise (Usage "--checkpoint-every requires --checkpoint-dir");
+    (match ck_every with
+     | Some n when n <= 0 -> raise (Usage "--checkpoint-every must be positive")
+     | _ -> ());
+    (match shadow_stride with
+     | Some n when n <= 0 -> raise (Usage "--shadow-stride must be positive")
+     | _ -> ());
+    Some
+      {
+        Session.checkpoint_every = ck_every;
+        checkpoint_dir = ck_dir;
+        ring;
+        shadow_stride;
+        watchdog_seconds = watchdog;
+        incident_dir;
+      }
+  end
+
+let resolve_injections circuit keys =
+  List.map
+    (fun key ->
+      let f = Fault.of_key key in
+      match Circuit.find_node circuit f.Fault.target with
+      | Some n -> (f, n)
+      | None -> failwith (Printf.sprintf "inject: no node named %S" f.Fault.target))
+    keys
+
+(* Injections run on the primary sim only (a degraded session leaves its
+   faults behind): registers latch the flipped value, everything else
+   goes through the engine's force/release override layer. *)
+let schedule_injections circuit t resolved =
+  List.iter
+    (fun ((f : Fault.t), (n : Circuit.node)) ->
+      let id = n.Circuit.id in
+      let width = n.Circuit.width in
+      let onehot b =
+        if b < 0 || b >= width then
+          failwith (Printf.sprintf "inject %s: bit %d out of range" (Fault.key f) b)
+        else Bits.resize_unsigned (Bits.shift_left (Bits.one 1) b) ~width
+      in
+      let is_register = Circuit.register_of_node circuit id <> None in
+      let c = f.Fault.cycle in
+      match f.Fault.model with
+      | Fault.Seu b when is_register ->
+        Session.inject_at t ~cycle:c (fun sim ->
+            sim.Sim.write_reg id (Bits.logxor (sim.Sim.peek id) (onehot b));
+            sim.Sim.invalidate ())
+      | Fault.Seu b ->
+        Session.inject_at t ~cycle:c (fun sim ->
+            sim.Sim.force ~mask:(onehot b) id (Bits.logxor (sim.Sim.peek id) (onehot b)));
+        Session.inject_at t ~cycle:(c + 1) (fun sim -> sim.Sim.release id)
+      | Fault.Stuck (v, b, d) ->
+        Session.inject_at t ~cycle:c (fun sim ->
+            let m = onehot b in
+            sim.Sim.force ~mask:m id (if v then m else Bits.zero width));
+        Session.inject_at t ~cycle:(c + d) (fun sim -> sim.Sim.release id)
+      | Fault.Word_force (v, d) ->
+        Session.inject_at t ~cycle:c (fun sim -> sim.Sim.force id v);
+        Session.inject_at t ~cycle:(c + d) (fun sim -> sim.Sim.release id))
+    resolved
+
+let print_session_summary t (o : Session.outcome) =
+  if o.Session.checkpoints_written > 0 then
+    Printf.printf "checkpoints: %d written\n" o.Session.checkpoints_written;
+  if o.Session.windows_verified > 0 then
+    Printf.printf "shadow: %d window(s) verified\n" o.Session.windows_verified;
+  List.iter
+    (fun inc -> Printf.printf "incident: %s\n" (Incident.summary inc))
+    o.Session.incidents;
+  if o.Session.degraded then
+    Printf.printf "degraded: session completed on %s\n" (Session.active_name t)
+
+let session_json_fields _t (o : Session.outcome) resumed =
+  Printf.sprintf
+    "\"resumed_at\":%s,\"final_cycle\":%d,\"checkpoints\":%d,\"windows_verified\":%d,\"incidents\":%d,\"degraded\":%b"
+    (match resumed with Some (c, _) -> string_of_int c | None -> "null")
+    o.Session.final_cycle o.Session.checkpoints_written o.Session.windows_verified
+    (List.length o.Session.incidents)
+    o.Session.degraded
+
 (* --- stats --------------------------------------------------------------- *)
 
 let stats_cmd =
@@ -192,10 +347,69 @@ let emit_fir_cmd =
 (* --- sim ----------------------------------------------------------------- *)
 
 let sim_cmd =
+  (* The resilient path: the whole run goes through a Session, which owns
+     instantiation (primary and fallback must share the kept-register
+     set), periodic persistence, shadow verification, and degradation. *)
+  let run_resilient circuit halt config scfg resume injects cycles pokes save_ck json =
+    let resolved = resolve_injections circuit injects in
+    let forcible = List.map (fun (_, (n : Circuit.node)) -> n.Circuit.id) resolved in
+    let t = Session.create ~forcible scfg config circuit in
+    Fun.protect ~finally:(fun () -> Session.destroy t) @@ fun () ->
+    schedule_injections circuit t resolved;
+    let resumed = if resume then Session.resume t else None in
+    (match resumed with
+     | Some (c, path) -> if not json then Printf.printf "resumed at cycle %d from %s\n" c path
+     | None -> if resume && not json then print_endline "no checkpoint to resume from");
+    let const_pokes = parse_pokes circuit pokes in
+    let stimulus _cycle = const_pokes in
+    let o = Session.run ~stimulus ?halt t cycles in
+    let sim = Session.sim t in
+    if json then begin
+      let outputs =
+        Circuit.outputs circuit
+        |> List.map (fun (n : Circuit.node) ->
+               Printf.sprintf "\"%s\":\"%s\"" n.Circuit.name
+                 (Format.asprintf "%a" Bits.pp (sim.Sim.peek n.Circuit.id)))
+        |> String.concat ","
+      in
+      Printf.printf "{\"engine\":\"%s\",\"cycles\":%d,\"outputs\":{%s},%s}\n"
+        (Session.active_name t) o.Session.final_cycle outputs
+        (session_json_fields t o resumed)
+    end
+    else begin
+      if o.Session.halted then Printf.printf "$halt asserted at cycle %d\n" o.Session.final_cycle;
+      Printf.printf "ran %d cycles (to cycle %d) on %s\n" o.Session.ran
+        o.Session.final_cycle (Session.active_name t);
+      List.iter
+        (fun (n : Circuit.node) ->
+          Printf.printf "  %-24s = %s\n" n.Circuit.name
+            (Format.asprintf "%a" Bits.pp (sim.Sim.peek n.Circuit.id)))
+        (Circuit.outputs circuit);
+      print_session_summary t o
+    end;
+    match save_ck with
+    | Some path ->
+      Gsim_engine.Checkpoint.save path (Session.checkpoint t);
+      if not json then Printf.printf "checkpoint written to %s\n" path
+    | None -> ()
+  in
   let run file engine threads level max_supernode backend cycles pokes vcd_path save_ck
-      restore_ck coverage json =
+      restore_ck coverage json ck_every ck_dir ring resume shadow_stride watchdog
+      incident_dir injects =
     let circuit, halt = Gsim.load_design_file file in
     let config = config_of_engine engine threads max_supernode level backend in
+    match
+      session_config ck_every ck_dir ring resume shadow_stride watchdog incident_dir
+        injects
+    with
+    | Some scfg ->
+      if coverage <> None || vcd_path <> None || restore_ck <> None then
+        raise
+          (Usage
+             "--coverage/--vcd/--restore-checkpoint cannot be combined with resilience \
+              options (use --checkpoint-dir/--resume instead)");
+      run_resilient circuit halt config scfg resume injects cycles pokes save_ck json
+    | None ->
     let compiled = Gsim.instantiate config circuit in
     let sim, finish_coverage = attach_coverage coverage compiled in
     let sim, close_vcd =
@@ -276,12 +490,51 @@ let sim_cmd =
   Cmd.v (Cmd.info "sim" ~doc:"Simulate a FIRRTL design")
     Term.(const run $ file_arg $ engine_arg $ threads_arg $ level_arg $ supernode_arg
           $ backend_arg $ cycles $ pokes $ vcd $ save_ck $ restore_ck $ coverage_arg
-          $ json_arg)
+          $ json_arg $ ck_every_arg $ ck_dir_arg $ ck_ring_arg $ resume_arg $ shadow_arg
+          $ watchdog_arg $ incident_dir_arg $ inject_arg)
 
 (* --- run ----------------------------------------------------------------- *)
 
 let run_cmd =
-  let run design workload engine threads level max_supernode backend max_cycles coverage json =
+  let run_resilient core prog design _workload config scfg resume injects max_cycles json =
+    let circuit = core.Stu_core.circuit in
+    let resolved = resolve_injections circuit injects in
+    let forcible = List.map (fun (_, (n : Circuit.node)) -> n.Circuit.id) resolved in
+    let t = Session.create ~forcible scfg config circuit in
+    Fun.protect ~finally:(fun () -> Session.destroy t) @@ fun () ->
+    schedule_injections circuit t resolved;
+    let resumed = if resume then Session.resume t else None in
+    (match resumed with
+     | Some (c, path) -> if not json then Printf.printf "resumed at cycle %d from %s\n" c path
+     | None ->
+       (* A fresh session loads the program; a resumed one gets its memory
+          image (and any stores the program already did) from the
+          checkpoint. *)
+       Designs.load_program (Session.sim t) core.Stu_core.h prog);
+    let t0 = Unix.gettimeofday () in
+    let o = Session.run ~halt:core.Stu_core.h.Stu_core.halt t max_cycles in
+    let dt = Unix.gettimeofday () -. t0 in
+    let sim = Session.sim t in
+    if json then
+      Printf.printf
+        "{\"design\":\"%s\",\"workload\":\"%s\",\"engine\":\"%s\",\"cycles\":%d,\"instructions\":%d,\"seconds\":%.6f,%s}\n"
+        design prog.Gsim_designs.Isa.prog_name (Session.active_name t)
+        o.Session.final_cycle
+        (Sim.peek_int sim core.Stu_core.h.Stu_core.instret)
+        dt
+        (session_json_fields t o resumed)
+    else begin
+      Printf.printf "%s on %s: %s at cycle %d, %d instructions in %.3fs\n"
+        prog.Gsim_designs.Isa.prog_name (Session.active_name t)
+        (if o.Session.halted then "halted" else "cycle budget exhausted")
+        o.Session.final_cycle
+        (Sim.peek_int sim core.Stu_core.h.Stu_core.instret)
+        dt;
+      print_session_summary t o
+    end
+  in
+  let run design workload engine threads level max_supernode backend max_cycles coverage
+      json ck_every ck_dir ring resume shadow_stride watchdog incident_dir injects =
     let d =
       match Designs.by_name design with
       | Some d -> d
@@ -301,6 +554,15 @@ let run_cmd =
     let core = d.Designs.build () in
     if not json then Printf.printf "%s\n" (Designs.stats_line core.Stu_core.circuit);
     let config = config_of_engine engine threads max_supernode level backend in
+    match
+      session_config ck_every ck_dir ring resume shadow_stride watchdog incident_dir
+        injects
+    with
+    | Some scfg ->
+      if coverage <> None then
+        raise (Usage "--coverage cannot be combined with resilience options");
+      run_resilient core prog design workload config scfg resume injects max_cycles json
+    | None ->
     let compiled = Gsim.instantiate config core.Stu_core.circuit in
     let sim, finish_coverage = attach_coverage coverage compiled in
     Designs.load_program sim core.Stu_core.h prog;
@@ -341,7 +603,9 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a built-in workload on a built-in design")
     Term.(const run $ design $ workload $ engine_arg $ threads_arg $ level_arg $ supernode_arg
-          $ backend_arg $ max_cycles $ coverage_arg $ json_arg)
+          $ backend_arg $ max_cycles $ coverage_arg $ json_arg $ ck_every_arg $ ck_dir_arg
+          $ ck_ring_arg $ resume_arg $ shadow_arg $ watchdog_arg $ incident_dir_arg
+          $ inject_arg)
 
 (* --- cov ----------------------------------------------------------------- *)
 
@@ -472,20 +736,9 @@ let cov_cmd =
 
 (* --- fault --------------------------------------------------------------- *)
 
-let parse_pokes circuit specs =
-  List.map
-    (fun spec ->
-      match String.split_on_char '=' spec with
-      | [ name; value ] -> (
-        match Circuit.find_node circuit name with
-        | Some n -> (n.Circuit.id, Bits.of_int ~width:n.Circuit.width (int_of_string value))
-        | None -> failwith (Printf.sprintf "no input named %S" name))
-      | _ -> failwith (Printf.sprintf "bad poke %S (want name=value)" spec))
-    specs
-
 let fault_campaign_cmd =
   let run file engine threads level max_supernode backend horizon budget nfaults seed models
-      duration fault_keys pokes db_path resume stop_after latent json =
+      duration fault_keys pokes db_path resume stop_after latent golden_dir json =
     let circuit, _ = Gsim.load_design_file file in
     let config = config_of_engine engine threads max_supernode level backend in
     let cfg = { Campaign.horizon; budget } in
@@ -528,7 +781,7 @@ let fault_campaign_cmd =
     let fresh =
       Campaign.run ~skip
         ~on_record:(Fault_db.append_record db_path)
-        ~progress ?stop_after ~stimulus cfg config circuit faults
+        ~progress ?stop_after ~stimulus ?golden_dir cfg config circuit faults
     in
     if not json then Printf.eprintf "\r%!";
     let db = Fault_db.merge partial fresh in
@@ -587,12 +840,19 @@ let fault_campaign_cmd =
     Arg.(value & opt int 0
          & info [ "latent" ] ~docv:"N" ~doc:"List up to N latent faults in the text report")
   in
+  let golden_dir =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint-dir" ] ~docv:"DIR"
+             ~doc:"Persist the golden run's checkpoints, output trace and SEU samples \
+                   here (crash-safe); a resumed campaign reuses them instead of \
+                   re-simulating the golden pass")
+  in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run a fault-injection campaign against a golden run of the design")
     Term.(const run $ file_arg $ engine_arg $ threads_arg $ level_arg $ supernode_arg
           $ backend_arg $ horizon $ budget $ nfaults $ seed $ models $ duration $ fault_keys
-          $ pokes $ db_path $ resume $ stop_after $ latent $ json_arg)
+          $ pokes $ db_path $ resume $ stop_after $ latent $ golden_dir $ json_arg)
 
 let fault_merge_cmd =
   let run out inputs =
@@ -766,9 +1026,13 @@ let () =
       [ stats_cmd; emit_cmd; emit_fir_cmd; sim_cmd; run_cmd; cov_cmd; fault_cmd; profile_cmd;
         equiv_cmd ]
   in
+  (* Ctrl-C raises Sys.Break instead of killing the process outright, so
+     at_exit handlers (partial-checkpoint temp-file cleanup) still run
+     and the conventional interrupt code is reported. *)
+  Sys.catch_break true;
   (* Every error reaches the user as one line on stderr, never a
      backtrace: 2 for usage errors (cmdliner has already printed those),
-     1 for runtime failures. *)
+     1 for runtime failures, 130 for an interrupt. *)
   exit
     (try
        match Cmd.eval_value ~catch:false group with
@@ -776,6 +1040,12 @@ let () =
        | Error (`Parse | `Term) -> 2
        | Error `Exn -> 1
      with
+     | Usage msg ->
+       Printf.eprintf "gsim: %s\n" msg;
+       2
+     | Sys.Break ->
+       prerr_endline "gsim: interrupted";
+       130
      | Failure msg | Sys_error msg ->
        Printf.eprintf "gsim: %s\n" msg;
        1

@@ -9,6 +9,28 @@ type t = {
 }
 
 let cycle t = t.ck_cycle
+let with_cycle t ck_cycle = { t with ck_cycle }
+
+let format_version = 2
+
+(* --- CRC32 (IEEE 802.3 / zlib polynomial) ------------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
 
 let capture (sim : Sim.t) =
   let c = sim.Sim.circuit in
@@ -35,12 +57,17 @@ let capture (sim : Sim.t) =
   }
 
 let restore (sim : Sim.t) t =
+  let fail fmt = Printf.ksprintf failwith fmt in
   let c = sim.Sim.circuit in
   List.iter
     (fun (name, v) ->
       match Circuit.find_node c name with
-      | Some n -> sim.Sim.poke n.Circuit.id v
-      | None -> failwith (Printf.sprintf "Checkpoint.restore: no input %S" name))
+      | Some n ->
+        if Bits.width v <> n.Circuit.width then
+          fail "Checkpoint.restore: input %S is %d bit(s) wide in the checkpoint but %d in the design"
+            name (Bits.width v) n.Circuit.width;
+        sim.Sim.poke n.Circuit.id v
+      | None -> fail "Checkpoint.restore: no input %S" name)
     t.inputs;
   let reg_by_name = Hashtbl.create 64 in
   List.iter
@@ -49,8 +76,13 @@ let restore (sim : Sim.t) t =
   List.iter
     (fun (name, v) ->
       match Hashtbl.find_opt reg_by_name name with
-      | Some r -> sim.Sim.write_reg r.Circuit.read v
-      | None -> failwith (Printf.sprintf "Checkpoint.restore: no register %S" name))
+      | Some r ->
+        let w = (Circuit.node c r.Circuit.read).Circuit.width in
+        if Bits.width v <> w then
+          fail "Checkpoint.restore: register %S is %d bit(s) wide in the checkpoint but %d in the design"
+            name (Bits.width v) w;
+        sim.Sim.write_reg r.Circuit.read v
+      | None -> fail "Checkpoint.restore: no register %S" name)
     t.registers;
   let mems = Circuit.memories c in
   List.iter
@@ -60,24 +92,36 @@ let restore (sim : Sim.t) t =
         (fun mi (m : Circuit.memory) ->
           if m.Circuit.mem_name = name then begin
             found := true;
+            if Array.length contents <> m.Circuit.depth then
+              fail "Checkpoint.restore: memory %S has depth %d in the checkpoint but %d in the design"
+                name (Array.length contents) m.Circuit.depth;
+            Array.iteri
+              (fun i v ->
+                if Bits.width v <> m.Circuit.mem_width then
+                  fail "Checkpoint.restore: memory %S word %d is %d bit(s) wide in the checkpoint but %d in the design"
+                    name i (Bits.width v) m.Circuit.mem_width)
+              contents;
             sim.Sim.load_mem mi contents
           end)
         mems;
-      if not !found then failwith (Printf.sprintf "Checkpoint.restore: no memory %S" name))
+      if not !found then fail "Checkpoint.restore: no memory %S" name)
     t.memories;
   sim.Sim.invalidate ()
 
-(* --- Text format -------------------------------------------------------
-   ckpt 1
+(* --- Text format (version 2) --------------------------------------------
+   ckpt 2
    cycle <n>
    input <name> <width>'h<hex>
    reg <name> <width>'h<hex>
    mem <name> <depth> <width>
-   <hex> <hex> ...                (depth words, 16 per line)               *)
+   <hex> <hex> ...                (depth words, 16 per line)
+   crc <crc32-of-everything-above, 8 hex digits>
 
-let to_string t =
+   Version 1 files (no crc footer) still load.                            *)
+
+let body_string t =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "ckpt 1\n";
+  Buffer.add_string buf (Printf.sprintf "ckpt %d\n" format_version);
   Buffer.add_string buf (Printf.sprintf "cycle %d\n" t.ck_cycle);
   let value v = Format.asprintf "%a" Bits.pp v in
   List.iter
@@ -100,70 +144,150 @@ let to_string t =
     t.memories;
   Buffer.contents buf
 
-let of_string s =
+let to_string t =
+  let body = body_string t in
+  Printf.sprintf "%scrc %08x\n" body (crc32 body)
+
+(* Splits off a trailing "crc <hex>" line; [None] when the last line is
+   not a crc footer (a version-1 file, or a write torn before the
+   footer). *)
+let split_footer s =
+  let len = String.length s in
+  let e = ref len in
+  while !e > 0 && (s.[!e - 1] = '\n' || s.[!e - 1] = ' ' || s.[!e - 1] = '\r') do
+    decr e
+  done;
+  if !e = 0 then None
+  else
+    let line_start =
+      match String.rindex_from_opt s (!e - 1) '\n' with Some i -> i + 1 | None -> 0
+    in
+    match String.split_on_char ' ' (String.sub s line_start (!e - line_start)) with
+    | [ "crc"; hex ] when String.length hex = 8 -> (
+      match int_of_string_opt ("0x" ^ hex) with
+      | Some stored -> Some (String.sub s 0 line_start, stored)
+      | None -> None)
+    | _ -> None
+
+(* Body parser shared by both versions.  In [lenient] mode a malformed or
+   truncated trailing portion is dropped: every section completed before
+   the first error is kept ("last complete section" semantics), so a file
+   torn mid-write still yields the prefix that did reach the disk. *)
+let parse_body ~lenient lines =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let cycle = ref 0 in
+  let inputs = ref [] and registers = ref [] and memories = ref [] in
+  let seen = Hashtbl.create 64 in
+  let check_fresh kind name =
+    if Hashtbl.mem seen (kind, name) then fail "checkpoint: duplicate %s %S" kind name;
+    Hashtbl.replace seen (kind, name) ()
+  in
+  let value kind name v =
+    match Bits.of_string v with
+    | b -> b
+    | exception Invalid_argument _ -> fail "checkpoint: bad value %S for %s %S" v kind name
+  in
+  let int_field what n =
+    match int_of_string_opt n with
+    | Some i -> i
+    | None -> fail "checkpoint: bad %s %S" what n
+  in
+  let rec go = function
+    | [] -> ()
+    | line :: rest -> (
+        match String.split_on_char ' ' (String.trim line) with
+        | [ "cycle"; n ] ->
+          cycle := int_field "cycle count" n;
+          go rest
+        | [ "input"; name; v ] ->
+          check_fresh "input" name;
+          inputs := (name, value "input" name v) :: !inputs;
+          go rest
+        | [ "reg"; name; v ] ->
+          check_fresh "reg" name;
+          registers := (name, value "reg" name v) :: !registers;
+          go rest
+        | [ "mem"; name; depth; width ] ->
+          check_fresh "mem" name;
+          let depth = int_field "memory depth" depth
+          and width = int_field "memory width" width in
+          if depth < 0 || width <= 0 then fail "checkpoint: bad geometry for memory %S" name;
+          let words = Array.make depth (Bits.zero width) in
+          let filled = ref 0 in
+          let rec take = function
+            | rest when !filled >= depth -> rest
+            | [] -> fail "checkpoint: memory %S truncated (%d of %d words)" name !filled depth
+            | line :: rest ->
+              List.iter
+                (fun tok ->
+                  if tok <> "" then begin
+                    if !filled >= depth then
+                      fail "checkpoint: memory %S overflows its declared depth %d" name depth;
+                    words.(!filled) <-
+                      value "memory word of" name (Printf.sprintf "%d'h%s" width tok);
+                    incr filled
+                  end)
+                (String.split_on_char ' ' (String.trim line));
+              take rest
+          in
+          let rest = take rest in
+          memories := (name, words) :: !memories;
+          go rest
+        | _ -> fail "checkpoint: bad line %S" line)
+  in
+  (try go lines with Failure _ when lenient -> ());
+  {
+    ck_cycle = !cycle;
+    inputs = List.rev !inputs;
+    registers = List.rev !registers;
+    memories = List.rev !memories;
+  }
+
+let of_string ?(lenient = false) s =
   let fail fmt = Printf.ksprintf failwith fmt in
   let lines = String.split_on_char '\n' s in
   let lines = List.filter (fun l -> String.trim l <> "") lines in
   match lines with
-  | header :: rest when String.trim header = "ckpt 1" ->
-    let cycle = ref 0 in
-    let inputs = ref [] and registers = ref [] and memories = ref [] in
-    let rec go = function
-      | [] -> ()
-      | line :: rest -> (
-          match String.split_on_char ' ' (String.trim line) with
-          | [ "cycle"; n ] ->
-            cycle := int_of_string n;
-            go rest
-          | [ "input"; name; v ] ->
-            inputs := (name, Bits.of_string v) :: !inputs;
-            go rest
-          | [ "reg"; name; v ] ->
-            registers := (name, Bits.of_string v) :: !registers;
-            go rest
-          | [ "mem"; name; depth; width ] ->
-            let depth = int_of_string depth and width = int_of_string width in
-            let words = Array.make depth (Bits.zero width) in
-            let filled = ref 0 in
-            let rec take = function
-              | rest when !filled >= depth -> rest
-              | [] -> fail "checkpoint: memory %s truncated" name
-              | line :: rest ->
-                List.iter
-                  (fun tok ->
-                    if tok <> "" then begin
-                      if !filled >= depth then fail "checkpoint: memory %s overflows" name;
-                      words.(!filled) <- Bits.of_string (Printf.sprintf "%d'h%s" width tok);
-                      incr filled
-                    end)
-                  (String.split_on_char ' ' (String.trim line));
-                take rest
-            in
-            let rest = take rest in
-            memories := (name, words) :: !memories;
-            go rest
-          | _ -> fail "checkpoint: bad line %S" line)
+  | header :: rest when String.trim header = "ckpt 1" -> parse_body ~lenient rest
+  | header :: rest when String.trim header = Printf.sprintf "ckpt %d" format_version ->
+    let rest =
+      (* Drop the footer from the line list; validate it against the raw
+         prefix (whitespace included). *)
+      match split_footer s with
+      | Some (body, stored) ->
+        let computed = crc32 body in
+        if stored <> computed && not lenient then
+          fail "checkpoint: CRC mismatch (stored %08x, computed %08x): corrupt or torn file"
+            stored computed;
+        List.filter
+          (fun l ->
+            match String.split_on_char ' ' (String.trim l) with
+            | [ "crc"; _ ] -> false
+            | _ -> true)
+          rest
+      | None ->
+        if not lenient then
+          fail "checkpoint: missing crc footer (file truncated before the final line)";
+        rest
     in
-    go rest;
-    {
-      ck_cycle = !cycle;
-      inputs = List.rev !inputs;
-      registers = List.rev !registers;
-      memories = List.rev !memories;
-    }
-  | _ -> fail "checkpoint: missing header"
+    parse_body ~lenient rest
+  | header :: _ -> fail "checkpoint: unsupported header %S (expected \"ckpt %d\")"
+                     (String.trim header) format_version
+  | [] -> fail "checkpoint: empty input"
 
 let save path t =
   let oc = open_out path in
   output_string oc (to_string t);
   close_out oc
 
-let load path =
+let load ?lenient path =
   let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  of_string s
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string ?lenient s
 
 let equal a b =
   a.inputs = b.inputs && a.registers = b.registers
@@ -171,3 +295,44 @@ let equal a b =
   && List.for_all2
        (fun (n1, c1) (n2, c2) -> n1 = n2 && Array.for_all2 Bits.equal c1 c2)
        a.memories b.memories
+
+(* --- Architectural diff -------------------------------------------------- *)
+
+let diff a b =
+  let out = ref [] in
+  let value v = Format.asprintf "%a" Bits.pp v in
+  let scalar_diff section xs ys =
+    let ys_tbl = Hashtbl.create 64 in
+    List.iter (fun (n, v) -> Hashtbl.replace ys_tbl n v) ys;
+    List.iter
+      (fun (n, v) ->
+        match Hashtbl.find_opt ys_tbl n with
+        | Some v' ->
+          Hashtbl.remove ys_tbl n;
+          if not (Bits.equal v v') then out := (n, value v, value v') :: !out
+        | None -> out := (n, value v, "<absent>") :: !out)
+      xs;
+    List.iter
+      (fun (n, _) ->
+        if Hashtbl.mem ys_tbl n then
+          out := (n, "<absent>", value (Hashtbl.find ys_tbl n)) :: !out)
+      ys;
+    ignore section
+  in
+  scalar_diff "input" a.inputs b.inputs;
+  scalar_diff "reg" a.registers b.registers;
+  let b_mems = Hashtbl.create 8 in
+  List.iter (fun (n, c) -> Hashtbl.replace b_mems n c) b.memories;
+  List.iter
+    (fun (n, c) ->
+      match Hashtbl.find_opt b_mems n with
+      | Some c' when Array.length c = Array.length c' ->
+        Array.iteri
+          (fun i v ->
+            if not (Bits.equal v c'.(i)) then
+              out := (Printf.sprintf "%s[%d]" n i, value v, value c'.(i)) :: !out)
+          c
+      | Some _ -> out := (n, "<depth-mismatch>", "<depth-mismatch>") :: !out
+      | None -> out := (n, "<present>", "<absent>") :: !out)
+    a.memories;
+  List.rev !out

@@ -5,7 +5,10 @@
     SimPoint-checkpoint workflow the paper uses for its SPEC evaluation
     (run a fast simulator to the region of interest, snapshot, and resume
     anywhere).  Checkpoints can also be saved to and loaded from a simple
-    self-describing text format.
+    self-describing text format; version 2 of the format ends in a CRC32
+    footer so a torn or corrupted file is detected at load time (the
+    {!Gsim_resilience.Store} ring relies on this to fall back to an older
+    generation).
 
     Restoring leaves combinational values stale by design; the wrapped
     engines re-derive them on the next [step] (activity engines are fully
@@ -20,20 +23,45 @@ type t
 val capture : Sim.t -> t
 
 val restore : Sim.t -> t -> unit
-(** Raises [Failure] when a register or memory recorded in the checkpoint
-    has no same-named counterpart in the target. *)
+(** Raises [Failure] when a register, input or memory recorded in the
+    checkpoint has no same-named counterpart in the target, or when its
+    width or depth does not match the design's.  Every error names the
+    offending signal and both geometries. *)
+
+val format_version : int
+(** Current on-disk format version (2).  Version-1 files (no CRC footer)
+    still load. *)
+
+val crc32 : string -> int
+(** IEEE 802.3 CRC32, the checksum of the version-2 footer. *)
 
 val to_string : t -> string
+(** Serializes in the current format version, CRC footer included. *)
 
-val of_string : string -> t
-(** Raises [Failure] on malformed input. *)
+val of_string : ?lenient:bool -> string -> t
+(** Raises [Failure] on malformed input — with distinct messages for a
+    missing/CRC-failing footer, truncated memory blocks, duplicate
+    register/input/memory lines, bad values and bad lines.  With
+    [~lenient:true] (the [--resume] torn-write mode) a trailing
+    malformed portion is dropped instead: every section completed before
+    the first error is kept, and a missing or mismatching CRC footer is
+    tolerated. *)
 
 val save : string -> t -> unit
 
-val load : string -> t
+val load : ?lenient:bool -> string -> t
 
 val cycle : t -> int
 (** Cycle count recorded at capture time. *)
 
+val with_cycle : t -> int -> t
+(** Same state, different recorded cycle — sessions track absolute cycle
+    counts across resumes, while each engine's counter restarts at 0. *)
+
 val equal : t -> t -> bool
-(** Same architectural state (used by the determinism tests). *)
+(** Same architectural state (used by the determinism tests).  Ignores
+    the recorded cycle. *)
+
+val diff : t -> t -> (string * string * string) list
+(** [(signal, value_in_a, value_in_b)] for every architectural mismatch;
+    memory words appear as ["name[index]"].  Empty iff {!equal}. *)

@@ -3,6 +3,7 @@ module Circuit = Gsim_ir.Circuit
 module Sim = Gsim_engine.Sim
 module Checkpoint = Gsim_engine.Checkpoint
 module Gsim = Gsim_core.Gsim
+module Store = Gsim_resilience.Store
 
 type config = { horizon : int; budget : int }
 
@@ -32,6 +33,108 @@ let resolve circuit cfg (f : Fault.t) =
             is_register = Circuit.register_of_node circuit n.Circuit.id <> None;
           })
 
+(* --- Golden-state persistence --------------------------------------------
+   With [~golden_dir], the golden pass's products — output trace, SEU
+   samples, and the fork/compare checkpoints — are persisted through the
+   resilience layer's atomic checkpoint store, so an interrupted campaign
+   resumes from recorded engine state instead of re-simulating the golden
+   run.  Checkpoints are stored by name, so the cache survives changes to
+   the forcible set (a resumed shard with fewer remaining faults needs a
+   subset of the recorded cycles); the metadata header invalidates it
+   when the design, engine configuration, or horizon changes. *)
+
+let golden_trace_name = "golden.gtr"
+
+let pp_value v = Format.asprintf "%a" Bits.pp v
+
+let load_golden store ~design ~config_name ~horizon ~nobs ~ck_wanted ~samples_at =
+  let path = Filename.concat (Store.dir store) golden_trace_name in
+  if not (Sys.file_exists path) then None
+  else
+    match
+      let ic = open_in_bin path in
+      let s =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let lines =
+        String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+      in
+      let meta = Hashtbl.create 8 in
+      let golden_out = Array.make horizon [] in
+      let seen_out = Array.make horizon false in
+      let samples = Hashtbl.create 64 in
+      List.iter
+        (fun line ->
+          match String.split_on_char ' ' (String.trim line) with
+          | [ "golden"; "1" ] -> ()
+          | key :: rest when List.mem key [ "design"; "config"; "horizon"; "observed" ]
+            ->
+            Hashtbl.replace meta key (String.concat " " rest)
+          | "out" :: c :: vs -> (
+            match int_of_string_opt c with
+            | Some c when c >= 0 && c < horizon ->
+              golden_out.(c) <- List.map Bits.of_string vs;
+              seen_out.(c) <- true
+            | _ -> failwith "golden: cycle out of range")
+          | [ "sample"; id; c; v ] -> (
+            match (int_of_string_opt id, int_of_string_opt c) with
+            | Some id, Some c -> Hashtbl.replace samples (id, c) (Bits.of_string v)
+            | _ -> failwith "golden: bad sample line")
+          | _ -> failwith "golden: bad line")
+        lines;
+      let check k v = Hashtbl.find_opt meta k = Some v in
+      if
+        not
+          (check "design" design && check "config" config_name
+          && check "horizon" (string_of_int horizon)
+          && check "observed" (string_of_int nobs))
+      then failwith "golden: stale metadata";
+      if not (Array.for_all (fun b -> b) seen_out) then
+        failwith "golden: incomplete trace";
+      Array.iter
+        (fun vs -> if List.length vs <> nobs then failwith "golden: wrong arity")
+        golden_out;
+      Hashtbl.iter
+        (fun c ids ->
+          List.iter
+            (fun id ->
+              if not (Hashtbl.mem samples (id, c)) then failwith "golden: missing sample")
+            ids)
+        samples_at;
+      let cks = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun c () ->
+          match Store.find store c with
+          | Some ck -> Hashtbl.replace cks c ck
+          | None -> failwith "golden: missing checkpoint")
+        ck_wanted;
+      (cks, golden_out, samples)
+    with
+    | r -> Some r
+    | exception _ -> None
+
+let save_golden store ~design ~config_name ~horizon ~nobs ~cks ~golden_out ~samples =
+  Hashtbl.iter (fun c ck -> ignore (Store.save store (Checkpoint.with_cycle ck c))) cks;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "golden 1\n";
+  Buffer.add_string buf
+    (Printf.sprintf "design %s\nconfig %s\nhorizon %d\nobserved %d\n" design config_name
+       horizon nobs);
+  Array.iteri
+    (fun c vs ->
+      Buffer.add_string buf (Printf.sprintf "out %d" c);
+      List.iter (fun v -> Buffer.add_string buf (" " ^ pp_value v)) vs;
+      Buffer.add_char buf '\n')
+    golden_out;
+  Hashtbl.iter
+    (fun (id, c) v ->
+      Buffer.add_string buf (Printf.sprintf "sample %d %d %s\n" id c (pp_value v)))
+    samples;
+  Store.write_atomic (Filename.concat (Store.dir store) golden_trace_name)
+    (Buffer.contents buf)
+
 (* --- Campaign ------------------------------------------------------------ *)
 
 (* One golden simulation provides, for every cycle a fault needs:
@@ -50,7 +153,7 @@ let resolve circuit cfg (f : Fault.t) =
    and their checkpoints and id maps interoperate trivially. *)
 
 let run ?(skip = fun _ -> false) ?on_record ?progress ?stop_after
-    ?(stimulus = fun _ -> []) cfg sim_config circuit faults =
+    ?(stimulus = fun _ -> []) ?golden_dir cfg sim_config circuit faults =
   if cfg.horizon <= 0 then invalid_arg "Campaign.run: horizon must be positive";
   let db = Db.create ~design:(Circuit.name circuit) ~horizon:cfg.horizon () in
   let record key r =
@@ -94,14 +197,10 @@ let run ?(skip = fun _ -> false) ?on_record ?progress ?stop_after
     let keep =
       List.map (fun (r : Circuit.register) -> r.Circuit.read) (Circuit.registers circuit)
     in
-    let golden = Gsim.instantiate ~forcible ~keep sim_config circuit in
     let faulty = Gsim.instantiate ~forcible ~keep sim_config circuit in
-    Fun.protect
-      ~finally:(fun () ->
-        golden.Gsim.destroy ();
-        faulty.Gsim.destroy ())
+    Fun.protect ~finally:(fun () -> faulty.Gsim.destroy ())
     @@ fun () ->
-    let id_map = golden.Gsim.id_map in
+    let id_map = faulty.Gsim.id_map in
     let sid id = if id >= 0 && id < Array.length id_map then id_map.(id) else -1 in
     (* The lockstep compare watches the ORIGINAL design's outputs only —
        instantiate additionally output-marks the forcible targets (on its
@@ -113,7 +212,7 @@ let run ?(skip = fun _ -> false) ?on_record ?progress ?stop_after
              let i = sid n.Circuit.id in
              if i >= 0 then Some i else None)
     in
-    let gsim = golden.Gsim.sim and fsim = faulty.Gsim.sim in
+    let fsim = faulty.Gsim.sim in
     let window_end k = min cfg.horizon (k + max 1 cfg.budget) in
     let ck_wanted = Hashtbl.create 64 in
     let samples_at = Hashtbl.create 64 in
@@ -127,10 +226,6 @@ let run ?(skip = fun _ -> false) ?on_record ?progress ?stop_after
           Hashtbl.replace samples_at f.Fault.cycle (orig_id :: prev)
         | _ -> ())
       inj;
-    (* Golden pass: trace + checkpoints + SEU samples. *)
-    let cks = Hashtbl.create 64 in
-    let samples = Hashtbl.create 64 in
-    let golden_out = Array.make cfg.horizon [] in
     let apply_stim s c =
       List.iter
         (fun (id, v) ->
@@ -138,18 +233,49 @@ let run ?(skip = fun _ -> false) ?on_record ?progress ?stop_after
           if i >= 0 then s.Sim.poke i v)
         (stimulus c)
     in
-    for c = 0 to cfg.horizon do
-      if Hashtbl.mem ck_wanted c then Hashtbl.replace cks c (Checkpoint.capture gsim);
-      if c < cfg.horizon then begin
-        apply_stim gsim c;
-        gsim.Sim.step ();
-        golden_out.(c) <- List.map gsim.Sim.peek observed;
-        List.iter
-          (fun orig_id ->
-            Hashtbl.replace samples (orig_id, c) (gsim.Sim.peek (sid orig_id)))
-          (try Hashtbl.find samples_at c with Not_found -> [])
-      end
-    done;
+    (* Golden pass: trace + checkpoints + SEU samples — recomputed only
+       when no (valid, covering) persisted golden state exists. *)
+    let gstore = Option.map (fun d -> Store.create ~ring:0 d) golden_dir in
+    let design = Circuit.name circuit in
+    let config_name = sim_config.Gsim.config_name in
+    let nobs = List.length observed in
+    let cached =
+      match gstore with
+      | Some store ->
+        load_golden store ~design ~config_name ~horizon:cfg.horizon ~nobs ~ck_wanted
+          ~samples_at
+      | None -> None
+    in
+    let cks, golden_out, samples =
+      match cached with
+      | Some x -> x
+      | None ->
+        let golden = Gsim.instantiate ~forcible ~keep sim_config circuit in
+        Fun.protect ~finally:(fun () -> golden.Gsim.destroy ())
+        @@ fun () ->
+        let gsim = golden.Gsim.sim in
+        let cks = Hashtbl.create 64 in
+        let samples = Hashtbl.create 64 in
+        let golden_out = Array.make cfg.horizon [] in
+        for c = 0 to cfg.horizon do
+          if Hashtbl.mem ck_wanted c then Hashtbl.replace cks c (Checkpoint.capture gsim);
+          if c < cfg.horizon then begin
+            apply_stim gsim c;
+            gsim.Sim.step ();
+            golden_out.(c) <- List.map gsim.Sim.peek observed;
+            List.iter
+              (fun orig_id ->
+                Hashtbl.replace samples (orig_id, c) (gsim.Sim.peek (sid orig_id)))
+              (try Hashtbl.find samples_at c with Not_found -> [])
+          end
+        done;
+        (match gstore with
+         | Some store ->
+           save_golden store ~design ~config_name ~horizon:cfg.horizon ~nobs ~cks
+             ~golden_out ~samples
+         | None -> ());
+        (cks, golden_out, samples)
+    in
     (* Per-fault forks. *)
     let active_forces = ref [] in
     let release_due c =

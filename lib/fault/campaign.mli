@@ -40,6 +40,7 @@ val run :
   ?progress:(int -> int -> unit) ->
   ?stop_after:int ->
   ?stimulus:(int -> (int * Bits.t) list) ->
+  ?golden_dir:string ->
   config ->
   Gsim_core.Gsim.config ->
   Gsim_ir.Circuit.t ->
@@ -56,4 +57,11 @@ val run :
     sharding / CI interruption);
     [stimulus cycle] — pokes (original-circuit node id, value) applied
     before each cycle's step, identically in the golden and every faulty
-    run. *)
+    run;
+    [golden_dir] — persist the golden pass's products (output trace, SEU
+    samples, fork/compare checkpoints) through the crash-safe store of
+    {!Gsim_resilience.Store}, and reuse them when a valid covering cache
+    is already there — an interrupted campaign resumed with [skip]
+    restarts from recorded engine state instead of re-simulating the
+    golden run.  The cache is invalidated automatically if the design,
+    engine configuration, or horizon changes. *)

@@ -1,0 +1,168 @@
+module Checkpoint = Gsim_engine.Checkpoint
+
+type kind =
+  | Divergence
+  | Transient_divergence
+  | Engine_error of string
+  | Watchdog of float
+
+type t = {
+  kind : kind;
+  window_start : int;
+  window_end : int;
+  first_divergent : int option;
+  registers : (string * string * string) list;
+  start_state : Checkpoint.t option;
+  trace : (int * (string * string) list) list;
+  message : string;
+}
+
+let sanitize s =
+  String.map (fun ch -> if ch = '\n' || ch = '\r' then ' ' else ch) s
+
+let kind_to_string = function
+  | Divergence -> "divergence"
+  | Transient_divergence -> "transient-divergence"
+  | Engine_error _ -> "engine-error"
+  | Watchdog s -> Printf.sprintf "watchdog %.3f" s
+
+let summary t =
+  match t.kind with
+  | Divergence ->
+    Printf.sprintf "divergence in window [%d,%d), first divergent cycle %s, %d signal(s) differ"
+      t.window_start t.window_end
+      (match t.first_divergent with Some c -> string_of_int c | None -> "?")
+      (List.length t.registers)
+  | Transient_divergence ->
+    Printf.sprintf
+      "transient divergence in window [%d,%d): end states differed but a replay agreed"
+      t.window_start t.window_end
+  | Engine_error msg ->
+    Printf.sprintf "engine error at cycle %d: %s" t.window_end (sanitize msg)
+  | Watchdog s ->
+    Printf.sprintf "watchdog tripped: batch ending at cycle %d took %.3fs" t.window_end s
+
+(* --- Text format ---------------------------------------------------------
+   incident 1
+   kind <divergence|transient-divergence|engine-error|watchdog <secs>>
+   window <start> <end>
+   divergent <cycle>                 (optional)
+   message <one line>
+   reg <name> <primary> <shadow>
+   trace <cycle>
+   poke <name> <value>
+   checkpoint
+   <embedded version-2 checkpoint, to end of file>                        *)
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "incident 1\n";
+  Buffer.add_string buf (Printf.sprintf "kind %s\n" (kind_to_string t.kind));
+  Buffer.add_string buf (Printf.sprintf "window %d %d\n" t.window_start t.window_end);
+  (match t.first_divergent with
+   | Some c -> Buffer.add_string buf (Printf.sprintf "divergent %d\n" c)
+   | None -> ());
+  let message =
+    match t.kind with Engine_error msg when t.message = "" -> msg | _ -> t.message
+  in
+  if message <> "" then
+    Buffer.add_string buf (Printf.sprintf "message %s\n" (sanitize message));
+  List.iter
+    (fun (name, p, s) -> Buffer.add_string buf (Printf.sprintf "reg %s %s %s\n" name p s))
+    t.registers;
+  List.iter
+    (fun (cycle, pokes) ->
+      Buffer.add_string buf (Printf.sprintf "trace %d\n" cycle);
+      List.iter
+        (fun (name, v) -> Buffer.add_string buf (Printf.sprintf "poke %s %s\n" name v))
+        pokes)
+    t.trace;
+  (match t.start_state with
+   | Some ck ->
+     Buffer.add_string buf "checkpoint\n";
+     Buffer.add_string buf (Checkpoint.to_string ck)
+   | None -> ());
+  Buffer.contents buf
+
+let of_string s =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let body, ck =
+    (* The embedded checkpoint starts at the line after "checkpoint". *)
+    let marker = "\ncheckpoint\n" in
+    let rec find i =
+      if i + String.length marker > String.length s then None
+      else if String.sub s i (String.length marker) = marker then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | Some i ->
+      ( String.sub s 0 i,
+        Some
+          (Checkpoint.of_string
+             (String.sub s
+                (i + String.length marker)
+                (String.length s - i - String.length marker))) )
+    | None -> (s, None)
+  in
+  let lines = String.split_on_char '\n' body |> List.filter (fun l -> String.trim l <> "") in
+  match lines with
+  | header :: rest when String.trim header = "incident 1" ->
+    let kind = ref Divergence and window = ref (0, 0) and divergent = ref None in
+    let message = ref "" and regs = ref [] and trace = ref [] in
+    List.iter
+      (fun line ->
+        let line = String.trim line in
+        match String.split_on_char ' ' line with
+        | "kind" :: rest -> (
+            match rest with
+            | [ "divergence" ] -> kind := Divergence
+            | [ "transient-divergence" ] -> kind := Transient_divergence
+            | [ "engine-error" ] -> kind := Engine_error ""
+            | [ "watchdog"; secs ] -> (
+                match float_of_string_opt secs with
+                | Some f -> kind := Watchdog f
+                | None -> fail "incident: bad watchdog seconds %S" secs)
+            | _ -> fail "incident: bad kind line %S" line)
+        | [ "window"; a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some a, Some b -> window := (a, b)
+            | _ -> fail "incident: bad window line %S" line)
+        | [ "divergent"; c ] -> divergent := int_of_string_opt c
+        | "message" :: _ :: _ ->
+          message := String.sub line 8 (String.length line - 8)
+        | [ "reg"; name; p; s ] -> regs := (name, p, s) :: !regs
+        | [ "trace"; c ] -> (
+            match int_of_string_opt c with
+            | Some c -> trace := (c, []) :: !trace
+            | None -> fail "incident: bad trace line %S" line)
+        | [ "poke"; name; v ] -> (
+            match !trace with
+            | (c, pokes) :: rest -> trace := (c, (name, v) :: pokes) :: rest
+            | [] -> fail "incident: poke before any trace line")
+        | _ -> fail "incident: bad line %S" line)
+      rest;
+    let kind =
+      match !kind with Engine_error _ -> Engine_error !message | k -> k
+    in
+    {
+      kind;
+      window_start = fst !window;
+      window_end = snd !window;
+      first_divergent = !divergent;
+      registers = List.rev !regs;
+      start_state = ck;
+      trace = List.rev_map (fun (c, pokes) -> (c, List.rev pokes)) !trace;
+      message = !message;
+    }
+  | _ -> fail "incident: missing header"
+
+let save path t = Store.write_atomic path (to_string t)
+
+let load path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string s

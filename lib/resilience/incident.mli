@@ -1,0 +1,48 @@
+(** Incident reports.
+
+    When a resilient session detects something wrong — the shadow engine
+    disagreeing with the primary, an engine exception, a watchdog trip —
+    it records an incident instead of aborting.  A divergence incident is
+    a {e minimal reproduction}: the last architectural state both engines
+    agreed on (one cycle before the first divergent one), the input trace
+    for the remaining step(s), and the first-divergent signals with both
+    engines' values.  {!Shadow.replay} re-runs it. *)
+
+type kind =
+  | Divergence  (** shadow lockstep disagreed; bisected to one cycle *)
+  | Transient_divergence
+      (** end states differed, but replaying the window on the primary no
+          longer reproduced it — a non-deterministic upset, rolled back *)
+  | Engine_error of string  (** the primary raised during a step *)
+  | Watchdog of float  (** a step batch exceeded the wall-clock budget (s) *)
+
+type t = {
+  kind : kind;
+  window_start : int;  (** cycle of the last verified checkpoint *)
+  window_end : int;  (** cycle at which the problem was noticed *)
+  first_divergent : int option;  (** bisected first divergent cycle *)
+  registers : (string * string * string) list;
+      (** (signal, primary value, shadow value) at the first divergent
+          cycle; memory words as ["name[index]"] *)
+  start_state : Gsim_engine.Checkpoint.t option;
+      (** shrunk repro start: the agreed state one cycle before the first
+          divergent cycle *)
+  trace : (int * (string * string) list) list;
+      (** input pokes per cycle, [start_state] onward: apply, step *)
+  message : string;
+}
+
+val summary : t -> string
+(** One human-readable line. *)
+
+val kind_to_string : kind -> string
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** Raises [Failure] on malformed input. *)
+
+val save : string -> t -> unit
+(** Atomic (temp + rename). *)
+
+val load : string -> t

@@ -1,0 +1,299 @@
+module Bits = Gsim_bits.Bits
+module Circuit = Gsim_ir.Circuit
+module Sim = Gsim_engine.Sim
+module Checkpoint = Gsim_engine.Checkpoint
+module Gsim = Gsim_core.Gsim
+
+type config = {
+  checkpoint_every : int option;
+  checkpoint_dir : string option;
+  ring : int;
+  shadow_stride : int option;
+  watchdog_seconds : float option;
+  incident_dir : string option;
+}
+
+let default =
+  {
+    checkpoint_every = None;
+    checkpoint_dir = None;
+    ring = 3;
+    shadow_stride = None;
+    watchdog_seconds = None;
+    incident_dir = None;
+  }
+
+type outcome = {
+  final_cycle : int;
+  ran : int;
+  halted : bool;
+  incidents : Incident.t list;
+  checkpoints_written : int;
+  windows_verified : int;
+  degraded : bool;
+}
+
+type t = {
+  circuit : Circuit.t;
+  cfg : config;
+  keep : int list;
+  primary : Gsim.compiled;
+  primary_name : string;
+  mutable fallback : Gsim.compiled option;
+  mutable on_fallback : bool;
+  store : Store.t option;
+  mutable abs_cycle : int;
+  mutable verified : Checkpoint.t option;
+  mutable injections : (int * (Sim.t -> unit)) list;
+  mutable incidents : Incident.t list;  (* newest first *)
+}
+
+(* The engine of last resort: the simplest compiled configuration —
+   full-cycle evaluation, closure backend — the one every other engine is
+   differentially tested against. *)
+let fallback_config =
+  { (Gsim.verilator ()) with Gsim.config_name = "reference-fallback"; backend = `Closures }
+
+let create ?(forcible = []) cfg sim_config circuit =
+  (* Both the primary and the fallback keep every register alive so their
+     architectural-state captures describe the same state set at any
+     optimization level — the precondition of [Checkpoint.equal]-based
+     verification (same trick as the fault campaign's). *)
+  let keep =
+    List.map (fun (r : Circuit.register) -> r.Circuit.read) (Circuit.registers circuit)
+  in
+  let primary = Gsim.instantiate ~forcible ~keep sim_config circuit in
+  let store = Option.map (fun d -> Store.create ~ring:cfg.ring d) cfg.checkpoint_dir in
+  {
+    circuit;
+    cfg;
+    keep;
+    primary;
+    primary_name = sim_config.Gsim.config_name;
+    fallback = None;
+    on_fallback = false;
+    store;
+    abs_cycle = 0;
+    verified = None;
+    injections = [];
+    incidents = [];
+  }
+
+let fallback t =
+  match t.fallback with
+  | Some f -> f
+  | None ->
+    let f = Gsim.instantiate ~keep:t.keep fallback_config t.circuit in
+    t.fallback <- Some f;
+    f
+
+let sim t = if t.on_fallback then (fallback t).Gsim.sim else t.primary.Gsim.sim
+let primary_sim t = t.primary.Gsim.sim
+let degraded t = t.on_fallback
+let cycle t = t.abs_cycle
+let incidents t = List.rev t.incidents
+
+let active_name t = if t.on_fallback then fallback_config.Gsim.config_name else t.primary_name
+
+let checkpoint t = Checkpoint.with_cycle (Checkpoint.capture (sim t)) t.abs_cycle
+
+let resume t =
+  match t.store with
+  | None -> None
+  | Some s -> (
+    match Store.latest ~lenient:true s with
+    | None -> None
+    | Some (ck, path) ->
+      Checkpoint.restore (sim t) ck;
+      t.abs_cycle <- Checkpoint.cycle ck;
+      t.verified <- Some ck;
+      Some (Checkpoint.cycle ck, path))
+
+let inject_at t ~cycle f = t.injections <- (cycle, f) :: t.injections
+
+let incident_path t =
+  let dir =
+    match t.cfg.incident_dir with
+    | Some d -> Some d
+    | None -> Option.map Store.dir t.store
+  in
+  Option.map
+    (fun d ->
+      Store.ensure_dir d;
+      let rec free n =
+        let p = Filename.concat d (Printf.sprintf "incident-%03d.rpt" n) in
+        if Sys.file_exists p then free (n + 1) else p
+      in
+      free 1)
+    dir
+
+let record t inc =
+  t.incidents <- inc :: t.incidents;
+  match incident_path t with
+  | Some path ->
+    Incident.save path inc;
+    Some path
+  | None -> None
+
+let run ?(stimulus = fun _ -> []) ?halt t target =
+  let start_cycle = t.abs_cycle in
+  let ckpts = ref 0 and verified_windows = ref 0 in
+  let run_incidents = ref [] in
+  let halted = ref false in
+  if t.verified = None then t.verified <- Some (checkpoint t);
+  (* Input pokes since the last verified checkpoint, newest first — the
+     shadow's replay script and the raw material of incident repros. *)
+  let trace = ref [] in
+  let shadow_on () = t.cfg.shadow_stride <> None && not t.on_fallback in
+  let record_inc inc =
+    ignore (record t inc);
+    run_incidents := inc :: !run_incidents
+  in
+  let rollback () =
+    (* Graceful degradation: back to the last verified state, forward on
+       the reference engine.  Injected (primary-only) faults do not follow
+       us here, and neither does shadow verification — the fallback is the
+       shadow. *)
+    let ck = Option.get t.verified in
+    let fb = fallback t in
+    t.on_fallback <- true;
+    Checkpoint.restore fb.Gsim.sim ck;
+    t.abs_cycle <- Checkpoint.cycle ck;
+    trace := [];
+    halted := false
+  in
+  let persist () =
+    match t.store with
+    | Some s ->
+      ignore (Store.save s (checkpoint t));
+      incr ckpts
+    | None -> ()
+  in
+  let next_boundary () =
+    let b = ref target in
+    (match t.cfg.checkpoint_every with
+     | Some every when every > 0 ->
+       let next = ((t.abs_cycle / every) + 1) * every in
+       if next < !b then b := next
+     | _ -> ());
+    (match t.cfg.shadow_stride with
+     | Some stride when stride > 0 && not t.on_fallback ->
+       let next = Checkpoint.cycle (Option.get t.verified) + stride in
+       if next < !b then b := next
+     | _ -> ());
+    !b
+  in
+  while t.abs_cycle < target && not !halted do
+    let upto = next_boundary () in
+    let s = sim t in
+    let t0 = Unix.gettimeofday () in
+    let err =
+      try
+        while t.abs_cycle < upto && not !halted do
+          let pokes = stimulus t.abs_cycle in
+          List.iter (fun (id, v) -> s.Sim.poke id v) pokes;
+          if shadow_on () then trace := pokes :: !trace;
+          if not t.on_fallback then
+            List.iter
+              (fun (c, f) -> if c = t.abs_cycle then f t.primary.Gsim.sim)
+              t.injections;
+          s.Sim.step ();
+          t.abs_cycle <- t.abs_cycle + 1;
+          match halt with
+          | Some h when not (Bits.is_zero (s.Sim.peek h)) -> halted := true
+          | _ -> ()
+        done;
+        None
+      with e -> Some e
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    match err with
+    | Some e when t.on_fallback ->
+      (* The engine of last resort failed: nothing left to degrade to. *)
+      raise e
+    | Some e ->
+      record_inc
+        {
+          Incident.kind = Incident.Engine_error (Printexc.to_string e);
+          window_start = Checkpoint.cycle (Option.get t.verified);
+          window_end = t.abs_cycle;
+          first_divergent = None;
+          registers = [];
+          start_state = None;
+          trace = [];
+          message = "";
+        };
+      rollback ()
+    | None ->
+      let tripped =
+        (* The watchdog is only armed on the primary: the fallback is the
+           engine of last resort, slow but trusted. *)
+        (not t.on_fallback)
+        && match t.cfg.watchdog_seconds with Some w -> dt > w | None -> false
+      in
+      if tripped then begin
+        record_inc
+          {
+            Incident.kind = Incident.Watchdog dt;
+            window_start = Checkpoint.cycle (Option.get t.verified);
+            window_end = t.abs_cycle;
+            first_divergent = None;
+            registers = [];
+            start_state = None;
+            trace = [];
+            message =
+              Printf.sprintf "step batch [%d,%d) took %.3fs (budget %.3fs)"
+                (Checkpoint.cycle (Option.get t.verified))
+                t.abs_cycle dt
+                (Option.get t.cfg.watchdog_seconds);
+          };
+        rollback ()
+      end
+      else begin
+        (if shadow_on () && !trace <> [] then begin
+           let vck = Option.get t.verified in
+           let vc = Checkpoint.cycle vck in
+           let stride = Option.get t.cfg.shadow_stride in
+           let window_full = t.abs_cycle >= vc + stride in
+           let at_end = t.abs_cycle >= target || !halted in
+           if window_full || at_end then begin
+             let pokes = Array.of_list (List.rev !trace) in
+             let primary_end = checkpoint t in
+             let fb = fallback t in
+             match
+               Shadow.verify ~circuit:t.circuit ~primary:t.primary.Gsim.sim
+                 ~shadow:fb.Gsim.sim ~start:vck ~start_cycle:vc ~pokes ~primary_end
+             with
+             | Shadow.Verified ck ->
+               t.verified <- Some (Checkpoint.with_cycle ck t.abs_cycle);
+               trace := [];
+               incr verified_windows
+             | Shadow.Diverged inc | Shadow.Transient inc ->
+               record_inc inc;
+               rollback ()
+           end
+         end);
+        match t.cfg.checkpoint_every with
+        | Some every when every > 0 && t.abs_cycle mod every = 0 && t.abs_cycle > 0 ->
+          persist ()
+        | _ -> ()
+      end
+  done;
+  (* A completed session leaves its end state in the store, whatever the
+     stride: resuming past [target] needs no replay. *)
+  (match (t.store, t.cfg.checkpoint_every) with
+   | Some _, Some every when every > 0 && t.abs_cycle mod every <> 0 -> persist ()
+   | _ -> ());
+  {
+    final_cycle = t.abs_cycle;
+    ran = t.abs_cycle - start_cycle;
+    halted = !halted;
+    incidents = List.rev !run_incidents;
+    checkpoints_written = !ckpts;
+    windows_verified = !verified_windows;
+    degraded = t.on_fallback;
+  }
+
+let destroy t =
+  t.primary.Gsim.destroy ();
+  match t.fallback with Some f -> f.Gsim.destroy () | None -> ()

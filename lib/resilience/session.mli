@@ -1,0 +1,98 @@
+(** Resilient simulation sessions.
+
+    A session wraps any engine configuration behind the crash-safe /
+    self-verifying / self-healing run loop:
+
+    - {b Crash-safe checkpointing} — every [checkpoint_every] cycles the
+      architectural state is captured and persisted atomically into a
+      {!Store} ring; {!resume} picks up the newest valid generation, so
+      a SIGKILL costs at most one checkpoint interval of work.
+    - {b Shadow lockstep verification} — every [shadow_stride] cycles
+      the window since the last verified checkpoint is re-executed on a
+      reference engine (full-cycle, closure backend) and the end states
+      compared; a disagreement is bisected to a minimal replayable
+      {!Incident} report.
+    - {b Graceful degradation} — on divergence, an engine exception, or
+      a wall-clock watchdog trip, the session rolls back to the last
+      verified checkpoint and continues on the reference engine,
+      recording the incident instead of aborting.
+
+    Both the primary and the fallback engine are instantiated with every
+    register kept, so captures describe the same architectural state set
+    regardless of the primary's optimization level. *)
+
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+type config = {
+  checkpoint_every : int option;  (** persist every N cycles *)
+  checkpoint_dir : string option;  (** store directory; [None] = no store *)
+  ring : int;  (** generations kept; [<= 0] keeps everything *)
+  shadow_stride : int option;  (** verify every N cycles *)
+  watchdog_seconds : float option;
+      (** wall-clock budget per step batch on the primary *)
+  incident_dir : string option;
+      (** where incident reports go (default: the checkpoint dir) *)
+}
+
+val default : config
+(** Everything off, [ring = 3]. *)
+
+type outcome = {
+  final_cycle : int;  (** absolute cycle reached *)
+  ran : int;  (** cycles actually retired by this [run] (net of rollbacks) *)
+  halted : bool;  (** the halt signal fired *)
+  incidents : Incident.t list;  (** recorded during this [run], oldest first *)
+  checkpoints_written : int;
+  windows_verified : int;
+  degraded : bool;  (** finished on the fallback engine *)
+}
+
+type t
+
+val create : ?forcible:int list -> config -> Gsim_core.Gsim.config -> Circuit.t -> t
+(** Instantiates the primary engine from the given configuration (with
+    [forcible] nodes overridable, for fault injection).  The fallback is
+    instantiated lazily on first need. *)
+
+val resume : t -> (int * string) option
+(** Restores the newest valid checkpoint generation from the store (CRC
+    fallback across generations, then last-complete-section leniency).
+    Returns the [(cycle, path)] restored, or [None] when the store is
+    absent or empty.  Call before the first {!run}. *)
+
+val run :
+  ?stimulus:(int -> (int * Bits.t) list) ->
+  ?halt:int ->
+  t ->
+  int ->
+  outcome
+(** [run t target] steps to absolute cycle [target] (or until the [halt]
+    node is nonzero), applying [stimulus cycle] pokes before each step.
+    Checkpointing, shadow verification, the watchdog, and degradation
+    all happen inside.  [stimulus] must be a function of the absolute
+    cycle only — it is re-invoked for replay after a rollback. *)
+
+val checkpoint : t -> Gsim_engine.Checkpoint.t
+(** Capture of the active engine, stamped with the absolute cycle. *)
+
+val inject_at : t -> cycle:int -> (Gsim_engine.Sim.t -> unit) -> unit
+(** Runs the callback on the {e primary} sim just before the step of the
+    given absolute cycle — never on the fallback, so a session degrades
+    away from injected faults. *)
+
+val sim : t -> Gsim_engine.Sim.t
+(** The active engine (primary, or fallback once degraded). *)
+
+val primary_sim : t -> Gsim_engine.Sim.t
+
+val cycle : t -> int
+(** Absolute cycle (engine counters restart at 0 on restore; this does
+    not). *)
+
+val degraded : t -> bool
+val active_name : t -> string
+val incidents : t -> Incident.t list
+(** All incidents recorded over the session's lifetime, oldest first. *)
+
+val destroy : t -> unit

@@ -1,0 +1,135 @@
+module Bits = Gsim_bits.Bits
+module Circuit = Gsim_ir.Circuit
+module Sim = Gsim_engine.Sim
+module Checkpoint = Gsim_engine.Checkpoint
+
+type verdict =
+  | Verified of Checkpoint.t
+  | Diverged of Incident.t
+  | Transient of Incident.t
+
+(* Replay [k] steps of the window on [sim]: restore the start state,
+   apply the recorded pokes cycle by cycle, and capture.  Works on any
+   engine of the same elaboration — node ids are preserved across
+   instantiation, and restore invalidates activity state. *)
+let run_window sim start pokes k =
+  Checkpoint.restore sim start;
+  for i = 0 to k - 1 do
+    List.iter (fun (id, v) -> sim.Sim.poke id v) pokes.(i);
+    sim.Sim.step ()
+  done;
+  Checkpoint.capture sim
+
+let pp_value v = Format.asprintf "%a" Bits.pp v
+
+let verify ~circuit ~primary ~shadow ~start ~start_cycle ~pokes ~primary_end =
+  let w = Array.length pokes in
+  let shadow_end = run_window shadow start pokes w in
+  if Checkpoint.equal shadow_end primary_end then
+    Verified shadow_end
+  else begin
+    (* The engines disagree about the window's end state.  First check the
+       divergence is deterministic: replay the whole window on the primary
+       itself.  A replay that now agrees with the shadow means the original
+       run hit a transient upset — report it, but there is nothing to
+       bisect. *)
+    let p_end = run_window primary start pokes w in
+    if Checkpoint.equal p_end shadow_end then
+      Transient
+        {
+          Incident.kind = Incident.Transient_divergence;
+          window_start = start_cycle;
+          window_end = start_cycle + w;
+          first_divergent = None;
+          registers = Checkpoint.diff primary_end shadow_end;
+          start_state = Some start;
+          trace = [];
+          message =
+            Printf.sprintf
+              "window [%d,%d): primary end state differed from the shadow, but a replay \
+               of the same window agreed — not reproducible"
+              start_cycle (start_cycle + w);
+        }
+    else begin
+      (* Delta-debug the cycle range: invariant — the engines agree after
+         [lo] steps and disagree after [hi].  Both hold initially ([lo]=0
+         restores the same state into both; [hi]=w was just re-checked),
+         so the loop always terminates on an adjacent pair: a one-cycle
+         repro even when the divergence is not monotone. *)
+      let lo = ref 0 and hi = ref w in
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        let p = run_window primary start pokes mid in
+        let s = run_window shadow start pokes mid in
+        if Checkpoint.equal p s then lo := mid else hi := mid
+      done;
+      let first = !hi in
+      let agreed = run_window shadow start pokes (first - 1) in
+      let p_first = run_window primary start pokes first in
+      let s_first = run_window shadow start pokes first in
+      (* The register subset: exactly the architectural signals that
+         disagree on the first divergent cycle. *)
+      let registers = Checkpoint.diff p_first s_first in
+      let name id = (Circuit.node circuit id).Circuit.name in
+      let trace =
+        [
+          ( start_cycle + first - 1,
+            List.map (fun (id, v) -> (name id, pp_value v)) pokes.(first - 1) );
+        ]
+      in
+      Diverged
+        {
+          Incident.kind = Incident.Divergence;
+          window_start = start_cycle;
+          window_end = start_cycle + w;
+          first_divergent = Some (start_cycle + first);
+          registers;
+          start_state = Some (Checkpoint.with_cycle agreed (start_cycle + first - 1));
+          trace;
+          message =
+            Printf.sprintf "engines agree at cycle %d and disagree at cycle %d"
+              (start_cycle + first - 1) (start_cycle + first);
+        }
+    end
+  end
+
+let replay ~circuit sim (inc : Incident.t) =
+  match (inc.Incident.start_state, inc.Incident.trace) with
+  | None, _ | _, [] -> false
+  | Some ck, trace ->
+    Checkpoint.restore sim ck;
+    List.iter
+      (fun (_, pokes) ->
+        List.iter
+          (fun (pname, v) ->
+            match Circuit.find_node circuit pname with
+            | Some n -> sim.Sim.poke n.Circuit.id (Bits.of_string v)
+            | None -> ())
+          pokes;
+        sim.Sim.step ())
+      trace;
+    (* Reproduced iff every resolvable first-divergent signal shows the
+       recorded primary value again — and at least one still differs from
+       the shadow's. *)
+    let reg_by_name = Hashtbl.create 16 in
+    List.iter
+      (fun (r : Circuit.register) ->
+        Hashtbl.replace reg_by_name r.Circuit.reg_name r.Circuit.read)
+      (Circuit.registers circuit);
+    let resolve pname =
+      match Hashtbl.find_opt reg_by_name pname with
+      | Some id -> Some id
+      | None -> Option.map (fun (n : Circuit.node) -> n.Circuit.id) (Circuit.find_node circuit pname)
+    in
+    let checked = ref 0 and matched = ref 0 and divergent = ref 0 in
+    List.iter
+      (fun (pname, pval, sval) ->
+        match resolve pname with
+        | None -> () (* memory words and optimized-away signals *)
+        | Some id ->
+          incr checked;
+          let now = pp_value (sim.Sim.peek id) in
+          if now = pval then incr matched;
+          if now <> sval then incr divergent)
+      inc.Incident.registers;
+    !checked > 0 && !matched = !checked && !divergent > 0

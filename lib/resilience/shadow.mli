@@ -1,0 +1,50 @@
+(** Shadow lockstep verification.
+
+    At a configurable stride, a resilient session re-executes the window
+    since the last verified checkpoint on a reference engine (full-cycle,
+    closure backend) and compares architectural state.  On disagreement
+    the window is delta-debugged — bisected on cycle ranges down to an
+    adjacent agree/disagree pair, then reduced to the register subset
+    that differs — yielding a minimal, replayable incident. *)
+
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+type verdict =
+  | Verified of Gsim_engine.Checkpoint.t
+      (** the shadow's (= primary's) end state: the new trust anchor *)
+  | Diverged of Incident.t
+      (** deterministic divergence, bisected to one cycle *)
+  | Transient of Incident.t
+      (** the primary's own replay no longer reproduces the divergence *)
+
+val verify :
+  circuit:Circuit.t ->
+  primary:Gsim_engine.Sim.t ->
+  shadow:Gsim_engine.Sim.t ->
+  start:Gsim_engine.Checkpoint.t ->
+  start_cycle:int ->
+  pokes:(int * Bits.t) list array ->
+  primary_end:Gsim_engine.Checkpoint.t ->
+  verdict
+(** [pokes.(i)] are the input pokes applied before step [i] of the
+    window; [primary_end] is the primary's capture after the last step.
+    Verification replays the window on [shadow] from [start]; a
+    divergence additionally replays prefixes on {e both} engines to
+    bisect.  Both sims are clobbered — the caller rolls back. *)
+
+val replay : circuit:Circuit.t -> Gsim_engine.Sim.t -> Incident.t -> bool
+(** Replays a divergence incident on the given (primary-configured) sim:
+    restore the shrunk start state, apply the recorded trace, and check
+    that the first-divergent signals reproduce the recorded primary
+    values while still differing from the shadow's.  [false] for
+    incidents without a repro (transient, watchdog, engine error). *)
+
+val run_window :
+  Gsim_engine.Sim.t ->
+  Gsim_engine.Checkpoint.t ->
+  (int * Bits.t) list array ->
+  int ->
+  Gsim_engine.Checkpoint.t
+(** [run_window sim start pokes k]: restore, step [k] cycles applying
+    pokes, capture.  Exposed for the resilience tests. *)

@@ -1,0 +1,117 @@
+module Checkpoint = Gsim_engine.Checkpoint
+
+(* --- Atomic writes and temp-file hygiene ---------------------------------
+   Every persistent artifact of the resilience layer reaches its final
+   name through write-to-temp + rename, so a reader never observes a
+   half-written file (a SIGKILL leaves at most a stray temp file, which
+   the next run ignores and which [at_exit] removes on any clean or
+   SIGINT-interrupted exit). *)
+
+let live_tmp : (string, unit) Hashtbl.t = Hashtbl.create 8
+
+let cleanup_tmp () =
+  Hashtbl.iter (fun p () -> try Sys.remove p with Sys_error _ -> ()) live_tmp;
+  Hashtbl.reset live_tmp
+
+let cleanup_registered = ref false
+
+let register_cleanup () =
+  if not !cleanup_registered then begin
+    cleanup_registered := true;
+    at_exit cleanup_tmp
+  end
+
+let write_atomic path content =
+  register_cleanup ();
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  Hashtbl.replace live_tmp tmp ();
+  let oc = open_out tmp in
+  (try
+     output_string oc content;
+     flush oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  Sys.rename tmp path;
+  Hashtbl.remove live_tmp tmp
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let ensure_dir = mkdir_p
+
+(* --- The checkpoint ring ------------------------------------------------- *)
+
+type t = { dir : string; ring : int }
+
+let create ?(ring = 3) dir =
+  mkdir_p dir;
+  { dir; ring }
+
+let dir t = t.dir
+
+let path_of_cycle t cycle = Filename.concat t.dir (Printf.sprintf "ckpt-%012d.gck" cycle)
+
+let cycle_of_name name =
+  if String.length name = 21 && String.sub name 0 5 = "ckpt-"
+     && Filename.check_suffix name ".gck"
+  then int_of_string_opt (String.sub name 5 12)
+  else None
+
+let checkpoints t =
+  (try Sys.readdir t.dir with Sys_error _ -> [||])
+  |> Array.to_list
+  |> List.filter_map (fun name ->
+         match cycle_of_name name with
+         | Some c -> Some (c, Filename.concat t.dir name)
+         | None -> None)
+  |> List.sort compare
+
+let prune t =
+  if t.ring > 0 then begin
+    let cks = checkpoints t in
+    let excess = List.length cks - t.ring in
+    List.iteri
+      (fun i (_, path) ->
+        if i < excess then try Sys.remove path with Sys_error _ -> ())
+      cks
+  end
+
+let save t ck =
+  let path = path_of_cycle t (Checkpoint.cycle ck) in
+  write_atomic path (Checkpoint.to_string ck);
+  prune t;
+  path
+
+let find t cycle =
+  let path = path_of_cycle t cycle in
+  if Sys.file_exists path then
+    match Checkpoint.load path with ck -> Some ck | exception Failure _ -> None
+  else None
+
+let latest ?(lenient = false) t =
+  let candidates = List.rev (checkpoints t) in
+  let rec strict = function
+    | [] -> None
+    | (_, path) :: rest -> (
+      match Checkpoint.load path with
+      | ck -> Some (ck, path)
+      | exception Failure _ -> strict rest)
+  in
+  match strict candidates with
+  | Some _ as r -> r
+  | None -> (
+    (* Every generation failed validation.  As a last resort the newest
+       file is re-read in the checkpoint parser's last-complete-section
+       mode — better a slightly older architectural state than nothing,
+       and the caller asked for it explicitly. *)
+    match candidates with
+    | (_, path) :: _ when lenient -> (
+      match Checkpoint.load ~lenient:true path with
+      | ck -> Some (ck, path)
+      | exception Failure _ -> None)
+    | _ -> None)

@@ -1,0 +1,46 @@
+(** Crash-safe persistent checkpoint store.
+
+    A store is a directory holding a ring of the last [ring] checkpoint
+    generations, one file per checkpoint ([ckpt-<cycle>.gck], the
+    version-2 CRC-footed text format of {!Gsim_engine.Checkpoint}).
+    Writes are atomic — content goes to a temp file that is renamed into
+    place — so a SIGKILL at any instant leaves either the previous
+    generation or the new one, never a torn file under the final name.
+    Stray temp files from a killed writer are ignored by readers and
+    removed by the next clean exit of any process using the store. *)
+
+type t
+
+val create : ?ring:int -> string -> t
+(** Opens (creating directories as needed) a store keeping the last
+    [ring] generations (default 3; [ring <= 0] keeps everything). *)
+
+val dir : t -> string
+
+val save : t -> Gsim_engine.Checkpoint.t -> string
+(** Atomically persists the checkpoint under its recorded cycle number,
+    prunes generations beyond the ring, and returns the path written. *)
+
+val find : t -> int -> Gsim_engine.Checkpoint.t option
+(** The generation captured at exactly the given cycle, if present and
+    valid. *)
+
+val checkpoints : t -> (int * string) list
+(** All generations on disk as [(cycle, path)], oldest first. *)
+
+val latest : ?lenient:bool -> t -> (Gsim_engine.Checkpoint.t * string) option
+(** Newest generation that passes CRC validation, falling back to older
+    generations when the newest is corrupt.  With [~lenient:true], if
+    {e every} generation fails validation the newest is re-read in the
+    last-complete-section mode of {!Gsim_engine.Checkpoint.of_string}
+    (tolerating a torn final write) before giving up. *)
+
+val write_atomic : string -> string -> unit
+(** [write_atomic path content] — the store's temp+rename discipline for
+    any auxiliary file (incident reports, golden-run traces). *)
+
+val cleanup_tmp : unit -> unit
+(** Remove temp files registered by this process (also runs [at_exit]). *)
+
+val ensure_dir : string -> unit
+(** [mkdir -p]. *)
