@@ -476,6 +476,47 @@ let fault () =
   Printf.printf "  -> all %d configurations agree on every fault\n%!" (List.length configs)
 
 (* ------------------------------------------------------------------ *)
+(* Differential fuzzing throughput                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Cases/sec through the differential oracle per subject matrix — the
+   cost of a clean campaign (generation + reference trace + subjects).
+   The run FAILS if any case actually diverges: a healthy tree fuzzes
+   clean, so a finding here is a real bug, not a bench artifact. *)
+let fuzz () =
+  header "Fuzz - differential campaign throughput (cases/sec)";
+  let module Fuzz = Gsim_verify.Fuzz in
+  let module Corpus = Gsim_verify.Corpus in
+  let cases = if !Harness.quick then 8 else 40 in
+  let matrices =
+    [
+      ("gsim+bytecode", [ Fuzz.setup_of_name "gsim+bytecode" ]);
+      ( "gsim, both backends",
+        [ Fuzz.setup_of_name "gsim+bytecode"; Fuzz.setup_of_name "gsim+closures" ] );
+      ("full matrix", Fuzz.default_setups);
+    ]
+  in
+  Printf.printf "%-22s %9s %8s %10s\n" "subjects" "#subjects" "secs" "cases/s";
+  List.iter
+    (fun (name, setups) ->
+      let dir = Filename.temp_file "gsim_fuzz_bench" "" in
+      Sys.remove dir;
+      let camp = { Fuzz.default_campaign with Fuzz.seed = 5; cases; setups; dir } in
+      let t0 = now () in
+      let r = Fuzz.run camp in
+      let dt = now () -. t0 in
+      let failing = List.length (Corpus.failures r.Fuzz.db) in
+      Printf.printf "%-22s %9d %8.2f %10.1f\n%!" name (List.length setups) dt
+        (float_of_int r.Fuzz.ran /. dt);
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir;
+      if failing > 0 then
+        failwith
+          (Printf.sprintf "fuzz bench found %d real divergence(s) under %s" failing name))
+    matrices;
+  Printf.printf "  -> all matrices fuzz clean\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Evaluation-backend comparison: closures vs flat bytecode             *)
 (* ------------------------------------------------------------------ *)
 
@@ -742,10 +783,11 @@ let () =
          | "fault" -> fault ()
          | "backend" -> backend ()
          | "resilience" -> resilience ()
+         | "fuzz" -> fuzz ()
          | "micro" -> micro ()
          | other ->
            Printf.eprintf
-             "unknown bench %S (expected table1|fig6|fig7|fig8|fig9|table3|table4|ablation|model|coverage|fault|backend|resilience|micro|all)\n"
+             "unknown bench %S (expected table1|fig6|fig7|fig8|fig9|table3|table4|ablation|model|coverage|fault|backend|resilience|fuzz|micro|all)\n"
              other;
            exit 2)
        cmds);

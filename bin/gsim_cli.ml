@@ -26,6 +26,8 @@ module Campaign = Gsim_fault.Campaign
 module Fault_report = Gsim_fault.Report
 module Session = Gsim_resilience.Session
 module Incident = Gsim_resilience.Incident
+module Fuzz = Gsim_verify.Fuzz
+module Fuzz_corpus = Gsim_verify.Corpus
 
 exception Usage of string
 
@@ -902,6 +904,169 @@ let fault_cmd =
        ~doc:"Fault injection: run campaigns, merge shards, render reports")
     [ fault_campaign_cmd; fault_merge_cmd; fault_report_cmd ]
 
+(* --- fuzz ---------------------------------------------------------------- *)
+
+let fuzz_dir_arg =
+  Arg.(value & opt string "fuzz-out"
+       & info [ "dir"; "d" ] ~docv:"DIR"
+           ~doc:"Campaign directory: fuzz.db corpus plus fuzz-NNN.rpt repros")
+
+let fuzz_inject_arg =
+  Arg.(value & flag
+       & info [ "inject-miscompile" ]
+           ~doc:"CI canary: enable the test-only Simplify constant-folding \
+                 miscompile; the campaign must catch, shrink and bisect it")
+
+let fuzz_run_cmd =
+  let run dir seed cases from seconds cycles setups watchdog shrink_checks
+      resume inject fail_on_find json =
+    let setups =
+      match setups with
+      | None -> Fuzz.default_setups
+      | Some s ->
+        List.map Fuzz.setup_of_name (String.split_on_char ',' s)
+    in
+    let campaign =
+      { Fuzz.default_campaign with
+        Fuzz.seed;
+        cases;
+        start_case = from;
+        seconds;
+        cycles;
+        setups;
+        watchdog;
+        shrink_budget = shrink_checks;
+        dir;
+        inject_miscompile = inject }
+    in
+    let result = Fuzz.run ~resume ~log:print_endline campaign in
+    if json then print_endline (Fuzz.report_json result.Fuzz.db)
+    else begin
+      print_string (Fuzz.report_text result.Fuzz.db);
+      Printf.printf "this run: %d case(s) executed, %d skipped%s\n"
+        result.Fuzz.ran result.Fuzz.skipped
+        (if result.Fuzz.out_of_time then " (time budget reached)" else "")
+    end;
+    if fail_on_find && Fuzz_corpus.failures result.Fuzz.db <> [] then exit 1
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign seed; same seed, same cases and repro buckets") in
+  let cases =
+    Arg.(value & opt int 200
+         & info [ "cases"; "n" ] ~docv:"N" ~doc:"Number of case indices to explore")
+  in
+  let from =
+    Arg.(value & opt int 0
+         & info [ "from" ] ~docv:"I" ~doc:"First case index (sharding: disjoint ranges, then fuzz merge)")
+  in
+  let seconds =
+    Arg.(value & opt (some float) None
+         & info [ "seconds" ] ~docv:"S" ~doc:"Wall-clock budget; stop early when exceeded")
+  in
+  let cycles =
+    Arg.(value & opt int Fuzz.default_campaign.Fuzz.cycles
+         & info [ "cycles" ] ~docv:"N" ~doc:"Stimulus length per case")
+  in
+  let setups =
+    Arg.(value & opt (some string) None
+         & info [ "setups" ] ~docv:"S,S"
+             ~doc:"Comma-separated engine+backend subjects (e.g. gsim+bytecode,essent+closures); \
+                   default: all four presets with both backends")
+  in
+  let watchdog =
+    Arg.(value & opt float Fuzz.default_campaign.Fuzz.watchdog
+         & info [ "watchdog" ] ~docv:"S" ~doc:"Per-subject hang watchdog, seconds")
+  in
+  let shrink_checks =
+    Arg.(value & opt int Fuzz.default_campaign.Fuzz.shrink_budget
+         & info [ "shrink-checks" ] ~docv:"N" ~doc:"Re-validation budget for the delta-debugging shrinker")
+  in
+  let resume =
+    Arg.(value & flag & info [ "resume" ] ~doc:"Skip cases already recorded in DIR/fuzz.db")
+  in
+  let fail_on_find =
+    Arg.(value & flag
+         & info [ "fail-on-find" ] ~doc:"Exit 1 if the corpus holds any failure (CI gate)")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a differential fuzz campaign over the engine/backend matrix")
+    Term.(const run $ fuzz_dir_arg $ seed $ cases $ from $ seconds $ cycles
+          $ setups $ watchdog $ shrink_checks $ resume $ fuzz_inject_arg
+          $ fail_on_find $ json_arg)
+
+let fuzz_replay_cmd =
+  let run file inject watchdog =
+    let r = Fuzz.replay ~watchdog ~inject_miscompile:inject file in
+    let repro = r.Fuzz.rp_repro in
+    Printf.printf "repro:    %s (seed %d case %d, %s, %s)\n" file
+      repro.Gsim_verify.Repro.seed repro.Gsim_verify.Repro.case
+      repro.Gsim_verify.Repro.subject repro.Gsim_verify.Repro.culprit_detail;
+    Printf.printf "expected: %s\n" r.Fuzz.rp_expected_signature;
+    Printf.printf "actual:   %s\n" r.Fuzz.rp_actual;
+    if r.Fuzz.rp_reproduced then print_endline "REPRODUCED"
+    else begin
+      print_endline "NOT REPRODUCED";
+      exit 1
+    end
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FUZZ-NNN.RPT" ~doc:"Repro report to replay")
+  in
+  let watchdog =
+    Arg.(value & opt float 10.0 & info [ "watchdog" ] ~docv:"S")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Rebuild a recorded repro and check that its failure signature recurs")
+    Term.(const run $ file $ fuzz_inject_arg $ watchdog)
+
+let fuzz_report_cmd =
+  let run path json =
+    let path =
+      if Sys.is_directory path then Filename.concat path "fuzz.db" else path
+    in
+    let db = Fuzz_corpus.load ~lenient:true path in
+    if json then print_endline (Fuzz.report_json db)
+    else print_string (Fuzz.report_text db)
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"DIR|FUZZ.DB" ~doc:"Campaign directory or corpus file")
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Render a fuzz corpus")
+    Term.(const run $ path $ json_arg)
+
+let fuzz_merge_cmd =
+  let run out inputs =
+    match List.map (fun p -> Fuzz_corpus.load p) inputs with
+    | [] -> failwith "nothing to merge"
+    | first :: rest ->
+      let merged = List.fold_left Fuzz_corpus.merge first rest in
+      Fuzz_corpus.save out merged;
+      Printf.printf "merged %d shard(s): %d case(s), %d failing -> %s\n"
+        (List.length inputs) (Fuzz_corpus.count merged)
+        (List.length (Fuzz_corpus.failures merged)) out
+  in
+  let out =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FUZZ.DB" ~doc:"Merged output corpus")
+  in
+  let inputs =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FUZZ.DB" ~doc:"Shard corpora (same seed, disjoint case ranges)")
+  in
+  Cmd.v
+    (Cmd.info "merge" ~doc:"Merge fuzz-campaign shards over disjoint case ranges")
+    Term.(const run $ out $ inputs)
+
+let fuzz_cmd =
+  Cmd.group
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: campaigns with delta-debugging shrinking and \
+             pass-pipeline bisection, replayable repros, crash-safe corpus")
+    [ fuzz_run_cmd; fuzz_replay_cmd; fuzz_report_cmd; fuzz_merge_cmd ]
+
 (* --- equiv --------------------------------------------------------------- *)
 
 let equiv_cmd =
@@ -1023,8 +1188,8 @@ let () =
   let info = Cmd.info "gsim" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ stats_cmd; emit_cmd; emit_fir_cmd; sim_cmd; run_cmd; cov_cmd; fault_cmd; profile_cmd;
-        equiv_cmd ]
+      [ stats_cmd; emit_cmd; emit_fir_cmd; sim_cmd; run_cmd; cov_cmd; fault_cmd; fuzz_cmd;
+        profile_cmd; equiv_cmd ]
   in
   (* Ctrl-C raises Sys.Break instead of killing the process outright, so
      at_exit handlers (partial-checkpoint temp-file cleanup) still run
@@ -1046,7 +1211,10 @@ let () =
      | Sys.Break ->
        prerr_endline "gsim: interrupted";
        130
-     | Failure msg | Sys_error msg ->
+     | Failure msg
+     | Sys_error msg
+     | Gsim_firrtl.Firrtl.Error msg
+     | Gsim_verilog.Verilog.Error msg ->
        Printf.eprintf "gsim: %s\n" msg;
        1
      | e ->

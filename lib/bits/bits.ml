@@ -199,7 +199,9 @@ let of_string s =
       from_digits_bin w bin
     | 10 ->
       let n = try int_of_string digits with _ -> fail () in
-      if n < 0 then fail () else of_int ~width:w n
+      (* Reject values that do not fit, like the binary/hex paths do. *)
+      if n < 0 || (w < 62 && n asr w <> 0) then fail ();
+      of_int ~width:w n
     | _ -> fail ()
   in
   match String.index_opt s '\'' with
@@ -508,10 +510,11 @@ let to_signed_int v =
     if msb v then x - (1 lsl v.width) else x
   end
   else begin
-    (* The value fits iff every bit from 61 upward equals bit 61. *)
-    let sign = bit v 61 in
+    (* Native ints are 63-bit two's complement, sign at bit 62: the value
+       fits iff every bit from 62 upward equals bit 62. *)
+    let sign = bit v 62 in
     let rec check i = i >= v.width || (bit v i = sign && check (i + 1)) in
-    if not (check 62) then failwith "Bits.to_signed_int: value exceeds native int";
+    if not (check 63) then failwith "Bits.to_signed_int: value exceeds native int";
     let x = to_int_trunc v land ((1 lsl 62) - 1) in
     if sign then x - (1 lsl 62) else x
   end

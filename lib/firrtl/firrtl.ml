@@ -6,16 +6,24 @@ let of_ast ast =
   match Elaborate.elaborate ast with
   | { Elaborate.circuit; halt } -> { circuit; halt }
   | exception Elaborate.Elab_error msg -> raise (Error ("elaboration: " ^ msg))
+  | exception Failure msg -> raise (Error ("elaboration: " ^ msg))
+  | exception Invalid_argument msg -> raise (Error ("elaboration: " ^ msg))
 
-let load_string src =
+let load ?file src =
   match Parser.parse_string src with
   | ast -> of_ast ast
-  | exception Parser.Parse_error (line, msg) ->
-    raise (Error (Printf.sprintf "line %d: %s" line msg))
+  | exception Parser.Parse_error (line, col, msg) ->
+    raise (Error (Gsim_ir.Srcloc.format ?file ~src ~line ~col msg))
+
+let load_string src = load src
 
 let load_file path =
-  match Parser.parse_file path with
-  | ast -> of_ast ast
-  | exception Parser.Parse_error (line, msg) ->
-    raise (Error (Printf.sprintf "%s:%d: %s" path line msg))
-  | exception Sys_error msg -> raise (Error msg)
+  let src =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg -> raise (Error msg)
+  in
+  load ~file:path src

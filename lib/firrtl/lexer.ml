@@ -8,7 +8,7 @@ type token =
   | Dedent
   | Eof
 
-exception Lex_error of int * string
+exception Lex_error of int * int * string
 
 let pp_token fmt = function
   | Id s -> Format.fprintf fmt "identifier %S" s
@@ -32,16 +32,20 @@ let is_digit c = c >= '0' && c <= '9'
 
 let tokenize src =
   let tokens = ref [] in
-  let emit line tok = tokens := (tok, line) :: !tokens in
+  let emit line col tok = tokens := (tok, line, col) :: !tokens in
   let lines = String.split_on_char '\n' src in
   let indent_stack = ref [ 0 ] in
   let lineno = ref 0 in
   let lex_line line text =
     let n = String.length text in
     let pos = ref 0 in
-    let error msg = raise (Lex_error (line, msg)) in
+    let error ?at msg =
+      let col = 1 + match at with Some p -> p | None -> !pos in
+      raise (Lex_error (line, col, msg))
+    in
     while !pos < n do
       let c = text.[!pos] in
+      let col = !pos + 1 in
       if c = ' ' || c = '\t' || c = '\r' then incr pos
       else if c = ';' then pos := n
       else if c = '@' && !pos + 1 < n && text.[!pos + 1] = '[' then begin
@@ -50,9 +54,10 @@ let tokenize src =
         pos := skip (!pos + 2)
       end
       else if c = '"' then begin
+        let start = !pos in
         let buf = Buffer.create 16 in
         let rec go i =
-          if i >= n then error "unterminated string"
+          if i >= n then error ~at:start "unterminated string"
           else
             match text.[i] with
             | '"' -> i + 1
@@ -64,14 +69,17 @@ let tokenize src =
               go (i + 1)
         in
         pos := go (!pos + 1);
-        emit line (Str (Buffer.contents buf))
+        emit line col (Str (Buffer.contents buf))
       end
       else if is_digit c then begin
         let start = !pos in
         while !pos < n && is_digit text.[!pos] do
           incr pos
         done;
-        emit line (Int (int_of_string (String.sub text start (!pos - start))))
+        let digits = String.sub text start (!pos - start) in
+        match int_of_string_opt digits with
+        | Some v -> emit line col (Int v)
+        | None -> error ~at:start (Printf.sprintf "integer literal %s out of range" digits)
       end
       else if is_id_start c then begin
         let start = !pos in
@@ -85,18 +93,18 @@ let tokenize src =
           else if is_id_char ch then incr pos
           else continue := false
         done;
-        emit line (Id (String.sub text start (!pos - start)))
+        emit line col (Id (String.sub text start (!pos - start)))
       end
       else begin
         let two = if !pos + 1 < n then String.sub text !pos 2 else "" in
         match two with
         | "<=" | "=>" | "<-" ->
-          emit line (Punct two);
+          emit line col (Punct two);
           pos := !pos + 2
         | _ ->
           (match c with
            | ':' | ',' | '(' | ')' | '<' | '>' | '.' | '-' | '=' | '[' | ']' ->
-             emit line (Punct (String.make 1 c));
+             emit line col (Punct (String.make 1 c));
              incr pos
            | _ -> error (Printf.sprintf "unexpected character %C" c))
       end
@@ -118,24 +126,25 @@ let tokenize src =
         let top () = match !indent_stack with t :: _ -> t | [] -> 0 in
         if indent > top () then begin
           indent_stack := indent :: !indent_stack;
-          emit line Indent
+          emit line (indent + 1) Indent
         end
         else
           while indent < top () do
             (match !indent_stack with
              | _ :: tl -> indent_stack := tl
              | [] -> ());
-            emit line Dedent;
-            if indent > top () then raise (Lex_error (line, "inconsistent indentation"))
+            emit line (indent + 1) Dedent;
+            if indent > top () then
+              raise (Lex_error (line, indent + 1, "inconsistent indentation"))
           done;
         lex_line line raw;
-        emit line Newline
+        emit line (n + 1) Newline
       end)
     lines;
   let line = !lineno in
   while (match !indent_stack with t :: _ -> t > 0 | [] -> false) do
     (match !indent_stack with _ :: tl -> indent_stack := tl | [] -> ());
-    emit line Dedent
+    emit line 1 Dedent
   done;
-  emit line Eof;
+  emit line 1 Eof;
   Array.of_list (List.rev !tokens)

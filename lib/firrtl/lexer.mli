@@ -10,12 +10,12 @@ type token =
   | Dedent
   | Eof
 
-exception Lex_error of int * string
-(** Line number and message. *)
+exception Lex_error of int * int * string
+(** Line, column (both 1-based) and message. *)
 
-val tokenize : string -> (token * int) array
-(** Token stream with line numbers.  Comments ([;] to end of line), file
-    info ([@[...]]) and blank lines are dropped; INDENT/DEDENT tokens are
-    synthesized from leading whitespace. *)
+val tokenize : string -> (token * int * int) array
+(** Token stream with 1-based line and column numbers.  Comments ([;] to
+    end of line), file info ([@[...]]) and blank lines are dropped;
+    INDENT/DEDENT tokens are synthesized from leading whitespace. *)
 
 val pp_token : Format.formatter -> token -> unit

@@ -1,14 +1,20 @@
 module Bits = Gsim_bits.Bits
 
-exception Parse_error of int * string
+exception Parse_error of int * int * string
 
-type state = { tokens : (Lexer.token * int) array; mutable pos : int }
+type state = { tokens : (Lexer.token * int * int) array; mutable pos : int }
 
-let peek st = fst st.tokens.(st.pos)
+let peek st =
+  let t, _, _ = st.tokens.(st.pos) in
+  t
 
-let line st = snd st.tokens.(st.pos)
+let here st =
+  let _, l, c = st.tokens.(st.pos) in
+  (l, c)
 
-let error st msg = raise (Parse_error (line st, msg))
+let error_at (l, c) msg = raise (Parse_error (l, c, msg))
+
+let error st msg = error_at (here st) msg
 
 let advance st = st.pos <- st.pos + 1
 
@@ -24,14 +30,16 @@ let expect st tok =
       (Format.asprintf "expected %a, found %a" Lexer.pp_token tok Lexer.pp_token (peek st))
 
 let expect_id st =
+  let loc = here st in
   match next st with
   | Lexer.Id s -> s
-  | t -> error st (Format.asprintf "expected identifier, found %a" Lexer.pp_token t)
+  | t -> error_at loc (Format.asprintf "expected identifier, found %a" Lexer.pp_token t)
 
 let expect_int st =
+  let loc = here st in
   match next st with
   | Lexer.Int n -> n
-  | t -> error st (Format.asprintf "expected integer, found %a" Lexer.pp_token t)
+  | t -> error_at loc (Format.asprintf "expected integer, found %a" Lexer.pp_token t)
 
 let accept st tok = if peek st = tok then (advance st; true) else false
 
@@ -43,6 +51,7 @@ let skip_newlines st =
 (* --- Types ----------------------------------------------------------- *)
 
 let parse_ty st =
+  let loc = here st in
   match next st with
   | Lexer.Id "UInt" ->
     expect st (Lexer.Punct "<");
@@ -56,7 +65,7 @@ let parse_ty st =
     Ast.Sint w
   | Lexer.Id "Clock" -> Ast.Clock_ty
   | Lexer.Id ("Reset" | "AsyncReset") -> Ast.Reset_ty
-  | t -> error st (Format.asprintf "expected a ground type, found %a" Lexer.pp_token t)
+  | t -> error_at loc (Format.asprintf "expected a ground type, found %a" Lexer.pp_token t)
 
 (* --- Expressions ------------------------------------------------------ *)
 
@@ -64,10 +73,21 @@ let parse_ty st =
 let literal_value st ty =
   let width = Ast.ty_width ty in
   expect st (Lexer.Punct "(");
+  let loc = here st in
+  (* [Bits.of_string]/[int_of_string] reject malformed digit strings with
+     bare [Invalid_argument]/[Failure]; pin those to the literal's
+     position instead of letting them escape the parser. *)
+  let guard f =
+    try f () with
+    | Invalid_argument m | Failure m ->
+      error_at loc (Printf.sprintf "invalid literal value: %s" m)
+  in
   let v =
     match next st with
-    | Lexer.Int n -> Bits.of_int ~width n
-    | Lexer.Punct "-" -> Bits.of_int ~width (-expect_int st)
+    | Lexer.Int n -> guard (fun () -> Bits.of_int ~width n)
+    | Lexer.Punct "-" ->
+      let n = expect_int st in
+      guard (fun () -> Bits.of_int ~width (-n))
     | Lexer.Str s when String.length s >= 1 -> begin
         let base, digits =
           match s.[0] with
@@ -76,14 +96,15 @@ let literal_value st ty =
           | 'o' -> (8, String.sub s 1 (String.length s - 1))
           | _ -> (10, s)
         in
-        match base with
-        | 16 -> Bits.of_string (Printf.sprintf "%d'h%s" width digits)
-        | 2 -> Bits.of_string (Printf.sprintf "%d'b%s" width digits)
-        | 10 -> Bits.of_string (Printf.sprintf "%d'd%s" width digits)
-        | _ ->
-          (* Octal: widen through an int (octal literals are rare and
-             small in practice). *)
-          Bits.of_int ~width (int_of_string ("0o" ^ digits))
+        guard (fun () ->
+            match base with
+            | 16 -> Bits.of_string (Printf.sprintf "%d'h%s" width digits)
+            | 2 -> Bits.of_string (Printf.sprintf "%d'b%s" width digits)
+            | 10 -> Bits.of_string (Printf.sprintf "%d'd%s" width digits)
+            | _ ->
+              (* Octal: widen through an int (octal literals are rare and
+                 small in practice). *)
+              Bits.of_int ~width (int_of_string ("0o" ^ digits)))
       end
     | t -> error st (Format.asprintf "expected literal value, found %a" Lexer.pp_token t)
   in
@@ -233,6 +254,7 @@ and parse_when st =
   Ast.When (cond, then_block, else_block)
 
 and parse_stmt st : Ast.stmt =
+  let loc = here st in
   match next st with
   | Lexer.Id "wire" ->
     let name = expect_id st in
@@ -307,7 +329,7 @@ and parse_stmt st : Ast.stmt =
        expect st (Lexer.Id "invalid");
        Ast.Invalidate path
      | t -> error st (Format.asprintf "expected <= after reference, found %a" Lexer.pp_token t))
-  | t -> error st (Format.asprintf "expected statement, found %a" Lexer.pp_token t)
+  | t -> error_at loc (Format.asprintf "expected statement, found %a" Lexer.pp_token t)
 
 (* --- Modules and circuit ---------------------------------------------- *)
 
@@ -372,7 +394,8 @@ let parse_circuit st =
 let parse_string src =
   let tokens =
     try Lexer.tokenize src
-    with Lexer.Lex_error (line, msg) -> raise (Parse_error (line, "lexical error: " ^ msg))
+    with Lexer.Lex_error (line, col, msg) ->
+      raise (Parse_error (line, col, "lexical error: " ^ msg))
   in
   parse_circuit { tokens; pos = 0 }
 

@@ -1,7 +1,7 @@
 (** Recursive-descent parser for the supported FIRRTL subset. *)
 
-exception Parse_error of int * string
-(** Line number and message. *)
+exception Parse_error of int * int * string
+(** Line, column (both 1-based) and message. *)
 
 val parse_string : string -> Ast.circuit
 

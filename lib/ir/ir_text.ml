@@ -1,0 +1,451 @@
+module Bits = Gsim_bits.Bits
+
+(* --- Expressions: s-expression syntax, one token per atom ------------------
+
+   8'h2a                  constant (Bits.pp form)
+   (v <width> <id>)       node reference
+   (not e) (neg e) (andr e) (orr e) (xorr e)
+   (shl <n> e) (shr <n> e) (ex <hi> <lo> e) (padu <w> e) (pads <w> e)
+   (<binop> a b)          add sub mul div sdiv rem srem and or xor cat
+                          eq neq lt leq gt geq slt sleq sgt sgeq
+                          dshl dshr sdshr
+   (mux s a b)                                                             *)
+
+let binop_name = function
+  | Expr.Add -> "add" | Expr.Sub -> "sub" | Expr.Mul -> "mul"
+  | Expr.Div -> "div" | Expr.Div_signed -> "sdiv"
+  | Expr.Rem -> "rem" | Expr.Rem_signed -> "srem"
+  | Expr.And -> "and" | Expr.Or -> "or" | Expr.Xor -> "xor"
+  | Expr.Cat -> "cat"
+  | Expr.Eq -> "eq" | Expr.Neq -> "neq"
+  | Expr.Lt -> "lt" | Expr.Leq -> "leq" | Expr.Gt -> "gt" | Expr.Geq -> "geq"
+  | Expr.Lt_signed -> "slt" | Expr.Leq_signed -> "sleq"
+  | Expr.Gt_signed -> "sgt" | Expr.Geq_signed -> "sgeq"
+  | Expr.Dshl -> "dshl" | Expr.Dshr -> "dshr" | Expr.Dshr_signed -> "sdshr"
+
+let binop_of_name = function
+  | "add" -> Some Expr.Add | "sub" -> Some Expr.Sub | "mul" -> Some Expr.Mul
+  | "div" -> Some Expr.Div | "sdiv" -> Some Expr.Div_signed
+  | "rem" -> Some Expr.Rem | "srem" -> Some Expr.Rem_signed
+  | "and" -> Some Expr.And | "or" -> Some Expr.Or | "xor" -> Some Expr.Xor
+  | "cat" -> Some Expr.Cat
+  | "eq" -> Some Expr.Eq | "neq" -> Some Expr.Neq
+  | "lt" -> Some Expr.Lt | "leq" -> Some Expr.Leq
+  | "gt" -> Some Expr.Gt | "geq" -> Some Expr.Geq
+  | "slt" -> Some Expr.Lt_signed | "sleq" -> Some Expr.Leq_signed
+  | "sgt" -> Some Expr.Gt_signed | "sgeq" -> Some Expr.Geq_signed
+  | "dshl" -> Some Expr.Dshl | "dshr" -> Some Expr.Dshr
+  | "sdshr" -> Some Expr.Dshr_signed
+  | _ -> None
+
+let bits_token b = Format.asprintf "%a" Bits.pp b
+
+let rec write_expr buf (e : Expr.t) =
+  match e.Expr.desc with
+  | Expr.Const b -> Buffer.add_string buf (bits_token b)
+  | Expr.Var v -> Buffer.add_string buf (Printf.sprintf "(v %d %d)" e.Expr.width v)
+  | Expr.Unop (op, a) ->
+    let head =
+      match op with
+      | Expr.Not -> "not" | Expr.Neg -> "neg"
+      | Expr.Reduce_and -> "andr" | Expr.Reduce_or -> "orr"
+      | Expr.Reduce_xor -> "xorr"
+      | Expr.Shl_const n -> Printf.sprintf "shl %d" n
+      | Expr.Shr_const n -> Printf.sprintf "shr %d" n
+      | Expr.Extract (hi, lo) -> Printf.sprintf "ex %d %d" hi lo
+      | Expr.Pad_unsigned w -> Printf.sprintf "padu %d" w
+      | Expr.Pad_signed w -> Printf.sprintf "pads %d" w
+    in
+    Buffer.add_char buf '(';
+    Buffer.add_string buf head;
+    Buffer.add_char buf ' ';
+    write_expr buf a;
+    Buffer.add_char buf ')'
+  | Expr.Binop (op, a, b) ->
+    Buffer.add_char buf '(';
+    Buffer.add_string buf (binop_name op);
+    Buffer.add_char buf ' ';
+    write_expr buf a;
+    Buffer.add_char buf ' ';
+    write_expr buf b;
+    Buffer.add_char buf ')'
+  | Expr.Mux (s, a, b) ->
+    Buffer.add_string buf "(mux ";
+    write_expr buf s;
+    Buffer.add_char buf ' ';
+    write_expr buf a;
+    Buffer.add_char buf ' ';
+    write_expr buf b;
+    Buffer.add_char buf ')'
+
+let expr_to_string e =
+  let buf = Buffer.create 64 in
+  write_expr buf e;
+  Buffer.contents buf
+
+(* Tokenize an expression: parens are their own tokens. *)
+let expr_tokens s =
+  let tokens = ref [] and buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' -> flush ()
+      | '(' | ')' ->
+        flush ();
+        tokens := String.make 1 c :: !tokens
+      | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !tokens
+
+let parse_expr ~ctx s =
+  let fail msg = failwith (Printf.sprintf "gsimir: %s: %s" ctx msg) in
+  let toks = Array.of_list (expr_tokens s) in
+  let pos = ref 0 in
+  let next () =
+    if !pos >= Array.length toks then fail "truncated expression"
+    else begin
+      incr pos;
+      toks.(!pos - 1)
+    end
+  in
+  let int_tok () =
+    match int_of_string_opt (next ()) with
+    | Some n -> n
+    | None -> fail "expected integer in expression"
+  in
+  let close () = if next () <> ")" then fail "expected ')'" in
+  let rec expr () =
+    match next () with
+    | "(" -> begin
+      let head = next () in
+      let e =
+        match head with
+        | "v" ->
+          let w = int_tok () in
+          let id = int_tok () in
+          Expr.var ~width:w id
+        | "not" -> Expr.unop Expr.Not (expr ())
+        | "neg" -> Expr.unop Expr.Neg (expr ())
+        | "andr" -> Expr.unop Expr.Reduce_and (expr ())
+        | "orr" -> Expr.unop Expr.Reduce_or (expr ())
+        | "xorr" -> Expr.unop Expr.Reduce_xor (expr ())
+        | "shl" ->
+          let n = int_tok () in
+          Expr.unop (Expr.Shl_const n) (expr ())
+        | "shr" ->
+          let n = int_tok () in
+          Expr.unop (Expr.Shr_const n) (expr ())
+        | "ex" ->
+          let hi = int_tok () in
+          let lo = int_tok () in
+          Expr.unop (Expr.Extract (hi, lo)) (expr ())
+        | "padu" ->
+          let w = int_tok () in
+          Expr.unop (Expr.Pad_unsigned w) (expr ())
+        | "pads" ->
+          let w = int_tok () in
+          Expr.unop (Expr.Pad_signed w) (expr ())
+        | "mux" ->
+          let s = expr () in
+          let a = expr () in
+          let b = expr () in
+          Expr.mux s a b
+        | op -> (
+          match binop_of_name op with
+          | Some op ->
+            let a = expr () in
+            let b = expr () in
+            Expr.binop op a b
+          | None -> fail (Printf.sprintf "unknown operator %S" op))
+      in
+      close ();
+      e
+    end
+    | ")" -> fail "unexpected ')'"
+    | tok -> (
+      match Bits.of_string tok with
+      | b -> Expr.const b
+      | exception Invalid_argument _ -> fail (Printf.sprintf "bad constant %S" tok))
+  in
+  let e = expr () in
+  if !pos <> Array.length toks then fail "trailing tokens after expression";
+  e
+
+(* --- Circuit lines ---------------------------------------------------------
+
+   gsimir 1
+   circuit <name>
+   mem <width> <depth> <name>                       (memory-index order)
+   node <id> input <width> <name>
+   node <id> logic <width> <name> <expr>
+   node <id> regread <width> <name>
+   node <id> regnext <width> <name> <expr>
+   node <id> memread <width> <name> <port-index>
+   reg <read-id> <next-id> <init> <slow|-> <sig|-> <value|-> <name>
+   rport <port-index> <mem> <data-id> <addr-id> <en-id|->
+   wport <mem> <addr-id> <data-id> <en-id>
+   output <id>
+
+   Names are emitted with spaces replaced by '_' so every field is one
+   whitespace-free token (names never contain spaces in practice).      *)
+
+let sanitize_name s =
+  let s = if s = "" then "_" else s in
+  String.map (fun c -> if c = ' ' || c = '\t' || c = '\n' || c = '\r' then '_' else c) s
+
+let to_string c =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line "gsimir 1";
+  line "circuit %s" (sanitize_name (Circuit.name c));
+  Array.iter
+    (fun (m : Circuit.memory) ->
+      line "mem %d %d %s" m.Circuit.mem_width m.Circuit.depth (sanitize_name m.Circuit.mem_name))
+    (Circuit.memories c);
+  Circuit.iter_nodes c (fun n ->
+      let name = sanitize_name n.Circuit.name in
+      match n.Circuit.kind with
+      | Circuit.Input -> line "node %d input %d %s" n.Circuit.id n.Circuit.width name
+      | Circuit.Logic ->
+        line "node %d logic %d %s %s" n.Circuit.id n.Circuit.width name
+          (expr_to_string (Option.get n.Circuit.expr))
+      | Circuit.Reg_read _ -> line "node %d regread %d %s" n.Circuit.id n.Circuit.width name
+      | Circuit.Reg_next _ ->
+        line "node %d regnext %d %s %s" n.Circuit.id n.Circuit.width name
+          (expr_to_string (Option.get n.Circuit.expr))
+      | Circuit.Mem_read p ->
+        line "node %d memread %d %s %d" n.Circuit.id n.Circuit.width name p);
+  List.iter
+    (fun (r : Circuit.register) ->
+      let slow, sg, v =
+        match r.Circuit.reset with
+        | None -> ("-", "-", "-")
+        | Some rst ->
+          ( (if rst.Circuit.slow_path then "1" else "0"),
+            string_of_int rst.Circuit.reset_signal,
+            bits_token rst.Circuit.reset_value )
+      in
+      line "reg %d %d %s %s %s %s %s" r.Circuit.read r.Circuit.next (bits_token r.Circuit.init)
+        slow sg v (sanitize_name r.Circuit.reg_name))
+    (Circuit.registers c);
+  Array.iteri
+    (fun mem_idx (m : Circuit.memory) ->
+      ignore mem_idx;
+      List.iter
+        (fun data_id ->
+          match (Circuit.node c data_id).Circuit.kind with
+          | Circuit.Mem_read p ->
+            let port = Circuit.read_port c p in
+            line "rport %d %d %d %d %s" p port.Circuit.r_mem port.Circuit.r_data
+              port.Circuit.r_addr
+              (match port.Circuit.r_en with Some e -> string_of_int e | None -> "-")
+          | _ -> ())
+        (List.rev m.Circuit.read_port_ids);
+      List.iter
+        (fun (w : Circuit.write_port) ->
+          line "wport %d %d %d %d" mem_idx w.Circuit.w_addr w.Circuit.w_data w.Circuit.w_en)
+        (List.rev m.Circuit.write_ports))
+    (Circuit.memories c);
+  Circuit.iter_nodes c (fun n -> if n.Circuit.is_output then line "output %d" n.Circuit.id);
+  Buffer.contents buf
+
+(* --- Parsing --------------------------------------------------------------- *)
+
+type node_decl = {
+  d_id : int;
+  d_kind : string;
+  d_width : int;
+  d_name : string;
+  d_rest : string;  (* expression text or port index *)
+}
+
+let of_string s =
+  let lineno = ref 0 in
+  let fail msg = failwith (Printf.sprintf "gsimir line %d: %s" !lineno msg) in
+  let int_field f =
+    match int_of_string_opt f with Some n -> n | None -> fail (Printf.sprintf "bad integer %S" f)
+  in
+  let bits_field f =
+    match Bits.of_string f with
+    | b -> b
+    | exception Invalid_argument _ -> fail (Printf.sprintf "bad bit vector %S" f)
+  in
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map (fun l -> String.trim l)
+  in
+  let circuit_name = ref "circuit" in
+  let mems = ref [] (* (width, depth, name), reversed *)
+  and nodes = ref [] (* node_decl, reversed *)
+  and regs = ref [] (* (read, next, init, reset option), reversed *)
+  and rports = ref [] (* (port, mem, data, addr, en option), reversed *)
+  and wports = ref [] (* (mem, addr, data, en), reversed *)
+  and outputs = ref [] in
+  let header_seen = ref false in
+  List.iter
+    (fun line ->
+      incr lineno;
+      if line <> "" then
+        match String.split_on_char ' ' line with
+        | [ "gsimir"; "1" ] -> header_seen := true
+        | "gsimir" :: _ -> fail "unsupported gsimir version"
+        | [ "circuit"; name ] -> circuit_name := name
+        | [ "mem"; w; d; name ] -> mems := (int_field w, int_field d, name) :: !mems
+        | "node" :: id :: kind :: width :: name :: rest ->
+          nodes :=
+            {
+              d_id = int_field id;
+              d_kind = kind;
+              d_width = int_field width;
+              d_name = name;
+              d_rest = String.concat " " rest;
+            }
+            :: !nodes
+        | [ "reg"; read; next; init; slow; sg; v; name ] ->
+          let reset =
+            if slow = "-" then None
+            else Some (slow = "1", int_field sg, bits_field v)
+          in
+          regs := (int_field read, int_field next, bits_field init, reset, name) :: !regs
+        | [ "rport"; p; m; d; a; e ] ->
+          let en = if e = "-" then None else Some (int_field e) in
+          rports := (int_field p, int_field m, int_field d, int_field a, en) :: !rports
+        | [ "wport"; m; a; d; e ] ->
+          wports := (int_field m, int_field a, int_field d, int_field e) :: !wports
+        | [ "output"; id ] -> outputs := int_field id :: !outputs
+        | _ -> fail (Printf.sprintf "bad line %S" line))
+    lines;
+  if not !header_seen then failwith "gsimir: missing header";
+  let node_decls =
+    List.rev !nodes |> List.sort (fun a b -> compare a.d_id b.d_id) |> Array.of_list
+  in
+  let max_old =
+    Array.fold_left (fun acc d -> max acc d.d_id) (-1) node_decls
+  in
+  let regs = List.rev !regs in
+  let reg_of_read =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun ((read, _, _, _, _) as r) -> Hashtbl.replace tbl read r) regs;
+    tbl
+  in
+  let c = Circuit.create ~name:!circuit_name () in
+  List.iter
+    (fun (w, d, name) -> ignore (Circuit.add_memory c ~name ~width:w ~depth:d))
+    (List.rev !mems);
+  (* Phase A: create all nodes in ascending old-id order.  A register's
+     read node triggers [add_register], which also allocates the next
+     node; the next's own declaration is skipped when reached.  Read
+     ports are created with a placeholder address and patched in phase B
+     (forward references are legal in the table). *)
+  let map = Array.make (max_old + 1) (-1) in
+  let port_map = Hashtbl.create 16 (* old port index -> new port index *) in
+  let new_ports = ref 0 in
+  let register_objs = Hashtbl.create 16 (* old read id -> register *) in
+  Array.iter
+    (fun d ->
+      if map.(d.d_id) >= 0 then begin
+        (* Already allocated as a register's next node: restore its
+           serialized name. *)
+        if d.d_kind <> "regnext" then
+          failwith (Printf.sprintf "gsimir: node %d allocated twice" d.d_id);
+        (Circuit.node c map.(d.d_id)).Circuit.name <- d.d_name
+      end
+      else begin
+        match d.d_kind with
+        | "input" ->
+          let n = Circuit.add_input c ~name:d.d_name ~width:d.d_width in
+          map.(d.d_id) <- n.Circuit.id
+        | "logic" ->
+          let n =
+            Circuit.add_logic c ~name:d.d_name (Expr.const (Bits.zero d.d_width))
+          in
+          map.(d.d_id) <- n.Circuit.id
+        | "regread" -> (
+          match Hashtbl.find_opt reg_of_read d.d_id with
+          | None -> failwith (Printf.sprintf "gsimir: regread node %d has no reg line" d.d_id)
+          | Some (read, next, init, _reset, reg_name) ->
+            (* Reset is attached in phase B: the serialized next
+               expression already contains the reset mux, so the
+               register is created bare to keep [set_expr] from
+               double-wrapping. *)
+            let r = Circuit.add_register c ~name:reg_name ~width:d.d_width ~init () in
+            map.(read) <- r.Circuit.read;
+            map.(next) <- r.Circuit.next;
+            (Circuit.node c r.Circuit.read).Circuit.name <- d.d_name;
+            Hashtbl.replace register_objs read r)
+        | "memread" ->
+          let old_port = int_of_string (String.trim d.d_rest) in
+          let mem =
+            match List.find_opt (fun (p, _, _, _, _) -> p = old_port) (List.rev !rports) with
+            | Some (_, m, _, _, _) -> m
+            | None ->
+              failwith (Printf.sprintf "gsimir: memread node %d has no rport line" d.d_id)
+          in
+          let n = Circuit.add_read_port c ~mem ~name:d.d_name ~addr:(-1) () in
+          Hashtbl.replace port_map old_port !new_ports;
+          incr new_ports;
+          map.(d.d_id) <- n.Circuit.id
+        | "regnext" ->
+          failwith
+            (Printf.sprintf "gsimir: regnext node %d appears before its regread" d.d_id)
+        | k -> failwith (Printf.sprintf "gsimir: unknown node kind %S" k)
+      end)
+    node_decls;
+  let map_id id =
+    if id < 0 || id > max_old || map.(id) < 0 then
+      failwith (Printf.sprintf "gsimir: dangling node reference %d" id)
+    else map.(id)
+  in
+  let remap_expr e = Expr.map_vars (fun ~width v -> Expr.var ~width (map_id v)) e in
+  (* Phase B: expressions, resets, port operands, write ports, outputs. *)
+  Array.iter
+    (fun d ->
+      match d.d_kind with
+      | "logic" | "regnext" ->
+        let ctx = Printf.sprintf "node %d" d.d_id in
+        Circuit.set_expr c map.(d.d_id) (remap_expr (parse_expr ~ctx d.d_rest))
+      | _ -> ())
+    node_decls;
+  List.iter
+    (fun (read, _next, _init, reset, _name) ->
+      match reset with
+      | None -> ()
+      | Some (slow, sg, value) -> (
+        match Hashtbl.find_opt register_objs read with
+        | None -> ()
+        | Some r ->
+          r.Circuit.reset <-
+            Some
+              {
+                Circuit.reset_signal = map_id sg;
+                reset_value = value;
+                slow_path = slow;
+              }))
+    regs;
+  List.iter
+    (fun (old_port, mem, data, addr, en) ->
+      match Hashtbl.find_opt port_map old_port with
+      | None -> ()
+      | Some new_port ->
+        Circuit.replace_read_port c new_port
+          {
+            Circuit.r_mem = mem;
+            r_data = map_id data;
+            r_addr = map_id addr;
+            r_en = Option.map map_id en;
+          })
+    (List.rev !rports);
+  List.iter
+    (fun (mem, addr, data, en) ->
+      Circuit.add_write_port c ~mem ~addr:(map_id addr) ~data:(map_id data) ~en:(map_id en))
+    (List.rev !wports);
+  List.iter (fun id -> Circuit.mark_output c (map_id id)) (List.rev !outputs);
+  Circuit.validate c;
+  c

@@ -1,0 +1,18 @@
+(** Exact textual serialization of a circuit.
+
+    Unlike the FIRRTL emitter (which targets an external language and is
+    lossy about node identities, reset slow-paths and port tables), this
+    format round-trips the graph IR exactly: every live node with its id,
+    kind, width, name and expression, the full register and memory port
+    tables, reset annotations including the slow-path flag, and output
+    marks.  The fuzzer's repro files embed it so a recorded failure can
+    be rebuilt and re-run bit-identically ([gsim fuzz replay]).
+
+    Parsing renumbers nodes densely in ascending-id order (the identity
+    mapping when the source circuit was compacted); all references are
+    remapped consistently, and the result is validated. *)
+
+val to_string : Circuit.t -> string
+
+val of_string : string -> Circuit.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)

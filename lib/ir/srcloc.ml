@@ -1,0 +1,41 @@
+let nth_line src n =
+  if n < 1 then None
+  else
+    let rec go i remaining start =
+      if remaining = 0 then
+        let stop =
+          match String.index_from_opt src start '\n' with
+          | Some j -> j
+          | None -> String.length src
+        in
+        Some (String.sub src start (stop - start))
+      else
+        match String.index_from_opt src i '\n' with
+        | Some j -> go (j + 1) (remaining - 1) (j + 1)
+        | None -> None
+    in
+    if src = "" then None else go 0 (n - 1) 0
+
+let format ?file ~src ~line ~col msg =
+  let loc =
+    match file with
+    | Some f -> Printf.sprintf "%s:%d:%d" f line col
+    | None -> Printf.sprintf "line %d:%d" line col
+  in
+  match nth_line src line with
+  | None -> Printf.sprintf "%s: %s" loc msg
+  | Some text ->
+    (* Strip a trailing CR and expand tabs to one column each so the
+       caret lines up with what was lexed. *)
+    let text =
+      if String.length text > 0 && text.[String.length text - 1] = '\r' then
+        String.sub text 0 (String.length text - 1)
+      else text
+    in
+    let gutter = Printf.sprintf "%4d | " line in
+    let caret_col = max 1 (min col (String.length text + 1)) in
+    let caret =
+      String.make (String.length gutter - 2) ' ' ^ "| "
+      ^ String.make (caret_col - 1) ' ' ^ "^"
+    in
+    Printf.sprintf "%s: %s\n%s%s\n%s" loc msg gutter text caret

@@ -1,0 +1,21 @@
+(** Source positions for the textual frontends.
+
+    The FIRRTL and Verilog lexers/parsers report failures as a
+    (line, column) pair; this module renders them in the conventional
+    [file:line:col] form with a one-line excerpt of the offending source
+    and a caret under the column, so every frontend diagnostic is
+    directly clickable and self-explanatory. *)
+
+val format :
+  ?file:string -> src:string -> line:int -> col:int -> string -> string
+(** [format ?file ~src ~line ~col msg] is
+
+    {v
+    file:LINE:COL: msg
+      LINE | <source line>
+           |       ^
+    v}
+
+    Lines and columns are 1-based; out-of-range positions degrade
+    gracefully (no excerpt).  Without [file] the location prints as
+    [line LINE:COL]. *)

@@ -15,21 +15,30 @@ let o1_passes = [ Simplify.pass; Alias.pass; Dce.pass ]
 
 let o2_passes = [ Simplify.pass; Alias.pass; Dce.pass; Reset_opt.pass; Inline.extract_pass; Inline.inline_pass ]
 
+type stage = { stage_passes : Pass.t list; stage_max_rounds : int }
+
+(* The optimizer is driven by this plan so that the fuzzer's pass-pipeline
+   bisection (lib/verify) can linearize exactly the applications
+   [optimize] performs — keep the two in sync by construction. *)
+let plan = function
+  | O0 -> []
+  | O1 -> [ { stage_passes = o1_passes; stage_max_rounds = 8 } ]
+  | O2 -> [ { stage_passes = o2_passes; stage_max_rounds = 8 } ]
+  | O3 ->
+    [
+      { stage_passes = o2_passes; stage_max_rounds = 8 };
+      (* Bit splitting runs once, outside the fixpoints; no inliner after
+         it (it would re-absorb the split parts).  Reset_opt restores the
+         slow path on part registers created by the split. *)
+      { stage_passes = [ Bitsplit.pass ]; stage_max_rounds = 1 };
+      { stage_passes = o1_passes @ [ Reset_opt.pass ]; stage_max_rounds = 4 };
+    ]
+
 let optimize ?(level = O3) c =
   let outcomes =
-    match level with
-    | O0 -> []
-    | O1 -> Pass.run_fixpoint o1_passes c
-    | O2 -> Pass.run_fixpoint o2_passes c
-    | O3 ->
-      let first = Pass.run_fixpoint o2_passes c in
-      let split = Pass.apply Bitsplit.pass c in
-      (* No inliner here: it would re-absorb the split parts.  Reset_opt
-         restores the slow path on part registers created by the split. *)
-      let cleanup =
-        Pass.run_fixpoint ~max_rounds:4 (o1_passes @ [ Reset_opt.pass ]) c
-      in
-      first @ [ split ] @ cleanup
+    List.concat_map
+      (fun s -> Pass.run_fixpoint ~max_rounds:s.stage_max_rounds s.stage_passes c)
+      (plan level)
   in
   Circuit.validate c;
   outcomes

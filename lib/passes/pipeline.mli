@@ -18,6 +18,16 @@ type level = O0 | O1 | O2 | O3
 val level_of_string : string -> level option
 val level_to_string : level -> string
 
+type stage = { stage_passes : Pass.t list; stage_max_rounds : int }
+(** One fixpoint of a pass list, bounded by [stage_max_rounds] rounds
+    ({!Pass.run_fixpoint} semantics: stop early when a round performs no
+    rewrites, validate after every round). *)
+
+val plan : level -> stage list
+(** The exact stage sequence {!optimize} runs for a level.  The fuzzer's
+    pass-pipeline bisection replays this plan one pass application at a
+    time to name the first application after which a failure appears. *)
+
 val optimize : ?level:level -> Circuit.t -> Pass.outcome list
 (** Runs the pipeline in place (default [O3]) and validates the result.
     Node ids of inputs and output-marked nodes are preserved. *)

@@ -1,6 +1,13 @@
 open Gsim_ir
 module Bits = Gsim_bits.Bits
 
+(* Test-only miscompile injection: when set, constant folding of binary
+   operators produces the complemented value.  This exists solely so the
+   differential fuzzer (lib/verify) can prove, end to end, that a wrong
+   rewrite is caught, shrunk and bisected back to this pass; nothing
+   outside the fuzz canary and test_verify may set it. *)
+let test_miscompile = ref false
+
 let is_const (e : Expr.t) = match e.Expr.desc with Expr.Const _ -> true | _ -> false
 
 let const_value (e : Expr.t) =
@@ -62,9 +69,8 @@ let step (e : Expr.t) : Expr.t option =
   | Expr.Unop (op, a) when is_const a ->
     Some (Expr.const (Expr.eval_unop op (Option.get (const_value a))))
   | Expr.Binop (op, a, b) when is_const a && is_const b ->
-    Some
-      (Expr.const
-         (Expr.eval_binop op (Option.get (const_value a)) (Option.get (const_value b))))
+    let v = Expr.eval_binop op (Option.get (const_value a)) (Option.get (const_value b)) in
+    Some (Expr.const (if !test_miscompile then Bits.lognot v else v))
   | Expr.Mux (s, a, b) when is_const s ->
     Some (if is_zero_const s then b else a)
   (* ---- Unary identities -------------------------------------------- *)

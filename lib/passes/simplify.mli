@@ -8,4 +8,12 @@
 val rewrite : Gsim_ir.Expr.t -> Gsim_ir.Expr.t
 (** Bottom-up simplification to a local fixpoint. *)
 
+val test_miscompile : bool ref
+(** Test-only fault injection for the differential fuzzer: when set,
+    binary constant folding produces the bitwise complement of the
+    correct value.  The verification canary (lib/verify, [gsim fuzz run
+    --inject-miscompile], test_verify) flips this to prove a wrong
+    rewrite is detected, shrunk and bisected back to this pass.  Must
+    stay false everywhere else. *)
+
 val pass : Pass.t

@@ -1,0 +1,165 @@
+(* The fuzz campaign's persistent corpus: one record per explored case,
+   same crash-safe discipline as the fault campaign db (lib/fault/db.ml):
+   an initial canonical write, flushed single-line appends while running,
+   lenient reload tolerating a torn final line, and a canonical sorted
+   rewrite at the end.
+
+   fuzzdb 1
+   seed <n>
+   case <idx> ok
+   case <idx> fail <subject> <kind> <culprit> <nodes> <cycles> <repro|->  *)
+
+type finding = {
+  f_subject : string;
+  f_kind : string;        (* mismatch | crash | hang *)
+  f_culprit : string;     (* Bisect.culprit_token *)
+  f_nodes : int;          (* shrunk circuit size *)
+  f_cycles : int;         (* shrunk stimulus length *)
+  f_repro : string option; (* repro filename; None when deduplicated *)
+}
+
+type entry = Ok | Fail of finding
+
+type t = { mutable seed : int; cases : (int, entry) Hashtbl.t }
+
+let create ?(seed = 0) () = { seed; cases = Hashtbl.create 256 }
+
+let bucket_of f = f.f_culprit ^ "|" ^ f.f_kind
+
+let add t idx entry =
+  match Hashtbl.find_opt t.cases idx with
+  | Some existing when existing <> entry ->
+    Printf.ksprintf failwith "fuzzdb: conflicting records for case %d" idx
+  | Some _ -> ()
+  | None -> Hashtbl.replace t.cases idx entry
+
+let mem t idx = Hashtbl.mem t.cases idx
+let find t idx = Hashtbl.find_opt t.cases idx
+let count t = Hashtbl.length t.cases
+
+let iter t f =
+  Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.cases []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.iter (fun (k, e) -> f k e)
+
+let failures t =
+  let acc = ref [] in
+  iter t (fun idx -> function Ok -> () | Fail f -> acc := (idx, f) :: !acc);
+  List.rev !acc
+
+type bucket_stats = {
+  b_bucket : string;
+  b_count : int;
+  b_min_nodes : int;
+  b_min_cycles : int;
+  b_repro : string option;  (* the representative (first recorded) repro *)
+}
+
+let buckets t =
+  let tbl = Hashtbl.create 8 in
+  iter t (fun _ -> function
+    | Ok -> ()
+    | Fail f ->
+      let key = bucket_of f in
+      let cur =
+        match Hashtbl.find_opt tbl key with
+        | Some s -> s
+        | None ->
+          { b_bucket = key; b_count = 0; b_min_nodes = max_int;
+            b_min_cycles = max_int; b_repro = None }
+      in
+      Hashtbl.replace tbl key
+        { cur with
+          b_count = cur.b_count + 1;
+          b_min_nodes = min cur.b_min_nodes f.f_nodes;
+          b_min_cycles = min cur.b_min_cycles f.f_cycles;
+          b_repro = (match cur.b_repro with Some _ as r -> r | None -> f.f_repro)
+        });
+  Hashtbl.fold (fun _ s acc -> s :: acc) tbl []
+  |> List.sort (fun a b -> compare a.b_bucket b.b_bucket)
+
+let merge a b =
+  if a.seed <> 0 && b.seed <> 0 && a.seed <> b.seed then
+    Printf.ksprintf failwith "fuzzdb: seed mismatch (%d vs %d)" a.seed b.seed;
+  let t = create ~seed:(max a.seed b.seed) () in
+  Hashtbl.iter (fun k e -> add t k e) a.cases;
+  Hashtbl.iter (fun k e -> add t k e) b.cases;
+  t
+
+(* --- Text format -------------------------------------------------------- *)
+
+let entry_line idx = function
+  | Ok -> Printf.sprintf "case %d ok\n" idx
+  | Fail f ->
+    Printf.sprintf "case %d fail %s %s %s %d %d %s\n" idx f.f_subject f.f_kind
+      f.f_culprit f.f_nodes f.f_cycles
+      (match f.f_repro with Some r -> r | None -> "-")
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "fuzzdb 1\n";
+  Buffer.add_string buf (Printf.sprintf "seed %d\n" t.seed);
+  iter t (fun idx e -> Buffer.add_string buf (entry_line idx e));
+  Buffer.contents buf
+
+let equal a b = to_string a = to_string b
+
+let parse_line t line =
+  let fail () = Printf.ksprintf failwith "fuzzdb: bad line %S" line in
+  let int s = match int_of_string_opt s with Some n -> n | None -> fail () in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "seed"; n ] -> t.seed <- int n
+  | [ "case"; idx; "ok" ] -> add t (int idx) Ok
+  | [ "case"; idx; "fail"; subject; kind; culprit; nodes; cycles; repro ] ->
+    add t (int idx)
+      (Fail
+         { f_subject = subject;
+           f_kind = kind;
+           f_culprit = culprit;
+           f_nodes = int nodes;
+           f_cycles = int cycles;
+           f_repro = (if repro = "-" then None else Some repro) })
+  | _ -> fail ()
+
+let of_string ?(lenient = false) s =
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | header :: rest when String.trim header = "fuzzdb 1" ->
+    let t = create () in
+    let n = List.length rest in
+    List.iteri
+      (fun i line ->
+        try parse_line t line
+        with Failure _ when lenient && i = n - 1 ->
+          (* torn final append from a killed campaign; the case re-runs *)
+          ())
+      rest;
+    t
+  | _ -> failwith "fuzzdb: missing header"
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let load ?lenient path = of_string ?lenient (read_file path)
+
+let init_file path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let append_record path idx entry =
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
+  output_string oc (entry_line idx entry);
+  flush oc;
+  close_out oc

@@ -1,0 +1,140 @@
+module Bits = Gsim_bits.Bits
+module Sim = Gsim_engine.Sim
+module Counters = Gsim_engine.Counters
+open Gsim_ir
+
+type action =
+  | Force of { target : int; mask : Bits.t option; value : Bits.t }
+  | Release of int
+
+type step = { pokes : (int * Bits.t) list; actions : action list }
+
+let steps_of_stimulus stimulus =
+  Array.map (fun pokes -> { pokes; actions = [] }) stimulus
+
+type mismatch = {
+  at_cycle : int;
+  node_id : int;
+  node_name : string;
+  expected : Bits.t;
+  got : Bits.t;
+}
+
+type failure =
+  | Mismatch of mismatch
+  | Crash of string
+  | Hang of float
+
+type subject = {
+  subject_name : string;
+  build : Circuit.t -> Sim.t * (unit -> unit);
+}
+
+type outcome = {
+  o_subject : string;
+  o_failure : failure option;
+  o_counters : Counters.t option;
+}
+
+let failure_kind = function
+  | Mismatch _ -> "mismatch"
+  | Crash _ -> "crash"
+  | Hang _ -> "hang"
+
+let same_class a b = String.equal (failure_kind a) (failure_kind b)
+
+let failure_to_string = function
+  | Mismatch m ->
+    Format.asprintf "mismatch at cycle %d on %S (node %d): expected %a, got %a"
+      m.at_cycle m.node_name m.node_id Bits.pp m.expected Bits.pp m.got
+  | Crash msg -> Printf.sprintf "crash: %s" msg
+  | Hang secs -> Printf.sprintf "hang: watchdog tripped after %.1fs" secs
+
+let apply_step (sim : Sim.t) step =
+  List.iter (fun (id, v) -> sim.Sim.poke id v) step.pokes;
+  List.iter
+    (function
+      | Force { target; mask; value } -> sim.Sim.force ?mask target value
+      | Release id -> sim.Sim.release id)
+    step.actions;
+  sim.Sim.step ()
+
+(* The reference trace: the interpreter is the semantic ground truth every
+   subject is compared against.  Raises if the reference itself cannot run
+   the circuit (e.g. a combinational cycle) — callers treat that as "not a
+   valid test case", never as an engine failure. *)
+let reference_trace ?prepare circuit steps observe : Bits.t list array =
+  let sim = Sim.of_reference (Reference.create (Circuit.copy circuit)) in
+  (match prepare with Some f -> f sim | None -> ());
+  Array.map
+    (fun step ->
+      apply_step sim step;
+      List.map (fun id -> sim.Sim.peek id) observe)
+    steps
+
+let run_subject ~watchdog ?prepare circuit steps observe expected subject =
+  match subject.build (Circuit.copy circuit) with
+  | exception e ->
+    { o_subject = subject.subject_name;
+      o_failure = Some (Crash ("build: " ^ Printexc.to_string e));
+      o_counters = None }
+  | sim, cleanup ->
+    Fun.protect
+      ~finally:(fun () -> try cleanup () with _ -> ())
+      (fun () ->
+        let failure = ref None in
+        (try
+           (match prepare with Some f -> f sim | None -> ());
+           let start = Unix.gettimeofday () in
+           let i = ref 0 in
+           let n = Array.length steps in
+           while !failure = None && !i < n do
+             apply_step sim steps.(!i);
+             (* first divergent observed node wins *)
+             List.iter2
+               (fun id want ->
+                 if !failure = None then begin
+                   let got = sim.Sim.peek id in
+                   if not (Bits.equal want got) then
+                     failure :=
+                       Some
+                         (Mismatch
+                            { at_cycle = !i;
+                              node_id = id;
+                              node_name = (Circuit.node circuit id).Circuit.name;
+                              expected = want;
+                              got })
+                 end)
+               observe expected.(!i);
+             let elapsed = Unix.gettimeofday () -. start in
+             if !failure = None && elapsed > watchdog then
+               failure := Some (Hang elapsed);
+             incr i
+           done
+         with e -> failure := Some (Crash (Printexc.to_string e)));
+        let counters = try Some (sim.Sim.counters ()) with _ -> None in
+        { o_subject = subject.subject_name;
+          o_failure = !failure;
+          o_counters = counters })
+
+let default_observe circuit =
+  List.map (fun (n : Circuit.node) -> n.Circuit.id) (Circuit.outputs circuit)
+
+let run ?(watchdog = 10.0) ?observe ?prepare circuit steps subjects =
+  let observe =
+    match observe with Some o -> o | None -> default_observe circuit
+  in
+  let expected = reference_trace ?prepare circuit steps observe in
+  List.map (run_subject ~watchdog ?prepare circuit steps observe expected) subjects
+
+let run_against ?(watchdog = 10.0) ?prepare ~observe ~expected circuit steps
+    subjects =
+  List.map (run_subject ~watchdog ?prepare circuit steps observe expected) subjects
+
+let first_failure outcomes =
+  List.find_map
+    (fun o ->
+      match o.o_failure with
+      | Some f -> Some (o.o_subject, f)
+      | None -> None)
+    outcomes

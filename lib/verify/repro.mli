@@ -1,0 +1,65 @@
+(** Replayable fuzz-failure reports ([fuzz-NNN.rpt]).
+
+    One file is written per fresh failure bucket: line-oriented metadata
+    (seed, case, subject, failure signature, culprit, shrunk sizes), the
+    shrunk stimulus by node {e name}, and — after a [circuit] marker —
+    the exact {!Gsim_ir.Ir_text} serialization of the shrunk circuit, so
+    [gsim fuzz replay] can rebuild and re-run the case bit-identically
+    with no other inputs. *)
+
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+type poke = { p_node : string; p_value : Bits.t }
+
+type act =
+  | A_force of { f_node : string; f_mask : Bits.t option; f_value : Bits.t }
+  | A_release of string
+
+type t = {
+  seed : int;
+  case : int;
+  subject : string;
+  level : string;
+  kind : string;
+  at_cycle : int option;
+  node : string option;
+  expected : Bits.t option;
+  got : Bits.t option;
+  message : string;
+  culprit : string;
+  culprit_detail : string;
+  bucket : string;
+  nodes : int;
+  cycles : int;
+  trace : (int * poke list * act list) list;
+  circuit_text : string;
+}
+
+val signature : t -> string
+(** What replay must reproduce: ["mismatch:<node>@<cycle>"], ["crash"] or
+    ["hang"]. *)
+
+val of_failure :
+  seed:int ->
+  case:int ->
+  subject:string ->
+  level:string ->
+  culprit:Bisect.culprit ->
+  Circuit.t ->
+  Oracle.step array ->
+  Oracle.failure ->
+  t
+(** Record a (shrunk) failing case.  Node ids in [steps] and [failure]
+    must refer to the given circuit. *)
+
+val rebuild : t -> Circuit.t * Oracle.step array
+(** Reconstruct the circuit and stimulus; raises [Failure] on a corrupt
+    file. *)
+
+val to_string : t -> string
+val of_string : string -> t
+val save : string -> t -> unit
+(** Atomic: tmp + rename. *)
+
+val load : string -> t

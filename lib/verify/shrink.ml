@@ -1,0 +1,537 @@
+module Bits = Gsim_bits.Bits
+open Gsim_ir
+
+(* Delta-debugging for (circuit, stimulus) pairs.
+
+   Every transform builds candidates from a private [Circuit.copy] of the
+   current best, validates them, and accepts only candidates for which
+   [check] (the caller's "same failure class still reproduces" oracle)
+   holds — so the invariant "the current pair fails" is maintained by
+   direct test at every acceptance, never by assumption.  Candidates that
+   raise anywhere (construction, validation, the check itself) are simply
+   rejected.
+
+   Structural transforms share one generalized ddmin: [minimize test items]
+   finds a small "kept" subset such that removing everything else still
+   fails, probing chunks of decreasing size.  "Removing" means whatever the
+   transform's rebuild function does: unmark an output, freeze a register
+   at its init value, zero a logic node, substitute a constant for one
+   variable occurrence, drop a stimulus cycle... *)
+
+type ctx = {
+  check : Circuit.t -> Oracle.step array -> bool;
+  mutable checks_left : int;
+  mutable c : Circuit.t;
+  mutable steps : Oracle.step array;
+}
+
+let test ctx c steps =
+  if ctx.checks_left <= 0 then false
+  else begin
+    ctx.checks_left <- ctx.checks_left - 1;
+    try
+      Circuit.validate c;
+      ctx.check c steps
+    with _ -> false
+  end
+
+let minimize test items =
+  let rec pass sz cur =
+    if sz < 1 || Array.length cur = 0 then cur
+    else begin
+      let cur = ref cur in
+      let i = ref 0 in
+      while !i < Array.length !cur do
+        let m = Array.length !cur in
+        let hi = min m (!i + sz) in
+        if hi > !i then begin
+          let cand =
+            Array.append (Array.sub !cur 0 !i) (Array.sub !cur hi (m - hi))
+          in
+          if test (Array.to_list cand) then cur := cand else i := hi
+        end
+        else i := hi
+      done;
+      pass (if sz = 1 then 0 else sz / 2) !cur
+    end
+  in
+  let arr = Array.of_list items in
+  Array.to_list (pass (max 1 (Array.length arr / 2)) arr)
+
+(* -------------------------------------------------------------------- *)
+(* Stimulus                                                             *)
+
+(* Smallest failing prefix, by binary search; every accepted length was
+   directly tested, so no monotonicity assumption is load-bearing. *)
+let shrink_tail ctx =
+  let len = Array.length ctx.steps in
+  if len = 0 then false
+  else begin
+    let fails l = test ctx ctx.c (Array.sub ctx.steps 0 l) in
+    if fails 0 then begin
+      ctx.steps <- [||];
+      true
+    end
+    else begin
+      let lo = ref 0 and hi = ref len in
+      (* invariant: fails !lo = false; the full length is known to fail *)
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if fails mid then hi := mid else lo := mid
+      done;
+      if !hi < len then begin
+        ctx.steps <- Array.sub ctx.steps 0 !hi;
+        true
+      end
+      else false
+    end
+  end
+
+let shrink_cycles ctx =
+  let n = Array.length ctx.steps in
+  if n <= 1 then false
+  else begin
+    let snapshot = ctx.steps in
+    let rebuild kept = Array.of_list (List.map (Array.get snapshot) kept) in
+    let all = List.init n Fun.id in
+    let kept = minimize (fun kept -> test ctx ctx.c (rebuild kept)) all in
+    if List.length kept < n then begin
+      ctx.steps <- rebuild kept;
+      true
+    end
+    else false
+  end
+
+let shrink_pokes ctx =
+  let snapshot = ctx.steps in
+  let items =
+    List.concat
+      (List.mapi
+         (fun ci (s : Oracle.step) ->
+           List.mapi (fun j _ -> (ci, `Poke j)) s.Oracle.pokes
+           @ List.mapi (fun j _ -> (ci, `Act j)) s.Oracle.actions)
+         (Array.to_list snapshot))
+  in
+  if List.length items <= 1 then false
+  else begin
+    let rebuild kept =
+      Array.mapi
+        (fun ci (s : Oracle.step) ->
+          { Oracle.pokes =
+              List.filteri (fun j _ -> List.mem (ci, `Poke j) kept) s.Oracle.pokes;
+            actions =
+              List.filteri (fun j _ -> List.mem (ci, `Act j) kept) s.Oracle.actions
+          })
+        snapshot
+    in
+    let kept = minimize (fun kept -> test ctx ctx.c (rebuild kept)) items in
+    if List.length kept < List.length items then begin
+      ctx.steps <- rebuild kept;
+      true
+    end
+    else false
+  end
+
+(* -------------------------------------------------------------------- *)
+(* Circuit                                                              *)
+
+let copy_with ctx f =
+  let cc = Circuit.copy ctx.c in
+  f cc;
+  cc
+
+let accept_circuit ctx rebuild kept_before kept =
+  if List.length kept < kept_before then begin
+    ctx.c <- rebuild kept;
+    true
+  end
+  else false
+
+let shrink_outputs ctx =
+  let all = List.map (fun n -> n.Circuit.id) (Circuit.outputs ctx.c) in
+  if List.length all <= 1 then false
+  else begin
+    let rebuild kept =
+      copy_with ctx (fun cc ->
+          List.iter
+            (fun id ->
+              if not (List.mem id kept) then
+                (Circuit.node cc id).Circuit.is_output <- false)
+            all)
+    in
+    let kept = minimize (fun kept -> test ctx (rebuild kept) ctx.steps) all in
+    accept_circuit ctx rebuild (List.length all) kept
+  end
+
+(* A killed memory reads as constant zero and never commits writes; the
+   orphaned port-table entries are harmless (engines dispatch on node
+   kind, and compaction drops them). *)
+let kill_mem cc mi =
+  let m = Circuit.memory cc mi in
+  List.iter
+    (fun id ->
+      match Circuit.node_opt cc id with
+      | Some n ->
+        n.Circuit.kind <- Circuit.Logic;
+        n.Circuit.expr <- Some (Expr.const (Bits.zero n.Circuit.width))
+      | None -> ())
+    m.Circuit.read_port_ids;
+  m.Circuit.read_port_ids <- [];
+  m.Circuit.write_ports <- []
+
+let shrink_memories ctx =
+  let all =
+    Array.to_list (Circuit.memories ctx.c)
+    |> List.mapi (fun i m -> (i, m))
+    |> List.filter (fun (_, (m : Circuit.memory)) ->
+           m.Circuit.read_port_ids <> [] || m.Circuit.write_ports <> [])
+    |> List.map fst
+  in
+  if all = [] then false
+  else begin
+    let rebuild kept =
+      copy_with ctx (fun cc ->
+          List.iter (fun mi -> if not (List.mem mi kept) then kill_mem cc mi) all)
+    in
+    let kept = minimize (fun kept -> test ctx (rebuild kept) ctx.steps) all in
+    accept_circuit ctx rebuild (List.length all) kept
+  end
+
+(* Freeze a register at its init value: the read node becomes a Logic
+   constant, the next node becomes plain (dead) logic, and the register
+   entry is retired. *)
+let demote_register cc read_id =
+  match Circuit.register_of_node cc read_id with
+  | Some r when not r.Circuit.dead ->
+    let read = Circuit.node cc r.Circuit.read in
+    read.Circuit.kind <- Circuit.Logic;
+    read.Circuit.expr <- Some (Expr.const r.Circuit.init);
+    let next = Circuit.node cc r.Circuit.next in
+    next.Circuit.kind <- Circuit.Logic;
+    r.Circuit.dead <- true
+  | _ -> ()
+
+let shrink_registers ctx =
+  let all = List.map (fun r -> r.Circuit.read) (Circuit.registers ctx.c) in
+  if all = [] then false
+  else begin
+    let rebuild kept =
+      copy_with ctx (fun cc ->
+          List.iter
+            (fun id -> if not (List.mem id kept) then demote_register cc id)
+            all)
+    in
+    let kept = minimize (fun kept -> test ctx (rebuild kept) ctx.steps) all in
+    accept_circuit ctx rebuild (List.length all) kept
+  end
+
+let shrink_logic ctx =
+  let all = ref [] in
+  Circuit.iter_nodes ctx.c (fun n ->
+      match (n.Circuit.kind, n.Circuit.expr) with
+      | Circuit.Logic, Some { Expr.desc = Expr.Const _; _ } -> ()
+      | Circuit.Logic, Some _ -> all := n.Circuit.id :: !all
+      | _ -> ());
+  let all = List.rev !all in
+  if all = [] then false
+  else begin
+    let rebuild kept =
+      copy_with ctx (fun cc ->
+          List.iter
+            (fun id ->
+              if not (List.mem id kept) then
+                let n = Circuit.node cc id in
+                Circuit.set_expr cc id (Expr.const (Bits.zero n.Circuit.width)))
+            all)
+    in
+    let kept = minimize (fun kept -> test ctx (rebuild kept) ctx.steps) all in
+    accept_circuit ctx rebuild (List.length all) kept
+  end
+
+(* Substitute constant zero for individual variable references inside
+   expressions.  This is what lets the reachability trim drop whole
+   fan-in cones: zeroing the one use of a deep subgraph disconnects it. *)
+let shrink_vars ctx =
+  let items = ref [] in
+  Circuit.iter_nodes ctx.c (fun n ->
+      match n.Circuit.expr with
+      | Some e ->
+        List.iter (fun v -> items := (n.Circuit.id, v) :: !items) (Expr.vars e)
+      | None -> ());
+  let items = List.rev !items in
+  if items = [] then false
+  else begin
+    let rebuild kept =
+      copy_with ctx (fun cc ->
+          Circuit.iter_nodes cc (fun n ->
+              match n.Circuit.expr with
+              | Some e ->
+                let id = n.Circuit.id in
+                let e' =
+                  Expr.map_vars
+                    (fun ~width v ->
+                      if List.mem (id, v) items && not (List.mem (id, v) kept)
+                      then Expr.const (Bits.zero width)
+                      else Expr.var ~width v)
+                    e
+                in
+                if not (Expr.equal e e') then Circuit.set_expr cc id e'
+              | None -> ()))
+    in
+    let kept = minimize (fun kept -> test ctx (rebuild kept) ctx.steps) items in
+    accept_circuit ctx rebuild (List.length items) kept
+  end
+
+(* -------------------------------------------------------------------- *)
+(* Widths                                                               *)
+
+let retruncate_steps (cc : Circuit.t) steps =
+  Array.map
+    (fun (s : Oracle.step) ->
+      { s with
+        Oracle.pokes =
+          List.map
+            (fun (id, v) ->
+              match Circuit.node_opt cc id with
+              | Some n when Bits.width v > n.Circuit.width ->
+                (id, Bits.truncate v ~width:n.Circuit.width)
+              | _ -> (id, v))
+            s.Oracle.pokes
+      })
+    steps
+
+let narrow cc id w' =
+  let n = Circuit.node cc id in
+  let old_w = n.Circuit.width in
+  (match n.Circuit.kind with
+   | Circuit.Logic ->
+     let e = Option.get n.Circuit.expr in
+     n.Circuit.width <- w';
+     n.Circuit.expr <- Some (Expr.unop (Expr.Extract (w' - 1, 0)) e)
+   | Circuit.Input -> n.Circuit.width <- w'
+   | _ -> invalid_arg "narrow");
+  Circuit.replace_uses cc ~of_:id
+    ~with_:(Expr.unop (Expr.Pad_unsigned old_w) (Expr.var ~width:w' id))
+
+let shrink_widths ctx =
+  (* nodes whose id appears outside plain expressions (ports, resets)
+     cannot be rewrapped by replace_uses *)
+  let pinned = Hashtbl.create 16 in
+  let pin id = Hashtbl.replace pinned id () in
+  Array.iter
+    (fun (m : Circuit.memory) ->
+      List.iter
+        (fun (w : Circuit.write_port) ->
+          pin w.Circuit.w_addr;
+          pin w.Circuit.w_data;
+          pin w.Circuit.w_en)
+        m.Circuit.write_ports;
+      List.iter
+        (fun id ->
+          let p = Circuit.read_port ctx.c
+              (match (Circuit.node ctx.c id).Circuit.kind with
+               | Circuit.Mem_read i -> i
+               | _ -> -1)
+          in
+          pin p.Circuit.r_addr;
+          Option.iter pin p.Circuit.r_en)
+        m.Circuit.read_port_ids)
+    (Circuit.memories ctx.c);
+  List.iter
+    (fun (r : Circuit.register) ->
+      match r.Circuit.reset with
+      | Some rst -> pin rst.Circuit.reset_signal
+      | None -> ())
+    (Circuit.registers ctx.c);
+  let candidates = ref [] in
+  Circuit.iter_nodes ctx.c (fun n ->
+      match n.Circuit.kind with
+      | (Circuit.Input | Circuit.Logic)
+        when n.Circuit.width > 1 && not (Hashtbl.mem pinned n.Circuit.id) ->
+        candidates := (n.Circuit.id, n.Circuit.width) :: !candidates
+      | _ -> ());
+  let candidates =
+    List.sort (fun (_, a) (_, b) -> compare b a) !candidates
+  in
+  let progressed = ref false in
+  List.iter
+    (fun (id, _) ->
+      let try_width w' =
+        match Circuit.node_opt ctx.c id with
+        | Some n when n.Circuit.width > w' && w' >= 1 -> (
+          match
+            copy_with ctx (fun cc -> narrow cc id w')
+          with
+          | exception _ -> false
+          | cc ->
+            let steps' = retruncate_steps cc ctx.steps in
+            if test ctx cc steps' then begin
+              ctx.c <- cc;
+              ctx.steps <- steps';
+              true
+            end
+            else false)
+        | _ -> false
+      in
+      if try_width 1 then progressed := true
+      else begin
+        let w = (Circuit.node ctx.c id).Circuit.width in
+        if w > 2 && try_width (w / 2) then progressed := true
+      end)
+    candidates;
+  !progressed
+
+(* -------------------------------------------------------------------- *)
+(* Reachability trim                                                    *)
+
+(* Unlike the Dce pass — which is itself under test and must never be
+   part of the shrinking loop — this is an independent mark-and-sweep
+   from the output marks, pulling in register next/reset cones and the
+   write ports of memories with live read ports. *)
+let build_trimmed c (steps : Oracle.step array) =
+  let cc = Circuit.copy c in
+  let live = Hashtbl.create 64 in
+  let live_mems = Hashtbl.create 4 in
+  let queue = Queue.create () in
+  let add id =
+    if not (Hashtbl.mem live id) then begin
+      Hashtbl.replace live id ();
+      Queue.add id queue
+    end
+  in
+  List.iter (fun (n : Circuit.node) -> add n.Circuit.id) (Circuit.outputs cc);
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    match Circuit.node_opt cc id with
+    | None -> ()
+    | Some n ->
+      (match n.Circuit.expr with
+       | Some e -> List.iter add (Expr.vars e)
+       | None -> ());
+      (match n.Circuit.kind with
+       | Circuit.Reg_read _ | Circuit.Reg_next _ -> (
+         match Circuit.register_of_node cc id with
+         | Some r ->
+           add r.Circuit.read;
+           add r.Circuit.next;
+           (match r.Circuit.reset with
+            | Some rst -> add rst.Circuit.reset_signal
+            | None -> ())
+         | None -> ())
+       | Circuit.Mem_read pi ->
+         let p = Circuit.read_port cc pi in
+         add p.Circuit.r_addr;
+         Option.iter add p.Circuit.r_en;
+         if not (Hashtbl.mem live_mems p.Circuit.r_mem) then begin
+           Hashtbl.replace live_mems p.Circuit.r_mem ();
+           let m = Circuit.memory cc p.Circuit.r_mem in
+           List.iter
+             (fun (w : Circuit.write_port) ->
+               add w.Circuit.w_addr;
+               add w.Circuit.w_data;
+               add w.Circuit.w_en)
+             m.Circuit.write_ports
+         end
+       | Circuit.Input | Circuit.Logic -> ())
+  done;
+  List.iter
+    (fun (r : Circuit.register) ->
+      if not (Hashtbl.mem live r.Circuit.read) then Circuit.delete_register cc r)
+    (Circuit.registers cc);
+  Array.iteri
+    (fun mi (m : Circuit.memory) ->
+      let live_ports, dead_ports =
+        List.partition (fun id -> Hashtbl.mem live id) m.Circuit.read_port_ids
+      in
+      List.iter (fun id -> Circuit.delete_node cc id) dead_ports;
+      m.Circuit.read_port_ids <- live_ports;
+      if not (Hashtbl.mem live_mems mi) then m.Circuit.write_ports <- [])
+    (Circuit.memories cc);
+  Circuit.iter_nodes cc (fun n ->
+      match n.Circuit.kind with
+      | Circuit.Input | Circuit.Logic ->
+        if not (Hashtbl.mem live n.Circuit.id) then
+          Circuit.delete_node cc n.Circuit.id
+      | _ -> ());
+  let steps' =
+    Array.map
+      (fun (s : Oracle.step) ->
+        { Oracle.pokes =
+            List.filter (fun (id, _) -> Circuit.node_opt cc id <> None) s.Oracle.pokes;
+          actions =
+            List.filter
+              (fun a ->
+                let target =
+                  match a with
+                  | Oracle.Force { target; _ } -> target
+                  | Oracle.Release target -> target
+                in
+                Circuit.node_opt cc target <> None)
+              s.Oracle.actions
+        })
+      steps
+  in
+  (cc, steps')
+
+let shrink_trim ctx =
+  match build_trimmed ctx.c ctx.steps with
+  | exception _ -> false
+  | cc, steps' ->
+    if Circuit.node_count cc < Circuit.node_count ctx.c
+       && test ctx cc steps'
+    then begin
+      ctx.c <- cc;
+      ctx.steps <- steps';
+      true
+    end
+    else false
+
+(* -------------------------------------------------------------------- *)
+
+let remap_steps map (steps : Oracle.step array) =
+  Array.map
+    (fun (s : Oracle.step) ->
+      { Oracle.pokes = List.map (fun (id, v) -> (map.(id), v)) s.Oracle.pokes;
+        actions =
+          List.map
+            (function
+              | Oracle.Force { target; mask; value } ->
+                Oracle.Force { target = map.(target); mask; value }
+              | Oracle.Release id -> Oracle.Release map.(id))
+            s.Oracle.actions
+      })
+    steps
+
+type result = {
+  circuit : Circuit.t;
+  steps : Oracle.step array;
+  checks_used : int;
+}
+
+let run ?(budget = 400) ~check circuit steps =
+  let ctx =
+    { check; checks_left = budget; c = Circuit.copy circuit; steps }
+  in
+  let transforms =
+    [ shrink_tail; shrink_outputs; shrink_trim; shrink_memories;
+      shrink_registers; shrink_cycles; shrink_pokes; shrink_logic;
+      shrink_vars; shrink_trim; shrink_widths; shrink_trim ]
+  in
+  let rounds = ref 0 in
+  let progressed = ref true in
+  while !progressed && !rounds < 3 && ctx.checks_left > 0 do
+    progressed :=
+      List.fold_left (fun acc t -> let p = t ctx in acc || p) false transforms;
+    incr rounds
+  done;
+  (* dense renumbering for a readable repro; kept only if the failure
+     survives it (it should — compaction is pure renaming) *)
+  let compacted = Circuit.copy ctx.c in
+  let map = Circuit.compact compacted in
+  ctx.checks_left <- max ctx.checks_left 1;
+  (match remap_steps map ctx.steps with
+   | steps' when test ctx compacted steps' ->
+     ctx.c <- compacted;
+     ctx.steps <- steps'
+   | _ | (exception _) -> ());
+  { circuit = ctx.c; steps = ctx.steps; checks_used = budget - max ctx.checks_left 0 }

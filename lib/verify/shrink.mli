@@ -1,0 +1,35 @@
+(** Delta-debugging shrinker for failing (circuit, stimulus) pairs.
+
+    Reduces a failing test case to something a human can read: a minimal
+    failing circuit (few nodes, narrow widths, no unused state) and the
+    shortest failing poke sequence.  The caller supplies [check], the
+    "does the same failure class still reproduce" oracle; the shrinker
+    guarantees that every accepted reduction was directly re-validated by
+    [check] — it never assumes monotonicity.
+
+    Reductions, in fixpoint rounds (at most 3, bounded by the check
+    budget): stimulus prefix truncation (binary search), output unmarking,
+    reachability trim (an independent mark-and-sweep — deliberately {e
+    not} the Dce pass, which is itself under test), memory removal,
+    register freezing, stimulus cycle/poke ddmin, logic constant
+    replacement, per-variable zeroing (disconnects fan-in cones), and
+    width narrowing.  The result is compacted to dense ids when the
+    failure survives renumbering. *)
+
+open Gsim_ir
+
+type result = {
+  circuit : Circuit.t;        (** validated; the original is untouched *)
+  steps : Oracle.step array;  (** ids refer to [circuit] *)
+  checks_used : int;
+}
+
+val run :
+  ?budget:int ->
+  check:(Circuit.t -> Oracle.step array -> bool) ->
+  Circuit.t ->
+  Oracle.step array ->
+  result
+(** [check] must not mutate its arguments and should return [false] (not
+    raise) on candidates it cannot run; exceptions are treated as
+    rejection.  Default budget: 400 checks. *)

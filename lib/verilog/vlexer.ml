@@ -6,7 +6,7 @@ type token =
   | Punct of string
   | Eof
 
-exception Lex_error of int * string
+exception Lex_error of int * int * string
 
 let pp_token fmt = function
   | Id s -> Format.fprintf fmt "identifier %S" s
@@ -26,9 +26,14 @@ let tokenize src =
   let n = String.length src in
   let tokens = ref [] in
   let line = ref 1 in
+  let line_start = ref 0 in
   let pos = ref 0 in
-  let error msg = raise (Lex_error (!line, msg)) in
-  let emit t = tokens := (t, !line) :: !tokens in
+  let col_of p = p - !line_start + 1 in
+  let error ?at msg =
+    let col = col_of (match at with Some p -> p | None -> !pos) in
+    raise (Lex_error (!line, col, msg))
+  in
+  let emit ~at t = tokens := (t, !line, col_of at) :: !tokens in
   let starts_with s =
     let m = String.length s in
     !pos + m <= n && String.sub src !pos m = s
@@ -37,7 +42,8 @@ let tokenize src =
     let c = src.[!pos] in
     if c = '\n' then begin
       incr line;
-      incr pos
+      incr pos;
+      line_start := !pos
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr pos
     else if starts_with "//" then begin
@@ -46,12 +52,16 @@ let tokenize src =
       done
     end
     else if starts_with "/*" then begin
+      let at = !pos in
       pos := !pos + 2;
       let rec skip () =
-        if !pos + 1 >= n then error "unterminated comment"
+        if !pos + 1 >= n then error ~at "unterminated comment"
         else if src.[!pos] = '*' && src.[!pos + 1] = '/' then pos := !pos + 2
         else begin
-          if src.[!pos] = '\n' then incr line;
+          if src.[!pos] = '\n' then begin
+            incr line;
+            line_start := !pos + 1
+          end;
           incr pos;
           skip ()
         end
@@ -63,7 +73,7 @@ let tokenize src =
       while !pos < n && is_id_char src.[!pos] do
         incr pos
       done;
-      emit (Id (String.sub src start (!pos - start)))
+      emit ~at:start (Id (String.sub src start (!pos - start)))
     end
     else if is_digit c || c = '\'' then begin
       (* [size]'[base][digits] or a plain decimal. *)
@@ -74,7 +84,7 @@ let tokenize src =
       let size_text = String.sub src start (!pos - start) in
       if !pos < n && src.[!pos] = '\'' then begin
         incr pos;
-        if !pos >= n then error "truncated literal";
+        if !pos >= n then error ~at:start "truncated literal";
         let base = Char.lowercase_ascii src.[!pos] in
         incr pos;
         let dstart = !pos in
@@ -84,10 +94,15 @@ let tokenize src =
         let digits =
           String.concat "" (String.split_on_char '_' (String.sub src dstart (!pos - dstart)))
         in
-        if digits = "" then error "literal without digits";
+        if digits = "" then error ~at:start "literal without digits";
         let size =
           if size_text = "" then None
-          else Some (int_of_string (String.concat "" (String.split_on_char '_' size_text)))
+          else
+            match
+              int_of_string_opt (String.concat "" (String.split_on_char '_' size_text))
+            with
+            | Some w when w > 0 -> Some w
+            | _ -> error ~at:start (Printf.sprintf "bad literal size %s" size_text)
         in
         let width = match size with Some w -> w | None -> 32 in
         let value =
@@ -97,31 +112,36 @@ let tokenize src =
             | 'b' -> Bits.of_string (Printf.sprintf "%d'b%s" width digits)
             | 'd' -> Bits.of_string (Printf.sprintf "%d'd%s" width digits)
             | 'o' -> Bits.of_int ~width (int_of_string ("0o" ^ digits))
-            | _ -> error (Printf.sprintf "unknown literal base %C" base)
-          with Invalid_argument _ ->
-            error (Printf.sprintf "literal %s'%c%s does not fit" size_text base digits)
+            | _ -> error ~at:start (Printf.sprintf "unknown literal base %C" base)
+          with Invalid_argument _ | Failure _ ->
+            error ~at:start
+              (Printf.sprintf "literal %s'%c%s does not fit" size_text base digits)
         in
-        emit (Number (size, value))
+        emit ~at:start (Number (size, value))
       end
       else begin
         let text = String.concat "" (String.split_on_char '_' size_text) in
-        emit (Number (None, Bits.of_int ~width:32 (int_of_string text)))
+        match int_of_string_opt text with
+        | Some v when (try ignore (Bits.of_int ~width:32 v); true with Invalid_argument _ -> false)
+          ->
+          emit ~at:start (Number (None, Bits.of_int ~width:32 v))
+        | _ -> error ~at:start (Printf.sprintf "decimal literal %s out of range" text)
       end
     end
     else begin
       match List.find_opt starts_with puncts with
       | Some p ->
-        emit (Punct p);
+        emit ~at:!pos (Punct p);
         pos := !pos + String.length p
       | None -> (
           match c with
           | '(' | ')' | '[' | ']' | '{' | '}' | ';' | ',' | ':' | '.' | '@' | '#'
           | '?' | '=' | '&' | '|' | '^' | '~' | '+' | '-' | '*' | '/' | '%' | '<'
           | '>' | '!' ->
-            emit (Punct (String.make 1 c));
+            emit ~at:!pos (Punct (String.make 1 c));
             incr pos
           | _ -> error (Printf.sprintf "unexpected character %C" c))
     end
   done;
-  emit Eof;
+  emit ~at:!pos Eof;
   Array.of_list (List.rev !tokens)

@@ -6,8 +6,10 @@ type token =
   | Punct of string
   | Eof
 
-exception Lex_error of int * string
+exception Lex_error of int * int * string
+(** Line, column (both 1-based) and message. *)
 
-val tokenize : string -> (token * int) array
+val tokenize : string -> (token * int * int) array
+(** Token stream with 1-based line and column numbers. *)
 
 val pp_token : Format.formatter -> token -> unit

@@ -1,13 +1,20 @@
 module Bits = Gsim_bits.Bits
 open Vast
 
-exception Parse_error of int * string
+exception Parse_error of int * int * string
 
-type state = { tokens : (Vlexer.token * int) array; mutable pos : int }
+type state = { tokens : (Vlexer.token * int * int) array; mutable pos : int }
 
-let peek st = fst st.tokens.(st.pos)
-let line st = snd st.tokens.(st.pos)
-let error st msg = raise (Parse_error (line st, msg))
+let peek st =
+  let t, _, _ = st.tokens.(st.pos) in
+  t
+
+let here st =
+  let _, l, c = st.tokens.(st.pos) in
+  (l, c)
+
+let error_at (l, c) msg = raise (Parse_error (l, c, msg))
+let error st msg = error_at (here st) msg
 let advance st = st.pos <- st.pos + 1
 
 let next st =
@@ -22,16 +29,25 @@ let expect st tok =
       (Format.asprintf "expected %a, found %a" Vlexer.pp_token tok Vlexer.pp_token (peek st))
 
 let expect_id st =
+  let loc = here st in
   match next st with
   | Vlexer.Id s -> s
-  | t -> error st (Format.asprintf "expected identifier, found %a" Vlexer.pp_token t)
+  | t -> error_at loc (Format.asprintf "expected identifier, found %a" Vlexer.pp_token t)
 
 let accept st tok = if peek st = tok then (advance st; true) else false
 
+(* [Bits.to_int] refuses values beyond [max_int]; report those at the
+   literal instead of leaking [Failure]. *)
+let to_int_at loc b =
+  try Bits.to_int b
+  with Invalid_argument m | Failure m ->
+    error_at loc (Printf.sprintf "constant out of range: %s" m)
+
 let expect_int st =
+  let loc = here st in
   match next st with
-  | Vlexer.Number (_, b) -> Bits.to_int b
-  | t -> error st (Format.asprintf "expected integer, found %a" Vlexer.pp_token t)
+  | Vlexer.Number (_, b) -> to_int_at loc b
+  | t -> error_at loc (Format.asprintf "expected integer, found %a" Vlexer.pp_token t)
 
 (* [msb:lsb] *)
 let parse_range st =
@@ -116,6 +132,7 @@ and parse_unary st =
   | _ -> parse_primary st
 
 and parse_primary st =
+  let loc = here st in
   match next st with
   | Vlexer.Number (size, v) -> E_num (size, v)
   | Vlexer.Id name -> (
@@ -126,7 +143,7 @@ and parse_primary st =
           let lsb = expect_int st in
           expect st (Vlexer.Punct "]");
           match first with
-          | E_num (_, b) -> E_range (name, Bits.to_int b, lsb)
+          | E_num (_, b) -> E_range (name, to_int_at loc b, lsb)
           | _ -> error st "part-select bounds must be constants"
         end
         else begin
@@ -149,7 +166,7 @@ and parse_primary st =
       expect st (Vlexer.Punct "}");
       expect st (Vlexer.Punct "}");
       match first with
-      | E_num (_, b) -> E_repl (Bits.to_int b, inner)
+      | E_num (_, b) -> E_repl (to_int_at loc b, inner)
       | _ -> error st "replication count must be a constant"
     end
     else begin
@@ -160,13 +177,14 @@ and parse_primary st =
       expect st (Vlexer.Punct "}");
       E_concat (List.rev !parts)
     end
-  | t -> error st (Format.asprintf "expected expression, found %a" Vlexer.pp_token t)
+  | t -> error_at loc (Format.asprintf "expected expression, found %a" Vlexer.pp_token t)
 
 (* ------------------------------------------------------------------ *)
 (* Statements                                                          *)
 (* ------------------------------------------------------------------ *)
 
 let parse_lvalue st =
+  let loc = here st in
   let name = expect_id st in
   if peek st = Vlexer.Punct "[" then begin
     advance st;
@@ -175,7 +193,7 @@ let parse_lvalue st =
       let lsb = expect_int st in
       expect st (Vlexer.Punct "]");
       match first with
-      | E_num (_, b) -> L_range (name, Bits.to_int b, lsb)
+      | E_num (_, b) -> L_range (name, to_int_at loc b, lsb)
       | _ -> error st "part-select bounds must be constants"
     end
     else begin
@@ -307,11 +325,13 @@ let parse_module st =
   expect st (Vlexer.Punct "(");
   if not (accept st (Vlexer.Punct ")")) then begin
     let rec port () =
+      let loc = here st in
       let dir =
         match next st with
         | Vlexer.Id "input" -> P_input
         | Vlexer.Id "output" -> P_output
-        | t -> error st (Format.asprintf "expected input/output, found %a" Vlexer.pp_token t)
+        | t ->
+          error_at loc (Format.asprintf "expected input/output, found %a" Vlexer.pp_token t)
       in
       let is_reg = accept st (Vlexer.Id "reg") in
       ignore (accept st (Vlexer.Id "wire"));
@@ -351,7 +371,7 @@ let parse_module st =
 let parse_string src =
   let tokens =
     try Vlexer.tokenize src
-    with Vlexer.Lex_error (l, msg) -> raise (Parse_error (l, "lexical error: " ^ msg))
+    with Vlexer.Lex_error (l, c, msg) -> raise (Parse_error (l, c, "lexical error: " ^ msg))
   in
   let st = { tokens; pos = 0 } in
   let modules = ref [] in

@@ -1,7 +1,8 @@
 (** Recursive-descent parser for the supported Verilog subset (ANSI module
     headers). *)
 
-exception Parse_error of int * string
+exception Parse_error of int * int * string
+(** Line, column (both 1-based) and message. *)
 
 val parse_string : string -> Vast.design
 

@@ -273,6 +273,108 @@ let wide_props =
         Bits.equal (Bits.neg a) (Bits.sub (Bits.zero w) a));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Corner cases: degenerate widths, division by zero, extreme values   *)
+(* ------------------------------------------------------------------ *)
+
+let test_div_rem_by_zero () =
+  let a = Bits.of_int ~width:8 0xAB and z = Bits.zero 8 in
+  check_bits "div by zero is zero" (Bits.zero 8) (Bits.div a z);
+  check_bits "rem by zero is the dividend" a (Bits.rem a z);
+  (* Mixed widths: the remainder width is min(wa, wb). *)
+  check_bits "rem by narrow zero truncates" (Bits.of_int ~width:4 0xB)
+    (Bits.rem a (Bits.zero 4));
+  check_bits "div_signed by zero is zero" (Bits.zero 9) (Bits.div_signed a z);
+  (* -85 rem 0 keeps the (signed-resized) dividend. *)
+  let m85 = Bits.of_int ~width:8 0xAB in
+  check_bits "rem_signed by zero is the dividend" m85 (Bits.rem_signed m85 z);
+  check_bits "zero div zero" (Bits.zero 8) (Bits.div z z);
+  check_bits "zero rem zero" (Bits.zero 8) (Bits.rem z z)
+
+let test_shift_past_width () =
+  let v = Bits.of_int ~width:8 0xC5 in
+  (* Static shifts collapse to a single bit once the width is exhausted. *)
+  check_bits "shr by width" (Bits.zero 1) (Bits.shift_right v 8);
+  check_bits "shr past width" (Bits.zero 1) (Bits.shift_right v 100);
+  check_bits "ashr by width keeps sign" (Bits.ones 1) (Bits.shift_right_signed v 8);
+  check_bits "ashr past width, positive" (Bits.zero 1)
+    (Bits.shift_right_signed (Bits.of_int ~width:8 0x45) 100);
+  (* Dynamic shifts keep the operand width. *)
+  let amt = Bits.of_int ~width:16 8 in
+  check_bits "dshr by width" (Bits.zero 8) (Bits.dshr v amt);
+  check_bits "dshr_signed by width, negative" (Bits.ones 8) (Bits.dshr_signed v amt);
+  check_bits "dshl_keep by width" (Bits.zero 8) (Bits.dshl_keep v amt);
+  let huge = Bits.of_string "64'hFFFFFFFFFFFFFFFF" in
+  check_bits "dshr by a huge amount" (Bits.zero 8) (Bits.dshr v huge);
+  check_bits "dshr_signed by a huge amount" (Bits.ones 8) (Bits.dshr_signed v huge);
+  check_bits "shift_left widens" (Bits.of_int ~width:12 0xC50) (Bits.shift_left v 4)
+
+let test_zero_width () =
+  let e = Bits.zero 0 in
+  Alcotest.(check int) "width" 0 (Bits.width e);
+  Alcotest.(check bool) "is_zero" true (Bits.is_zero e);
+  Alcotest.(check int) "to_int" 0 (Bits.to_int e);
+  Alcotest.(check int) "to_signed_int" 0 (Bits.to_signed_int e);
+  Alcotest.(check int) "popcount" 0 (Bits.popcount e);
+  Alcotest.(check string) "binary string" "" (Bits.to_binary_string e);
+  check_bits "lognot" e (Bits.lognot e);
+  check_bits "ones 0" e (Bits.ones 0);
+  (* Concatenation with a zero-width operand is the identity. *)
+  let v = Bits.of_int ~width:8 0x5A in
+  check_bits "concat e v" v (Bits.concat e v);
+  check_bits "concat v e" v (Bits.concat v e);
+  check_bits "concat_list []" e (Bits.concat_list []);
+  check_bits "concat_list with empties" v (Bits.concat_list [ e; v; e ]);
+  check_bits "msb-less compare" (Bits.one 1) (Bits.eq e e)
+
+let test_signed_min_value () =
+  (* The most negative value: its magnitude does not fit the same signed
+     width, so every op that negates must widen first. *)
+  let minv = Bits.of_int ~width:8 0x80 in
+  let m1 = Bits.of_int ~width:8 0xFF in
+  (* neg is computed over width + 1: -(−128) = +128 needs 9 bits. *)
+  Alcotest.(check int) "neg widens" 9 (Bits.width (Bits.neg minv));
+  Alcotest.(check int) "to_signed_int minv" (-128) (Bits.to_signed_int minv);
+  (* minv / -1 = +128, representable only because div_signed widens. *)
+  Alcotest.(check int) "minv / -1" 128 (Bits.to_signed_int (Bits.div_signed minv m1));
+  check_bits "minv rem -1" (Bits.zero 8) (Bits.rem_signed minv m1);
+  Alcotest.(check int) "minv / 1" (-128)
+    (Bits.to_signed_int (Bits.div_signed minv (Bits.one 8)));
+  Alcotest.(check int) "minv * minv" 16384
+    (Bits.to_signed_int (Bits.mul_signed minv minv));
+  Alcotest.(check int) "minv + minv" (-256)
+    (Bits.to_signed_int (Bits.add_signed minv minv));
+  Alcotest.(check int) "abs via sub" 128
+    (Bits.to_int (Bits.sub_signed (Bits.zero 8) minv));
+  (* Same corners at the widest packed width. *)
+  let minv62 = Bits.shift_left (Bits.one 1) 61 in
+  Alcotest.(check int) "62-bit minv" (-(1 lsl 61)) (Bits.to_signed_int minv62);
+  Alcotest.(check int) "62-bit minv / -1" (1 lsl 61)
+    (Bits.to_signed_int (Bits.div_signed minv62 (Bits.ones 62)));
+  (* Boundaries of the native 63-bit int range. *)
+  Alcotest.(check int) "63-bit +2^61" (1 lsl 61)
+    (Bits.to_signed_int (Bits.zero_extend minv62 ~width:63));
+  Alcotest.(check int) "63-bit min_int" min_int
+    (Bits.to_signed_int (Bits.concat (Bits.one 1) (Bits.zero 62)));
+  Alcotest.(check int) "64-bit -1" (-1) (Bits.to_signed_int (Bits.ones 64));
+  (match Bits.to_signed_int (Bits.concat (Bits.one 2) (Bits.zero 62)) with
+   | exception Failure _ -> ()
+   | v -> Alcotest.failf "+2^62 should not fit a native int, got %d" v)
+
+let test_of_string_rejects_oversized () =
+  let rejects s =
+    match Bits.of_string s with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "of_string %S should have been rejected" s
+  in
+  rejects "4'd16";
+  rejects "4'd100";
+  rejects "1'd2";
+  rejects "4'b10000";
+  rejects "4'h10";
+  check_bits "4'd15 still fits" (Bits.of_int ~width:4 15) (Bits.of_string "4'd15");
+  check_bits "62'd1 fits" (Bits.one 62) (Bits.of_string "62'd1")
+
 let () =
   let qsuite name tests = (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests) in
   Alcotest.run "bits"
@@ -291,6 +393,14 @@ let () =
           Alcotest.test_case "shifts" `Quick test_shifts;
           Alcotest.test_case "reductions" `Quick test_reductions;
           Alcotest.test_case "mux/compare" `Quick test_mux_compare;
+        ] );
+      ( "corners",
+        [
+          Alcotest.test_case "div/rem by zero" `Quick test_div_rem_by_zero;
+          Alcotest.test_case "shift past width" `Quick test_shift_past_width;
+          Alcotest.test_case "zero width" `Quick test_zero_width;
+          Alcotest.test_case "signed min value" `Quick test_signed_min_value;
+          Alcotest.test_case "of_string oversized" `Quick test_of_string_rejects_oversized;
         ] );
       qsuite "narrow-vs-int" narrow_props;
       qsuite "wide-invariants" wide_props;

@@ -18,6 +18,7 @@ module Activity = Gsim_engine.Activity
 module Parallel = Gsim_engine.Parallel
 module Collect = Gsim_coverage.Collect
 module Db = Gsim_coverage.Db
+module Oracle = Gsim_verify.Oracle
 
 let b ~w n = Bits.of_int ~width:w n
 
@@ -107,14 +108,17 @@ let parallel2 backend c =
   let t = Parallel.create ~backend ~threads:2 c in
   (Parallel.sim t, fun () -> Parallel.destroy t)
 
-(* Run one engine under one backend; return the trace over every live node
-   plus the cycle-change count. *)
-let run_engine make ~observe ~stimulus c =
-  let sim, cleanup = make c in
-  let trace = Sim.trace sim ~observe ~stimulus in
-  let changed = (sim.Sim.counters ()).Counters.changed in
-  cleanup ();
-  (trace, changed)
+(* Both backends of every engine run through the one differential oracle
+   (Gsim_verify.Oracle) against the reference interpreter; bit-identical
+   traces on all live nodes follow from both matching the reference.  The
+   [changed] counters must also be backend-independent. *)
+let oracle_subjects backend makes =
+  List.map
+    (fun (name, make) ->
+      { Oracle.subject_name =
+          Printf.sprintf "%s/%s" name (Gsim_engine.Eval.to_string backend);
+        build = make })
+    makes
 
 let torture_one ~seed ~with_parallel =
   let st = Random.State.make [| seed; 3111 |] in
@@ -127,25 +131,35 @@ let torture_one ~seed ~with_parallel =
   in
   let c = Rand_circuit.generate st cfg in
   let stimulus = Rand_circuit.random_stimulus st c ~cycles:12 in
+  let steps = Oracle.steps_of_stimulus stimulus in
   let observe = Collect.default_observed c in
-  let makes =
-    List.map2
-      (fun (name, mc) (_, mb) -> (name, mc, mb))
-      (engines `Closures) (engines `Bytecode)
-    @ (if with_parallel then [ ("parallel2", parallel2 `Closures, parallel2 `Bytecode) ]
-       else [])
+  let subjects backend =
+    oracle_subjects backend
+      (engines backend
+      @ if with_parallel then [ ("parallel2", parallel2 backend) ] else [])
+  in
+  let outcomes =
+    Oracle.run ~observe c steps (subjects `Closures @ subjects `Bytecode)
+  in
+  (match Oracle.first_failure outcomes with
+   | Some (s, f) ->
+     Alcotest.failf "seed %d: %s: %s" seed s (Oracle.failure_to_string f)
+   | None -> ());
+  let changed name =
+    match
+      List.find_opt (fun (o : Oracle.outcome) -> o.Oracle.o_subject = name) outcomes
+    with
+    | Some { Oracle.o_counters = Some ct; _ } -> ct.Counters.changed
+    | _ -> Alcotest.failf "seed %d: no counters for %s" seed name
   in
   List.iter
-    (fun (name, make_c, make_b) ->
-      let trace_c, changed_c = run_engine make_c ~observe ~stimulus c in
-      let trace_b, changed_b = run_engine make_b ~observe ~stimulus c in
-      if not (Sim.equal_traces trace_c trace_b) then
-        Alcotest.failf "seed %d: %s: bytecode diverges from closures on live nodes" seed
-          name;
+    (fun (name, _) ->
       Alcotest.(check int)
         (Printf.sprintf "seed %d: %s: changed counter" seed name)
-        changed_c changed_b)
-    makes
+        (changed (name ^ "/closures"))
+        (changed (name ^ "/bytecode")))
+    (engines `Closures
+    @ if with_parallel then [ ("parallel2", parallel2 `Closures) ] else [])
 
 let test_torture () =
   for seed = 0 to 119 do
@@ -224,62 +238,30 @@ let torture_force_one ~seed =
           targets)
   in
   let observe = Collect.default_observed c in
-  let run make =
-    let sim, cleanup = make c in
-    let out =
-      Array.init cycles (fun i ->
-          List.iter (fun (id, v) -> sim.Sim.poke id v) stimulus.(i);
-          List.iter
-            (function
-              | id, Some (mask, v) -> sim.Sim.force ?mask id v
-              | id, None -> sim.Sim.release id)
-            schedule.(i);
-          sim.Sim.step ();
-          List.map sim.Sim.peek observe)
-    in
-    cleanup ();
-    out
+  let steps =
+    Array.init cycles (fun i ->
+        {
+          Oracle.pokes = stimulus.(i);
+          actions =
+            List.map
+              (function
+                | id, Some (mask, v) -> Oracle.Force { target = id; mask; value = v }
+                | id, None -> Oracle.Release id)
+              schedule.(i);
+        })
   in
-  let expected = run (fun c -> (Sim.of_reference (Reference.create c), fun () -> ())) in
-  List.iter
-    (fun backend ->
-      List.iter
-        (fun (name, make) ->
-          let got = run make in
-          if not (Sim.equal_traces expected got) then begin
-            (* Locate the first divergence for the failure message. *)
-            let where = ref "" in
-            Array.iteri
-              (fun cyc row ->
-                if !where = "" then
-                  List.iteri
-                    (fun k v ->
-                      let g = List.nth got.(cyc) k in
-                      if !where = "" && not (Bits.equal v g) then
-                        let id = List.nth observe k in
-                        let kind =
-                          match (Circuit.node c id).Circuit.kind with
-                          | Circuit.Input -> "input"
-                          | Circuit.Logic -> "logic"
-                          | Circuit.Reg_read _ -> "reg_read"
-                          | Circuit.Reg_next _ -> "reg_next"
-                          | Circuit.Mem_read _ -> "mem_read"
-                        in
-                        where :=
-                          Printf.sprintf "cycle %d node %d (%s, target=%b): %s vs %s" cyc
-                            id kind
-                            (List.mem id targets)
-                            (Format.asprintf "%a" Bits.pp v)
-                            (Format.asprintf "%a" Bits.pp g))
-                    row)
-              expected;
-            Alcotest.failf "seed %d: %s/%s: forced run diverges from reference at %s" seed
-              name
-              (Gsim_engine.Eval.to_string backend)
-              !where
-          end)
-        (force_engines backend targets))
-    [ `Closures; `Bytecode ]
+  let subjects =
+    List.concat_map
+      (fun backend -> oracle_subjects backend (force_engines backend targets))
+      [ `Closures; `Bytecode ]
+  in
+  match Oracle.first_failure (Oracle.run ~observe c steps subjects) with
+  | Some (s, f) ->
+    Alcotest.failf "seed %d: %s (targets %s): forced run diverges from reference: %s"
+      seed s
+      (String.concat "," (List.map string_of_int targets))
+      (Oracle.failure_to_string f)
+  | None -> ()
 
 let test_force_torture () =
   for seed = 0 to 59 do

@@ -268,16 +268,52 @@ let test_onehot_roundtrip () =
 
 (* --- Parse errors are located ------------------------------------------ *)
 
+let contains hay sub =
+  let n = String.length hay and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub hay i m = sub || go (i + 1)) in
+  go 0
+
+(* Malformed input must surface as [Firrtl.Error] with a line:col location
+   and a caret excerpt — never as a bare [Failure]/[Invalid_argument]. *)
+let expect_located src frag =
+  match Firrtl.load_string src with
+  | _ -> Alcotest.failf "expected a located error mentioning %S" frag
+  | exception Firrtl.Error msg ->
+    if not (contains msg frag) then
+      Alcotest.failf "error %S does not mention %S" msg frag;
+    if not (contains msg "^") then Alcotest.failf "error %S lacks a caret excerpt" msg
+  | exception e ->
+    Alcotest.failf "exception %s leaked past the frontend facade" (Printexc.to_string e)
+
 let test_parse_errors () =
   let bad = "circuit X :\n  module X :\n    input a : UInt<8>\n    wire w ; missing colon\n" in
-  (match Firrtl.load_string bad with
-   | exception Firrtl.Error msg ->
-     Alcotest.(check bool) "mentions line number" true
-       (String.split_on_char ' ' msg |> List.exists (fun w -> w = "line" || w = "4:"))
-   | _ -> Alcotest.fail "expected parse error");
+  expect_located bad "line 4:";
   (match Firrtl.load_string "circuit Y :\n  module Y :\n    output o : UInt<4>\n    o <= unknown_thing\n" with
    | exception Firrtl.Error _ -> ()
    | _ -> Alcotest.fail "expected elaboration error")
+
+let test_malformed_inputs () =
+  (* Lexer: integer literal beyond the native int range. *)
+  expect_located
+    "circuit X :\n  module X :\n    input a : UInt<99999999999999999999>\n"
+    "line 3:";
+  expect_located
+    "circuit X :\n  module X :\n    input a : UInt<99999999999999999999>\n"
+    "out of range";
+  (* Lexer: unexpected character and unterminated string. *)
+  expect_located "circuit X :\n  module X :\n    wire ? : UInt<1>\n" "line 3:10";
+  expect_located "circuit X :\n  module X :\n    node n = UInt<8>(\"hab\n" "unterminated";
+  (* Parser: malformed literal payloads must not leak [Invalid_argument]
+     from [Bits.of_string]. *)
+  expect_located
+    "circuit X :\n  module X :\n    output o : UInt<8>\n    o <= UInt<8>(\"hzz\")\n"
+    "invalid literal";
+  expect_located
+    "circuit X :\n  module X :\n    output o : UInt<8>\n    o <= UInt<8>(\"o99\")\n"
+    "invalid literal";
+  (* Parser: inconsistent indentation is a lexical error with a position. *)
+  expect_located "circuit X :\n  module X :\n      wire a : UInt<1>\n    wire b : UInt<1>\n"
+    "line 4:"
 
 (* --- Engines agree on an elaborated design ----------------------------- *)
 
@@ -309,6 +345,7 @@ let frontend_suite =
       Alcotest.test_case "when chains" `Quick test_when_chain;
       Alcotest.test_case "one-hot roundtrip" `Quick test_onehot_roundtrip;
       Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "malformed inputs" `Quick test_malformed_inputs;
       Alcotest.test_case "engines agree" `Quick test_engines_on_firrtl_design;
     ] )
 

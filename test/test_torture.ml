@@ -12,6 +12,8 @@ module Profile = Gsim_engine.Profile
 module Isa = Gsim_designs.Isa
 module Stu_core = Gsim_designs.Stu_core
 module Designs = Gsim_designs.Designs
+module Reference = Gsim_ir.Reference
+module Oracle = Gsim_verify.Oracle
 
 (* Random yet always-terminating programs: straight-line random ALU and
    memory traffic, sprinkled with bounded countdown loops and call/return
@@ -102,13 +104,37 @@ let engines =
 let check_one seed =
   let st = Random.State.make [| seed; 7777 |] in
   let prog = random_program st in
-  List.iter
-    (fun (name, mk) ->
-      let core = Stu_core.build () in
-      let sim = mk core.Stu_core.circuit in
-      try Designs.check_against_golden sim core.Stu_core.h prog ~dmem_size:4096
-      with Failure msg -> Alcotest.failf "seed %d on %s: %s" seed name msg)
-    engines
+  let core = Stu_core.build () in
+  let c = core.Stu_core.circuit in
+  let h = core.Stu_core.h in
+  (* Golden conformance once, on the reference interpreter: instruction
+     retirement against the software ISA model. *)
+  let ref_sim () = Sim.of_reference (Reference.create (Circuit.copy c)) in
+  (try Designs.check_against_golden (ref_sim ()) h prog ~dmem_size:4096
+   with Failure msg -> Alcotest.failf "seed %d: golden model: %s" seed msg);
+  (* Learn the halt horizon, then hold every engine to the reference in
+     per-cycle lockstep through the one differential oracle. *)
+  let horizon =
+    let sim = ref_sim () in
+    Designs.load_program sim h prog;
+    Designs.run_program sim h + 2
+  in
+  let steps = Array.make horizon { Oracle.pokes = []; actions = [] } in
+  let subjects =
+    List.map
+      (fun (name, mk) ->
+        { Oracle.subject_name = name; build = (fun cc -> (mk cc, fun () -> ())) })
+      engines
+  in
+  let outcomes =
+    Oracle.run ~watchdog:120.0
+      ~prepare:(fun sim -> Designs.load_program sim h prog)
+      c steps subjects
+  in
+  match Oracle.first_failure outcomes with
+  | Some (name, f) ->
+    Alcotest.failf "seed %d on %s: %s" seed name (Oracle.failure_to_string f)
+  | None -> ()
 
 let test_torture_quick () =
   for seed = 1 to 10 do

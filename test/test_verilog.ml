@@ -271,6 +271,39 @@ let test_errors () =
     "module m (input clk, output o); reg r; always @(posedge clk) r <= ~clk; assign o = r; endmodule";
   expect_error "module a (input clk); b i (); endmodule module b (input clk); a i (); endmodule"
 
+let contains hay sub =
+  let n = String.length hay and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub hay i m = sub || go (i + 1)) in
+  go 0
+
+(* Malformed input must surface as [Verilog.Error] with a line:col location
+   and a caret excerpt — never as a bare [Failure]/[Invalid_argument]. *)
+let expect_located src frag =
+  match Verilog.load_string src with
+  | _ -> Alcotest.failf "expected a located error mentioning %S" frag
+  | exception Verilog.Error msg ->
+    if not (contains msg frag) then
+      Alcotest.failf "error %S does not mention %S" msg frag;
+    if not (contains msg "^") then Alcotest.failf "error %S lacks a caret excerpt" msg
+  | exception e ->
+    Alcotest.failf "exception %s leaked past the frontend facade" (Printexc.to_string e)
+
+let test_malformed_inputs () =
+  (* Lexer: stray character, unterminated comment, and literals that do not
+     fit the native int range. *)
+  expect_located "module m (input a, output x);\n  assign x = `a;\nendmodule" "line 2:";
+  expect_located "module m (input a);\n/* no close" "unterminated comment";
+  expect_located "module m (input a, output x);\n  assign x = 99999999999999999999;\nendmodule"
+    "out of range";
+  expect_located "module m (input a, output x);\n  assign x = 8'hzz;\nendmodule"
+    "line 2:14";
+  (* Parser: a part-select bound wider than [max_int] must not leak
+     [Failure] from [Bits.to_int]. *)
+  expect_located
+    "module m (input a, output x);\n  wire [64'hFFFFFFFFFFFFFFFF:0] w;\n  assign x = a;\nendmodule"
+    "line 2:";
+  expect_located "module m (inout a);\nendmodule" "line 1:11"
+
 let () =
   Alcotest.run "verilog"
     [
@@ -286,5 +319,6 @@ let () =
           Alcotest.test_case "cross-frontend" `Quick test_cross_frontend;
           Alcotest.test_case "engines agree" `Quick test_engines_on_verilog;
           Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "malformed inputs" `Quick test_malformed_inputs;
         ] );
     ]
