@@ -5,7 +5,7 @@
    substrate; run without arguments to produce everything.
 
      main.exe [--quick] [table1|fig6|fig7|fig8|fig9|table3|table4|
-               ablation|model|coverage|fault|backend|resilience|micro|all]     *)
+               ablation|model|coverage|fault|backend|resilience|serve|micro|all]  *)
 
 module Bits = Gsim_bits.Bits
 module Circuit = Gsim_ir.Circuit
@@ -685,6 +685,131 @@ let resilience () =
   Printf.printf "  [wrote BENCH_resilience.json]\n"
 
 (* ------------------------------------------------------------------ *)
+(* gsimd saturation: jobs/sec and latency, warm vs cold plan cache      *)
+(* ------------------------------------------------------------------ *)
+
+(* A parametric register chain big enough that compiling it (parse +
+   passes + partition) dominates a short simulation — exactly the regime
+   the compiled-plan cache exists for.  Generated as FIRRTL text so every
+   job exercises the real wire protocol and frontend. *)
+let serve_design stages =
+  let b = Buffer.create (stages * 80) in
+  Buffer.add_string b "circuit Chain :\n  module Chain :\n";
+  Buffer.add_string b "    input clock : Clock\n";
+  Buffer.add_string b "    input reset : UInt<1>\n";
+  Buffer.add_string b "    input in : UInt<32>\n";
+  Buffer.add_string b "    output out : UInt<32>\n\n";
+  for i = 0 to stages - 1 do
+    Buffer.add_string b
+      (Printf.sprintf "    reg r%d : UInt<32>, clock with : (reset => (reset, UInt<32>(%d)))\n"
+         i (i land 0xff));
+    let src = if i = 0 then "in" else Printf.sprintf "r%d" (i - 1) in
+    Buffer.add_string b
+      (Printf.sprintf "    r%d <= xor(%s, shr(r%d, 1))\n" i src i)
+  done;
+  Buffer.add_string b (Printf.sprintf "    out <= r%d\n" (stages - 1));
+  Buffer.contents b
+
+let serve () =
+  let module SP = Gsim_server.Protocol in
+  let module Client = Gsim_server.Client in
+  let module Daemon = Gsim_server.Daemon in
+  header "Serve - gsimd saturation: jobs/sec and latency, warm vs cold plan cache";
+  let stages = if !Harness.quick then 150 else 600 in
+  let clients = 4 in
+  let jobs_per_client = if !Harness.quick then 5 else 12 in
+  let cycles = 100 in
+  let design = serve_design stages in
+  let job =
+    {
+      SP.sj_filename = "chain.fir";
+      sj_design = design;
+      sj_opts = SP.default_engine_opts;
+      sj_cycles = cycles;
+      sj_pokes = [ "in=12345" ];
+    }
+  in
+  let total = clients * jobs_per_client in
+  let run_phase label cache_capacity =
+    let sock =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gsimd-bench-%d-%s.sock" (Unix.getpid ()) label)
+    in
+    let spool =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gsimd-bench-%d-%s" (Unix.getpid ()) label)
+    in
+    let address = SP.Unix_sock sock in
+    let devnull = open_out "/dev/null" in
+    let cfg =
+      {
+        (Daemon.default_config address) with
+        Daemon.workers = 4;
+        cache_capacity;
+        spool = Some spool;
+        log = devnull;
+      }
+    in
+    let server = Thread.create (fun () -> Daemon.serve cfg) () in
+    let rec wait_ready n =
+      if not (Sys.file_exists sock) then
+        if n = 0 then failwith "gsimd did not start"
+        else begin
+          Unix.sleepf 0.01;
+          wait_ready (n - 1)
+        end
+    in
+    wait_ready 500;
+    let latencies = Array.make total 0. in
+    let t0 = now () in
+    let client ci () =
+      Client.with_connection address (fun c ->
+          for j = 0 to jobs_per_client - 1 do
+            let t = now () in
+            (match Client.call c (SP.Sim (SP.Batch, job)) with
+             | SP.Sim_done _ -> ()
+             | SP.Error_resp m -> failwith ("serve bench job failed: " ^ m)
+             | _ -> failwith "unexpected response");
+            latencies.((ci * jobs_per_client) + j) <- now () -. t
+          done)
+    in
+    let threads = List.init clients (fun ci -> Thread.create (client ci) ()) in
+    List.iter Thread.join threads;
+    let dt = now () -. t0 in
+    let st =
+      match Client.with_connection address (fun c -> Client.call c SP.Status) with
+      | SP.Status_ok s -> s
+      | _ -> failwith "status failed"
+    in
+    (match Client.with_connection address (fun c -> Client.call c SP.Shutdown) with
+     | SP.Shutting_down -> ()
+     | _ -> failwith "shutdown failed");
+    Thread.join server;
+    close_out devnull;
+    Array.sort compare latencies;
+    let pct p = latencies.(min (total - 1) (int_of_float (p *. float_of_int total))) in
+    let jobs_per_sec = float_of_int total /. dt in
+    Printf.printf
+      "%-6s %3d jobs %2d clients %8.2fs %9.2f jobs/s  p50 %6.0fms p99 %6.0fms  cache %d hit / %d miss\n%!"
+      label total clients dt jobs_per_sec
+      (pct 0.50 *. 1000.) (pct 0.99 *. 1000.) st.SP.st_cache_hits st.SP.st_cache_misses;
+    (jobs_per_sec, pct 0.50, pct 0.99, st.SP.st_cache_hits, st.SP.st_cache_misses)
+  in
+  Printf.printf "  design: %d-stage register chain, %d cycles per job\n%!" stages cycles;
+  let c_jps, c_p50, c_p99, c_hits, c_misses = run_phase "cold" 0 in
+  let w_jps, w_p50, w_p99, w_hits, w_misses = run_phase "warm" 16 in
+  let ratio = w_jps /. c_jps in
+  Printf.printf "  -> warm cache is %.2fx cold (plan compiled %d time(s) warm vs %d cold)\n%!"
+    ratio w_misses c_misses;
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"serve\",\n  \"stages\": %d,\n  \"cycles\": %d,\n  \"clients\": %d,\n  \"jobs\": %d,\n  \"rows\": [\n    {\"phase\":\"cold\",\"jobs_per_sec\":%.3f,\"p50_ms\":%.1f,\"p99_ms\":%.1f,\"cache_hits\":%d,\"cache_misses\":%d},\n    {\"phase\":\"warm\",\"jobs_per_sec\":%.3f,\"p50_ms\":%.1f,\"p99_ms\":%.1f,\"cache_hits\":%d,\"cache_misses\":%d}\n  ],\n  \"warm_over_cold\": %.3f\n}\n"
+    stages cycles clients total c_jps (c_p50 *. 1000.) (c_p99 *. 1000.) c_hits c_misses
+    w_jps (w_p50 *. 1000.) (w_p99 *. 1000.) w_hits w_misses ratio;
+  close_out oc;
+  Printf.printf "  [wrote BENCH_serve.json]\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernel inner loops                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -784,10 +909,11 @@ let () =
          | "backend" -> backend ()
          | "resilience" -> resilience ()
          | "fuzz" -> fuzz ()
+         | "serve" -> serve ()
          | "micro" -> micro ()
          | other ->
            Printf.eprintf
-             "unknown bench %S (expected table1|fig6|fig7|fig8|fig9|table3|table4|ablation|model|coverage|fault|backend|resilience|fuzz|micro|all)\n"
+             "unknown bench %S (expected table1|fig6|fig7|fig8|fig9|table3|table4|ablation|model|coverage|fault|backend|resilience|fuzz|serve|micro|all)\n"
              other;
            exit 2)
        cmds);

@@ -28,36 +28,19 @@ module Session = Gsim_resilience.Session
 module Incident = Gsim_resilience.Incident
 module Fuzz = Gsim_verify.Fuzz
 module Fuzz_corpus = Gsim_verify.Corpus
+module Compile = Gsim_core.Gsim.Compile
+module Server_protocol = Gsim_server.Protocol
+module Server_client = Gsim_server.Client
+module Daemon = Gsim_server.Daemon
 
 exception Usage of string
 
 let config_of_engine name threads max_supernode level backend =
-  let level =
-    Option.map
-      (fun l ->
-        match Pipeline.level_of_string l with
-        | Some l -> l
-        | None -> failwith (Printf.sprintf "unknown optimization level %S" l))
-      level
-  in
-  let backend =
-    match Gsim_engine.Eval.of_string backend with
-    | Some b -> b
-    | None -> failwith (Printf.sprintf "unknown backend %S (bytecode or closures)" backend)
-  in
-  let base =
-    match name with
-    | "verilator" -> Gsim.verilator ~threads ()
-    | "arcilator" -> Gsim.arcilator
-    | "essent" -> Gsim.essent
-    | "gsim" -> Gsim.gsim_with ~max_supernode ()
-    | "reference" -> Gsim.reference
-    | other -> failwith (Printf.sprintf "unknown engine %S" other)
-  in
-  let base = { base with Gsim.backend } in
-  match level with
-  | Some opt_level -> { base with Gsim.opt_level }
-  | None -> base
+  Gsim.config_of_names ~engine:name ~threads ~level ~max_supernode ~backend
+
+(* One load path for every subcommand (and the daemon): frontend dispatch
+   by extension, canonical circuit hash for plan caching. *)
+let load_source file = Compile.source_of_file file
 
 (* Wrap a compiled simulator with a coverage collector when requested.
    Activity engines (essent/gsim) use the change-event fast path; everything
@@ -283,7 +266,8 @@ let session_json_fields _t (o : Session.outcome) resumed =
 
 let stats_cmd =
   let run file =
-    let circuit, halt = Gsim.load_design_file file in
+    let src = load_source file in
+    let circuit, halt = (src.Compile.circuit, src.Compile.halt) in
     let s = Circuit.stats circuit in
     Printf.printf "design   : %s\n" (Circuit.name circuit);
     Printf.printf "unoptimized: %s\n" (Format.asprintf "%a" Circuit.pp_stats s);
@@ -300,7 +284,7 @@ let stats_cmd =
 
 let emit_cmd =
   let run file engine threads level max_supernode backend output =
-    let circuit, _ = Gsim.load_design_file file in
+    let circuit = (load_source file).Compile.circuit in
     let config = config_of_engine engine threads max_supernode level backend in
     let r = Gsim.emit_cpp config circuit in
     (match output with
@@ -324,7 +308,7 @@ let emit_cmd =
 
 let emit_fir_cmd =
   let run file level output =
-    let circuit, _ = Gsim.load_design_file file in
+    let circuit = (load_source file).Compile.circuit in
     (match Option.map Pipeline.level_of_string level with
      | Some (Some l) -> ignore (Pipeline.optimize ~level:l circuit)
      | Some None -> failwith "unknown optimization level"
@@ -398,7 +382,8 @@ let sim_cmd =
   let run file engine threads level max_supernode backend cycles pokes vcd_path save_ck
       restore_ck coverage json ck_every ck_dir ring resume shadow_stride watchdog
       incident_dir injects =
-    let circuit, halt = Gsim.load_design_file file in
+    let src = load_source file in
+    let circuit, halt = (src.Compile.circuit, src.Compile.halt) in
     let config = config_of_engine engine threads max_supernode level backend in
     match
       session_config ck_every ck_dir ring resume shadow_stride watchdog incident_dir
@@ -412,7 +397,7 @@ let sim_cmd =
               options (use --checkpoint-dir/--resume instead)");
       run_resilient circuit halt config scfg resume injects cycles pokes save_ck json
     | None ->
-    let compiled = Gsim.instantiate config circuit in
+    let compiled = Compile.realize (Compile.prepare config src) in
     let sim, finish_coverage = attach_coverage coverage compiled in
     let sim, close_vcd =
       match vcd_path with
@@ -618,8 +603,9 @@ let cov_collect_cmd =
   let run target workload engine threads level max_supernode backend cycles pokes out =
     let config = config_of_engine engine threads max_supernode level backend in
     if Sys.file_exists target then begin
-      let circuit, halt = Gsim.load_design_file target in
-      let compiled = Gsim.instantiate config circuit in
+      let src = load_source target in
+      let circuit, halt = (src.Compile.circuit, src.Compile.halt) in
+      let compiled = Compile.realize (Compile.prepare config src) in
       let sim, finish = attach_coverage (Some out) compiled in
       List.iter
         (fun spec ->
@@ -741,7 +727,7 @@ let cov_cmd =
 let fault_campaign_cmd =
   let run file engine threads level max_supernode backend horizon budget nfaults seed models
       duration fault_keys pokes db_path resume stop_after latent golden_dir json =
-    let circuit, _ = Gsim.load_design_file file in
+    let circuit = (load_source file).Compile.circuit in
     let config = config_of_engine engine threads max_supernode level backend in
     let cfg = { Campaign.horizon; budget } in
     let models =
@@ -1071,8 +1057,8 @@ let fuzz_cmd =
 
 let equiv_cmd =
   let run file_a file_b cycles seed =
-    let ca, _ = Gsim.load_design_file file_a in
-    let cb, _ = Gsim.load_design_file file_b in
+    let ca = (load_source file_a).Compile.circuit in
+    let cb = (load_source file_b).Compile.circuit in
     (* Interfaces must match by name. *)
     let names c =
       List.map (fun (n : Circuit.node) -> (n.Circuit.name, n.Circuit.width)) (Circuit.inputs c)
@@ -1183,13 +1169,351 @@ let profile_cmd =
     (Cmd.info "profile" ~doc:"Report the hottest supernodes for a design/workload pair")
     Term.(const run $ design $ workload $ level_arg $ supernode_arg $ cycles $ top)
 
+(* --- serve / remote ------------------------------------------------------ *)
+
+module SP = Server_protocol
+
+let read_text_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let to_arg =
+  Arg.(value & opt string "gsimd.sock"
+       & info [ "to" ] ~docv:"ADDR"
+           ~doc:"Server address: a Unix socket path, or host:port for TCP")
+
+let priority_arg default =
+  Arg.(value & opt string default
+       & info [ "priority" ] ~docv:"P"
+           ~doc:"Scheduling class: interactive (preempts batch work) or batch")
+
+let engine_opts_of engine threads level max_supernode backend =
+  (* Validate locally so a typo fails before the job ships. *)
+  ignore (config_of_engine engine threads max_supernode level backend);
+  { SP.eo_engine = engine; eo_backend = backend; eo_level = level;
+    eo_max_supernode = max_supernode; eo_threads = threads }
+
+let remote_call address request =
+  Server_client.with_connection (SP.address_of_string address) (fun c ->
+      Server_client.call c request)
+
+let check_error = function
+  | SP.Error_resp msg -> failwith ("server: " ^ msg)
+  | r -> r
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let serve_cmd =
+  let run listen workers queue cache stride spool logfile =
+    let address = SP.address_of_string listen in
+    let log, close_log =
+      match logfile with
+      | Some path ->
+        let oc = open_out path in
+        (oc, fun () -> close_out_noerr oc)
+      | None -> (stderr, fun () -> ())
+    in
+    let dflt = Daemon.default_config address in
+    let cfg =
+      {
+        dflt with
+        Daemon.workers = (if workers > 0 then workers else dflt.Daemon.workers);
+        queue_capacity = queue;
+        cache_capacity = cache;
+        preempt_stride = stride;
+        spool;
+        log;
+      }
+    in
+    Fun.protect ~finally:close_log (fun () -> Daemon.serve cfg)
+  in
+  let listen =
+    Arg.(value & opt string "gsimd.sock"
+         & info [ "listen"; "l" ] ~docv:"ADDR"
+             ~doc:"Listen address: a Unix socket path, or host:port for TCP")
+  in
+  let workers =
+    Arg.(value & opt int 0
+         & info [ "workers"; "j" ] ~docv:"N"
+             ~doc:"Worker domains (default: cores - 2, at least 2)")
+  in
+  let queue =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N" ~doc:"Job-queue bound; submissions beyond it are refused")
+  in
+  let cache =
+    Arg.(value & opt int 16
+         & info [ "cache" ] ~docv:"N" ~doc:"Compiled-plan LRU entries (0 disables)")
+  in
+  let stride =
+    Arg.(value & opt int 10_000
+         & info [ "preempt-stride" ] ~docv:"N"
+             ~doc:"Cycles a batch sim job runs between preemption checks (0 disables)")
+  in
+  let spool =
+    Arg.(value & opt (some string) None
+         & info [ "spool" ] ~docv:"DIR"
+             ~doc:"Scratch root for checkpoints, golden traces and fuzz shards")
+  in
+  let logfile =
+    Arg.(value & opt (some string) None
+         & info [ "log" ] ~docv:"FILE" ~doc:"Append the server log here instead of stderr")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the gsimd job daemon (graceful drain on SIGTERM/SIGINT or 'remote shutdown')")
+    Term.(const run $ listen $ workers $ queue $ cache $ stride $ spool $ logfile)
+
+let remote_sim_cmd =
+  let run to_ file engine threads level max_supernode backend cycles pokes priority json =
+    let job =
+      {
+        SP.sj_filename = Filename.basename file;
+        sj_design = read_text_file file;
+        sj_opts = engine_opts_of engine threads level max_supernode backend;
+        sj_cycles = cycles;
+        sj_pokes = pokes;
+      }
+    in
+    let req = SP.Sim (SP.priority_of_string priority, job) in
+    match check_error (remote_call to_ req) with
+    | SP.Sim_done r ->
+      if json then begin
+        let outputs =
+          r.SP.sr_outputs
+          |> List.map (fun (n, v) -> Printf.sprintf "\"%s\":\"%s\"" n v)
+          |> String.concat ","
+        in
+        Printf.printf
+          "{\"engine\":\"%s\",\"cycles\":%d,\"outputs\":{%s},\"cache_hit\":%b,\"compile_seconds\":%.6f,\"preemptions\":%d}\n"
+          r.SP.sr_engine r.SP.sr_cycles outputs r.SP.sr_cache_hit r.SP.sr_compile_seconds
+          r.SP.sr_preemptions
+      end
+      else begin
+        if r.SP.sr_halted then Printf.printf "$halt asserted at cycle %d\n" r.SP.sr_cycles;
+        Printf.printf "ran %d cycles on %s (remote%s)\n" r.SP.sr_cycles r.SP.sr_engine
+          (if r.SP.sr_cache_hit then ", plan cache hit" else "");
+        List.iter (fun (n, v) -> Printf.printf "  %-24s = %s\n" n v) r.SP.sr_outputs;
+        if r.SP.sr_preemptions > 0 then
+          Printf.printf "preempted %d time(s); resumed from checkpoint\n" r.SP.sr_preemptions
+      end
+    | _ -> failwith "unexpected response to sim request"
+  in
+  let cycles = Arg.(value & opt int 100 & info [ "cycles"; "n" ] ~doc:"Cycles to run") in
+  let pokes =
+    Arg.(value & opt_all string [] & info [ "poke"; "p" ] ~docv:"NAME=VAL" ~doc:"Drive an input")
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Run a simulation job on a gsimd server")
+    Term.(const run $ to_arg $ file_arg $ engine_arg $ threads_arg $ level_arg
+          $ supernode_arg $ backend_arg $ cycles $ pokes $ priority_arg "interactive"
+          $ json_arg)
+
+let save_db_result ~out (r : SP.db_result) json =
+  Gsim_resilience.Store.write_atomic out r.SP.dr_text;
+  if json then
+    Printf.printf
+      "{\"kind\":\"%s\",\"summary\":\"%s\",\"database\":\"%s\",\"cache_hit\":%b,\"seconds\":%.3f}\n"
+      r.SP.dr_kind (json_escape r.SP.dr_summary) (json_escape out) r.SP.dr_cache_hit
+      r.SP.dr_seconds
+  else begin
+    Printf.printf "%s (%.3fs server-side%s)\n" r.SP.dr_summary r.SP.dr_seconds
+      (if r.SP.dr_cache_hit then ", golden/plan cache hit" else "");
+    Printf.printf "database: %s\n" out
+  end
+
+let remote_campaign_cmd =
+  let run to_ file engine threads level max_supernode backend horizon budget nfaults seed
+      models duration fault_keys pokes out priority json =
+    let job =
+      {
+        SP.cj_filename = Filename.basename file;
+        cj_design = read_text_file file;
+        cj_opts = engine_opts_of engine threads level max_supernode backend;
+        cj_horizon = horizon;
+        cj_budget = budget;
+        cj_faults = fault_keys;
+        cj_random = nfaults;
+        cj_seed = seed;
+        cj_duration = duration;
+        cj_models = models;
+        cj_pokes = pokes;
+      }
+    in
+    let req = SP.Campaign (SP.priority_of_string priority, job) in
+    match check_error (remote_call to_ req) with
+    | SP.Db_done r -> save_db_result ~out r json
+    | _ -> failwith "unexpected response to campaign request"
+  in
+  let horizon =
+    Arg.(value & opt int Campaign.default_config.Campaign.horizon
+         & info [ "cycles"; "n" ] ~docv:"N" ~doc:"Golden-run horizon in cycles")
+  in
+  let budget =
+    Arg.(value & opt int Campaign.default_config.Campaign.budget
+         & info [ "budget" ] ~docv:"N" ~doc:"Observation window per fault (watchdog)")
+  in
+  let nfaults =
+    Arg.(value & opt int 0
+         & info [ "faults" ] ~docv:"N" ~doc:"Draw N random faults over the design's signals")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random fault-list seed") in
+  let models =
+    Arg.(value & opt (some string) None
+         & info [ "models" ] ~docv:"M,M" ~doc:"Restrict random faults: seu, stuck0, stuck1, word")
+  in
+  let duration =
+    Arg.(value & opt int 1 & info [ "duration" ] ~doc:"Duration of random stuck/word faults")
+  in
+  let fault_keys =
+    Arg.(value & opt_all string []
+         & info [ "fault"; "f" ] ~docv:"KEY" ~doc:"Inject a specific fault (repeatable)")
+  in
+  let pokes =
+    Arg.(value & opt_all string []
+         & info [ "poke"; "p" ] ~docv:"NAME=VAL" ~doc:"Drive an input every cycle")
+  in
+  let out =
+    Arg.(value & opt string "gsim.fdb"
+         & info [ "o"; "output" ] ~docv:"FILE.fdb" ~doc:"Where to write the returned shard database")
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc:"Run a fault-campaign shard on a gsimd server")
+    Term.(const run $ to_arg $ file_arg $ engine_arg $ threads_arg $ level_arg
+          $ supernode_arg $ backend_arg $ horizon $ budget $ nfaults $ seed $ models
+          $ duration $ fault_keys $ pokes $ out $ priority_arg "batch" $ json_arg)
+
+let remote_fuzz_cmd =
+  let run to_ seed cases from cycles setups out priority json =
+    let job = { SP.fj_seed = seed; fj_cases = cases; fj_from = from; fj_cycles = cycles;
+                fj_setups = setups }
+    in
+    let req = SP.Fuzz (SP.priority_of_string priority, job) in
+    match check_error (remote_call to_ req) with
+    | SP.Db_done r -> save_db_result ~out r json
+    | _ -> failwith "unexpected response to fuzz request"
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign seed") in
+  let cases =
+    Arg.(value & opt int 50 & info [ "cases"; "n" ] ~docv:"N" ~doc:"Case indices to explore")
+  in
+  let from =
+    Arg.(value & opt int 0
+         & info [ "from" ] ~docv:"I" ~doc:"First case index (disjoint shards merge with 'gsim fuzz merge')")
+  in
+  let cycles =
+    Arg.(value & opt int Fuzz.default_campaign.Fuzz.cycles
+         & info [ "cycles" ] ~docv:"N" ~doc:"Stimulus length per case")
+  in
+  let setups =
+    Arg.(value & opt (some string) None
+         & info [ "setups" ] ~docv:"S,S" ~doc:"Engine+backend subjects (default: all)")
+  in
+  let out =
+    Arg.(value & opt string "fuzz-remote.db"
+         & info [ "o"; "output" ] ~docv:"FILE.db" ~doc:"Where to write the returned corpus shard")
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Run a differential-fuzz shard on a gsimd server")
+    Term.(const run $ to_arg $ seed $ cases $ from $ cycles $ setups $ out
+          $ priority_arg "batch" $ json_arg)
+
+let remote_cov_cmd =
+  let run to_ file engine threads level max_supernode backend cycles pokes out priority
+      json =
+    let job =
+      {
+        SP.vj_filename = Filename.basename file;
+        vj_design = read_text_file file;
+        vj_opts = engine_opts_of engine threads level max_supernode backend;
+        vj_cycles = cycles;
+        vj_pokes = pokes;
+      }
+    in
+    let req = SP.Coverage (SP.priority_of_string priority, job) in
+    match check_error (remote_call to_ req) with
+    | SP.Db_done r -> save_db_result ~out r json
+    | _ -> failwith "unexpected response to coverage request"
+  in
+  let cycles = Arg.(value & opt int 100 & info [ "cycles"; "n" ] ~doc:"Cycles to run") in
+  let pokes =
+    Arg.(value & opt_all string [] & info [ "poke"; "p" ] ~docv:"NAME=VAL" ~doc:"Drive an input")
+  in
+  let out =
+    Arg.(value & opt string "gsim.cov"
+         & info [ "o"; "output" ] ~docv:"FILE.cov" ~doc:"Where to write the returned coverage database")
+  in
+  Cmd.v
+    (Cmd.info "cov" ~doc:"Run a coverage-collection job on a gsimd server")
+    Term.(const run $ to_arg $ file_arg $ engine_arg $ threads_arg $ level_arg
+          $ supernode_arg $ backend_arg $ cycles $ pokes $ out $ priority_arg "interactive"
+          $ json_arg)
+
+let remote_status_cmd =
+  let run to_ json =
+    match check_error (remote_call to_ SP.Status) with
+    | SP.Status_ok s ->
+      if json then
+        Printf.printf
+          "{\"workers\":%d,\"queued\":%d,\"running\":%d,\"completed\":%d,\"rejected\":%d,\"cache\":{\"entries\":%d,\"capacity\":%d,\"hits\":%d,\"misses\":%d,\"evictions\":%d},\"golden\":{\"hits\":%d,\"misses\":%d},\"preemptions\":%d,\"uptime\":%.3f,\"draining\":%b}\n"
+          s.SP.st_workers s.SP.st_queued s.SP.st_running s.SP.st_completed s.SP.st_rejected
+          s.SP.st_cache_entries s.SP.st_cache_capacity s.SP.st_cache_hits
+          s.SP.st_cache_misses s.SP.st_cache_evictions s.SP.st_golden_hits
+          s.SP.st_golden_misses s.SP.st_preemptions s.SP.st_uptime s.SP.st_draining
+      else begin
+        Printf.printf "workers    : %d (%d running, %d queued)\n" s.SP.st_workers
+          s.SP.st_running s.SP.st_queued;
+        Printf.printf "jobs       : %d completed, %d rejected\n" s.SP.st_completed
+          s.SP.st_rejected;
+        Printf.printf "plan cache : %d/%d entries, %d hit(s), %d miss(es), %d eviction(s)\n"
+          s.SP.st_cache_entries s.SP.st_cache_capacity s.SP.st_cache_hits
+          s.SP.st_cache_misses s.SP.st_cache_evictions;
+        Printf.printf "golden     : %d hit(s), %d miss(es)\n" s.SP.st_golden_hits
+          s.SP.st_golden_misses;
+        Printf.printf "preemptions: %d\n" s.SP.st_preemptions;
+        Printf.printf "uptime     : %.1fs%s\n" s.SP.st_uptime
+          (if s.SP.st_draining then " (draining)" else "")
+      end
+    | _ -> failwith "unexpected response to status request"
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Query a gsimd server's queue, cache and worker counters")
+    Term.(const run $ to_arg $ json_arg)
+
+let remote_shutdown_cmd =
+  let run to_ =
+    match check_error (remote_call to_ SP.Shutdown) with
+    | SP.Shutting_down -> print_endline "server draining: queued jobs will finish, then it exits"
+    | _ -> failwith "unexpected response to shutdown request"
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Ask a gsimd server to drain and exit")
+    Term.(const run $ to_arg)
+
+let remote_cmd =
+  Cmd.group
+    (Cmd.info "remote" ~doc:"Submit jobs to a gsimd server (see 'gsim serve')")
+    [ remote_sim_cmd; remote_campaign_cmd; remote_fuzz_cmd; remote_cov_cmd;
+      remote_status_cmd; remote_shutdown_cmd ]
+
 let () =
   let doc = "GSIM: an activity-driven compiled RTL simulator" in
   let info = Cmd.info "gsim" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
       [ stats_cmd; emit_cmd; emit_fir_cmd; sim_cmd; run_cmd; cov_cmd; fault_cmd; fuzz_cmd;
-        profile_cmd; equiv_cmd ]
+        profile_cmd; equiv_cmd; serve_cmd; remote_cmd ]
   in
   (* Ctrl-C raises Sys.Break instead of killing the process outright, so
      at_exit handlers (partial-checkpoint temp-file cleanup) still run

@@ -118,7 +118,21 @@ type compiled = {
   destroy : unit -> unit;
 }
 
-let instantiate_exn ~compact ~forcible ~keep config circuit =
+(* The compile pipeline is split in two so that its expensive front half
+   (copy, output marking, acyclicity check, pass pipeline, partitioning)
+   can be cached and shared — [realize_prepared] only {e reads} the
+   prepared circuit, so one [prepared] can back any number of concurrent
+   engine instances (the daemon's plan cache relies on this). *)
+type prepared = {
+  p_config : config;
+  p_circuit : Circuit.t;  (* optimized private copy *)
+  p_partition : Partition.t option;  (* for the activity engines *)
+  p_id_map : int array;
+  p_outcomes : Pass.outcome list;
+  p_forcible : int list;  (* forcible ids mapped into the optimized circuit *)
+}
+
+let prepare_exn ~compact ~forcible ~keep config circuit =
   let c = Circuit.copy circuit in
   (* Fault-injection targets must survive optimization with their
      consumers still reading them: output-marked nodes are never aliased,
@@ -158,36 +172,57 @@ let instantiate_exn ~compact ~forcible ~keep config circuit =
       forcible
     |> List.sort_uniq compare
   in
-  let partition () =
-    match Partition.algorithm_of_string config.partition_algorithm with
-    | Some algo -> algo c ~max_size:config.max_supernode
-    | None ->
-      invalid_arg
-        (Printf.sprintf "Gsim.instantiate: unknown partition %S" config.partition_algorithm)
-  in
-  let sim, supernodes, activity, destroy =
+  let partition =
     match config.engine with
-    | Reference_engine -> (Sim.of_reference (Reference.create c), 0, None, fun () -> ())
-    | Full_cycle_engine 1 ->
-      ( Full_cycle.sim (Full_cycle.create ~backend:config.backend ~forcible:forcible_ids c),
+    | Essent_engine | Gsim_engine_kind -> (
+      match Partition.algorithm_of_string config.partition_algorithm with
+      | Some algo -> Some (algo c ~max_size:config.max_supernode)
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Gsim.instantiate: unknown partition %S"
+             config.partition_algorithm))
+    | Reference_engine | Full_cycle_engine _ -> None
+  in
+  {
+    p_config = config;
+    p_circuit = c;
+    p_partition = partition;
+    p_id_map = id_map;
+    p_outcomes = outcomes;
+    p_forcible = forcible_ids;
+  }
+
+let realize_prepared p =
+  let config = p.p_config in
+  let c = p.p_circuit in
+  let sim, supernodes, activity, destroy =
+    match (config.engine, p.p_partition) with
+    | Reference_engine, _ -> (Sim.of_reference (Reference.create c), 0, None, fun () -> ())
+    | Full_cycle_engine 1, _ ->
+      ( Full_cycle.sim (Full_cycle.create ~backend:config.backend ~forcible:p.p_forcible c),
         0, None, fun () -> () )
-    | Full_cycle_engine threads ->
-      let t = Parallel.create ~backend:config.backend ~forcible:forcible_ids ~threads c in
+    | Full_cycle_engine threads, _ ->
+      let t = Parallel.create ~backend:config.backend ~forcible:p.p_forcible ~threads c in
       (Parallel.sim t, 0, None, fun () -> Parallel.destroy t)
-    | Essent_engine | Gsim_engine_kind ->
-      let p = partition () in
+    | (Essent_engine | Gsim_engine_kind), Some part ->
       let t =
         Activity.create
           ~config:{ Activity.packed_exam = config.packed_exam; activation = config.activation }
-          ~backend:config.backend ~forcible:forcible_ids c p
+          ~backend:config.backend ~forcible:p.p_forcible c part
       in
       ( Activity.sim ~name:config.config_name t,
-        Array.length p.Partition.supernodes,
+        Array.length part.Partition.supernodes,
         Some t,
         fun () -> () )
+    | (Essent_engine | Gsim_engine_kind), None ->
+      (* prepare_exn always computes a partition for activity engines. *)
+      assert false
   in
   let sim = { sim with Sim.sim_name = config.config_name } in
-  { sim; id_map; outcomes; supernodes; activity; destroy }
+  { sim; id_map = p.p_id_map; outcomes = p.p_outcomes; supernodes; activity; destroy }
+
+let instantiate_exn ~compact ~forcible ~keep config circuit =
+  realize_prepared (prepare_exn ~compact ~forcible ~keep config circuit)
 
 let instantiate ?(compact = false) ?(forcible = []) ?(keep = []) config circuit =
   (* A combinational loop surfaces as [Circuit.Combinational_cycle] from
@@ -214,6 +249,101 @@ let load_verilog_file path = Gsim_verilog.Verilog.load_file path
 let load_design_file path =
   if Filename.check_suffix path ".v" then (load_verilog_file path, None)
   else load_firrtl_file path
+
+let config_of_names ~engine ~threads ~level ~max_supernode ~backend =
+  let level =
+    Option.map
+      (fun l ->
+        match Pipeline.level_of_string l with
+        | Some l -> l
+        | None -> failwith (Printf.sprintf "unknown optimization level %S" l))
+      level
+  in
+  let backend =
+    match Gsim_engine.Eval.of_string backend with
+    | Some b -> b
+    | None -> failwith (Printf.sprintf "unknown backend %S (bytecode or closures)" backend)
+  in
+  let base =
+    match engine with
+    | "verilator" -> verilator ~threads ()
+    | "arcilator" -> arcilator
+    | "essent" -> essent
+    | "gsim" -> gsim_with ~max_supernode ()
+    | "reference" -> reference
+    | other -> failwith (Printf.sprintf "unknown engine %S" other)
+  in
+  let base = { base with backend } in
+  match level with Some opt_level -> { base with opt_level } | None -> base
+
+module Compile = struct
+  type source = { circuit : Circuit.t; halt : int option; hash : string }
+
+  let hash_circuit c = Digest.to_hex (Digest.string (Ir_text.to_string c))
+
+  let of_circuit ?halt circuit = { circuit; halt; hash = hash_circuit circuit }
+
+  let source_of_string ~filename text =
+    if Filename.check_suffix filename ".v" then of_circuit (load_verilog_string text)
+    else
+      let circuit, halt = load_firrtl_string text in
+      of_circuit ?halt circuit
+
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+  let source_of_file path = source_of_string ~filename:path (read_file path)
+
+  let fingerprint (config : config) =
+    let engine =
+      match config.engine with
+      | Reference_engine -> "reference"
+      | Full_cycle_engine threads -> Printf.sprintf "full-cycle:%d" threads
+      | Essent_engine -> "essent"
+      | Gsim_engine_kind -> "gsim"
+    in
+    let activation =
+      match config.activation with
+      | Activity.Branch -> "branch"
+      | Activity.Branchless -> "branchless"
+      | Activity.Cost_model -> "cost-model"
+    in
+    Printf.sprintf "%s|%s|%s|%d|%s|%b|%s" engine
+      (Pipeline.level_to_string config.opt_level)
+      config.partition_algorithm config.max_supernode activation config.packed_exam
+      (Gsim_engine.Eval.to_string config.backend)
+
+  type plan = { plan_prepared : prepared; plan_hash : string; plan_halt : int option }
+
+  let prepare ?(forcible = []) ?(keep = []) config source =
+    match prepare_exn ~compact:false ~forcible ~keep config source.circuit with
+    | p ->
+      let halt =
+        Option.bind source.halt (fun h ->
+            if h >= 0 && h < Array.length p.p_id_map && p.p_id_map.(h) >= 0 then
+              Some p.p_id_map.(h)
+            else None)
+      in
+      { plan_prepared = p; plan_hash = source.hash; plan_halt = halt }
+    | exception Circuit.Combinational_cycle ids ->
+      failwith (Circuit.cycle_diagnostic source.circuit ids)
+
+  let realize plan = realize_prepared plan.plan_prepared
+  let plan_halt plan = plan.plan_halt
+  let plan_hash plan = plan.plan_hash
+  let plan_circuit plan = plan.plan_prepared.p_circuit
+  let plan_config plan = plan.plan_prepared.p_config
+  let key source config = source.hash ^ "#" ^ fingerprint config
+  let plan_key plan = plan.plan_hash ^ "#" ^ fingerprint plan.plan_prepared.p_config
+
+  let load ?forcible ?keep config path =
+    let source = source_of_file path in
+    let plan = prepare ?forcible ?keep config source in
+    (source, realize plan)
+end
 
 let emit_cpp config circuit =
   let c = Circuit.copy circuit in

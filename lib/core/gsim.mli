@@ -106,5 +106,69 @@ val load_verilog_file : string -> Circuit.t
 val load_design_file : string -> Circuit.t * int option
 (** Dispatches on the extension: [.v] Verilog, anything else FIRRTL. *)
 
+val config_of_names : engine:string -> threads:int -> level:string option ->
+  max_supernode:int -> backend:string -> config
+(** Build a configuration from command-line-style strings: [engine] is a
+    preset name (gsim/essent/verilator/arcilator/reference), [threads]
+    applies to verilator, [level] optionally overrides the preset's
+    optimization level ("O0".."O3"), [backend] is "bytecode" or
+    "closures".  Raises [Failure] on unknown names — shared by the CLI
+    and the daemon so both reject inputs identically. *)
+
+(** The compile pipeline split into cacheable halves.
+
+    {!Compile.prepare} runs everything that depends only on the design
+    and the configuration — frontend output copy, output marking,
+    acyclicity check, pass pipeline, partitioning — and {!Compile.realize}
+    builds an engine instance from the result.  A {!Compile.plan} is
+    immutable once built: [realize] only reads it, so one plan can back
+    any number of concurrent simulator instances (each [realize] call
+    allocates its own runtime arena).  This is what the daemon's
+    compiled-plan cache stores, keyed by {!Compile.key} — the digest of
+    the circuit's canonical {!Gsim_ir.Ir_text} form plus the config
+    {!Compile.fingerprint}. *)
+module Compile : sig
+  type source = {
+    circuit : Circuit.t;
+    halt : int option;  (** ["$halt"] node id in [circuit], if any *)
+    hash : string;      (** digest of the canonical IR text *)
+  }
+
+  val of_circuit : ?halt:int -> Circuit.t -> source
+  val source_of_string : filename:string -> string -> source
+  (** [filename] only selects the frontend ([.v] Verilog, else FIRRTL). *)
+
+  val source_of_file : string -> source
+
+  type plan
+
+  val prepare : ?forcible:int list -> ?keep:int list -> config -> source -> plan
+  (** The expensive front half; same guarantees as {!instantiate}
+      (including the combinational-loop [Failure] diagnostic). *)
+
+  val realize : plan -> compiled
+  (** The cheap back half: engine construction only.  Thread-safe with
+      respect to other [realize] calls on the same plan. *)
+
+  val plan_halt : plan -> int option
+  (** The source's halt node mapped through the plan's id map. *)
+
+  val plan_hash : plan -> string
+  val plan_circuit : plan -> Circuit.t
+  (** The optimized circuit (original node ids; not compacted). *)
+
+  val plan_config : plan -> config
+  val fingerprint : config -> string
+  (** Every config field that changes compilation output. *)
+
+  val key : source -> config -> string
+  (** [hash ^ "#" ^ fingerprint] — the plan-cache key. *)
+
+  val plan_key : plan -> string
+
+  val load : ?forcible:int list -> ?keep:int list -> config -> string -> source * compiled
+  (** [source_of_file] + [prepare] + [realize] — the one-shot CLI path. *)
+end
+
 val emit_cpp : config -> Circuit.t -> Gsim_emit.Emit.result
 (** Optimize per the config and emit C++ in the matching mode. *)

@@ -8,23 +8,45 @@ module Checkpoint = Gsim_engine.Checkpoint
    SIGINT-interrupted exit). *)
 
 let live_tmp : (string, unit) Hashtbl.t = Hashtbl.create 8
+let live_lock = Mutex.create ()
 
 let cleanup_tmp () =
+  (* Runs from [at_exit] — possibly via the SIGTERM handler below, which
+     may have interrupted this very thread inside a locked section, so a
+     blocking lock could self-deadlock.  Cleanup proceeds either way; the
+     process is exiting. *)
+  let locked = Mutex.try_lock live_lock in
   Hashtbl.iter (fun p () -> try Sys.remove p with Sys_error _ -> ()) live_tmp;
-  Hashtbl.reset live_tmp
+  Hashtbl.reset live_tmp;
+  if locked then Mutex.unlock live_lock
 
 let cleanup_registered = ref false
 
 let register_cleanup () =
   if not !cleanup_registered then begin
     cleanup_registered := true;
-    at_exit cleanup_tmp
+    at_exit cleanup_tmp;
+    (* SIGTERM's default action kills the process without running
+       [at_exit], leaving temp files behind — and SIGTERM is exactly how
+       supervisors (and gsimd's own drain) stop long runs.  Route it
+       through [exit 143] so the at_exit hook fires.  A handler installed
+       before us is kept (it owns the signal); one installed after us
+       (the daemon's graceful drain) simply replaces this one. *)
+    match Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> exit 143)) with
+    | Sys.Signal_default -> ()
+    | previous -> Sys.set_signal Sys.sigterm previous
+    | exception Invalid_argument _ -> () (* no SIGTERM on this platform *)
   end
 
-let write_atomic path content =
+let track_tmp path =
   register_cleanup ();
+  Mutex.protect live_lock (fun () -> Hashtbl.replace live_tmp path ())
+
+let untrack_tmp path = Mutex.protect live_lock (fun () -> Hashtbl.remove live_tmp path)
+
+let write_atomic path content =
   let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
-  Hashtbl.replace live_tmp tmp ();
+  track_tmp tmp;
   let oc = open_out tmp in
   (try
      output_string oc content;
@@ -34,7 +56,7 @@ let write_atomic path content =
      raise e);
   close_out oc;
   Sys.rename tmp path;
-  Hashtbl.remove live_tmp tmp
+  untrack_tmp tmp
 
 let rec mkdir_p dir =
   if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin

@@ -40,7 +40,17 @@ val write_atomic : string -> string -> unit
     any auxiliary file (incident reports, golden-run traces). *)
 
 val cleanup_tmp : unit -> unit
-(** Remove temp files registered by this process (also runs [at_exit]). *)
+(** Remove temp files registered by this process.  Runs automatically on
+    exit — including a SIGTERM-initiated one: the first registration
+    installs a SIGTERM handler that routes through [exit 143] so the
+    [at_exit] hook fires (unless some other handler was installed first,
+    which then keeps ownership of the signal). *)
+
+val track_tmp : string -> unit
+(** Register an extra path (a socket, a spool file) for removal by
+    {!cleanup_tmp} on exit/SIGINT/SIGTERM. *)
+
+val untrack_tmp : string -> unit
 
 val ensure_dir : string -> unit
 (** [mkdir -p]. *)

@@ -1,0 +1,40 @@
+module P = Protocol
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect address =
+  let domain = match address with P.Unix_sock _ -> Unix.PF_UNIX | P.Tcp _ -> Unix.PF_INET in
+  let sockaddr =
+    match address with
+    | P.Unix_sock path -> Unix.ADDR_UNIX path
+    | P.Tcp (host, port) ->
+      let addr =
+        if host = "" || host = "*" then Unix.inet_addr_loopback
+        else
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+            with Not_found -> failwith (Printf.sprintf "cannot resolve host %S" host))
+      in
+      Unix.ADDR_INET (addr, port)
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let call t request =
+  P.write_request t.oc request;
+  match P.read_response t.ic with
+  | Some r -> r
+  | None -> raise (P.Error "server closed the connection before responding")
+
+let close t =
+  (try flush t.oc with Sys_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_connection address f =
+  let t = connect address in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,14 @@
+(** Blocking client for a {!Daemon} instance. *)
+
+type t
+
+val connect : Protocol.address -> t
+(** Raises [Unix.Unix_error] when nothing is listening. *)
+
+val call : t -> Protocol.request -> Protocol.response
+(** One request/response exchange; a connection can make several.
+    Raises {!Protocol.Error} if the server closes mid-exchange. *)
+
+val close : t -> unit
+
+val with_connection : Protocol.address -> (t -> 'a) -> 'a

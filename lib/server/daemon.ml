@@ -1,0 +1,317 @@
+module Store = Gsim_resilience.Store
+module P = Protocol
+
+type config = {
+  address : P.address;
+  workers : int;
+  queue_capacity : int;
+  cache_capacity : int;
+  preempt_stride : int;
+  spool : string option;
+  log : out_channel;
+}
+
+let default_config address =
+  {
+    address;
+    workers = max 2 (Domain.recommended_domain_count () - 2);
+    queue_capacity = 64;
+    cache_capacity = 16;
+    preempt_stride = 10_000;
+    spool = None;
+    log = stderr;
+  }
+
+(* One response slot per submitted job: the worker Domain fulfils it,
+   the connection thread blocks on it and writes the response out. *)
+module Waitbox = struct
+  type t = { m : Mutex.t; c : Condition.t; mutable v : P.response option }
+
+  let create () = { m = Mutex.create (); c = Condition.create (); v = None }
+
+  let put b r =
+    Mutex.protect b.m (fun () ->
+        b.v <- Some r;
+        Condition.signal b.c)
+
+  let wait b =
+    Mutex.protect b.m (fun () ->
+        while b.v = None do
+          Condition.wait b.c b.m
+        done;
+        Option.get b.v)
+end
+
+let sockaddr_for_bind = function
+  | P.Unix_sock path -> Unix.ADDR_UNIX path
+  | P.Tcp (host, port) ->
+    let addr =
+      if host = "" || host = "*" then Unix.inet_addr_any
+      else
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> failwith (Printf.sprintf "cannot resolve host %S" host))
+    in
+    Unix.ADDR_INET (addr, port)
+
+let sockaddr_for_connect = function
+  | P.Unix_sock path -> Unix.ADDR_UNIX path
+  | P.Tcp (host, port) ->
+    let addr =
+      if host = "" || host = "*" then Unix.inet_addr_loopback
+      else
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> failwith (Printf.sprintf "cannot resolve host %S" host))
+    in
+    Unix.ADDR_INET (addr, port)
+
+let socket_domain = function P.Unix_sock _ -> Unix.PF_UNIX | P.Tcp _ -> Unix.PF_INET
+
+let serve cfg =
+  let log_lock = Mutex.create () in
+  let log line =
+    let now = Unix.gettimeofday () in
+    let tm = Unix.localtime now in
+    let frac = int_of_float ((now -. Float.of_int (int_of_float now)) *. 1000.) in
+    Mutex.protect log_lock (fun () ->
+        Printf.fprintf cfg.log "[%02d:%02d:%02d.%03d] %s\n%!" tm.Unix.tm_hour
+          tm.Unix.tm_min tm.Unix.tm_sec frac line)
+  in
+  let logf fmt = Printf.ksprintf log fmt in
+  let spool =
+    match cfg.spool with
+    | Some dir -> dir
+    | None ->
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gsimd-%d" (Unix.getpid ()))
+  in
+  Store.ensure_dir spool;
+  let sched = Scheduler.create ~capacity:cfg.queue_capacity () in
+  let cache = Plan_cache.create ~capacity:cfg.cache_capacity () in
+  let ctx =
+    {
+      Worker.cache;
+      sched;
+      spool;
+      preempt_stride = cfg.preempt_stride;
+      log;
+      preemption_count = Atomic.make 0;
+      golden_hits = Atomic.make 0;
+      golden_misses = Atomic.make 0;
+    }
+  in
+  let started = Unix.gettimeofday () in
+  let completed = Atomic.make 0 in
+  let rejected = Atomic.make 0 in
+  let running = Atomic.make 0 in
+  let next_job = Atomic.make 0 in
+  let draining = Atomic.make false in
+
+  (* Listening socket. *)
+  let sock = Unix.socket (socket_domain cfg.address) Unix.SOCK_STREAM 0 in
+  (match cfg.address with
+   | P.Unix_sock path ->
+     if Sys.file_exists path then Sys.remove path;  (* stale socket from a crash *)
+     Unix.bind sock (Unix.ADDR_UNIX path);
+     (* Even a SIGTERM exit removes the socket file. *)
+     Store.track_tmp path
+   | P.Tcp _ ->
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (sockaddr_for_bind cfg.address));
+  Unix.listen sock 64;
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+
+  (* A drain can start on the main thread (signal), or on a connection
+     thread (Shutdown request) — the self-connect poke wakes the main
+     thread out of [accept] in the latter case. *)
+  let poke_acceptor () =
+    try
+      let c = Unix.socket (socket_domain cfg.address) Unix.SOCK_STREAM 0 in
+      (try Unix.connect c (sockaddr_for_connect cfg.address) with _ -> ());
+      Unix.close c
+    with _ -> ()
+  in
+  let begin_drain reason =
+    if not (Atomic.exchange draining true) then begin
+      logf "drain: %s" reason;
+      Scheduler.drain sched
+    end
+  in
+  let old_term =
+    try Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> begin_drain "SIGTERM"))
+    with Invalid_argument _ -> Sys.Signal_default
+  in
+  let old_int =
+    try Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> begin_drain "SIGINT"))
+    with Invalid_argument _ -> Sys.Signal_default
+  in
+
+  (* Worker pool. *)
+  let worker_loop w () =
+    let rec go () =
+      match Scheduler.take sched with
+      | None -> ()
+      | Some job ->
+        Atomic.incr running;
+        let resumed =
+          match job.Worker.ck with
+          | Some ck ->
+            Printf.sprintf " (resume from cycle %d)" (Gsim_engine.Checkpoint.cycle ck)
+          | None -> ""
+        in
+        logf "worker %d: job %d start%s" w job.Worker.id resumed;
+        let outcome = Worker.execute ctx job in
+        Atomic.decr running;
+        (match outcome with
+         | Worker.Yielded ->
+           logf "worker %d: job %d preempted at cycle %d" w job.Worker.id
+             job.Worker.done_cycles;
+           Scheduler.requeue sched ~priority:job.Worker.priority job
+         | Worker.Done resp ->
+           Atomic.incr completed;
+           logf "worker %d: job %d done%s" w job.Worker.id
+             (match resp with P.Error_resp m -> ": error: " ^ m | _ -> "");
+           job.Worker.reply resp);
+        go ()
+    in
+    go ()
+  in
+  let domains = List.init cfg.workers (fun w -> Domain.spawn (worker_loop w)) in
+
+  let status () =
+    let cs = Plan_cache.stats cache in
+    {
+      P.st_workers = cfg.workers;
+      st_queued = Scheduler.queued sched;
+      st_running = Atomic.get running;
+      st_completed = Atomic.get completed;
+      st_rejected = Atomic.get rejected;
+      st_cache_entries = cs.Plan_cache.entries;
+      st_cache_capacity = cs.Plan_cache.capacity;
+      st_cache_hits = cs.Plan_cache.hits;
+      st_cache_misses = cs.Plan_cache.misses;
+      st_cache_evictions = cs.Plan_cache.evictions;
+      st_golden_hits = Atomic.get ctx.Worker.golden_hits;
+      st_golden_misses = Atomic.get ctx.Worker.golden_misses;
+      st_preemptions = Atomic.get ctx.Worker.preemption_count;
+      st_uptime = Unix.gettimeofday () -. started;
+      st_draining = Atomic.get draining;
+    }
+  in
+
+  (* Connection registry, so drain can unblock idle readers. *)
+  let conns_lock = Mutex.create () in
+  let conns : (int, Unix.file_descr) Hashtbl.t = Hashtbl.create 16 in
+  let conn_threads = ref [] in
+  let next_conn = ref 0 in
+
+  let priority_level = function P.Interactive -> 0 | P.Batch -> 1 in
+  let handle_conn conn_id fd () =
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let respond r = try P.write_response oc r with Sys_error _ | P.Error _ -> () in
+    let submit prio req =
+      if Atomic.get draining then
+        respond (P.Error_resp "server is draining; resubmit elsewhere")
+      else begin
+        let box = Waitbox.create () in
+        let id = Atomic.fetch_and_add next_job 1 in
+        let job =
+          Worker.make_job ~id ~priority:(priority_level prio) ~reply:(Waitbox.put box) req
+        in
+        if Scheduler.submit sched ~priority:job.Worker.priority job then begin
+          logf "conn %d: job %d queued (%s)" conn_id id (P.priority_to_string prio);
+          respond (Waitbox.wait box)
+        end
+        else begin
+          Atomic.incr rejected;
+          respond
+            (P.Error_resp
+               (Printf.sprintf "queue full (%d job(s) queued); retry later"
+                  (Scheduler.queued sched)))
+        end
+      end
+    in
+    let rec loop () =
+      match P.read_request ic with
+      | None -> ()
+      | exception P.Error msg ->
+        logf "conn %d: protocol error: %s" conn_id msg;
+        respond (P.Error_resp ("protocol: " ^ msg))
+      | exception Sys_error _ -> ()
+      | Some P.Status ->
+        respond (P.Status_ok (status ()));
+        loop ()
+      | Some P.Shutdown ->
+        respond P.Shutting_down;
+        begin_drain "shutdown request";
+        poke_acceptor ()
+      | Some (P.Sim (prio, _) as req)
+      | Some (P.Campaign (prio, _) as req)
+      | Some (P.Fuzz (prio, _) as req)
+      | Some (P.Coverage (prio, _) as req) ->
+        submit prio req;
+        loop ()
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.protect conns_lock (fun () -> Hashtbl.remove conns conn_id);
+        (try flush oc with Sys_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      loop
+  in
+
+  logf "gsimd listening on %s (%d worker(s), queue %d, plan cache %d, stride %d)"
+    (P.address_to_string cfg.address)
+    cfg.workers cfg.queue_capacity cfg.cache_capacity cfg.preempt_stride;
+
+  (* Accept loop — exits when a drain begins. *)
+  let rec accept_loop () =
+    if not (Atomic.get draining) then begin
+      match Unix.accept sock with
+      | fd, _ ->
+        if Atomic.get draining then (try Unix.close fd with Unix.Unix_error _ -> ())
+        else begin
+          let id = Mutex.protect conns_lock (fun () ->
+              incr next_conn;
+              Hashtbl.replace conns !next_conn fd;
+              !next_conn)
+          in
+          let t = Thread.create (handle_conn id fd) () in
+          conn_threads := t :: !conn_threads
+        end;
+        accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _)
+        when Atomic.get draining -> ()
+    end
+  in
+  accept_loop ();
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+
+  (* Let the backlog finish: workers exit once the queue is empty. *)
+  let backlog = Scheduler.queued sched + Atomic.get running in
+  if backlog > 0 then logf "draining %d in-flight job(s)" backlog;
+  List.iter Domain.join domains;
+
+  (* All responses are now in their waitboxes; unblock idle connection
+     readers and wait for the writers to finish delivering. *)
+  Mutex.protect conns_lock (fun () ->
+      Hashtbl.iter
+        (fun _ fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+        conns);
+  List.iter Thread.join !conn_threads;
+
+  (match cfg.address with
+   | P.Unix_sock path ->
+     (try Sys.remove path with Sys_error _ -> ());
+     Store.untrack_tmp path
+   | P.Tcp _ -> ());
+  Sys.set_signal Sys.sigterm old_term;
+  Sys.set_signal Sys.sigint old_int;
+  logf "drained: %d job(s) completed, %d rejected, %d preemption(s); bye"
+    (Atomic.get completed) (Atomic.get rejected)
+    (Atomic.get ctx.Worker.preemption_count)

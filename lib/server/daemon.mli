@@ -1,0 +1,31 @@
+(** gsimd — the multi-tenant simulation daemon.
+
+    One process: the calling thread owns the listening socket and
+    accepts connections, each connection gets a lightweight systhread
+    speaking {!Protocol} frames, and jobs run on a pool of worker
+    Domains fed by a bounded priority {!Scheduler} and sharing one
+    compiled-plan {!Plan_cache}.
+
+    Shutdown is a graceful drain, triggered by SIGTERM, SIGINT, or a
+    [Shutdown] request: new submissions are refused, queued and
+    preempted jobs run to completion, their responses are delivered,
+    and {!serve} returns.  A Unix listening socket is registered with
+    {!Gsim_resilience.Store.track_tmp} so even a hard exit removes it. *)
+
+type config = {
+  address : Protocol.address;
+  workers : int;
+  queue_capacity : int;
+  cache_capacity : int;  (** compiled-plan LRU entries; 0 disables *)
+  preempt_stride : int;  (** cycles between a batch sim job's preemption checks *)
+  spool : string option;  (** scratch root; default under the temp dir *)
+  log : out_channel;
+}
+
+val default_config : Protocol.address -> config
+(** Workers [max 2 (domains-2)], queue 64, cache 16, stride 10_000,
+    log on stderr. *)
+
+val serve : config -> unit
+(** Blocks until drained.  Raises [Unix.Unix_error] if the socket
+    cannot be bound. *)

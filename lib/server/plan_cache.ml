@@ -1,0 +1,82 @@
+type 'a entry = { value : 'a; mutable stamp : int }
+
+type 'a t = {
+  capacity : int;
+  tbl : (string, 'a entry) Hashtbl.t;
+  lock : Mutex.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  entries : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let create ?(capacity = 16) () =
+  {
+    capacity;
+    tbl = Hashtbl.create (max 1 capacity);
+    lock = Mutex.create ();
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let touch (t : 'a t) e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+let find (t : 'a t) key =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e ->
+        t.hits <- t.hits + 1;
+        touch t e;
+        Some e.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let evict_lru (t : 'a t) =
+  (* O(entries) scan — capacities are small (tens), so simplicity wins
+     over an intrusive list. *)
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= e.stamp -> acc
+        | _ -> Some (key, e.stamp))
+      t.tbl None
+  in
+  match victim with
+  | Some (key, _) ->
+    Hashtbl.remove t.tbl key;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add (t : 'a t) key value =
+  if t.capacity > 0 then
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some e -> touch t e
+        | None ->
+          if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
+          t.tick <- t.tick + 1;
+          Hashtbl.replace t.tbl key { value; stamp = t.tick })
+
+let stats (t : 'a t) =
+  Mutex.protect t.lock (fun () ->
+      {
+        entries = Hashtbl.length t.tbl;
+        capacity = t.capacity;
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+      })

@@ -1,0 +1,31 @@
+(** Thread-safe LRU cache for compiled plans (generic in the value).
+
+    Keys are strings ({!Gsim_core.Gsim.Compile.key}: circuit hash plus
+    config fingerprint).  The cache never blocks during a build — two
+    workers racing on the same missing key may both build it (the second
+    [add] wins); what matters is that repeat traffic skips the compile
+    pipeline entirely. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Default capacity 16; [capacity <= 0] disables caching entirely
+    ([find] always misses, [add] is a no-op) — used to benchmark the
+    cold path. *)
+
+val find : 'a t -> string -> 'a option
+(** Counts a hit or a miss and refreshes recency on a hit. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Inserts (or refreshes), evicting the least-recently-used entry when
+    at capacity. *)
+
+type stats = {
+  entries : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val stats : 'a t -> stats

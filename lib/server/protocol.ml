@@ -1,0 +1,535 @@
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let version = 1
+let magic = "gsim"
+let header_size = 10
+let max_payload = 16 * 1024 * 1024
+
+(* --- Addresses ----------------------------------------------------------- *)
+
+type address = Unix_sock of string | Tcp of string * int
+
+let address_of_string s =
+  if String.contains s '/' then Unix_sock s
+  else
+    match String.rindex_opt s ':' with
+    | None -> Unix_sock s
+    | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 -> Tcp (host, p)
+      | _ -> Unix_sock s)
+
+let address_to_string = function
+  | Unix_sock path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+(* --- Payload fields ------------------------------------------------------
+   [name ' ' length '\n' bytes '\n'] — binary-safe (the value is read by
+   count, not delimiter), human-skimmable in logs, order-preserving for
+   repeated names. *)
+
+let put b name value =
+  Buffer.add_string b name;
+  Buffer.add_char b ' ';
+  Buffer.add_string b (string_of_int (String.length value));
+  Buffer.add_char b '\n';
+  Buffer.add_string b value;
+  Buffer.add_char b '\n'
+
+let put_int b name n = put b name (string_of_int n)
+let put_bool b name v = put b name (if v then "1" else "0")
+let put_float b name v = put b name (Printf.sprintf "%.17g" v)
+let put_list b name vs = List.iter (put b name) vs
+let put_opt b name = function None -> () | Some v -> put b name v
+
+let fields_of_string s =
+  let len = String.length s in
+  let rec go pos acc =
+    if pos >= len then List.rev acc
+    else
+      match String.index_from_opt s pos '\n' with
+      | None -> fail "malformed field header at byte %d" pos
+      | Some nl -> (
+        let header = String.sub s pos (nl - pos) in
+        match String.rindex_opt header ' ' with
+        | None -> fail "malformed field header %S" header
+        | Some sp -> (
+          let name = String.sub header 0 sp in
+          let count = String.sub header (sp + 1) (String.length header - sp - 1) in
+          match int_of_string_opt count with
+          | Some n when n >= 0 && nl + 1 + n < len ->
+            if s.[nl + 1 + n] <> '\n' then fail "field %S: missing terminator" name;
+            go (nl + n + 2) ((name, String.sub s (nl + 1) n) :: acc)
+          | Some n when n >= 0 -> fail "field %S: value truncated" name
+          | _ -> fail "field %S: bad length %S" name count))
+  in
+  go 0 []
+
+let get fields name =
+  match List.assoc_opt name fields with
+  | Some v -> v
+  | None -> fail "missing field %S" name
+
+let get_opt fields name = List.assoc_opt name fields
+
+let get_int fields name =
+  match int_of_string_opt (get fields name) with
+  | Some n -> n
+  | None -> fail "field %S: not an integer" name
+
+let get_bool fields name = get fields name = "1"
+
+let get_float fields name =
+  match float_of_string_opt (get fields name) with
+  | Some v -> v
+  | None -> fail "field %S: not a float" name
+
+let get_list fields name =
+  List.filter_map (fun (k, v) -> if k = name then Some v else None) fields
+
+(* --- Messages ------------------------------------------------------------ *)
+
+type priority = Interactive | Batch
+
+let priority_of_string = function
+  | "interactive" -> Interactive
+  | "batch" -> Batch
+  | other -> fail "unknown priority %S (interactive or batch)" other
+
+let priority_to_string = function Interactive -> "interactive" | Batch -> "batch"
+
+type engine_opts = {
+  eo_engine : string;
+  eo_backend : string;
+  eo_level : string option;
+  eo_max_supernode : int;
+  eo_threads : int;
+}
+
+let default_engine_opts =
+  { eo_engine = "gsim"; eo_backend = "bytecode"; eo_level = None;
+    eo_max_supernode = 8; eo_threads = 1 }
+
+type sim_job = {
+  sj_filename : string;
+  sj_design : string;
+  sj_opts : engine_opts;
+  sj_cycles : int;
+  sj_pokes : string list;
+}
+
+type campaign_job = {
+  cj_filename : string;
+  cj_design : string;
+  cj_opts : engine_opts;
+  cj_horizon : int;
+  cj_budget : int;
+  cj_faults : string list;
+  cj_random : int;
+  cj_seed : int;
+  cj_duration : int;
+  cj_models : string option;
+  cj_pokes : string list;
+}
+
+type fuzz_job = {
+  fj_seed : int;
+  fj_cases : int;
+  fj_from : int;
+  fj_cycles : int;
+  fj_setups : string option;
+}
+
+type cov_job = {
+  vj_filename : string;
+  vj_design : string;
+  vj_opts : engine_opts;
+  vj_cycles : int;
+  vj_pokes : string list;
+}
+
+type request =
+  | Sim of priority * sim_job
+  | Campaign of priority * campaign_job
+  | Fuzz of priority * fuzz_job
+  | Coverage of priority * cov_job
+  | Status
+  | Shutdown
+
+type sim_result = {
+  sr_engine : string;
+  sr_cycles : int;
+  sr_halted : bool;
+  sr_outputs : (string * string) list;
+  sr_cache_hit : bool;
+  sr_compile_seconds : float;
+  sr_preemptions : int;
+}
+
+type db_result = {
+  dr_kind : string;
+  dr_text : string;
+  dr_summary : string;
+  dr_cache_hit : bool;
+  dr_seconds : float;
+}
+
+type status = {
+  st_workers : int;
+  st_queued : int;
+  st_running : int;
+  st_completed : int;
+  st_rejected : int;
+  st_cache_entries : int;
+  st_cache_capacity : int;
+  st_cache_hits : int;
+  st_cache_misses : int;
+  st_cache_evictions : int;
+  st_golden_hits : int;
+  st_golden_misses : int;
+  st_preemptions : int;
+  st_uptime : float;
+  st_draining : bool;
+}
+
+type response =
+  | Sim_done of sim_result
+  | Db_done of db_result
+  | Status_ok of status
+  | Shutting_down
+  | Error_resp of string
+
+(* --- Message payloads ---------------------------------------------------- *)
+
+let put_priority b p = put b "priority" (priority_to_string p)
+let get_priority fields = priority_of_string (get fields "priority")
+
+let put_opts b (o : engine_opts) =
+  put b "engine" o.eo_engine;
+  put b "backend" o.eo_backend;
+  put_opt b "level" o.eo_level;
+  put_int b "max-supernode" o.eo_max_supernode;
+  put_int b "threads" o.eo_threads
+
+let get_opts fields =
+  {
+    eo_engine = get fields "engine";
+    eo_backend = get fields "backend";
+    eo_level = get_opt fields "level";
+    eo_max_supernode = get_int fields "max-supernode";
+    eo_threads = get_int fields "threads";
+  }
+
+let sim_payload p (j : sim_job) =
+  let b = Buffer.create (String.length j.sj_design + 256) in
+  put_priority b p;
+  put b "filename" j.sj_filename;
+  put b "design" j.sj_design;
+  put_opts b j.sj_opts;
+  put_int b "cycles" j.sj_cycles;
+  put_list b "poke" j.sj_pokes;
+  Buffer.contents b
+
+let sim_of_fields fields =
+  ( get_priority fields,
+    {
+      sj_filename = get fields "filename";
+      sj_design = get fields "design";
+      sj_opts = get_opts fields;
+      sj_cycles = get_int fields "cycles";
+      sj_pokes = get_list fields "poke";
+    } )
+
+let campaign_payload p (j : campaign_job) =
+  let b = Buffer.create (String.length j.cj_design + 256) in
+  put_priority b p;
+  put b "filename" j.cj_filename;
+  put b "design" j.cj_design;
+  put_opts b j.cj_opts;
+  put_int b "horizon" j.cj_horizon;
+  put_int b "budget" j.cj_budget;
+  put_list b "fault" j.cj_faults;
+  put_int b "random" j.cj_random;
+  put_int b "seed" j.cj_seed;
+  put_int b "duration" j.cj_duration;
+  put_opt b "models" j.cj_models;
+  put_list b "poke" j.cj_pokes;
+  Buffer.contents b
+
+let campaign_of_fields fields =
+  ( get_priority fields,
+    {
+      cj_filename = get fields "filename";
+      cj_design = get fields "design";
+      cj_opts = get_opts fields;
+      cj_horizon = get_int fields "horizon";
+      cj_budget = get_int fields "budget";
+      cj_faults = get_list fields "fault";
+      cj_random = get_int fields "random";
+      cj_seed = get_int fields "seed";
+      cj_duration = get_int fields "duration";
+      cj_models = get_opt fields "models";
+      cj_pokes = get_list fields "poke";
+    } )
+
+let fuzz_payload p (j : fuzz_job) =
+  let b = Buffer.create 128 in
+  put_priority b p;
+  put_int b "seed" j.fj_seed;
+  put_int b "cases" j.fj_cases;
+  put_int b "from" j.fj_from;
+  put_int b "cycles" j.fj_cycles;
+  put_opt b "setups" j.fj_setups;
+  Buffer.contents b
+
+let fuzz_of_fields fields =
+  ( get_priority fields,
+    {
+      fj_seed = get_int fields "seed";
+      fj_cases = get_int fields "cases";
+      fj_from = get_int fields "from";
+      fj_cycles = get_int fields "cycles";
+      fj_setups = get_opt fields "setups";
+    } )
+
+let cov_payload p (j : cov_job) =
+  let b = Buffer.create (String.length j.vj_design + 256) in
+  put_priority b p;
+  put b "filename" j.vj_filename;
+  put b "design" j.vj_design;
+  put_opts b j.vj_opts;
+  put_int b "cycles" j.vj_cycles;
+  put_list b "poke" j.vj_pokes;
+  Buffer.contents b
+
+let cov_of_fields fields =
+  ( get_priority fields,
+    {
+      vj_filename = get fields "filename";
+      vj_design = get fields "design";
+      vj_opts = get_opts fields;
+      vj_cycles = get_int fields "cycles";
+      vj_pokes = get_list fields "poke";
+    } )
+
+let sim_result_payload (r : sim_result) =
+  let b = Buffer.create 256 in
+  put b "engine" r.sr_engine;
+  put_int b "cycles" r.sr_cycles;
+  put_bool b "halted" r.sr_halted;
+  List.iter
+    (fun (name, value) ->
+      put b "output-name" name;
+      put b "output-value" value)
+    r.sr_outputs;
+  put_bool b "cache-hit" r.sr_cache_hit;
+  put_float b "compile-seconds" r.sr_compile_seconds;
+  put_int b "preemptions" r.sr_preemptions;
+  Buffer.contents b
+
+let sim_result_of_fields fields =
+  let names = get_list fields "output-name" in
+  let values = get_list fields "output-value" in
+  if List.length names <> List.length values then
+    fail "sim result: %d output name(s) but %d value(s)" (List.length names)
+      (List.length values);
+  {
+    sr_engine = get fields "engine";
+    sr_cycles = get_int fields "cycles";
+    sr_halted = get_bool fields "halted";
+    sr_outputs = List.combine names values;
+    sr_cache_hit = get_bool fields "cache-hit";
+    sr_compile_seconds = get_float fields "compile-seconds";
+    sr_preemptions = get_int fields "preemptions";
+  }
+
+let db_result_payload (r : db_result) =
+  let b = Buffer.create (String.length r.dr_text + 128) in
+  put b "kind" r.dr_kind;
+  put b "text" r.dr_text;
+  put b "summary" r.dr_summary;
+  put_bool b "cache-hit" r.dr_cache_hit;
+  put_float b "seconds" r.dr_seconds;
+  Buffer.contents b
+
+let db_result_of_fields fields =
+  {
+    dr_kind = get fields "kind";
+    dr_text = get fields "text";
+    dr_summary = get fields "summary";
+    dr_cache_hit = get_bool fields "cache-hit";
+    dr_seconds = get_float fields "seconds";
+  }
+
+let status_payload (s : status) =
+  let b = Buffer.create 256 in
+  put_int b "workers" s.st_workers;
+  put_int b "queued" s.st_queued;
+  put_int b "running" s.st_running;
+  put_int b "completed" s.st_completed;
+  put_int b "rejected" s.st_rejected;
+  put_int b "cache-entries" s.st_cache_entries;
+  put_int b "cache-capacity" s.st_cache_capacity;
+  put_int b "cache-hits" s.st_cache_hits;
+  put_int b "cache-misses" s.st_cache_misses;
+  put_int b "cache-evictions" s.st_cache_evictions;
+  put_int b "golden-hits" s.st_golden_hits;
+  put_int b "golden-misses" s.st_golden_misses;
+  put_int b "preemptions" s.st_preemptions;
+  put_float b "uptime" s.st_uptime;
+  put_bool b "draining" s.st_draining;
+  Buffer.contents b
+
+let status_of_fields fields =
+  {
+    st_workers = get_int fields "workers";
+    st_queued = get_int fields "queued";
+    st_running = get_int fields "running";
+    st_completed = get_int fields "completed";
+    st_rejected = get_int fields "rejected";
+    st_cache_entries = get_int fields "cache-entries";
+    st_cache_capacity = get_int fields "cache-capacity";
+    st_cache_hits = get_int fields "cache-hits";
+    st_cache_misses = get_int fields "cache-misses";
+    st_cache_evictions = get_int fields "cache-evictions";
+    st_golden_hits = get_int fields "golden-hits";
+    st_golden_misses = get_int fields "golden-misses";
+    st_preemptions = get_int fields "preemptions";
+    st_uptime = get_float fields "uptime";
+    st_draining = get_bool fields "draining";
+  }
+
+(* --- Frames -------------------------------------------------------------- *)
+
+let frame_to_string ~kind payload =
+  let n = String.length payload in
+  if n > max_payload then fail "frame payload %d byte(s) exceeds maximum %d" n max_payload;
+  if kind < 0 || kind > 255 then fail "frame kind %d out of range" kind;
+  let b = Buffer.create (n + header_size) in
+  Buffer.add_string b magic;
+  Buffer.add_char b (Char.chr version);
+  Buffer.add_char b (Char.chr kind);
+  Buffer.add_char b (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (n land 0xff));
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let parse_header h =
+  (* [h] is exactly [header_size] bytes. *)
+  if String.sub h 0 4 <> magic then fail "bad magic (not a gsimd peer?)";
+  let v = Char.code h.[4] in
+  if v <> version then fail "unsupported protocol version %d (this build speaks %d)" v version;
+  let kind = Char.code h.[5] in
+  let n =
+    (Char.code h.[6] lsl 24) lor (Char.code h.[7] lsl 16) lor (Char.code h.[8] lsl 8)
+    lor Char.code h.[9]
+  in
+  if n > max_payload then fail "frame length %d exceeds maximum %d" n max_payload;
+  (kind, n)
+
+let frame_of_string s =
+  let len = String.length s in
+  if len < header_size then
+    fail "truncated frame: %d byte(s), header needs %d" len header_size;
+  let kind, n = parse_header (String.sub s 0 header_size) in
+  if len <> header_size + n then
+    fail "truncated frame: payload has %d of %d byte(s)" (len - header_size) n;
+  (kind, String.sub s header_size n)
+
+(* Kind tags: requests 0x01-0x3f, responses 0x41-0x7f. *)
+
+let encode_request = function
+  | Sim (p, j) -> frame_to_string ~kind:0x01 (sim_payload p j)
+  | Campaign (p, j) -> frame_to_string ~kind:0x02 (campaign_payload p j)
+  | Fuzz (p, j) -> frame_to_string ~kind:0x03 (fuzz_payload p j)
+  | Coverage (p, j) -> frame_to_string ~kind:0x04 (cov_payload p j)
+  | Status -> frame_to_string ~kind:0x05 ""
+  | Shutdown -> frame_to_string ~kind:0x06 ""
+
+let request_of_frame kind payload =
+  let fields () = fields_of_string payload in
+  match kind with
+  | 0x01 ->
+    let p, j = sim_of_fields (fields ()) in
+    Sim (p, j)
+  | 0x02 ->
+    let p, j = campaign_of_fields (fields ()) in
+    Campaign (p, j)
+  | 0x03 ->
+    let p, j = fuzz_of_fields (fields ()) in
+    Fuzz (p, j)
+  | 0x04 ->
+    let p, j = cov_of_fields (fields ()) in
+    Coverage (p, j)
+  | 0x05 -> Status
+  | 0x06 -> Shutdown
+  | k -> fail "unknown request kind 0x%02x" k
+
+let decode_request s =
+  let kind, payload = frame_of_string s in
+  request_of_frame kind payload
+
+let encode_response = function
+  | Sim_done r -> frame_to_string ~kind:0x41 (sim_result_payload r)
+  | Db_done r -> frame_to_string ~kind:0x42 (db_result_payload r)
+  | Status_ok s -> frame_to_string ~kind:0x43 (status_payload s)
+  | Shutting_down -> frame_to_string ~kind:0x44 ""
+  | Error_resp msg ->
+    let b = Buffer.create 64 in
+    put b "message" msg;
+    frame_to_string ~kind:0x45 (Buffer.contents b)
+
+let response_of_frame kind payload =
+  match kind with
+  | 0x41 -> Sim_done (sim_result_of_fields (fields_of_string payload))
+  | 0x42 -> Db_done (db_result_of_fields (fields_of_string payload))
+  | 0x43 -> Status_ok (status_of_fields (fields_of_string payload))
+  | 0x44 -> Shutting_down
+  | 0x45 -> Error_resp (get (fields_of_string payload) "message")
+  | k -> fail "unknown response kind 0x%02x" k
+
+let decode_response s =
+  let kind, payload = frame_of_string s in
+  response_of_frame kind payload
+
+(* --- Channel I/O --------------------------------------------------------- *)
+
+let read_exact ic n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off < n then begin
+      let r = input ic buf off (n - off) in
+      if r = 0 then fail "truncated frame: connection closed after %d of %d byte(s)" off n;
+      go (off + r)
+    end
+  in
+  go 0;
+  Bytes.unsafe_to_string buf
+
+let read_frame ic =
+  match input_char ic with
+  | exception End_of_file -> None  (* clean EOF at a frame boundary *)
+  | first ->
+    let header = String.make 1 first ^ read_exact ic (header_size - 1) in
+    let kind, n = parse_header header in
+    Some (kind, if n = 0 then "" else read_exact ic n)
+
+let write_frame oc frame =
+  output_string oc frame;
+  flush oc
+
+let read_request ic =
+  Option.map (fun (kind, payload) -> request_of_frame kind payload) (read_frame ic)
+
+let write_request oc r = write_frame oc (encode_request r)
+
+let read_response ic =
+  Option.map (fun (kind, payload) -> response_of_frame kind payload) (read_frame ic)
+
+let write_response oc r = write_frame oc (encode_response r)

@@ -1,0 +1,171 @@
+(** gsimd wire protocol.
+
+    Every message travels as one versioned, length-prefixed frame:
+
+    {v
+      offset  size  field
+      0       4     magic "gsim"
+      4       1     protocol version (currently 1)
+      5       1     message kind tag
+      6       4     payload length, big-endian
+      10      n     payload
+    v}
+
+    The payload is a flat sequence of binary-safe fields, each encoded as
+    [name ' ' byte-length '\n' bytes '\n'] — repeating a name makes a
+    list.  Unknown field names are ignored on decode, so fields can be
+    added without a version bump; changing the meaning of an existing
+    field requires one, and a peer speaking a different version is
+    rejected at the frame header.
+
+    All decode errors raise {!Error}. *)
+
+exception Error of string
+
+val version : int
+val magic : string
+val header_size : int
+
+val max_payload : int
+(** Frames larger than this are rejected on both ends (16 MiB). *)
+
+(** {1 Addresses} *)
+
+type address = Unix_sock of string | Tcp of string * int
+
+val address_of_string : string -> address
+(** ["host:port"] (with a numeric port and no ['/']) is TCP; anything
+    else is a Unix-domain socket path. *)
+
+val address_to_string : address -> string
+
+(** {1 Messages} *)
+
+type priority = Interactive | Batch
+
+val priority_of_string : string -> priority
+val priority_to_string : priority -> string
+
+type engine_opts = {
+  eo_engine : string;        (** preset name, e.g. ["gsim"] *)
+  eo_backend : string;       (** ["bytecode"] or ["closures"] *)
+  eo_level : string option;  (** optimization-level override *)
+  eo_max_supernode : int;
+  eo_threads : int;
+}
+
+val default_engine_opts : engine_opts
+
+type sim_job = {
+  sj_filename : string;  (** selects the frontend by extension *)
+  sj_design : string;    (** full design text *)
+  sj_opts : engine_opts;
+  sj_cycles : int;
+  sj_pokes : string list;  (** ["name=value"] *)
+}
+
+type campaign_job = {
+  cj_filename : string;
+  cj_design : string;
+  cj_opts : engine_opts;
+  cj_horizon : int;
+  cj_budget : int;
+  cj_faults : string list;  (** explicit fault keys *)
+  cj_random : int;          (** extra random faults to draw *)
+  cj_seed : int;
+  cj_duration : int;
+  cj_models : string option;  (** comma-separated model subset *)
+  cj_pokes : string list;
+}
+
+type fuzz_job = {
+  fj_seed : int;
+  fj_cases : int;
+  fj_from : int;  (** first case index of this shard *)
+  fj_cycles : int;
+  fj_setups : string option;  (** comma-separated subset, e.g. ["gsim+bytecode"] *)
+}
+
+type cov_job = {
+  vj_filename : string;
+  vj_design : string;
+  vj_opts : engine_opts;
+  vj_cycles : int;
+  vj_pokes : string list;
+}
+
+type request =
+  | Sim of priority * sim_job
+  | Campaign of priority * campaign_job
+  | Fuzz of priority * fuzz_job
+  | Coverage of priority * cov_job
+  | Status
+  | Shutdown
+
+type sim_result = {
+  sr_engine : string;
+  sr_cycles : int;
+  sr_halted : bool;
+  sr_outputs : (string * string) list;  (** output name, formatted value *)
+  sr_cache_hit : bool;         (** passes+partition served from the plan cache *)
+  sr_compile_seconds : float;
+  sr_preemptions : int;
+}
+
+type db_result = {
+  dr_kind : string;     (** ["fault"] / ["fuzz"] / ["coverage"] *)
+  dr_text : string;     (** the database in its native text format *)
+  dr_summary : string;  (** one human-readable line *)
+  dr_cache_hit : bool;  (** plan and/or golden-trace reuse *)
+  dr_seconds : float;   (** server-side execution time *)
+}
+
+type status = {
+  st_workers : int;
+  st_queued : int;
+  st_running : int;
+  st_completed : int;
+  st_rejected : int;
+  st_cache_entries : int;
+  st_cache_capacity : int;
+  st_cache_hits : int;
+  st_cache_misses : int;
+  st_cache_evictions : int;
+  st_golden_hits : int;
+  st_golden_misses : int;
+  st_preemptions : int;
+  st_uptime : float;
+  st_draining : bool;
+}
+
+type response =
+  | Sim_done of sim_result
+  | Db_done of db_result
+  | Status_ok of status
+  | Shutting_down
+  | Error_resp of string
+
+(** {1 Frames} *)
+
+val frame_to_string : kind:int -> string -> string
+(** Raises {!Error} if the payload exceeds {!max_payload}. *)
+
+val frame_of_string : string -> int * string
+(** Parses exactly one whole frame; raises {!Error} on truncation, bad
+    magic, an unsupported version or an out-of-range length. *)
+
+val encode_request : request -> string
+(** The complete frame bytes. *)
+
+val decode_request : string -> request
+val encode_response : response -> string
+val decode_response : string -> response
+
+(** {1 Channel I/O} *)
+
+val read_request : in_channel -> request option
+(** [None] on clean EOF at a frame boundary; {!Error} mid-frame. *)
+
+val write_request : out_channel -> request -> unit
+val read_response : in_channel -> response option
+val write_response : out_channel -> response -> unit

@@ -1,0 +1,70 @@
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queues : 'a Queue.t array;  (* index = priority level, 0 highest *)
+  capacity : int;
+  mutable is_draining : bool;
+}
+
+let levels = 2
+
+let create ?(capacity = 64) () =
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    queues = Array.init levels (fun _ -> Queue.create ());
+    capacity;
+    is_draining = false;
+  }
+
+let level p = if p < 0 then 0 else if p >= levels then levels - 1 else p
+
+let total t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
+
+let submit t ~priority x =
+  Mutex.protect t.lock (fun () ->
+      if t.is_draining || total t >= t.capacity then false
+      else begin
+        Queue.push x t.queues.(level priority);
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let requeue t ~priority x =
+  (* Preempted jobs bypass the bound and the drain check: they were
+     admitted once and must be allowed to finish. *)
+  Mutex.protect t.lock (fun () ->
+      Queue.push x t.queues.(level priority);
+      Condition.signal t.nonempty)
+
+let take t =
+  Mutex.protect t.lock (fun () ->
+      let rec wait () =
+        if total t > 0 then begin
+          let rec pick i =
+            if Queue.is_empty t.queues.(i) then pick (i + 1)
+            else Queue.pop t.queues.(i)
+          in
+          Some (pick 0)
+        end
+        else if t.is_draining then None
+        else begin
+          Condition.wait t.nonempty t.lock;
+          wait ()
+        end
+      in
+      wait ())
+
+let higher_waiting t ~than =
+  Mutex.protect t.lock (fun () ->
+      let limit = level than in
+      let rec scan i = i < limit && (not (Queue.is_empty t.queues.(i)) || scan (i + 1)) in
+      scan 0)
+
+let drain t =
+  Mutex.protect t.lock (fun () ->
+      t.is_draining <- true;
+      Condition.broadcast t.nonempty)
+
+let draining t = Mutex.protect t.lock (fun () -> t.is_draining)
+let queued t = Mutex.protect t.lock (fun () -> total t)

@@ -1,0 +1,37 @@
+(** Bounded two-level priority queue feeding the worker pool.
+
+    Priorities are small integers, 0 highest (the daemon maps
+    [Interactive] to 0 and [Batch] to 1); FIFO within a level.  The
+    queue is bounded: {!submit} refuses work beyond [capacity] (and any
+    work at all once draining), while {!requeue} — used for preempted
+    jobs, which must be allowed to finish — ignores both limits and
+    re-inserts at the {e back} of the job's own level so equal-priority
+    peers are not starved. *)
+
+type 'a t
+
+val levels : int
+
+val create : ?capacity:int -> unit -> 'a t
+(** Default capacity 64 jobs across all levels. *)
+
+val submit : 'a t -> priority:int -> 'a -> bool
+(** [false] when the queue is full or the scheduler is draining. *)
+
+val requeue : 'a t -> priority:int -> 'a -> unit
+
+val take : 'a t -> 'a option
+(** Blocks until work is available; highest-priority (lowest level)
+    first.  [None] once draining {e and} empty — the worker should
+    exit. *)
+
+val higher_waiting : 'a t -> than:int -> bool
+(** Work queued at a strictly higher priority than [than] — the
+    preemption test a long job polls between strides. *)
+
+val drain : 'a t -> unit
+(** Refuse new submissions; wake all blocked {!take} callers once the
+    backlog empties. *)
+
+val draining : 'a t -> bool
+val queued : 'a t -> int

@@ -1,0 +1,344 @@
+module Bits = Gsim_bits.Bits
+module Circuit = Gsim_ir.Circuit
+module Sim = Gsim_engine.Sim
+module Checkpoint = Gsim_engine.Checkpoint
+module Gsim = Gsim_core.Gsim
+module Compile = Gsim_core.Gsim.Compile
+module Cov_collect = Gsim_coverage.Collect
+module Cov_db = Gsim_coverage.Db
+module Fault = Gsim_fault.Fault
+module Fault_db = Gsim_fault.Db
+module Campaign = Gsim_fault.Campaign
+module Store = Gsim_resilience.Store
+module Fuzz = Gsim_verify.Fuzz
+module Corpus = Gsim_verify.Corpus
+module P = Protocol
+
+type job = {
+  id : int;
+  priority : int;
+  request : P.request;
+  reply : P.response -> unit;
+  mutable done_cycles : int;
+  mutable ck : Checkpoint.t option;
+  mutable preemptions : int;
+  mutable cache_hit : bool;
+  mutable compile_seconds : float;
+}
+
+let make_job ~id ~priority ~reply request =
+  {
+    id;
+    priority;
+    request;
+    reply;
+    done_cycles = 0;
+    ck = None;
+    preemptions = 0;
+    cache_hit = false;
+    compile_seconds = 0.;
+  }
+
+type context = {
+  cache : Compile.plan Plan_cache.t;
+  sched : job Scheduler.t;
+  spool : string;
+  preempt_stride : int;
+  log : string -> unit;
+  preemption_count : int Atomic.t;
+  golden_hits : int Atomic.t;
+  golden_misses : int Atomic.t;
+}
+
+type outcome = Done of P.response | Yielded
+
+let config_of_opts (o : P.engine_opts) =
+  Gsim.config_of_names ~engine:o.eo_engine ~threads:o.eo_threads ~level:o.eo_level
+    ~max_supernode:o.eo_max_supernode ~backend:o.eo_backend
+
+(* Two-level plan lookup.  The fast path keys on the digest of the raw
+   design text so a repeat request skips even the frontend; a text miss
+   falls back to the canonical circuit-hash key (catching, e.g., a
+   reformatted copy of a known design) before compiling.  Either hit
+   means the pass pipeline and partitioning did not run. *)
+let compiled_plan ctx config ~filename ~text =
+  let frontend = if Filename.check_suffix filename ".v" then "v" else "fir" in
+  let text_key =
+    Printf.sprintf "text:%s:%s#%s" frontend
+      (Digest.to_hex (Digest.string text))
+      (Compile.fingerprint config)
+  in
+  match Plan_cache.find ctx.cache text_key with
+  | Some plan -> (plan, true, 0.)
+  | None ->
+    let t0 = Unix.gettimeofday () in
+    let source = Compile.source_of_string ~filename text in
+    let circuit_key = Compile.key source config in
+    (match Plan_cache.find ctx.cache circuit_key with
+     | Some plan ->
+       Plan_cache.add ctx.cache text_key plan;
+       (plan, true, Unix.gettimeofday () -. t0)
+     | None ->
+       let plan = Compile.prepare config source in
+       Plan_cache.add ctx.cache circuit_key plan;
+       Plan_cache.add ctx.cache text_key plan;
+       (plan, false, Unix.gettimeofday () -. t0))
+
+let parse_pokes circuit specs =
+  List.map
+    (fun spec ->
+      match String.split_on_char '=' spec with
+      | [ name; value ] -> (
+        match Circuit.find_node circuit name with
+        | Some n -> (n.Circuit.id, Bits.of_int ~width:n.Circuit.width (int_of_string value))
+        | None -> failwith (Printf.sprintf "no input named %S" name))
+      | _ -> failwith (Printf.sprintf "bad poke %S (want name=value)" spec))
+    specs
+
+let job_dir ctx job name =
+  let dir = Filename.concat ctx.spool (Printf.sprintf "%s-job-%03d" name job.id) in
+  Store.ensure_dir dir;
+  dir
+
+let remove_dir dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (try Sys.readdir dir with Sys_error _ -> [||]);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+(* --- sim ----------------------------------------------------------------- *)
+
+let run_sim ctx job (sj : P.sim_job) =
+  let config = config_of_opts sj.sj_opts in
+  let plan, hit, secs = compiled_plan ctx config ~filename:sj.sj_filename ~text:sj.sj_design in
+  if job.done_cycles = 0 && job.ck = None then begin
+    job.cache_hit <- hit;
+    job.compile_seconds <- secs
+  end;
+  let circuit = Compile.plan_circuit plan in
+  let halt = Compile.plan_halt plan in
+  let compiled = Compile.realize plan in
+  Fun.protect ~finally:compiled.Gsim.destroy @@ fun () ->
+  let sim = compiled.Gsim.sim in
+  (match job.ck with
+   | Some ck ->
+     Checkpoint.restore sim ck;
+     sim.Sim.invalidate ()
+   | None -> ());
+  List.iter (fun (id, v) -> sim.Sim.poke id v) (parse_pokes circuit sj.sj_pokes);
+  let halted = ref false in
+  let target = sj.sj_cycles in
+  let step_window n =
+    let stepped = ref 0 in
+    while !stepped < n && not !halted do
+      sim.Sim.step ();
+      incr stepped;
+      job.done_cycles <- job.done_cycles + 1;
+      match halt with
+      | Some h when not (Bits.is_zero (sim.Sim.peek h)) -> halted := true
+      | _ -> ()
+    done
+  in
+  (* Interactive jobs never yield; batch jobs poll for higher-priority
+     work every [preempt_stride] cycles. *)
+  let preemptible = job.priority > 0 && ctx.preempt_stride > 0 in
+  let yielded = ref false in
+  while (not !yielded) && (not !halted) && job.done_cycles < target do
+    let window =
+      if preemptible then min ctx.preempt_stride (target - job.done_cycles)
+      else target - job.done_cycles
+    in
+    step_window window;
+    if
+      preemptible && (not !halted) && job.done_cycles < target
+      && Scheduler.higher_waiting ctx.sched ~than:job.priority
+    then begin
+      let ck = Checkpoint.with_cycle (Checkpoint.capture sim) job.done_cycles in
+      job.ck <- Some ck;
+      (* Spool the checkpoint crash-safely: the in-memory copy resumes
+         this job on any worker, the on-disk ring survives the daemon. *)
+      ignore (Store.save (Store.create ~ring:2 (job_dir ctx job "sim")) ck);
+      job.preemptions <- job.preemptions + 1;
+      Atomic.incr ctx.preemption_count;
+      yielded := true
+    end
+  done;
+  if !yielded then Yielded
+  else begin
+    let outputs =
+      Circuit.outputs circuit
+      |> List.map (fun (n : Circuit.node) ->
+             (n.Circuit.name, Format.asprintf "%a" Bits.pp (sim.Sim.peek n.Circuit.id)))
+    in
+    remove_dir (Filename.concat ctx.spool (Printf.sprintf "sim-job-%03d" job.id));
+    Done
+      (P.Sim_done
+         {
+           sr_engine = config.Gsim.config_name;
+           sr_cycles = job.done_cycles;
+           sr_halted = !halted;
+           sr_outputs = outputs;
+           sr_cache_hit = job.cache_hit;
+           sr_compile_seconds = job.compile_seconds;
+           sr_preemptions = job.preemptions;
+         })
+  end
+
+(* --- fault campaign ------------------------------------------------------ *)
+
+let models_of_string s =
+  List.map
+    (function
+      | "seu" -> `Seu
+      | "stuck0" -> `Stuck0
+      | "stuck1" -> `Stuck1
+      | "word" -> `Word
+      | other ->
+        failwith (Printf.sprintf "unknown fault model %S (seu, stuck0, stuck1, word)" other))
+    (String.split_on_char ',' s)
+
+let run_campaign ctx _job (cj : P.campaign_job) =
+  let t0 = Unix.gettimeofday () in
+  let config = config_of_opts cj.cj_opts in
+  let source = Compile.source_of_string ~filename:cj.cj_filename cj.cj_design in
+  let circuit = source.Compile.circuit in
+  let models = Option.map models_of_string cj.cj_models in
+  let faults =
+    List.map Fault.of_key cj.cj_faults
+    @
+    if cj.cj_random > 0 then
+      Fault.random ?models ~duration:cj.cj_duration ~seed:cj.cj_seed ~count:cj.cj_random
+        ~horizon:cj.cj_horizon circuit
+    else []
+  in
+  if faults = [] then failwith "no faults to inject: give random>0 and/or fault keys";
+  let const_pokes = parse_pokes circuit cj.cj_pokes in
+  let stimulus _cycle = const_pokes in
+  (* Golden traces are cached like plans: one directory per (circuit,
+     config, horizon), so every shard of a campaign — and every repeat
+     campaign on the same design — reuses one golden simulation.
+     Campaign.run itself validates the cache and rebuilds it if the
+     design or configuration changed under the same key. *)
+  let golden_dir =
+    Filename.concat
+      (Filename.concat ctx.spool "golden")
+      (Printf.sprintf "%s-%s-%d"
+         (String.sub source.Compile.hash 0 16)
+         (Digest.to_hex (Digest.string (Compile.fingerprint config)))
+         cj.cj_horizon)
+  in
+  let warm = Sys.file_exists golden_dir && (try Sys.readdir golden_dir <> [||] with Sys_error _ -> false) in
+  Atomic.incr (if warm then ctx.golden_hits else ctx.golden_misses);
+  let cfg = { Campaign.horizon = cj.cj_horizon; budget = cj.cj_budget } in
+  let fresh = Campaign.run ~stimulus ~golden_dir cfg config circuit faults in
+  let db =
+    Fault_db.merge
+      (Fault_db.create ~design:(Circuit.name circuit) ~horizon:cj.cj_horizon ())
+      fresh
+  in
+  let s = Fault_db.summary db in
+  Done
+    (P.Db_done
+       {
+         dr_kind = "fault";
+         dr_text = Fault_db.to_string db;
+         dr_summary =
+           Printf.sprintf "%d fault(s) classified, coverage %.1f%%" (Fault_db.count db)
+             (Fault_db.coverage_percent s);
+         dr_cache_hit = warm;
+         dr_seconds = Unix.gettimeofday () -. t0;
+       })
+
+(* --- fuzz shard ---------------------------------------------------------- *)
+
+let run_fuzz ctx job (fj : P.fuzz_job) =
+  let t0 = Unix.gettimeofday () in
+  let setups =
+    match fj.fj_setups with
+    | None -> Fuzz.default_setups
+    | Some s -> List.map (fun name -> Fuzz.setup_of_name name) (String.split_on_char ',' s)
+  in
+  let dir = job_dir ctx job "fuzz" in
+  let campaign =
+    {
+      Fuzz.default_campaign with
+      Fuzz.seed = fj.fj_seed;
+      cases = fj.fj_cases;
+      start_case = fj.fj_from;
+      cycles = fj.fj_cycles;
+      setups;
+      dir;
+    }
+  in
+  let result = Fuzz.run campaign in
+  let text = Corpus.to_string result.Fuzz.db in
+  remove_dir dir;
+  Done
+    (P.Db_done
+       {
+         dr_kind = "fuzz";
+         dr_text = text;
+         dr_summary =
+           Printf.sprintf "%d case(s) ran, %d failing" result.Fuzz.ran
+             (List.length (Corpus.failures result.Fuzz.db));
+         dr_cache_hit = false;
+         dr_seconds = Unix.gettimeofday () -. t0;
+       })
+
+(* --- coverage collect ---------------------------------------------------- *)
+
+let run_cov ctx job (vj : P.cov_job) =
+  let t0 = Unix.gettimeofday () in
+  let config = config_of_opts vj.vj_opts in
+  let plan, hit, _ = compiled_plan ctx config ~filename:vj.vj_filename ~text:vj.vj_design in
+  job.cache_hit <- hit;
+  let circuit = Compile.plan_circuit plan in
+  let halt = Compile.plan_halt plan in
+  let compiled = Compile.realize plan in
+  Fun.protect ~finally:compiled.Gsim.destroy @@ fun () ->
+  let cov, sim =
+    match compiled.Gsim.activity with
+    | Some engine -> Cov_collect.of_activity ~name:compiled.Gsim.sim.Sim.sim_name engine
+    | None -> Cov_collect.create compiled.Gsim.sim
+  in
+  List.iter (fun (id, v) -> sim.Sim.poke id v) (parse_pokes circuit vj.vj_pokes);
+  (try
+     for _ = 1 to vj.vj_cycles do
+       sim.Sim.step ();
+       match halt with
+       | Some h when not (Bits.is_zero (sim.Sim.peek h)) -> raise Exit
+       | _ -> ()
+     done
+   with Exit -> ());
+  let db = Cov_collect.db cov in
+  let s = Cov_db.summary db in
+  Done
+    (P.Db_done
+       {
+         dr_kind = "coverage";
+         dr_text = Cov_db.to_string db;
+         dr_summary = Printf.sprintf "coverage %.1f%%" (Cov_db.total_percent s);
+         dr_cache_hit = hit;
+         dr_seconds = Unix.gettimeofday () -. t0;
+       })
+
+(* --- dispatch ------------------------------------------------------------ *)
+
+let execute ctx job =
+  try
+    match job.request with
+    | P.Sim (_, sj) -> run_sim ctx job sj
+    | P.Campaign (_, cj) -> run_campaign ctx job cj
+    | P.Fuzz (_, fj) -> run_fuzz ctx job fj
+    | P.Coverage (_, vj) -> run_cov ctx job vj
+    | P.Status | P.Shutdown ->
+      (* Handled by the connection layer; never scheduled. *)
+      Done (P.Error_resp "internal: control request reached a worker")
+  with
+  | Failure msg -> Done (P.Error_resp msg)
+  | Invalid_argument msg -> Done (P.Error_resp ("invalid argument: " ^ msg))
+  | Sys_error msg -> Done (P.Error_resp ("i/o error: " ^ msg))
+  | e ->
+    ctx.log (Printf.sprintf "job %d: unexpected exception %s" job.id (Printexc.to_string e));
+    Done (P.Error_resp ("internal error: " ^ Printexc.to_string e))

@@ -1,0 +1,46 @@
+(** Job execution on a worker Domain.
+
+    A {!job} is mutable resume state plus the request: a long simulation
+    runs in [preempt_stride]-cycle windows and, when {!Scheduler}
+    reports strictly-higher-priority work waiting, captures a
+    checkpoint (persisted through the crash-safe {!Gsim_resilience.Store}
+    ring in the job's spool directory), records its progress, and
+    returns {!Yielded} so the daemon can requeue it — any worker can
+    pick it up again and the final state is identical to an
+    uninterrupted run (registers, inputs and memories restore exactly;
+    combinational values are re-derived on the next step).
+
+    Interactive jobs (priority 0) and campaign/fuzz/coverage jobs never
+    yield — campaigns already shard at the request level, which is the
+    preemption mechanism for batch analysis traffic. *)
+
+type job = {
+  id : int;
+  priority : int;  (** scheduler level, 0 = interactive *)
+  request : Protocol.request;
+  reply : Protocol.response -> unit;  (** fulfilled exactly once, on completion *)
+  mutable done_cycles : int;
+  mutable ck : Gsim_engine.Checkpoint.t option;
+  mutable preemptions : int;
+  mutable cache_hit : bool;
+  mutable compile_seconds : float;
+}
+
+val make_job :
+  id:int -> priority:int -> reply:(Protocol.response -> unit) -> Protocol.request -> job
+
+type context = {
+  cache : Gsim_core.Gsim.Compile.plan Plan_cache.t;
+  sched : job Scheduler.t;
+  spool : string;  (** per-job checkpoint/fuzz/golden scratch root *)
+  preempt_stride : int;  (** cycles between preemption checks; <= 0 disables *)
+  log : string -> unit;
+  preemption_count : int Atomic.t;
+  golden_hits : int Atomic.t;
+  golden_misses : int Atomic.t;
+}
+
+type outcome = Done of Protocol.response | Yielded
+
+val execute : context -> job -> outcome
+(** Never raises: failures become [Done (Error_resp _)]. *)
