@@ -517,13 +517,14 @@ let fuzz () =
   Printf.printf "  -> all matrices fuzz clean\n%!"
 
 (* ------------------------------------------------------------------ *)
-(* Evaluation-backend comparison: closures vs flat bytecode             *)
+(* Evaluation-backend comparison: closures vs bytecode vs native        *)
 (* ------------------------------------------------------------------ *)
 
-(* One short deterministic run whose folded node values certify that the
-   two backends computed identical simulations, plus the speed comparison
-   the backend exists for.  Results also land in BENCH_backends.json so CI
-   can archive them. *)
+(* One short deterministic run whose folded node values certify that all
+   backends computed identical simulations, plus the speed comparison
+   the backends exist for.  The native column appears when a C compiler
+   is on PATH (or GSIM_CC names one).  Results also land in
+   BENCH_backends.json so CI can archive them. *)
 let backend_checksum config d prog =
   let core = build_design d in
   let pre = optimized_circuit d config.Gsim.opt_level in
@@ -554,9 +555,13 @@ let backend_configs () =
   ]
 
 let backend () =
-  header "Backend - closure trees vs flat bytecode (narrow hot path)";
-  Printf.printf "%-10s %-11s %12s %12s %9s %9s %9s\n" "design" "engine" "closures"
-    "bytecode" "ns/ev(c)" "ns/ev(b)" "speedup";
+  header "Backend - closures vs flat bytecode vs AOT native (narrow hot path)";
+  let have_native = Gsim_engine.Native.available () in
+  if not have_native then
+    Printf.printf "  (no C compiler found - native column skipped; set GSIM_CC to override)\n";
+  Printf.printf "%-10s %-11s %10s %10s %10s %8s %8s %8s %8s %8s\n" "design" "engine"
+    "closures" "bytecode" "native" "ns/ev(c)" "ns/ev(b)" "ns/ev(n)" "byte/clo"
+    "nat/clo";
   let prog = coremark_long () in
   let rows = ref [] in
   List.iter
@@ -565,6 +570,7 @@ let backend () =
         (fun (ename, mk) ->
           let mc = measure (mk `Closures) d prog in
           let mb = measure (mk `Bytecode) d prog in
+          let mn = if have_native then Some (measure (mk `Native) d prog) else None in
           let ns m =
             m.seconds *. 1e9 /. float_of_int (max m.counters.Counters.evals 1)
           in
@@ -574,21 +580,48 @@ let backend () =
             failwith
               (Printf.sprintf "backend mismatch on %s/%s: %x/%d vs %x/%d"
                  d.Designs.design_name ename kc chc kb chb);
+          if have_native then begin
+            let kn, chn = backend_checksum (mk `Native) d prog in
+            if kn <> kc || chn <> chc then
+              failwith
+                (Printf.sprintf "native backend mismatch on %s/%s: %x/%d vs %x/%d"
+                   d.Designs.design_name ename kc chc kn chn)
+          end;
           let speedup = mb.hz /. mc.hz in
-          Printf.printf "%-10s %-11s %12s %12s %9.1f %9.1f %8.2fx  (checksums agree)\n%!"
-            d.Designs.design_name ename (pp_hz mc.hz) (pp_hz mb.hz) (ns mc) (ns mb)
-            speedup;
+          let native_speedup =
+            match mn with Some m -> m.hz /. mc.hz | None -> 0.
+          in
+          Printf.printf
+            "%-10s %-11s %10s %10s %10s %8.1f %8.1f %8s %7.2fx %8s  (checksums agree)\n%!"
+            d.Designs.design_name ename (pp_hz mc.hz) (pp_hz mb.hz)
+            (match mn with Some m -> pp_hz m.hz | None -> "-")
+            (ns mc) (ns mb)
+            (match mn with Some m -> Printf.sprintf "%.1f" (ns m) | None -> "-")
+            speedup
+            (match mn with
+             | Some _ -> Printf.sprintf "%7.2fx" native_speedup
+             | None -> "-");
+          let native_fields =
+            match mn with
+            | None -> ""
+            | Some m ->
+              Printf.sprintf
+                ",\"native_hz\":%.1f,\"ns_per_eval_native\":%.2f,\"native_speedup\":%.3f"
+                m.hz (ns m) native_speedup
+          in
           rows :=
             Printf.sprintf
-              "    {\"design\":%S,\"engine\":%S,\"closures_hz\":%.1f,\"bytecode_hz\":%.1f,\"ns_per_eval_closures\":%.2f,\"ns_per_eval_bytecode\":%.2f,\"speedup\":%.3f,\"instrs_per_cycle\":%d,\"checksum\":%d}"
+              "    {\"design\":%S,\"engine\":%S,\"closures_hz\":%.1f,\"bytecode_hz\":%.1f,\"ns_per_eval_closures\":%.2f,\"ns_per_eval_bytecode\":%.2f,\"speedup\":%.3f%s,\"instrs_per_cycle\":%d,\"checksum\":%d}"
               d.Designs.design_name ename mc.hz mb.hz (ns mc) (ns mb) speedup
+              native_fields
               (mb.counters.Counters.instrs / max mb.cycles 1)
               kb
             :: !rows)
         (backend_configs ()))
     Designs.all;
   let oc = open_out "BENCH_backends.json" in
-  Printf.fprintf oc "{\n  \"bench\": \"backend\",\n  \"rows\": [\n%s\n  ]\n}\n"
+  Printf.fprintf oc "{\n  \"bench\": \"backend\",\n  \"native\": %b,\n  \"rows\": [\n%s\n  ]\n}\n"
+    have_native
     (String.concat ",\n" (List.rev !rows));
   close_out oc;
   Printf.printf "  [wrote BENCH_backends.json]\n"
@@ -692,7 +725,7 @@ let resilience () =
    passes + partition) dominates a short simulation — exactly the regime
    the compiled-plan cache exists for.  Generated as FIRRTL text so every
    job exercises the real wire protocol and frontend. *)
-let serve_design stages =
+let serve_design ?(salt = 0) stages =
   let b = Buffer.create (stages * 80) in
   Buffer.add_string b "circuit Chain :\n  module Chain :\n";
   Buffer.add_string b "    input clock : Clock\n";
@@ -702,7 +735,7 @@ let serve_design stages =
   for i = 0 to stages - 1 do
     Buffer.add_string b
       (Printf.sprintf "    reg r%d : UInt<32>, clock with : (reset => (reset, UInt<32>(%d)))\n"
-         i (i land 0xff));
+         i ((i + salt) land 0xffff));
     let src = if i = 0 then "in" else Printf.sprintf "r%d" (i - 1) in
     Buffer.add_string b
       (Printf.sprintf "    r%d <= xor(%s, shr(r%d, 1))\n" i src i)
@@ -810,6 +843,132 @@ let serve () =
   Printf.printf "  [wrote BENCH_serve.json]\n"
 
 (* ------------------------------------------------------------------ *)
+(* Native backend on the daemon: warm .so cache vs cold cc runs         *)
+(* ------------------------------------------------------------------ *)
+
+(* What the on-disk/in-process .so cache is worth under daemon load.
+   Both phases run with the plan cache OFF so the only cache in play is
+   the native one: the cold phase gives every job a distinct design
+   (unique IR digest, so every job pays a full cc run), the warm phase
+   repeats one design (one compile, then memo hits).  The native stats
+   counters certify which regime each phase actually ran in. *)
+let native () =
+  let module SP = Gsim_server.Protocol in
+  let module Client = Gsim_server.Client in
+  let module Daemon = Gsim_server.Daemon in
+  let module Native = Gsim_engine.Native in
+  header "Native - daemon jobs/sec: warm .so cache vs cold compiles";
+  if not (Native.available ()) then begin
+    Printf.printf "  no C compiler found - skipping (set GSIM_CC to override)\n";
+    let oc = open_out "BENCH_native.json" in
+    Printf.fprintf oc "{\n  \"bench\": \"native\",\n  \"available\": false\n}\n";
+    close_out oc;
+    Printf.printf "  [wrote BENCH_native.json]\n"
+  end
+  else begin
+    (* A fresh cache dir per run so the cold phase genuinely compiles. *)
+    let cache_dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gsim-bench-native-%d" (Unix.getpid ()))
+    in
+    Unix.putenv "GSIM_NATIVE_CACHE" cache_dir;
+    let stages = if !Harness.quick then 80 else 300 in
+    let clients = 4 in
+    let jobs_per_client = if !Harness.quick then 3 else 6 in
+    let cycles = 200 in
+    let total = clients * jobs_per_client in
+    let job_of salt =
+      {
+        SP.sj_filename = "chain.fir";
+        sj_design = serve_design ~salt stages;
+        sj_opts = { SP.default_engine_opts with SP.eo_backend = "native" };
+        sj_cycles = cycles;
+        sj_pokes = [ "in=12345" ];
+      }
+    in
+    let run_phase label job_for =
+      let sock =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "gsimd-native-%d-%s.sock" (Unix.getpid ()) label)
+      in
+      let spool =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "gsimd-native-%d-%s" (Unix.getpid ()) label)
+      in
+      let address = SP.Unix_sock sock in
+      let devnull = open_out "/dev/null" in
+      let cfg =
+        {
+          (Daemon.default_config address) with
+          Daemon.workers = 4;
+          cache_capacity = 0;
+          spool = Some spool;
+          log = devnull;
+        }
+      in
+      let compiles0 = Native.stats.Native.compiles in
+      let memo0 = Native.stats.Native.memo_hits in
+      let disk0 = Native.stats.Native.disk_hits in
+      let server = Thread.create (fun () -> Daemon.serve cfg) () in
+      let rec wait_ready n =
+        if not (Sys.file_exists sock) then
+          if n = 0 then failwith "gsimd did not start"
+          else begin
+            Unix.sleepf 0.01;
+            wait_ready (n - 1)
+          end
+      in
+      wait_ready 500;
+      let t0 = now () in
+      let client ci () =
+        Client.with_connection address (fun c ->
+            for j = 0 to jobs_per_client - 1 do
+              let job = job_for ((ci * jobs_per_client) + j) in
+              match Client.call c (SP.Sim (SP.Batch, job)) with
+              | SP.Sim_done _ -> ()
+              | SP.Error_resp m -> failwith ("native bench job failed: " ^ m)
+              | _ -> failwith "unexpected response"
+            done)
+      in
+      let threads = List.init clients (fun ci -> Thread.create (client ci) ()) in
+      List.iter Thread.join threads;
+      let dt = now () -. t0 in
+      (match Client.with_connection address (fun c -> Client.call c SP.Shutdown) with
+       | SP.Shutting_down -> ()
+       | _ -> failwith "shutdown failed");
+      Thread.join server;
+      close_out devnull;
+      let compiles = Native.stats.Native.compiles - compiles0 in
+      let memo_hits = Native.stats.Native.memo_hits - memo0 in
+      let disk_hits = Native.stats.Native.disk_hits - disk0 in
+      let jobs_per_sec = float_of_int total /. dt in
+      Printf.printf
+        "%-6s %3d jobs %2d clients %8.2fs %9.2f jobs/s  cc runs %2d  memo hits %2d  disk hits %2d\n%!"
+        label total clients dt jobs_per_sec compiles memo_hits disk_hits;
+      (jobs_per_sec, compiles, memo_hits, disk_hits)
+    in
+    Printf.printf "  design: %d-stage register chain, %d cycles per job, plan cache off\n%!"
+      stages cycles;
+    let c_jps, c_cc, c_memo, c_disk = run_phase "cold" (fun k -> job_of (1000 + (k * 17))) in
+    let w_jps, w_cc, w_memo, w_disk = run_phase "warm" (fun _ -> job_of 0) in
+    if c_cc < total then
+      failwith
+        (Printf.sprintf "cold phase expected %d cc runs, saw %d (cache not cold?)" total
+           c_cc);
+    if w_cc > 1 then
+      failwith (Printf.sprintf "warm phase expected at most one cc run, saw %d" w_cc);
+    let ratio = w_jps /. c_jps in
+    Printf.printf "  -> warm .so cache is %.2fx cold (cc ran %d time(s) warm vs %d cold)\n%!"
+      ratio w_cc c_cc;
+    let oc = open_out "BENCH_native.json" in
+    Printf.fprintf oc
+      "{\n  \"bench\": \"native\",\n  \"available\": true,\n  \"stages\": %d,\n  \"cycles\": %d,\n  \"clients\": %d,\n  \"jobs\": %d,\n  \"rows\": [\n    {\"phase\":\"cold\",\"jobs_per_sec\":%.3f,\"cc_runs\":%d,\"memo_hits\":%d,\"disk_hits\":%d},\n    {\"phase\":\"warm\",\"jobs_per_sec\":%.3f,\"cc_runs\":%d,\"memo_hits\":%d,\"disk_hits\":%d}\n  ],\n  \"warm_over_cold\": %.3f\n}\n"
+      stages cycles clients total c_jps c_cc c_memo c_disk w_jps w_cc w_memo w_disk ratio;
+    close_out oc;
+    Printf.printf "  [wrote BENCH_native.json]\n"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the kernel inner loops                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -910,10 +1069,11 @@ let () =
          | "resilience" -> resilience ()
          | "fuzz" -> fuzz ()
          | "serve" -> serve ()
+         | "native" -> native ()
          | "micro" -> micro ()
          | other ->
            Printf.eprintf
-             "unknown bench %S (expected table1|fig6|fig7|fig8|fig9|table3|table4|ablation|model|coverage|fault|backend|resilience|fuzz|serve|micro|all)\n"
+             "unknown bench %S (expected table1|fig6|fig7|fig8|fig9|table3|table4|ablation|model|coverage|fault|backend|resilience|fuzz|serve|native|micro|all)\n"
              other;
            exit 2)
        cmds);

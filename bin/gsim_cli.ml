@@ -98,8 +98,11 @@ let backend_arg =
     & opt string (Gsim_engine.Eval.to_string Gsim_engine.Eval.default)
     & info [ "backend" ] ~docv:"BACKEND"
         ~doc:
-          "Per-node evaluation backend: bytecode (flat instruction streams for narrow \
-           signals, the default) or closures (the original closure trees)")
+          "Per-node evaluation backend: auto (the default — native when a C compiler \
+           is available and the design is big enough to amortize it, otherwise the \
+           best interpreted backend for the design size), native (ahead-of-time C \
+           compiled to a cached .so), bytecode (flat instruction streams for narrow \
+           signals), or closures (the original closure trees)")
 
 let coverage_arg =
   Arg.(
@@ -956,7 +959,8 @@ let fuzz_run_cmd =
     Arg.(value & opt (some string) None
          & info [ "setups" ] ~docv:"S,S"
              ~doc:"Comma-separated engine+backend subjects (e.g. gsim+bytecode,essent+closures); \
-                   default: all four presets with both backends")
+                   default: all four presets with both interpreted backends, plus \
+                   native subjects when a C compiler is available")
   in
   let watchdog =
     Arg.(value & opt float Fuzz.default_campaign.Fuzz.watchdog

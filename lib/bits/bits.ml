@@ -45,6 +45,20 @@ let one w =
 
 let width v = v.width
 
+(* A physically fresh value: callers that store bit vectors into slots the
+   native backend may later mutate in place (or that were read from such
+   slots) copy first so no two holders share a limb array. *)
+let copy v = { width = v.width; limbs = Array.copy v.limbs }
+
+(* Overwrite [dst]'s limbs with [src]'s, in place.  The runtime's wide
+   value arena stores values by blitting into each slot's permanent
+   buffer (never by replacing the slot object), so slots stay
+   allocation-free on the hot path and can never come to share a limb
+   array.  Only for equal widths. *)
+let unsafe_blit ~src ~dst =
+  if src.width <> dst.width then invalid_arg "Bits.unsafe_blit: width mismatch";
+  Array.blit src.limbs 0 dst.limbs 0 (Array.length dst.limbs)
+
 let bit v i =
   if i < 0 || i >= v.width then invalid_arg "Bits.bit: index out of range";
   v.limbs.(i / limb_bits) lsr (i mod limb_bits) land 1 = 1
@@ -61,6 +75,27 @@ let equal a b =
 
 (* Limb of [v] at index [i], zero beyond the representation. *)
 let limb v i = if i < Array.length v.limbs then v.limbs.(i) else 0
+
+(* 64-bit limb [j] (bits [64j .. 64j+63]) regathered from the 31-bit
+   representation; zero beyond it.  The native backend's flat mirror
+   arena stores wide values as raw 64-bit limbs, and both the C emitter
+   (wide constants) and the runtime's mirror writes use this to
+   translate.  Source limbs k0 .. k0+3 are the only ones that can
+   overlap the destination window. *)
+let limb64 v j =
+  let p = 64 * j in
+  let k0 = p / 31 in
+  let r = ref 0L in
+  for k = k0 to k0 + 3 do
+    let sh = (31 * k) - p in
+    if sh < 64 then begin
+      let x = Int64.of_int (limb v k) in
+      r :=
+        Int64.logor !r
+          (if sh >= 0 then Int64.shift_left x sh else Int64.shift_right_logical x (-sh))
+    end
+  done;
+  !r
 
 let compare_unsigned a b =
   let n = max (Array.length a.limbs) (Array.length b.limbs) in

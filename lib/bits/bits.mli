@@ -15,6 +15,32 @@ type t
 val limb_bits : int
 (** Number of payload bits per limb (31). *)
 
+val nlimbs : int -> int
+(** [nlimbs w] is the number of limbs backing a [w]-bit vector. *)
+
+val limb : t -> int -> int
+(** [limb v i] is the [i]th (little-endian) 31-bit limb, 0 beyond the
+    representation.  The native backend's C emitter serializes constants
+    and mirrors limb layout with this. *)
+
+val limb64 : t -> int -> int64
+(** [limb64 v j] is bits [64j .. 64j+63] as one raw 64-bit limb, 0
+    beyond the representation.  The native backend's flat mirror arena
+    stores wide values in this layout. *)
+
+val copy : t -> t
+(** A physically fresh vector equal to the argument.  Slots owned by the
+    native backend are mutated in place by generated code, so any value
+    stored into — or read out of — a long-lived slot must be copied to
+    keep holders independent. *)
+
+val unsafe_blit : src:t -> dst:t -> unit
+(** Overwrite [dst]'s limbs with [src]'s, in place, violating [t]'s
+    nominal immutability.  Engine-internal: the runtime's wide arena
+    stores values by blitting into each slot's permanent buffer, which
+    keeps the hot path allocation-free and makes limb-array sharing
+    between slots impossible by construction.  Widths must match. *)
+
 (** {1 Construction} *)
 
 val zero : int -> t

@@ -262,7 +262,9 @@ let config_of_names ~engine ~threads ~level ~max_supernode ~backend =
   let backend =
     match Gsim_engine.Eval.of_string backend with
     | Some b -> b
-    | None -> failwith (Printf.sprintf "unknown backend %S (bytecode or closures)" backend)
+    | None ->
+      failwith
+        (Printf.sprintf "unknown backend %S (%s)" backend Gsim_engine.Eval.names)
   in
   let base =
     match engine with

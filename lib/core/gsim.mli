@@ -111,9 +111,10 @@ val config_of_names : engine:string -> threads:int -> level:string option ->
 (** Build a configuration from command-line-style strings: [engine] is a
     preset name (gsim/essent/verilator/arcilator/reference), [threads]
     applies to verilator, [level] optionally overrides the preset's
-    optimization level ("O0".."O3"), [backend] is "bytecode" or
-    "closures".  Raises [Failure] on unknown names — shared by the CLI
-    and the daemon so both reject inputs identically. *)
+    optimization level ("O0".."O3"), [backend] is "auto", "native",
+    "bytecode", or "closures".  Raises [Failure] on unknown names —
+    shared by the CLI and the daemon so both reject inputs
+    identically. *)
 
 (** The compile pipeline split into cacheable halves.
 

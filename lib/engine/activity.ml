@@ -138,6 +138,7 @@ let target_supers (part : Partition.t) ?(exclude = -1) ids =
   |> List.sort_uniq compare |> Array.of_list
 
 let create ?(config = gsim_config) ?(backend = Eval.default) ?(forcible = []) c part =
+  let sel = Eval.select backend c in
   let rt = Runtime.create c in
   let fset = Hashtbl.create (max (2 * List.length forcible) 1) in
   List.iter
@@ -194,6 +195,8 @@ let create ?(config = gsim_config) ?(backend = Eval.default) ?(forcible = []) c 
       force_wakes = Hashtbl.create (max (2 * List.length forcible) 1);
     }
   in
+  t.counters.Counters.backend <- Eval.effective_string sel;
+  t.counters.Counters.native_cache <- sel.Eval.cache;
   (* Node index -> register table index for Reg_next pending marking. *)
   let reg_index_of_next = Hashtbl.create 64 in
   Array.iteri (fun i (r : Circuit.register) -> Hashtbl.replace reg_index_of_next r.next i) regs;
@@ -205,7 +208,7 @@ let create ?(config = gsim_config) ?(backend = Eval.default) ?(forcible = []) c 
         Array.map
           (fun id ->
             let eval, ni =
-              Eval.node_evaluator ~backend ~forcible:is_forcible rt (Circuit.node c id)
+              Eval.node_evaluator ~sel ~forcible:is_forcible rt (Circuit.node c id)
             in
             t.sn_instrs.(k) <- t.sn_instrs.(k) + ni;
             let targets = target_supers part ~exclude:k succs.(id) in

@@ -7,6 +7,8 @@ type t = {
   mutable reg_commits : int;
   mutable reset_checks : int;
   mutable instrs : int;
+  mutable backend : string;
+  mutable native_cache : string;
 }
 
 let create () =
@@ -19,6 +21,8 @@ let create () =
     reg_commits = 0;
     reset_checks = 0;
     instrs = 0;
+    backend = "";
+    native_cache = "";
   }
 
 let clear t =
@@ -35,17 +39,23 @@ let activity_factor t ~total_nodes =
   if t.cycles = 0 || total_nodes = 0 then 0.
   else float_of_int t.evals /. (float_of_int t.cycles *. float_of_int total_nodes)
 
-(* [instrs] is reported only when nonzero: the closure backend retires no
-   bytecode, and its output stays byte-identical to what it was before the
-   field existed. *)
+(* [instrs], [backend], and [native_cache] are reported only when set:
+   the reference engine (which never sets them) keeps byte-identical
+   output to before the fields existed. *)
 let to_json t =
   Printf.sprintf
-    "{\"cycles\":%d,\"evals\":%d,\"changed\":%d,\"exams\":%d,\"activations\":%d,\"reg_commits\":%d,\"reset_checks\":%d%s}"
+    "{\"cycles\":%d,\"evals\":%d,\"changed\":%d,\"exams\":%d,\"activations\":%d,\"reg_commits\":%d,\"reset_checks\":%d%s%s%s}"
     t.cycles t.evals t.changed t.exams t.activations t.reg_commits t.reset_checks
     (if t.instrs = 0 then "" else Printf.sprintf ",\"instrs\":%d" t.instrs)
+    (if t.backend = "" then "" else Printf.sprintf ",\"backend\":%S" t.backend)
+    (if t.native_cache = "" then ""
+     else Printf.sprintf ",\"native_cache\":%S" t.native_cache)
 
 let pp fmt t =
   Format.fprintf fmt
     "cycles=%d evals=%d changed=%d exams=%d activations=%d reg_commits=%d reset_checks=%d%t"
     t.cycles t.evals t.changed t.exams t.activations t.reg_commits t.reset_checks
-    (fun fmt -> if t.instrs <> 0 then Format.fprintf fmt " instrs=%d" t.instrs)
+    (fun fmt ->
+      if t.instrs <> 0 then Format.fprintf fmt " instrs=%d" t.instrs;
+      if t.backend <> "" then Format.fprintf fmt " backend=%s" t.backend;
+      if t.native_cache <> "" then Format.fprintf fmt " native_cache=%s" t.native_cache)

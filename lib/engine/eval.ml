@@ -1,48 +1,154 @@
 open Gsim_ir
 
-type backend = [ `Closures | `Bytecode ]
+type backend = [ `Closures | `Bytecode | `Native | `Auto ]
 
-let default : backend = `Bytecode
+type effective = [ `Closures | `Bytecode | `Native ]
 
-let to_string = function `Closures -> "closures" | `Bytecode -> "bytecode"
+let default : backend = `Auto
+
+let to_string = function
+  | `Closures -> "closures"
+  | `Bytecode -> "bytecode"
+  | `Native -> "native"
+  | `Auto -> "auto"
 
 let of_string = function
   | "closures" | "closure" -> Some `Closures
   | "bytecode" -> Some `Bytecode
+  | "native" -> Some `Native
+  | "auto" -> Some `Auto
   | _ -> None
+
+let names = "auto, native, bytecode, or closures"
+
+(* ------------------------------------------------------------------ *)
+(* Backend selection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type selected = {
+  requested : backend;
+  effective : effective;
+  native : Native.unit_t option;  (** [Some] iff [effective = `Native] *)
+  cache : string;  (** "hit" / "miss" for native, "" otherwise *)
+}
+
+(* Thresholds calibrated against BENCH_backends.json [instrs_per_cycle]:
+
+   - Dispatch overhead makes bytecode lose to closures on big designs
+     (Rocket full-cycle 1191 instrs/cycle loses at 0.78x, BOOM 3549 and
+     XiangShan 10099 lose; stuCore 181/285 and Rocket-gsim 583 win), so
+     auto picks bytecode at or below 700 static instructions per sweep
+     and closures above — classifying all eight measured rows correctly.
+   - Native wins everywhere it compiles, but paying a cc invocation for
+     a tiny circuit (unit tests, fuzz cases) costs more wall clock than
+     it ever returns, so auto only goes native from 512 instructions up. *)
+let native_threshold = 512
+
+let bytecode_threshold = 700
+
+let estimate_instrs c =
+  Array.fold_left
+    (fun acc id ->
+      match Bytecode.compile c (Circuit.node c id) with
+      | Some p -> acc + Bytecode.instr_count p
+      | None -> acc)
+    0 (Circuit.eval_order c)
+
+(* Fallback diagnostics are printed once per distinct message per
+   process: campaign-style workloads construct thousands of engines. *)
+let diag_printed : (string, unit) Hashtbl.t = Hashtbl.create 4
+
+let diag msg =
+  if not (Hashtbl.mem diag_printed msg) then begin
+    Hashtbl.replace diag_printed msg ();
+    prerr_endline msg
+  end
+
+let interpreted_pick est : effective =
+  if est <= bytecode_threshold then `Bytecode else `Closures
+
+let cache_of_origin = function
+  | Native.Compiled -> "miss"
+  | Native.Memo_hit | Native.Disk_hit -> "hit"
+
+let select backend c =
+  let interpreted eff =
+    { requested = backend; effective = eff; native = None; cache = "" }
+  in
+  match backend with
+  | `Closures -> interpreted `Closures
+  | `Bytecode -> interpreted `Bytecode
+  | `Native -> (
+    match Native.load c with
+    | Some (u, origin) ->
+      { requested = backend;
+        effective = `Native;
+        native = Some u;
+        cache = cache_of_origin origin }
+    | None ->
+      let eff = interpreted_pick (estimate_instrs c) in
+      diag
+        (Printf.sprintf
+           "gsim: native backend unavailable (no C compiler, disabled, or compile \
+            failed); falling back to %s"
+           (to_string (eff :> backend)));
+      interpreted eff)
+  | `Auto ->
+    let est = estimate_instrs c in
+    if est >= native_threshold && Native.available () then
+      match Native.load c with
+      | Some (u, origin) ->
+        { requested = backend;
+          effective = `Native;
+          native = Some u;
+          cache = cache_of_origin origin }
+      | None -> interpreted (interpreted_pick est)
+    else interpreted (interpreted_pick est)
+
+let effective_string sel = to_string (sel.effective :> backend)
 
 let never_forcible _ = false
 
-let node_evaluator ~backend ?(forcible = never_forcible) rt (nd : Circuit.node) =
-  (* Forcible nodes evaluate through a guarded closure under either
-     backend: consumers fused into the same bytecode segment would read
-     the node's arena slot mid-dispatch, so the slot must hold the
+let node_evaluator ~sel ?(forcible = never_forcible) rt (nd : Circuit.node) =
+  let id = nd.Circuit.id in
+  (* Forcible nodes evaluate through a guarded closure under every
+     backend: consumers fused into the same segment (or native run) would
+     read the node's arena slot mid-dispatch, so the slot must hold the
      overridden value the moment it is written. *)
-  if forcible nd.Circuit.id then
-    (Runtime.guard rt nd.Circuit.id (Runtime.node_evaluator rt nd), 0)
+  if forcible id then (Runtime.guard rt id (Runtime.node_evaluator rt nd), 0)
   else
-    match backend with
+    match sel.effective with
     | `Closures -> (Runtime.node_evaluator rt nd, 0)
     | `Bytecode -> (
       match Bytecode.compile (Runtime.circuit rt) nd with
       | Some p -> (Bytecode.evaluator rt p, Bytecode.instr_count p)
       | None -> (Runtime.node_evaluator rt nd, 0))
+    | `Native -> (
+      match sel.native with
+      | Some u when Native.has_fn u id -> (Native.node_evaluator u rt id, 0)
+      | Some _ | None -> (Runtime.node_evaluator rt nd, 0))
 
-(* A sweep plan: maximal runs of bytecode-compilable nodes fused into
-   segments, wide/fallback nodes interleaved as singleton closure steps.
-   Planning happens before the runtime exists — segments claim arena
-   extension slots from [scratch_base] upward, and the engine creates the
-   runtime with [plan_scratch] extra slots before realizing the plan. *)
+(* A sweep plan: maximal runs of backend-compilable nodes fused into
+   segments (bytecode) or dense native runs, wide/fallback nodes
+   interleaved as singleton closure steps.  Planning happens before the
+   runtime exists — bytecode segments claim arena extension slots from
+   [scratch_base] upward (native runs claim none), and the engine creates
+   the runtime with [plan_scratch] extra slots before realizing. *)
 
-type item = Seg of Bytecode.segment | Fallback of int | Guarded of int
+type item =
+  | Seg of Bytecode.segment
+  | Nrun of Native.unit_t * int array
+  | Fallback of int
+  | Guarded of int
 
 type plan = { items : item array; scratch : int }
 
-let plan ?(forcible = never_forcible) c ~scratch_base ids =
+let plan ?(forcible = never_forcible) sel c ~scratch_base ids =
   let items = ref [] in
   let run = ref [] in
+  let nrun = ref [] in
   let off = ref 0 in
-  let flush () =
+  let flush_seg () =
     match !run with
     | [] -> ()
     | ps ->
@@ -51,22 +157,50 @@ let plan ?(forcible = never_forcible) c ~scratch_base ids =
       items := Seg seg :: !items;
       run := []
   in
-  Array.iter
-    (fun id ->
-      if forcible id then begin
-        (* Demoted from fusion: a forced node's slot must hold the
-           overridden value before any same-segment consumer reads it. *)
-        flush ();
-        items := Guarded id :: !items
-      end
-      else
-        match Bytecode.compile c (Circuit.node c id) with
-        | Some p -> run := p :: !run
-        | None ->
-          flush ();
-          items := Fallback id :: !items)
-    ids;
-  flush ();
+  let flush_nrun u =
+    match !nrun with
+    | [] -> ()
+    | ids ->
+      items := Nrun (u, Array.of_list (List.rev ids)) :: !items;
+      nrun := []
+  in
+  (match sel.effective, sel.native with
+   | `Native, Some u ->
+     Array.iter
+       (fun id ->
+         if forcible id then begin
+           (* Demoted from the run: a forced node's slot must hold the
+              overridden value before any consumer in the run reads it. *)
+           flush_nrun u;
+           items := Guarded id :: !items
+         end
+         else if Native.has_fn u id then nrun := id :: !nrun
+         else begin
+           flush_nrun u;
+           items := Fallback id :: !items
+         end)
+       ids;
+     flush_nrun u
+   | (`Native | `Bytecode), _ ->
+     Array.iter
+       (fun id ->
+         if forcible id then begin
+           flush_seg ();
+           items := Guarded id :: !items
+         end
+         else
+           match Bytecode.compile c (Circuit.node c id) with
+           | Some p -> run := p :: !run
+           | None ->
+             flush_seg ();
+             items := Fallback id :: !items)
+       ids;
+     flush_seg ()
+   | `Closures, _ ->
+     Array.iter
+       (fun id ->
+         items := (if forcible id then Guarded id else Fallback id) :: !items)
+       ids);
   { items = Array.of_list (List.rev !items); scratch = !off }
 
 let plan_scratch pl = pl.scratch
@@ -80,6 +214,7 @@ let realize rt pl =
         | Seg seg ->
           instrs := !instrs + Bytecode.segment_instrs seg;
           Bytecode.segment_evaluator rt seg
+        | Nrun (u, ids) -> Native.run_step u rt ids
         | Fallback id ->
           let f = Runtime.node_evaluator rt (Circuit.node c id) in
           fun () -> if f () then 1 else 0

@@ -2,56 +2,97 @@
 
     Engines build their per-node step functions through this module rather
     than calling {!Runtime.node_evaluator} directly, so one switch selects
-    between the two evaluation strategies:
+    between the evaluation strategies:
 
     - [`Closures] — the original tree of specialized closures built by
       {!Runtime.node_evaluator};
     - [`Bytecode] — the flat register-machine programs of {!Bytecode} for
       narrow (packed-int) nodes, with an automatic per-node fallback to
       closures for wide nodes, memory reads, and expressions that touch the
-      wide arena.
+      wide arena;
+    - [`Native] — ahead-of-time compiled C ({!Native}): each narrow node's
+      expression tree becomes a machine-code function over the same arena,
+      with the same per-node closure fallback.  Degrades to the best
+      interpreted backend (with a one-line diagnostic) when no C compiler
+      is available or compilation fails;
+    - [`Auto] — the documented default: native when available and the
+      circuit is big enough to amortize a [cc] run, otherwise bytecode on
+      small circuits and closures on big ones (dispatch overhead scales
+      with the static instruction count — see BENCH_backends.json).
 
-    Both backends are bit-identical by construction; the bytecode backend
-    trades closure-call overhead for one tight dispatch loop on the narrow
-    hot path. *)
+    Every backend is bit-identical by construction.  Engines resolve the
+    requested backend to an {!effective} one with {!select} once per
+    instance, then build evaluators or plans from the selection. *)
 
 open Gsim_ir
 
-type backend = [ `Closures | `Bytecode ]
+type backend = [ `Closures | `Bytecode | `Native | `Auto ]
+
+type effective = [ `Closures | `Bytecode | `Native ]
 
 val default : backend
-(** [`Bytecode]. *)
+(** [`Auto]. *)
 
 val to_string : backend -> string
 
 val of_string : string -> backend option
-(** Accepts ["bytecode"], ["closures"] (and ["closure"]). *)
+(** Accepts ["auto"], ["native"], ["bytecode"], ["closures"] (and
+    ["closure"]). *)
+
+val names : string
+(** Human-readable list of accepted backend names, for error messages. *)
+
+(** A resolved backend choice for one circuit. *)
+type selected = {
+  requested : backend;
+  effective : effective;
+  native : Native.unit_t option;  (** [Some] iff [effective = `Native] *)
+  cache : string;
+      (** under native: ["hit"] when the compiled object came from the
+          in-process memo or the disk cache (no [cc] run), ["miss"] on a
+          fresh compile; [""] otherwise — surfaced via
+          {!Counters.t.native_cache} *)
+}
+
+val select : backend -> Circuit.t -> selected
+(** Resolve [backend] for [c], loading (or compiling) the native unit
+    when called for and applying the fallback ladder:
+    native unavailable → bytecode below the instruction threshold,
+    closures above it. *)
+
+val effective_string : selected -> string
+
+val estimate_instrs : Circuit.t -> int
+(** Static bytecode instruction count of one full sweep — the quantity
+    the auto heuristic thresholds. *)
 
 val node_evaluator :
-  backend:backend -> ?forcible:(int -> bool) -> Runtime.t -> Circuit.node ->
+  sel:selected -> ?forcible:(int -> bool) -> Runtime.t -> Circuit.node ->
   (unit -> bool) * int
 (** The node's step function (evaluate, store, report change) plus its
     static bytecode cost — the number of instructions retired per
-    evaluation (variable preloads + operations), for the
-    {!Counters.t.instrs} counter.  Zero whenever the node evaluates
-    through closures (explicitly, or by fallback).  Nodes for which
+    evaluation, for the {!Counters.t.instrs} counter.  Zero whenever the
+    node evaluates through closures or native code.  Nodes for which
     [forcible] holds (fault-injection targets) are wrapped with
     {!Runtime.guard} and always evaluate through closures, so a force
-    override is visible to every consumer under both backends. *)
+    override is visible to every consumer under every backend. *)
 
-(** A compiled sweep over a node sequence: maximal runs of
-    bytecode-compilable nodes fused into segments, wide/fallback nodes
-    interleaved as singleton closure steps. *)
+(** A compiled sweep over a node sequence: maximal runs of compilable
+    nodes fused into bytecode segments or dense native runs,
+    wide/fallback nodes interleaved as singleton closure steps. *)
 type plan
 
-val plan : ?forcible:(int -> bool) -> Circuit.t -> scratch_base:int -> int array -> plan
-(** [plan c ~scratch_base ids] compiles [ids] (evaluated in order,
-    back-to-back) into segments whose constants and expression stacks
-    claim narrow-arena slots from [scratch_base] upward.  Planning needs
-    no runtime: create it afterwards with at least {!plan_scratch} extra
-    slots past [scratch_base] (see [Runtime.create ~extra_slots]).
-    [forcible] nodes are excluded from fusion and realized as guarded
-    closure steps (see {!node_evaluator}). *)
+val plan :
+  ?forcible:(int -> bool) -> selected -> Circuit.t -> scratch_base:int ->
+  int array -> plan
+(** [plan sel c ~scratch_base ids] compiles [ids] (evaluated in order,
+    back-to-back) according to [sel].  Bytecode segments claim
+    narrow-arena slots from [scratch_base] upward (native runs claim
+    none).  Planning needs no runtime: create it afterwards with at least
+    {!plan_scratch} extra slots past [scratch_base] (see
+    [Runtime.create ~extra_slots]).  [forcible] nodes are excluded from
+    fusion and realized as guarded closure steps (see
+    {!node_evaluator}). *)
 
 val plan_scratch : plan -> int
 (** Arena-extension slots the plan's segments occupy past its
@@ -59,7 +100,7 @@ val plan_scratch : plan -> int
 
 val realize : Runtime.t -> plan -> (unit -> int) array * int
 (** Bind a plan to a runtime.  Each returned step evaluates its segment
-    (or fallback node) and returns how many node values changed; calling
-    all steps in order evaluates exactly the planned ids in order.  The
-    [int] is the total static instruction count per full sweep, for
-    {!Counters.t.instrs}. *)
+    (or native run, or fallback node) and returns how many node values
+    changed; calling all steps in order evaluates exactly the planned ids
+    in order.  The [int] is the total static instruction count per full
+    sweep, for {!Counters.t.instrs} (native runs count zero). *)

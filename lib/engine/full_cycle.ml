@@ -62,8 +62,9 @@ let create ?(backend = Eval.default) ?(forcible = []) c =
       | _ -> Hashtbl.replace fset id ())
     forcible;
   let is_forcible id = Hashtbl.mem fset id in
+  let sel = Eval.select backend c in
   let rt, evals, sweeps, instrs_per_cycle, reg_copies, reg_sweep =
-    match backend with
+    match sel.Eval.effective with
     | `Closures ->
       let rt = Runtime.create c in
       let copier (r : Circuit.register) =
@@ -73,16 +74,17 @@ let create ?(backend = Eval.default) ?(forcible = []) c =
       ( rt,
         Array.map
           (fun id ->
-            fst (Eval.node_evaluator ~backend:`Closures ~forcible:is_forcible rt
+            fst (Eval.node_evaluator ~sel ~forcible:is_forcible rt
                    (Circuit.node c id)))
           order,
         [||], 0,
         registers |> List.map copier |> Array.of_list,
         [||] )
-    | `Bytecode ->
-      (* Plan first (segments claim arena-extension slots), then create the
-         runtime with the extension, then bind. *)
-      let pl = Eval.plan ~forcible:is_forcible c ~scratch_base:(Circuit.max_id c) order in
+    | `Bytecode | `Native ->
+      (* Plan first (segments claim arena-extension slots; native runs
+         claim none), then create the runtime with the extension, then
+         bind. *)
+      let pl = Eval.plan ~forcible:is_forcible sel c ~scratch_base:(Circuit.max_id c) order in
       let rt = Runtime.create ~extra_slots:(Eval.plan_scratch pl) c in
       let sweeps, instrs = Eval.realize rt pl in
       (* Narrow registers commit through one op_copy segment; wide ones —
@@ -123,6 +125,9 @@ let create ?(backend = Eval.default) ?(forcible = []) c =
            List.map (fun w -> Runtime.write_committer rt mi w) m.write_ports)
     |> List.concat |> Array.of_list
   in
+  let counters = Counters.create () in
+  counters.Counters.backend <- Eval.effective_string sel;
+  counters.Counters.native_cache <- sel.Eval.cache;
   {
     rt;
     evals;
@@ -134,7 +139,7 @@ let create ?(backend = Eval.default) ?(forcible = []) c =
     reg_sweep;
     resets = reset_groups c rt is_forcible;
     forcible = fset;
-    counters = Counters.create ();
+    counters;
   }
 
 let poke t id v = ignore (Runtime.poke t.rt id v)

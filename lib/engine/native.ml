@@ -1,0 +1,263 @@
+(* Ahead-of-time native backend: emit C for a circuit's expression nodes
+   (Emit_c), compile it to a shared object, dlopen it, and expose the
+   per-node functions as evaluators over the runtime's arenas (narrow
+   int arena plus the wide Bits.t arena, whose limb words the generated
+   code mutates in place).
+
+   Compiled objects are cached on disk keyed by a digest of the canonical
+   IR text (the same serialization Gsim.Compile hashes) plus the emitter
+   ABI version, and memoized in-process so concurrent daemon workers and
+   repeated jobs reuse one warm handle without touching the compiler or
+   the filesystem. *)
+
+open Gsim_ir
+module Emit_c = Gsim_emit.Emit_c
+
+external dlopen_so : string -> nativeint = "gsim_native_dlopen"
+external load_table : nativeint -> int -> int array = "gsim_native_load_table"
+
+(* [@@noalloc] keeps every domain out of safepoints while C runs, so the
+   raw arena pointers the stubs pass stay valid for the whole call. *)
+external call : int -> int array -> Bytes.t -> Gsim_bits.Bits.t array -> int
+  = "gsim_native_call"
+  [@@noalloc]
+
+external run : int array -> int array -> Bytes.t -> Gsim_bits.Bits.t array -> int
+  = "gsim_native_run"
+  [@@noalloc]
+
+type unit_t = {
+  digest : string;
+  so_path : string;
+  c_path : string;
+  fns : int array;  (* per node id: tagged function pointer, 0 = none *)
+  compiled_nodes : int;
+}
+
+type origin = Memo_hit | Disk_hit | Compiled
+
+(* ------------------------------------------------------------------ *)
+(* Environment switches                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* GSIM_NATIVE=off disables the backend entirely (tests and the
+   no-compiler CI job use it to exercise the fallback ladder).
+   GSIM_CC overrides compiler discovery; both are re-read on every call
+   so a test can flip them at runtime. *)
+let enabled () =
+  match Sys.getenv_opt "GSIM_NATIVE" with
+  | Some ("off" | "0" | "no" | "false") -> false
+  | _ -> true
+
+let path_search exe =
+  match Sys.getenv_opt "PATH" with
+  | None -> None
+  | Some path ->
+    String.split_on_char ':' path
+    |> List.find_map (fun dir ->
+           if dir = "" then None
+           else
+             let p = Filename.concat dir exe in
+             if Sys.file_exists p then Some p else None)
+
+(* Discovery result for the default (no GSIM_CC) case, memoized: probing
+   PATH once per process is enough. *)
+let discovered = ref None
+
+let find_compiler () =
+  match Sys.getenv_opt "GSIM_CC" with
+  | Some "" -> None
+  | Some cc -> Some cc
+  | None -> (
+    match !discovered with
+    | Some r -> r
+    | None ->
+      let r = List.find_map path_search [ "cc"; "gcc"; "clang" ] in
+      discovered := Some r;
+      r)
+
+let available () = enabled () && find_compiler () <> None
+
+(* ------------------------------------------------------------------ *)
+(* Disk cache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cache_dir () =
+  match Sys.getenv_opt "GSIM_NATIVE_CACHE" with
+  | Some d when d <> "" -> d
+  | _ -> (
+    let sub base = Filename.concat base (Filename.concat "gsim" "native") in
+    match Sys.getenv_opt "XDG_CACHE_HOME" with
+    | Some d when d <> "" -> sub d
+    | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some h when h <> "" -> sub (Filename.concat h ".cache")
+      | _ -> Filename.concat (Filename.get_temp_dir_name ()) "gsim-native"))
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let digest_of c =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "gsim-native-abi%d\n%s" Emit_c.abi_version (Ir_text.to_string c)))
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  mutable compiles : int;
+  mutable disk_hits : int;
+  mutable memo_hits : int;
+  mutable failures : int;
+}
+
+let stats = { compiles = 0; disk_hits = 0; memo_hits = 0; failures = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Compile + load                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let compile_so ~cc ~c_path ~so_path =
+  (* Build into a pid-unique temp and rename: concurrent processes
+     compiling the same digest race benignly (rename is atomic and both
+     objects are identical). *)
+  let tmp = Printf.sprintf "%s.%d.tmp" so_path (Unix.getpid ()) in
+  let log = tmp ^ ".log" in
+  let cmd =
+    Printf.sprintf "%s -O2 -shared -fPIC -o %s %s 2> %s" cc (Filename.quote tmp)
+      (Filename.quote c_path) (Filename.quote log)
+  in
+  let rc = Sys.command cmd in
+  let diag =
+    if rc = 0 then ""
+    else
+      try
+        let ic = open_in log in
+        let line = try input_line ic with End_of_file -> "" in
+        close_in ic;
+        line
+      with Sys_error _ -> ""
+  in
+  (try Sys.remove log with Sys_error _ -> ());
+  if rc <> 0 then begin
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Error (Printf.sprintf "cc exited %d%s" rc (if diag = "" then "" else ": " ^ diag))
+  end
+  else begin
+    Sys.rename tmp so_path;
+    Ok ()
+  end
+
+let bind_so ~digest ~so_path ~c_path ~compiled_nodes =
+  let handle = dlopen_so so_path in
+  let fns = load_table handle Emit_c.abi_version in
+  { digest; so_path; c_path; fns; compiled_nodes }
+
+(* Process-wide memo: digest -> unit.  Negative results (compile/bind
+   failures) are memoized too, so a broken compiler is probed once per
+   circuit rather than once per engine instance. *)
+let memo : (string, unit_t option) Hashtbl.t = Hashtbl.create 16
+let memo_lock = Mutex.create ()
+
+let load_uncached c digest =
+  match find_compiler () with
+  | None -> None
+  | Some cc ->
+    let dir = cache_dir () in
+    (try mkdir_p dir with Unix.Unix_error _ | Sys_error _ -> ());
+    let so_path = Filename.concat dir (digest ^ ".so") in
+    let c_path = Filename.concat dir (digest ^ ".c") in
+    if Sys.file_exists so_path then begin
+      (* Skip emission entirely: only the per-node gate is needed to
+         report how many nodes the cached object covers. *)
+      let compiled_nodes =
+        Circuit.fold_nodes c ~init:0 ~f:(fun acc nd ->
+            if Emit_c.compilable c nd then acc + 1 else acc)
+      in
+      try
+        let u = bind_so ~digest ~so_path ~c_path ~compiled_nodes in
+        stats.disk_hits <- stats.disk_hits + 1;
+        Some u
+      with Failure msg ->
+        stats.failures <- stats.failures + 1;
+        prerr_endline ("gsim: native backend: stale cache object: " ^ msg);
+        None
+    end
+    else begin
+      let r = Emit_c.emit c in
+      try
+        write_file c_path r.Emit_c.source;
+        match compile_so ~cc ~c_path ~so_path with
+        | Error msg ->
+          stats.failures <- stats.failures + 1;
+          prerr_endline ("gsim: native backend: " ^ msg);
+          None
+        | Ok () ->
+          let u =
+            bind_so ~digest ~so_path ~c_path ~compiled_nodes:r.Emit_c.compiled_nodes
+          in
+          stats.compiles <- stats.compiles + 1;
+          Some u
+      with
+      | Failure msg | Sys_error msg ->
+        stats.failures <- stats.failures + 1;
+        prerr_endline ("gsim: native backend: " ^ msg);
+        None
+    end
+
+let load c =
+  if not (enabled ()) then None
+  else
+    let digest = digest_of c in
+    Mutex.protect memo_lock (fun () ->
+        match Hashtbl.find_opt memo digest with
+        | Some (Some u) ->
+          stats.memo_hits <- stats.memo_hits + 1;
+          Some (u, Memo_hit)
+        | Some None -> None
+        | None ->
+          let first_compile = stats.compiles in
+          let u = load_uncached c digest in
+          Hashtbl.replace memo digest u;
+          (match u with
+           | Some u ->
+             Some (u, if stats.compiles > first_compile then Compiled else Disk_hit)
+           | None -> None))
+
+(* ------------------------------------------------------------------ *)
+(* Evaluator surface                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let has_fn u id = id < Array.length u.fns && u.fns.(id) <> 0
+
+let node_evaluator u rt id =
+  let fn = u.fns.(id) in
+  if fn = 0 then invalid_arg "Native.node_evaluator: node has no native function";
+  let arena = Runtime.narrow_values rt in
+  let wflat = Runtime.wide_flat rt in
+  let wide = Runtime.wide_values rt in
+  fun () -> call fn arena wflat wide <> 0
+
+let run_step u rt ids =
+  let fns =
+    Array.map
+      (fun id ->
+        let fn = u.fns.(id) in
+        if fn = 0 then invalid_arg "Native.run_step: node has no native function";
+        fn)
+      ids
+  in
+  let arena = Runtime.narrow_values rt in
+  let wflat = Runtime.wide_flat rt in
+  let wide = Runtime.wide_values rt in
+  fun () -> run fns arena wflat wide

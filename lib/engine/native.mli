@@ -1,0 +1,74 @@
+(** Ahead-of-time native backend.
+
+    Serializes a circuit's narrow expression nodes to C
+    ({!Gsim_emit.Emit_c}), shells out to [cc -O2 -shared -fPIC], binds
+    the resulting shared object via [dlopen], and exposes each node's
+    generated function as an evaluator over the runtime's narrow arena —
+    bit-identical to the interpreted backends by construction.
+
+    Compiled objects are cached on disk keyed by the MD5 of the canonical
+    IR text (the same serialization {!Gsim.Compile} hashes) plus the
+    emitter's ABI version, and memoized in-process: daemon workers and
+    repeated jobs on the same circuit share one warm handle with no
+    compiler or filesystem traffic.  Handles are never [dlclose]d (live
+    evaluators capture table entries); the memo bounds the leak to one
+    handle per distinct circuit per process.
+
+    Environment switches, re-read on every call so tests can flip them:
+    - [GSIM_NATIVE=off] disables the backend (forces the fallback ladder);
+    - [GSIM_CC] overrides compiler discovery (default: first of [cc],
+      [gcc], [clang] on [PATH]);
+    - [GSIM_NATIVE_CACHE] overrides the cache directory (default:
+      [$XDG_CACHE_HOME/gsim/native], then [$HOME/.cache/gsim/native],
+      then a temp-dir fallback). *)
+
+open Gsim_ir
+
+type unit_t = {
+  digest : string;         (** cache key: MD5 of ABI tag + canonical IR *)
+  so_path : string;        (** cached shared object *)
+  c_path : string;         (** generated source, kept for inspection/CI *)
+  fns : int array;         (** per node id: tagged fn pointer, 0 = none *)
+  compiled_nodes : int;
+}
+
+(** How {!load} satisfied the request: in-process memo, on-disk object
+    (no [cc] run), or a fresh compile. *)
+type origin = Memo_hit | Disk_hit | Compiled
+
+val available : unit -> bool
+(** The backend can run: not disabled via [GSIM_NATIVE=off] and a C
+    compiler is present. *)
+
+val cache_dir : unit -> string
+
+val load : Circuit.t -> (unit_t * origin) option
+(** Emit, compile (or reuse a cached object), and bind the circuit's
+    native unit.  [None] when the backend is disabled, no compiler is
+    found, or compilation/binding fails — callers degrade to an
+    interpreted backend.  Failures print a one-line diagnostic and are
+    memoized per circuit, so a broken toolchain is probed once. *)
+
+val has_fn : unit_t -> int -> bool
+(** The unit contains a generated function for this node id. *)
+
+val node_evaluator : unit_t -> Runtime.t -> int -> unit -> bool
+(** Evaluate one node through its generated function: stores the result
+    in the node's arena slot and reports change — a drop-in replacement
+    for {!Runtime.node_evaluator}.  Raises [Invalid_argument] if the
+    node has no native function (check {!has_fn}). *)
+
+val run_step : unit_t -> Runtime.t -> int array -> unit -> int
+(** One step evaluating a dense run of node ids back-to-back inside C
+    (a single stub call), returning the changed count — the native
+    analogue of a fused bytecode segment. *)
+
+type stats = {
+  mutable compiles : int;
+  mutable disk_hits : int;
+  mutable memo_hits : int;
+  mutable failures : int;
+}
+
+val stats : stats
+(** Process-wide counters, exposed for tests and benches. *)

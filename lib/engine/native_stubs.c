@@ -1,0 +1,102 @@
+/* Stubs binding the native backend's generated .so files.
+ *
+ * The generated code (lib/emit/emit_c.ml) exports a per-node-id table of
+ * `long (*)(long *, long *, long *)` functions operating on the
+ * runtime's three arenas: the narrow int arena, the wide flat mirror
+ * (a Bytes.t of raw 64-bit limbs at compile-time offsets) and the
+ * wide Bits.t arena
+ * (whose limb words the generated code rewrites on change, keeping the
+ * mirror and the boxed view identical).  Passing raw heap
+ * pointers is sound because the calls are [@@noalloc]: no safepoint is
+ * reached while C runs, so neither arena moves.  Function pointers are
+ * at least 2-aligned on every supported target, so a pointer can be
+ * smuggled through an OCaml `int array` as the word `ptr | 1` — a valid
+ * immediate that needs no boxing and no finalizer.  The hot-path stubs
+ * below recover the pointer with `word & ~1` and call it; they are safe
+ * to run from multiple domains on disjoint arena regions.
+ *
+ * Handles are never dlclose()d: realized evaluators capture table
+ * entries, and a unit stays reusable for the life of the process (the
+ * per-circuit memo in native.ml bounds the leak to one handle per
+ * distinct circuit). */
+
+#include <dlfcn.h>
+#include <string.h>
+
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+
+typedef long (*gsim_fn_t)(long *, long *, long *);
+
+CAMLprim value gsim_native_dlopen(value path)
+{
+  CAMLparam1(path);
+  /* Copy the path out of the heap: caml_failwith below may allocate. */
+  char buf[4096];
+  strncpy(buf, String_val(path), sizeof(buf) - 1);
+  buf[sizeof(buf) - 1] = '\0';
+  void *h = dlopen(buf, RTLD_NOW | RTLD_LOCAL);
+  if (h == NULL) {
+    const char *err = dlerror();
+    caml_failwith(err ? err : "dlopen failed");
+  }
+  CAMLreturn(caml_copy_nativeint((intnat)h));
+}
+
+/* Load the generated table into an OCaml int array: element i is the
+   tagged function pointer `fn | 1`, or Val_long(0) when node i has no
+   native function.  Fails (-> fallback in native.ml) on a missing
+   symbol, an ABI version mismatch, or a misaligned function pointer. */
+CAMLprim value gsim_native_load_table(value handle, value abi_version)
+{
+  CAMLparam2(handle, abi_version);
+  CAMLlocal1(arr);
+  void *h = (void *)Nativeint_val(handle);
+  long *abi = (long *)dlsym(h, "gsim_abi_version");
+  if (abi == NULL) caml_failwith("gsim_table: missing gsim_abi_version");
+  if (*abi != Long_val(abi_version)) caml_failwith("gsim_table: ABI version mismatch");
+  long *count = (long *)dlsym(h, "gsim_node_count");
+  if (count == NULL) caml_failwith("gsim_table: missing gsim_node_count");
+  gsim_fn_t *table = (gsim_fn_t *)dlsym(h, "gsim_table");
+  if (table == NULL) caml_failwith("gsim_table: missing gsim_table");
+  long n = *count;
+  if (n < 0) caml_failwith("gsim_table: negative node count");
+  arr = caml_alloc(n, 0);  /* n longs, all immediates: tag 0 array of ints */
+  for (long i = 0; i < n; i++) {
+    gsim_fn_t fn = table[i];
+    if (fn == NULL) {
+      Field(arr, i) = Val_long(0);
+    } else {
+      if (((uintnat)fn & 1) != 0)
+        caml_failwith("gsim_table: misaligned function pointer");
+      Field(arr, i) = (value)((uintnat)fn | 1);
+    }
+  }
+  CAMLreturn(arr);
+}
+
+/* Evaluate one node: `fnw` is a tagged function pointer from the table
+   (must be nonzero as an OCaml int); `wflat` is the flat limb mirror
+   (a Bytes.t of raw 64-bit limbs), `wide` the Bits.t arena. */
+CAMLprim value gsim_native_call(value fnw, value arena, value wflat, value wide)
+{
+  gsim_fn_t fn = (gsim_fn_t)((uintnat)fnw & ~(uintnat)1);
+  return Val_long(fn((long *)arena, (long *)Bytes_val(wflat), (long *)wide));
+}
+
+/* Evaluate a dense run of nodes: `fns` is an int array of tagged
+   function pointers; returns the summed changed count. */
+CAMLprim value gsim_native_run(value fns, value arena, value wflat, value wide)
+{
+  long total = 0;
+  mlsize_t n = Wosize_val(fns);
+  long *a = (long *)arena;
+  long *wf = (long *)Bytes_val(wflat);
+  long *wd = (long *)wide;
+  value *f = (value *)fns;
+  for (mlsize_t i = 0; i < n; i++)
+    total += ((gsim_fn_t)((uintnat)f[i] & ~(uintnat)1))(a, wf, wd);
+  return Val_long(total);
+}

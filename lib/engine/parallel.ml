@@ -124,9 +124,10 @@ let create ?(backend = Eval.default) ?(forcible = []) ~threads c =
       | _ -> Hashtbl.replace fset id ())
     forcible;
   let is_forcible id = Hashtbl.mem fset id in
+  let sel = Eval.select backend c in
   let instrs_per_cycle = ref 0 in
   let rt, slices, sweep_slices, reg_copies, reg_sweep =
-    match backend with
+    match sel.Eval.effective with
     | `Closures ->
       let rt = Runtime.create c in
       let copier (r : Circuit.register) =
@@ -140,7 +141,7 @@ let create ?(backend = Eval.default) ?(forcible = []) ~threads c =
               Array.of_list
                 (List.map
                    (fun id ->
-                     fst (Eval.node_evaluator ~backend:`Closures ~forcible:is_forcible
+                     fst (Eval.node_evaluator ~sel ~forcible:is_forcible
                             rt (Circuit.node c id)))
                    bucket)
             in
@@ -149,14 +150,16 @@ let create ?(backend = Eval.default) ?(forcible = []) ~threads c =
         [||],
         registers |> List.map copier |> Array.of_list,
         [||] )
-    | `Bytecode ->
+    | `Bytecode | `Native ->
       (* Split each level's ids across workers first, then fuse each
          worker's run: same-level nodes never consume each other, and
          cross-level values are committed before the level barrier, so
-         every operand a segment reads from the arena is stable while it
-         runs — exactly the access pattern of the closure backend.  Each
-         (level, worker) plan claims its own disjoint arena-extension
-         region, so workers never write a shared slot. *)
+         every operand a segment (or native run) reads from the arena is
+         stable while it runs — exactly the access pattern of the closure
+         backend.  Each (level, worker) plan claims its own disjoint
+         arena-extension region, so workers never write a shared slot;
+         native functions only write their own node's slot and never
+         allocate, so they are safe from any domain. *)
       let off = ref 0 in
       let scratch_base = Circuit.max_id c in
       let plans =
@@ -164,7 +167,7 @@ let create ?(backend = Eval.default) ?(forcible = []) ~threads c =
           (fun bucket ->
             let ids = Array.of_list bucket in
             Array.init threads (fun w ->
-                let pl = Eval.plan ~forcible:is_forcible c
+                let pl = Eval.plan ~forcible:is_forcible sel c
                     ~scratch_base:(scratch_base + !off)
                     (split_slice ids threads w)
                 in
@@ -237,6 +240,9 @@ let create ?(backend = Eval.default) ?(forcible = []) ~threads c =
       groups []
     |> Array.of_list
   in
+  let counters = Counters.create () in
+  counters.Counters.backend <- Eval.effective_string sel;
+  counters.Counters.native_cache <- sel.Eval.cache;
   let t =
     {
       rt;
@@ -249,7 +255,7 @@ let create ?(backend = Eval.default) ?(forcible = []) ~threads c =
       reg_sweep;
       resets;
       forcible = fset;
-      counters = Counters.create ();
+      counters;
       total_evals;
       instrs_per_cycle = !instrs_per_cycle;
       barrier = Barrier.create threads;

@@ -6,6 +6,14 @@ type t = {
   narrow : int array;
   wide : Bits.t array;
   is_wide : bool array;
+  (* Flat mirror of the wide arena: every wide node owns a contiguous
+     region of raw little-endian 64-bit limbs at offset [woff.(id)]
+     (layout from [Emit_c.wide_offsets]; a [Bytes.t] is never scanned
+     by the GC, so the limbs carry no tag bits).  The native backend
+     loads wide operands from here by direct indexed reads; [set_wide]
+     keeps it identical to the boxed slots. *)
+  woff : int array;
+  wflat : Bytes.t;
   mem_narrow : int array array;
   mem_wide : Bits.t array array;
   mem_is_wide : bool array;
@@ -21,6 +29,18 @@ type t = {
 let circuit t = t.c
 
 let wide_node w = w > 62
+
+(* The one store path for wide slots: blit into the slot's permanent
+   buffer and mirror the limbs into the flat arena.  Keeping both views
+   in lockstep is what lets generated code read wide operands without
+   chasing the boxed representation. *)
+let set_wide t id v =
+  Bits.unsafe_blit ~src:v ~dst:t.wide.(id);
+  let off = t.woff.(id) in
+  let wflat = t.wflat in
+  for j = 0 to ((Bits.width v + 63) / 64) - 1 do
+    Bytes.set_int64_le wflat ((off + j) * 8) (Bits.limb64 v j)
+  done
 
 let create ?(extra_slots = 0) c =
   let n = Circuit.max_id c in
@@ -50,12 +70,15 @@ let create ?(extra_slots = 0) c =
         if wide_node m.mem_width then Array.make m.depth (Bits.zero m.mem_width) else [||])
       mems
   in
+  let woff, wlen = Gsim_emit.Emit_c.wide_offsets c in
   let t =
     {
       c;
       narrow;
       wide;
       is_wide;
+      woff;
+      wflat = Bytes.make (max (8 * wlen) 8) '\000';
       mem_narrow;
       mem_wide;
       mem_is_wide;
@@ -67,7 +90,7 @@ let create ?(extra_slots = 0) c =
   in
   List.iter
     (fun (r : Circuit.register) ->
-      if is_wide.(r.read) then wide.(r.read) <- r.init
+      if is_wide.(r.read) then set_wide t r.read r.init
       else narrow.(r.read) <- Bits.to_packed r.init)
     (Circuit.registers c);
   t
@@ -76,10 +99,23 @@ let node_width t id = (Circuit.node t.c id).Circuit.width
 
 let narrow_values t = t.narrow
 
+let wide_values t = t.wide
+
+let wide_flat t = t.wflat
+
 let is_wide t id = t.is_wide.(id)
 
+(* Wide slots follow a stable-buffer discipline: the object placed in a
+   slot at [create] is never replaced, and every store blits limbs into
+   it ([Bits.unsafe_blit]).  The native backend's generated code mutates
+   the same buffers in place, stores allocate nothing, and two slots can
+   never come to share a limb array (a compiled [Var]/[Mux] closure can
+   return another slot's object as the value to store — the blit copies
+   it out).  [peek] hands out a copy: a caller snapshotting values across
+   cycles (oracle traces, checkpoints) must not watch the buffer move
+   under it. *)
 let peek t id =
-  if t.is_wide.(id) then t.wide.(id)
+  if t.is_wide.(id) then Bits.copy t.wide.(id)
   else Bits.unsafe_of_packed ~width:(node_width t id) t.narrow.(id)
 
 let override_wide t id v =
@@ -99,7 +135,7 @@ let poke t id v =
   if t.is_wide.(id) then begin
     let v = if t.forced.(id) then override_wide t id v else v in
     let changed = not (Bits.equal t.wide.(id) v) in
-    t.wide.(id) <- v;
+    if changed then set_wide t id v;
     changed
   end
   else begin
@@ -133,7 +169,7 @@ let poke_register t id v =
    | _ -> invalid_arg "Runtime.poke_register: not a register read node");
   if Bits.width v <> nd.Circuit.width then invalid_arg "Runtime.poke_register: width";
   if t.is_wide.(id) then
-    t.wide.(id) <- (if t.forced.(id) then override_wide t id v else v)
+    set_wide t id (if t.forced.(id) then override_wide t id v else v)
   else
     let packed = Bits.to_packed v in
     t.narrow.(id) <- (if t.forced.(id) then override_narrow t id packed else packed)
@@ -160,8 +196,9 @@ let force t ?mask id v =
     Hashtbl.replace t.fwide id (m, Bits.logand v m);
     let cur = t.wide.(id) in
     let nv = override_wide t id cur in
-    t.wide.(id) <- nv;
-    not (Bits.equal nv cur)
+    let changed = not (Bits.equal nv cur) in
+    if changed then set_wide t id nv;
+    changed
   end
   else begin
     let mp = Bits.to_packed m in
@@ -193,10 +230,11 @@ let guard t id step =
     fun () ->
       if not forced.(id) then step ()
       else begin
-        let old = wide.(id) in
+        (* [step] blits the slot buffer in place; snapshot first. *)
+        let old = Bits.copy wide.(id) in
         ignore (step ());
         let nv = override_wide t id wide.(id) in
-        wide.(id) <- nv;
+        set_wide t id nv;
         not (Bits.equal nv old)
       end
   end
@@ -406,7 +444,7 @@ let store_and_compare t id = function
       let v = f () in
       if Bits.equal v wide.(id) then false
       else begin
-        wide.(id) <- v;
+        set_wide t id v;
         true
       end
 
@@ -446,7 +484,7 @@ let node_evaluator t (nd : Circuit.node) =
         let v = if enabled () && a < depth then contents.(a) else zero in
         if Bits.equal v wide.(id) then false
         else begin
-          wide.(id) <- v;
+          set_wide t id v;
           true
         end
     end
@@ -472,7 +510,7 @@ let reg_copier t (r : Circuit.register) =
       let v = wide.(r.next) in
       if Bits.equal v wide.(r.read) then false
       else begin
-        wide.(r.read) <- v;
+        set_wide t r.read v;
         true
       end
   end
@@ -498,7 +536,7 @@ let reset_applier t (r : Circuit.register) =
       fun () ->
         if Bits.equal v wide.(r.read) then false
         else begin
-          wide.(r.read) <- v;
+          set_wide t r.read v;
           true
         end
     end
@@ -540,7 +578,7 @@ let write_committer t mi (w : Circuit.write_port) =
           let v = read_data () in
           if Bits.equal contents.(a) v then false
           else begin
-            contents.(a) <- v;
+            contents.(a) <- Bits.copy v;
             true
           end
         end

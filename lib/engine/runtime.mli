@@ -69,6 +69,20 @@ val narrow_values : t -> int array
 val is_wide : t -> int -> bool
 (** Whether the node's value lives in the wide (boxed) arena. *)
 
+val wide_values : t -> Bits.t array
+(** The raw wide arena itself (indexed by node id), not a copy.  Engine
+    internals only: the {!Native} backend passes it to generated code,
+    which mutates the stored vectors' limbs in place.  Narrow ids hold a
+    shared placeholder — never read them through this array. *)
+
+val wide_flat : t -> Bytes.t
+(** The flat mirror of the wide arena: every wide node's value stored
+    as raw little-endian 64-bit limbs at the offset assigned by
+    [Gsim_emit.Emit_c.wide_offsets].  Engine internals only: the
+    {!Native} backend passes it to generated code, whose wide loads are
+    direct indexed reads from it; all runtime store paths keep it
+    identical to the boxed slots. *)
+
 val data_size_bytes : t -> int
 (** Bytes of mutable simulation state excluding memory contents (the
     paper's Table IV "data size" convention, which also excludes the main

@@ -35,18 +35,24 @@ let setup_of_name ?level name =
     | None -> Printf.ksprintf failwith "fuzz: unknown backend in %S" name)
   | _ -> Printf.ksprintf failwith "fuzz: bad setup name %S (want engine+backend)" name
 
+(* The native backend joins the sweep only when a C compiler is present
+   (two presets are enough: full-cycle covers the plan path, gsim the
+   per-node activity path).  Without [cc] the matrix shrinks cleanly
+   rather than filling the campaign with fallback-degraded subjects. *)
 let default_setups =
+  let make engine backend =
+    let preset = preset_of_engine engine in
+    { s_name = Printf.sprintf "%s+%s" engine (Eval.to_string backend);
+      s_engine = engine;
+      s_backend = backend;
+      s_level = preset.Gsim.opt_level }
+  in
   List.concat_map
-    (fun engine ->
-      List.map
-        (fun backend ->
-          let preset = preset_of_engine engine in
-          { s_name = Printf.sprintf "%s+%s" engine (Eval.to_string backend);
-            s_engine = engine;
-            s_backend = backend;
-            s_level = preset.Gsim.opt_level })
-        [ `Bytecode; `Closures ])
+    (fun engine -> List.map (make engine) [ `Bytecode; `Closures ])
     [ "verilator"; "arcilator"; "essent"; "gsim" ]
+  @ (if Gsim_engine.Native.available () then
+       [ make "verilator" `Native; make "gsim" `Native ]
+     else [])
 
 let setup_config ?level s =
   let preset = preset_of_engine s.s_engine in
@@ -185,7 +191,11 @@ let diagnose ~watchdog ~shrink_budget setup circuit steps failure =
       with _ -> false)
   in
   let alt_backend =
-    match setup.s_backend with `Bytecode -> `Closures | `Closures -> `Bytecode
+    (* The bisection's alternate must dodge the suspect layer entirely,
+       so every compiled backend flips to closures. *)
+    match setup.s_backend with
+    | `Bytecode | `Native | `Auto -> `Closures
+    | `Closures -> `Bytecode
   in
   let alt_setup =
     { setup with

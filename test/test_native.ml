@@ -1,0 +1,394 @@
+(* Native (AOT-compiled C) backend: emitted code must be bit-identical to
+   the interpreted backends on every engine that can select it, over
+   hand-written signed div/rem corners, wide-limb mixes, and the same
+   120-circuit torture sweep the bytecode backend passes.  Also pins the
+   .so cache behaviour (miss on first compile, hit on reuse,
+   invalidation on circuit-hash change), the missing-compiler fallback
+   ladder, the auto heuristic, and force/release guarded-slot semantics
+   under native evaluation. *)
+
+module Bits = Gsim_bits.Bits
+module Expr = Gsim_ir.Expr
+module Circuit = Gsim_ir.Circuit
+module Reference = Gsim_ir.Reference
+module Rand_circuit = Gsim_ir.Rand_circuit
+module Partition = Gsim_partition.Partition
+module Sim = Gsim_engine.Sim
+module Counters = Gsim_engine.Counters
+module Eval = Gsim_engine.Eval
+module Native = Gsim_engine.Native
+module Full_cycle = Gsim_engine.Full_cycle
+module Activity = Gsim_engine.Activity
+module Parallel = Gsim_engine.Parallel
+module Emit_c = Gsim_emit.Emit_c
+module Collect = Gsim_coverage.Collect
+module Oracle = Gsim_verify.Oracle
+
+let b ~w n = Bits.of_int ~width:w n
+
+(* Isolate the suite from any user-level cache so miss/hit assertions are
+   deterministic; the memo inside Native is per-process and starts
+   empty. *)
+let () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gsim-native-test-%d" (Unix.getpid ()))
+  in
+  Unix.putenv "GSIM_NATIVE_CACHE" dir
+
+let have_cc = Native.available ()
+
+let skip_without_cc () =
+  if not have_cc then Alcotest.skip ()
+
+(* --- signed div/rem corners ------------------------------------------- *)
+
+let divrem_circuit ~w =
+  let c = Circuit.create ~name:(Printf.sprintf "divrem%d" w) () in
+  let a = Circuit.add_input c ~name:"a" ~width:w in
+  let d = Circuit.add_input c ~name:"d" ~width:w in
+  let va = Expr.var ~width:w a.Circuit.id and vd = Expr.var ~width:w d.Circuit.id in
+  let q = Circuit.add_logic c ~name:"q" (Expr.binop Expr.Div_signed va vd) in
+  let r = Circuit.add_logic c ~name:"r" (Expr.binop Expr.Rem_signed va vd) in
+  let uq = Circuit.add_logic c ~name:"uq" (Expr.binop Expr.Div va vd) in
+  let ur = Circuit.add_logic c ~name:"ur" (Expr.binop Expr.Rem va vd) in
+  List.iter (fun (n : Circuit.node) -> Circuit.mark_output c n.Circuit.id) [ q; r; uq; ur ];
+  (c, a.Circuit.id, d.Circuit.id)
+
+let divrem_corners w =
+  let minv = 1 lsl (w - 1) in
+  let m1 = (1 lsl w) - 1 in
+  [ 0; 1; m1; minv; minv lor 1; m1 lxor minv ]
+
+let test_signed_divrem ~w () =
+  skip_without_cc ();
+  let c, a, d = divrem_circuit ~w in
+  let corners = divrem_corners w in
+  let stimulus =
+    List.concat_map (fun x -> List.map (fun y -> [ (a, b ~w x); (d, b ~w y) ]) corners) corners
+    |> Array.of_list
+  in
+  let observe = List.map (fun (n : Circuit.node) -> n.Circuit.id) (Circuit.outputs c) in
+  let expected = Sim.trace (Sim.of_reference (Reference.create c)) ~observe ~stimulus in
+  let t = Full_cycle.create ~backend:`Native c in
+  Alcotest.(check string)
+    "native actually ran" "native" (Full_cycle.counters t).Counters.backend;
+  let got = Sim.trace (Full_cycle.sim t) ~observe ~stimulus in
+  if not (Sim.equal_traces expected got) then
+    Alcotest.failf "signed div/rem (w=%d) diverges under native" w
+
+(* --- differential torture: closures vs native ------------------------- *)
+
+let engines backend :
+    (string * (Circuit.t -> Sim.t * (unit -> unit))) list =
+  [
+    ("full_cycle", fun c -> (Full_cycle.sim (Full_cycle.create ~backend c), fun () -> ()));
+    ( "essent_mffc",
+      fun c ->
+        let p = Partition.mffc c ~max_size:12 in
+        ( Activity.sim ~name:"essent_mffc"
+            (Activity.create ~config:Activity.essent_config ~backend c p),
+          fun () -> () ) );
+    ( "gsim",
+      fun c ->
+        let p = Partition.gsim c ~max_size:24 in
+        ( Activity.sim ~name:"gsim"
+            (Activity.create ~config:Activity.gsim_config ~backend c p),
+          fun () -> () ) );
+  ]
+
+let parallel2 backend c =
+  let t = Parallel.create ~backend ~threads:2 c in
+  (Parallel.sim t, fun () -> Parallel.destroy t)
+
+let oracle_subjects backend makes =
+  List.map
+    (fun (name, make) ->
+      { Oracle.subject_name =
+          Printf.sprintf "%s/%s" name (Eval.to_string backend);
+        build = make })
+    makes
+
+(* Same seeds and generator parameters as test_bytecode's torture: every
+   4th seed mixes wide (>62-bit) nodes in, exercising the per-node
+   closure fallback interleaved with native runs. *)
+let torture_one ~seed ~with_parallel =
+  let st = Random.State.make [| seed; 3111 |] in
+  let cfg =
+    {
+      Rand_circuit.default_config with
+      Rand_circuit.logic_nodes = 25 + (seed mod 40);
+      max_width = (if seed mod 4 = 0 then 120 else 62);
+    }
+  in
+  let c = Rand_circuit.generate st cfg in
+  let stimulus = Rand_circuit.random_stimulus st c ~cycles:12 in
+  let steps = Oracle.steps_of_stimulus stimulus in
+  let observe = Collect.default_observed c in
+  let subjects backend =
+    oracle_subjects backend
+      (engines backend
+      @ if with_parallel then [ ("parallel2", parallel2 backend) ] else [])
+  in
+  let outcomes =
+    Oracle.run ~observe c steps (subjects `Closures @ subjects `Native)
+  in
+  (match Oracle.first_failure outcomes with
+   | Some (s, f) ->
+     Alcotest.failf "seed %d: %s: %s" seed s (Oracle.failure_to_string f)
+   | None -> ());
+  (* The [changed] counters must also be backend-independent. *)
+  let changed name =
+    match
+      List.find_opt (fun (o : Oracle.outcome) -> o.Oracle.o_subject = name) outcomes
+    with
+    | Some { Oracle.o_counters = Some ct; _ } -> ct.Counters.changed
+    | _ -> Alcotest.failf "seed %d: no counters for %s" seed name
+  in
+  List.iter
+    (fun (name, _) ->
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: %s: changed counter" seed name)
+        (changed (name ^ "/closures"))
+        (changed (name ^ "/native")))
+    (engines `Closures
+    @ if with_parallel then [ ("parallel2", parallel2 `Closures) ] else [])
+
+let test_torture () =
+  skip_without_cc ();
+  for seed = 0 to 119 do
+    torture_one ~seed ~with_parallel:(seed mod 12 = 0)
+  done
+
+(* --- force/release under native --------------------------------------- *)
+
+let force_engines backend targets :
+    (string * (Circuit.t -> Sim.t * (unit -> unit))) list =
+  [
+    ( "full_cycle",
+      fun c -> (Full_cycle.sim (Full_cycle.create ~backend ~forcible:targets c), fun () -> ()) );
+    ( "gsim",
+      fun c ->
+        let p = Partition.gsim c ~max_size:24 in
+        ( Activity.sim ~name:"gsim"
+            (Activity.create ~config:Activity.gsim_config ~backend ~forcible:targets c p),
+          fun () -> () ) );
+    ( "parallel2",
+      fun c ->
+        let t = Parallel.create ~backend ~forcible:targets ~threads:2 c in
+        (Parallel.sim t, fun () -> Parallel.destroy t) );
+  ]
+
+let torture_force_one ~seed =
+  let st = Random.State.make [| seed; 9021 |] in
+  let cfg =
+    {
+      Rand_circuit.default_config with
+      Rand_circuit.logic_nodes = 20 + (seed mod 25);
+      max_width = (if seed mod 5 = 0 then 100 else 62);
+    }
+  in
+  let c = Rand_circuit.generate st cfg in
+  let cycles = 14 in
+  let stimulus = Rand_circuit.random_stimulus st c ~cycles in
+  let candidates =
+    Circuit.fold_nodes c ~init:[] ~f:(fun acc n ->
+        match n.Circuit.kind with
+        | Circuit.Logic | Circuit.Reg_read _ -> n.Circuit.id :: acc
+        | _ -> acc)
+    |> Array.of_list
+  in
+  let targets =
+    List.init
+      (min 4 (Array.length candidates))
+      (fun _ -> candidates.(Random.State.int st (Array.length candidates)))
+    |> List.sort_uniq compare
+  in
+  let schedule =
+    Array.init cycles (fun _ ->
+        List.filter_map
+          (fun id ->
+            let w = (Circuit.node c id).Circuit.width in
+            match Random.State.int st 5 with
+            | 0 -> Some (id, Some (None, Bits.random st ~width:w))
+            | 1 ->
+              Some (id, Some (Some (Bits.random st ~width:w), Bits.random st ~width:w))
+            | 2 -> Some (id, None)
+            | _ -> None)
+          targets)
+  in
+  let observe = Collect.default_observed c in
+  let steps =
+    Array.init cycles (fun i ->
+        {
+          Oracle.pokes = stimulus.(i);
+          actions =
+            List.map
+              (function
+                | id, Some (mask, v) -> Oracle.Force { target = id; mask; value = v }
+                | id, None -> Oracle.Release id)
+              schedule.(i);
+        })
+  in
+  let subjects = oracle_subjects `Native (force_engines `Native targets) in
+  match Oracle.first_failure (Oracle.run ~observe c steps subjects) with
+  | Some (s, f) ->
+    Alcotest.failf "seed %d: %s (targets %s): forced run diverges from reference: %s"
+      seed s
+      (String.concat "," (List.map string_of_int targets))
+      (Oracle.failure_to_string f)
+  | None -> ()
+
+let test_force_torture () =
+  skip_without_cc ();
+  for seed = 0 to 29 do
+    torture_force_one ~seed
+  done
+
+(* --- .so cache: miss, hit, invalidation on hash change ----------------- *)
+
+(* A parametric circuit whose IR text (and therefore digest) varies with
+   [tag], so each test run's first build is a genuine compile. *)
+let cache_circuit tag =
+  let c = Circuit.create ~name:(Printf.sprintf "cache%d" tag) () in
+  let x = Circuit.add_input c ~name:"x" ~width:16 in
+  let vx = Expr.var ~width:16 x.Circuit.id in
+  let n =
+    Circuit.add_logic c ~name:"n"
+      (Expr.unop (Expr.Extract (15, 0))
+         (Expr.binop Expr.Add vx (Expr.of_int ~width:16 (tag land 0xffff))))
+  in
+  Circuit.mark_output c n.Circuit.id;
+  c
+
+let test_cache_hit_and_invalidation () =
+  skip_without_cc ();
+  let compiles0 = Native.stats.Native.compiles in
+  let c1 = cache_circuit 1001 in
+  let t1 = Full_cycle.create ~backend:`Native c1 in
+  let ct1 = Full_cycle.counters t1 in
+  Alcotest.(check string) "first build is native" "native" ct1.Counters.backend;
+  Alcotest.(check string) "first build misses" "miss" ct1.Counters.native_cache;
+  Alcotest.(check int) "one compile" (compiles0 + 1) Native.stats.Native.compiles;
+  (* Same circuit again: the memo satisfies it — cc must not run. *)
+  let t2 = Full_cycle.create ~backend:`Native (cache_circuit 1001) in
+  let ct2 = Full_cycle.counters t2 in
+  Alcotest.(check string) "second build hits" "hit" ct2.Counters.native_cache;
+  Alcotest.(check int) "no second compile" (compiles0 + 1) Native.stats.Native.compiles;
+  (* The cached artifacts exist on disk under the digest key. *)
+  (match Native.load c1 with
+   | Some (u, Native.Memo_hit) ->
+     Alcotest.(check bool) "so cached" true (Sys.file_exists u.Native.so_path);
+     Alcotest.(check bool) "c kept" true (Sys.file_exists u.Native.c_path)
+   | _ -> Alcotest.fail "expected a memo hit");
+  (* A different circuit hash invalidates: new digest, fresh compile. *)
+  let t3 = Full_cycle.create ~backend:`Native (cache_circuit 1002) in
+  let ct3 = Full_cycle.counters t3 in
+  Alcotest.(check string) "changed hash misses" "miss" ct3.Counters.native_cache;
+  Alcotest.(check int) "recompiled" (compiles0 + 2) Native.stats.Native.compiles
+
+(* --- missing-compiler fallback ladder ---------------------------------- *)
+
+let test_fallback_no_compiler () =
+  let with_disabled f =
+    let prev = try Sys.getenv "GSIM_NATIVE" with Not_found -> "" in
+    Unix.putenv "GSIM_NATIVE" "off";
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.putenv "GSIM_NATIVE" (if prev = "" then "on" else prev))
+      f
+  in
+  with_disabled (fun () ->
+      Alcotest.(check bool) "backend reports unavailable" false (Native.available ());
+      let c = cache_circuit 2001 in
+      (* Requesting native must degrade, not fail — and still simulate
+         correctly. *)
+      let t = Full_cycle.create ~backend:`Native c in
+      let ct = Full_cycle.counters t in
+      Alcotest.(check bool)
+        "fell back to an interpreted backend" true
+        (ct.Counters.backend = "bytecode" || ct.Counters.backend = "closures");
+      Alcotest.(check string) "no cache traffic" "" ct.Counters.native_cache;
+      let x = (Option.get (Circuit.find_node c "x")).Circuit.id in
+      let n = (Option.get (Circuit.find_node c "n")).Circuit.id in
+      let stimulus = Array.init 4 (fun i -> [ (x, b ~w:16 (i * 7)) ]) in
+      let expected =
+        Sim.trace (Sim.of_reference (Reference.create c)) ~observe:[ n ] ~stimulus
+      in
+      let got = Sim.trace (Full_cycle.sim t) ~observe:[ n ] ~stimulus in
+      if not (Sim.equal_traces expected got) then
+        Alcotest.fail "fallback engine diverges from reference")
+
+(* --- auto heuristic ----------------------------------------------------- *)
+
+let test_auto_heuristic () =
+  (* Small circuit: auto stays interpreted (bytecode) even with a
+     compiler present — a cc run would cost more than it returns. *)
+  let small = cache_circuit 3001 in
+  let sel = Eval.select `Auto small in
+  Alcotest.(check string) "small goes bytecode" "bytecode" (Eval.effective_string sel);
+  (* Big narrow circuit: auto goes native when a compiler is present. *)
+  let st = Random.State.make [| 77; 3111 |] in
+  let big =
+    Rand_circuit.generate st
+      { Rand_circuit.default_config with Rand_circuit.logic_nodes = 400; max_width = 32 }
+  in
+  let est = Eval.estimate_instrs big in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %d crosses the native threshold" est)
+    true (est >= 512);
+  let sel = Eval.select `Auto big in
+  if have_cc then
+    Alcotest.(check string) "big goes native" "native" (Eval.effective_string sel)
+  else
+    Alcotest.(check string) "big goes closures without cc" "closures"
+      (Eval.effective_string sel)
+
+(* --- emitted source sanity --------------------------------------------- *)
+
+let test_emitted_source () =
+  let c = cache_circuit 4001 in
+  let r = Emit_c.emit c in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "exports table" true (contains r.Emit_c.source "gsim_table");
+  Alcotest.(check bool) "exports count" true (contains r.Emit_c.source "gsim_node_count");
+  Alcotest.(check bool) "has compiled nodes" true (r.Emit_c.compiled_nodes > 0);
+  (* Wide nodes compile via the limb-array path (ABI v2). *)
+  let cw = Circuit.create ~name:"wide" () in
+  let x = Circuit.add_input cw ~name:"x" ~width:100 in
+  let n =
+    Circuit.add_logic cw ~name:"n"
+      (Expr.unop Expr.Not (Expr.var ~width:100 x.Circuit.id))
+  in
+  Circuit.mark_output cw n.Circuit.id;
+  let rw = Emit_c.emit cw in
+  Alcotest.(check int) "wide node compiles" 1 rw.Emit_c.compiled_nodes;
+  Alcotest.(check bool) "wide source stores limbs" true
+    (contains rw.Emit_c.source "gsim_wstore")
+
+let () =
+  Alcotest.run "native"
+    [
+      ( "divrem",
+        [
+          Alcotest.test_case "signed corners w=8" `Quick (test_signed_divrem ~w:8);
+          Alcotest.test_case "signed corners w=62" `Quick (test_signed_divrem ~w:62);
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "torture 120 random circuits" `Slow test_torture;
+          Alcotest.test_case "force/release torture 30 circuits" `Slow test_force_torture;
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "miss, hit, invalidation" `Quick test_cache_hit_and_invalidation ] );
+      ( "fallback",
+        [ Alcotest.test_case "no compiler degrades gracefully" `Quick test_fallback_no_compiler ] );
+      ( "auto",
+        [ Alcotest.test_case "size-based selection" `Quick test_auto_heuristic ] );
+      ( "emit",
+        [ Alcotest.test_case "source shape" `Quick test_emitted_source ] );
+    ]
