@@ -146,6 +146,12 @@ let ck_ring_arg =
        & info [ "checkpoint-ring" ] ~docv:"K"
            ~doc:"Checkpoint generations to keep (0 keeps everything)")
 
+let keyframe_arg =
+  Arg.(value & opt int 16
+       & info [ "keyframe-every" ] ~docv:"K"
+           ~doc:"Write a full keyframe after at most K delta checkpoints (0 writes \
+                 every checkpoint full; default 16)")
+
 let resume_arg =
   Arg.(value & flag
        & info [ "resume" ]
@@ -157,6 +163,12 @@ let shadow_arg =
            ~doc:"Every N cycles, re-execute the window on the reference engine and \
                  compare architectural state; divergences are bisected to a minimal \
                  replayable incident and the session degrades onto the reference engine")
+
+let shadow_window_arg =
+  Arg.(value & opt (some int) None
+       & info [ "shadow-window" ] ~docv:"W"
+           ~doc:"Sampled verification: re-execute only the last W cycles of each \
+                 shadow stride (default: the whole stride)")
 
 let watchdog_arg =
   Arg.(value & opt (some float) None
@@ -175,8 +187,8 @@ let incident_dir_arg =
        & info [ "incident-dir" ] ~docv:"DIR"
            ~doc:"Where incident reports are written (default: --checkpoint-dir)")
 
-let session_config ck_every ck_dir ring resume shadow_stride watchdog incident_dir injects
-    =
+let session_config ck_every ck_dir ring keyframe_every resume shadow_stride
+    shadow_window watchdog incident_dir injects =
   let wants =
     ck_every <> None || ck_dir <> None || resume || shadow_stride <> None
     || watchdog <> None || incident_dir <> None || injects <> []
@@ -189,15 +201,23 @@ let session_config ck_every ck_dir ring resume shadow_stride watchdog incident_d
     (match ck_every with
      | Some n when n <= 0 -> raise (Usage "--checkpoint-every must be positive")
      | _ -> ());
+    if keyframe_every < 0 then raise (Usage "--keyframe-every must be >= 0");
     (match shadow_stride with
      | Some n when n <= 0 -> raise (Usage "--shadow-stride must be positive")
+     | _ -> ());
+    (match shadow_window with
+     | Some n when n <= 0 -> raise (Usage "--shadow-window must be positive")
+     | Some _ when shadow_stride = None ->
+       raise (Usage "--shadow-window requires --shadow-stride")
      | _ -> ());
     Some
       {
         Session.checkpoint_every = ck_every;
         checkpoint_dir = ck_dir;
         ring;
+        keyframe_every;
         shadow_stride;
+        shadow_window;
         watchdog_seconds = watchdog;
         incident_dir;
       }
@@ -383,14 +403,14 @@ let sim_cmd =
     | None -> ()
   in
   let run file engine threads level max_supernode backend cycles pokes vcd_path save_ck
-      restore_ck coverage json ck_every ck_dir ring resume shadow_stride watchdog
-      incident_dir injects =
+      restore_ck coverage json ck_every ck_dir ring keyframe_every resume shadow_stride
+      shadow_window watchdog incident_dir injects =
     let src = load_source file in
     let circuit, halt = (src.Compile.circuit, src.Compile.halt) in
     let config = config_of_engine engine threads max_supernode level backend in
     match
-      session_config ck_every ck_dir ring resume shadow_stride watchdog incident_dir
-        injects
+      session_config ck_every ck_dir ring keyframe_every resume shadow_stride
+        shadow_window watchdog incident_dir injects
     with
     | Some scfg ->
       if coverage <> None || vcd_path <> None || restore_ck <> None then
@@ -480,8 +500,9 @@ let sim_cmd =
   Cmd.v (Cmd.info "sim" ~doc:"Simulate a FIRRTL design")
     Term.(const run $ file_arg $ engine_arg $ threads_arg $ level_arg $ supernode_arg
           $ backend_arg $ cycles $ pokes $ vcd $ save_ck $ restore_ck $ coverage_arg
-          $ json_arg $ ck_every_arg $ ck_dir_arg $ ck_ring_arg $ resume_arg $ shadow_arg
-          $ watchdog_arg $ incident_dir_arg $ inject_arg)
+          $ json_arg $ ck_every_arg $ ck_dir_arg $ ck_ring_arg $ keyframe_arg
+          $ resume_arg $ shadow_arg $ shadow_window_arg $ watchdog_arg
+          $ incident_dir_arg $ inject_arg)
 
 (* --- run ----------------------------------------------------------------- *)
 
@@ -524,7 +545,8 @@ let run_cmd =
     end
   in
   let run design workload engine threads level max_supernode backend max_cycles coverage
-      json ck_every ck_dir ring resume shadow_stride watchdog incident_dir injects =
+      json ck_every ck_dir ring keyframe_every resume shadow_stride shadow_window
+      watchdog incident_dir injects =
     let d =
       match Designs.by_name design with
       | Some d -> d
@@ -545,8 +567,8 @@ let run_cmd =
     if not json then Printf.printf "%s\n" (Designs.stats_line core.Stu_core.circuit);
     let config = config_of_engine engine threads max_supernode level backend in
     match
-      session_config ck_every ck_dir ring resume shadow_stride watchdog incident_dir
-        injects
+      session_config ck_every ck_dir ring keyframe_every resume shadow_stride
+        shadow_window watchdog incident_dir injects
     with
     | Some scfg ->
       if coverage <> None then
@@ -594,8 +616,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run a built-in workload on a built-in design")
     Term.(const run $ design $ workload $ engine_arg $ threads_arg $ level_arg $ supernode_arg
           $ backend_arg $ max_cycles $ coverage_arg $ json_arg $ ck_every_arg $ ck_dir_arg
-          $ ck_ring_arg $ resume_arg $ shadow_arg $ watchdog_arg $ incident_dir_arg
-          $ inject_arg)
+          $ ck_ring_arg $ keyframe_arg $ resume_arg $ shadow_arg $ shadow_window_arg
+          $ watchdog_arg $ incident_dir_arg $ inject_arg)
 
 (* --- cov ----------------------------------------------------------------- *)
 
@@ -1218,6 +1240,46 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* --- ckpt ----------------------------------------------------------------
+   Inspect a checkpoint store: materialize the newest intact generation
+   (walking its delta chain) and print it in the full-keyframe text
+   format — what a resume would restore, byte-comparable across runs
+   regardless of where each run's keyframe/delta boundaries fell. *)
+let ckpt_cmd =
+  let module Store = Gsim_resilience.Store in
+  let run dir lenient list =
+    let store = Store.create ~ring:0 dir in
+    if list then
+      List.iter
+        (fun (cycle, path, kind) ->
+          Printf.printf "%-5s %12d %s\n"
+            (match kind with `Full -> "full" | `Delta -> "delta")
+            cycle path)
+        (Store.generations store)
+    else
+      match Store.latest ~lenient store with
+      | Some (ck, _) -> print_string (Gsim_engine.Checkpoint.to_string ck)
+      | None -> failwith (Printf.sprintf "no recoverable generation in %s" dir)
+  in
+  let dir =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DIR" ~doc:"Checkpoint store directory")
+  in
+  let lenient =
+    Arg.(value & flag
+         & info [ "lenient" ]
+             ~doc:"Fall back to last-complete-section recovery of the newest keyframe \
+                   when every generation fails validation")
+  in
+  let list =
+    Arg.(value & flag
+         & info [ "list" ] ~doc:"List every generation (cycle, kind, path) instead")
+  in
+  Cmd.v
+    (Cmd.info "ckpt"
+       ~doc:"Materialize and print the newest recoverable checkpoint generation")
+    Term.(const run $ dir $ lenient $ list)
+
 let serve_cmd =
   let run listen workers queue cache stride spool logfile =
     let address = SP.address_of_string listen in
@@ -1517,7 +1579,7 @@ let () =
   let group =
     Cmd.group info
       [ stats_cmd; emit_cmd; emit_fir_cmd; sim_cmd; run_cmd; cov_cmd; fault_cmd; fuzz_cmd;
-        profile_cmd; equiv_cmd; serve_cmd; remote_cmd ]
+        profile_cmd; equiv_cmd; ckpt_cmd; serve_cmd; remote_cmd ]
   in
   (* Ctrl-C raises Sys.Break instead of killing the process outright, so
      at_exit handlers (partial-checkpoint temp-file cleanup) still run

@@ -157,20 +157,33 @@ let of_bool_list bs =
 let to_binary_string v =
   if v.width = 0 then "" else String.init v.width (fun j -> if bit v (v.width - 1 - j) then '1' else '0')
 
+let hex_chars = "0123456789abcdef"
+
 let to_hex_string v =
   if v.width = 0 then "0"
   else begin
+    (* Hex digit k covers bits 4k .. 4k+3; a digit straddles at most two
+       31-bit limbs.  Limbs are normalized, so bits past the width are
+       already zero — no masking of the top digit needed.  This runs on
+       the checkpoint-serialization hot path (one call per memory word),
+       hence the direct limb arithmetic instead of per-bit extraction. *)
     let ndigits = (v.width + 3) / 4 in
-    let digit k =
-      (* Hex digit k covers bits 4k .. 4k+3. *)
-      let x = ref 0 in
-      for b = 3 downto 0 do
-        let i = (4 * k) + b in
-        x := (!x lsl 1) lor (if i < v.width && bit v i then 1 else 0)
-      done;
-      "0123456789abcdef".[!x]
-    in
-    String.init ndigits (fun j -> digit (ndigits - 1 - j))
+    let buf = Bytes.create ndigits in
+    let limbs = v.limbs in
+    let n = Array.length limbs in
+    for k = 0 to ndigits - 1 do
+      let p = 4 * k in
+      let li = p / limb_bits in
+      let off = p - (li * limb_bits) in
+      let x = limbs.(li) lsr off in
+      let x =
+        if off > limb_bits - 4 && li + 1 < n then
+          x lor (limbs.(li + 1) lsl (limb_bits - off))
+        else x
+      in
+      Bytes.unsafe_set buf (ndigits - 1 - k) (String.unsafe_get hex_chars (x land 0xF))
+    done;
+    Bytes.unsafe_to_string buf
   end
 
 let pp fmt v = Format.fprintf fmt "%d'h%s" v.width (to_hex_string v)
@@ -178,16 +191,6 @@ let pp fmt v = Format.fprintf fmt "%d'h%s" v.width (to_hex_string v)
 let of_string s =
   let s = String.concat "" (String.split_on_char '_' s) in
   let fail () = invalid_arg (Printf.sprintf "Bits.of_string: %S" s) in
-  let from_digits_bin w bin =
-    let v = Array.make (nlimbs w) 0 in
-    let n = String.length bin in
-    String.iteri
-      (fun j c ->
-        let i = n - 1 - j in
-        if c = '1' then v.(i / limb_bits) <- v.(i / limb_bits) lor (1 lsl (i mod limb_bits)))
-      bin;
-    { width = w; limbs = v }
-  in
   let from_digits w base digits =
     if w <= 0 then fail ();
     match base with
@@ -206,32 +209,35 @@ let of_string s =
       end
       else fail ()
     | 16 ->
-      let bin =
-        String.concat ""
-          (List.map
-             (fun c ->
-               let x =
-                 match c with
-                 | '0' .. '9' -> Char.code c - Char.code '0'
-                 | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
-                 | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
-                 | _ -> fail ()
-               in
-               Printf.sprintf "%d%d%d%d" (x lsr 3 land 1) (x lsr 2 land 1) (x lsr 1 land 1) (x land 1))
-             (List.init (String.length digits) (String.get digits)))
-      in
-      (* Strip leading zeros beyond the width, then delegate. *)
-      let bin =
-        let extra = String.length bin - w in
-        if extra > 0 then begin
-          for i = 0 to extra - 1 do
-            if bin.[i] <> '0' then fail ()
-          done;
-          String.sub bin extra w
+      (* Direct digit-to-limb scatter (checkpoint parsing reads one value
+         per memory word, so this is a resume/recovery hot path).  Digit j
+         counted from the least-significant end lands at bit 4j, spanning
+         at most two limbs; any bit at or past the width must be zero,
+         matching the binary path's reject-on-overflow semantics. *)
+      let nd = String.length digits in
+      if nd = 0 then fail ();
+      let v = Array.make (nlimbs w) 0 in
+      for j = 0 to nd - 1 do
+        let c = digits.[nd - 1 - j] in
+        let x =
+          match c with
+          | '0' .. '9' -> Char.code c - Char.code '0'
+          | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+          | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+          | _ -> fail ()
+        in
+        let p = 4 * j in
+        if p >= w then begin if x <> 0 then fail () end
+        else begin
+          if p + 4 > w && x lsr (w - p) <> 0 then fail ();
+          let li = p / limb_bits in
+          let off = p - (li * limb_bits) in
+          v.(li) <- v.(li) lor ((x lsl off) land limb_mask);
+          if off > limb_bits - 4 && li + 1 < Array.length v then
+            v.(li + 1) <- v.(li + 1) lor (x lsr (limb_bits - off))
         end
-        else bin
-      in
-      from_digits_bin w bin
+      done;
+      { width = w; limbs = v }
     | 10 ->
       let n = try int_of_string digits with _ -> fail () in
       (* Reject values that do not fit, like the binary/hex paths do. *)

@@ -5,6 +5,7 @@ module Sim = Gsim_engine.Sim
 module Activity = Gsim_engine.Activity
 module Full_cycle = Gsim_engine.Full_cycle
 module Parallel = Gsim_engine.Parallel
+module Runtime = Gsim_engine.Runtime
 module Reference = Gsim_ir.Reference
 open Gsim_ir
 
@@ -115,6 +116,7 @@ type compiled = {
   outcomes : Pass.outcome list;
   supernodes : int;
   activity : Activity.t option;
+  runtime : Runtime.t option;
   destroy : unit -> unit;
 }
 
@@ -195,15 +197,16 @@ let prepare_exn ~compact ~forcible ~keep config circuit =
 let realize_prepared p =
   let config = p.p_config in
   let c = p.p_circuit in
-  let sim, supernodes, activity, destroy =
+  let sim, supernodes, activity, runtime, destroy =
     match (config.engine, p.p_partition) with
-    | Reference_engine, _ -> (Sim.of_reference (Reference.create c), 0, None, fun () -> ())
+    | Reference_engine, _ ->
+      (Sim.of_reference (Reference.create c), 0, None, None, fun () -> ())
     | Full_cycle_engine 1, _ ->
-      ( Full_cycle.sim (Full_cycle.create ~backend:config.backend ~forcible:p.p_forcible c),
-        0, None, fun () -> () )
+      let t = Full_cycle.create ~backend:config.backend ~forcible:p.p_forcible c in
+      (Full_cycle.sim t, 0, None, Some (Full_cycle.runtime t), fun () -> ())
     | Full_cycle_engine threads, _ ->
       let t = Parallel.create ~backend:config.backend ~forcible:p.p_forcible ~threads c in
-      (Parallel.sim t, 0, None, fun () -> Parallel.destroy t)
+      (Parallel.sim t, 0, None, Some (Parallel.runtime t), fun () -> Parallel.destroy t)
     | (Essent_engine | Gsim_engine_kind), Some part ->
       let t =
         Activity.create
@@ -213,13 +216,14 @@ let realize_prepared p =
       ( Activity.sim ~name:config.config_name t,
         Array.length part.Partition.supernodes,
         Some t,
+        Some (Activity.runtime t),
         fun () -> () )
     | (Essent_engine | Gsim_engine_kind), None ->
       (* prepare_exn always computes a partition for activity engines. *)
       assert false
   in
   let sim = { sim with Sim.sim_name = config.config_name } in
-  { sim; id_map = p.p_id_map; outcomes = p.p_outcomes; supernodes; activity; destroy }
+  { sim; id_map = p.p_id_map; outcomes = p.p_outcomes; supernodes; activity; runtime; destroy }
 
 let instantiate_exn ~compact ~forcible ~keep config circuit =
   realize_prepared (prepare_exn ~compact ~forcible ~keep config circuit)

@@ -67,6 +67,11 @@ type compiled = {
           lets observers (coverage collection) hook its change events
           instead of resampling every cycle.  [None] for full-cycle and
           reference engines. *)
+  runtime : Gsim_engine.Runtime.t option;
+      (** The engine's shared value arena — the hook for dirty-memory
+          write tracking and bulk checkpoint capture ({!Gsim_engine.Checkpoint}).
+          [None] only for the reference interpreter, which keeps its own
+          state representation. *)
   destroy : unit -> unit;
       (** Joins worker domains for multi-threaded engines; otherwise a
           no-op. *)

@@ -20,7 +20,11 @@
 
 type t
 
-val capture : Sim.t -> t
+val capture : ?rt:Runtime.t -> Sim.t -> t
+(** [rt], when the engine exposes its {!Runtime} arena, routes memory
+    capture through {!Runtime.snapshot_mem} — a bulk copy with no
+    per-word circuit lookups, several times faster on memory-heavy
+    designs.  State captured is identical either way. *)
 
 val restore : Sim.t -> t -> unit
 (** Raises [Failure] when a register, input or memory recorded in the
@@ -65,3 +69,63 @@ val equal : t -> t -> bool
 val diff : t -> t -> (string * string * string) list
 (** [(signal, value_in_a, value_in_b)] for every architectural mismatch;
     memory words appear as ["name[index]"].  Empty iff {!equal}. *)
+
+(** {1 Delta checkpoints}
+
+    A delta records only the state that changed since a {e base}
+    generation: scalars that differ plus sparse memory words.  Applied in
+    order on top of a full keyframe, a chain of deltas reconstructs the
+    newest state at a fraction of a keyframe's serialization cost.  Each
+    delta pins its base by (cycle, CRC32 of the base file's raw bytes) so
+    recovery can prove every link intact before applying anything.
+    Deltas parse {e strictly} — there is deliberately no lenient mode: a
+    partially-applied delta would reconstruct wrong state silently, so a
+    torn delta is a broken link and the {!Gsim_resilience.Store} recovery
+    walk falls back to an older generation instead. *)
+
+type delta
+
+val delta_format_version : int
+
+val capture_delta :
+  Sim.t -> cycle:int -> dirty:(int * int array) list -> base:t -> base_crc:int -> delta
+(** Capture the live simulator's divergence from [base]: inputs and
+    registers are compared exhaustively (cheap — there are few); memory
+    words are read only at the indices named by [dirty] (memory index ×
+    sorted word indices, from {!Runtime.take_dirty_mem}).  [dirty] must
+    cover every word that may differ from [base] — with the write
+    barrier on since [base] was captured, it does by construction.
+    [cycle] is the absolute cycle recorded in the delta ({!delta_cycle});
+    [base_crc] the CRC32 of [base]'s serialized file bytes. *)
+
+val delta_of : base:t -> base_crc:int -> t -> delta
+(** Compare-based delta between two full checkpoints — no dirty set
+    needed, costs one pass over every memory word.  Raises [Failure]
+    when a memory of [cur] is absent or resized in [base]. *)
+
+val apply_delta : t -> delta -> t
+(** Reconstruct the full state one link forward.  Raises [Failure] when
+    the delta's recorded base cycle does not match, or it names state the
+    base lacks. *)
+
+val restore_delta : Runtime.t -> Sim.t -> delta -> unit
+(** Sparse in-place restore: bring a sim {e already sitting at the
+    delta's base state} to the delta's state by writing only the changed
+    scalars and memory words.  The base link is not checked — the caller
+    vouches the sim is at the base. *)
+
+val delta_cycle : delta -> int
+
+val delta_base : delta -> int * int
+(** [(base_cycle, base_file_crc32)] — the link this delta chains to. *)
+
+val delta_size : delta -> int
+(** Changed scalars + memory words recorded (bench instrumentation). *)
+
+val delta_to_string : delta -> string
+
+val delta_of_string : string -> delta
+(** Strict: raises [Failure] on any malformation, including a missing or
+    mismatching CRC footer. *)
+
+val load_delta : string -> delta

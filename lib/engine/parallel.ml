@@ -407,6 +407,8 @@ let load_mem t mi contents = Runtime.load_mem t.rt mi contents
 let counters t = t.counters
 let level_count t = t.nlevels
 
+let runtime t = t.rt
+
 let sim t =
   {
     Sim.sim_name = Printf.sprintf "full-cycle-%dT" t.threads;

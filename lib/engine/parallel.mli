@@ -33,5 +33,8 @@ val counters : t -> Counters.t
 val destroy : t -> unit
 val level_count : t -> int
 
+val runtime : t -> Runtime.t
+(** The shared value arena (dirty-memory tracking, checkpoint capture). *)
+
 val sim : t -> Sim.t
 (** The wrapper's [step] drives all domains. *)

@@ -24,6 +24,16 @@ type t = {
   fmask_n : int array;  (* packed mask, narrow nodes *)
   fval_n : int array;   (* packed value, pre-masked *)
   fwide : (int, Bits.t * Bits.t) Hashtbl.t;  (* id -> mask, pre-masked value *)
+  (* Memory-word write barrier (delta checkpointing).  While [track_mem]
+     is set, every committed store records its word in a per-memory
+     dirty set: a bitmap for O(1) dedup plus an index vector so draining
+     costs O(dirty), not O(depth).  All memory writes funnel through
+     this module ([write_committer], [load_mem]) on every engine and
+     backend, so the set is complete by construction. *)
+  mutable track_mem : bool;
+  dirty_bits : Bytes.t array;  (* per memory: depth bits *)
+  mutable dirty_words : int array array;  (* per memory: index vector *)
+  dirty_len : int array;  (* per memory: live prefix of the vector *)
 }
 
 let circuit t = t.c
@@ -86,6 +96,13 @@ let create ?(extra_slots = 0) c =
       fmask_n = Array.make (max n 1) 0;
       fval_n = Array.make (max n 1) 0;
       fwide = Hashtbl.create 8;
+      track_mem = false;
+      dirty_bits =
+        Array.map
+          (fun (m : Circuit.memory) -> Bytes.make ((m.depth + 7) / 8) '\000')
+          mems;
+      dirty_words = Array.map (fun _ -> [||]) mems;
+      dirty_len = Array.make (max (Array.length mems) 1) 0;
     }
   in
   List.iter
@@ -94,6 +111,73 @@ let create ?(extra_slots = 0) c =
       else narrow.(r.read) <- Bits.to_packed r.init)
     (Circuit.registers c);
   t
+
+(* ------------------------------------------------------------------ *)
+(* Memory-word dirty tracking                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mark_dirty t mi a =
+  let bits = t.dirty_bits.(mi) in
+  let byte = a lsr 3 and bit = a land 7 in
+  let b = Char.code (Bytes.unsafe_get bits byte) in
+  if b land (1 lsl bit) = 0 then begin
+    Bytes.unsafe_set bits byte (Char.unsafe_chr (b lor (1 lsl bit)));
+    let len = t.dirty_len.(mi) in
+    let vec = t.dirty_words.(mi) in
+    let vec =
+      if len >= Array.length vec then begin
+        let nv = Array.make (max 16 (2 * Array.length vec)) 0 in
+        Array.blit vec 0 nv 0 len;
+        t.dirty_words.(mi) <- nv;
+        nv
+      end
+      else vec
+    in
+    Array.unsafe_set vec len a;
+    t.dirty_len.(mi) <- len + 1
+  end
+
+let set_mem_tracking t on =
+  if on && not t.track_mem then begin
+    (* Drop stale marks from a previous tracking episode. *)
+    Array.iteri
+      (fun mi bits ->
+        if t.dirty_len.(mi) > 0 then begin
+          Bytes.fill bits 0 (Bytes.length bits) '\000';
+          t.dirty_len.(mi) <- 0
+        end)
+      t.dirty_bits
+  end;
+  t.track_mem <- on
+
+let mem_tracking t = t.track_mem
+
+let take_dirty_mem t =
+  let out = ref [] in
+  for mi = Array.length t.dirty_bits - 1 downto 0 do
+    let len = t.dirty_len.(mi) in
+    if len > 0 then begin
+      let words = Array.sub t.dirty_words.(mi) 0 len in
+      Array.sort compare words;
+      let bits = t.dirty_bits.(mi) in
+      Array.iter
+        (fun a ->
+          let byte = a lsr 3 in
+          Bytes.unsafe_set bits byte
+            (Char.unsafe_chr
+               (Char.code (Bytes.unsafe_get bits byte) land lnot (1 lsl (a land 7)))))
+        words;
+      t.dirty_len.(mi) <- 0;
+      out := (mi, words) :: !out
+    end
+  done;
+  !out
+
+let snapshot_mem t mi =
+  if t.mem_is_wide.(mi) then Array.map Bits.copy t.mem_wide.(mi)
+  else
+    let width = (Circuit.memory t.c mi).Circuit.mem_width in
+    Array.map (fun v -> Bits.unsafe_of_packed ~width v) t.mem_narrow.(mi)
 
 let node_width t id = (Circuit.node t.c id).Circuit.width
 
@@ -153,7 +237,8 @@ let load_mem t mi contents =
     (fun i v ->
       if Bits.width v <> m.Circuit.mem_width then invalid_arg "Runtime.load_mem: width";
       if t.mem_is_wide.(mi) then t.mem_wide.(mi).(i) <- v
-      else t.mem_narrow.(mi).(i) <- Bits.to_packed v)
+      else t.mem_narrow.(mi).(i) <- Bits.to_packed v;
+      if t.track_mem then mark_dirty t mi i)
     contents
 
 let read_mem t mi addr =
@@ -161,6 +246,14 @@ let read_mem t mi addr =
   if addr < 0 || addr >= m.Circuit.depth then invalid_arg "Runtime.read_mem";
   if t.mem_is_wide.(mi) then t.mem_wide.(mi).(addr)
   else Bits.unsafe_of_packed ~width:m.Circuit.mem_width t.mem_narrow.(mi).(addr)
+
+let write_mem_word t mi addr v =
+  let m = Circuit.memory t.c mi in
+  if addr < 0 || addr >= m.Circuit.depth then invalid_arg "Runtime.write_mem_word";
+  if Bits.width v <> m.Circuit.mem_width then invalid_arg "Runtime.write_mem_word: width";
+  if t.mem_is_wide.(mi) then t.mem_wide.(mi).(addr) <- Bits.copy v
+  else t.mem_narrow.(mi).(addr) <- Bits.to_packed v;
+  if t.track_mem then mark_dirty t mi addr
 
 let poke_register t id v =
   let nd = Circuit.node t.c id in
@@ -563,6 +656,15 @@ let write_committer t mi (w : Circuit.write_port) =
   let depth = m.Circuit.depth in
   let addr = int_reader t w.Circuit.w_addr in
   let enabled = signal_is_set t w.Circuit.w_en in
+  (* Inlined write-barrier fast path: the bitmap never reallocates, so it
+     can be captured here, and a word already marked dirty (the common
+     case — hot words are rewritten every cycle) costs one byte load. *)
+  let dbits = t.dirty_bits.(mi) in
+  let barrier a =
+    if t.track_mem
+       && Char.code (Bytes.unsafe_get dbits (a lsr 3)) land (1 lsl (a land 7)) = 0
+    then mark_dirty t mi a
+  in
   if t.mem_is_wide.(mi) then begin
     let contents = t.mem_wide.(mi) in
     let wide = t.wide in
@@ -579,6 +681,7 @@ let write_committer t mi (w : Circuit.write_port) =
           if Bits.equal contents.(a) v then false
           else begin
             contents.(a) <- Bits.copy v;
+            barrier a;
             true
           end
         end
@@ -597,6 +700,7 @@ let write_committer t mi (w : Circuit.write_port) =
           if contents.(a) = v then false
           else begin
             contents.(a) <- v;
+            barrier a;
             true
           end
         end

@@ -31,9 +31,39 @@ val load_mem : t -> int -> Bits.t array -> unit
 
 val read_mem : t -> int -> int -> Bits.t
 
+val write_mem_word : t -> int -> int -> Bits.t -> unit
+(** Overwrite a single memory word; sparse (delta) checkpoint restore.
+    Marks the word dirty when tracking is on. *)
+
 val poke_register : t -> int -> Bits.t -> unit
 (** Overwrite a register's current value (by read-node id); checkpoint
     restore. *)
+
+(** {1 Memory-word dirty tracking (delta checkpoints)}
+
+    Every memory store funnels through this module ({!write_committer}
+    on all engines and backends, {!load_mem} for external loads), so a
+    write barrier here sees the complete set of mutated words.  While
+    tracking is on, each committed store records its word in a
+    per-memory dirty set — a bitmap for O(1) dedup plus an index
+    vector, so draining costs O(dirty) rather than O(depth).  The
+    barrier costs one load and one predictable branch per committed
+    store when tracking is off. *)
+
+val set_mem_tracking : t -> bool -> unit
+(** Turn the write barrier on or off.  Turning it on clears any marks
+    left from a previous tracking episode. *)
+
+val mem_tracking : t -> bool
+
+val take_dirty_mem : t -> (int * int array) list
+(** Drain the dirty set: [(memory index, sorted word indices)] for every
+    memory with recorded stores since the last drain, and clear it.
+    Indices are sorted ascending and duplicate-free. *)
+
+val snapshot_mem : t -> int -> Bits.t array
+(** Bulk copy of a memory's current contents (checkpoint capture fast
+    path — no per-word circuit lookups). *)
 
 (** {1 Force overrides (fault injection)}
 

@@ -3,15 +3,22 @@
     A session wraps any engine configuration behind the crash-safe /
     self-verifying / self-healing run loop:
 
-    - {b Crash-safe checkpointing} — every [checkpoint_every] cycles the
-      architectural state is captured and persisted atomically into a
-      {!Store} ring; {!resume} picks up the newest valid generation, so
-      a SIGKILL costs at most one checkpoint interval of work.
+    - {b Crash-safe delta checkpointing} — every [checkpoint_every]
+      cycles the architectural state is persisted atomically into a
+      {!Store} ring, as a sparse delta (scalars that changed plus the
+      memory words the engine's write barrier recorded) chained off a
+      full keyframe written every [keyframe_every] deltas; {!resume}
+      picks up the newest generation whose chain verifies intact, so a
+      SIGKILL costs at most one checkpoint interval of work.
     - {b Shadow lockstep verification} — every [shadow_stride] cycles
       the window since the last verified checkpoint is re-executed on a
-      reference engine (full-cycle, closure backend) and the end states
-      compared; a disagreement is bisected to a minimal replayable
-      {!Incident} report.
+      reference engine (full-cycle, closure backend) held {e live} at
+      the last verified state, and the end states compared in place over
+      the engines' dirty-word union; only a mismatch pays for full
+      captures and the bisection to a minimal replayable {!Incident}
+      report.  With [shadow_window = Some w], only the last [w] cycles
+      of each stride are re-executed (sampled verification: a fraction
+      of the cost, a fraction of the coverage).
     - {b Graceful degradation} — on divergence, an engine exception, or
       a wall-clock watchdog trip, the session rolls back to the last
       verified checkpoint and continues on the reference engine,
@@ -28,7 +35,13 @@ type config = {
   checkpoint_every : int option;  (** persist every N cycles *)
   checkpoint_dir : string option;  (** store directory; [None] = no store *)
   ring : int;  (** generations kept; [<= 0] keeps everything *)
+  keyframe_every : int;
+      (** full keyframe after at most N deltas (default 16); [0] writes
+          every generation full (no deltas) *)
   shadow_stride : int option;  (** verify every N cycles *)
+  shadow_window : int option;
+      (** re-execute only the last N cycles of each stride ([None] = the
+          whole stride).  Sampled verification: cheap, probabilistic *)
   watchdog_seconds : float option;
       (** wall-clock budget per step batch on the primary *)
   incident_dir : string option;
@@ -36,14 +49,16 @@ type config = {
 }
 
 val default : config
-(** Everything off, [ring = 3]. *)
+(** Everything off, [ring = 3], [keyframe_every = 16]. *)
 
 type outcome = {
   final_cycle : int;  (** absolute cycle reached *)
   ran : int;  (** cycles actually retired by this [run] (net of rollbacks) *)
   halted : bool;  (** the halt signal fired *)
   incidents : Incident.t list;  (** recorded during this [run], oldest first *)
-  checkpoints_written : int;
+  checkpoints_written : int;  (** generations persisted (keyframes + deltas) *)
+  keyframes_written : int;
+  deltas_written : int;
   windows_verified : int;
   degraded : bool;  (** finished on the fallback engine *)
 }

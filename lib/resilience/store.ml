@@ -66,22 +66,47 @@ let rec mkdir_p dir =
 
 let ensure_dir = mkdir_p
 
-(* --- The checkpoint ring ------------------------------------------------- *)
+(* --- The checkpoint ring -------------------------------------------------
 
-type t = { dir : string; ring : int }
+   Two kinds of generation file share the directory: full keyframes
+   ([ckpt-<cycle>.gck]) and sparse deltas ([delta-<cycle>.gcd]) whose
+   base link names an older generation by cycle and file CRC.  Readers
+   materialize state by walking a delta chain back to its keyframe —
+   verifying every link's CRC against the actual file bytes — then
+   applying the deltas forward.  A broken link (torn delta, corrupt or
+   missing base) invalidates every generation chained on top of it, and
+   recovery falls back to the newest generation older than the break. *)
+
+type t = {
+  dir : string;
+  ring : int;
+  (* Chain links known to this handle (delta cycle -> base cycle), fed by
+     [save_delta] and lazily from disk — so the per-save [prune] does not
+     re-read and re-parse every retained delta file. *)
+  links : (int, int) Hashtbl.t;
+}
 
 let create ?(ring = 3) dir =
   mkdir_p dir;
-  { dir; ring }
+  { dir; ring; links = Hashtbl.create 16 }
 
 let dir t = t.dir
 
 let path_of_cycle t cycle = Filename.concat t.dir (Printf.sprintf "ckpt-%012d.gck" cycle)
 
+let delta_path_of_cycle t cycle =
+  Filename.concat t.dir (Printf.sprintf "delta-%012d.gcd" cycle)
+
 let cycle_of_name name =
   if String.length name = 21 && String.sub name 0 5 = "ckpt-"
      && Filename.check_suffix name ".gck"
   then int_of_string_opt (String.sub name 5 12)
+  else None
+
+let delta_cycle_of_name name =
+  if String.length name = 22 && String.sub name 0 6 = "delta-"
+     && Filename.check_suffix name ".gcd"
+  then int_of_string_opt (String.sub name 6 12)
   else None
 
 let checkpoints t =
@@ -93,47 +118,135 @@ let checkpoints t =
          | None -> None)
   |> List.sort compare
 
+let generations t =
+  (try Sys.readdir t.dir with Sys_error _ -> [||])
+  |> Array.to_list
+  |> List.filter_map (fun name ->
+         match cycle_of_name name with
+         | Some c -> Some (c, Filename.concat t.dir name, `Full)
+         | None -> (
+           match delta_cycle_of_name name with
+           | Some c -> Some (c, Filename.concat t.dir name, `Delta)
+           | None -> None))
+  |> List.sort compare
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Materialize the generation at [cycle]: raw bytes are CRC-checked
+   against the link that referenced them (when [expect_crc] is given),
+   deltas recurse to their base and apply forward.  Any failure raises
+   [Failure] — the caller treats the whole chain head as unusable. *)
+let rec materialize t ?expect_crc cycle =
+  let kind, path =
+    let full = path_of_cycle t cycle in
+    if Sys.file_exists full then (`Full, full)
+    else
+      let d = delta_path_of_cycle t cycle in
+      if Sys.file_exists d then (`Delta, d)
+      else failwith (Printf.sprintf "store: no generation at cycle %d" cycle)
+  in
+  let raw = read_file path in
+  (match expect_crc with
+   | Some crc when Checkpoint.crc32 raw <> crc ->
+     failwith
+       (Printf.sprintf "store: generation at cycle %d does not match its chain link" cycle)
+   | _ -> ());
+  match kind with
+  | `Full -> Checkpoint.of_string raw
+  | `Delta ->
+    let d = Checkpoint.delta_of_string raw in
+    let base_cycle, base_crc = Checkpoint.delta_base d in
+    if base_cycle >= cycle then
+      failwith (Printf.sprintf "store: delta at cycle %d links forward" cycle);
+    Checkpoint.apply_delta (materialize t ~expect_crc:base_crc base_cycle) d
+
+(* Keep the newest [ring] generations plus everything they chain onto:
+   pruning a delta's base would break the chain, so bases are retained
+   transitively until a newer keyframe displaces the whole chain from
+   the ring window.  Between keyframes the directory therefore holds up
+   to [keyframe cadence + ring] files.  An unparseable kept delta
+   contributes no links (its chain is already broken). *)
 let prune t =
   if t.ring > 0 then begin
-    let cks = checkpoints t in
-    let excess = List.length cks - t.ring in
-    List.iteri
-      (fun i (_, path) ->
-        if i < excess then try Sys.remove path with Sys_error _ -> ())
-      cks
+    let gens = generations t in
+    let newest = List.rev gens in
+    let keep = Hashtbl.create 16 in
+    let rec close cycle =
+      if not (Hashtbl.mem keep cycle) then begin
+        Hashtbl.replace keep cycle ();
+        match Hashtbl.find_opt t.links cycle with
+        | Some base -> close base
+        | None -> (
+          match List.find_opt (fun (c, _, _) -> c = cycle) gens with
+          | Some (_, path, `Delta) -> (
+            match Checkpoint.load_delta path with
+            | d ->
+              let base = fst (Checkpoint.delta_base d) in
+              Hashtbl.replace t.links cycle base;
+              close base
+            | exception (Failure _ | Sys_error _) -> ())
+          | _ -> ())
+      end
+    in
+    List.iteri (fun i (c, _, _) -> if i < t.ring then close c) newest;
+    List.iter
+      (fun (c, path, _) ->
+        if not (Hashtbl.mem keep c) then begin
+          Hashtbl.remove t.links c;
+          try Sys.remove path with Sys_error _ -> ()
+        end)
+      gens
   end
 
-let save t ck =
+let save_keyframe t ck =
   let path = path_of_cycle t (Checkpoint.cycle ck) in
-  write_atomic path (Checkpoint.to_string ck);
+  let content = Checkpoint.to_string ck in
+  write_atomic path content;
+  (* A keyframe displaces any stale same-cycle delta link. *)
+  Hashtbl.remove t.links (Checkpoint.cycle ck);
   prune t;
-  path
+  (path, Checkpoint.crc32 content)
+
+let save t ck = fst (save_keyframe t ck)
+
+let save_delta t d =
+  let path = delta_path_of_cycle t (Checkpoint.delta_cycle d) in
+  let content = Checkpoint.delta_to_string d in
+  write_atomic path content;
+  Hashtbl.replace t.links (Checkpoint.delta_cycle d) (fst (Checkpoint.delta_base d));
+  prune t;
+  (path, Checkpoint.crc32 content)
 
 let find t cycle =
-  let path = path_of_cycle t cycle in
-  if Sys.file_exists path then
-    match Checkpoint.load path with ck -> Some ck | exception Failure _ -> None
-  else None
+  match materialize t cycle with
+  | ck -> Some ck
+  | exception (Failure _ | Sys_error _) -> None
 
 let latest ?(lenient = false) t =
-  let candidates = List.rev (checkpoints t) in
+  let candidates = List.rev (generations t) in
   let rec strict = function
     | [] -> None
-    | (_, path) :: rest -> (
-      match Checkpoint.load path with
+    | (cycle, path, _) :: rest -> (
+      match materialize t cycle with
       | ck -> Some (ck, path)
-      | exception Failure _ -> strict rest)
+      | exception (Failure _ | Sys_error _) -> strict rest)
   in
   match strict candidates with
   | Some _ as r -> r
   | None -> (
     (* Every generation failed validation.  As a last resort the newest
-       file is re-read in the checkpoint parser's last-complete-section
-       mode — better a slightly older architectural state than nothing,
-       and the caller asked for it explicitly. *)
-    match candidates with
-    | (_, path) :: _ when lenient -> (
+       {e keyframe} is re-read in the checkpoint parser's
+       last-complete-section mode — better a slightly older architectural
+       state than nothing, and the caller asked for it explicitly.  Torn
+       deltas are never half-applied: a partial delta reconstructs wrong
+       state, an old keyframe prefix merely stale state. *)
+    match List.filter (fun (_, _, k) -> k = `Full) candidates with
+    | (_, path, _) :: _ when lenient -> (
       match Checkpoint.load ~lenient:true path with
       | ck -> Some (ck, path)
-      | exception Failure _ -> None)
+      | exception (Failure _ | Sys_error _) -> None)
     | _ -> None)

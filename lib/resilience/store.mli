@@ -1,8 +1,10 @@
 (** Crash-safe persistent checkpoint store.
 
     A store is a directory holding a ring of the last [ring] checkpoint
-    generations, one file per checkpoint ([ckpt-<cycle>.gck], the
-    version-2 CRC-footed text format of {!Gsim_engine.Checkpoint}).
+    generations, one file per generation: full keyframes
+    ([ckpt-<cycle>.gck], the version-2 CRC-footed text format of
+    {!Gsim_engine.Checkpoint}) and sparse deltas ([delta-<cycle>.gcd])
+    chained off them by (base cycle, base file CRC) links.
     Writes are atomic — content goes to a temp file that is renamed into
     place — so a SIGKILL at any instant leaves either the previous
     generation or the new one, never a torn file under the final name.
@@ -18,22 +20,41 @@ val create : ?ring:int -> string -> t
 val dir : t -> string
 
 val save : t -> Gsim_engine.Checkpoint.t -> string
-(** Atomically persists the checkpoint under its recorded cycle number,
+(** Atomically persists a full keyframe under its recorded cycle number,
     prunes generations beyond the ring, and returns the path written. *)
 
+val save_keyframe : t -> Gsim_engine.Checkpoint.t -> string * int
+(** Like {!save} but also returns the CRC32 of the file bytes written —
+    the base link for a delta chained on this keyframe. *)
+
+val save_delta : t -> Gsim_engine.Checkpoint.delta -> string * int
+(** Atomically persists a sparse delta ([delta-<cycle>.gcd]) under its
+    recorded cycle, prunes, and returns [(path, file CRC32)] — the crc
+    is the base link for the {e next} delta in the chain. *)
+
 val find : t -> int -> Gsim_engine.Checkpoint.t option
-(** The generation captured at exactly the given cycle, if present and
-    valid. *)
+(** The state at exactly the given cycle, if a valid generation exists
+    there — materialized through its delta chain when the generation is
+    a delta (every link CRC-verified). *)
 
 val checkpoints : t -> (int * string) list
-(** All generations on disk as [(cycle, path)], oldest first. *)
+(** Full keyframes on disk as [(cycle, path)], oldest first.  Deltas are
+    not listed; see {!generations}. *)
+
+val generations : t -> (int * string * [ `Full | `Delta ]) list
+(** Every generation on disk, keyframes and deltas, oldest first. *)
 
 val latest : ?lenient:bool -> t -> (Gsim_engine.Checkpoint.t * string) option
-(** Newest generation that passes CRC validation, falling back to older
-    generations when the newest is corrupt.  With [~lenient:true], if
-    {e every} generation fails validation the newest is re-read in the
+(** Newest generation that materializes with every chain link verified:
+    a keyframe must pass its own CRC; a delta additionally requires its
+    whole chain back to a keyframe intact, each link's stored CRC
+    matching the actual bytes of the file it names.  A broken link fails
+    every generation chained on top of it, so recovery lands on the
+    newest generation older than the break.  With [~lenient:true], if
+    {e every} generation fails, the newest keyframe is re-read in the
     last-complete-section mode of {!Gsim_engine.Checkpoint.of_string}
-    (tolerating a torn final write) before giving up. *)
+    (tolerating a torn final write) before giving up — deltas are never
+    half-applied. *)
 
 val write_atomic : string -> string -> unit
 (** [write_atomic path content] — the store's temp+rename discipline for

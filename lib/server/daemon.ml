@@ -89,6 +89,13 @@ let serve cfg =
         (Printf.sprintf "gsimd-%d" (Unix.getpid ()))
   in
   Store.ensure_dir spool;
+  (* Batch requests are persisted here at admission and removed on
+     completion, so a killed daemon's unfinished batch work is re-admitted
+     by the next boot's scan (and resumes from its spool ring where one
+     was written). *)
+  let jobs_dir = Filename.concat spool "jobs" in
+  Store.ensure_dir jobs_dir;
+  let request_path id = Filename.concat jobs_dir (Printf.sprintf "job-%06d.gjb" id) in
   let sched = Scheduler.create ~capacity:cfg.queue_capacity () in
   let cache = Plan_cache.create ~capacity:cfg.cache_capacity () in
   let ctx =
@@ -109,6 +116,54 @@ let serve cfg =
   let running = Atomic.make 0 in
   let next_job = Atomic.make 0 in
   let draining = Atomic.make false in
+
+  (* Boot scan: re-admit batch jobs a previous daemon left behind.  The
+     jobs queue before the worker pool starts; new job ids are allocated
+     above every scanned id so a re-admitted job keeps exclusive use of
+     its spool directory. *)
+  let () =
+    let entries = try Sys.readdir jobs_dir with Sys_error _ -> [||] in
+    Array.sort compare entries;
+    Array.iter
+      (fun f ->
+        match Scanf.sscanf f "job-%d.gjb%!" (fun i -> i) with
+        | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> ()
+        | id ->
+          (* Even an undecodable file retires its id: a stale spool ring
+             under that number must never alias a fresh job. *)
+          if id >= Atomic.get next_job then Atomic.set next_job (id + 1);
+          let path = Filename.concat jobs_dir f in
+          let req =
+            match
+              let ic = open_in_bin path in
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            with
+            | s -> ( try Some (P.decode_request s) with P.Error _ -> None)
+            | exception (Sys_error _ | End_of_file) -> None
+          in
+          (match req with
+           | None ->
+             logf "boot: dropping unreadable job file %s" f;
+             (try Sys.remove path with Sys_error _ -> ())
+           | Some ((P.Sim _ | P.Campaign _ | P.Fuzz _ | P.Coverage _) as req) ->
+             let job =
+               Worker.make_job ~id ~priority:1
+                 ~reply:(fun resp ->
+                   match resp with
+                   | P.Error_resp m -> logf "recovered job %d failed: %s" id m
+                   | _ -> logf "recovered job %d completed" id)
+                 req
+             in
+             job.Worker.recovered <- true;
+             if Scheduler.submit sched ~priority:1 job then
+               logf "boot: re-admitted interrupted job %d (%s)" id f
+             else logf "boot: queue full, leaving job %d for the next restart" id
+           | Some (P.Status | P.Shutdown) ->
+             (try Sys.remove path with Sys_error _ -> ())))
+      entries
+  in
 
   (* Listening socket. *)
   let sock = Unix.socket (socket_domain cfg.address) Unix.SOCK_STREAM 0 in
@@ -172,6 +227,9 @@ let serve cfg =
            Scheduler.requeue sched ~priority:job.Worker.priority job
          | Worker.Done resp ->
            Atomic.incr completed;
+           (* The job can no longer be interrupted: retire its persisted
+              request (a no-op for interactive jobs, which have none). *)
+           (try Sys.remove (request_path job.Worker.id) with Sys_error _ -> ());
            logf "worker %d: job %d done%s" w job.Worker.id
              (match resp with P.Error_resp m -> ": error: " ^ m | _ -> "");
            job.Worker.reply resp);
@@ -222,12 +280,20 @@ let serve cfg =
         let job =
           Worker.make_job ~id ~priority:(priority_level prio) ~reply:(Waitbox.put box) req
         in
+        (* Persist batch requests before scheduling: from this instant a
+           daemon crash leaves enough on disk for the next boot to finish
+           the job.  Interactive jobs are cheap and their client retries,
+           so they are not persisted. *)
+        if prio = P.Batch then (
+          try Store.write_atomic (request_path id) (P.encode_request req)
+          with Sys_error m -> logf "conn %d: cannot persist job %d: %s" conn_id id m);
         if Scheduler.submit sched ~priority:job.Worker.priority job then begin
           logf "conn %d: job %d queued (%s)" conn_id id (P.priority_to_string prio);
           respond (Waitbox.wait box)
         end
         else begin
           Atomic.incr rejected;
+          (try Sys.remove (request_path id) with Sys_error _ -> ());
           respond
             (P.Error_resp
                (Printf.sprintf "queue full (%d job(s) queued); retry later"

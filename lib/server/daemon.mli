@@ -10,7 +10,16 @@
     [Shutdown] request: new submissions are refused, queued and
     preempted jobs run to completion, their responses are delivered,
     and {!serve} returns.  A Unix listening socket is registered with
-    {!Gsim_resilience.Store.track_tmp} so even a hard exit removes it. *)
+    {!Gsim_resilience.Store.track_tmp} so even a hard exit removes it.
+
+    Batch jobs survive an ungraceful exit: each batch request is
+    persisted ([<spool>/jobs/job-<id>.gjb], atomic write) at admission
+    and removed on completion, and {!serve} begins by scanning that
+    directory, re-admitting every leftover job at batch priority and
+    allocating new ids above the scanned ones.  A re-admitted sim job
+    resumes from its preemption spool ring's delta chain instead of
+    cycle 0 when the killed daemon had spooled one; its response goes to
+    the log, since the submitting client died with the old daemon. *)
 
 type config = {
   address : Protocol.address;

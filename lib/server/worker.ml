@@ -21,6 +21,9 @@ type job = {
   reply : P.response -> unit;
   mutable done_cycles : int;
   mutable ck : Checkpoint.t option;
+  mutable recovered : bool;
+  mutable spool_link : (Checkpoint.t * int) option;
+  mutable spool_deltas : int;
   mutable preemptions : int;
   mutable cache_hit : bool;
   mutable compile_seconds : float;
@@ -34,6 +37,9 @@ let make_job ~id ~priority ~reply request =
     reply;
     done_cycles = 0;
     ck = None;
+    recovered = false;
+    spool_link = None;
+    spool_deltas = 0;
     preemptions = 0;
     cache_hit = false;
     compile_seconds = 0.;
@@ -51,6 +57,12 @@ type context = {
 }
 
 type outcome = Done of P.response | Yielded
+
+(* Preemption spool cadence: the first yield of a job writes a full
+   keyframe, later yields write sparse deltas chained on it, and every
+   [spool_keyframe_every] deltas a fresh keyframe re-anchors the chain
+   so recovery never walks an unbounded number of links. *)
+let spool_keyframe_every = 8
 
 let config_of_opts (o : P.engine_opts) =
   Gsim.config_of_names ~engine:o.eo_engine ~threads:o.eo_threads ~level:o.eo_level
@@ -125,7 +137,26 @@ let run_sim ctx job (sj : P.sim_job) =
    | Some ck ->
      Checkpoint.restore sim ck;
      sim.Sim.invalidate ()
-   | None -> ());
+   | None ->
+     (* A job re-admitted after a daemon restart lost its in-memory
+        checkpoint, but its spool ring survived: resume from the newest
+        generation whose delta chain verifies, instead of cycle 0.  A
+        torn last write (the killed daemon died mid-spool) just lands
+        recovery on the previous generation. *)
+     if job.recovered && job.done_cycles = 0 then begin
+       let dir = Filename.concat ctx.spool (Printf.sprintf "sim-job-%03d" job.id) in
+       if Sys.file_exists dir then
+         match Store.latest ~lenient:true (Store.create dir) with
+         | Some (ck, path) ->
+           Checkpoint.restore sim ck;
+           sim.Sim.invalidate ();
+           job.done_cycles <- Checkpoint.cycle ck;
+           ctx.log
+             (Printf.sprintf "job %d: resumed from spooled %s at cycle %d" job.id
+                (Filename.basename path) (Checkpoint.cycle ck))
+         | None -> ()
+         | exception (Failure _ | Sys_error _) -> ()
+     end);
   List.iter (fun (id, v) -> sim.Sim.poke id v) (parse_pokes circuit sj.sj_pokes);
   let halted = ref false in
   let target = sj.sj_cycles in
@@ -156,9 +187,27 @@ let run_sim ctx job (sj : P.sim_job) =
     then begin
       let ck = Checkpoint.with_cycle (Checkpoint.capture sim) job.done_cycles in
       job.ck <- Some ck;
-      (* Spool the checkpoint crash-safely: the in-memory copy resumes
-         this job on any worker, the on-disk ring survives the daemon. *)
-      ignore (Store.save (Store.create ~ring:2 (job_dir ctx job "sim")) ck);
+      (* Spool the generation crash-safely: the in-memory copy resumes
+         this job on any worker, the on-disk ring survives the daemon.
+         After the first keyframe each yield costs only a sparse delta
+         chained on the previous generation's file CRC; the ring's
+         chain-aware prune keeps every base a live delta still needs. *)
+      let store = Store.create ~ring:4 (job_dir ctx job "sim") in
+      (match job.spool_link with
+       | Some (base, base_crc) when job.spool_deltas < spool_keyframe_every -> (
+         match Checkpoint.delta_of ~base ~base_crc ck with
+         | d ->
+           let _, crc = Store.save_delta store d in
+           job.spool_link <- Some (ck, crc);
+           job.spool_deltas <- job.spool_deltas + 1
+         | exception Failure _ ->
+           let _, crc = Store.save_keyframe store ck in
+           job.spool_link <- Some (ck, crc);
+           job.spool_deltas <- 0)
+       | _ ->
+         let _, crc = Store.save_keyframe store ck in
+         job.spool_link <- Some (ck, crc);
+         job.spool_deltas <- 0);
       job.preemptions <- job.preemptions + 1;
       Atomic.incr ctx.preemption_count;
       yielded := true

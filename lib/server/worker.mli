@@ -10,6 +10,14 @@
     uninterrupted run (registers, inputs and memories restore exactly;
     combinational values are re-derived on the next step).
 
+    The spool ring is a delta chain: the job's first yield writes a full
+    keyframe, later yields append sparse deltas linked by (base cycle,
+    base file CRC), and a fresh keyframe re-anchors the chain every few
+    deltas.  A job whose [recovered] flag is set (re-admitted from a
+    persisted request after a daemon restart) and that has no in-memory
+    checkpoint resumes from the newest chain generation that verifies —
+    a write torn by the crash just drops recovery back one generation.
+
     Interactive jobs (priority 0) and campaign/fuzz/coverage jobs never
     yield — campaigns already shard at the request level, which is the
     preemption mechanism for batch analysis traffic. *)
@@ -21,6 +29,13 @@ type job = {
   reply : Protocol.response -> unit;  (** fulfilled exactly once, on completion *)
   mutable done_cycles : int;
   mutable ck : Gsim_engine.Checkpoint.t option;
+  mutable recovered : bool;
+      (** re-admitted from the daemon's persisted-request spool; enables
+          resume from the job's on-disk ring when [ck] is [None] *)
+  mutable spool_link : (Gsim_engine.Checkpoint.t * int) option;
+      (** newest spooled generation: its state and its file CRC — the
+          base link for the next delta *)
+  mutable spool_deltas : int;  (** deltas since the last spooled keyframe *)
   mutable preemptions : int;
   mutable cache_hit : bool;
   mutable compile_seconds : float;

@@ -9,6 +9,7 @@ module Rand_circuit = Gsim_ir.Rand_circuit
 module Sim = Gsim_engine.Sim
 module Full_cycle = Gsim_engine.Full_cycle
 module Checkpoint = Gsim_engine.Checkpoint
+module Native = Gsim_engine.Native
 module Gsim = Gsim_core.Gsim
 module Store = Gsim_resilience.Store
 module Incident = Gsim_resilience.Incident
@@ -207,6 +208,181 @@ let test_store_ring_and_fallback () =
   | Some (ck, _) -> Alcotest.(check int) "lenient recovers newest prefix" 50 (Checkpoint.cycle ck)
   | None -> Alcotest.fail "lenient recovery failed"
 
+(* --- delta chains: recovery walk under injected corruption ---------------- *)
+
+(* Torn write: keep only the first half of the file (no atomic rename —
+   this is the on-disk state a SIGKILL mid-write leaves). *)
+let tear_file path =
+  let s = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub s 0 (String.length s / 2)))
+
+(* Silent corruption: flip one byte in the middle, length unchanged. *)
+let flip_mid path =
+  let s = Bytes.of_string (In_channel.with_open_bin path In_channel.input_all) in
+  let i = Bytes.length s / 2 in
+  Bytes.set s i (if Bytes.get s i = 'x' then 'y' else 'x');
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc s)
+
+(* Corrupt only the CRC footer: flip a hex digit of the "crc" line. *)
+let corrupt_footer path =
+  let s = In_channel.with_open_bin path In_channel.input_all in
+  let rec find i =
+    if i + 4 > String.length s then Alcotest.fail "no crc footer"
+    else if String.sub s i 4 = "crc " then i + 4
+    else find (i + 1)
+  in
+  let j = find 0 in
+  let s =
+    String.mapi (fun k ch -> if k = j then (if ch = '0' then '1' else '0') else ch) s
+  in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let test_store_delta_chain_recovery () =
+  let c, en, _ = counter_circuit () in
+  let fresh () = Full_cycle.sim (Full_cycle.create c) in
+  let sim = fresh () in
+  let cycle = ref 0 in
+  let advance sim upto =
+    for cy = !cycle to upto - 1 do
+      List.iter (fun (id, v) -> sim.Sim.poke id v) (en_stimulus en cy);
+      sim.Sim.step ()
+    done;
+    cycle := upto
+  in
+  let dir = temp_dir () in
+  let store = Store.create ~ring:0 dir in
+  advance sim 10;
+  let ck10 = Checkpoint.with_cycle (Checkpoint.capture sim) 10 in
+  let kf_path, crc10 = Store.save_keyframe store ck10 in
+  (* Chain three deltas on the keyframe: 10 -> 20 -> 30 -> 40. *)
+  let prev = ref (ck10, crc10) in
+  let chain =
+    List.map
+      (fun cy ->
+        advance sim cy;
+        let ck = Checkpoint.with_cycle (Checkpoint.capture sim) cy in
+        let base, base_crc = !prev in
+        let path, crc = Store.save_delta store (Checkpoint.delta_of ~base ~base_crc ck) in
+        prev := (ck, crc);
+        (cy, path, ck))
+      [ 20; 30; 40 ]
+  in
+  let ck_at cy = match List.find (fun (c, _, _) -> c = cy) chain with _, _, ck -> ck in
+  let path_at cy = match List.find (fun (c, _, _) -> c = cy) chain with _, p, _ -> p in
+  let latest_cycle () =
+    match Store.latest store with
+    | Some (ck, _) -> Some (Checkpoint.cycle ck)
+    | None -> None
+  in
+  (* Intact chain: materializes the tip, byte-for-byte. *)
+  (match Store.latest store with
+   | Some (ck, _) ->
+     Alcotest.(check string) "tip materializes byte-identical"
+       (Checkpoint.to_string (ck_at 40)) (Checkpoint.to_string ck)
+   | None -> Alcotest.fail "intact chain failed to materialize");
+  let keep path = In_channel.with_open_bin path In_channel.input_all in
+  let restore path s =
+    Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+  in
+  (* Torn mid-chain delta: 30 breaks, and 40 — intact itself, but
+     chained through 30 — must fall with it.  Recovery lands on 20. *)
+  let saved30 = keep (path_at 30) in
+  tear_file (path_at 30);
+  Alcotest.(check (option int)) "torn link drops to newest intact generation"
+    (Some 20) (latest_cycle ());
+  (* Resume from the recovered generation = uninterrupted, bytes equal. *)
+  (match Store.latest store with
+   | Some (ck, _) ->
+     let resumed = fresh () in
+     Checkpoint.restore resumed ck;
+     cycle := Checkpoint.cycle ck;
+     advance resumed 60;
+     let control = fresh () in
+     cycle := 0;
+     advance control 60;
+     Alcotest.(check string) "resume after torn delta = uninterrupted run"
+       (Checkpoint.to_string (Checkpoint.with_cycle (Checkpoint.capture control) 60))
+       (Checkpoint.to_string (Checkpoint.with_cycle (Checkpoint.capture resumed) 60))
+   | None -> Alcotest.fail "no generation after tear");
+  restore (path_at 30) saved30;
+  (* Silent one-byte corruption of a mid-chain delta fails its own CRC:
+     same fallback, no half-applied delta. *)
+  flip_mid (path_at 30);
+  Alcotest.(check (option int)) "corrupt delta detected by its CRC" (Some 20)
+    (latest_cycle ());
+  restore (path_at 30) saved30;
+  Alcotest.(check (option int)) "restored chain is whole again" (Some 40)
+    (latest_cycle ());
+  (* Keyframe footer corruption kills the anchor: every delta chains
+     through its bytes, so strict recovery has nothing — lenient mode
+     re-reads the keyframe body (intact above the footer) and recovers
+     its state rather than giving up. *)
+  corrupt_footer kf_path;
+  Alcotest.(check (option int)) "broken anchor fails the whole chain" None
+    (latest_cycle ());
+  match Store.latest ~lenient:true store with
+  | Some (ck, _) ->
+    Alcotest.(check int) "lenient recovers the keyframe body" 10 (Checkpoint.cycle ck);
+    Alcotest.(check bool) "recovered state is the keyframe's" true
+      (Checkpoint.equal ck ck10)
+  | None -> Alcotest.fail "lenient recovery found nothing"
+
+let test_session_resume_torn_delta () =
+  let st = Random.State.make [| 11 |] in
+  let circuit =
+    Rand_circuit.generate st
+      { Rand_circuit.default_config with Rand_circuit.with_memory = true }
+  in
+  let stim = Rand_circuit.random_stimulus st circuit ~cycles:120 in
+  let stimulus c = if c < Array.length stim then stim.(c) else [] in
+  let clean =
+    let t = Session.create Session.default Gsim.gsim circuit in
+    ignore (Session.run ~stimulus t 120);
+    let ck = Session.checkpoint t in
+    Session.destroy t;
+    Checkpoint.to_string ck
+  in
+  (* One 60-cycle interrupted run per injection scenario: tear the chain
+     tip (fall back one generation), then corrupt the first delta (the
+     whole chain dies, recovery drops to the startup keyframe). *)
+  List.iter
+    (fun (scenario, mutate, expect_resume) ->
+      let dir = temp_dir () in
+      let cfg =
+        { Session.default with
+          Session.checkpoint_every = Some 25;
+          checkpoint_dir = Some dir }
+      in
+      let t1 = Session.create cfg Gsim.gsim circuit in
+      let o1 = Session.run ~stimulus t1 60 in
+      (* Startup keyframe at 0, deltas at 25, 50 and the run-end 60. *)
+      Alcotest.(check int) (scenario ^ ": one keyframe") 1 o1.Session.keyframes_written;
+      Alcotest.(check int) (scenario ^ ": three deltas") 3 o1.Session.deltas_written;
+      Session.destroy t1;
+      let gens = Store.generations (Store.create dir) in
+      Alcotest.(check bool) (scenario ^ ": chain on disk") true
+        (List.map (fun (c, _, k) -> (c, k)) gens
+        = [ (0, `Full); (25, `Delta); (50, `Delta); (60, `Delta) ]);
+      let path_at cy =
+        match List.find (fun (c, _, _) -> c = cy) gens with _, p, _ -> p
+      in
+      mutate path_at;
+      let t2 = Session.create cfg Gsim.gsim circuit in
+      (match Session.resume t2 with
+       | Some (c, _) ->
+         Alcotest.(check int) (scenario ^ ": resume generation") expect_resume c
+       | None -> Alcotest.fail (scenario ^ ": nothing to resume"));
+      ignore (Session.run ~stimulus t2 120);
+      let resumed = Checkpoint.to_string (Session.checkpoint t2) in
+      Session.destroy t2;
+      Alcotest.(check string) (scenario ^ ": byte-identical to uninterrupted") clean
+        resumed)
+    [
+      ("torn tip", (fun path_at -> tear_file (path_at 60)), 50);
+      ("corrupt mid-chain", (fun path_at -> flip_mid (path_at 25)), 0);
+    ]
+
 (* --- resume = uninterrupted, across every preset x backend --------------- *)
 
 let test_resume_matrix () =
@@ -217,22 +393,40 @@ let test_resume_matrix () =
   in
   let stim = Rand_circuit.random_stimulus st circuit ~cycles:120 in
   let stimulus c = if c < Array.length stim then stim.(c) else [] in
+  let backends =
+    [ `Closures; `Bytecode ] @ (if Native.available () then [ `Native ] else [])
+  in
+  (* Rotate the keyframe cadence across matrix cells: the default chain,
+     all-full generations (no deltas), and a keyframe after every delta —
+     each cadence meets several engines over the sweep. *)
+  let kf_variations = [| 16; 0; 1 |] in
+  let cell = ref 0 in
   List.iter
     (fun preset ->
       List.iter
         (fun backend ->
+          let keyframe_every = kf_variations.(!cell mod Array.length kf_variations) in
+          incr cell;
           let config = { preset with Gsim.backend } in
-          let name = Printf.sprintf "%s/%s" config.Gsim.config_name
-              (Gsim_engine.Eval.to_string backend) in
+          let name = Printf.sprintf "%s/%s/kf%d" config.Gsim.config_name
+              (Gsim_engine.Eval.to_string backend) keyframe_every in
           let dir = temp_dir () in
           let cfg =
             { Session.default with Session.checkpoint_every = Some 25;
-              checkpoint_dir = Some dir }
+              checkpoint_dir = Some dir; keyframe_every }
           in
           (* Interrupted: stop at 60 (checkpoints at 25 and 50 persist). *)
           let t1 = Session.create cfg config circuit in
           let o1 = Session.run ~stimulus t1 60 in
           Alcotest.(check int) (name ^ " interrupted ran") 60 o1.Session.final_cycle;
+          Alcotest.(check int) (name ^ " generation accounting")
+            o1.Session.checkpoints_written
+            (o1.Session.keyframes_written + o1.Session.deltas_written);
+          (* Engines without a runtime arena (no write barrier) persist
+             all-full generations regardless of cadence. *)
+          if keyframe_every = 0 then
+            Alcotest.(check int) (name ^ " all generations full") 0
+              o1.Session.deltas_written;
           Session.destroy t1;
           (* Resumed in a fresh session (fresh process stand-in). *)
           let t2 = Session.create cfg config circuit in
@@ -250,8 +444,11 @@ let test_resume_matrix () =
           Session.destroy t3;
           Alcotest.(check bool)
             (name ^ " resume bit-identical to uninterrupted") true
-            (Checkpoint.equal resumed_final clean_final))
-        [ `Closures; `Bytecode ])
+            (Checkpoint.equal resumed_final clean_final);
+          Alcotest.(check string) (name ^ " resume byte-identical serialized")
+            (Checkpoint.to_string clean_final)
+            (Checkpoint.to_string resumed_final))
+        backends)
     Gsim.all_presets
 
 (* --- shadow verification + degradation ----------------------------------- *)
@@ -433,9 +630,18 @@ let () =
           Alcotest.test_case "lenient truncation" `Quick test_ck_lenient_truncation;
         ] );
       ( "store",
-        [ Alcotest.test_case "ring + corrupt fallback" `Quick test_store_ring_and_fallback ] );
+        [
+          Alcotest.test_case "ring + corrupt fallback" `Quick test_store_ring_and_fallback;
+          Alcotest.test_case "delta-chain recovery under corruption" `Quick
+            test_store_delta_chain_recovery;
+        ] );
       ( "resume",
-        [ Alcotest.test_case "equals uninterrupted (preset x backend)" `Slow test_resume_matrix ] );
+        [
+          Alcotest.test_case "equals uninterrupted (preset x backend)" `Slow
+            test_resume_matrix;
+          Alcotest.test_case "torn / corrupted delta chain" `Quick
+            test_session_resume_torn_delta;
+        ] );
       ( "shadow",
         [
           Alcotest.test_case "seeded divergence detected + repro" `Quick test_divergence_detected;

@@ -4,6 +4,7 @@
 module Bits = Gsim_bits.Bits
 module Circuit = Gsim_ir.Circuit
 module Sim = Gsim_engine.Sim
+module Checkpoint = Gsim_engine.Checkpoint
 module Gsim = Gsim_core.Gsim
 module Compile = Gsim_core.Gsim.Compile
 module Store = Gsim_resilience.Store
@@ -382,12 +383,107 @@ let test_preemption_identity () =
    | _ -> Alcotest.fail "resumed job failed");
   Alcotest.(check int) "preemption counter" 1 (Atomic.get ctx.Worker.preemption_count)
 
+(* --- worker spool ring: delta chain, resume after a lost daemon ----------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_worker_spool_resume () =
+  let spool = temp_dir () in
+  let sched = Scheduler.create () in
+  let logs = ref [] in
+  let ctx =
+    { Worker.cache = Plan_cache.create (); sched; spool; preempt_stride = 10;
+      log = (fun l -> logs := l :: !logs); preemption_count = Atomic.make 0;
+      golden_hits = Atomic.make 0; golden_misses = Atomic.make 0 }
+  in
+  let sj =
+    { P.sj_filename = "gray.fir"; sj_design = gray_fir;
+      sj_opts = P.default_engine_opts; sj_cycles = 95; sj_pokes = [ "en=1" ] }
+  in
+  let expected =
+    let uj =
+      Worker.make_job ~id:99 ~priority:0 ~reply:ignore (P.Sim (P.Interactive, sj))
+    in
+    match Worker.execute ctx uj with
+    | Worker.Done (P.Sim_done u) -> u.P.sr_outputs
+    | _ -> Alcotest.fail "uninterrupted run failed"
+  in
+  (* Yield a batch job three times (interactive work keeps waiting), so
+     the spool ring holds a keyframe and a two-delta chain. *)
+  let build_chain id =
+    let interactive =
+      Worker.make_job ~id:(50 + id) ~priority:0 ~reply:ignore (P.Sim (P.Interactive, sj))
+    in
+    Alcotest.(check bool) "queue interactive" true
+      (Scheduler.submit sched ~priority:0 interactive);
+    let job =
+      Worker.make_job ~id ~priority:1 ~reply:ignore (P.Sim (P.Batch, sj))
+    in
+    for _ = 1 to 3 do
+      match Worker.execute ctx job with
+      | Worker.Yielded -> ()
+      | Worker.Done _ -> Alcotest.fail "expected a yield"
+    done;
+    ignore (Scheduler.take sched);
+    Alcotest.(check int) "three strides done" 30 job.Worker.done_cycles;
+    Filename.concat spool (Printf.sprintf "sim-job-%03d" id)
+  in
+  let dir = build_chain 1 in
+  let gens =
+    List.map (fun (c, _, kind) -> (c, kind)) (Store.generations (Store.create dir))
+  in
+  Alcotest.(check bool) "keyframe then two chained deltas" true
+    (gens = [ (10, `Full); (20, `Delta); (30, `Delta) ]);
+  (* The daemon died: a fresh job record (no in-memory checkpoint) marked
+     [recovered] must resume from the on-disk chain, not cycle 0. *)
+  let resume id expect_cycle =
+    let result = ref None in
+    let rj =
+      Worker.make_job ~id ~priority:1 ~reply:(fun r -> result := Some r)
+        (P.Sim (P.Batch, sj))
+    in
+    rj.Worker.recovered <- true;
+    (match Worker.execute ctx rj with
+     | Worker.Done (P.Sim_done r) ->
+       Alcotest.(check int) "full run length" 95 r.P.sr_cycles;
+       Alcotest.(check bool) "outputs identical to uninterrupted run" true
+         (r.P.sr_outputs = expected)
+     | _ -> Alcotest.fail "recovered job failed");
+    Alcotest.(check bool)
+      (Printf.sprintf "resumed at cycle %d" expect_cycle)
+      true
+      (List.exists
+         (fun l -> contains l (Printf.sprintf "at cycle %d" expect_cycle))
+         !logs)
+  in
+  resume 1 30;
+  Alcotest.(check bool) "ring retired on completion" false (Sys.file_exists dir);
+  (* Torn final write: truncate the newest delta mid-file.  Its chain
+     link breaks, so recovery must land one generation back — and still
+     finish with identical outputs. *)
+  let dir = build_chain 2 in
+  let tip =
+    match List.rev (Store.generations (Store.create dir)) with
+    | (30, path, `Delta) :: _ -> path
+    | _ -> Alcotest.fail "expected a delta tip at cycle 30"
+  in
+  let whole = In_channel.with_open_bin tip In_channel.input_all in
+  Out_channel.with_open_bin tip (fun oc ->
+      Out_channel.output_string oc (String.sub whole 0 (String.length whole / 2)));
+  logs := [];
+  resume 2 20
+
 (* --- daemon end-to-end ---------------------------------------------------- *)
 
-let start_daemon ?(workers = 2) ?(cache = 16) () =
-  let dir = temp_dir () in
+let start_daemon ?(workers = 2) ?(cache = 16) ?dir ?log_path () =
+  let dir = match dir with Some d -> d | None -> temp_dir () in
   let sock = Filename.concat dir "gsimd.sock" in
-  let devnull = open_out "/dev/null" in
+  let devnull =
+    match log_path with Some p -> open_out p | None -> open_out "/dev/null"
+  in
   let cfg =
     { (Daemon.default_config (P.Unix_sock sock)) with
       Daemon.workers; cache_capacity = cache; spool = Some (Filename.concat dir "spool");
@@ -478,6 +574,76 @@ let test_daemon_bad_job () =
    | _ -> Alcotest.fail "status after failure");
   stop_daemon d
 
+(* --- daemon restart: persisted batch jobs are re-admitted ----------------- *)
+
+let test_daemon_restart_readmits () =
+  let dir = temp_dir () in
+  let spool = Filename.concat dir "spool" in
+  let jobs_dir = Filename.concat spool "jobs" in
+  Store.ensure_dir jobs_dir;
+  let sj cycles =
+    { P.sj_filename = "gray.fir"; sj_design = gray_fir;
+      sj_opts = P.default_engine_opts; sj_cycles = cycles; sj_pokes = [ "en=1" ] }
+  in
+  (* Everything a SIGKILLed daemon leaves behind: the persisted batch
+     request, a preemption spool ring (keyframe at cycle 20, delta at
+     30), and one unreadable leftover whose id must still be retired. *)
+  let job7 = Filename.concat jobs_dir "job-000007.gjb" in
+  Store.write_atomic job7 (P.encode_request (P.Sim (P.Batch, sj 60)));
+  let job9 = Filename.concat jobs_dir "job-000009.gjb" in
+  Store.write_atomic job9 "not a protocol frame";
+  let ring = Filename.concat spool "sim-job-007" in
+  let () =
+    let source = Compile.source_of_string ~filename:"gray.fir" gray_fir in
+    let compiled = Compile.realize (Compile.prepare (gsim_config ()) source) in
+    let sim = compiled.Gsim.sim in
+    (match Circuit.find_node sim.Sim.circuit "en" with
+     | Some n -> sim.Sim.poke n.Circuit.id (Bits.of_int ~width:1 1)
+     | None -> Alcotest.fail "no en input");
+    for _ = 1 to 20 do sim.Sim.step () done;
+    let ck20 = Checkpoint.with_cycle (Checkpoint.capture sim) 20 in
+    for _ = 1 to 10 do sim.Sim.step () done;
+    let ck30 = Checkpoint.with_cycle (Checkpoint.capture sim) 30 in
+    compiled.Gsim.destroy ();
+    let store = Store.create ring in
+    let _, crc = Store.save_keyframe store ck20 in
+    ignore (Store.save_delta store (Checkpoint.delta_of ~base:ck20 ~base_crc:crc ck30))
+  in
+  let log_path = Filename.concat dir "daemon.log" in
+  let ((address, _, _, _) as d) = start_daemon ~dir ~log_path () in
+  (* The recovered job runs with no client attached; wait for it. *)
+  let rec poll n =
+    if n = 0 then Alcotest.fail "recovered job never completed";
+    match Client.with_connection address (fun c -> Client.call c P.Status) with
+    | P.Status_ok s when s.P.st_completed >= 1 -> ()
+    | _ ->
+      Unix.sleepf 0.02;
+      poll (n - 1)
+  in
+  poll 500;
+  Alcotest.(check bool) "request file retired on completion" false
+    (Sys.file_exists job7);
+  Alcotest.(check bool) "unreadable job file dropped" false (Sys.file_exists job9);
+  Alcotest.(check bool) "spool ring retired on completion" false
+    (Sys.file_exists ring);
+  (* New submissions must be numbered above every scanned id (9 was the
+     max), even the undecodable one. *)
+  (match Client.with_connection address (fun c ->
+             Client.call c (P.Sim (P.Batch, sj 40)))
+   with
+   | P.Sim_done r -> Alcotest.(check int) "new job runs" 40 r.P.sr_cycles
+   | _ -> Alcotest.fail "post-restart submission failed");
+  stop_daemon d;
+  let log = In_channel.with_open_bin log_path In_channel.input_all in
+  Alcotest.(check bool) "boot re-admitted job 7" true
+    (contains log "re-admitted interrupted job 7");
+  Alcotest.(check bool) "resume came from the delta tip" true
+    (contains log "job 7: resumed from spooled delta-000000000030.gcd at cycle 30");
+  Alcotest.(check bool) "recovered job completed" true
+    (contains log "recovered job 7 completed");
+  Alcotest.(check bool) "ids continue above the scan" true
+    (contains log "job 10 queued")
+
 (* --- Store SIGTERM cleanup ------------------------------------------------ *)
 
 let test_store_sigterm_cleanup () =
@@ -550,7 +716,11 @@ let () =
             test_plan_shared_across_instances;
         ] );
       ( "worker",
-        [ Alcotest.test_case "preemption identity" `Quick test_preemption_identity ] );
+        [
+          Alcotest.test_case "preemption identity" `Quick test_preemption_identity;
+          Alcotest.test_case "spool ring delta-chain resume" `Quick
+            test_worker_spool_resume;
+        ] );
       (* Must precede the daemon suite: Unix.fork is illegal once any
          Domain has been spawned, and Daemon.serve spawns its pool. *)
       ( "store",
@@ -561,5 +731,7 @@ let () =
             test_daemon_concurrent_clients;
           Alcotest.test_case "bad job is an error, not a crash" `Quick
             test_daemon_bad_job;
+          Alcotest.test_case "restart re-admits persisted batch jobs" `Quick
+            test_daemon_restart_readmits;
         ] );
     ]
