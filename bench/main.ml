@@ -840,6 +840,7 @@ let serve () =
       sj_opts = SP.default_engine_opts;
       sj_cycles = cycles;
       sj_pokes = [ "in=12345" ];
+      sj_token = None;
     }
   in
   let total = clients * jobs_per_client in
@@ -881,7 +882,7 @@ let serve () =
             let t = now () in
             (match Client.call c (SP.Sim (SP.Batch, job)) with
              | SP.Sim_done _ -> ()
-             | SP.Error_resp m -> failwith ("serve bench job failed: " ^ m)
+             | SP.Error_resp e -> failwith ("serve bench job failed: " ^ e.SP.ei_message)
              | _ -> failwith "unexpected response");
             latencies.((ci * jobs_per_client) + j) <- now () -. t
           done)
@@ -921,6 +922,139 @@ let serve () =
     w_jps (w_p50 *. 1000.) (w_p99 *. 1000.) w_hits w_misses ratio;
   close_out oc;
   Printf.printf "  [wrote BENCH_serve.json]\n"
+
+(* ------------------------------------------------------------------ *)
+(* gsimd under chaos: throughput and p99 with injected worker failure   *)
+(* ------------------------------------------------------------------ *)
+
+(* What supervision costs: the same batch workload runs against a calm
+   daemon and against one whose workers crash at ~10% of jobs (seeded
+   Chaos injection at eval ticks).  Every job must still complete —
+   crashes are recovered from the per-stride spool, so the price is
+   respawn + backoff latency, not lost work.  The --quick variant gates
+   CI at <= 2x p99 inflation. *)
+let chaos_bench () =
+  let module SP = Gsim_server.Protocol in
+  let module Client = Gsim_server.Client in
+  let module Daemon = Gsim_server.Daemon in
+  let module Chaos = Gsim_server.Chaos in
+  let module Supervisor = Gsim_server.Supervisor in
+  header "Chaos - gsimd jobs/sec and p99 under ~10% injected worker failure";
+  let stages = if !Harness.quick then 120 else 400 in
+  let clients = 4 in
+  let jobs_per_client = if !Harness.quick then 6 else 12 in
+  let cycles = 200 in
+  let design = serve_design stages in
+  let job =
+    {
+      SP.sj_filename = "chain.fir";
+      sj_design = design;
+      sj_opts = SP.default_engine_opts;
+      sj_cycles = cycles;
+      sj_pokes = [ "in=12345" ];
+      sj_token = None;
+    }
+  in
+  let total = clients * jobs_per_client in
+  (* Two eval ticks per job (stride 100, 200 cycles): crash=0.05 per
+     tick ~= 10% of jobs lose their worker at least once. *)
+  let chaos_spec = Chaos.spec_of_string "seed=7,crash=0.05" in
+  let run_phase label spec =
+    let sock =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gsimd-chaos-%d-%s.sock" (Unix.getpid ()) label)
+    in
+    let spool =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gsimd-chaos-%d-%s" (Unix.getpid ()) label)
+    in
+    let address = SP.Unix_sock sock in
+    let devnull = open_out "/dev/null" in
+    let dflt = Daemon.default_config address in
+    let cfg =
+      {
+        dflt with
+        Daemon.workers = 4;
+        cache_capacity = 16;
+        preempt_stride = 100;
+        spool = Some spool;
+        log = devnull;
+        chaos = spec;
+        supervision =
+          { dflt.Daemon.supervision with Supervisor.backoff_base = 0.02; backoff_max = 0.2 };
+      }
+    in
+    let server = Thread.create (fun () -> Daemon.serve cfg) () in
+    let rec wait_ready n =
+      if not (Sys.file_exists sock) then
+        if n = 0 then failwith "gsimd did not start"
+        else begin
+          Unix.sleepf 0.01;
+          wait_ready (n - 1)
+        end
+    in
+    wait_ready 500;
+    let latencies = Array.make total 0. in
+    let t0 = now () in
+    let client ci () =
+      Client.with_connection address (fun c ->
+          for j = 0 to jobs_per_client - 1 do
+            let t = now () in
+            (match Client.call c (SP.Sim (SP.Batch, job)) with
+             | SP.Sim_done r ->
+               if r.SP.sr_cycles <> cycles then
+                 failwith "chaos bench job finished with wrong cycle count"
+             | SP.Error_resp e -> failwith ("chaos bench job failed: " ^ e.SP.ei_message)
+             | _ -> failwith "unexpected response");
+            latencies.((ci * jobs_per_client) + j) <- now () -. t
+          done)
+    in
+    let threads = List.init clients (fun ci -> Thread.create (client ci) ()) in
+    List.iter Thread.join threads;
+    let dt = now () -. t0 in
+    let st =
+      match Client.with_connection address (fun c -> Client.call c SP.Status) with
+      | SP.Status_ok s -> s
+      | _ -> failwith "status failed"
+    in
+    (match Client.with_connection address (fun c -> Client.call c SP.Shutdown) with
+     | SP.Shutting_down -> ()
+     | _ -> failwith "shutdown failed");
+    Thread.join server;
+    close_out devnull;
+    Array.sort compare latencies;
+    let pct p = latencies.(min (total - 1) (int_of_float (p *. float_of_int total))) in
+    let jobs_per_sec = float_of_int total /. dt in
+    Printf.printf
+      "%-9s %3d jobs %8.2fs %9.2f jobs/s  p50 %6.0fms p99 %6.0fms  crashes %2d retries %2d restarts %2d\n%!"
+      label total dt jobs_per_sec (pct 0.50 *. 1000.) (pct 0.99 *. 1000.)
+      st.SP.st_worker_crashes st.SP.st_retries st.SP.st_worker_restarts;
+    (jobs_per_sec, pct 0.50, pct 0.99, st)
+  in
+  Printf.printf "  design: %d-stage register chain, %d cycles per job, stride 100\n%!"
+    stages cycles;
+  let b_jps, b_p50, b_p99, _ = run_phase "baseline" Chaos.none in
+  let c_jps, c_p50, c_p99, c_st = run_phase "chaos" chaos_spec in
+  if c_st.SP.st_worker_crashes = 0 then
+    failwith "chaos phase injected no worker crashes (seed/stride drifted?)";
+  if c_st.SP.st_gave_up > 0 then
+    failwith (Printf.sprintf "chaos phase lost %d job(s)" c_st.SP.st_gave_up);
+  let inflation = c_p99 /. b_p99 in
+  Printf.printf
+    "  -> chaos throughput %.2fx baseline, p99 inflation %.2fx (%d crash(es) recovered)\n%!"
+    (c_jps /. b_jps) inflation c_st.SP.st_worker_crashes;
+  let oc = open_out "BENCH_chaos.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"chaos\",\n  \"stages\": %d,\n  \"cycles\": %d,\n  \"clients\": %d,\n  \"jobs\": %d,\n  \"spec\": %S,\n  \"rows\": [\n    {\"phase\":\"baseline\",\"jobs_per_sec\":%.3f,\"p50_ms\":%.1f,\"p99_ms\":%.1f},\n    {\"phase\":\"chaos\",\"jobs_per_sec\":%.3f,\"p50_ms\":%.1f,\"p99_ms\":%.1f,\"worker_crashes\":%d,\"retries\":%d,\"worker_restarts\":%d,\"gave_up\":%d}\n  ],\n  \"p99_inflation\": %.3f\n}\n"
+    stages cycles clients total (Chaos.spec_to_string chaos_spec) b_jps (b_p50 *. 1000.)
+    (b_p99 *. 1000.) c_jps (c_p50 *. 1000.) (c_p99 *. 1000.) c_st.SP.st_worker_crashes
+    c_st.SP.st_retries c_st.SP.st_worker_restarts c_st.SP.st_gave_up inflation;
+  close_out oc;
+  Printf.printf "  [wrote BENCH_chaos.json]\n";
+  if !Harness.quick && inflation > 2.0 then begin
+    Printf.printf "  GATE FAILED: chaos p99 is %.2fx baseline (budget 2.0x)\n" inflation;
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Native backend on the daemon: warm .so cache vs cold cc runs         *)
@@ -964,6 +1098,7 @@ let native () =
         sj_opts = { SP.default_engine_opts with SP.eo_backend = "native" };
         sj_cycles = cycles;
         sj_pokes = [ "in=12345" ];
+        sj_token = None;
       }
     in
     let run_phase label job_for =
@@ -1006,7 +1141,7 @@ let native () =
               let job = job_for ((ci * jobs_per_client) + j) in
               match Client.call c (SP.Sim (SP.Batch, job)) with
               | SP.Sim_done _ -> ()
-              | SP.Error_resp m -> failwith ("native bench job failed: " ^ m)
+              | SP.Error_resp e -> failwith ("native bench job failed: " ^ e.SP.ei_message)
               | _ -> failwith "unexpected response"
             done)
       in
@@ -1149,11 +1284,12 @@ let () =
          | "resilience" -> resilience ()
          | "fuzz" -> fuzz ()
          | "serve" -> serve ()
+         | "chaos" -> chaos_bench ()
          | "native" -> native ()
          | "micro" -> micro ()
          | other ->
            Printf.eprintf
-             "unknown bench %S (expected table1|fig6|fig7|fig8|fig9|table3|table4|ablation|model|coverage|fault|backend|resilience|fuzz|serve|native|micro|all)\n"
+             "unknown bench %S (expected table1|fig6|fig7|fig8|fig9|table3|table4|ablation|model|coverage|fault|backend|resilience|fuzz|serve|chaos|native|micro|all)\n"
              other;
            exit 2)
        cmds);

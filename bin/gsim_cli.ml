@@ -1221,13 +1221,59 @@ let engine_opts_of engine threads level max_supernode backend =
   { SP.eo_engine = engine; eo_backend = backend; eo_level = level;
     eo_max_supernode = max_supernode; eo_threads = threads }
 
-let remote_call address request =
-  Server_client.with_connection (SP.address_of_string address) (fun c ->
-      Server_client.call c request)
+let remote_call ?(timeout = 0.) ?(retries = 0) ?token address request =
+  (* Auto-mint an idempotency token whenever retries could resubmit a
+     job-bearing request, so a retry after a torn response can never run
+     the job twice. *)
+  let token =
+    match (token, request) with
+    | (Some tok, _) when tok <> "" -> Some tok
+    | _, (SP.Status | SP.Shutdown) -> None
+    | _ when retries > 0 ->
+      Some (Printf.sprintf "cli-%d-%.6f" (Unix.getpid ()) (Unix.gettimeofday ()))
+    | _ -> None
+  in
+  try Server_client.call_robust ~timeout ~retries ?token (SP.address_of_string address) request
+  with
+  | Server_client.Timeout _ ->
+    failwith
+      (Printf.sprintf
+         "no response from gsimd at %s within %gs — raise --timeout, check 'gsim remote \
+          status', or restart the daemon"
+         address timeout)
+  | Unix.Unix_error (e, _, _) ->
+    failwith
+      (Printf.sprintf "cannot reach gsimd at %s: %s (is the daemon running?)" address
+         (Unix.error_message e))
 
 let check_error = function
-  | SP.Error_resp msg -> failwith ("server: " ^ msg)
+  | SP.Error_resp e ->
+    let attempts =
+      if e.SP.ei_attempts > 1 then Printf.sprintf " (after %d attempts)" e.SP.ei_attempts
+      else ""
+    in
+    failwith
+      (Printf.sprintf "server: [%s] %s%s"
+         (SP.error_code_to_string e.SP.ei_code)
+         e.SP.ei_message attempts)
   | r -> r
+
+let timeout_arg =
+  Arg.(value & opt float 0.
+       & info [ "timeout" ] ~docv:"SECONDS"
+           ~doc:"Give up on a connect or response after this long (0 waits forever)")
+
+let retries_arg =
+  Arg.(value & opt int 2
+       & info [ "retries" ] ~docv:"N"
+           ~doc:"Reconnect and resubmit up to N times on timeouts and torn connections; \
+                 resubmissions carry an idempotency token so the job never runs twice")
+
+let token_arg =
+  Arg.(value & opt string ""
+       & info [ "token" ] ~docv:"TOKEN"
+           ~doc:"Idempotency token for resubmission (default: auto-generated when \
+                 --retries > 0)")
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -1281,8 +1327,13 @@ let ckpt_cmd =
     Term.(const run $ dir $ lenient $ list)
 
 let serve_cmd =
-  let run listen workers queue cache stride spool logfile =
+  let run listen workers queue cache stride spool logfile chaos hang_timeout max_retries =
     let address = SP.address_of_string listen in
+    let chaos =
+      match Gsim_server.Chaos.spec_of_string chaos with
+      | spec -> spec
+      | exception Failure msg -> raise (Usage msg)
+    in
     let log, close_log =
       match logfile with
       | Some path ->
@@ -1300,6 +1351,13 @@ let serve_cmd =
         preempt_stride = stride;
         spool;
         log;
+        chaos;
+        supervision =
+          {
+            dflt.Daemon.supervision with
+            Gsim_server.Supervisor.hang_timeout;
+            max_retries;
+          };
       }
     in
     Fun.protect ~finally:close_log (fun () -> Daemon.serve cfg)
@@ -1336,13 +1394,34 @@ let serve_cmd =
     Arg.(value & opt (some string) None
          & info [ "log" ] ~docv:"FILE" ~doc:"Append the server log here instead of stderr")
   in
+  let chaos =
+    Arg.(value & opt string ""
+         & info [ "chaos" ] ~docv:"SPEC"
+             ~doc:"Seeded fault injection, e.g. \
+                   'seed=42,crash=0.1,hang=0.05,torn=0.02,slow=0.02,slow-ms=50,poison=MARK' \
+                   (testing only)")
+  in
+  let hang_timeout =
+    Arg.(value & opt float Gsim_server.Supervisor.default_policy.Gsim_server.Supervisor.hang_timeout
+         & info [ "hang-timeout" ] ~docv:"SECONDS"
+             ~doc:"Seconds without a worker heartbeat before a sim job is presumed hung, \
+                   cancelled and retried")
+  in
+  let max_retries =
+    Arg.(value & opt int Gsim_server.Supervisor.default_policy.Gsim_server.Supervisor.max_retries
+         & info [ "max-retries" ] ~docv:"N"
+             ~doc:"Retries per job after a worker loss before it fails with a structured \
+                   error")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the gsimd job daemon (graceful drain on SIGTERM/SIGINT or 'remote shutdown')")
-    Term.(const run $ listen $ workers $ queue $ cache $ stride $ spool $ logfile)
+    Term.(const run $ listen $ workers $ queue $ cache $ stride $ spool $ logfile $ chaos
+          $ hang_timeout $ max_retries)
 
 let remote_sim_cmd =
-  let run to_ file engine threads level max_supernode backend cycles pokes priority json =
+  let run to_ file engine threads level max_supernode backend cycles pokes priority json
+      timeout retries token =
     let job =
       {
         SP.sj_filename = Filename.basename file;
@@ -1350,10 +1429,11 @@ let remote_sim_cmd =
         sj_opts = engine_opts_of engine threads level max_supernode backend;
         sj_cycles = cycles;
         sj_pokes = pokes;
+        sj_token = None;
       }
     in
     let req = SP.Sim (SP.priority_of_string priority, job) in
-    match check_error (remote_call to_ req) with
+    match check_error (remote_call ~timeout ~retries ~token to_ req) with
     | SP.Sim_done r ->
       if json then begin
         let outputs =
@@ -1384,7 +1464,7 @@ let remote_sim_cmd =
     (Cmd.info "sim" ~doc:"Run a simulation job on a gsimd server")
     Term.(const run $ to_arg $ file_arg $ engine_arg $ threads_arg $ level_arg
           $ supernode_arg $ backend_arg $ cycles $ pokes $ priority_arg "interactive"
-          $ json_arg)
+          $ json_arg $ timeout_arg $ retries_arg $ token_arg)
 
 let save_db_result ~out (r : SP.db_result) json =
   Gsim_resilience.Store.write_atomic out r.SP.dr_text;
@@ -1401,7 +1481,7 @@ let save_db_result ~out (r : SP.db_result) json =
 
 let remote_campaign_cmd =
   let run to_ file engine threads level max_supernode backend horizon budget nfaults seed
-      models duration fault_keys pokes out priority json =
+      models duration fault_keys pokes out priority json timeout retries token =
     let job =
       {
         SP.cj_filename = Filename.basename file;
@@ -1415,10 +1495,11 @@ let remote_campaign_cmd =
         cj_duration = duration;
         cj_models = models;
         cj_pokes = pokes;
+        cj_token = None;
       }
     in
     let req = SP.Campaign (SP.priority_of_string priority, job) in
-    match check_error (remote_call to_ req) with
+    match check_error (remote_call ~timeout ~retries ~token to_ req) with
     | SP.Db_done r -> save_db_result ~out r json
     | _ -> failwith "unexpected response to campaign request"
   in
@@ -1458,15 +1539,16 @@ let remote_campaign_cmd =
     (Cmd.info "campaign" ~doc:"Run a fault-campaign shard on a gsimd server")
     Term.(const run $ to_arg $ file_arg $ engine_arg $ threads_arg $ level_arg
           $ supernode_arg $ backend_arg $ horizon $ budget $ nfaults $ seed $ models
-          $ duration $ fault_keys $ pokes $ out $ priority_arg "batch" $ json_arg)
+          $ duration $ fault_keys $ pokes $ out $ priority_arg "batch" $ json_arg
+          $ timeout_arg $ retries_arg $ token_arg)
 
 let remote_fuzz_cmd =
-  let run to_ seed cases from cycles setups out priority json =
+  let run to_ seed cases from cycles setups out priority json timeout retries token =
     let job = { SP.fj_seed = seed; fj_cases = cases; fj_from = from; fj_cycles = cycles;
-                fj_setups = setups }
+                fj_setups = setups; fj_token = None }
     in
     let req = SP.Fuzz (SP.priority_of_string priority, job) in
-    match check_error (remote_call to_ req) with
+    match check_error (remote_call ~timeout ~retries ~token to_ req) with
     | SP.Db_done r -> save_db_result ~out r json
     | _ -> failwith "unexpected response to fuzz request"
   in
@@ -1493,11 +1575,11 @@ let remote_fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a differential-fuzz shard on a gsimd server")
     Term.(const run $ to_arg $ seed $ cases $ from $ cycles $ setups $ out
-          $ priority_arg "batch" $ json_arg)
+          $ priority_arg "batch" $ json_arg $ timeout_arg $ retries_arg $ token_arg)
 
 let remote_cov_cmd =
   let run to_ file engine threads level max_supernode backend cycles pokes out priority
-      json =
+      json timeout retries token =
     let job =
       {
         SP.vj_filename = Filename.basename file;
@@ -1505,10 +1587,11 @@ let remote_cov_cmd =
         vj_opts = engine_opts_of engine threads level max_supernode backend;
         vj_cycles = cycles;
         vj_pokes = pokes;
+        vj_token = None;
       }
     in
     let req = SP.Coverage (SP.priority_of_string priority, job) in
-    match check_error (remote_call to_ req) with
+    match check_error (remote_call ~timeout ~retries ~token to_ req) with
     | SP.Db_done r -> save_db_result ~out r json
     | _ -> failwith "unexpected response to coverage request"
   in
@@ -1524,19 +1607,22 @@ let remote_cov_cmd =
     (Cmd.info "cov" ~doc:"Run a coverage-collection job on a gsimd server")
     Term.(const run $ to_arg $ file_arg $ engine_arg $ threads_arg $ level_arg
           $ supernode_arg $ backend_arg $ cycles $ pokes $ out $ priority_arg "interactive"
-          $ json_arg)
+          $ json_arg $ timeout_arg $ retries_arg $ token_arg)
 
 let remote_status_cmd =
-  let run to_ json =
-    match check_error (remote_call to_ SP.Status) with
+  let run to_ json timeout =
+    match check_error (remote_call ~timeout to_ SP.Status) with
     | SP.Status_ok s ->
       if json then
         Printf.printf
-          "{\"workers\":%d,\"queued\":%d,\"running\":%d,\"completed\":%d,\"rejected\":%d,\"cache\":{\"entries\":%d,\"capacity\":%d,\"hits\":%d,\"misses\":%d,\"evictions\":%d},\"golden\":{\"hits\":%d,\"misses\":%d},\"preemptions\":%d,\"uptime\":%.3f,\"draining\":%b}\n"
+          "{\"workers\":%d,\"queued\":%d,\"running\":%d,\"completed\":%d,\"rejected\":%d,\"cache\":{\"entries\":%d,\"capacity\":%d,\"hits\":%d,\"misses\":%d,\"evictions\":%d},\"golden\":{\"hits\":%d,\"misses\":%d},\"preemptions\":%d,\"supervision\":{\"retries\":%d,\"hangs\":%d,\"worker_crashes\":%d,\"worker_restarts\":%d,\"gave_up\":%d},\"quarantine\":{\"open\":%d,\"trips\":%d},\"chaos_injected\":%d,\"uptime\":%.3f,\"draining\":%b}\n"
           s.SP.st_workers s.SP.st_queued s.SP.st_running s.SP.st_completed s.SP.st_rejected
           s.SP.st_cache_entries s.SP.st_cache_capacity s.SP.st_cache_hits
           s.SP.st_cache_misses s.SP.st_cache_evictions s.SP.st_golden_hits
-          s.SP.st_golden_misses s.SP.st_preemptions s.SP.st_uptime s.SP.st_draining
+          s.SP.st_golden_misses s.SP.st_preemptions s.SP.st_retries s.SP.st_hangs
+          s.SP.st_worker_crashes s.SP.st_worker_restarts s.SP.st_gave_up
+          s.SP.st_quarantined s.SP.st_quarantine_trips s.SP.st_chaos_injected
+          s.SP.st_uptime s.SP.st_draining
       else begin
         Printf.printf "workers    : %d (%d running, %d queued)\n" s.SP.st_workers
           s.SP.st_running s.SP.st_queued;
@@ -1548,6 +1634,15 @@ let remote_status_cmd =
         Printf.printf "golden     : %d hit(s), %d miss(es)\n" s.SP.st_golden_hits
           s.SP.st_golden_misses;
         Printf.printf "preemptions: %d\n" s.SP.st_preemptions;
+        Printf.printf
+          "supervision: %d retry(ies), %d hang(s), %d worker crash(es), %d restart(s), %d \
+           gave up\n"
+          s.SP.st_retries s.SP.st_hangs s.SP.st_worker_crashes s.SP.st_worker_restarts
+          s.SP.st_gave_up;
+        Printf.printf "quarantine : %d design(s) quarantined, %d trip(s)\n"
+          s.SP.st_quarantined s.SP.st_quarantine_trips;
+        if s.SP.st_chaos_injected > 0 then
+          Printf.printf "chaos      : %d fault(s) injected\n" s.SP.st_chaos_injected;
         Printf.printf "uptime     : %.1fs%s\n" s.SP.st_uptime
           (if s.SP.st_draining then " (draining)" else "")
       end
@@ -1555,17 +1650,17 @@ let remote_status_cmd =
   in
   Cmd.v
     (Cmd.info "status" ~doc:"Query a gsimd server's queue, cache and worker counters")
-    Term.(const run $ to_arg $ json_arg)
+    Term.(const run $ to_arg $ json_arg $ timeout_arg)
 
 let remote_shutdown_cmd =
-  let run to_ =
-    match check_error (remote_call to_ SP.Shutdown) with
+  let run to_ timeout =
+    match check_error (remote_call ~timeout to_ SP.Shutdown) with
     | SP.Shutting_down -> print_endline "server draining: queued jobs will finish, then it exits"
     | _ -> failwith "unexpected response to shutdown request"
   in
   Cmd.v
     (Cmd.info "shutdown" ~doc:"Ask a gsimd server to drain and exit")
-    Term.(const run $ to_arg)
+    Term.(const run $ to_arg $ timeout_arg)
 
 let remote_cmd =
   Cmd.group

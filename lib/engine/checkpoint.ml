@@ -15,17 +15,19 @@ let format_version = 2
 
 (* --- CRC32 (IEEE 802.3 / zlib polynomial) ------------------------------- *)
 
+(* Eager on purpose: a [lazy] here is not safe to force from concurrent
+   worker Domains (the loser of the race gets CamlinternalLazy.Undefined),
+   and two workers spooling checkpoints at once do exactly that. *)
 let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+      done;
+      !c)
 
 let crc32 s =
-  let table = Lazy.force crc_table in
+  let table = crc_table in
   let c = ref 0xFFFFFFFF in
   String.iter
     (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))

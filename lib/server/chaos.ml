@@ -1,0 +1,188 @@
+type spec = {
+  seed : int;
+  crash : float;
+  hang : float;
+  slow : float;
+  slow_ms : float;
+  torn : float;
+  poison : string option;
+}
+
+let none =
+  { seed = 0; crash = 0.; hang = 0.; slow = 0.; slow_ms = 20.; torn = 0.; poison = None }
+
+let enabled s =
+  s.crash > 0. || s.hang > 0. || s.slow > 0. || s.torn > 0. || s.poison <> None
+
+let spec_of_string text =
+  let prob key v =
+    match float_of_string_opt v with
+    | Some p when p >= 0. && p <= 1. -> p
+    | _ -> failwith (Printf.sprintf "chaos: %s wants a probability in [0,1], got %S" key v)
+  in
+  String.split_on_char ',' text
+  |> List.filter (fun kv -> String.trim kv <> "")
+  |> List.fold_left
+       (fun s kv ->
+         match String.index_opt kv '=' with
+         | None -> failwith (Printf.sprintf "chaos: expected key=value, got %S" kv)
+         | Some i -> (
+           let key = String.trim (String.sub kv 0 i) in
+           let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+           match key with
+           | "seed" -> (
+             match int_of_string_opt v with
+             | Some seed -> { s with seed }
+             | None -> failwith (Printf.sprintf "chaos: bad seed %S" v))
+           | "crash" -> { s with crash = prob key v }
+           | "hang" -> { s with hang = prob key v }
+           | "slow" -> { s with slow = prob key v }
+           | "torn" -> { s with torn = prob key v }
+           | "slow-ms" -> (
+             match float_of_string_opt v with
+             | Some ms when ms >= 0. -> { s with slow_ms = ms }
+             | _ -> failwith (Printf.sprintf "chaos: bad slow-ms %S" v))
+           | "poison" -> { s with poison = (if v = "" then None else Some v) }
+           | _ ->
+             failwith
+               (Printf.sprintf
+                  "chaos: unknown key %S (seed, crash, hang, slow, slow-ms, torn, poison)"
+                  key)))
+       none
+
+let spec_to_string s =
+  let parts = ref [] in
+  let addf key v = if v > 0. then parts := Printf.sprintf "%s=%g" key v :: !parts in
+  (match s.poison with Some m -> parts := ("poison=" ^ m) :: !parts | None -> ());
+  addf "torn" s.torn;
+  if s.slow > 0. then parts := Printf.sprintf "slow-ms=%g" s.slow_ms :: !parts;
+  addf "slow" s.slow;
+  addf "hang" s.hang;
+  addf "crash" s.crash;
+  parts := Printf.sprintf "seed=%d" s.seed :: !parts;
+  String.concat "," !parts
+
+type t = {
+  spec : spec;
+  crashes : int Atomic.t;
+  hangs : int Atomic.t;
+  torn_count : int Atomic.t;
+  slowed : int Atomic.t;
+  resp_seq : int Atomic.t;
+  slow_seq : int Atomic.t;
+}
+
+let create spec =
+  {
+    spec;
+    crashes = Atomic.make 0;
+    hangs = Atomic.make 0;
+    torn_count = Atomic.make 0;
+    slowed = Atomic.make 0;
+    resp_seq = Atomic.make 0;
+    slow_seq = Atomic.make 0;
+  }
+
+let spec t = t.spec
+let off = create none
+
+exception Crash
+
+(* splitmix64 finalizer: decisions are a pure function of
+   (seed, site, coordinates), so a run is replayable from its seed no
+   matter how Domains and systhreads interleave. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let hash01 ~seed ~site coords =
+  let h = ref (mix (Int64.of_int (0x9E3779B9 + seed))) in
+  String.iter (fun c -> h := mix (Int64.add !h (Int64.of_int (Char.code c)))) site;
+  List.iter (fun i -> h := mix (Int64.logxor !h (Int64.of_int (i + 0x5bd1)))) coords;
+  Int64.to_float (Int64.shift_right_logical (mix !h) 11) /. 9007199254740992.
+
+let contains haystack needle =
+  let n = String.length haystack and k = String.length needle in
+  let rec go i = i + k <= n && (String.sub haystack i k = needle || go (i + 1)) in
+  k > 0 && go 0
+
+let poisoned t ~design =
+  match t.spec.poison with Some m -> contains design m | None -> false
+
+let at_eval t ~job ~attempt ~tick ~poisoned =
+  if not (enabled t.spec) then `Ok
+  else if poisoned then begin
+    Atomic.incr t.crashes;
+    `Crash
+  end
+  else begin
+    let u = hash01 ~seed:t.spec.seed ~site:"eval" [ job; attempt; tick ] in
+    if u < t.spec.crash then begin
+      Atomic.incr t.crashes;
+      `Crash
+    end
+    else if u < t.spec.crash +. t.spec.hang then begin
+      Atomic.incr t.hangs;
+      `Hang
+    end
+    else `Ok
+  end
+
+let torn_response t =
+  t.spec.torn > 0.
+  &&
+  let seq = Atomic.fetch_and_add t.resp_seq 1 in
+  let hit = hash01 ~seed:t.spec.seed ~site:"torn" [ seq ] < t.spec.torn in
+  if hit then Atomic.incr t.torn_count;
+  hit
+
+let io_delay t =
+  if t.spec.slow <= 0. then None
+  else begin
+    let seq = Atomic.fetch_and_add t.slow_seq 1 in
+    if hash01 ~seed:t.spec.seed ~site:"slow" [ seq ] < t.spec.slow then begin
+      Atomic.incr t.slowed;
+      Some (t.spec.slow_ms /. 1000.)
+    end
+    else None
+  end
+
+let tear ~seed ~case frame =
+  let n = String.length frame in
+  let u k = hash01 ~seed ~site:"tear" [ case; k ] in
+  let pick k bound = if bound <= 0 then 0 else int_of_float (u k *. float_of_int bound) in
+  if n = 0 then "torn"
+  else
+    match pick 0 5 with
+    | 0 -> String.sub frame 0 (pick 1 n)  (* truncate, possibly to nothing *)
+    | 1 ->
+      let b = Bytes.of_string frame in
+      let i = pick 1 n in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl pick 2 8)));
+      Bytes.to_string b
+    | 2 when n >= 10 ->
+      (* Oversize declared length: header promises more payload than follows. *)
+      let b = Bytes.of_string frame in
+      Bytes.set b 6 (Char.chr (pick 1 256));
+      Bytes.set b 7 '\xff';
+      Bytes.to_string b
+    | 3 when n >= 4 ->
+      let b = Bytes.of_string frame in
+      Bytes.set b (pick 1 4) (Char.chr (pick 2 256));  (* mangled magic *)
+      Bytes.to_string b
+    | _ -> String.sub frame 0 (min n (pick 1 16))  (* cut inside the 10-byte header *)
+
+type counters = { crashes : int; hangs : int; torn : int; slowed : int }
+
+let counters (t : t) =
+  {
+    crashes = Atomic.get t.crashes;
+    hangs = Atomic.get t.hangs;
+    torn = Atomic.get t.torn_count;
+    slowed = Atomic.get t.slowed;
+  }
+
+let total (t : t) =
+  Atomic.get t.crashes + Atomic.get t.hangs + Atomic.get t.torn_count
+  + Atomic.get t.slowed

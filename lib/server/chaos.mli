@@ -1,0 +1,87 @@
+(** Seeded fault injection for gsimd.
+
+    One [Chaos.t] is shared by the daemon, its workers and its
+    connection threads; every injection decision is a pure hash of the
+    spec's seed and the coordinates of the injection site (job id,
+    attempt, tick, response sequence number), never of wall-clock time
+    or a shared PRNG cursor.  Two runs with the same seed and the same
+    job ids therefore inject the same faults at the same points even
+    though thread interleaving differs — which is what lets the chaos
+    acceptance test compare a chaotic run against a calm one
+    byte-for-byte, and lets a failure seen in CI be replayed locally
+    from the seed printed in the log.
+
+    Faults injected:
+    - [crash]: the worker Domain dies mid-job ({!Crash} escapes every
+      handler in {!Worker.execute});
+    - [hang]: the worker stops heartbeating and spins until the
+      supervisor cancels it;
+    - [torn]: a response frame is cut mid-payload and the connection
+      closed, as if the daemon died while writing;
+    - [slow]: a response write stalls for [slow_ms] first;
+    - [poison]: any design whose text contains the marker crashes its
+      worker at the first evaluation tick, every attempt — the
+      poisoned-plan input for the {!Plan_cache} quarantine breaker. *)
+
+type spec = {
+  seed : int;
+  crash : float;  (** per-tick probability a worker crashes *)
+  hang : float;   (** per-tick probability a worker hangs *)
+  slow : float;   (** per-response probability of a stalled write *)
+  slow_ms : float;  (** stall duration, milliseconds *)
+  torn : float;   (** per-response probability of a torn frame *)
+  poison : string option;
+      (** designs containing this substring always crash their worker *)
+}
+
+val none : spec
+(** All probabilities zero, no poison marker: injection disabled. *)
+
+val enabled : spec -> bool
+
+val spec_of_string : string -> spec
+(** Parses ["seed=42,crash=0.1,hang=0.05,slow=0.02,slow-ms=50,torn=0.01,poison=MARK"];
+    every key optional, [""] means {!none}.  Raises [Failure] on an
+    unknown key or a malformed value. *)
+
+val spec_to_string : spec -> string
+
+type t
+
+val create : spec -> t
+val spec : t -> spec
+
+val off : t
+(** [create none]: the always-quiet instance contexts default to. *)
+
+exception Crash
+(** Simulated worker death.  Deliberately escapes {!Worker.execute}'s
+    failure handlers so it kills the worker Domain the way a real
+    segfaulting plan or runaway allocation would. *)
+
+val hash01 : seed:int -> site:string -> int list -> float
+(** The decision function, exposed so tests can predict injections:
+    a uniform float in [0, 1) from (seed, site tag, coordinates). *)
+
+val poisoned : t -> design:string -> bool
+(** Does the design text contain the poison marker? *)
+
+val at_eval :
+  t -> job:int -> attempt:int -> tick:int -> poisoned:bool -> [ `Ok | `Crash | `Hang ]
+(** One worker evaluation tick.  A poisoned design always crashes. *)
+
+val torn_response : t -> bool
+(** Decide (and count) whether to tear the next response frame. *)
+
+val io_delay : t -> float option
+(** Decide (and count) a stalled write; returns the stall in seconds. *)
+
+val tear : seed:int -> case:int -> string -> string
+(** Deterministically mutilate a wire frame: truncate it, flip a bit,
+    corrupt the length field, or mangle the magic — the corpus driver
+    for the protocol fuzz test and the daemon's torn-frame injection. *)
+
+type counters = { crashes : int; hangs : int; torn : int; slowed : int }
+
+val counters : t -> counters
+val total : t -> int

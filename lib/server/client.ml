@@ -1,40 +1,146 @@
 module P = Protocol
 
-type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+exception Timeout of float
 
-let connect address =
+type t = { fd : Unix.file_descr; mutable deadline : float }
+(* deadline <= 0. means "no deadline".  Reads go through the raw fd with
+   a select() guard rather than buffered channels: a buffered reader
+   blocked in read(2) cannot be given a timeout portably, and a daemon
+   dying mid-frame would hang it forever. *)
+
+let sockaddr_of = function
+  | P.Unix_sock path -> Unix.ADDR_UNIX path
+  | P.Tcp (host, port) ->
+    let addr =
+      if host = "" || host = "*" then Unix.inet_addr_loopback
+      else
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found -> failwith (Printf.sprintf "cannot resolve host %S" host))
+    in
+    Unix.ADDR_INET (addr, port)
+
+let connect ?(timeout = 0.) address =
   let domain = match address with P.Unix_sock _ -> Unix.PF_UNIX | P.Tcp _ -> Unix.PF_INET in
-  let sockaddr =
-    match address with
-    | P.Unix_sock path -> Unix.ADDR_UNIX path
-    | P.Tcp (host, port) ->
-      let addr =
-        if host = "" || host = "*" then Unix.inet_addr_loopback
-        else
-          try Unix.inet_addr_of_string host
-          with Failure _ -> (
-            try (Unix.gethostbyname host).Unix.h_addr_list.(0)
-            with Not_found -> failwith (Printf.sprintf "cannot resolve host %S" host))
-      in
-      Unix.ADDR_INET (addr, port)
-  in
+  let sockaddr = sockaddr_of address in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd sockaddr
+  (try
+     if timeout <= 0. then Unix.connect fd sockaddr
+     else begin
+       (* Non-blocking connect + select so a black-holed daemon host
+          cannot stall the client past its deadline. *)
+       Unix.set_nonblock fd;
+       (try Unix.connect fd sockaddr with
+        | Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> (
+          match Unix.select [] [ fd ] [] timeout with
+          | _, [], [] -> raise (Timeout timeout)
+          | _ -> (
+            match Unix.getsockopt_error fd with
+            | Some err -> raise (Unix.Unix_error (err, "connect", ""))
+            | None -> ())));
+       Unix.clear_nonblock fd
+     end
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  { fd; deadline = (if timeout > 0. then Unix.gettimeofday () +. timeout else 0.) }
+
+let set_deadline t seconds =
+  t.deadline <- (if seconds > 0. then Unix.gettimeofday () +. seconds else 0.)
+
+let write_all t s =
+  let n = String.length s in
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < n then begin
+      let w =
+        try Unix.write t.fd b off (n - off)
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      go (off + w)
+    end
+  in
+  go 0
+
+(* Read exactly [n] bytes, honouring the deadline; [what] names the
+   piece being read so a mid-frame EOF produces an actionable error. *)
+let recv_exact t n ~what =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off < n then begin
+      (if t.deadline > 0. then begin
+         let left = t.deadline -. Unix.gettimeofday () in
+         if left <= 0. then raise (Timeout left);
+         match Unix.select [ t.fd ] [] [] left with
+         | [], _, _ -> raise (Timeout left)
+         | _ -> ()
+       end);
+      match Unix.read t.fd buf off (n - off) with
+      | 0 ->
+        raise
+          (P.Error
+             (Printf.sprintf
+                "connection closed by gsimd after %d of %d byte(s) of %s — the daemon \
+                 likely died mid-response"
+                off n what))
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    end
+  in
+  go 0;
+  Bytes.to_string buf
+
+let read_response t =
+  let kind, n = P.parse_header (recv_exact t P.header_size ~what:"the frame header") in
+  let payload = recv_exact t n ~what:"the response payload" in
+  P.response_of_frame kind payload
 
 let call t request =
-  P.write_request t.oc request;
-  match P.read_response t.ic with
-  | Some r -> r
-  | None -> raise (P.Error "server closed the connection before responding")
+  write_all t (P.encode_request request);
+  read_response t
 
-let close t =
-  (try flush t.oc with Sys_error _ -> ());
-  try Unix.close t.fd with Unix.Unix_error _ -> ()
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
-let with_connection address f =
-  let t = connect address in
+let with_connection ?timeout address f =
+  let t = connect ?timeout address in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let retryable_unix_error = function
+  | Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ECONNABORTED | Unix.EPIPE | Unix.ENOENT
+  | Unix.ETIMEDOUT | Unix.EHOSTUNREACH | Unix.ENETUNREACH | Unix.EAGAIN ->
+    true
+  | _ -> false
+
+let call_robust ?(timeout = 0.) ?(retries = 0) ?(backoff = 0.2) ?token address request =
+  (* The token makes resubmission idempotent: the daemon runs the job
+     once and replays (or lets us re-attach to) the response, so a retry
+     after a torn frame can never double-execute. *)
+  let request = match token with Some tok -> P.with_token tok request | None -> request in
+  let attempt_once () =
+    let t = connect ~timeout address in
+    Fun.protect ~finally:(fun () -> close t) (fun () -> call t request)
+  in
+  let rec go attempt last_err =
+    if attempt > retries then raise last_err
+    else
+      match attempt_once () with
+      | r -> r
+      | exception e ->
+        let retry_on =
+          match e with
+          | Timeout _ | P.Error _ -> true
+          | Unix.Unix_error (err, _, _) -> retryable_unix_error err
+          | _ -> false
+        in
+        if (not retry_on) || attempt >= retries then raise e
+        else begin
+          (* Exponential backoff with cheap time-derived jitter to
+             de-synchronise a herd of retrying clients. *)
+          let base = backoff *. (2. ** float_of_int attempt) in
+          let jitter = fst (Float.modf (Unix.gettimeofday () *. 997.)) in
+          Unix.sleepf (Float.min 5. (base *. (0.75 +. (0.5 *. jitter))));
+          go (attempt + 1) e
+        end
+  in
+  go 0 (Failure "unreachable")

@@ -1,14 +1,47 @@
-(** Blocking client for a {!Daemon} instance. *)
+(** Blocking client for a {!Daemon} instance, with deadlines, reconnect
+    and idempotent resubmission.
+
+    Reads run against the raw socket under a [select] guard, so a
+    daemon that dies mid-frame surfaces as a {!Protocol.Error} ("closed
+    after N of M bytes") or a {!Timeout} — never a client that hangs
+    forever on a half-written response. *)
+
+exception Timeout of float
+(** The configured deadline elapsed while connecting or waiting for a
+    response.  The payload is informational only. *)
 
 type t
 
-val connect : Protocol.address -> t
-(** Raises [Unix.Unix_error] when nothing is listening. *)
+val connect : ?timeout:float -> Protocol.address -> t
+(** Raises [Unix.Unix_error] when nothing is listening, {!Timeout} when
+    [timeout > 0] and the TCP connect does not complete in time.  The
+    same [timeout] becomes the response deadline for each {!call}. *)
+
+val set_deadline : t -> float -> unit
+(** Re-arm the response deadline [seconds] from now; [<= 0] disables. *)
 
 val call : t -> Protocol.request -> Protocol.response
 (** One request/response exchange; a connection can make several.
-    Raises {!Protocol.Error} if the server closes mid-exchange. *)
+    Raises {!Protocol.Error} if the server closes mid-exchange,
+    {!Timeout} past the deadline. *)
+
+val call_robust :
+  ?timeout:float ->
+  ?retries:int ->
+  ?backoff:float ->
+  ?token:string ->
+  Protocol.address ->
+  Protocol.request ->
+  Protocol.response
+(** Fresh connection per attempt; retries (with exponential backoff and
+    jitter, [backoff] seconds base) on timeouts, mid-frame closes and
+    transient socket errors, up to [retries] extra attempts.  When
+    [token] is given it is attached to the request
+    ({!Protocol.with_token}), making resubmission idempotent: the
+    daemon deduplicates attempts of the same token, so a retry whose
+    predecessor actually ran re-attaches or replays instead of
+    re-executing.  Always pass a token when [retries > 0] and the
+    request has side effects. *)
 
 val close : t -> unit
-
-val with_connection : Protocol.address -> (t -> 'a) -> 'a
+val with_connection : ?timeout:float -> Protocol.address -> (t -> 'a) -> 'a

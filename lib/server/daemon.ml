@@ -9,6 +9,8 @@ type config = {
   preempt_stride : int;
   spool : string option;
   log : out_channel;
+  supervision : Supervisor.policy;
+  chaos : Chaos.spec;
 }
 
 let default_config address =
@@ -20,6 +22,8 @@ let default_config address =
     preempt_stride = 10_000;
     spool = None;
     log = stderr;
+    supervision = Supervisor.default_policy;
+    chaos = Chaos.none;
   }
 
 (* One response slot per submitted job: the worker Domain fulfils it,
@@ -41,6 +45,11 @@ module Waitbox = struct
         done;
         Option.get b.v)
 end
+
+(* Idempotency-token registry: [Running] collects the waitboxes of
+   every connection waiting on the job, [Finished] replays the cached
+   response to late resubmissions. *)
+type tok_state = Tok_running of Waitbox.t list ref | Tok_finished of P.response
 
 let sockaddr_for_bind = function
   | P.Unix_sock path -> Unix.ADDR_UNIX path
@@ -98,6 +107,7 @@ let serve cfg =
   let request_path id = Filename.concat jobs_dir (Printf.sprintf "job-%06d.gjb" id) in
   let sched = Scheduler.create ~capacity:cfg.queue_capacity () in
   let cache = Plan_cache.create ~capacity:cfg.cache_capacity () in
+  let chaos = Chaos.create cfg.chaos in
   let ctx =
     {
       Worker.cache;
@@ -105,17 +115,68 @@ let serve cfg =
       spool;
       preempt_stride = cfg.preempt_stride;
       log;
+      chaos;
       preemption_count = Atomic.make 0;
       golden_hits = Atomic.make 0;
       golden_misses = Atomic.make 0;
     }
   in
+  let pol = cfg.supervision in
+  let sup = Supervisor.create pol in
   let started = Unix.gettimeofday () in
   let completed = Atomic.make 0 in
   let rejected = Atomic.make 0 in
-  let running = Atomic.make 0 in
+  let retries = Atomic.make 0 in
+  let gave_up = Atomic.make 0 in
+  let restarts = Atomic.make 0 in
   let next_job = Atomic.make 0 in
   let draining = Atomic.make false in
+
+  (* Retries waiting out their backoff before re-admission. *)
+  let delayed_lock = Mutex.create () in
+  let delayed : (float * Worker.job) list ref = ref [] in
+  let delayed_count () = Mutex.protect delayed_lock (fun () -> List.length !delayed) in
+
+  (* A lost job either goes back to the queue (after backoff with
+     jitter) or, past its retry budget, fails with a structured error.
+     Every loss also feeds the design's quarantine breaker. *)
+  let recover ~kind (job : Worker.job) =
+    (match job.Worker.digest with
+     | Some key -> (
+       match Plan_cache.record_failure cache key with
+       | `Tripped ->
+         logf "quarantine: design %s OPEN after repeated worker loss"
+           (String.sub key 0 (min 12 (String.length key)))
+       | `Counted -> ())
+     | None -> ());
+    let verb = match kind with `Crash -> "worker lost" | `Hang -> "hung" in
+    if job.Worker.attempt > pol.Supervisor.max_retries then begin
+      Atomic.incr gave_up;
+      (try Sys.remove (request_path job.Worker.id) with Sys_error _ -> ());
+      Worker.discard_scratch ctx job;
+      let code = match kind with `Crash -> P.Worker_lost | `Hang -> P.Timeout in
+      logf "job %d: giving up after %d attempt(s) (%s every time)" job.Worker.id
+        job.Worker.attempt verb;
+      job.Worker.reply
+        (P.error_resp ~code ~attempts:job.Worker.attempt
+           (Printf.sprintf "job failed after %d attempt(s): %s each time" job.Worker.attempt
+              verb))
+    end
+    else begin
+      Atomic.incr retries;
+      let retry = Worker.retry_of job in
+      let jitter =
+        Chaos.hash01 ~seed:job.Worker.id ~site:"retry-jitter" [ job.Worker.attempt ]
+      in
+      let delay = Supervisor.backoff pol ~attempt:job.Worker.attempt ~jitter in
+      let due = Unix.gettimeofday () +. delay in
+      Mutex.protect delayed_lock (fun () -> delayed := (due, retry) :: !delayed);
+      logf "job %d: %s at cycle %d on attempt %d/%d; retrying in %.0f ms" job.Worker.id verb
+        job.Worker.done_cycles job.Worker.attempt
+        (pol.Supervisor.max_retries + 1)
+        (delay *. 1000.)
+    end
+  in
 
   (* Boot scan: re-admit batch jobs a previous daemon left behind.  The
      jobs queue before the worker pool starts; new job ids are allocated
@@ -148,12 +209,15 @@ let serve cfg =
              logf "boot: dropping unreadable job file %s" f;
              (try Sys.remove path with Sys_error _ -> ())
            | Some ((P.Sim _ | P.Campaign _ | P.Fuzz _ | P.Coverage _) as req) ->
+             let replied = Atomic.make false in
              let job =
                Worker.make_job ~id ~priority:1
                  ~reply:(fun resp ->
-                   match resp with
-                   | P.Error_resp m -> logf "recovered job %d failed: %s" id m
-                   | _ -> logf "recovered job %d completed" id)
+                   if not (Atomic.exchange replied true) then
+                     match resp with
+                     | P.Error_resp e ->
+                       logf "recovered job %d failed: %s" id e.P.ei_message
+                     | _ -> logf "recovered job %d completed" id)
                  req
              in
              job.Worker.recovered <- true;
@@ -181,7 +245,10 @@ let serve cfg =
 
   (* A drain can start on the main thread (signal), or on a connection
      thread (Shutdown request) — the self-connect poke wakes the main
-     thread out of [accept] in the latter case. *)
+     thread out of [accept] in the latter case.  Only the flag flips
+     here; the scheduler drains later, once in-flight work (including
+     supervision retries) has settled — so a worker finishing its final
+     preemption yield can never race the shutdown. *)
   let poke_acceptor () =
     try
       let c = Unix.socket (socket_domain cfg.address) Unix.SOCK_STREAM 0 in
@@ -190,10 +257,7 @@ let serve cfg =
     with _ -> ()
   in
   let begin_drain reason =
-    if not (Atomic.exchange draining true) then begin
-      logf "drain: %s" reason;
-      Scheduler.drain sched
-    end
+    if not (Atomic.exchange draining true) then logf "drain: %s" reason
   in
   let old_term =
     try Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> begin_drain "SIGTERM"))
@@ -204,47 +268,137 @@ let serve cfg =
     with Invalid_argument _ -> Sys.Signal_default
   in
 
-  (* Worker pool. *)
-  let worker_loop w () =
+  (* Worker pool.  Each Domain owns a supervisor slot; a Domain that
+     dies mid-job (chaos or a genuinely crashing plan) flags the slot on
+     its way out and the supervisor respawns a replacement.  [finished]
+     tells drain which Domains are safe to join — a wedged Domain never
+     sets it and is abandoned rather than waited on. *)
+  let domains_lock = Mutex.create () in
+  let domains : (unit Domain.t * bool Atomic.t) list ref = ref [] in
+  let worker_seq = Atomic.make 0 in
+  let rec spawn_worker () =
+    let w = Atomic.fetch_and_add worker_seq 1 in
+    let slot = Supervisor.register sup in
+    let finished = Atomic.make false in
+    let d =
+      Domain.spawn (fun () ->
+          (try worker_loop w slot with
+           | Chaos.Crash ->
+             Supervisor.crashed sup slot;
+             logf "worker %d: CHAOS crash injected; Domain dying" w
+           | e ->
+             Supervisor.crashed sup slot;
+             logf "worker %d: unexpected death: %s" w (Printexc.to_string e));
+          Atomic.set finished true)
+    in
+    Mutex.protect domains_lock (fun () -> domains := (d, finished) :: !domains)
+  and worker_loop w slot =
     let rec go () =
       match Scheduler.take sched with
-      | None -> ()
+      | None -> Supervisor.exited sup slot
       | Some job ->
-        Atomic.incr running;
+        let ticking = match job.Worker.request with P.Sim _ -> true | _ -> false in
+        Supervisor.start sup slot ~ticking job;
         let resumed =
           match job.Worker.ck with
           | Some ck ->
             Printf.sprintf " (resume from cycle %d)" (Gsim_engine.Checkpoint.cycle ck)
           | None -> ""
         in
-        logf "worker %d: job %d start%s" w job.Worker.id resumed;
-        let outcome = Worker.execute ctx job in
-        Atomic.decr running;
+        let attempt =
+          if job.Worker.attempt > 1 then Printf.sprintf " attempt %d" job.Worker.attempt
+          else ""
+        in
+        logf "worker %d: job %d start%s%s" w job.Worker.id attempt resumed;
+        let outcome =
+          Worker.execute ~beat:(fun () -> Supervisor.beat slot) ctx job
+        in
+        Supervisor.finish sup slot;
         (match outcome with
          | Worker.Yielded ->
            logf "worker %d: job %d preempted at cycle %d" w job.Worker.id
              job.Worker.done_cycles;
            Scheduler.requeue sched ~priority:job.Worker.priority job
+         | Worker.Abandoned ->
+           logf "worker %d: job %d attempt %d abandoned (supervisor cancelled it)" w
+             job.Worker.id job.Worker.attempt
          | Worker.Done resp ->
            Atomic.incr completed;
            (* The job can no longer be interrupted: retire its persisted
               request (a no-op for interactive jobs, which have none). *)
            (try Sys.remove (request_path job.Worker.id) with Sys_error _ -> ());
            logf "worker %d: job %d done%s" w job.Worker.id
-             (match resp with P.Error_resp m -> ": error: " ^ m | _ -> "");
+             (match resp with
+              | P.Error_resp e -> ": error: " ^ e.P.ei_message
+              | _ -> "");
            job.Worker.reply resp);
         go ()
     in
     go ()
   in
-  let domains = List.init cfg.workers (fun w -> Domain.spawn (worker_loop w)) in
+  for _ = 1 to cfg.workers do
+    spawn_worker ()
+  done;
+
+  (* Supervisor thread: reacts to scan losses, flushes due retries. *)
+  let sup_stop = Atomic.make false in
+  let supervisor_loop () =
+    while not (Atomic.get sup_stop) do
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun (l : _ Supervisor.loss) ->
+          match l.Supervisor.kind with
+          | `Hang -> (
+            match l.Supervisor.job with
+            | Some (j : Worker.job) ->
+              logf
+                "supervisor: job %d hung on worker slot %d (no heartbeat for %.1f s); \
+                 cancelling"
+                j.Worker.id l.Supervisor.slot_id pol.Supervisor.hang_timeout;
+              Atomic.set j.Worker.cancelled true;
+              recover ~kind:`Hang j
+            | None -> ())
+          | `Crash ->
+            Atomic.incr restarts;
+            spawn_worker ();
+            (match l.Supervisor.job with
+             | Some j ->
+               logf "supervisor: worker slot %d died running job %d; respawned a replacement"
+                 l.Supervisor.slot_id j.Worker.id;
+               recover ~kind:`Crash j
+             | None ->
+               logf "supervisor: worker slot %d died idle; respawned a replacement"
+                 l.Supervisor.slot_id)
+          | `Wedge ->
+            Atomic.incr restarts;
+            spawn_worker ();
+            logf
+              "supervisor: worker slot %d ignored cancellation for %.1f s; abandoning the \
+               Domain and respawning"
+              l.Supervisor.slot_id pol.Supervisor.grace)
+        (Supervisor.scan sup ~now);
+      let due =
+        Mutex.protect delayed_lock (fun () ->
+            let d, l = List.partition (fun (t, _) -> t <= now) !delayed in
+            delayed := l;
+            d)
+      in
+      List.iter
+        (fun (_, (j : Worker.job)) ->
+          logf "job %d: re-admitted for attempt %d" j.Worker.id j.Worker.attempt;
+          Scheduler.requeue sched ~priority:j.Worker.priority j)
+        due;
+      Unix.sleepf pol.Supervisor.poll
+    done
+  in
+  let sup_thread = Thread.create supervisor_loop () in
 
   let status () =
     let cs = Plan_cache.stats cache in
     {
       P.st_workers = cfg.workers;
       st_queued = Scheduler.queued sched;
-      st_running = Atomic.get running;
+      st_running = Supervisor.busy sup;
       st_completed = Atomic.get completed;
       st_rejected = Atomic.get rejected;
       st_cache_entries = cs.Plan_cache.entries;
@@ -257,7 +411,54 @@ let serve cfg =
       st_preemptions = Atomic.get ctx.Worker.preemption_count;
       st_uptime = Unix.gettimeofday () -. started;
       st_draining = Atomic.get draining;
+      st_retries = Atomic.get retries;
+      st_hangs = Supervisor.hang_count sup;
+      st_worker_crashes = Supervisor.crash_count sup;
+      st_worker_restarts = Atomic.get restarts;
+      st_gave_up = Atomic.get gave_up;
+      st_quarantined = cs.Plan_cache.quarantined;
+      st_quarantine_trips = cs.Plan_cache.quarantine_trips;
+      st_chaos_injected = Chaos.total chaos;
     }
+  in
+
+  (* Idempotency tokens: a bounded FIFO of finished responses so a
+     client retrying a token whose job already completed replays the
+     response instead of executing twice. *)
+  let tokens_lock = Mutex.create () in
+  let tokens : (string, tok_state) Hashtbl.t = Hashtbl.create 16 in
+  let token_fifo : string Queue.t = Queue.create () in
+  let token_cache_cap = 512 in
+  let finish_token tok resp =
+    let waiters =
+      Mutex.protect tokens_lock (fun () ->
+          let ws =
+            match Hashtbl.find_opt tokens tok with Some (Tok_running ws) -> !ws | _ -> []
+          in
+          Hashtbl.replace tokens tok (Tok_finished resp);
+          Queue.push tok token_fifo;
+          while Queue.length token_fifo > token_cache_cap do
+            let old = Queue.pop token_fifo in
+            match Hashtbl.find_opt tokens old with
+            | Some (Tok_finished _) -> Hashtbl.remove tokens old
+            | _ -> ()
+          done;
+          ws)
+    in
+    List.iter (fun b -> Waitbox.put b resp) waiters
+  in
+  let refuse_token tok resp =
+    (* A refusal must not be cached: the client's retry should get a
+       fresh shot at the queue, not a replayed rejection. *)
+    let waiters =
+      Mutex.protect tokens_lock (fun () ->
+          let ws =
+            match Hashtbl.find_opt tokens tok with Some (Tok_running ws) -> !ws | _ -> []
+          in
+          Hashtbl.remove tokens tok;
+          ws)
+    in
+    List.iter (fun b -> Waitbox.put b resp) waiters
   in
 
   (* Connection registry, so drain can unblock idle readers. *)
@@ -270,35 +471,91 @@ let serve cfg =
   let handle_conn conn_id fd () =
     let ic = Unix.in_channel_of_descr fd in
     let oc = Unix.out_channel_of_descr fd in
-    let respond r = try P.write_response oc r with Sys_error _ | P.Error _ -> () in
+    let respond r =
+      (match Chaos.io_delay chaos with
+       | Some s ->
+         logf "conn %d: CHAOS stalling response %.0f ms" conn_id (s *. 1000.);
+         Unix.sleepf s
+       | None -> ());
+      if Chaos.torn_response chaos then begin
+        (* Die mid-write: half a frame, then a straight close.  The
+           client sees exactly what a daemon crash looks like. *)
+        logf "conn %d: CHAOS tearing response frame" conn_id;
+        let frame = P.encode_response r in
+        let cut = max 1 (String.length frame / 2) in
+        (try
+           output_string oc (String.sub frame 0 cut);
+           flush oc
+         with Sys_error _ -> ());
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+      end
+      else try P.write_response oc r with Sys_error _ | P.Error _ -> ()
+    in
     let submit prio req =
       if Atomic.get draining then
-        respond (P.Error_resp "server is draining; resubmit elsewhere")
+        respond (P.error_resp ~code:P.Refused "server is draining; resubmit elsewhere")
       else begin
-        let box = Waitbox.create () in
-        let id = Atomic.fetch_and_add next_job 1 in
-        let job =
-          Worker.make_job ~id ~priority:(priority_level prio) ~reply:(Waitbox.put box) req
+        let claim =
+          match P.request_token req with
+          | None -> `Run None
+          | Some tok ->
+            Mutex.protect tokens_lock (fun () ->
+                match Hashtbl.find_opt tokens tok with
+                | Some (Tok_finished r) -> `Replay r
+                | Some (Tok_running ws) ->
+                  let b = Waitbox.create () in
+                  ws := b :: !ws;
+                  `Attach b
+                | None ->
+                  Hashtbl.replace tokens tok (Tok_running (ref []));
+                  `Run (Some tok))
         in
-        (* Persist batch requests before scheduling: from this instant a
-           daemon crash leaves enough on disk for the next boot to finish
-           the job.  Interactive jobs are cheap and their client retries,
-           so they are not persisted. *)
-        if prio = P.Batch then (
-          try Store.write_atomic (request_path id) (P.encode_request req)
-          with Sys_error m -> logf "conn %d: cannot persist job %d: %s" conn_id id m);
-        if Scheduler.submit sched ~priority:job.Worker.priority job then begin
-          logf "conn %d: job %d queued (%s)" conn_id id (P.priority_to_string prio);
-          respond (Waitbox.wait box)
-        end
-        else begin
-          Atomic.incr rejected;
-          (try Sys.remove (request_path id) with Sys_error _ -> ());
-          respond
-            (P.Error_resp
-               (Printf.sprintf "queue full (%d job(s) queued); retry later"
-                  (Scheduler.queued sched)))
-        end
+        match claim with
+        | `Replay r ->
+          logf "conn %d: replaying finished job for token (idempotent resubmission)"
+            conn_id;
+          respond r
+        | `Attach b ->
+          logf "conn %d: token already in flight; attaching to its job" conn_id;
+          respond (Waitbox.wait b)
+        | `Run token ->
+          let box = Waitbox.create () in
+          let id = Atomic.fetch_and_add next_job 1 in
+          (* Exactly one delivery per logical job, however many attempts
+             raced: the first responder wins, stale attempts and the
+             give-up path are silenced. *)
+          let replied = Atomic.make false in
+          let deliver resp =
+            if not (Atomic.exchange replied true) then begin
+              (match token with Some tok -> finish_token tok resp | None -> ());
+              Waitbox.put box resp
+            end
+          in
+          let job =
+            Worker.make_job ~id ~priority:(priority_level prio) ~reply:deliver req
+          in
+          (* Persist batch requests before scheduling: from this instant a
+             daemon crash leaves enough on disk for the next boot to finish
+             the job.  Interactive jobs are cheap and their client retries,
+             so they are not persisted. *)
+          if prio = P.Batch then (
+            try Store.write_atomic (request_path id) (P.encode_request req)
+            with Sys_error m -> logf "conn %d: cannot persist job %d: %s" conn_id id m);
+          if Scheduler.submit sched ~priority:job.Worker.priority job then begin
+            logf "conn %d: job %d queued (%s)" conn_id id (P.priority_to_string prio);
+            respond (Waitbox.wait box)
+          end
+          else begin
+            Atomic.incr rejected;
+            (try Sys.remove (request_path id) with Sys_error _ -> ());
+            let resp =
+              P.error_resp ~code:P.Queue_full
+                (Printf.sprintf "queue full (%d job(s) queued); retry later"
+                   (Scheduler.queued sched))
+            in
+            (match token with Some tok -> refuse_token tok resp | None -> ());
+            respond resp
+          end
       end
     in
     let rec loop () =
@@ -306,7 +563,7 @@ let serve cfg =
       | None -> ()
       | exception P.Error msg ->
         logf "conn %d: protocol error: %s" conn_id msg;
-        respond (P.Error_resp ("protocol: " ^ msg))
+        respond (P.error_resp ~code:P.Protocol_violation ("protocol: " ^ msg))
       | exception Sys_error _ -> ()
       | Some P.Status ->
         respond (P.Status_ok (status ()));
@@ -333,6 +590,8 @@ let serve cfg =
   logf "gsimd listening on %s (%d worker(s), queue %d, plan cache %d, stride %d)"
     (P.address_to_string cfg.address)
     cfg.workers cfg.queue_capacity cfg.cache_capacity cfg.preempt_stride;
+  if Chaos.enabled cfg.chaos then
+    logf "chaos enabled: %s" (Chaos.spec_to_string cfg.chaos);
 
   (* Accept loop — exits when a drain begins. *)
   let rec accept_loop () =
@@ -358,10 +617,49 @@ let serve cfg =
   accept_loop ();
   (try Unix.close sock with Unix.Unix_error _ -> ());
 
-  (* Let the backlog finish: workers exit once the queue is empty. *)
-  let backlog = Scheduler.queued sched + Atomic.get running in
+  (* Settle before stopping the pool: drain must wait on worker *acks*
+     (busy supervisor slots), not queue emptiness — a worker finishing
+     its final preemption yield holds its job in a slot while the queue
+     is momentarily empty, and supervision retries sit in [delayed]
+     where the queue cannot see them either.  Submissions are already
+     refused, so this sum is monotone. *)
+  let backlog = Scheduler.queued sched + Supervisor.busy sup + delayed_count () in
   if backlog > 0 then logf "draining %d in-flight job(s)" backlog;
-  List.iter Domain.join domains;
+  let rec settle () =
+    if Scheduler.queued sched + Supervisor.busy sup + delayed_count () > 0 then begin
+      Unix.sleepf 0.01;
+      settle ()
+    end
+  in
+  settle ();
+  Scheduler.drain sched;
+
+  (* Join the workers that acknowledge the drain; a wedged Domain never
+     will (Domains cannot be killed), so it is abandoned to die with the
+     process rather than hang the shutdown.  The supervisor keeps
+     running until after the joins: it is what cancels a chaos-hung
+     worker and lets it ack at all. *)
+  let join_deadline =
+    Unix.gettimeofday () +. Float.max 5. (pol.Supervisor.hang_timeout +. pol.Supervisor.grace)
+  in
+  let abandoned = ref 0 in
+  List.iter
+    (fun (d, fin) ->
+      let rec wait_join () =
+        if Atomic.get fin then Domain.join d
+        else if Unix.gettimeofday () > join_deadline then incr abandoned
+        else begin
+          Unix.sleepf 0.005;
+          wait_join ()
+        end
+      in
+      wait_join ())
+    (Mutex.protect domains_lock (fun () -> !domains));
+  if !abandoned > 0 then
+    logf "drain: abandoned %d wedged worker Domain(s); they die with the process"
+      !abandoned;
+  Atomic.set sup_stop true;
+  Thread.join sup_thread;
 
   (* All responses are now in their waitboxes; unblock idle connection
      readers and wait for the writers to finish delivering. *)
@@ -378,6 +676,17 @@ let serve cfg =
    | P.Tcp _ -> ());
   Sys.set_signal Sys.sigterm old_term;
   Sys.set_signal Sys.sigint old_int;
+  (if Chaos.enabled cfg.chaos then
+     let cc = Chaos.counters chaos in
+     logf "chaos: injected %d crash(es), %d hang(s), %d torn frame(s), %d stalled write(s)"
+       cc.Chaos.crashes cc.Chaos.hangs cc.Chaos.torn cc.Chaos.slowed);
+  let cs = Plan_cache.stats cache in
+  logf
+    "supervision: %d retry(ies), %d hang(s), %d worker crash(es), %d wedge(s), %d \
+     restart(s), %d gave up; quarantine: %d open, %d trip(s)"
+    (Atomic.get retries) (Supervisor.hang_count sup) (Supervisor.crash_count sup)
+    (Supervisor.wedge_count sup) (Atomic.get restarts) (Atomic.get gave_up)
+    cs.Plan_cache.quarantined cs.Plan_cache.quarantine_trips;
   logf "drained: %d job(s) completed, %d rejected, %d preemption(s); bye"
     (Atomic.get completed) (Atomic.get rejected)
     (Atomic.get ctx.Worker.preemption_count)

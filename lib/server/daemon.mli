@@ -6,10 +6,39 @@
     Domains fed by a bounded priority {!Scheduler} and sharing one
     compiled-plan {!Plan_cache}.
 
+    {2 Fault isolation}
+
+    Workers are supervised: each Domain heartbeats through a
+    {!Supervisor} slot at every preemption-stride boundary, and a
+    supervisor thread detects crashed Domains (respawned, job
+    recovered), hung jobs (cancelled via their cancel flag, job
+    recovered) and wedged Domains that ignore cancellation (abandoned,
+    replacement spawned).  A recovered job retries with exponential
+    backoff and deterministic jitter up to [supervision.max_retries]
+    times, resuming from its per-stride spool ring so a lost worker
+    costs at most one stride of progress; past the budget its client
+    gets a structured {!Protocol.Error_resp} carrying [Timeout] or
+    [Worker_lost].  Designs that repeatedly kill workers trip the
+    {!Plan_cache} quarantine breaker and are refused with [Quarantined]
+    until a cooldown probe succeeds.  Submissions carrying an
+    idempotency token are deduplicated: a retry of an in-flight job
+    attaches to it, a retry of a finished one replays the response.
+
+    The {!Chaos} harness (off by default) injects worker crashes,
+    hangs, stalled writes and torn response frames under a seed, for
+    tests, CI smoke and benchmarks.
+
+    {2 Shutdown}
+
     Shutdown is a graceful drain, triggered by SIGTERM, SIGINT, or a
-    [Shutdown] request: new submissions are refused, queued and
-    preempted jobs run to completion, their responses are delivered,
-    and {!serve} returns.  A Unix listening socket is registered with
+    [Shutdown] request: new submissions are refused, then the daemon
+    waits for worker *acknowledgements* — queued jobs, busy supervisor
+    slots and backoff-delayed retries must all reach zero before the
+    scheduler drains, so a job mid-yield or mid-retry can never be
+    dropped by the race between its requeue and the drain broadcast.
+    Worker Domains are joined only once they acknowledge; a wedged
+    Domain is abandoned rather than allowed to hang the shutdown.  A
+    Unix listening socket is registered with
     {!Gsim_resilience.Store.track_tmp} so even a hard exit removes it.
 
     Batch jobs survive an ungraceful exit: each batch request is
@@ -29,11 +58,13 @@ type config = {
   preempt_stride : int;  (** cycles between a batch sim job's preemption checks *)
   spool : string option;  (** scratch root; default under the temp dir *)
   log : out_channel;
+  supervision : Supervisor.policy;
+  chaos : Chaos.spec;  (** {!Chaos.none} outside chaos runs *)
 }
 
 val default_config : Protocol.address -> config
 (** Workers [max 2 (domains-2)], queue 64, cache 16, stride 10_000,
-    log on stderr. *)
+    log on stderr, {!Supervisor.default_policy}, no chaos. *)
 
 val serve : config -> unit
 (** Blocks until drained.  Raises [Unix.Unix_error] if the socket

@@ -1,5 +1,14 @@
 type 'a entry = { value : 'a; mutable stamp : int }
 
+(* Poisoned-design circuit breaker.  [Closed] admits freely; after
+   [quarantine_threshold] consecutive worker losses the breaker opens
+   and every admission is refused until [quarantine_cooldown] elapses;
+   then exactly one probe job is let through ([Half_open]) — its fate
+   decides between closing again and another full cooldown. *)
+type breaker_state = Closed | Open of float | Half_open
+
+type breaker = { mutable failures : int; mutable state : breaker_state }
+
 type 'a t = {
   capacity : int;
   tbl : (string, 'a entry) Hashtbl.t;
@@ -8,6 +17,10 @@ type 'a t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  quarantine_threshold : int;
+  quarantine_cooldown : float;
+  breakers : (string, breaker) Hashtbl.t;
+  mutable trips : int;
 }
 
 type stats = {
@@ -16,9 +29,11 @@ type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  quarantined : int;
+  quarantine_trips : int;
 }
 
-let create ?(capacity = 16) () =
+let create ?(capacity = 16) ?(quarantine_threshold = 3) ?(quarantine_cooldown = 30.) () =
   {
     capacity;
     tbl = Hashtbl.create (max 1 capacity);
@@ -27,6 +42,10 @@ let create ?(capacity = 16) () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    quarantine_threshold;
+    quarantine_cooldown;
+    breakers = Hashtbl.create 8;
+    trips = 0;
   }
 
 let touch (t : 'a t) e =
@@ -71,6 +90,52 @@ let add (t : 'a t) key value =
           t.tick <- t.tick + 1;
           Hashtbl.replace t.tbl key { value; stamp = t.tick })
 
+let admit (t : 'a t) key =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.breakers key with
+      | None -> `Proceed
+      | Some b -> (
+        match b.state with
+        | Closed -> `Proceed
+        | Half_open ->
+          (* One probe is already in flight; refuse the rest cheaply. *)
+          `Quarantined t.quarantine_cooldown
+        | Open opened_at ->
+          let remaining = t.quarantine_cooldown -. (Unix.gettimeofday () -. opened_at) in
+          if remaining <= 0. then begin
+            b.state <- Half_open;
+            `Probe
+          end
+          else `Quarantined remaining))
+
+let record_failure (t : 'a t) key =
+  Mutex.protect t.lock (fun () ->
+      let b =
+        match Hashtbl.find_opt t.breakers key with
+        | Some b -> b
+        | None ->
+          let b = { failures = 0; state = Closed } in
+          Hashtbl.replace t.breakers key b;
+          b
+      in
+      b.failures <- b.failures + 1;
+      match b.state with
+      | Open _ -> `Counted
+      | Half_open ->
+        (* The probe died too: a fresh cooldown, not a fresh trip. *)
+        b.state <- Open (Unix.gettimeofday ());
+        `Counted
+      | Closed ->
+        if b.failures >= t.quarantine_threshold then begin
+          b.state <- Open (Unix.gettimeofday ());
+          t.trips <- t.trips + 1;
+          `Tripped
+        end
+        else `Counted)
+
+let record_success (t : 'a t) key =
+  Mutex.protect t.lock (fun () -> Hashtbl.remove t.breakers key)
+
 let stats (t : 'a t) =
   Mutex.protect t.lock (fun () ->
       {
@@ -79,4 +144,9 @@ let stats (t : 'a t) =
         hits = t.hits;
         misses = t.misses;
         evictions = t.evictions;
+        quarantined =
+          Hashtbl.fold
+            (fun _ b acc -> match b.state with Closed -> acc | _ -> acc + 1)
+            t.breakers 0;
+        quarantine_trips = t.trips;
       })

@@ -8,10 +8,12 @@
 
 type 'a t
 
-val create : ?capacity:int -> unit -> 'a t
+val create :
+  ?capacity:int -> ?quarantine_threshold:int -> ?quarantine_cooldown:float -> unit -> 'a t
 (** Default capacity 16; [capacity <= 0] disables caching entirely
     ([find] always misses, [add] is a no-op) — used to benchmark the
-    cold path. *)
+    cold path.  The quarantine breaker (threshold 3 consecutive worker
+    losses, cooldown 30 s) works even with caching disabled. *)
 
 val find : 'a t -> string -> 'a option
 (** Counts a hit or a miss and refreshes recency on a hit. *)
@@ -20,12 +22,35 @@ val add : 'a t -> string -> 'a -> unit
 (** Inserts (or refreshes), evicting the least-recently-used entry when
     at capacity. *)
 
+(** {1 Poisoned-design quarantine}
+
+    A per-key circuit breaker, keyed like the cache (design digest), fed
+    by the daemon's supervisor: a design whose jobs repeatedly crash or
+    hang their worker is quarantined so it cannot keep eating the pool.
+    Closed → (threshold consecutive losses) → Open → (cooldown) →
+    Half-open, which admits exactly one probe — the probe's success
+    closes the breaker, its failure re-opens it for another cooldown.
+    Any successful completion resets the key's failure count. *)
+
+val admit : 'a t -> string -> [ `Proceed | `Probe | `Quarantined of float ]
+(** Called before executing a job for [key].  [`Quarantined remaining]
+    carries the seconds until the next probe slot. *)
+
+val record_failure : 'a t -> string -> [ `Counted | `Tripped ]
+(** A worker was lost running [key]; [`Tripped] on the Closed → Open
+    transition. *)
+
+val record_success : 'a t -> string -> unit
+(** Clears the key's breaker (closes it and zeroes its failure count). *)
+
 type stats = {
   entries : int;
   capacity : int;
   hits : int;
   misses : int;
   evictions : int;
+  quarantined : int;  (** keys whose breaker is currently Open or Half-open *)
+  quarantine_trips : int;  (** lifetime Closed → Open transitions *)
 }
 
 val stats : 'a t -> stats

@@ -81,6 +81,16 @@ let get_int fields name =
   | Some n -> n
   | None -> fail "field %S: not an integer" name
 
+(* Fields added after protocol version 1 shipped decode with a default,
+   so old peers' frames (which lack them) still parse. *)
+let get_int_default fields name default =
+  match get_opt fields name with
+  | None -> default
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some n -> n
+    | None -> fail "field %S: not an integer" name)
+
 let get_bool fields name = get fields name = "1"
 
 let get_float fields name =
@@ -120,6 +130,7 @@ type sim_job = {
   sj_opts : engine_opts;
   sj_cycles : int;
   sj_pokes : string list;
+  sj_token : string option;
 }
 
 type campaign_job = {
@@ -134,6 +145,7 @@ type campaign_job = {
   cj_duration : int;
   cj_models : string option;
   cj_pokes : string list;
+  cj_token : string option;
 }
 
 type fuzz_job = {
@@ -142,6 +154,7 @@ type fuzz_job = {
   fj_from : int;
   fj_cycles : int;
   fj_setups : string option;
+  fj_token : string option;
 }
 
 type cov_job = {
@@ -150,6 +163,7 @@ type cov_job = {
   vj_opts : engine_opts;
   vj_cycles : int;
   vj_pokes : string list;
+  vj_token : string option;
 }
 
 type request =
@@ -159,6 +173,26 @@ type request =
   | Coverage of priority * cov_job
   | Status
   | Shutdown
+
+let request_token = function
+  | Sim (_, j) -> j.sj_token
+  | Campaign (_, j) -> j.cj_token
+  | Fuzz (_, j) -> j.fj_token
+  | Coverage (_, j) -> j.vj_token
+  | Status | Shutdown -> None
+
+let with_token token = function
+  | Sim (p, j) -> Sim (p, { j with sj_token = Some token })
+  | Campaign (p, j) -> Campaign (p, { j with cj_token = Some token })
+  | Fuzz (p, j) -> Fuzz (p, { j with fj_token = Some token })
+  | Coverage (p, j) -> Coverage (p, { j with vj_token = Some token })
+  | (Status | Shutdown) as r -> r
+
+let request_design = function
+  | Sim (_, j) -> Some j.sj_design
+  | Campaign (_, j) -> Some j.cj_design
+  | Coverage (_, j) -> Some j.vj_design
+  | Fuzz _ | Status | Shutdown -> None
 
 type sim_result = {
   sr_engine : string;
@@ -194,14 +228,59 @@ type status = {
   st_preemptions : int;
   st_uptime : float;
   st_draining : bool;
+  st_retries : int;
+  st_hangs : int;
+  st_worker_crashes : int;
+  st_worker_restarts : int;
+  st_gave_up : int;
+  st_quarantined : int;
+  st_quarantine_trips : int;
+  st_chaos_injected : int;
 }
+
+type error_code =
+  | Generic
+  | Refused
+  | Queue_full
+  | Timeout
+  | Worker_lost
+  | Quarantined
+  | Protocol_violation
+  | Internal
+
+let error_code_to_string = function
+  | Generic -> "error"
+  | Refused -> "refused"
+  | Queue_full -> "queue-full"
+  | Timeout -> "timeout"
+  | Worker_lost -> "worker-lost"
+  | Quarantined -> "quarantined"
+  | Protocol_violation -> "protocol"
+  | Internal -> "internal"
+
+(* Unknown codes decode as [Generic]: an old client keeps working when
+   a newer daemon grows codes. *)
+let error_code_of_string = function
+  | "refused" -> Refused
+  | "queue-full" -> Queue_full
+  | "timeout" -> Timeout
+  | "worker-lost" -> Worker_lost
+  | "quarantined" -> Quarantined
+  | "protocol" -> Protocol_violation
+  | "internal" -> Internal
+  | _ -> Generic
+
+type error_info = { ei_code : error_code; ei_message : string; ei_attempts : int }
 
 type response =
   | Sim_done of sim_result
   | Db_done of db_result
   | Status_ok of status
   | Shutting_down
-  | Error_resp of string
+  | Error_resp of error_info
+
+let error_resp ?(code = Generic) ?(attempts = 1) msg =
+  Error_resp { ei_code = code; ei_message = msg; ei_attempts = attempts }
 
 (* --- Message payloads ---------------------------------------------------- *)
 
@@ -232,6 +311,7 @@ let sim_payload p (j : sim_job) =
   put_opts b j.sj_opts;
   put_int b "cycles" j.sj_cycles;
   put_list b "poke" j.sj_pokes;
+  put_opt b "token" j.sj_token;
   Buffer.contents b
 
 let sim_of_fields fields =
@@ -242,6 +322,7 @@ let sim_of_fields fields =
       sj_opts = get_opts fields;
       sj_cycles = get_int fields "cycles";
       sj_pokes = get_list fields "poke";
+      sj_token = get_opt fields "token";
     } )
 
 let campaign_payload p (j : campaign_job) =
@@ -258,6 +339,7 @@ let campaign_payload p (j : campaign_job) =
   put_int b "duration" j.cj_duration;
   put_opt b "models" j.cj_models;
   put_list b "poke" j.cj_pokes;
+  put_opt b "token" j.cj_token;
   Buffer.contents b
 
 let campaign_of_fields fields =
@@ -274,6 +356,7 @@ let campaign_of_fields fields =
       cj_duration = get_int fields "duration";
       cj_models = get_opt fields "models";
       cj_pokes = get_list fields "poke";
+      cj_token = get_opt fields "token";
     } )
 
 let fuzz_payload p (j : fuzz_job) =
@@ -284,6 +367,7 @@ let fuzz_payload p (j : fuzz_job) =
   put_int b "from" j.fj_from;
   put_int b "cycles" j.fj_cycles;
   put_opt b "setups" j.fj_setups;
+  put_opt b "token" j.fj_token;
   Buffer.contents b
 
 let fuzz_of_fields fields =
@@ -294,6 +378,7 @@ let fuzz_of_fields fields =
       fj_from = get_int fields "from";
       fj_cycles = get_int fields "cycles";
       fj_setups = get_opt fields "setups";
+      fj_token = get_opt fields "token";
     } )
 
 let cov_payload p (j : cov_job) =
@@ -304,6 +389,7 @@ let cov_payload p (j : cov_job) =
   put_opts b j.vj_opts;
   put_int b "cycles" j.vj_cycles;
   put_list b "poke" j.vj_pokes;
+  put_opt b "token" j.vj_token;
   Buffer.contents b
 
 let cov_of_fields fields =
@@ -314,6 +400,7 @@ let cov_of_fields fields =
       vj_opts = get_opts fields;
       vj_cycles = get_int fields "cycles";
       vj_pokes = get_list fields "poke";
+      vj_token = get_opt fields "token";
     } )
 
 let sim_result_payload (r : sim_result) =
@@ -382,6 +469,14 @@ let status_payload (s : status) =
   put_int b "preemptions" s.st_preemptions;
   put_float b "uptime" s.st_uptime;
   put_bool b "draining" s.st_draining;
+  put_int b "retries" s.st_retries;
+  put_int b "hangs" s.st_hangs;
+  put_int b "worker-crashes" s.st_worker_crashes;
+  put_int b "worker-restarts" s.st_worker_restarts;
+  put_int b "gave-up" s.st_gave_up;
+  put_int b "quarantined" s.st_quarantined;
+  put_int b "quarantine-trips" s.st_quarantine_trips;
+  put_int b "chaos-injected" s.st_chaos_injected;
   Buffer.contents b
 
 let status_of_fields fields =
@@ -401,6 +496,14 @@ let status_of_fields fields =
     st_preemptions = get_int fields "preemptions";
     st_uptime = get_float fields "uptime";
     st_draining = get_bool fields "draining";
+    st_retries = get_int_default fields "retries" 0;
+    st_hangs = get_int_default fields "hangs" 0;
+    st_worker_crashes = get_int_default fields "worker-crashes" 0;
+    st_worker_restarts = get_int_default fields "worker-restarts" 0;
+    st_gave_up = get_int_default fields "gave-up" 0;
+    st_quarantined = get_int_default fields "quarantined" 0;
+    st_quarantine_trips = get_int_default fields "quarantine-trips" 0;
+    st_chaos_injected = get_int_default fields "chaos-injected" 0;
   }
 
 (* --- Frames -------------------------------------------------------------- *)
@@ -480,9 +583,11 @@ let encode_response = function
   | Db_done r -> frame_to_string ~kind:0x42 (db_result_payload r)
   | Status_ok s -> frame_to_string ~kind:0x43 (status_payload s)
   | Shutting_down -> frame_to_string ~kind:0x44 ""
-  | Error_resp msg ->
+  | Error_resp e ->
     let b = Buffer.create 64 in
-    put b "message" msg;
+    put b "message" e.ei_message;
+    put b "code" (error_code_to_string e.ei_code);
+    put_int b "attempts" e.ei_attempts;
     frame_to_string ~kind:0x45 (Buffer.contents b)
 
 let response_of_frame kind payload =
@@ -491,7 +596,17 @@ let response_of_frame kind payload =
   | 0x42 -> Db_done (db_result_of_fields (fields_of_string payload))
   | 0x43 -> Status_ok (status_of_fields (fields_of_string payload))
   | 0x44 -> Shutting_down
-  | 0x45 -> Error_resp (get (fields_of_string payload) "message")
+  | 0x45 ->
+    let fields = fields_of_string payload in
+    Error_resp
+      {
+        ei_message = get fields "message";
+        ei_code =
+          (match get_opt fields "code" with
+           | Some c -> error_code_of_string c
+           | None -> Generic);
+        ei_attempts = get_int_default fields "attempts" 1;
+      }
   | k -> fail "unknown response kind 0x%02x" k
 
 let decode_response s =

@@ -62,6 +62,10 @@ type sim_job = {
   sj_opts : engine_opts;
   sj_cycles : int;
   sj_pokes : string list;  (** ["name=value"] *)
+  sj_token : string option;
+      (** client-chosen idempotency token: resubmitting the same token
+          attaches to the in-flight job (or replays its cached
+          response) instead of executing twice *)
 }
 
 type campaign_job = {
@@ -76,6 +80,7 @@ type campaign_job = {
   cj_duration : int;
   cj_models : string option;  (** comma-separated model subset *)
   cj_pokes : string list;
+  cj_token : string option;
 }
 
 type fuzz_job = {
@@ -84,6 +89,7 @@ type fuzz_job = {
   fj_from : int;  (** first case index of this shard *)
   fj_cycles : int;
   fj_setups : string option;  (** comma-separated subset, e.g. ["gsim+bytecode"] *)
+  fj_token : string option;
 }
 
 type cov_job = {
@@ -92,6 +98,7 @@ type cov_job = {
   vj_opts : engine_opts;
   vj_cycles : int;
   vj_pokes : string list;
+  vj_token : string option;
 }
 
 type request =
@@ -101,6 +108,14 @@ type request =
   | Coverage of priority * cov_job
   | Status
   | Shutdown
+
+val request_token : request -> string option
+val with_token : string -> request -> request
+(** A no-op on [Status]/[Shutdown] (control requests never retry-dedup). *)
+
+val request_design : request -> string option
+(** The raw design text a job carries, if any — what the quarantine
+    breaker and the chaos poison marker key on. *)
 
 type sim_result = {
   sr_engine : string;
@@ -136,14 +151,44 @@ type status = {
   st_preemptions : int;
   st_uptime : float;
   st_draining : bool;
+  st_retries : int;          (** job attempts re-admitted after a worker loss *)
+  st_hangs : int;            (** hung workers detected by the supervisor *)
+  st_worker_crashes : int;   (** worker Domains that died mid-job *)
+  st_worker_restarts : int;  (** replacement Domains spawned *)
+  st_gave_up : int;          (** jobs failed after exhausting their retry budget *)
+  st_quarantined : int;      (** designs currently quarantined (breaker open/probing) *)
+  st_quarantine_trips : int;
+  st_chaos_injected : int;   (** total faults the chaos harness injected *)
 }
+
+(** Structured failure codes, wire-carried so a client can tell a
+    retryable condition ([Timeout], [Worker_lost], [Queue_full]) from a
+    permanent one ([Quarantined], [Protocol_violation]) without parsing
+    the message text.  Codes unknown to a peer decode as [Generic]. *)
+type error_code =
+  | Generic
+  | Refused       (** draining: resubmit to another daemon *)
+  | Queue_full
+  | Timeout       (** the job hung and exhausted its retries *)
+  | Worker_lost   (** the worker died and retries were exhausted *)
+  | Quarantined   (** the design's circuit breaker is open *)
+  | Protocol_violation
+  | Internal
+
+val error_code_to_string : error_code -> string
+val error_code_of_string : string -> error_code
+
+type error_info = { ei_code : error_code; ei_message : string; ei_attempts : int }
 
 type response =
   | Sim_done of sim_result
   | Db_done of db_result
   | Status_ok of status
   | Shutting_down
-  | Error_resp of string
+  | Error_resp of error_info
+
+val error_resp : ?code:error_code -> ?attempts:int -> string -> response
+(** [Generic], one attempt by default. *)
 
 (** {1 Frames} *)
 
@@ -153,6 +198,13 @@ val frame_to_string : kind:int -> string -> string
 val frame_of_string : string -> int * string
 (** Parses exactly one whole frame; raises {!Error} on truncation, bad
     magic, an unsupported version or an out-of-range length. *)
+
+val parse_header : string -> int * int
+(** [(kind, payload_length)] from exactly {!header_size} bytes — for
+    callers doing their own deadline-aware socket reads ({!Client}). *)
+
+val response_of_frame : int -> string -> response
+(** Decode a response from its kind tag and payload bytes. *)
 
 val encode_request : request -> string
 (** The complete frame bytes. *)

@@ -1,0 +1,149 @@
+type policy = {
+  hang_timeout : float;
+  grace : float;
+  poll : float;
+  max_retries : int;
+  backoff_base : float;
+  backoff_max : float;
+}
+
+let default_policy =
+  {
+    hang_timeout = 30.;
+    grace = 1.;
+    poll = 0.05;
+    max_retries = 3;
+    backoff_base = 0.05;
+    backoff_max = 2.;
+  }
+
+let backoff p ~attempt ~jitter =
+  let exp = min p.backoff_max (p.backoff_base *. (2. ** float_of_int (max 0 (attempt - 1)))) in
+  exp *. (0.75 +. (0.5 *. jitter))
+
+type 'job slot = {
+  sid : int;
+  mutable job : 'job option;
+  mutable ticking : bool;
+  mutable beat_at : float;
+  mutable crash_flag : bool;
+  mutable cancel_at : float;  (* 0. = not cancelled *)
+  mutable retired : bool;
+}
+
+type 'job t = {
+  pol : policy;
+  lock : Mutex.t;
+  mutable slots : 'job slot list;
+  mutable next_sid : int;
+  hangs : int Atomic.t;
+  crashes : int Atomic.t;
+  wedges : int Atomic.t;
+}
+
+let create pol =
+  {
+    pol;
+    lock = Mutex.create ();
+    slots = [];
+    next_sid = 0;
+    hangs = Atomic.make 0;
+    crashes = Atomic.make 0;
+    wedges = Atomic.make 0;
+  }
+
+let policy t = t.pol
+
+let register t =
+  Mutex.protect t.lock (fun () ->
+      let s =
+        {
+          sid = t.next_sid;
+          job = None;
+          ticking = false;
+          beat_at = Unix.gettimeofday ();
+          crash_flag = false;
+          cancel_at = 0.;
+          retired = false;
+        }
+      in
+      t.next_sid <- t.next_sid + 1;
+      t.slots <- s :: t.slots;
+      s)
+
+let start t slot ~ticking job =
+  Mutex.protect t.lock (fun () ->
+      slot.job <- Some job;
+      slot.ticking <- ticking;
+      slot.beat_at <- Unix.gettimeofday ();
+      slot.cancel_at <- 0.)
+
+(* Lock-free on purpose: one float store per preemption stride.  A torn
+   read is impossible on 64-bit and a stale read only delays a hang
+   verdict by one poll interval. *)
+let beat slot = slot.beat_at <- Unix.gettimeofday ()
+
+let finish t slot =
+  Mutex.protect t.lock (fun () ->
+      if not slot.retired then begin
+        slot.job <- None;
+        slot.ticking <- false;
+        slot.cancel_at <- 0.
+      end)
+
+let crashed t slot = Mutex.protect t.lock (fun () -> slot.crash_flag <- true)
+
+let exited t slot =
+  Mutex.protect t.lock (fun () ->
+      slot.retired <- true;
+      slot.job <- None;
+      t.slots <- List.filter (fun s -> s != slot) t.slots)
+
+type 'job loss = {
+  slot_id : int;
+  job : 'job option;
+  kind : [ `Crash | `Hang | `Wedge ];
+}
+
+let scan t ~now =
+  Mutex.protect t.lock (fun () ->
+      let losses = ref [] in
+      t.slots <-
+        List.filter
+          (fun s ->
+            if s.crash_flag then begin
+              Atomic.incr t.crashes;
+              losses := { slot_id = s.sid; job = s.job; kind = `Crash } :: !losses;
+              s.retired <- true;
+              s.job <- None;
+              false
+            end
+            else
+              match s.job with
+              | Some j
+                when s.ticking && s.cancel_at = 0. && now -. s.beat_at > t.pol.hang_timeout
+                ->
+                Atomic.incr t.hangs;
+                s.cancel_at <- now;
+                losses := { slot_id = s.sid; job = Some j; kind = `Hang } :: !losses;
+                true
+              | Some _ when s.cancel_at > 0. && now -. s.cancel_at > t.pol.grace ->
+                (* The job was recovered when the hang was detected; only
+                   the worker itself is condemned here. *)
+                Atomic.incr t.wedges;
+                losses := { slot_id = s.sid; job = None; kind = `Wedge } :: !losses;
+                s.retired <- true;
+                s.job <- None;
+                false
+              | _ -> true)
+          t.slots;
+      List.rev !losses)
+
+let busy t =
+  Mutex.protect t.lock (fun () ->
+      List.length (List.filter (fun (s : _ slot) -> Option.is_some s.job) t.slots))
+
+let live t = Mutex.protect t.lock (fun () -> List.length t.slots)
+let hang_count t = Atomic.get t.hangs
+let crash_count t = Atomic.get t.crashes
+let wedge_count t = Atomic.get t.wedges

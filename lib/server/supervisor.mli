@@ -1,0 +1,84 @@
+(** Worker supervision: heartbeats, hang detection, crash detection.
+
+    Each worker Domain registers a {!slot} and, while executing a job,
+    heartbeats through it at every preemption-stride boundary.  The
+    daemon's supervisor thread calls {!scan} periodically and reacts to
+    the losses it reports:
+
+    - [`Crash]: the worker Domain died mid-job (its loop caught a
+      {!Chaos.Crash} or an unexpected exception and flagged the slot).
+      The slot is retired; the daemon respawns a replacement and
+      recovers the job.
+    - [`Hang]: a ticking job's heartbeat went stale for longer than
+      [hang_timeout].  The daemon cancels the job (workers poll their
+      job's cancel flag at each tick) and recovers it; the slot stays
+      live, stamped with the cancellation time, waiting for the worker
+      to acknowledge by finishing.
+    - [`Wedge]: a cancelled worker did not acknowledge within [grace] —
+      it is truly stuck (Domains cannot be killed).  The slot is
+      retired so drain accounting no longer waits on it, and the daemon
+      respawns a replacement; the wedged Domain is abandoned and dies
+      with the process.
+
+    Only sim jobs tick (campaign/fuzz/coverage run as one opaque call),
+    so hang detection applies only to slots started with
+    [~ticking:true]; crash detection applies to every job.  Retired
+    slots ignore late heartbeats and acknowledgements from their
+    abandoned worker. *)
+
+type policy = {
+  hang_timeout : float;  (** seconds without a heartbeat before a ticking job is hung *)
+  grace : float;  (** seconds a cancelled worker gets to acknowledge before respawn *)
+  poll : float;  (** supervisor scan interval *)
+  max_retries : int;  (** attempts per job before a structured failure *)
+  backoff_base : float;  (** first retry delay, seconds *)
+  backoff_max : float;
+}
+
+val default_policy : policy
+(** 30 s hang timeout, 1 s grace, 50 ms poll, 3 retries, 50 ms–2 s backoff. *)
+
+val backoff : policy -> attempt:int -> jitter:float -> float
+(** Exponential in [attempt] (1-based), capped at [backoff_max], scaled
+    by [0.75 + 0.5 * jitter] with [jitter] in [0, 1). *)
+
+type 'job t
+type 'job slot
+
+val create : policy -> 'job t
+val policy : 'job t -> policy
+
+(** {1 Worker side} *)
+
+val register : 'job t -> 'job slot
+
+val start : 'job t -> 'job slot -> ticking:bool -> 'job -> unit
+val beat : 'job slot -> unit
+val finish : 'job t -> 'job slot -> unit
+(** Clears the slot; a no-op on a retired slot. *)
+
+val crashed : 'job t -> 'job slot -> unit
+(** The worker loop is dying with this job still in its slot. *)
+
+val exited : 'job t -> 'job slot -> unit
+(** The worker loop returned normally (drain). *)
+
+(** {1 Supervisor side} *)
+
+type 'job loss = {
+  slot_id : int;
+  job : 'job option;  (** [None] for a [`Wedge]: its job was already recovered at [`Hang] *)
+  kind : [ `Crash | `Hang | `Wedge ];
+}
+
+val scan : 'job t -> now:float -> 'job loss list
+(** Detects and state-advances in one pass; each loss is reported once. *)
+
+val busy : 'job t -> int
+(** Live slots currently holding a job (retired slots excluded) — the
+    in-flight count drain accounting waits on. *)
+
+val live : 'job t -> int
+val hang_count : 'job t -> int
+val crash_count : 'job t -> int
+val wedge_count : 'job t -> int

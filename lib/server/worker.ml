@@ -19,6 +19,10 @@ type job = {
   priority : int;
   request : P.request;
   reply : P.response -> unit;
+  mutable attempt : int;
+  cancelled : bool Atomic.t;
+  mutable ticks : int;
+  mutable digest : string option;
   mutable done_cycles : int;
   mutable ck : Checkpoint.t option;
   mutable recovered : bool;
@@ -35,6 +39,10 @@ let make_job ~id ~priority ~reply request =
     priority;
     request;
     reply;
+    attempt = 1;
+    cancelled = Atomic.make false;
+    ticks = 0;
+    digest = None;
     done_cycles = 0;
     ck = None;
     recovered = false;
@@ -45,18 +53,33 @@ let make_job ~id ~priority ~reply request =
     compile_seconds = 0.;
   }
 
+(* A retry is a fresh record under the same id: the stale attempt may
+   still be running on a wedged worker, so it must not share mutable
+   resume state.  [recovered] makes the retry resume from the job's
+   on-disk spool ring instead of cycle 0. *)
+let retry_of job =
+  let j = make_job ~id:job.id ~priority:job.priority ~reply:job.reply job.request in
+  j.attempt <- job.attempt + 1;
+  j.recovered <- true;
+  j
+
 type context = {
   cache : Compile.plan Plan_cache.t;
   sched : job Scheduler.t;
   spool : string;
   preempt_stride : int;
   log : string -> unit;
+  chaos : Chaos.t;
   preemption_count : int Atomic.t;
   golden_hits : int Atomic.t;
   golden_misses : int Atomic.t;
 }
 
-type outcome = Done of P.response | Yielded
+type outcome = Done of P.response | Yielded | Abandoned
+
+exception Abandon
+(* Raised at a tick when the supervisor has cancelled this attempt
+   (it was presumed hung and a retry was re-admitted). *)
 
 (* Preemption spool cadence: the first yield of a job writes a full
    keyframe, later yields write sparse deltas chained on it, and every
@@ -121,7 +144,29 @@ let remove_dir dir =
 
 (* --- sim ----------------------------------------------------------------- *)
 
-let run_sim ctx job (sj : P.sim_job) =
+(* Spool one generation crash-safely: the on-disk ring survives both the
+   daemon and this worker.  After the first keyframe each generation
+   costs only a sparse delta chained on the previous file's CRC; the
+   ring's chain-aware prune keeps every base a live delta still needs. *)
+let spool_generation ctx job ck =
+  let store = Store.create ~ring:4 (job_dir ctx job "sim") in
+  match job.spool_link with
+  | Some (base, base_crc) when job.spool_deltas < spool_keyframe_every -> (
+    match Checkpoint.delta_of ~base ~base_crc ck with
+    | d ->
+      let _, crc = Store.save_delta store d in
+      job.spool_link <- Some (ck, crc);
+      job.spool_deltas <- job.spool_deltas + 1
+    | exception Failure _ ->
+      let _, crc = Store.save_keyframe store ck in
+      job.spool_link <- Some (ck, crc);
+      job.spool_deltas <- 0)
+  | _ ->
+    let _, crc = Store.save_keyframe store ck in
+    job.spool_link <- Some (ck, crc);
+    job.spool_deltas <- 0
+
+let run_sim ctx job ~tick (sj : P.sim_job) =
   let config = config_of_opts sj.sj_opts in
   let plan, hit, secs = compiled_plan ctx config ~filename:sj.sj_filename ~text:sj.sj_design in
   if job.done_cycles = 0 && job.ck = None then begin
@@ -171,46 +216,36 @@ let run_sim ctx job (sj : P.sim_job) =
       | _ -> ()
     done
   in
-  (* Interactive jobs never yield; batch jobs poll for higher-priority
-     work every [preempt_stride] cycles. *)
+  (* Every sim job steps in [preempt_stride]-cycle windows and ticks at
+     each boundary: the tick heartbeats to the supervisor, honours a
+     cancellation, and lets the chaos harness strike.  Only batch jobs
+     yield to higher-priority work, and only batch jobs spool — the
+     per-stride generation is what a retry resumes from after its
+     worker crashed, so a lost worker costs at most one stride of
+     progress plus the backoff.  Interactive jobs are short and their
+     client retries, so they skip the spool entirely. *)
+  let stride = if ctx.preempt_stride > 0 then ctx.preempt_stride else max_int in
   let preemptible = job.priority > 0 && ctx.preempt_stride > 0 in
+  let spooling = job.priority > 0 && ctx.preempt_stride > 0 in
   let yielded = ref false in
   while (not !yielded) && (not !halted) && job.done_cycles < target do
-    let window =
-      if preemptible then min ctx.preempt_stride (target - job.done_cycles)
-      else target - job.done_cycles
-    in
+    let window = min stride (target - job.done_cycles) in
     step_window window;
-    if
-      preemptible && (not !halted) && job.done_cycles < target
-      && Scheduler.higher_waiting ctx.sched ~than:job.priority
-    then begin
-      let ck = Checkpoint.with_cycle (Checkpoint.capture sim) job.done_cycles in
-      job.ck <- Some ck;
-      (* Spool the generation crash-safely: the in-memory copy resumes
-         this job on any worker, the on-disk ring survives the daemon.
-         After the first keyframe each yield costs only a sparse delta
-         chained on the previous generation's file CRC; the ring's
-         chain-aware prune keeps every base a live delta still needs. *)
-      let store = Store.create ~ring:4 (job_dir ctx job "sim") in
-      (match job.spool_link with
-       | Some (base, base_crc) when job.spool_deltas < spool_keyframe_every -> (
-         match Checkpoint.delta_of ~base ~base_crc ck with
-         | d ->
-           let _, crc = Store.save_delta store d in
-           job.spool_link <- Some (ck, crc);
-           job.spool_deltas <- job.spool_deltas + 1
-         | exception Failure _ ->
-           let _, crc = Store.save_keyframe store ck in
-           job.spool_link <- Some (ck, crc);
-           job.spool_deltas <- 0)
-       | _ ->
-         let _, crc = Store.save_keyframe store ck in
-         job.spool_link <- Some (ck, crc);
-         job.spool_deltas <- 0);
-      job.preemptions <- job.preemptions + 1;
-      Atomic.incr ctx.preemption_count;
-      yielded := true
+    if (not !halted) && job.done_cycles < target then begin
+      tick ();
+      let want_yield =
+        preemptible && Scheduler.higher_waiting ctx.sched ~than:job.priority
+      in
+      if spooling || want_yield then begin
+        let ck = Checkpoint.with_cycle (Checkpoint.capture sim) job.done_cycles in
+        spool_generation ctx job ck;
+        if want_yield then begin
+          job.ck <- Some ck;
+          job.preemptions <- job.preemptions + 1;
+          Atomic.incr ctx.preemption_count;
+          yielded := true
+        end
+      end
     end
   done;
   if !yielded then Yielded
@@ -374,20 +409,89 @@ let run_cov ctx job (vj : P.cov_job) =
 
 (* --- dispatch ------------------------------------------------------------ *)
 
-let execute ctx job =
+let discard_scratch ctx job =
+  remove_dir (Filename.concat ctx.spool (Printf.sprintf "sim-job-%03d" job.id));
+  remove_dir (Filename.concat ctx.spool (Printf.sprintf "fuzz-job-%03d" job.id))
+
+let execute ?(beat = fun () -> ()) ctx job =
+  let design = P.request_design job.request in
+  job.digest <- Option.map (fun d -> Digest.to_hex (Digest.string d)) design;
+  let poisoned =
+    match design with Some d -> Chaos.poisoned ctx.chaos ~design:d | None -> false
+  in
+  (* One tick per preemption stride: heartbeat out, cancellation and
+     chaos in.  The entry tick means even a job that dies before its
+     first stride (bad design, poisoned plan) is supervised. *)
+  let tick () =
+    beat ();
+    if Atomic.get job.cancelled then raise Abandon;
+    job.ticks <- job.ticks + 1;
+    match
+      Chaos.at_eval ctx.chaos ~job:job.id ~attempt:job.attempt ~tick:job.ticks ~poisoned
+    with
+    | `Ok -> ()
+    | `Crash -> raise Chaos.Crash
+    | `Hang ->
+      (* A real hang never returns; a simulated one spins silently (no
+         heartbeat) until the supervisor cancels this attempt. *)
+      while not (Atomic.get job.cancelled) do
+        Unix.sleepf 0.002
+      done;
+      raise Abandon
+  in
   try
-    match job.request with
-    | P.Sim (_, sj) -> run_sim ctx job sj
-    | P.Campaign (_, cj) -> run_campaign ctx job cj
-    | P.Fuzz (_, fj) -> run_fuzz ctx job fj
-    | P.Coverage (_, vj) -> run_cov ctx job vj
-    | P.Status | P.Shutdown ->
-      (* Handled by the connection layer; never scheduled. *)
-      Done (P.Error_resp "internal: control request reached a worker")
+    (* Quarantine is checked before the first tick: an Open breaker must
+       refuse the design instantly, before a poisoned plan gets another
+       chance to take the worker down with it. *)
+    let quarantined =
+      match job.digest with
+      | None -> None
+      | Some key -> (
+        match Plan_cache.admit ctx.cache key with
+        | `Proceed -> None
+        | `Probe ->
+          ctx.log
+            (Printf.sprintf "job %d: quarantine probe for design %s" job.id
+               (String.sub key 0 12));
+          None
+        | `Quarantined remaining -> Some remaining)
+    in
+    (match quarantined with None -> tick () | Some _ -> ());
+    match quarantined with
+    | Some remaining ->
+      Done
+        (P.error_resp ~code:P.Quarantined ~attempts:job.attempt
+           (Printf.sprintf
+              "design quarantined after repeated worker loss; next probe in %.0f s"
+              (Float.max 1. remaining)))
+    | None ->
+      let outcome =
+        match job.request with
+        | P.Sim (_, sj) -> run_sim ctx job ~tick sj
+        | P.Campaign (_, cj) -> run_campaign ctx job cj
+        | P.Fuzz (_, fj) -> run_fuzz ctx job fj
+        | P.Coverage (_, vj) -> run_cov ctx job vj
+        | P.Status | P.Shutdown ->
+          (* Handled by the connection layer; never scheduled. *)
+          Done (P.error_resp ~code:P.Internal "internal: control request reached a worker")
+      in
+      (match outcome with
+       | Done _ ->
+         (* Completing at all — even with a job-level error — proves the
+            design does not kill workers; close its breaker. *)
+         Option.iter (Plan_cache.record_success ctx.cache) job.digest
+       | Yielded | Abandoned -> ());
+      outcome
   with
-  | Failure msg -> Done (P.Error_resp msg)
-  | Invalid_argument msg -> Done (P.Error_resp ("invalid argument: " ^ msg))
-  | Sys_error msg -> Done (P.Error_resp ("i/o error: " ^ msg))
+  | Abandon -> Abandoned
+  | Chaos.Crash as e ->
+    (* Simulated worker death must escape like a real one would. *)
+    raise e
+  | Failure msg -> Done (P.error_resp ~attempts:job.attempt msg)
+  | Invalid_argument msg ->
+    Done (P.error_resp ~attempts:job.attempt ("invalid argument: " ^ msg))
+  | Sys_error msg -> Done (P.error_resp ~attempts:job.attempt ("i/o error: " ^ msg))
   | e ->
     ctx.log (Printf.sprintf "job %d: unexpected exception %s" job.id (Printexc.to_string e));
-    Done (P.Error_resp ("internal error: " ^ Printexc.to_string e))
+    Done (P.error_resp ~code:P.Internal ~attempts:job.attempt
+            ("internal error: " ^ Printexc.to_string e))

@@ -20,13 +20,30 @@
 
     Interactive jobs (priority 0) and campaign/fuzz/coverage jobs never
     yield — campaigns already shard at the request level, which is the
-    preemption mechanism for batch analysis traffic. *)
+    preemption mechanism for batch analysis traffic.
+
+    Supervision rides on the same stride boundaries: every sim window
+    ends in a tick that heartbeats to the daemon's {!Supervisor},
+    checks the job's cancel flag, gives the {!Chaos} harness its
+    injection point — and, for batch jobs, spools a generation so that
+    a worker lost mid-job costs the retry at most one stride of
+    progress.  A cancelled attempt returns {!Abandoned}; a chaos crash
+    escapes {!execute} entirely, killing the worker Domain the way a
+    real crash would. *)
 
 type job = {
   id : int;
   priority : int;  (** scheduler level, 0 = interactive *)
   request : Protocol.request;
   reply : Protocol.response -> unit;  (** fulfilled exactly once, on completion *)
+  mutable attempt : int;  (** 1-based; bumped by {!retry_of} *)
+  cancelled : bool Atomic.t;
+      (** set by the supervisor when this attempt is presumed hung;
+          polled at every tick *)
+  mutable ticks : int;  (** stride boundaries crossed — chaos coordinates *)
+  mutable digest : string option;
+      (** design-text digest, the quarantine breaker's key; set by
+          {!execute} before any work runs *)
   mutable done_cycles : int;
   mutable ck : Gsim_engine.Checkpoint.t option;
   mutable recovered : bool;
@@ -44,18 +61,31 @@ type job = {
 val make_job :
   id:int -> priority:int -> reply:(Protocol.response -> unit) -> Protocol.request -> job
 
+val retry_of : job -> job
+(** A fresh attempt under the same id, [attempt + 1], flagged
+    [recovered] so it resumes from the job's on-disk spool ring.  The
+    stale attempt (possibly still running on a wedged worker) shares no
+    mutable state with it. *)
+
 type context = {
   cache : Gsim_core.Gsim.Compile.plan Plan_cache.t;
   sched : job Scheduler.t;
   spool : string;  (** per-job checkpoint/fuzz/golden scratch root *)
   preempt_stride : int;  (** cycles between preemption checks; <= 0 disables *)
   log : string -> unit;
+  chaos : Chaos.t;  (** {!Chaos.off} outside chaos runs *)
   preemption_count : int Atomic.t;
   golden_hits : int Atomic.t;
   golden_misses : int Atomic.t;
 }
 
-type outcome = Done of Protocol.response | Yielded
+type outcome = Done of Protocol.response | Yielded | Abandoned
 
-val execute : context -> job -> outcome
-(** Never raises: failures become [Done (Error_resp _)]. *)
+val execute : ?beat:(unit -> unit) -> context -> job -> outcome
+(** [beat] is called at every stride tick (the worker's heartbeat).
+    Failures become [Done (Error_resp _)]; a supervisor-cancelled
+    attempt returns [Abandoned]; only {!Chaos.Crash} escapes, on
+    purpose — it simulates the Domain dying. *)
+
+val discard_scratch : context -> job -> unit
+(** Remove the job's spool ring and fuzz scratch (give-up cleanup). *)

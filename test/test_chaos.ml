@@ -1,0 +1,490 @@
+(* Fault isolation: chaos spec and hashing, supervisor scan and backoff,
+   the poisoned-plan quarantine breaker, frame-tear fuzzing, client
+   deadlines, token idempotency, and the 48-job chaos acceptance run
+   (seeded crashes + hangs, zero lost jobs, byte-identical outputs). *)
+
+module P = Gsim_server.Protocol
+module Chaos = Gsim_server.Chaos
+module Supervisor = Gsim_server.Supervisor
+module Plan_cache = Gsim_server.Plan_cache
+module Daemon = Gsim_server.Daemon
+module Client = Gsim_server.Client
+module Store = Gsim_resilience.Store
+
+let temp_dir =
+  let ctr = ref 0 in
+  fun () ->
+    incr ctr;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gsim-chaos-%d-%d" (Unix.getpid ()) !ctr)
+    in
+    Store.ensure_dir d;
+    d
+
+let contains haystack needle =
+  let n = String.length haystack and k = String.length needle in
+  let rec go i = i + k <= n && (String.sub haystack i k = needle || go (i + 1)) in
+  k > 0 && go 0
+
+let gray_fir ~name ~step =
+  Printf.sprintf
+    "circuit %s :\n\
+    \  module %s :\n\
+    \    input clock : Clock\n\
+    \    input reset : UInt<1>\n\
+    \    input en : UInt<1>\n\
+    \    output count : UInt<8>\n\
+    \    output gray : UInt<8>\n\n\
+    \    reg r : UInt<8>, clock with : (reset => (reset, UInt<8>(0)))\n\
+    \    when en :\n\
+    \      r <= tail(add(r, UInt<8>(%d)), 1)\n\
+    \    count <= r\n\
+    \    gray <= xor(r, shr(r, 1))\n"
+    name name step
+
+(* --- chaos spec ---------------------------------------------------------- *)
+
+let expect_spec_failure text =
+  match Chaos.spec_of_string text with
+  | _ -> Alcotest.failf "spec %S: expected Failure" text
+  | exception Failure _ -> ()
+
+let test_spec_parse () =
+  Alcotest.(check bool) "empty spec is none" true (Chaos.spec_of_string "" = Chaos.none);
+  Alcotest.(check bool) "none is disabled" false (Chaos.enabled Chaos.none);
+  let s =
+    Chaos.spec_of_string "seed=42,crash=0.1,hang=0.05,slow=0.2,slow-ms=15,torn=0.01,poison=Bad"
+  in
+  Alcotest.(check int) "seed" 42 s.Chaos.seed;
+  Alcotest.(check (float 1e-9)) "crash" 0.1 s.Chaos.crash;
+  Alcotest.(check (float 1e-9)) "hang" 0.05 s.Chaos.hang;
+  Alcotest.(check (float 1e-9)) "slow-ms" 15. s.Chaos.slow_ms;
+  Alcotest.(check bool) "poison" true (s.Chaos.poison = Some "Bad");
+  Alcotest.(check bool) "enabled" true (Chaos.enabled s);
+  Alcotest.(check bool) "round-trip" true
+    (Chaos.spec_of_string (Chaos.spec_to_string s) = s);
+  expect_spec_failure "bogus=1";
+  expect_spec_failure "crash=2";
+  expect_spec_failure "crash=nope";
+  expect_spec_failure "justakey"
+
+let test_hash_deterministic () =
+  let a = Chaos.hash01 ~seed:7 ~site:"eval" [ 1; 2; 3 ] in
+  let b = Chaos.hash01 ~seed:7 ~site:"eval" [ 1; 2; 3 ] in
+  Alcotest.(check (float 0.)) "same inputs, same draw" a b;
+  Alcotest.(check bool) "site matters" true
+    (Chaos.hash01 ~seed:7 ~site:"torn" [ 1; 2; 3 ] <> a);
+  Alcotest.(check bool) "seed matters" true (Chaos.hash01 ~seed:8 ~site:"eval" [ 1; 2; 3 ] <> a);
+  let distinct = Hashtbl.create 64 in
+  for i = 0 to 999 do
+    let u = Chaos.hash01 ~seed:7 ~site:"eval" [ i ] in
+    Alcotest.(check bool) "in [0,1)" true (u >= 0. && u < 1.);
+    Hashtbl.replace distinct (Printf.sprintf "%.17g" u) ()
+  done;
+  Alcotest.(check bool) "draws spread out" true (Hashtbl.length distinct > 900)
+
+let test_at_eval_counting () =
+  (match Chaos.at_eval Chaos.off ~job:0 ~attempt:1 ~tick:1 ~poisoned:true with
+   | `Ok -> ()
+   | _ -> Alcotest.fail "disabled chaos must inject nothing");
+  let t = Chaos.create (Chaos.spec_of_string "seed=1,crash=1") in
+  (match Chaos.at_eval t ~job:3 ~attempt:1 ~tick:1 ~poisoned:false with
+   | `Crash -> ()
+   | _ -> Alcotest.fail "crash=1 must crash");
+  let p = Chaos.create (Chaos.spec_of_string "seed=1,poison=Bad") in
+  (match Chaos.at_eval p ~job:3 ~attempt:1 ~tick:1 ~poisoned:true with
+   | `Crash -> ()
+   | _ -> Alcotest.fail "poisoned design must crash");
+  Alcotest.(check int) "crashes counted" 1 (Chaos.counters p).Chaos.crashes;
+  Alcotest.(check bool) "poison marker match" true
+    (Chaos.poisoned p ~design:"circuit BadTop :");
+  Alcotest.(check bool) "marker absent" false (Chaos.poisoned p ~design:"circuit Fine :")
+
+(* --- supervisor ----------------------------------------------------------- *)
+
+let test_backoff () =
+  let p = { Supervisor.default_policy with backoff_base = 0.1; backoff_max = 1.0 } in
+  let near = Alcotest.(check (float 1e-9)) in
+  near "attempt 1, no jitter" 0.075 (Supervisor.backoff p ~attempt:1 ~jitter:0.);
+  near "attempt 1, full jitter" 0.125 (Supervisor.backoff p ~attempt:1 ~jitter:1.);
+  near "attempt 2 doubles" 0.2 (Supervisor.backoff p ~attempt:2 ~jitter:0.5);
+  near "capped at backoff_max" 1.25 (Supervisor.backoff p ~attempt:20 ~jitter:1.);
+  let prev = ref 0. in
+  for a = 1 to 6 do
+    let d = Supervisor.backoff p ~attempt:a ~jitter:0.5 in
+    Alcotest.(check bool) "monotone non-decreasing" true (d >= !prev);
+    prev := d
+  done
+
+let test_supervisor_scan () =
+  let pol =
+    { Supervisor.default_policy with hang_timeout = 0.05; grace = 0.05; poll = 0.01 }
+  in
+  let t = Supervisor.create pol in
+  let s1 = Supervisor.register t in
+  Supervisor.start t s1 ~ticking:true "j1";
+  let s3 = Supervisor.register t in
+  Supervisor.start t s3 ~ticking:false "j3";
+  Alcotest.(check int) "two busy slots" 2 (Supervisor.busy t);
+  let now = Unix.gettimeofday () in
+  Alcotest.(check int) "fresh beats: no losses" 0 (List.length (Supervisor.scan t ~now));
+  (match Supervisor.scan t ~now:(now +. 0.1) with
+   | [ { Supervisor.kind = `Hang; job = Some "j1"; _ } ] -> ()
+   | _ -> Alcotest.fail "expected exactly one hang for the ticking slot");
+  Alcotest.(check int) "hang reported once" 0
+    (List.length (Supervisor.scan t ~now:(now +. 0.11)));
+  (match Supervisor.scan t ~now:(now +. 0.3) with
+   | [ { Supervisor.kind = `Wedge; job = None; _ } ] -> ()
+   | _ -> Alcotest.fail "expected a wedge after the cancel grace expired");
+  Alcotest.(check int) "wedged slot removed" 1 (Supervisor.live t);
+  Alcotest.(check int) "non-ticking slot never hang-flagged" 1 (Supervisor.busy t);
+  Supervisor.finish t s1;  (* retired slot: must be a no-op *)
+  let s2 = Supervisor.register t in
+  Supervisor.start t s2 ~ticking:false "j2";
+  Supervisor.crashed t s2;
+  (match Supervisor.scan t ~now:(Unix.gettimeofday ()) with
+   | [ { Supervisor.kind = `Crash; job = Some "j2"; _ } ] -> ()
+   | _ -> Alcotest.fail "expected the crashed slot's job back");
+  Alcotest.(check int) "hangs" 1 (Supervisor.hang_count t);
+  Alcotest.(check int) "crashes" 1 (Supervisor.crash_count t);
+  Alcotest.(check int) "wedges" 1 (Supervisor.wedge_count t)
+
+(* --- quarantine breaker --------------------------------------------------- *)
+
+let test_quarantine_breaker () =
+  let c : unit Plan_cache.t =
+    Plan_cache.create ~capacity:4 ~quarantine_threshold:3 ~quarantine_cooldown:0.05 ()
+  in
+  let admit k = Plan_cache.admit c k in
+  Alcotest.(check bool) "closed admits" true (admit "k" = `Proceed);
+  Alcotest.(check bool) "failure 1 counted" true (Plan_cache.record_failure c "k" = `Counted);
+  Alcotest.(check bool) "failure 2 counted" true (Plan_cache.record_failure c "k" = `Counted);
+  Alcotest.(check bool) "still closed at 2" true (admit "k" = `Proceed);
+  Alcotest.(check bool) "failure 3 trips" true (Plan_cache.record_failure c "k" = `Tripped);
+  (match admit "k" with
+   | `Quarantined remaining -> Alcotest.(check bool) "cooldown remaining" true (remaining > 0.)
+   | _ -> Alcotest.fail "open breaker must refuse");
+  Alcotest.(check bool) "other keys unaffected" true (admit "other" = `Proceed);
+  let s = Plan_cache.stats c in
+  Alcotest.(check int) "one quarantined" 1 s.Plan_cache.quarantined;
+  Alcotest.(check int) "one trip" 1 s.Plan_cache.quarantine_trips;
+  Unix.sleepf 0.08;
+  Alcotest.(check bool) "cooldown elapses to probe" true (admit "k" = `Probe);
+  (match admit "k" with
+   | `Quarantined _ -> ()
+   | _ -> Alcotest.fail "half-open admits exactly one probe");
+  Alcotest.(check bool) "probe failure re-opens quietly" true
+    (Plan_cache.record_failure c "k" = `Counted);
+  (match admit "k" with
+   | `Quarantined _ -> ()
+   | _ -> Alcotest.fail "failed probe must re-open");
+  Unix.sleepf 0.08;
+  Alcotest.(check bool) "second probe" true (admit "k" = `Probe);
+  Plan_cache.record_success c "k";
+  Alcotest.(check bool) "probe success closes" true (admit "k" = `Proceed);
+  let s = Plan_cache.stats c in
+  Alcotest.(check int) "nothing quarantined" 0 s.Plan_cache.quarantined;
+  Alcotest.(check int) "trips are lifetime" 1 s.Plan_cache.quarantine_trips;
+  (* A success between failures resets the consecutive count. *)
+  ignore (Plan_cache.record_failure c "z");
+  ignore (Plan_cache.record_failure c "z");
+  Plan_cache.record_success c "z";
+  Alcotest.(check bool) "reset: counted again" true (Plan_cache.record_failure c "z" = `Counted);
+  Alcotest.(check bool) "reset: still counted" true (Plan_cache.record_failure c "z" = `Counted);
+  Alcotest.(check bool) "z never tripped" true (admit "z" = `Proceed)
+
+(* --- frame-tear fuzz ------------------------------------------------------ *)
+
+let test_tear_fuzz () =
+  let corpus =
+    [
+      P.encode_response (P.error_resp ~code:P.Worker_lost ~attempts:4 "worker lost");
+      P.encode_response P.Shutting_down;
+      P.encode_request P.Status;
+      P.encode_request
+        (P.Sim
+           ( P.Batch,
+             { P.sj_filename = "g.fir"; sj_design = gray_fir ~name:"G" ~step:1;
+               sj_opts = P.default_engine_opts; sj_cycles = 64; sj_pokes = [ "en=1" ];
+               sj_token = Some "tok" } ));
+    ]
+  in
+  Alcotest.(check string) "tear is deterministic"
+    (Chaos.tear ~seed:3 ~case:5 (List.hd corpus))
+    (Chaos.tear ~seed:3 ~case:5 (List.hd corpus));
+  let dir = temp_dir () in
+  let path = Filename.concat dir "torn.bin" in
+  let decoded = ref 0 and rejected = ref 0 in
+  List.iteri
+    (fun fi frame ->
+      for case = 0 to 149 do
+        let torn = Chaos.tear ~seed:(31 * fi) ~case frame in
+        (* Pure decode path: only Protocol.Error may escape. *)
+        (match P.decode_response torn with
+         | _ -> incr decoded
+         | exception P.Error _ -> incr rejected
+         | exception e ->
+           Alcotest.failf "decode_response frame %d case %d: %s" fi case
+             (Printexc.to_string e));
+        (match P.decode_request torn with
+         | _ -> ()
+         | exception P.Error _ -> ()
+         | exception e ->
+           Alcotest.failf "decode_request frame %d case %d: %s" fi case
+             (Printexc.to_string e));
+        (* Channel path, as the daemon's connection loop reads it. *)
+        let oc = open_out_bin path in
+        output_string oc torn;
+        close_out oc;
+        let ic = open_in_bin path in
+        (match P.read_request ic with
+         | Some _ | None -> ()
+         | exception P.Error _ -> ()
+         | exception e ->
+           Alcotest.failf "read_request frame %d case %d: %s" fi case (Printexc.to_string e));
+        close_in ic
+      done)
+    corpus;
+  (* Bit-flips inside the payload can still decode; most mutations reject. *)
+  Alcotest.(check bool) "fuzz rejected some frames" true (!rejected > 100);
+  Alcotest.(check bool) "fuzz surviving decodes exist" true (!decoded > 0)
+
+(* --- client deadlines ----------------------------------------------------- *)
+
+let with_fake_server behave f =
+  let dir = temp_dir () in
+  let path = Filename.concat dir "fake.sock" in
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 1;
+  let t =
+    Thread.create
+      (fun () ->
+        match Unix.accept sock with
+        | fd, _ ->
+          (try behave fd with _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        | exception Unix.Unix_error _ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Thread.join t)
+    (fun () -> f (P.Unix_sock path))
+
+let test_client_deadline () =
+  with_fake_server
+    (fun fd ->
+      (* Swallow the request and never answer. *)
+      let buf = Bytes.create 4096 in
+      ignore (Unix.read fd buf 0 4096);
+      Unix.sleepf 1.0)
+    (fun address ->
+      let t0 = Unix.gettimeofday () in
+      match
+        Client.with_connection ~timeout:0.25 address (fun c -> Client.call c P.Status)
+      with
+      | _ -> Alcotest.fail "expected Client.Timeout"
+      | exception Client.Timeout _ ->
+        Alcotest.(check bool) "returned near the deadline" true
+          (Unix.gettimeofday () -. t0 < 0.9))
+
+let test_client_midframe_death () =
+  with_fake_server
+    (fun fd ->
+      let buf = Bytes.create 4096 in
+      ignore (Unix.read fd buf 0 4096);
+      (* A valid header, one payload byte, then death. *)
+      let frame = P.encode_response (P.error_resp "half") in
+      ignore (Unix.write_substring fd frame 0 (P.header_size + 1)))
+    (fun address ->
+      match Client.with_connection ~timeout:5. address (fun c -> Client.call c P.Status) with
+      | _ -> Alcotest.fail "expected a mid-frame protocol error"
+      | exception P.Error m ->
+        Alcotest.(check bool) "names the daemon death" true (contains m "died mid-response");
+        Alcotest.(check bool) "counts the bytes" true (contains m "byte"))
+
+(* --- daemon helpers ------------------------------------------------------- *)
+
+let start_daemon ?(workers = 2) ?(stride = 10_000) ?(supervision = Supervisor.default_policy)
+    ?(chaos = Chaos.none) ?log_path () =
+  let dir = temp_dir () in
+  let sock = Filename.concat dir "gsimd.sock" in
+  let log = match log_path with Some p -> open_out p | None -> open_out "/dev/null" in
+  let dflt = Daemon.default_config (P.Unix_sock sock) in
+  let cfg =
+    { dflt with
+      Daemon.workers; preempt_stride = stride; spool = Some (Filename.concat dir "spool");
+      log; supervision; chaos }
+  in
+  let t = Thread.create (fun () -> Daemon.serve cfg) () in
+  let rec wait n =
+    if not (Sys.file_exists sock) then
+      if n = 0 then Alcotest.fail "daemon did not come up"
+      else begin
+        Unix.sleepf 0.01;
+        wait (n - 1)
+      end
+  in
+  wait 500;
+  (P.Unix_sock sock, t, log)
+
+let stop_daemon (address, t, log) =
+  (match Client.with_connection ~timeout:30. address (fun c -> Client.call c P.Shutdown) with
+   | P.Shutting_down -> ()
+   | _ -> Alcotest.fail "unexpected shutdown reply"
+   | exception P.Error _ -> ()  (* chaos tore the ack; the drain still began *)
+   | exception Client.Timeout _ -> ());
+  Thread.join t;
+  close_out log
+
+let sim_job ~design ~cycles =
+  { P.sj_filename = "gray.fir"; sj_design = design; sj_opts = P.default_engine_opts;
+    sj_cycles = cycles; sj_pokes = [ "en=1" ]; sj_token = None }
+
+(* --- token idempotency ---------------------------------------------------- *)
+
+let test_token_idempotent () =
+  let ((address, _, _) as d) = start_daemon () in
+  let req = P.Sim (P.Interactive, sim_job ~design:(gray_fir ~name:"Tok" ~step:1) ~cycles:30) in
+  let r1 = Client.call_robust ~timeout:30. ~token:"tok-1" address req in
+  let r2 = Client.call_robust ~timeout:30. ~token:"tok-1" address req in
+  (match (r1, r2) with
+   | P.Sim_done a, P.Sim_done b ->
+     Alcotest.(check int) "cycles" 30 a.P.sr_cycles;
+     Alcotest.(check bool) "replayed outputs identical" true (a.P.sr_outputs = b.P.sr_outputs)
+   | _ -> Alcotest.fail "expected two Sim_done responses");
+  (match Client.call_robust ~timeout:30. address P.Status with
+   | P.Status_ok st ->
+     Alcotest.(check int) "token dedup ran the job once" 1 st.P.st_completed
+   | _ -> Alcotest.fail "status failed");
+  stop_daemon d
+
+(* --- acceptance: 48-job batch under seeded crashes, hangs and torn frames -- *)
+
+let poison_marker = "PoisonChaos"
+let n_jobs = 48
+let design_of i = gray_fir ~name:(Printf.sprintf "Gray%d" (i mod 6)) ~step:(1 + (i mod 6))
+let cycles_of i = 240 + (i mod 3 * 40)
+
+let run_batch address ~prefix =
+  List.init n_jobs (fun i ->
+      let req = P.Sim (P.Batch, sim_job ~design:(design_of i) ~cycles:(cycles_of i)) in
+      let token = Printf.sprintf "%s-%d" prefix i in
+      match Client.call_robust ~timeout:30. ~retries:4 ~backoff:0.05 ~token address req with
+      | P.Sim_done r ->
+        Alcotest.(check int) (Printf.sprintf "job %d ran to completion" i) (cycles_of i)
+          r.P.sr_cycles;
+        r.P.sr_outputs
+      | P.Error_resp e ->
+        Alcotest.failf "job %d lost: [%s] %s (after %d attempts)" i
+          (P.error_code_to_string e.P.ei_code) e.P.ei_message e.P.ei_attempts
+      | _ -> Alcotest.failf "job %d: unexpected response" i)
+
+let test_chaos_acceptance () =
+  let supervision =
+    { Supervisor.hang_timeout = 0.25; grace = 0.4; poll = 0.02; max_retries = 5;
+      backoff_base = 0.02; backoff_max = 0.15 }
+  in
+  (* The seed is part of the test: it was picked so that no innocent design
+     happens to lose 3 consecutive attempts (which would — correctly —
+     quarantine it).  GSIM_CHAOS_SEED explores other schedules by hand. *)
+  let seed =
+    match Sys.getenv_opt "GSIM_CHAOS_SEED" with Some s -> int_of_string s | None -> 13
+  in
+  let chaos =
+    Chaos.spec_of_string
+      (Printf.sprintf "seed=%d,crash=0.025,hang=0.012,slow=0.05,slow-ms=10,torn=0.08,poison=%s"
+         seed poison_marker)
+  in
+  let log_path = Filename.concat (temp_dir ()) "chaos.log" in
+  let ((address, _, _) as d) =
+    start_daemon ~workers:2 ~stride:40 ~supervision ~chaos ~log_path ()
+  in
+  (* A poisoned design: valid FIRRTL, but chaos kills any worker that
+     touches it.  It must trip the quarantine breaker within 3 failures
+     and come back as a structured refusal, not eat the pool forever. *)
+  let poison_req =
+    P.Sim (P.Batch, sim_job ~design:(gray_fir ~name:(poison_marker ^ "Top") ~step:1) ~cycles:100)
+  in
+  (match Client.call_robust ~timeout:30. ~retries:2 ~backoff:0.05 ~token:"poison-1"
+           address poison_req
+   with
+   | P.Error_resp e ->
+     Alcotest.(check string) "poison refused as quarantined" "quarantined"
+       (P.error_code_to_string e.P.ei_code);
+     Alcotest.(check int) "quarantined on attempt 4 (3 worker losses)" 4 e.P.ei_attempts
+   | _ -> Alcotest.fail "poisoned design must not complete");
+  (match Client.call_robust ~timeout:30. ~retries:2 ~backoff:0.05 ~token:"poison-2"
+           address poison_req
+   with
+   | P.Error_resp e ->
+     Alcotest.(check string) "resubmission refused instantly" "quarantined"
+       (P.error_code_to_string e.P.ei_code);
+     Alcotest.(check int) "no worker touched it again" 1 e.P.ei_attempts
+   | _ -> Alcotest.fail "quarantined design must stay refused");
+  (* The mixed batch: 6 distinct designs, 3 cycle counts, batch priority so
+     every job ticks (and spools) each 40-cycle stride. *)
+  let chaotic = run_batch address ~prefix:"chaos" in
+  let st =
+    match Client.call_robust ~timeout:30. ~retries:4 ~backoff:0.05 address P.Status with
+    | P.Status_ok st -> st
+    | _ -> Alcotest.fail "status failed"
+  in
+  stop_daemon d;
+  Alcotest.(check bool) "at least 5 worker crashes injected" true
+    (st.P.st_worker_crashes >= 5);
+  Alcotest.(check bool) "at least 2 hangs injected" true (st.P.st_hangs >= 2);
+  Alcotest.(check int) "zero jobs gave up" 0 st.P.st_gave_up;
+  Alcotest.(check bool) "quarantine tripped" true (st.P.st_quarantine_trips >= 1);
+  Alcotest.(check bool) "poison still quarantined" true (st.P.st_quarantined >= 1);
+  Alcotest.(check bool) "retries happened" true (st.P.st_retries >= st.P.st_worker_crashes - 3);
+  Alcotest.(check bool) "replacement workers spawned" true (st.P.st_worker_restarts >= 1);
+  Alcotest.(check bool) "chaos accounted for itself" true (st.P.st_chaos_injected > 0);
+  (* The same batch on a calm daemon is the ground truth: every completed
+     chaos-run output must be byte-identical. *)
+  let ((calm_address, _, _) as calm) = start_daemon ~workers:2 ~stride:40 () in
+  let calm_outputs = run_batch calm_address ~prefix:"calm" in
+  stop_daemon calm;
+  List.iteri
+    (fun i (chaotic_out, calm_out) ->
+      if chaotic_out <> calm_out then
+        Alcotest.failf "job %d: chaos-run outputs differ from the uninterrupted run" i)
+    (List.combine chaotic calm_outputs);
+  (* The daemon log carries the forensic trail. *)
+  let log = In_channel.with_open_bin log_path In_channel.input_all in
+  Alcotest.(check bool) "log records injected crashes" true (contains log "CHAOS");
+  Alcotest.(check bool) "log records the quarantine trip" true (contains log "OPEN")
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "chaos",
+        [
+          Alcotest.test_case "spec parse/print" `Quick test_spec_parse;
+          Alcotest.test_case "hash determinism" `Quick test_hash_deterministic;
+          Alcotest.test_case "at_eval counting" `Quick test_at_eval_counting;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "backoff schedule" `Quick test_backoff;
+          Alcotest.test_case "scan: hang, wedge, crash" `Quick test_supervisor_scan;
+        ] );
+      ( "quarantine",
+        [ Alcotest.test_case "circuit breaker lifecycle" `Quick test_quarantine_breaker ] );
+      ( "fuzz",
+        [ Alcotest.test_case "torn frames only raise Protocol.Error" `Quick test_tear_fuzz ] );
+      ( "client",
+        [
+          Alcotest.test_case "read deadline fires" `Quick test_client_deadline;
+          Alcotest.test_case "mid-frame death is actionable" `Quick test_client_midframe_death;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "token idempotency" `Quick test_token_idempotent;
+          Alcotest.test_case "48 jobs under seeded chaos" `Quick test_chaos_acceptance;
+        ] );
+    ]

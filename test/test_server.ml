@@ -118,21 +118,23 @@ let sample_requests =
     P.Sim
       ( P.Interactive,
         { P.sj_filename = "gray.fir"; sj_design = gray_fir; sj_opts = sample_opts;
-          sj_cycles = 123; sj_pokes = [ "en=1"; "reset=0" ] } );
+          sj_cycles = 123; sj_pokes = [ "en=1"; "reset=0" ];
+          sj_token = Some "cli-1-0.5" } );
     P.Campaign
       ( P.Batch,
         { P.cj_filename = "gray.fir"; cj_design = gray_fir;
           cj_opts = P.default_engine_opts; cj_horizon = 40; cj_budget = 15;
           cj_faults = [ "seu:r:3@7" ]; cj_random = 8; cj_seed = 9; cj_duration = 2;
-          cj_models = Some "seu,stuck0"; cj_pokes = [ "en=1" ] } );
+          cj_models = Some "seu,stuck0"; cj_pokes = [ "en=1" ]; cj_token = None } );
     P.Fuzz
       ( P.Batch,
         { P.fj_seed = 4; fj_cases = 25; fj_from = 25; fj_cycles = 64;
-          fj_setups = Some "gsim+bytecode" } );
+          fj_setups = Some "gsim+bytecode"; fj_token = None } );
     P.Coverage
       ( P.Interactive,
         { P.vj_filename = "gray.fir"; vj_design = gray_fir;
-          vj_opts = P.default_engine_opts; vj_cycles = 77; vj_pokes = [] } );
+          vj_opts = P.default_engine_opts; vj_cycles = 77; vj_pokes = [];
+          vj_token = Some "t" } );
     P.Status;
     P.Shutdown;
   ]
@@ -151,9 +153,16 @@ let sample_responses =
         st_rejected = 5; st_cache_entries = 3; st_cache_capacity = 16;
         st_cache_hits = 20; st_cache_misses = 13; st_cache_evictions = 1;
         st_golden_hits = 2; st_golden_misses = 3; st_preemptions = 7;
-        st_uptime = 12.125; st_draining = false };
+        st_uptime = 12.125; st_draining = false; st_retries = 4; st_hangs = 2;
+        st_worker_crashes = 3; st_worker_restarts = 3; st_gave_up = 1;
+        st_quarantined = 1; st_quarantine_trips = 2; st_chaos_injected = 5 };
     P.Shutting_down;
-    P.Error_resp "queue full (64 job(s) queued); retry later";
+    P.Error_resp
+      { P.ei_code = P.Queue_full;
+        ei_message = "queue full (64 job(s) queued); retry later"; ei_attempts = 1 };
+    P.Error_resp
+      { P.ei_code = P.Worker_lost; ei_message = "job failed after 4 attempt(s)";
+        ei_attempts = 4 };
   ]
 
 let test_request_roundtrip () =
@@ -336,12 +345,13 @@ let test_preemption_identity () =
   let sched = Scheduler.create () in
   let ctx =
     { Worker.cache = Plan_cache.create (); sched; spool; preempt_stride = 10;
-      log = ignore; preemption_count = Atomic.make 0; golden_hits = Atomic.make 0;
-      golden_misses = Atomic.make 0 }
+      log = ignore; chaos = Gsim_server.Chaos.off; preemption_count = Atomic.make 0;
+      golden_hits = Atomic.make 0; golden_misses = Atomic.make 0 }
   in
   let sj =
     { P.sj_filename = "gray.fir"; sj_design = gray_fir;
-      sj_opts = P.default_engine_opts; sj_cycles = 95; sj_pokes = [ "en=1" ] }
+      sj_opts = P.default_engine_opts; sj_cycles = 95; sj_pokes = [ "en=1" ];
+      sj_token = None }
   in
   let result = ref None in
   let job =
@@ -358,7 +368,8 @@ let test_preemption_identity () =
     (Scheduler.submit sched ~priority:0 interactive);
   (match Worker.execute ctx job with
    | Worker.Yielded -> ()
-   | Worker.Done _ -> Alcotest.fail "expected a yield with higher work waiting");
+   | Worker.Done _ | Worker.Abandoned ->
+     Alcotest.fail "expected a yield with higher work waiting");
   Alcotest.(check int) "progress = one stride" 10 job.Worker.done_cycles;
   Alcotest.(check bool) "checkpoint captured" true (job.Worker.ck <> None);
   (* Run the interactive job (drains the higher level), then resume. *)
@@ -396,12 +407,14 @@ let test_worker_spool_resume () =
   let logs = ref [] in
   let ctx =
     { Worker.cache = Plan_cache.create (); sched; spool; preempt_stride = 10;
-      log = (fun l -> logs := l :: !logs); preemption_count = Atomic.make 0;
-      golden_hits = Atomic.make 0; golden_misses = Atomic.make 0 }
+      log = (fun l -> logs := l :: !logs); chaos = Gsim_server.Chaos.off;
+      preemption_count = Atomic.make 0; golden_hits = Atomic.make 0;
+      golden_misses = Atomic.make 0 }
   in
   let sj =
     { P.sj_filename = "gray.fir"; sj_design = gray_fir;
-      sj_opts = P.default_engine_opts; sj_cycles = 95; sj_pokes = [ "en=1" ] }
+      sj_opts = P.default_engine_opts; sj_cycles = 95; sj_pokes = [ "en=1" ];
+      sj_token = None }
   in
   let expected =
     let uj =
@@ -425,7 +438,7 @@ let test_worker_spool_resume () =
     for _ = 1 to 3 do
       match Worker.execute ctx job with
       | Worker.Yielded -> ()
-      | Worker.Done _ -> Alcotest.fail "expected a yield"
+      | Worker.Done _ | Worker.Abandoned -> Alcotest.fail "expected a yield"
     done;
     ignore (Scheduler.take sched);
     Alcotest.(check int) "three strides done" 30 job.Worker.done_cycles;
@@ -478,15 +491,17 @@ let test_worker_spool_resume () =
 
 (* --- daemon end-to-end ---------------------------------------------------- *)
 
-let start_daemon ?(workers = 2) ?(cache = 16) ?dir ?log_path () =
+let start_daemon ?(workers = 2) ?(cache = 16) ?stride ?dir ?log_path () =
   let dir = match dir with Some d -> d | None -> temp_dir () in
   let sock = Filename.concat dir "gsimd.sock" in
   let devnull =
     match log_path with Some p -> open_out p | None -> open_out "/dev/null"
   in
+  let dflt = Daemon.default_config (P.Unix_sock sock) in
   let cfg =
-    { (Daemon.default_config (P.Unix_sock sock)) with
+    { dflt with
       Daemon.workers; cache_capacity = cache; spool = Some (Filename.concat dir "spool");
+      preempt_stride = (match stride with Some s -> s | None -> dflt.Daemon.preempt_stride);
       log = devnull }
   in
   let t = Thread.create (fun () -> Daemon.serve cfg) () in
@@ -513,7 +528,8 @@ let test_daemon_concurrent_clients () =
   let ((address, _, _, _) as d) = start_daemon () in
   let sj cycles =
     { P.sj_filename = "gray.fir"; sj_design = gray_fir;
-      sj_opts = P.default_engine_opts; sj_cycles = cycles; sj_pokes = [ "en=1" ] }
+      sj_opts = P.default_engine_opts; sj_cycles = cycles; sj_pokes = [ "en=1" ];
+      sj_token = None }
   in
   (* The local truth each remote answer must match. *)
   let local cycles =
@@ -561,7 +577,7 @@ let test_daemon_bad_job () =
   let ((address, _, _, _) as d) = start_daemon () in
   let bad =
     { P.sj_filename = "nope.fir"; sj_design = "circuit Broken :\n  module Missing :\n";
-      sj_opts = P.default_engine_opts; sj_cycles = 5; sj_pokes = [] }
+      sj_opts = P.default_engine_opts; sj_cycles = 5; sj_pokes = []; sj_token = None }
   in
   (match Client.with_connection address (fun c ->
              Client.call c (P.Sim (P.Interactive, bad)))
@@ -583,7 +599,8 @@ let test_daemon_restart_readmits () =
   Store.ensure_dir jobs_dir;
   let sj cycles =
     { P.sj_filename = "gray.fir"; sj_design = gray_fir;
-      sj_opts = P.default_engine_opts; sj_cycles = cycles; sj_pokes = [ "en=1" ] }
+      sj_opts = P.default_engine_opts; sj_cycles = cycles; sj_pokes = [ "en=1" ];
+      sj_token = None }
   in
   (* Everything a SIGKILLed daemon leaves behind: the persisted batch
      request, a preemption spool ring (keyframe at cycle 20, delta at
@@ -643,6 +660,57 @@ let test_daemon_restart_readmits () =
     (contains log "recovered job 7 completed");
   Alcotest.(check bool) "ids continue above the scan" true
     (contains log "job 10 queued")
+
+(* --- drain waits for worker acks ------------------------------------------ *)
+
+(* Regression: a drain must wait on worker acknowledgements (busy
+   supervisor slots), not on queue emptiness.  A preempted batch job
+   lives in a worker's hands while the queue is momentarily empty; a
+   drain keyed on the queue could stop the pool and lose it.  Here a
+   batch job is forced to yield repeatedly (tiny stride, interactive
+   traffic) while a shutdown lands mid-flight — both clients must still
+   get correct responses. *)
+let test_drain_waits_for_inflight () =
+  let ((address, _, _, _) as d) = start_daemon ~workers:1 ~stride:500 () in
+  let sj cycles =
+    { P.sj_filename = "gray.fir"; sj_design = gray_fir;
+      sj_opts = P.default_engine_opts; sj_cycles = cycles; sj_pokes = [ "en=1" ];
+      sj_token = None }
+  in
+  let batch_cycles = 400_000 in
+  let batch_result = ref None in
+  let t_batch =
+    Thread.create
+      (fun () ->
+        batch_result :=
+          Some (Client.with_connection address (fun c ->
+                    Client.call c (P.Sim (P.Batch, sj batch_cycles)))))
+      ()
+  in
+  Unix.sleepf 0.05;
+  let inter_result = ref None in
+  let t_inter =
+    Thread.create
+      (fun () ->
+        inter_result :=
+          Some (Client.with_connection address (fun c ->
+                    Client.call c (P.Sim (P.Interactive, sj 20)))))
+      ()
+  in
+  Unix.sleepf 0.02;
+  (* Shutdown while the batch job is (very likely) mid-flight. *)
+  stop_daemon d;
+  Thread.join t_batch;
+  Thread.join t_inter;
+  (match !inter_result with
+   | Some (P.Sim_done r) -> Alcotest.(check int) "interactive cycles" 20 r.P.sr_cycles
+   | _ -> Alcotest.fail "interactive job lost in the drain");
+  match !batch_result with
+  | Some (P.Sim_done r) ->
+    Alcotest.(check int) "batch ran to completion through the drain" batch_cycles
+      r.P.sr_cycles
+  | Some (P.Error_resp e) -> Alcotest.failf "batch job failed: %s" e.P.ei_message
+  | _ -> Alcotest.fail "batch job lost in the drain"
 
 (* --- Store SIGTERM cleanup ------------------------------------------------ *)
 
@@ -733,5 +801,7 @@ let () =
             test_daemon_bad_job;
           Alcotest.test_case "restart re-admits persisted batch jobs" `Quick
             test_daemon_restart_readmits;
+          Alcotest.test_case "drain waits for in-flight worker acks" `Quick
+            test_drain_waits_for_inflight;
         ] );
     ]
