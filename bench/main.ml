@@ -5,7 +5,8 @@
    substrate; run without arguments to produce everything.
 
      main.exe [--quick] [table1|fig6|fig7|fig8|fig9|table3|table4|
-               ablation|model|coverage|fault|backend|resilience|serve|micro|all]  *)
+               ablation|model|coverage|fault|backend|resilience|serve|
+               chaos|overload|native|micro|all]  *)
 
 module Bits = Gsim_bits.Bits
 module Circuit = Gsim_ir.Circuit
@@ -841,6 +842,8 @@ let serve () =
       sj_cycles = cycles;
       sj_pokes = [ "in=12345" ];
       sj_token = None;
+      sj_tenant = None;
+      sj_deadline = 0.;
     }
   in
   let total = clients * jobs_per_client in
@@ -953,6 +956,8 @@ let chaos_bench () =
       sj_cycles = cycles;
       sj_pokes = [ "in=12345" ];
       sj_token = None;
+      sj_tenant = None;
+      sj_deadline = 0.;
     }
   in
   let total = clients * jobs_per_client in
@@ -1057,6 +1062,178 @@ let chaos_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* gsimd brownout: interactive latency while batch tenants flood 4x     *)
+(* ------------------------------------------------------------------ *)
+
+(* What overload protection buys: an interactive tenant runs the same
+   serial workload against an unloaded daemon and against one flooded
+   with ~4x its batch service rate by two greedy tenants.  The daemon
+   must shed batch work (brownout + retry-after) rather than let the
+   queue grow without bound, split what it does accept ~evenly between
+   the greedy tenants (DRR), and keep the interactive p99 bounded.  The
+   --quick variant gates CI at <= 2x interactive p99 inflation. *)
+let overload_bench () =
+  let module SP = Gsim_server.Protocol in
+  let module Client = Gsim_server.Client in
+  let module Daemon = Gsim_server.Daemon in
+  let module Chaos = Gsim_server.Chaos in
+  header "Overload - gsimd interactive p99 and shed rate under 4x batch flood";
+  let stages = if !Harness.quick then 100 else 300 in
+  let cycles = 200 in
+  let inter_jobs = if !Harness.quick then 8 else 20 in
+  let flood_threads_per_tenant = 4 in
+  let design = serve_design stages in
+  let job ?tenant prio =
+    ( prio,
+      {
+        SP.sj_filename = "chain.fir";
+        sj_design = design;
+        sj_opts = SP.default_engine_opts;
+        sj_cycles = cycles;
+        sj_pokes = [ "in=12345" ];
+        sj_token = None;
+        sj_tenant = tenant;
+        sj_deadline = 0.;
+      } )
+  in
+  (* Workers stall 20 ms at each 100-cycle stride tick, so the batch
+     service rate is known and small — the flood reliably outruns it. *)
+  let chaos_spec = Chaos.spec_of_string "seed=5,busy=1.0,busy-ms=20" in
+  let with_daemon label f =
+    let sock =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gsimd-over-%d-%s.sock" (Unix.getpid ()) label)
+    in
+    let spool =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "gsimd-over-%d-%s" (Unix.getpid ()) label)
+    in
+    let address = SP.Unix_sock sock in
+    let devnull = open_out "/dev/null" in
+    let cfg =
+      {
+        (Daemon.default_config address) with
+        Daemon.workers = 2;
+        queue_capacity = 8;
+        cache_capacity = 16;
+        preempt_stride = 100;
+        spool = Some spool;
+        log = devnull;
+        chaos = chaos_spec;
+        high_water = 0.5;
+      }
+    in
+    let server = Thread.create (fun () -> Daemon.serve cfg) () in
+    let rec wait_ready n =
+      if not (Sys.file_exists sock) then
+        if n = 0 then failwith "gsimd did not start"
+        else begin
+          Unix.sleepf 0.01;
+          wait_ready (n - 1)
+        end
+    in
+    wait_ready 500;
+    let r = f address in
+    let st =
+      match Client.with_connection address (fun c -> Client.call c SP.Status) with
+      | SP.Status_ok s -> s
+      | _ -> failwith "status failed"
+    in
+    (match Client.with_connection address (fun c -> Client.call c SP.Shutdown) with
+     | SP.Shutting_down -> ()
+     | _ -> failwith "shutdown failed");
+    Thread.join server;
+    close_out devnull;
+    (r, st)
+  in
+  let interactive_pass address =
+    let lat = Array.make inter_jobs 0. in
+    Client.with_connection address (fun c ->
+        for j = 0 to inter_jobs - 1 do
+          let t = now () in
+          let prio, sj = job ~tenant:"vip" SP.Interactive in
+          (match Client.call c (SP.Sim (prio, sj)) with
+           | SP.Sim_done _ -> ()
+           | SP.Error_resp e -> failwith ("interactive job refused: " ^ e.SP.ei_message)
+           | _ -> failwith "unexpected response");
+          lat.(j) <- now () -. t
+        done);
+    Array.sort compare lat;
+    let pct p = lat.(min (inter_jobs - 1) (int_of_float (p *. float_of_int inter_jobs))) in
+    (pct 0.50, pct 0.99)
+  in
+  Printf.printf "  design: %d-stage chain, %d cycles/job, 2 stalled workers, queue 8\n%!"
+    stages cycles;
+  let (u_p50, u_p99), _ = with_daemon "calm" interactive_pass in
+  Printf.printf "%-9s p50 %6.0fms p99 %6.0fms\n%!" "unloaded" (u_p50 *. 1000.)
+    (u_p99 *. 1000.);
+  (* Overloaded phase: two greedy tenants, two flooding threads each. *)
+  let done_a = Atomic.make 0 and done_b = Atomic.make 0 in
+  let shed = Atomic.make 0 and retry_hinted = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let (o_p50, o_p99), o_st =
+    with_daemon "flood" (fun address ->
+        (* Flooders offer work continuously — a shed job is immediately
+           followed by the next attempt, a true open firehose — until
+           the interactive measurement finishes. *)
+        let flooder tenant counter () =
+          Client.with_connection address (fun c ->
+              while not (Atomic.get stop) do
+                let prio, sj = job ~tenant SP.Batch in
+                match Client.call c (SP.Sim (prio, sj)) with
+                | SP.Sim_done _ -> Atomic.incr counter
+                | SP.Error_resp e ->
+                  Atomic.incr shed;
+                  if e.SP.ei_retry_after > 0. then Atomic.incr retry_hinted;
+                  Unix.sleepf 0.005
+                | _ -> failwith "unexpected response"
+              done)
+        in
+        let threads =
+          List.concat_map
+            (fun (tenant, counter) ->
+              List.init flood_threads_per_tenant (fun _ ->
+                  Thread.create (flooder tenant counter) ()))
+            [ ("greedy-a", done_a); ("greedy-b", done_b) ]
+        in
+        Unix.sleepf 0.2 (* let the flood saturate the queue first *);
+        let r = interactive_pass address in
+        Atomic.set stop true;
+        List.iter Thread.join threads;
+        r)
+  in
+  let offered = Atomic.get done_a + Atomic.get done_b + Atomic.get shed in
+  let shed_n = Atomic.get shed in
+  let a = Atomic.get done_a and b = Atomic.get done_b in
+  let shed_rate = float_of_int shed_n /. float_of_int offered in
+  let fairness =
+    if max a b = 0 then 1.0 else float_of_int (min a b) /. float_of_int (max a b)
+  in
+  let inflation = o_p99 /. u_p99 in
+  Printf.printf
+    "%-9s p50 %6.0fms p99 %6.0fms  shed %d/%d (%.0f%%)  greedy split %d/%d (fairness %.2f)\n%!"
+    "overload" (o_p50 *. 1000.) (o_p99 *. 1000.) shed_n offered (shed_rate *. 100.) a b
+    fairness;
+  Printf.printf
+    "  -> interactive p99 inflation %.2fx under a 4x batch flood (%d shed with retry-after)\n%!"
+    inflation (Atomic.get retry_hinted);
+  if shed_n = 0 then failwith "overload bench shed nothing (flood never saturated?)";
+  if shed_n <> Atomic.get retry_hinted then
+    failwith "some shed responses carried no retry-after hint";
+  let oc = open_out "BENCH_serve_overload.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"serve-overload\",\n  \"stages\": %d,\n  \"cycles\": %d,\n  \"interactive_jobs\": %d,\n  \"batch_offered\": %d,\n  \"rows\": [\n    {\"phase\":\"unloaded\",\"p50_ms\":%.1f,\"p99_ms\":%.1f},\n    {\"phase\":\"overload\",\"p50_ms\":%.1f,\"p99_ms\":%.1f,\"shed\":%d,\"shed_rate\":%.3f,\"greedy_a\":%d,\"greedy_b\":%d,\"fairness\":%.3f,\"daemon_shed\":%d}\n  ],\n  \"interactive_p99_inflation\": %.3f\n}\n"
+    stages cycles inter_jobs offered (u_p50 *. 1000.) (u_p99 *. 1000.) (o_p50 *. 1000.)
+    (o_p99 *. 1000.) shed_n shed_rate a b fairness o_st.SP.st_shed inflation;
+  close_out oc;
+  Printf.printf "  [wrote BENCH_serve_overload.json]\n";
+  if !Harness.quick && inflation > 2.0 then begin
+    Printf.printf "  GATE FAILED: interactive p99 is %.2fx unloaded (budget 2.0x)\n"
+      inflation;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Native backend on the daemon: warm .so cache vs cold cc runs         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1099,6 +1276,8 @@ let native () =
         sj_cycles = cycles;
         sj_pokes = [ "in=12345" ];
         sj_token = None;
+        sj_tenant = None;
+        sj_deadline = 0.;
       }
     in
     let run_phase label job_for =
@@ -1285,11 +1464,12 @@ let () =
          | "fuzz" -> fuzz ()
          | "serve" -> serve ()
          | "chaos" -> chaos_bench ()
+         | "overload" | "--overload" -> overload_bench ()
          | "native" -> native ()
          | "micro" -> micro ()
          | other ->
            Printf.eprintf
-             "unknown bench %S (expected table1|fig6|fig7|fig8|fig9|table3|table4|ablation|model|coverage|fault|backend|resilience|fuzz|serve|chaos|native|micro|all)\n"
+             "unknown bench %S (expected table1|fig6|fig7|fig8|fig9|table3|table4|ablation|model|coverage|fault|backend|resilience|fuzz|serve|chaos|overload|native|micro|all)\n"
              other;
            exit 2)
        cmds);

@@ -1252,10 +1252,15 @@ let check_error = function
       if e.SP.ei_attempts > 1 then Printf.sprintf " (after %d attempts)" e.SP.ei_attempts
       else ""
     in
+    let retry_hint =
+      if e.SP.ei_retry_after > 0. then
+        Printf.sprintf " — server suggests retrying in %.0f s" e.SP.ei_retry_after
+      else ""
+    in
     failwith
-      (Printf.sprintf "server: [%s] %s%s"
+      (Printf.sprintf "server: [%s] %s%s%s"
          (SP.error_code_to_string e.SP.ei_code)
-         e.SP.ei_message attempts)
+         e.SP.ei_message attempts retry_hint)
   | r -> r
 
 let timeout_arg =
@@ -1274,6 +1279,20 @@ let token_arg =
        & info [ "token" ] ~docv:"TOKEN"
            ~doc:"Idempotency token for resubmission (default: auto-generated when \
                  --retries > 0)")
+
+let tenant_arg =
+  Arg.(value & opt string ""
+       & info [ "tenant" ] ~docv:"NAME"
+           ~doc:"Tenant id for fair scheduling, quotas and per-tenant accounting \
+                 (default: a per-connection id assigned by the server)")
+
+let deadline_arg =
+  Arg.(value & opt float 0.
+       & info [ "deadline" ] ~docv:"SECONDS"
+           ~doc:"End-to-end deadline: the server stops working on the job this long \
+                 after admitting it and answers deadline-exceeded (0 = none)")
+
+let tenant_of s = if s = "" then None else Some s
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -1327,11 +1346,17 @@ let ckpt_cmd =
     Term.(const run $ dir $ lenient $ list)
 
 let serve_cmd =
-  let run listen workers queue cache stride spool logfile chaos hang_timeout max_retries =
+  let run listen workers queue cache stride spool logfile chaos hang_timeout max_retries
+      budget high_water backlog_seconds tenant_quota spool_quota =
     let address = SP.address_of_string listen in
     let chaos =
       match Gsim_server.Chaos.spec_of_string chaos with
       | spec -> spec
+      | exception Failure msg -> raise (Usage msg)
+    in
+    let budgets =
+      match Gsim_server.Admission.budgets_of_string budget with
+      | b -> b
       | exception Failure msg -> raise (Usage msg)
     in
     let log, close_log =
@@ -1358,6 +1383,11 @@ let serve_cmd =
             Gsim_server.Supervisor.hang_timeout;
             max_retries;
           };
+        budgets;
+        high_water;
+        max_backlog_seconds = backlog_seconds;
+        tenant_quota;
+        spool_quota_mb = spool_quota;
       }
     in
     Fun.protect ~finally:close_log (fun () -> Daemon.serve cfg)
@@ -1413,15 +1443,47 @@ let serve_cmd =
              ~doc:"Retries per job after a worker loss before it fails with a structured \
                    error")
   in
+  let budget =
+    Arg.(value & opt string ""
+         & info [ "budget" ] ~docv:"SPEC"
+             ~doc:"Admission budgets, e.g. 'nodes=200000,width=4096,mem-mb=256,arena-mb=512,\
+                   native-nodes=100000'; over-budget designs are refused before queueing \
+                   (empty = unlimited)")
+  in
+  let high_water =
+    Arg.(value & opt float 0.9
+         & info [ "high-water" ] ~docv:"FRAC"
+             ~doc:"Brownout threshold: shed new batch work once the batch band holds this \
+                   fraction of --queue (0 disables)")
+  in
+  let backlog_seconds =
+    Arg.(value & opt float 0.
+         & info [ "backlog-seconds" ] ~docv:"SECONDS"
+             ~doc:"Shed new batch work once the estimated backlog exceeds this many \
+                   seconds (0 disables)")
+  in
+  let tenant_quota =
+    Arg.(value & opt int 0
+         & info [ "tenant-quota" ] ~docv:"N"
+             ~doc:"Max queued jobs per tenant; past it the tenant is refused with a \
+                   retry-after hint while others proceed (0 = unlimited)")
+  in
+  let spool_quota =
+    Arg.(value & opt int 0
+         & info [ "spool-quota-mb" ] ~docv:"MB"
+             ~doc:"Disk budget for cached golden traces under --spool, evicted \
+                   oldest-first (0 = unlimited)")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the gsimd job daemon (graceful drain on SIGTERM/SIGINT or 'remote shutdown')")
     Term.(const run $ listen $ workers $ queue $ cache $ stride $ spool $ logfile $ chaos
-          $ hang_timeout $ max_retries)
+          $ hang_timeout $ max_retries $ budget $ high_water $ backlog_seconds
+          $ tenant_quota $ spool_quota)
 
 let remote_sim_cmd =
   let run to_ file engine threads level max_supernode backend cycles pokes priority json
-      timeout retries token =
+      timeout retries token tenant deadline =
     let job =
       {
         SP.sj_filename = Filename.basename file;
@@ -1430,6 +1492,8 @@ let remote_sim_cmd =
         sj_cycles = cycles;
         sj_pokes = pokes;
         sj_token = None;
+        sj_tenant = tenant_of tenant;
+        sj_deadline = deadline;
       }
     in
     let req = SP.Sim (SP.priority_of_string priority, job) in
@@ -1464,7 +1528,7 @@ let remote_sim_cmd =
     (Cmd.info "sim" ~doc:"Run a simulation job on a gsimd server")
     Term.(const run $ to_arg $ file_arg $ engine_arg $ threads_arg $ level_arg
           $ supernode_arg $ backend_arg $ cycles $ pokes $ priority_arg "interactive"
-          $ json_arg $ timeout_arg $ retries_arg $ token_arg)
+          $ json_arg $ timeout_arg $ retries_arg $ token_arg $ tenant_arg $ deadline_arg)
 
 let save_db_result ~out (r : SP.db_result) json =
   Gsim_resilience.Store.write_atomic out r.SP.dr_text;
@@ -1481,7 +1545,8 @@ let save_db_result ~out (r : SP.db_result) json =
 
 let remote_campaign_cmd =
   let run to_ file engine threads level max_supernode backend horizon budget nfaults seed
-      models duration fault_keys pokes out priority json timeout retries token =
+      models duration fault_keys pokes out priority json timeout retries token tenant
+      deadline =
     let job =
       {
         SP.cj_filename = Filename.basename file;
@@ -1496,6 +1561,8 @@ let remote_campaign_cmd =
         cj_models = models;
         cj_pokes = pokes;
         cj_token = None;
+        cj_tenant = tenant_of tenant;
+        cj_deadline = deadline;
       }
     in
     let req = SP.Campaign (SP.priority_of_string priority, job) in
@@ -1540,12 +1607,14 @@ let remote_campaign_cmd =
     Term.(const run $ to_arg $ file_arg $ engine_arg $ threads_arg $ level_arg
           $ supernode_arg $ backend_arg $ horizon $ budget $ nfaults $ seed $ models
           $ duration $ fault_keys $ pokes $ out $ priority_arg "batch" $ json_arg
-          $ timeout_arg $ retries_arg $ token_arg)
+          $ timeout_arg $ retries_arg $ token_arg $ tenant_arg $ deadline_arg)
 
 let remote_fuzz_cmd =
-  let run to_ seed cases from cycles setups out priority json timeout retries token =
+  let run to_ seed cases from cycles setups out priority json timeout retries token tenant
+      deadline =
     let job = { SP.fj_seed = seed; fj_cases = cases; fj_from = from; fj_cycles = cycles;
-                fj_setups = setups; fj_token = None }
+                fj_setups = setups; fj_token = None; fj_tenant = tenant_of tenant;
+                fj_deadline = deadline }
     in
     let req = SP.Fuzz (SP.priority_of_string priority, job) in
     match check_error (remote_call ~timeout ~retries ~token to_ req) with
@@ -1575,11 +1644,12 @@ let remote_fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a differential-fuzz shard on a gsimd server")
     Term.(const run $ to_arg $ seed $ cases $ from $ cycles $ setups $ out
-          $ priority_arg "batch" $ json_arg $ timeout_arg $ retries_arg $ token_arg)
+          $ priority_arg "batch" $ json_arg $ timeout_arg $ retries_arg $ token_arg
+          $ tenant_arg $ deadline_arg)
 
 let remote_cov_cmd =
   let run to_ file engine threads level max_supernode backend cycles pokes out priority
-      json timeout retries token =
+      json timeout retries token tenant deadline =
     let job =
       {
         SP.vj_filename = Filename.basename file;
@@ -1588,6 +1658,8 @@ let remote_cov_cmd =
         vj_cycles = cycles;
         vj_pokes = pokes;
         vj_token = None;
+        vj_tenant = tenant_of tenant;
+        vj_deadline = deadline;
       }
     in
     let req = SP.Coverage (SP.priority_of_string priority, job) in
@@ -1607,27 +1679,42 @@ let remote_cov_cmd =
     (Cmd.info "cov" ~doc:"Run a coverage-collection job on a gsimd server")
     Term.(const run $ to_arg $ file_arg $ engine_arg $ threads_arg $ level_arg
           $ supernode_arg $ backend_arg $ cycles $ pokes $ out $ priority_arg "interactive"
-          $ json_arg $ timeout_arg $ retries_arg $ token_arg)
+          $ json_arg $ timeout_arg $ retries_arg $ token_arg $ tenant_arg $ deadline_arg)
 
 let remote_status_cmd =
   let run to_ json timeout =
     match check_error (remote_call ~timeout to_ SP.Status) with
     | SP.Status_ok s ->
-      if json then
+      if json then begin
+        let tenants =
+          String.concat ","
+            (List.map
+               (fun t ->
+                 Printf.sprintf
+                   "{\"tenant\":\"%s\",\"submitted\":%d,\"completed\":%d,\"shed\":%d,\"expired\":%d,\"inflight\":%d}"
+                   (json_escape t.SP.tn_tenant) t.SP.tn_submitted t.SP.tn_completed
+                   t.SP.tn_shed t.SP.tn_expired t.SP.tn_inflight)
+               s.SP.st_tenants)
+        in
         Printf.printf
-          "{\"workers\":%d,\"queued\":%d,\"running\":%d,\"completed\":%d,\"rejected\":%d,\"cache\":{\"entries\":%d,\"capacity\":%d,\"hits\":%d,\"misses\":%d,\"evictions\":%d},\"golden\":{\"hits\":%d,\"misses\":%d},\"preemptions\":%d,\"supervision\":{\"retries\":%d,\"hangs\":%d,\"worker_crashes\":%d,\"worker_restarts\":%d,\"gave_up\":%d},\"quarantine\":{\"open\":%d,\"trips\":%d},\"chaos_injected\":%d,\"uptime\":%.3f,\"draining\":%b}\n"
+          "{\"workers\":%d,\"queued\":%d,\"running\":%d,\"completed\":%d,\"rejected\":%d,\"shed\":%d,\"over_budget\":%d,\"deadline_expired\":%d,\"cache\":{\"entries\":%d,\"capacity\":%d,\"hits\":%d,\"misses\":%d,\"evictions\":%d},\"golden\":{\"hits\":%d,\"misses\":%d},\"preemptions\":%d,\"supervision\":{\"retries\":%d,\"hangs\":%d,\"worker_crashes\":%d,\"worker_restarts\":%d,\"gave_up\":%d},\"quarantine\":{\"open\":%d,\"trips\":%d},\"chaos_injected\":%d,\"tenants\":[%s],\"uptime\":%.3f,\"draining\":%b}\n"
           s.SP.st_workers s.SP.st_queued s.SP.st_running s.SP.st_completed s.SP.st_rejected
+          s.SP.st_shed s.SP.st_over_budget s.SP.st_deadline_expired
           s.SP.st_cache_entries s.SP.st_cache_capacity s.SP.st_cache_hits
           s.SP.st_cache_misses s.SP.st_cache_evictions s.SP.st_golden_hits
           s.SP.st_golden_misses s.SP.st_preemptions s.SP.st_retries s.SP.st_hangs
           s.SP.st_worker_crashes s.SP.st_worker_restarts s.SP.st_gave_up
-          s.SP.st_quarantined s.SP.st_quarantine_trips s.SP.st_chaos_injected
+          s.SP.st_quarantined s.SP.st_quarantine_trips s.SP.st_chaos_injected tenants
           s.SP.st_uptime s.SP.st_draining
+      end
       else begin
         Printf.printf "workers    : %d (%d running, %d queued)\n" s.SP.st_workers
           s.SP.st_running s.SP.st_queued;
         Printf.printf "jobs       : %d completed, %d rejected\n" s.SP.st_completed
           s.SP.st_rejected;
+        if s.SP.st_shed > 0 || s.SP.st_over_budget > 0 || s.SP.st_deadline_expired > 0 then
+          Printf.printf "overload   : %d shed, %d over budget, %d deadline expired\n"
+            s.SP.st_shed s.SP.st_over_budget s.SP.st_deadline_expired;
         Printf.printf "plan cache : %d/%d entries, %d hit(s), %d miss(es), %d eviction(s)\n"
           s.SP.st_cache_entries s.SP.st_cache_capacity s.SP.st_cache_hits
           s.SP.st_cache_misses s.SP.st_cache_evictions;
@@ -1643,6 +1730,13 @@ let remote_status_cmd =
           s.SP.st_quarantined s.SP.st_quarantine_trips;
         if s.SP.st_chaos_injected > 0 then
           Printf.printf "chaos      : %d fault(s) injected\n" s.SP.st_chaos_injected;
+        List.iter
+          (fun t ->
+            Printf.printf
+              "tenant %-12s: %d submitted, %d completed, %d shed, %d expired, %d in flight\n"
+              t.SP.tn_tenant t.SP.tn_submitted t.SP.tn_completed t.SP.tn_shed
+              t.SP.tn_expired t.SP.tn_inflight)
+          s.SP.st_tenants;
         Printf.printf "uptime     : %.1fs%s\n" s.SP.st_uptime
           (if s.SP.st_draining then " (draining)" else "")
       end

@@ -114,9 +114,55 @@ type stats = {
   mutable disk_hits : int;
   mutable memo_hits : int;
   mutable failures : int;
+  mutable timeouts : int;
+  mutable evictions : int;
 }
 
-let stats = { compiles = 0; disk_hits = 0; memo_hits = 0; failures = 0 }
+let stats =
+  { compiles = 0; disk_hits = 0; memo_hits = 0; failures = 0; timeouts = 0; evictions = 0 }
+
+(* GSIM_NATIVE_CACHE_MB bounds the on-disk object cache (default
+   512 MiB; 0 = unlimited).  Eviction is LRU by the .so's mtime, which
+   [load_uncached] refreshes on every disk hit. *)
+let cache_quota_bytes () =
+  match Sys.getenv_opt "GSIM_NATIVE_CACHE_MB" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some mb when mb >= 0 -> mb * 1024 * 1024
+    | _ -> 512 * 1024 * 1024)
+  | None -> 512 * 1024 * 1024
+
+let file_size path = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0
+
+let prune_cache ?keep dir =
+  let quota = cache_quota_bytes () in
+  if quota > 0 then begin
+    let entries =
+      (try Array.to_list (Sys.readdir dir) with Sys_error _ -> [])
+      |> List.filter_map (fun f ->
+             if not (Filename.check_suffix f ".so") then None
+             else
+               let digest = Filename.chop_suffix f ".so" in
+               let so = Filename.concat dir f in
+               let c = Filename.concat dir (digest ^ ".c") in
+               match Unix.stat so with
+               | st -> Some (st.Unix.st_mtime, digest, st.Unix.st_size + file_size c)
+               | exception Unix.Unix_error _ -> None)
+    in
+    let total = List.fold_left (fun a (_, _, b) -> a + b) 0 entries in
+    if total > quota then begin
+      let excess = ref (total - quota) in
+      List.iter
+        (fun (_, digest, bytes) ->
+          if !excess > 0 && keep <> Some digest then begin
+            (try Sys.remove (Filename.concat dir (digest ^ ".so")) with Sys_error _ -> ());
+            (try Sys.remove (Filename.concat dir (digest ^ ".c")) with Sys_error _ -> ());
+            excess := !excess - bytes;
+            stats.evictions <- stats.evictions + 1
+          end)
+        (List.sort compare entries)
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Compile + load                                                      *)
@@ -126,6 +172,61 @@ let write_file path contents =
   let oc = open_out_bin path in
   output_string oc contents;
   close_out oc
+
+(* How long a single cc run may take before it is killed.  A compiler
+   driven into pathological behaviour by generated code (or a wedged
+   distcc wrapper) must not hold a worker hostage: the job falls back to
+   the bytecode interpreter instead. *)
+let cc_timeout_seconds () =
+  match Sys.getenv_opt "GSIM_CC_TIMEOUT" with
+  | Some s -> ( match float_of_string_opt s with Some t when t > 0. -> t | _ -> 120.)
+  | None -> 120.
+
+(* Run [cmd] through the shell with a kill-on-timeout guard.
+   [Unix.create_process] rather than [Unix.fork]: workers are domains,
+   and OCaml 5 forbids fork once domains exist (create_process spawns
+   without forking the runtime).  On timeout the driver gets SIGTERM —
+   cc/gcc/clang drivers forward it to their cc1/as/ld children and clean
+   up — then SIGKILL after a short grace.  Returns the shell's exit
+   status, or [Error] on timeout. *)
+let run_guarded cmd ~timeout =
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Fun.protect
+      ~finally:(fun () -> Unix.close null)
+      (fun () ->
+        Unix.create_process "/bin/sh"
+          [| "/bin/sh"; "-c"; cmd |]
+          null Unix.stdout Unix.stderr)
+  in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec reap () =
+    match Unix.waitpid [] pid with
+    | _, Unix.WEXITED rc -> rc
+    | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> 128
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> reap ()
+    | exception Unix.Unix_error _ -> 127
+  in
+  let rec wait () =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ ->
+      if Unix.gettimeofday () > deadline then begin
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.1;
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (reap ());
+        Error ()
+      end
+      else begin
+        Unix.sleepf 0.02;
+        wait ()
+      end
+    | _, Unix.WEXITED rc -> Ok rc
+    | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> Ok 128
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+    | exception Unix.Unix_error _ -> Ok 127
+  in
+  wait ()
 
 let compile_so ~cc ~c_path ~so_path =
   (* Build into a pid-unique temp and rename: concurrent processes
@@ -137,26 +238,35 @@ let compile_so ~cc ~c_path ~so_path =
     Printf.sprintf "%s -O2 -shared -fPIC -o %s %s 2> %s" cc (Filename.quote tmp)
       (Filename.quote c_path) (Filename.quote log)
   in
-  let rc = Sys.command cmd in
-  let diag =
-    if rc = 0 then ""
-    else
-      try
-        let ic = open_in log in
-        let line = try input_line ic with End_of_file -> "" in
-        close_in ic;
-        line
-      with Sys_error _ -> ""
-  in
-  (try Sys.remove log with Sys_error _ -> ());
-  if rc <> 0 then begin
+  let timeout = cc_timeout_seconds () in
+  match run_guarded cmd ~timeout with
+  | Error () ->
+    stats.timeouts <- stats.timeouts + 1;
+    (try Sys.remove log with Sys_error _ -> ());
     (try Sys.remove tmp with Sys_error _ -> ());
-    Error (Printf.sprintf "cc exited %d%s" rc (if diag = "" then "" else ": " ^ diag))
-  end
-  else begin
-    Sys.rename tmp so_path;
-    Ok ()
-  end
+    Error
+      (Printf.sprintf "cc timed out after %.0f s and was killed; using the interpreter"
+         timeout)
+  | Ok rc ->
+    let diag =
+      if rc = 0 then ""
+      else
+        try
+          let ic = open_in log in
+          let line = try input_line ic with End_of_file -> "" in
+          close_in ic;
+          line
+        with Sys_error _ -> ""
+    in
+    (try Sys.remove log with Sys_error _ -> ());
+    if rc <> 0 then begin
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Error (Printf.sprintf "cc exited %d%s" rc (if diag = "" then "" else ": " ^ diag))
+    end
+    else begin
+      Sys.rename tmp so_path;
+      Ok ()
+    end
 
 let bind_so ~digest ~so_path ~c_path ~compiled_nodes =
   let handle = dlopen_so so_path in
@@ -187,6 +297,8 @@ let load_uncached c digest =
       try
         let u = bind_so ~digest ~so_path ~c_path ~compiled_nodes in
         stats.disk_hits <- stats.disk_hits + 1;
+        (* Refresh recency so the quota pruner evicts cold digests first. *)
+        (try Unix.utimes so_path 0. 0. with Unix.Unix_error _ -> ());
         Some u
       with Failure msg ->
         stats.failures <- stats.failures + 1;
@@ -207,6 +319,7 @@ let load_uncached c digest =
             bind_so ~digest ~so_path ~c_path ~compiled_nodes:r.Emit_c.compiled_nodes
           in
           stats.compiles <- stats.compiles + 1;
+          prune_cache ~keep:digest dir;
           Some u
       with
       | Failure msg | Sys_error msg ->

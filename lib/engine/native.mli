@@ -20,7 +20,15 @@
       [gcc], [clang] on [PATH]);
     - [GSIM_NATIVE_CACHE] overrides the cache directory (default:
       [$XDG_CACHE_HOME/gsim/native], then [$HOME/.cache/gsim/native],
-      then a temp-dir fallback). *)
+      then a temp-dir fallback);
+    - [GSIM_CC_TIMEOUT] caps one [cc] run in seconds (default 120).
+      Past the deadline the compiler driver gets SIGTERM (which cc
+      forwards to its cc1/as/ld children) then SIGKILL; the job falls
+      back to the bytecode interpreter with a one-line diagnostic;
+    - [GSIM_NATIVE_CACHE_MB] bounds the on-disk object cache in MiB
+      (default 512; 0 = unlimited).  After each fresh compile, cold
+      digests (LRU by mtime; disk hits refresh recency) are evicted
+      until the cache fits. *)
 
 open Gsim_ir
 
@@ -68,7 +76,14 @@ type stats = {
   mutable disk_hits : int;
   mutable memo_hits : int;
   mutable failures : int;
+  mutable timeouts : int;  (** [cc] runs killed at [GSIM_CC_TIMEOUT] *)
+  mutable evictions : int;  (** cached objects removed by the disk quota *)
 }
 
 val stats : stats
 (** Process-wide counters, exposed for tests and benches. *)
+
+val prune_cache : ?keep:string -> string -> unit
+(** Enforce [GSIM_NATIVE_CACHE_MB] over a cache directory, evicting
+    [.so]/[.c] pairs oldest-first ([keep] is never evicted).  Called
+    automatically after each fresh compile; exposed for tests. *)

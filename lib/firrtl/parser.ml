@@ -2,7 +2,19 @@ module Bits = Gsim_bits.Bits
 
 exception Parse_error of int * int * string
 
-type state = { tokens : (Lexer.token * int * int) array; mutable pos : int }
+(* Resource-bomb limits.  A crafted input must fail with a positioned
+   diagnostic, never by blowing the OCaml stack (deep nesting) or by
+   committing the elaborator to an absurd allocation (wide signals,
+   astronomically deep memories). *)
+let max_nesting = 200
+let max_width = 65_536
+let max_mem_bits = 1 lsl 33  (* 1 GiB of memory state *)
+
+type state = {
+  tokens : (Lexer.token * int * int) array;
+  mutable pos : int;
+  mutable depth : int;  (* live expression/when nesting *)
+}
 
 let peek st =
   let t, _, _ = st.tokens.(st.pos) in
@@ -50,17 +62,22 @@ let skip_newlines st =
 
 (* --- Types ----------------------------------------------------------- *)
 
+let check_width st w =
+  if w < 0 || w > max_width then
+    error st (Printf.sprintf "width %d out of range (limit %d)" w max_width);
+  w
+
 let parse_ty st =
   let loc = here st in
   match next st with
   | Lexer.Id "UInt" ->
     expect st (Lexer.Punct "<");
-    let w = expect_int st in
+    let w = check_width st (expect_int st) in
     expect st (Lexer.Punct ">");
     Ast.Uint w
   | Lexer.Id "SInt" ->
     expect st (Lexer.Punct "<");
-    let w = expect_int st in
+    let w = check_width st (expect_int st) in
     expect st (Lexer.Punct ">");
     Ast.Sint w
   | Lexer.Id "Clock" -> Ast.Clock_ty
@@ -111,13 +128,24 @@ let literal_value st ty =
   expect st (Lexer.Punct ")");
   Ast.Literal (ty, v)
 
+(* The depth guard wraps every recursive entry: a crafted
+   mux(mux(mux(... input fails with a caret diagnostic at [max_nesting]
+   levels instead of a stack overflow deep inside the parser. *)
 let rec parse_expr st =
+  if st.depth >= max_nesting then
+    error st (Printf.sprintf "expression nesting exceeds %d levels" max_nesting);
+  st.depth <- st.depth + 1;
+  let e = parse_expr_body st in
+  st.depth <- st.depth - 1;
+  e
+
+and parse_expr_body st =
   match peek st with
   | Lexer.Id "UInt" | Lexer.Id "SInt" -> begin
       let signed = peek st = Lexer.Id "SInt" in
       advance st;
       expect st (Lexer.Punct "<");
-      let w = expect_int st in
+      let w = check_width st (expect_int st) in
       expect st (Lexer.Punct ">");
       literal_value st (if signed then Ast.Sint w else Ast.Uint w)
     end
@@ -220,6 +248,13 @@ and parse_mem st name =
   go ();
   match (!data_type, !depth) with
   | Some data_type, Some mem_depth ->
+    if mem_depth < 0 then error st (Printf.sprintf "memory depth %d is negative" mem_depth);
+    let w = Ast.ty_width data_type in
+    (* Overflow-safe: divide instead of multiplying depth × width. *)
+    if w > 0 && mem_depth > max_mem_bits / w then
+      error st
+        (Printf.sprintf "memory %s wants %d × %d bits, over the %d-bit limit" name mem_depth
+           w max_mem_bits);
     Ast.Mem
       {
         Ast.mem_def_name = name;
@@ -233,6 +268,17 @@ and parse_mem st name =
   | _ -> error st "memory needs data-type and depth"
 
 and parse_when st =
+  (* Shares the expression depth budget: when-blocks and else-when
+     chains recurse through here, and a 100k-deep ladder is as much a
+     stack bomb as nested muxes. *)
+  if st.depth >= max_nesting then
+    error st (Printf.sprintf "when nesting exceeds %d levels" max_nesting);
+  st.depth <- st.depth + 1;
+  let w = parse_when_body st in
+  st.depth <- st.depth - 1;
+  w
+
+and parse_when_body st =
   let cond = parse_expr st in
   expect st (Lexer.Punct ":");
   let then_block = parse_block st in
@@ -397,7 +443,7 @@ let parse_string src =
     with Lexer.Lex_error (line, col, msg) ->
       raise (Parse_error (line, col, "lexical error: " ^ msg))
   in
-  parse_circuit { tokens; pos = 0 }
+  parse_circuit { tokens; pos = 0; depth = 0 }
 
 let parse_file path =
   let ic = open_in_bin path in

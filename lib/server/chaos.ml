@@ -6,13 +6,17 @@ type spec = {
   slow_ms : float;
   torn : float;
   poison : string option;
+  busy : float;
+  busy_ms : float;
 }
 
 let none =
-  { seed = 0; crash = 0.; hang = 0.; slow = 0.; slow_ms = 20.; torn = 0.; poison = None }
+  { seed = 0; crash = 0.; hang = 0.; slow = 0.; slow_ms = 20.; torn = 0.; poison = None;
+    busy = 0.; busy_ms = 20. }
 
 let enabled s =
   s.crash > 0. || s.hang > 0. || s.slow > 0. || s.torn > 0. || s.poison <> None
+  || s.busy > 0.
 
 let spec_of_string text =
   let prob key v =
@@ -43,10 +47,16 @@ let spec_of_string text =
              | Some ms when ms >= 0. -> { s with slow_ms = ms }
              | _ -> failwith (Printf.sprintf "chaos: bad slow-ms %S" v))
            | "poison" -> { s with poison = (if v = "" then None else Some v) }
+           | "busy" -> { s with busy = prob key v }
+           | "busy-ms" -> (
+             match float_of_string_opt v with
+             | Some ms when ms >= 0. -> { s with busy_ms = ms }
+             | _ -> failwith (Printf.sprintf "chaos: bad busy-ms %S" v))
            | _ ->
              failwith
                (Printf.sprintf
-                  "chaos: unknown key %S (seed, crash, hang, slow, slow-ms, torn, poison)"
+                  "chaos: unknown key %S (seed, crash, hang, slow, slow-ms, torn, poison, \
+                   busy, busy-ms)"
                   key)))
        none
 
@@ -54,6 +64,8 @@ let spec_to_string s =
   let parts = ref [] in
   let addf key v = if v > 0. then parts := Printf.sprintf "%s=%g" key v :: !parts in
   (match s.poison with Some m -> parts := ("poison=" ^ m) :: !parts | None -> ());
+  if s.busy > 0. then parts := Printf.sprintf "busy-ms=%g" s.busy_ms :: !parts;
+  addf "busy" s.busy;
   addf "torn" s.torn;
   if s.slow > 0. then parts := Printf.sprintf "slow-ms=%g" s.slow_ms :: !parts;
   addf "slow" s.slow;
@@ -68,6 +80,7 @@ type t = {
   hangs : int Atomic.t;
   torn_count : int Atomic.t;
   slowed : int Atomic.t;
+  busy_count : int Atomic.t;
   resp_seq : int Atomic.t;
   slow_seq : int Atomic.t;
 }
@@ -79,6 +92,7 @@ let create spec =
     hangs = Atomic.make 0;
     torn_count = Atomic.make 0;
     slowed = Atomic.make 0;
+    busy_count = Atomic.make 0;
     resp_seq = Atomic.make 0;
     slow_seq = Atomic.make 0;
   }
@@ -125,6 +139,13 @@ let at_eval t ~job ~attempt ~tick ~poisoned =
     else if u < t.spec.crash +. t.spec.hang then begin
       Atomic.incr t.hangs;
       `Hang
+    end
+    else if u < t.spec.crash +. t.spec.hang +. t.spec.busy then begin
+      (* Overload injection: the worker stays healthy (it heartbeats
+         before and after the stall) but loses compute, so the queue
+         backs up exactly as if the offered load exceeded capacity. *)
+      Atomic.incr t.busy_count;
+      `Busy (t.spec.busy_ms /. 1000.)
     end
     else `Ok
   end
@@ -173,7 +194,7 @@ let tear ~seed ~case frame =
       Bytes.to_string b
     | _ -> String.sub frame 0 (min n (pick 1 16))  (* cut inside the 10-byte header *)
 
-type counters = { crashes : int; hangs : int; torn : int; slowed : int }
+type counters = { crashes : int; hangs : int; torn : int; slowed : int; busied : int }
 
 let counters (t : t) =
   {
@@ -181,8 +202,9 @@ let counters (t : t) =
     hangs = Atomic.get t.hangs;
     torn = Atomic.get t.torn_count;
     slowed = Atomic.get t.slowed;
+    busied = Atomic.get t.busy_count;
   }
 
 let total (t : t) =
   Atomic.get t.crashes + Atomic.get t.hangs + Atomic.get t.torn_count
-  + Atomic.get t.slowed
+  + Atomic.get t.slowed + Atomic.get t.busy_count

@@ -32,6 +32,10 @@ type spec = {
   torn : float;   (** per-response probability of a torn frame *)
   poison : string option;
       (** designs containing this substring always crash their worker *)
+  busy : float;   (** per-tick probability of a compute stall — the
+                      overload injection: workers stay healthy but lose
+                      throughput, so backlog builds deterministically *)
+  busy_ms : float;  (** compute-stall duration, milliseconds *)
 }
 
 val none : spec
@@ -40,7 +44,8 @@ val none : spec
 val enabled : spec -> bool
 
 val spec_of_string : string -> spec
-(** Parses ["seed=42,crash=0.1,hang=0.05,slow=0.02,slow-ms=50,torn=0.01,poison=MARK"];
+(** Parses
+    ["seed=42,crash=0.1,hang=0.05,slow=0.02,slow-ms=50,torn=0.01,poison=MARK,busy=0.5,busy-ms=30"];
     every key optional, [""] means {!none}.  Raises [Failure] on an
     unknown key or a malformed value. *)
 
@@ -67,8 +72,15 @@ val poisoned : t -> design:string -> bool
 (** Does the design text contain the poison marker? *)
 
 val at_eval :
-  t -> job:int -> attempt:int -> tick:int -> poisoned:bool -> [ `Ok | `Crash | `Hang ]
-(** One worker evaluation tick.  A poisoned design always crashes. *)
+  t ->
+  job:int ->
+  attempt:int ->
+  tick:int ->
+  poisoned:bool ->
+  [ `Ok | `Crash | `Hang | `Busy of float ]
+(** One worker evaluation tick.  A poisoned design always crashes.
+    [`Busy s] asks the worker to stall for [s] seconds while staying
+    supervised — the overload injection. *)
 
 val torn_response : t -> bool
 (** Decide (and count) whether to tear the next response frame. *)
@@ -81,7 +93,7 @@ val tear : seed:int -> case:int -> string -> string
     corrupt the length field, or mangle the magic — the corpus driver
     for the protocol fuzz test and the daemon's torn-frame injection. *)
 
-type counters = { crashes : int; hangs : int; torn : int; slowed : int }
+type counters = { crashes : int; hangs : int; torn : int; slowed : int; busied : int }
 
 val counters : t -> counters
 val total : t -> int

@@ -125,6 +125,12 @@ let call_robust ?(timeout = 0.) ?(retries = 0) ?(backoff = 0.2) ?token address r
     if attempt > retries then raise last_err
     else
       match attempt_once () with
+      | P.Error_resp e when e.P.ei_retry_after > 0. && attempt < retries ->
+        (* The daemon shed the job and told us when it expects room;
+           honour the hint (capped — a pathological hint must not wedge
+           the client) instead of our blind exponential schedule. *)
+        Unix.sleepf (Float.min 5. e.P.ei_retry_after);
+        go (attempt + 1) last_err
       | r -> r
       | exception e ->
         let retry_on =

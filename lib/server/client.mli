@@ -41,7 +41,11 @@ val call_robust :
     daemon deduplicates attempts of the same token, so a retry whose
     predecessor actually ran re-attaches or replays instead of
     re-executing.  Always pass a token when [retries > 0] and the
-    request has side effects. *)
+    request has side effects.
+
+    An [Error_resp] whose [ei_retry_after] is positive — the daemon
+    shedding load with a backoff hint — is also retried (while attempts
+    remain), sleeping [min 5 retry_after] seconds first. *)
 
 val close : t -> unit
 val with_connection : ?timeout:float -> Protocol.address -> (t -> 'a) -> 'a

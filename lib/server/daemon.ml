@@ -1,4 +1,5 @@
 module Store = Gsim_resilience.Store
+module Compile = Gsim_core.Gsim.Compile
 module P = Protocol
 
 type config = {
@@ -11,6 +12,15 @@ type config = {
   log : out_channel;
   supervision : Supervisor.policy;
   chaos : Chaos.spec;
+  budgets : Admission.budgets;
+  high_water : float;
+      (* batch-band depth, as a fraction of queue capacity, past which
+         new batch work is shed with a retry-after hint; <= 0 disables *)
+  max_backlog_seconds : float;
+      (* estimated batch backlog (EWMA job seconds × queued / workers)
+         past which new batch work is shed; <= 0 disables *)
+  tenant_quota : int;  (* max queued jobs per tenant; 0 = unlimited *)
+  spool_quota_mb : int;  (* golden-cache disk budget; 0 = unlimited *)
 }
 
 let default_config address =
@@ -24,7 +34,22 @@ let default_config address =
     log = stderr;
     supervision = Supervisor.default_policy;
     chaos = Chaos.none;
+    budgets = Admission.unlimited;
+    high_water = 0.9;
+    max_backlog_seconds = 0.;
+    tenant_quota = 0;
+    spool_quota_mb = 0;
   }
+
+(* Per-tenant counters, mutated under one lock by connection threads and
+   workers (via [deliver]); snapshotted for Status. *)
+type tstat = {
+  mutable ts_sub : int;
+  mutable ts_done : int;
+  mutable ts_shed : int;
+  mutable ts_exp : int;
+  mutable ts_inflight : int;
+}
 
 (* One response slot per submitted job: the worker Domain fulfils it,
    the connection thread blocks on it and writes the response out. *)
@@ -105,8 +130,12 @@ let serve cfg =
   let jobs_dir = Filename.concat spool "jobs" in
   Store.ensure_dir jobs_dir;
   let request_path id = Filename.concat jobs_dir (Printf.sprintf "job-%06d.gjb" id) in
-  let sched = Scheduler.create ~capacity:cfg.queue_capacity () in
+  let sched = Scheduler.create ~capacity:cfg.queue_capacity ~tenant_quota:cfg.tenant_quota () in
   let cache = Plan_cache.create ~capacity:cfg.cache_capacity () in
+  (* Admission estimates are frontend-only (parse, no pass pipeline) but
+     still worth memoizing: a tenant hammering one design re-admits from
+     this cache instead of re-parsing on every connection thread. *)
+  let est_cache : Admission.estimate Plan_cache.t = Plan_cache.create ~capacity:64 () in
   let chaos = Chaos.create cfg.chaos in
   let ctx =
     {
@@ -131,6 +160,74 @@ let serve cfg =
   let restarts = Atomic.make 0 in
   let next_job = Atomic.make 0 in
   let draining = Atomic.make false in
+  let shed = Atomic.make 0 in
+  let over_budget = Atomic.make 0 in
+  let deadline_expired = Atomic.make 0 in
+
+  (* Per-tenant accounting. *)
+  let tstats_lock = Mutex.create () in
+  let tstats : (string, tstat) Hashtbl.t = Hashtbl.create 8 in
+  let note tenant f =
+    Mutex.protect tstats_lock (fun () ->
+        let s =
+          match Hashtbl.find_opt tstats tenant with
+          | Some s -> s
+          | None ->
+            let s = { ts_sub = 0; ts_done = 0; ts_shed = 0; ts_exp = 0; ts_inflight = 0 } in
+            Hashtbl.replace tstats tenant s;
+            s
+        in
+        f s)
+  in
+
+  (* EWMA of completed-job wall time, the backlog estimator's numerator:
+     backlog-seconds ≈ ewma × queued / workers.  Seeded pessimistically
+     so a cold daemon does not under-shed. *)
+  let ewma_lock = Mutex.create () in
+  let ewma_job_seconds = ref 2.0 in
+  let observe_job_seconds dt =
+    Mutex.protect ewma_lock (fun () ->
+        ewma_job_seconds := (0.8 *. !ewma_job_seconds) +. (0.2 *. dt))
+  in
+  let backlog_estimate () =
+    let e = Mutex.protect ewma_lock (fun () -> !ewma_job_seconds) in
+    e *. float_of_int (Scheduler.queued sched) /. float_of_int (max 1 cfg.workers)
+  in
+  let retry_after () = Float.min 60. (Float.max 1. (backlog_estimate ())) in
+  let overloaded () =
+    (cfg.high_water > 0.
+    && Scheduler.queued_at sched ~priority:1
+       >= max 1 (int_of_float (cfg.high_water *. float_of_int cfg.queue_capacity)))
+    || (cfg.max_backlog_seconds > 0. && backlog_estimate () > cfg.max_backlog_seconds)
+  in
+
+  (* Admission: estimate the resource footprint from a frontend-only
+     parse and refuse over-budget designs before they queue.  A design
+     the frontend rejects is admitted anyway — the worker owns the
+     diagnostic, and estimation must never change failure semantics. *)
+  let admission_violation req =
+    if not (Admission.limited cfg.budgets) then None
+    else
+      match (P.request_design req, P.request_filename req) with
+      | Some design, Some filename -> (
+        let key = Digest.to_hex (Digest.string (filename ^ "\x00" ^ design)) in
+        let est =
+          match Plan_cache.find est_cache key with
+          | Some e -> Some e
+          | None -> (
+            match Compile.source_of_string ~filename design with
+            | src ->
+              let e = Admission.estimate src.Compile.circuit in
+              Plan_cache.add est_cache key e;
+              Some e
+            | exception _ -> None)
+        in
+        match est with
+        | None -> None
+        | Some e -> (
+          match Admission.check cfg.budgets e with Ok () -> None | Error why -> Some why))
+      | _ -> None
+  in
 
   (* Retries waiting out their backoff before re-admission. *)
   let delayed_lock = Mutex.create () in
@@ -210,8 +307,18 @@ let serve cfg =
              (try Sys.remove path with Sys_error _ -> ())
            | Some ((P.Sim _ | P.Campaign _ | P.Fuzz _ | P.Coverage _) as req) ->
              let replied = Atomic.make false in
+             let tenant =
+               match P.request_tenant req with
+               | Some t -> t
+               | None -> Scheduler.default_tenant
+             in
+             (* Deadlines travel as relative budgets; a recovered job's
+                budget restarts at re-admission — the original submitter
+                is gone, so the old clock has nothing to anchor to. *)
+             let rel = P.request_deadline req in
+             let deadline = if rel > 0. then Unix.gettimeofday () +. rel else 0. in
              let job =
-               Worker.make_job ~id ~priority:1
+               Worker.make_job ~id ~priority:1 ~tenant ~deadline
                  ~reply:(fun resp ->
                    if not (Atomic.exchange replied true) then
                      match resp with
@@ -221,9 +328,10 @@ let serve cfg =
                  req
              in
              job.Worker.recovered <- true;
-             if Scheduler.submit sched ~priority:1 job then
-               logf "boot: re-admitted interrupted job %d (%s)" id f
-             else logf "boot: queue full, leaving job %d for the next restart" id
+             (match Scheduler.submit sched ~priority:1 ~tenant job with
+              | Scheduler.Accepted -> logf "boot: re-admitted interrupted job %d (%s)" id f
+              | Scheduler.Rejected_full | Scheduler.Rejected_quota ->
+                logf "boot: queue full, leaving job %d for the next restart" id)
            | Some (P.Status | P.Shutdown) ->
              (try Sys.remove path with Sys_error _ -> ())))
       entries
@@ -296,6 +404,18 @@ let serve cfg =
     let rec go () =
       match Scheduler.take sched with
       | None -> Supervisor.exited sup slot
+      | Some job
+        when job.Worker.deadline > 0. && Unix.gettimeofday () > job.Worker.deadline ->
+        (* Expired while queued: shed it at dispatch, before it costs a
+           worker anything.  The spool scratch and persisted request go
+           with it — nobody will resume a job whose answer is late. *)
+        logf "worker %d: job %d expired in the queue; shedding" w job.Worker.id;
+        (try Sys.remove (request_path job.Worker.id) with Sys_error _ -> ());
+        Worker.discard_scratch ctx job;
+        job.Worker.reply
+          (P.error_resp ~code:P.Deadline_exceeded ~attempts:job.Worker.attempt
+             "deadline exceeded while queued");
+        go ()
       | Some job ->
         let ticking = match job.Worker.request with P.Sim _ -> true | _ -> false in
         Supervisor.start sup slot ~ticking job;
@@ -310,6 +430,7 @@ let serve cfg =
           else ""
         in
         logf "worker %d: job %d start%s%s" w job.Worker.id attempt resumed;
+        let exec_t0 = Unix.gettimeofday () in
         let outcome =
           Worker.execute ~beat:(fun () -> Supervisor.beat slot) ctx job
         in
@@ -318,12 +439,14 @@ let serve cfg =
          | Worker.Yielded ->
            logf "worker %d: job %d preempted at cycle %d" w job.Worker.id
              job.Worker.done_cycles;
-           Scheduler.requeue sched ~priority:job.Worker.priority job
+           Scheduler.requeue sched ~priority:job.Worker.priority
+             ~tenant:job.Worker.tenant job
          | Worker.Abandoned ->
            logf "worker %d: job %d attempt %d abandoned (supervisor cancelled it)" w
              job.Worker.id job.Worker.attempt
          | Worker.Done resp ->
            Atomic.incr completed;
+           observe_job_seconds (Unix.gettimeofday () -. exec_t0);
            (* The job can no longer be interrupted: retire its persisted
               request (a no-op for interactive jobs, which have none). *)
            (try Sys.remove (request_path job.Worker.id) with Sys_error _ -> ());
@@ -339,6 +462,54 @@ let serve cfg =
   for _ = 1 to cfg.workers do
     spawn_worker ()
   done;
+
+  (* Golden-trace caches are the one spool artifact that outlives its
+     job, so they are what a disk quota must police.  Evict whole cache
+     directories oldest-first until back under budget; a campaign racing
+     its own eviction merely rebuilds the trace (Campaign.run validates
+     the cache before trusting it). *)
+  let enforce_spool_quota () =
+    if cfg.spool_quota_mb > 0 then begin
+      let golden_root = Filename.concat spool "golden" in
+      let entries =
+        (try Array.to_list (Sys.readdir golden_root) with Sys_error _ -> [])
+        |> List.filter_map (fun d ->
+               let path = Filename.concat golden_root d in
+               try
+                 if not (Sys.is_directory path) then None
+                 else begin
+                   let files = try Sys.readdir path with Sys_error _ -> [||] in
+                   let bytes =
+                     Array.fold_left
+                       (fun acc f ->
+                         try acc + (Unix.stat (Filename.concat path f)).Unix.st_size
+                         with Unix.Unix_error _ -> acc)
+                       0 files
+                   in
+                   Some ((Unix.stat path).Unix.st_mtime, path, bytes)
+                 end
+               with Sys_error _ | Unix.Unix_error _ -> None)
+      in
+      let total = List.fold_left (fun a (_, _, b) -> a + b) 0 entries in
+      let quota = cfg.spool_quota_mb * 1024 * 1024 in
+      if total > quota then begin
+        let excess = ref (total - quota) in
+        List.iter
+          (fun (_, path, bytes) ->
+            if !excess > 0 then begin
+              Array.iter
+                (fun f -> try Sys.remove (Filename.concat path f) with Sys_error _ -> ())
+                (try Sys.readdir path with Sys_error _ -> [||]);
+              (try Unix.rmdir path with Unix.Unix_error _ -> ());
+              excess := !excess - bytes;
+              logf "spool quota: evicted golden cache %s (%d KiB)" (Filename.basename path)
+                (bytes / 1024)
+            end)
+          (List.sort compare entries)
+      end
+    end
+  in
+  let sweep_countdown_ticks = ref 0 in
 
   (* Supervisor thread: reacts to scan losses, flushes due retries. *)
   let sup_stop = Atomic.make false in
@@ -386,8 +557,13 @@ let serve cfg =
       List.iter
         (fun (_, (j : Worker.job)) ->
           logf "job %d: re-admitted for attempt %d" j.Worker.id j.Worker.attempt;
-          Scheduler.requeue sched ~priority:j.Worker.priority j)
+          Scheduler.requeue sched ~priority:j.Worker.priority ~tenant:j.Worker.tenant j)
         due;
+      incr sweep_countdown_ticks;
+      if !sweep_countdown_ticks >= 100 then begin
+        sweep_countdown_ticks := 0;
+        enforce_spool_quota ()
+      end;
       Unix.sleepf pol.Supervisor.poll
     done
   in
@@ -419,6 +595,24 @@ let serve cfg =
       st_quarantined = cs.Plan_cache.quarantined;
       st_quarantine_trips = cs.Plan_cache.quarantine_trips;
       st_chaos_injected = Chaos.total chaos;
+      st_shed = Atomic.get shed;
+      st_over_budget = Atomic.get over_budget;
+      st_deadline_expired = Atomic.get deadline_expired;
+      st_tenants =
+        Mutex.protect tstats_lock (fun () ->
+            Hashtbl.fold
+              (fun name s acc ->
+                {
+                  P.tn_tenant = name;
+                  tn_submitted = s.ts_sub;
+                  tn_completed = s.ts_done;
+                  tn_shed = s.ts_shed;
+                  tn_expired = s.ts_exp;
+                  tn_inflight = s.ts_inflight;
+                }
+                :: acc)
+              tstats []
+            |> List.sort (fun a b -> compare a.P.tn_tenant b.P.tn_tenant));
     }
   in
 
@@ -519,43 +713,110 @@ let serve cfg =
           logf "conn %d: token already in flight; attaching to its job" conn_id;
           respond (Waitbox.wait b)
         | `Run token ->
-          let box = Waitbox.create () in
-          let id = Atomic.fetch_and_add next_job 1 in
-          (* Exactly one delivery per logical job, however many attempts
-             raced: the first responder wins, stale attempts and the
-             give-up path are silenced. *)
-          let replied = Atomic.make false in
-          let deliver resp =
-            if not (Atomic.exchange replied true) then begin
-              (match token with Some tok -> finish_token tok resp | None -> ());
-              Waitbox.put box resp
-            end
+          let tenant =
+            match P.request_tenant req with
+            | Some t -> t
+            | None -> Printf.sprintf "conn-%d" conn_id
           in
-          let job =
-            Worker.make_job ~id ~priority:(priority_level prio) ~reply:deliver req
-          in
-          (* Persist batch requests before scheduling: from this instant a
-             daemon crash leaves enough on disk for the next boot to finish
-             the job.  Interactive jobs are cheap and their client retries,
-             so they are not persisted. *)
-          if prio = P.Batch then (
-            try Store.write_atomic (request_path id) (P.encode_request req)
-            with Sys_error m -> logf "conn %d: cannot persist job %d: %s" conn_id id m);
-          if Scheduler.submit sched ~priority:job.Worker.priority job then begin
-            logf "conn %d: job %d queued (%s)" conn_id id (P.priority_to_string prio);
-            respond (Waitbox.wait box)
-          end
-          else begin
+          note tenant (fun s -> s.ts_sub <- s.ts_sub + 1);
+          let refuse resp =
             Atomic.incr rejected;
-            (try Sys.remove (request_path id) with Sys_error _ -> ());
-            let resp =
-              P.error_resp ~code:P.Queue_full
-                (Printf.sprintf "queue full (%d job(s) queued); retry later"
-                   (Scheduler.queued sched))
-            in
             (match token with Some tok -> refuse_token tok resp | None -> ());
             respond resp
-          end
+          in
+          (* Admission first: a resource bomb must be refused before it
+             touches the queue, the spool or a worker. *)
+          match admission_violation req with
+          | Some why ->
+            Atomic.incr over_budget;
+            note tenant (fun s -> s.ts_shed <- s.ts_shed + 1);
+            logf "conn %d: refusing over-budget job for %s: %s" conn_id tenant why;
+            refuse (P.error_resp ~code:P.Over_budget why)
+          | None ->
+            (* Brownout: past the high-water mark (or the backlog-seconds
+               limit), shed new *batch* work with a retry-after hint and
+               keep serving interactive traffic — graceful degradation
+               beats collapse. *)
+            if prio = P.Batch && overloaded () then begin
+              Atomic.incr shed;
+              note tenant (fun s -> s.ts_shed <- s.ts_shed + 1);
+              let ra = retry_after () in
+              logf "conn %d: brownout, shedding batch job for %s (retry in %.0f s)" conn_id
+                tenant ra;
+              refuse
+                (P.error_resp ~code:P.Overloaded ~retry_after:ra
+                   (Printf.sprintf
+                      "overloaded: %d batch job(s) queued, est. backlog %.0f s; retry later"
+                      (Scheduler.queued_at sched ~priority:1)
+                      (backlog_estimate ())))
+            end
+            else begin
+              let box = Waitbox.create () in
+              let id = Atomic.fetch_and_add next_job 1 in
+              let rel = P.request_deadline req in
+              let deadline = if rel > 0. then Unix.gettimeofday () +. rel else 0. in
+              (* Exactly one delivery per logical job, however many attempts
+                 raced: the first responder wins, stale attempts and the
+                 give-up path are silenced. *)
+              let replied = Atomic.make false in
+              let deliver resp =
+                if not (Atomic.exchange replied true) then begin
+                  (match resp with
+                   | P.Error_resp e when e.P.ei_code = P.Deadline_exceeded ->
+                     Atomic.incr deadline_expired;
+                     note tenant (fun s ->
+                         s.ts_exp <- s.ts_exp + 1;
+                         s.ts_inflight <- s.ts_inflight - 1)
+                   | _ ->
+                     note tenant (fun s ->
+                         s.ts_done <- s.ts_done + 1;
+                         s.ts_inflight <- s.ts_inflight - 1));
+                  (match token with Some tok -> finish_token tok resp | None -> ());
+                  Waitbox.put box resp
+                end
+              in
+              let job =
+                Worker.make_job ~id ~priority:(priority_level prio) ~tenant ~deadline
+                  ~reply:deliver req
+              in
+              (* Persist batch requests before scheduling: from this instant a
+                 daemon crash leaves enough on disk for the next boot to finish
+                 the job.  Interactive jobs are cheap and their client retries,
+                 so they are not persisted. *)
+              if prio = P.Batch then (
+                try Store.write_atomic (request_path id) (P.encode_request req)
+                with Sys_error m -> logf "conn %d: cannot persist job %d: %s" conn_id id m);
+              (* In-flight is counted before the scheduler sees the job:
+                 a fast worker could otherwise deliver (and decrement)
+                 before this thread increments. *)
+              note tenant (fun s -> s.ts_inflight <- s.ts_inflight + 1);
+              match Scheduler.submit sched ~priority:job.Worker.priority ~tenant job with
+              | Scheduler.Accepted ->
+                logf "conn %d: job %d queued (%s, tenant %s)" conn_id id
+                  (P.priority_to_string prio) tenant;
+                respond (Waitbox.wait box)
+              | Scheduler.Rejected_full ->
+                note tenant (fun s ->
+                    s.ts_inflight <- s.ts_inflight - 1;
+                    s.ts_shed <- s.ts_shed + 1);
+                (try Sys.remove (request_path id) with Sys_error _ -> ());
+                refuse
+                  (P.error_resp ~code:P.Queue_full ~retry_after:(retry_after ())
+                     (Printf.sprintf "queue full (%d job(s) queued); retry later"
+                        (Scheduler.queued sched)))
+              | Scheduler.Rejected_quota ->
+                Atomic.incr shed;
+                note tenant (fun s ->
+                    s.ts_inflight <- s.ts_inflight - 1;
+                    s.ts_shed <- s.ts_shed + 1);
+                (try Sys.remove (request_path id) with Sys_error _ -> ());
+                refuse
+                  (P.error_resp ~code:P.Overloaded ~retry_after:(retry_after ())
+                     (Printf.sprintf
+                        "tenant %s has %d job(s) queued (quota %d); retry later" tenant
+                        (Scheduler.queued_for sched tenant)
+                        cfg.tenant_quota))
+            end
       end
     in
     let rec loop () =
@@ -590,6 +851,15 @@ let serve cfg =
   logf "gsimd listening on %s (%d worker(s), queue %d, plan cache %d, stride %d)"
     (P.address_to_string cfg.address)
     cfg.workers cfg.queue_capacity cfg.cache_capacity cfg.preempt_stride;
+  if Admission.limited cfg.budgets then
+    logf "admission budgets: %s" (Admission.budgets_to_string cfg.budgets);
+  if cfg.tenant_quota > 0 || cfg.high_water > 0. || cfg.max_backlog_seconds > 0. then
+    logf "overload policy: high-water %.0f%%, backlog limit %s, tenant quota %s"
+      (cfg.high_water *. 100.)
+      (if cfg.max_backlog_seconds > 0. then Printf.sprintf "%.0f s" cfg.max_backlog_seconds
+       else "off")
+      (if cfg.tenant_quota > 0 then string_of_int cfg.tenant_quota else "off");
+  if cfg.spool_quota_mb > 0 then logf "spool quota: %d MiB (golden caches)" cfg.spool_quota_mb;
   if Chaos.enabled cfg.chaos then
     logf "chaos enabled: %s" (Chaos.spec_to_string cfg.chaos);
 
@@ -678,8 +948,10 @@ let serve cfg =
   Sys.set_signal Sys.sigint old_int;
   (if Chaos.enabled cfg.chaos then
      let cc = Chaos.counters chaos in
-     logf "chaos: injected %d crash(es), %d hang(s), %d torn frame(s), %d stalled write(s)"
-       cc.Chaos.crashes cc.Chaos.hangs cc.Chaos.torn cc.Chaos.slowed);
+     logf
+       "chaos: injected %d crash(es), %d hang(s), %d torn frame(s), %d stalled write(s), %d \
+        busy stall(s)"
+       cc.Chaos.crashes cc.Chaos.hangs cc.Chaos.torn cc.Chaos.slowed cc.Chaos.busied);
   let cs = Plan_cache.stats cache in
   logf
     "supervision: %d retry(ies), %d hang(s), %d worker crash(es), %d wedge(s), %d \
@@ -687,6 +959,9 @@ let serve cfg =
     (Atomic.get retries) (Supervisor.hang_count sup) (Supervisor.crash_count sup)
     (Supervisor.wedge_count sup) (Atomic.get restarts) (Atomic.get gave_up)
     cs.Plan_cache.quarantined cs.Plan_cache.quarantine_trips;
-  logf "drained: %d job(s) completed, %d rejected, %d preemption(s); bye"
-    (Atomic.get completed) (Atomic.get rejected)
+  logf
+    "drained: %d job(s) completed, %d rejected (%d shed, %d over budget), %d expired, %d \
+     preemption(s); bye"
+    (Atomic.get completed) (Atomic.get rejected) (Atomic.get shed) (Atomic.get over_budget)
+    (Atomic.get deadline_expired)
     (Atomic.get ctx.Worker.preemption_count)

@@ -25,8 +25,34 @@
     attaches to it, a retry of a finished one replays the response.
 
     The {!Chaos} harness (off by default) injects worker crashes,
-    hangs, stalled writes and torn response frames under a seed, for
-    tests, CI smoke and benchmarks.
+    hangs, compute stalls, stalled writes and torn response frames under
+    a seed, for tests, CI smoke and benchmarks.
+
+    {2 Overload protection}
+
+    Four independent guards keep the daemon answering under pressure:
+
+    - {e Admission}: when [budgets] is limited, every job's design is
+      parsed (frontend only, memoized by digest) and its {!Admission}
+      estimate checked before it touches the queue; an over-budget
+      design is refused with [Over_budget] naming the violated limit.
+      A design the frontend rejects is admitted so the worker produces
+      the real diagnostic.
+    - {e Fairness}: jobs carry a tenant id (client-supplied, defaulting
+      to a per-connection id) and each priority band dequeues
+      deficit-round-robin across tenants; [tenant_quota] bounds one
+      tenant's queued jobs ([Overloaded] + retry-after past it).
+      Per-tenant counters are reported in [Status].
+    - {e Deadlines}: a client-supplied relative deadline becomes an
+      absolute one at admission; an expired job is shed at dispatch and
+      a running one stops at the next stride tick, both with
+      [Deadline_exceeded].
+    - {e Brownout}: past [high_water] × capacity queued batch jobs (or
+      past [max_backlog_seconds] of estimated backlog — EWMA job
+      seconds × queued / workers), new {e batch} work is shed with
+      [Overloaded] and a retry-after hint while interactive traffic
+      keeps flowing.  [spool_quota_mb] bounds golden-trace disk with
+      oldest-first eviction.
 
     {2 Shutdown}
 
@@ -60,11 +86,22 @@ type config = {
   log : out_channel;
   supervision : Supervisor.policy;
   chaos : Chaos.spec;  (** {!Chaos.none} outside chaos runs *)
+  budgets : Admission.budgets;  (** {!Admission.unlimited} disables admission checks *)
+  high_water : float;
+      (** brownout: batch-band depth as a fraction of [queue_capacity]
+          past which new batch work is shed; [<= 0.] disables *)
+  max_backlog_seconds : float;
+      (** brownout: estimated backlog seconds past which new batch work
+          is shed; [<= 0.] disables *)
+  tenant_quota : int;  (** max queued jobs per tenant; [0] = unlimited *)
+  spool_quota_mb : int;  (** golden-trace disk budget; [0] = unlimited *)
 }
 
 val default_config : Protocol.address -> config
 (** Workers [max 2 (domains-2)], queue 64, cache 16, stride 10_000,
-    log on stderr, {!Supervisor.default_policy}, no chaos. *)
+    log on stderr, {!Supervisor.default_policy}, no chaos, unlimited
+    budgets, high-water 0.9, no backlog limit, no tenant quota, no
+    spool quota. *)
 
 val serve : config -> unit
 (** Blocks until drained.  Raises [Unix.Unix_error] if the socket

@@ -98,6 +98,14 @@ let get_float fields name =
   | Some v -> v
   | None -> fail "field %S: not a float" name
 
+let get_float_default fields name default =
+  match get_opt fields name with
+  | None -> default
+  | Some v -> (
+    match float_of_string_opt v with
+    | Some f -> f
+    | None -> fail "field %S: not a float" name)
+
 let get_list fields name =
   List.filter_map (fun (k, v) -> if k = name then Some v else None) fields
 
@@ -131,6 +139,8 @@ type sim_job = {
   sj_cycles : int;
   sj_pokes : string list;
   sj_token : string option;
+  sj_tenant : string option;
+  sj_deadline : float;
 }
 
 type campaign_job = {
@@ -146,6 +156,8 @@ type campaign_job = {
   cj_models : string option;
   cj_pokes : string list;
   cj_token : string option;
+  cj_tenant : string option;
+  cj_deadline : float;
 }
 
 type fuzz_job = {
@@ -155,6 +167,8 @@ type fuzz_job = {
   fj_cycles : int;
   fj_setups : string option;
   fj_token : string option;
+  fj_tenant : string option;
+  fj_deadline : float;
 }
 
 type cov_job = {
@@ -164,6 +178,8 @@ type cov_job = {
   vj_cycles : int;
   vj_pokes : string list;
   vj_token : string option;
+  vj_tenant : string option;
+  vj_deadline : float;
 }
 
 type request =
@@ -194,6 +210,26 @@ let request_design = function
   | Coverage (_, j) -> Some j.vj_design
   | Fuzz _ | Status | Shutdown -> None
 
+let request_filename = function
+  | Sim (_, j) -> Some j.sj_filename
+  | Campaign (_, j) -> Some j.cj_filename
+  | Coverage (_, j) -> Some j.vj_filename
+  | Fuzz _ | Status | Shutdown -> None
+
+let request_tenant = function
+  | Sim (_, j) -> j.sj_tenant
+  | Campaign (_, j) -> j.cj_tenant
+  | Fuzz (_, j) -> j.fj_tenant
+  | Coverage (_, j) -> j.vj_tenant
+  | Status | Shutdown -> None
+
+let request_deadline = function
+  | Sim (_, j) -> j.sj_deadline
+  | Campaign (_, j) -> j.cj_deadline
+  | Fuzz (_, j) -> j.fj_deadline
+  | Coverage (_, j) -> j.vj_deadline
+  | Status | Shutdown -> 0.
+
 type sim_result = {
   sr_engine : string;
   sr_cycles : int;
@@ -210,6 +246,15 @@ type db_result = {
   dr_summary : string;
   dr_cache_hit : bool;
   dr_seconds : float;
+}
+
+type tenant_stat = {
+  tn_tenant : string;
+  tn_submitted : int;
+  tn_completed : int;
+  tn_shed : int;
+  tn_expired : int;
+  tn_inflight : int;
 }
 
 type status = {
@@ -236,6 +281,10 @@ type status = {
   st_quarantined : int;
   st_quarantine_trips : int;
   st_chaos_injected : int;
+  st_shed : int;
+  st_over_budget : int;
+  st_deadline_expired : int;
+  st_tenants : tenant_stat list;
 }
 
 type error_code =
@@ -247,6 +296,9 @@ type error_code =
   | Quarantined
   | Protocol_violation
   | Internal
+  | Over_budget
+  | Deadline_exceeded
+  | Overloaded
 
 let error_code_to_string = function
   | Generic -> "error"
@@ -257,6 +309,9 @@ let error_code_to_string = function
   | Quarantined -> "quarantined"
   | Protocol_violation -> "protocol"
   | Internal -> "internal"
+  | Over_budget -> "over-budget"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Overloaded -> "overloaded"
 
 (* Unknown codes decode as [Generic]: an old client keeps working when
    a newer daemon grows codes. *)
@@ -268,9 +323,17 @@ let error_code_of_string = function
   | "quarantined" -> Quarantined
   | "protocol" -> Protocol_violation
   | "internal" -> Internal
+  | "over-budget" -> Over_budget
+  | "deadline-exceeded" -> Deadline_exceeded
+  | "overloaded" -> Overloaded
   | _ -> Generic
 
-type error_info = { ei_code : error_code; ei_message : string; ei_attempts : int }
+type error_info = {
+  ei_code : error_code;
+  ei_message : string;
+  ei_attempts : int;
+  ei_retry_after : float;
+}
 
 type response =
   | Sim_done of sim_result
@@ -279,8 +342,10 @@ type response =
   | Shutting_down
   | Error_resp of error_info
 
-let error_resp ?(code = Generic) ?(attempts = 1) msg =
-  Error_resp { ei_code = code; ei_message = msg; ei_attempts = attempts }
+let error_resp ?(code = Generic) ?(attempts = 1) ?(retry_after = 0.) msg =
+  Error_resp
+    { ei_code = code; ei_message = msg; ei_attempts = attempts;
+      ei_retry_after = retry_after }
 
 (* --- Message payloads ---------------------------------------------------- *)
 
@@ -303,6 +368,13 @@ let get_opts fields =
     eo_threads = get_int fields "threads";
   }
 
+(* Tenant and deadline (both post-v1) ride on every job payload; the
+   deadline travels as a relative budget in seconds so a queued frame
+   replayed after a daemon restart still means the same thing. *)
+let put_tenancy b tenant deadline =
+  put_opt b "tenant" tenant;
+  if deadline > 0. then put_float b "deadline" deadline
+
 let sim_payload p (j : sim_job) =
   let b = Buffer.create (String.length j.sj_design + 256) in
   put_priority b p;
@@ -312,6 +384,7 @@ let sim_payload p (j : sim_job) =
   put_int b "cycles" j.sj_cycles;
   put_list b "poke" j.sj_pokes;
   put_opt b "token" j.sj_token;
+  put_tenancy b j.sj_tenant j.sj_deadline;
   Buffer.contents b
 
 let sim_of_fields fields =
@@ -323,6 +396,8 @@ let sim_of_fields fields =
       sj_cycles = get_int fields "cycles";
       sj_pokes = get_list fields "poke";
       sj_token = get_opt fields "token";
+      sj_tenant = get_opt fields "tenant";
+      sj_deadline = get_float_default fields "deadline" 0.;
     } )
 
 let campaign_payload p (j : campaign_job) =
@@ -340,6 +415,7 @@ let campaign_payload p (j : campaign_job) =
   put_opt b "models" j.cj_models;
   put_list b "poke" j.cj_pokes;
   put_opt b "token" j.cj_token;
+  put_tenancy b j.cj_tenant j.cj_deadline;
   Buffer.contents b
 
 let campaign_of_fields fields =
@@ -357,6 +433,8 @@ let campaign_of_fields fields =
       cj_models = get_opt fields "models";
       cj_pokes = get_list fields "poke";
       cj_token = get_opt fields "token";
+      cj_tenant = get_opt fields "tenant";
+      cj_deadline = get_float_default fields "deadline" 0.;
     } )
 
 let fuzz_payload p (j : fuzz_job) =
@@ -368,6 +446,7 @@ let fuzz_payload p (j : fuzz_job) =
   put_int b "cycles" j.fj_cycles;
   put_opt b "setups" j.fj_setups;
   put_opt b "token" j.fj_token;
+  put_tenancy b j.fj_tenant j.fj_deadline;
   Buffer.contents b
 
 let fuzz_of_fields fields =
@@ -379,6 +458,8 @@ let fuzz_of_fields fields =
       fj_cycles = get_int fields "cycles";
       fj_setups = get_opt fields "setups";
       fj_token = get_opt fields "token";
+      fj_tenant = get_opt fields "tenant";
+      fj_deadline = get_float_default fields "deadline" 0.;
     } )
 
 let cov_payload p (j : cov_job) =
@@ -390,6 +471,7 @@ let cov_payload p (j : cov_job) =
   put_int b "cycles" j.vj_cycles;
   put_list b "poke" j.vj_pokes;
   put_opt b "token" j.vj_token;
+  put_tenancy b j.vj_tenant j.vj_deadline;
   Buffer.contents b
 
 let cov_of_fields fields =
@@ -401,6 +483,8 @@ let cov_of_fields fields =
       vj_cycles = get_int fields "cycles";
       vj_pokes = get_list fields "poke";
       vj_token = get_opt fields "token";
+      vj_tenant = get_opt fields "tenant";
+      vj_deadline = get_float_default fields "deadline" 0.;
     } )
 
 let sim_result_payload (r : sim_result) =
@@ -477,7 +561,35 @@ let status_payload (s : status) =
   put_int b "quarantined" s.st_quarantined;
   put_int b "quarantine-trips" s.st_quarantine_trips;
   put_int b "chaos-injected" s.st_chaos_injected;
+  put_int b "shed" s.st_shed;
+  put_int b "over-budget" s.st_over_budget;
+  put_int b "deadline-expired" s.st_deadline_expired;
+  List.iter
+    (fun t ->
+      put b "tenant-name" t.tn_tenant;
+      put b "tenant-counters"
+        (Printf.sprintf "%d %d %d %d %d" t.tn_submitted t.tn_completed t.tn_shed
+           t.tn_expired t.tn_inflight))
+    s.st_tenants;
   Buffer.contents b
+
+let tenant_stats_of_fields fields =
+  let names = get_list fields "tenant-name" in
+  let counters = get_list fields "tenant-counters" in
+  if List.length names <> List.length counters then
+    fail "status: %d tenant name(s) but %d counter row(s)" (List.length names)
+      (List.length counters);
+  List.map2
+    (fun name row ->
+      match
+        String.split_on_char ' ' row |> List.filter (fun s -> s <> "")
+        |> List.map int_of_string_opt
+      with
+      | [ Some sub; Some comp; Some shed; Some exp_; Some infl ] ->
+        { tn_tenant = name; tn_submitted = sub; tn_completed = comp; tn_shed = shed;
+          tn_expired = exp_; tn_inflight = infl }
+      | _ -> fail "status: malformed tenant counters %S" row)
+    names counters
 
 let status_of_fields fields =
   {
@@ -504,6 +616,10 @@ let status_of_fields fields =
     st_quarantined = get_int_default fields "quarantined" 0;
     st_quarantine_trips = get_int_default fields "quarantine-trips" 0;
     st_chaos_injected = get_int_default fields "chaos-injected" 0;
+    st_shed = get_int_default fields "shed" 0;
+    st_over_budget = get_int_default fields "over-budget" 0;
+    st_deadline_expired = get_int_default fields "deadline-expired" 0;
+    st_tenants = tenant_stats_of_fields fields;
   }
 
 (* --- Frames -------------------------------------------------------------- *)
@@ -588,6 +704,7 @@ let encode_response = function
     put b "message" e.ei_message;
     put b "code" (error_code_to_string e.ei_code);
     put_int b "attempts" e.ei_attempts;
+    if e.ei_retry_after > 0. then put_float b "retry-after" e.ei_retry_after;
     frame_to_string ~kind:0x45 (Buffer.contents b)
 
 let response_of_frame kind payload =
@@ -606,6 +723,7 @@ let response_of_frame kind payload =
            | Some c -> error_code_of_string c
            | None -> Generic);
         ei_attempts = get_int_default fields "attempts" 1;
+        ei_retry_after = get_float_default fields "retry-after" 0.;
       }
   | k -> fail "unknown response kind 0x%02x" k
 

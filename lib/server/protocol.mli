@@ -66,6 +66,10 @@ type sim_job = {
       (** client-chosen idempotency token: resubmitting the same token
           attaches to the in-flight job (or replays its cached
           response) instead of executing twice *)
+  sj_tenant : string option;
+      (** fairness/accounting identity; [None] defaults per-connection *)
+  sj_deadline : float;
+      (** end-to-end budget in seconds from admission; [0.] = none *)
 }
 
 type campaign_job = {
@@ -81,6 +85,8 @@ type campaign_job = {
   cj_models : string option;  (** comma-separated model subset *)
   cj_pokes : string list;
   cj_token : string option;
+  cj_tenant : string option;
+  cj_deadline : float;
 }
 
 type fuzz_job = {
@@ -90,6 +96,8 @@ type fuzz_job = {
   fj_cycles : int;
   fj_setups : string option;  (** comma-separated subset, e.g. ["gsim+bytecode"] *)
   fj_token : string option;
+  fj_tenant : string option;
+  fj_deadline : float;
 }
 
 type cov_job = {
@@ -99,6 +107,8 @@ type cov_job = {
   vj_cycles : int;
   vj_pokes : string list;
   vj_token : string option;
+  vj_tenant : string option;
+  vj_deadline : float;
 }
 
 type request =
@@ -117,6 +127,13 @@ val request_design : request -> string option
 (** The raw design text a job carries, if any — what the quarantine
     breaker and the chaos poison marker key on. *)
 
+val request_filename : request -> string option
+(** The filename a design-carrying job names (frontend selection). *)
+
+val request_tenant : request -> string option
+val request_deadline : request -> float
+(** The job's relative deadline budget in seconds; [0.] when none. *)
+
 type sim_result = {
   sr_engine : string;
   sr_cycles : int;
@@ -133,6 +150,16 @@ type db_result = {
   dr_summary : string;  (** one human-readable line *)
   dr_cache_hit : bool;  (** plan and/or golden-trace reuse *)
   dr_seconds : float;   (** server-side execution time *)
+}
+
+(** Per-tenant accounting row carried by {!Status}. *)
+type tenant_stat = {
+  tn_tenant : string;
+  tn_submitted : int;
+  tn_completed : int;
+  tn_shed : int;      (** refused by brownout/quota with a retry-after hint *)
+  tn_expired : int;   (** deadline-exceeded before or during execution *)
+  tn_inflight : int;  (** queued + running right now *)
 }
 
 type status = {
@@ -159,6 +186,10 @@ type status = {
   st_quarantined : int;      (** designs currently quarantined (breaker open/probing) *)
   st_quarantine_trips : int;
   st_chaos_injected : int;   (** total faults the chaos harness injected *)
+  st_shed : int;             (** batch jobs refused by brownout/quota *)
+  st_over_budget : int;      (** jobs refused at admission cost estimation *)
+  st_deadline_expired : int; (** jobs expired by their end-to-end deadline *)
+  st_tenants : tenant_stat list;
 }
 
 (** Structured failure codes, wire-carried so a client can tell a
@@ -174,11 +205,21 @@ type error_code =
   | Quarantined   (** the design's circuit breaker is open *)
   | Protocol_violation
   | Internal
+  | Over_budget   (** refused at admission: a resource budget was exceeded *)
+  | Deadline_exceeded  (** the job's end-to-end deadline passed *)
+  | Overloaded    (** shed by brownout or a per-tenant quota; retry later *)
 
 val error_code_to_string : error_code -> string
 val error_code_of_string : string -> error_code
 
-type error_info = { ei_code : error_code; ei_message : string; ei_attempts : int }
+type error_info = {
+  ei_code : error_code;
+  ei_message : string;
+  ei_attempts : int;
+  ei_retry_after : float;
+      (** server's backoff hint in seconds ([0.] = none); {!Client.call_robust}
+          honours it before resubmitting *)
+}
 
 type response =
   | Sim_done of sim_result
@@ -187,8 +228,9 @@ type response =
   | Shutting_down
   | Error_resp of error_info
 
-val error_resp : ?code:error_code -> ?attempts:int -> string -> response
-(** [Generic], one attempt by default. *)
+val error_resp :
+  ?code:error_code -> ?attempts:int -> ?retry_after:float -> string -> response
+(** [Generic], one attempt, no retry hint by default. *)
 
 (** {1 Frames} *)
 

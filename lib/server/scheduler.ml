@@ -1,51 +1,137 @@
+(* Two priority bands; within each band, weighted deficit-round-robin
+   across tenants.  Each tenant owns a FIFO of (cost, job); a band keeps
+   a ring of tenants with queued work.  A take visit replenishes the
+   tenant's deficit by [quantum × weight] and serves its head job if the
+   deficit covers the job's cost — so with unit costs two equal-weight
+   tenants split a saturated band ~50/50, and a tenant submitting costly
+   jobs is served proportionally less often.  An emptied tenant forfeits
+   its deficit (classic DRR: you cannot bank credit while idle). *)
+
+type 'a tenant_q = {
+  jobs : (int * 'a) Queue.t;  (* (cost, item) *)
+  mutable deficit : int;
+  mutable weight : int;
+}
+
+type 'a band = {
+  tenants : (string, 'a tenant_q) Hashtbl.t;
+  ring : string Queue.t;  (* tenants with queued work, round-robin order *)
+  mutable size : int;
+}
+
 type 'a t = {
   lock : Mutex.t;
   nonempty : Condition.t;
-  queues : 'a Queue.t array;  (* index = priority level, 0 highest *)
+  bands : 'a band array;
   capacity : int;
+  quantum : int;
+  tenant_quota : int;  (* max queued per tenant across bands; 0 = unlimited *)
+  queued_per_tenant : (string, int) Hashtbl.t;
   mutable is_draining : bool;
 }
 
 let levels = 2
+let default_tenant = "default"
 
-let create ?(capacity = 64) () =
+type verdict = Accepted | Rejected_full | Rejected_quota
+
+let create ?(capacity = 64) ?(quantum = 1) ?(tenant_quota = 0) () =
   {
     lock = Mutex.create ();
     nonempty = Condition.create ();
-    queues = Array.init levels (fun _ -> Queue.create ());
+    bands =
+      Array.init levels (fun _ ->
+          { tenants = Hashtbl.create 8; ring = Queue.create (); size = 0 });
     capacity;
+    quantum = max 1 quantum;
+    tenant_quota;
+    queued_per_tenant = Hashtbl.create 8;
     is_draining = false;
   }
 
 let level p = if p < 0 then 0 else if p >= levels then levels - 1 else p
+let total t = Array.fold_left (fun acc b -> acc + b.size) 0 t.bands
 
-let total t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
+let tenant_count t tenant =
+  Option.value ~default:0 (Hashtbl.find_opt t.queued_per_tenant tenant)
 
-let submit t ~priority x =
+(* Costs are clamped so one pathological job cannot starve its own
+   tenant behind an unpayable deficit. *)
+let clamp_cost c = if c < 1 then 1 else if c > 1024 then 1024 else c
+
+let enqueue_locked t ~priority ~tenant ~weight ~cost x =
+  let band = t.bands.(level priority) in
+  let q =
+    match Hashtbl.find_opt band.tenants tenant with
+    | Some q -> q
+    | None ->
+      let q = { jobs = Queue.create (); deficit = 0; weight = 1 } in
+      Hashtbl.replace band.tenants tenant q;
+      q
+  in
+  (match weight with Some w when w >= 1 -> q.weight <- w | _ -> ());
+  if Queue.is_empty q.jobs then Queue.push tenant band.ring;
+  Queue.push (clamp_cost cost, x) q.jobs;
+  band.size <- band.size + 1;
+  Hashtbl.replace t.queued_per_tenant tenant (tenant_count t tenant + 1);
+  Condition.signal t.nonempty
+
+let submit t ~priority ?(tenant = default_tenant) ?weight ?(cost = 1) x =
   Mutex.protect t.lock (fun () ->
-      if t.is_draining || total t >= t.capacity then false
+      if t.is_draining || total t >= t.capacity then Rejected_full
+      else if t.tenant_quota > 0 && tenant_count t tenant >= t.tenant_quota then
+        Rejected_quota
       else begin
-        Queue.push x t.queues.(level priority);
-        Condition.signal t.nonempty;
-        true
+        enqueue_locked t ~priority ~tenant ~weight ~cost x;
+        Accepted
       end)
 
-let requeue t ~priority x =
-  (* Preempted jobs bypass the bound and the drain check: they were
-     admitted once and must be allowed to finish. *)
+let requeue t ~priority ?(tenant = default_tenant) ?(cost = 1) x =
+  (* Preempted jobs bypass the bound, the quota and the drain check:
+     they were admitted once and must be allowed to finish.  They rejoin
+     at the back of their tenant's FIFO, so equal-priority peers of the
+     same tenant are not starved, and DRR keeps other tenants whole. *)
   Mutex.protect t.lock (fun () ->
-      Queue.push x t.queues.(level priority);
-      Condition.signal t.nonempty)
+      enqueue_locked t ~priority ~tenant ~weight:None ~cost x)
+
+let take_band t band =
+  (* Terminates: every full ring rotation adds quantum × weight ≥ 1 to
+     the visited tenant's deficit while costs are clamped, so some head
+     job becomes payable after finitely many rotations. *)
+  let rec visit () =
+    match Queue.take_opt band.ring with
+    | None -> None
+    | Some tenant ->
+      let q = Hashtbl.find band.tenants tenant in
+      q.deficit <- q.deficit + (t.quantum * q.weight);
+      let cost, x = Queue.peek q.jobs in
+      if q.deficit >= cost then begin
+        ignore (Queue.pop q.jobs);
+        q.deficit <- q.deficit - cost;
+        band.size <- band.size - 1;
+        if Queue.is_empty q.jobs then q.deficit <- 0 else Queue.push tenant band.ring;
+        let n = tenant_count t tenant - 1 in
+        if n <= 0 then Hashtbl.remove t.queued_per_tenant tenant
+        else Hashtbl.replace t.queued_per_tenant tenant n;
+        Some x
+      end
+      else begin
+        Queue.push tenant band.ring;
+        visit ()
+      end
+  in
+  visit ()
 
 let take t =
   Mutex.protect t.lock (fun () ->
       let rec wait () =
         if total t > 0 then begin
           let rec pick i =
-            if Queue.is_empty t.queues.(i) then pick (i + 1)
-            else Queue.pop t.queues.(i)
+            match take_band t t.bands.(i) with
+            | Some x -> Some x
+            | None -> if i + 1 < levels then pick (i + 1) else None
           in
-          Some (pick 0)
+          pick 0
         end
         else if t.is_draining then None
         else begin
@@ -58,7 +144,7 @@ let take t =
 let higher_waiting t ~than =
   Mutex.protect t.lock (fun () ->
       let limit = level than in
-      let rec scan i = i < limit && (not (Queue.is_empty t.queues.(i)) || scan (i + 1)) in
+      let rec scan i = i < limit && (t.bands.(i).size > 0 || scan (i + 1)) in
       scan 0)
 
 let drain t =
@@ -68,3 +154,13 @@ let drain t =
 
 let draining t = Mutex.protect t.lock (fun () -> t.is_draining)
 let queued t = Mutex.protect t.lock (fun () -> total t)
+
+let queued_at t ~priority =
+  Mutex.protect t.lock (fun () -> t.bands.(level priority).size)
+
+let queued_for t tenant = Mutex.protect t.lock (fun () -> tenant_count t tenant)
+
+let tenants t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.queued_per_tenant []
+      |> List.sort compare)

@@ -1,29 +1,46 @@
-(** Bounded two-level priority queue feeding the worker pool.
+(** Bounded two-band priority queue with per-tenant fairness.
 
     Priorities are small integers, 0 highest (the daemon maps
-    [Interactive] to 0 and [Batch] to 1); FIFO within a level.  The
-    queue is bounded: {!submit} refuses work beyond [capacity] (and any
-    work at all once draining), while {!requeue} — used for preempted
-    jobs, which must be allowed to finish — ignores both limits and
-    re-inserts at the {e back} of the job's own level so equal-priority
-    peers are not starved. *)
+    [Interactive] to 0 and [Batch] to 1).  Within each band, dequeue is
+    weighted deficit-round-robin across tenants: every visit replenishes
+    a tenant's deficit by [quantum × weight] and serves its head job
+    when the deficit covers the job's cost, so two equal-weight tenants
+    under saturation split the band ~50/50 however unevenly they
+    submit, and a tenant submitting costlier jobs (cost ≈ estimated
+    work) is dispatched proportionally less often.  A tenant that empties
+    forfeits its remaining deficit — idle time banks no credit.
+
+    The queue is bounded two ways: {!submit} refuses work beyond
+    [capacity] in total (and any work at all once draining), and beyond
+    [tenant_quota] queued jobs for one tenant; {!requeue} — used for
+    preempted and retried jobs, which must be allowed to finish —
+    bypasses every limit and re-inserts at the {e back} of the job's own
+    tenant FIFO. *)
 
 type 'a t
 
 val levels : int
 
-val create : ?capacity:int -> unit -> 'a t
-(** Default capacity 64 jobs across all levels. *)
+val default_tenant : string
+(** The bucket jobs without a tenant id land in. *)
 
-val submit : 'a t -> priority:int -> 'a -> bool
-(** [false] when the queue is full or the scheduler is draining. *)
+type verdict = Accepted | Rejected_full | Rejected_quota
 
-val requeue : 'a t -> priority:int -> 'a -> unit
+val create : ?capacity:int -> ?quantum:int -> ?tenant_quota:int -> unit -> 'a t
+(** Default: capacity 64 jobs across all bands, quantum 1, no per-tenant
+    quota. *)
+
+val submit :
+  'a t -> priority:int -> ?tenant:string -> ?weight:int -> ?cost:int -> 'a -> verdict
+(** [weight], when given, re-pins the tenant's DRR weight (≥ 1).
+    [cost] defaults to 1 and is clamped to [1, 1024]. *)
+
+val requeue : 'a t -> priority:int -> ?tenant:string -> ?cost:int -> 'a -> unit
 
 val take : 'a t -> 'a option
-(** Blocks until work is available; highest-priority (lowest level)
-    first.  [None] once draining {e and} empty — the worker should
-    exit. *)
+(** Blocks until work is available; highest-priority (lowest band)
+    first, DRR within the band.  [None] once draining {e and} empty —
+    the worker should exit. *)
 
 val higher_waiting : 'a t -> than:int -> bool
 (** Work queued at a strictly higher priority than [than] — the
@@ -35,3 +52,12 @@ val drain : 'a t -> unit
 
 val draining : 'a t -> bool
 val queued : 'a t -> int
+
+val queued_at : 'a t -> priority:int -> int
+(** Depth of one band — what the brownout high-water mark watches. *)
+
+val queued_for : 'a t -> string -> int
+(** Jobs one tenant has queued across both bands. *)
+
+val tenants : 'a t -> (string * int) list
+(** Every tenant with queued work and its depth, sorted by name. *)

@@ -17,6 +17,8 @@ module P = Protocol
 type job = {
   id : int;
   priority : int;
+  tenant : string;
+  deadline : float;  (* absolute Unix time; 0. = none *)
   request : P.request;
   reply : P.response -> unit;
   mutable attempt : int;
@@ -33,10 +35,13 @@ type job = {
   mutable compile_seconds : float;
 }
 
-let make_job ~id ~priority ~reply request =
+let make_job ~id ~priority ?(tenant = Scheduler.default_tenant) ?(deadline = 0.) ~reply
+    request =
   {
     id;
     priority;
+    tenant;
+    deadline;
     request;
     reply;
     attempt = 1;
@@ -58,7 +63,10 @@ let make_job ~id ~priority ~reply request =
    resume state.  [recovered] makes the retry resume from the job's
    on-disk spool ring instead of cycle 0. *)
 let retry_of job =
-  let j = make_job ~id:job.id ~priority:job.priority ~reply:job.reply job.request in
+  let j =
+    make_job ~id:job.id ~priority:job.priority ~tenant:job.tenant ~deadline:job.deadline
+      ~reply:job.reply job.request
+  in
   j.attempt <- job.attempt + 1;
   j.recovered <- true;
   j
@@ -80,6 +88,11 @@ type outcome = Done of P.response | Yielded | Abandoned
 exception Abandon
 (* Raised at a tick when the supervisor has cancelled this attempt
    (it was presumed hung and a retry was re-admitted). *)
+
+exception Deadline of int
+(* Raised at a tick once the job's end-to-end deadline has passed;
+   carries the cycle count reached.  Caught in [execute] and turned
+   into a [Deadline_exceeded] job-level error. *)
 
 (* Preemption spool cadence: the first yield of a job writes a full
    keyframe, later yields write sparse deltas chained on it, and every
@@ -425,12 +438,21 @@ let execute ?(beat = fun () -> ()) ctx job =
   let tick () =
     beat ();
     if Atomic.get job.cancelled then raise Abandon;
+    (* The end-to-end deadline is enforced at every preemption stride:
+       a running batch job that outlives its budget stops here instead
+       of burning the worker to produce an answer nobody wants. *)
+    if job.deadline > 0. && Unix.gettimeofday () > job.deadline then
+      raise (Deadline job.done_cycles);
     job.ticks <- job.ticks + 1;
     match
       Chaos.at_eval ctx.chaos ~job:job.id ~attempt:job.attempt ~tick:job.ticks ~poisoned
     with
     | `Ok -> ()
     | `Crash -> raise Chaos.Crash
+    | `Busy s ->
+      (* Chaos overload: lose compute but stay supervised. *)
+      Unix.sleepf s;
+      beat ()
     | `Hang ->
       (* A real hang never returns; a simulated one spins silently (no
          heartbeat) until the supervisor cancels this attempt. *)
@@ -484,6 +506,14 @@ let execute ?(beat = fun () -> ()) ctx job =
       outcome
   with
   | Abandon -> Abandoned
+  | Deadline cycles ->
+    (* Not worth retrying: the budget is spent no matter whose fault the
+       slowness was.  The spool scratch is discarded — nobody resumes a
+       job whose answer is already too late. *)
+    discard_scratch ctx job;
+    Done
+      (P.error_resp ~code:P.Deadline_exceeded ~attempts:job.attempt
+         (Printf.sprintf "deadline exceeded after %d cycle(s)" cycles))
   | Chaos.Crash as e ->
     (* Simulated worker death must escape like a real one would. *)
     raise e

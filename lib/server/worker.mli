@@ -34,6 +34,12 @@
 type job = {
   id : int;
   priority : int;  (** scheduler level, 0 = interactive *)
+  tenant : string;  (** fairness bucket; {!Scheduler.default_tenant} if unset *)
+  deadline : float;
+      (** absolute Unix time the answer stops mattering; 0. = none.
+          Checked when the job is dispatched and at every stride tick —
+          an expired job fails with [Deadline_exceeded] instead of
+          burning a worker *)
   request : Protocol.request;
   reply : Protocol.response -> unit;  (** fulfilled exactly once, on completion *)
   mutable attempt : int;  (** 1-based; bumped by {!retry_of} *)
@@ -59,7 +65,13 @@ type job = {
 }
 
 val make_job :
-  id:int -> priority:int -> reply:(Protocol.response -> unit) -> Protocol.request -> job
+  id:int ->
+  priority:int ->
+  ?tenant:string ->
+  ?deadline:float ->
+  reply:(Protocol.response -> unit) ->
+  Protocol.request ->
+  job
 
 val retry_of : job -> job
 (** A fresh attempt under the same id, [attempt + 1], flagged

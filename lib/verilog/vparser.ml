@@ -3,7 +3,21 @@ open Vast
 
 exception Parse_error of int * int * string
 
-type state = { tokens : (Vlexer.token * int * int) array; mutable pos : int }
+(* Resource-bomb limits, mirroring the FIRRTL parser: crafted input must
+   fail with a caret diagnostic, never a stack overflow (deep
+   parenthesis/begin nesting) or an absurd allocation committed
+   downstream (mile-wide ranges, astronomically deep memories, huge
+   replication counts). *)
+let max_nesting = 200
+let max_width = 65_536
+let max_mem_bits = 1 lsl 33  (* 1 GiB of memory state *)
+let max_repl = 65_536
+
+type state = {
+  tokens : (Vlexer.token * int * int) array;
+  mutable pos : int;
+  mutable depth : int;  (* live expression/statement nesting *)
+}
 
 let peek st =
   let t, _, _ = st.tokens.(st.pos) in
@@ -49,23 +63,41 @@ let expect_int st =
   | Vlexer.Number (_, b) -> to_int_at loc b
   | t -> error_at loc (Format.asprintf "expected integer, found %a" Vlexer.pp_token t)
 
-(* [msb:lsb] *)
-let parse_range st =
+(* [msb:lsb].  [check_width] is off for memory address dimensions: a
+   word count legitimately exceeds any single value's width limit, and
+   the total-footprint check in [parse_decl_tail] bounds it instead. *)
+let parse_range ?(check_width = true) st =
   expect st (Vlexer.Punct "[");
   let msb = expect_int st in
   expect st (Vlexer.Punct ":");
   let lsb = expect_int st in
   expect st (Vlexer.Punct "]");
   if msb < lsb then error st "descending ranges only ([msb:lsb] with msb >= lsb)";
+  if check_width && msb - lsb + 1 > max_width then
+    error st
+      (Printf.sprintf "range [%d:%d] is %d bits wide (limit %d)" msb lsb (msb - lsb + 1)
+         max_width);
   { msb; lsb }
 
 let maybe_range st = if peek st = Vlexer.Punct "[" then Some (parse_range st) else None
+
+let maybe_mem_range st =
+  if peek st = Vlexer.Punct "[" then Some (parse_range ~check_width:false st) else None
 
 (* ------------------------------------------------------------------ *)
 (* Expressions (precedence climbing)                                   *)
 (* ------------------------------------------------------------------ *)
 
-let rec parse_expr st = parse_ternary st
+(* Every recursive entry pays into the shared depth budget, so a
+   crafted ((((((... or ~~~~~~... fails with a positioned diagnostic
+   instead of blowing the stack. *)
+let rec parse_expr st =
+  if st.depth >= max_nesting then
+    error st (Printf.sprintf "expression nesting exceeds %d levels" max_nesting);
+  st.depth <- st.depth + 1;
+  let e = parse_ternary st in
+  st.depth <- st.depth - 1;
+  e
 
 and parse_ternary st =
   let cond = parse_binary st 0 in
@@ -110,6 +142,16 @@ and parse_binary st level =
   end
 
 and parse_unary st =
+  (* Self-recursive on stacked operators, so it needs its own entry
+     into the depth budget — parse_expr never sees a ~~~~~ chain. *)
+  if st.depth >= max_nesting then
+    error st (Printf.sprintf "expression nesting exceeds %d levels" max_nesting);
+  st.depth <- st.depth + 1;
+  let e = parse_unary_body st in
+  st.depth <- st.depth - 1;
+  e
+
+and parse_unary_body st =
   match peek st with
   | Vlexer.Punct "~" ->
     advance st;
@@ -166,7 +208,11 @@ and parse_primary st =
       expect st (Vlexer.Punct "}");
       expect st (Vlexer.Punct "}");
       match first with
-      | E_num (_, b) -> E_repl (to_int_at loc b, inner)
+      | E_num (_, b) ->
+        let n = to_int_at loc b in
+        if n < 0 || n > max_repl then
+          error_at loc (Printf.sprintf "replication count %d out of range (limit %d)" n max_repl);
+        E_repl (n, inner)
       | _ -> error st "replication count must be a constant"
     end
     else begin
@@ -204,6 +250,16 @@ let parse_lvalue st =
   else L_id name
 
 let rec parse_stmt st : stmt list =
+  (* begin/if/case nest through here; same stack-bomb guard as
+     expressions. *)
+  if st.depth >= max_nesting then
+    error st (Printf.sprintf "statement nesting exceeds %d levels" max_nesting);
+  st.depth <- st.depth + 1;
+  let ss = parse_stmt_body st in
+  st.depth <- st.depth - 1;
+  ss
+
+and parse_stmt_body st : stmt list =
   match peek st with
   | Vlexer.Id "begin" ->
     advance st;
@@ -267,7 +323,17 @@ let parse_decl_tail st kind range =
   let items = ref [] in
   let rec one () =
     let name = expect_id st in
-    let mem = maybe_range st in
+    let mem = maybe_mem_range st in
+    (match mem with
+     | Some m ->
+       let words = m.msb - m.lsb + 1 in
+       let w = match range with Some r -> r.msb - r.lsb + 1 | None -> 1 in
+       (* Overflow-safe: divide instead of multiplying words × width. *)
+       if w > 0 && words > max_mem_bits / w then
+         error st
+           (Printf.sprintf "memory %s wants %d × %d bits, over the %d-bit limit" name words
+              w max_mem_bits)
+     | None -> ());
     let init =
       if kind = D_wire && accept st (Vlexer.Punct "=") then Some (parse_expr st) else None
     in
@@ -373,7 +439,7 @@ let parse_string src =
     try Vlexer.tokenize src
     with Vlexer.Lex_error (l, c, msg) -> raise (Parse_error (l, c, "lexical error: " ^ msg))
   in
-  let st = { tokens; pos = 0 } in
+  let st = { tokens; pos = 0; depth = 0 } in
   let modules = ref [] in
   while peek st <> Vlexer.Eof do
     modules := parse_module st :: !modules

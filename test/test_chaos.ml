@@ -208,7 +208,7 @@ let test_tear_fuzz () =
            ( P.Batch,
              { P.sj_filename = "g.fir"; sj_design = gray_fir ~name:"G" ~step:1;
                sj_opts = P.default_engine_opts; sj_cycles = 64; sj_pokes = [ "en=1" ];
-               sj_token = Some "tok" } ));
+               sj_token = Some "tok"; sj_tenant = None; sj_deadline = 0. } ));
     ]
   in
   Alcotest.(check string) "tear is deterministic"
@@ -343,7 +343,8 @@ let stop_daemon (address, t, log) =
 
 let sim_job ~design ~cycles =
   { P.sj_filename = "gray.fir"; sj_design = design; sj_opts = P.default_engine_opts;
-    sj_cycles = cycles; sj_pokes = [ "en=1" ]; sj_token = None }
+    sj_cycles = cycles; sj_pokes = [ "en=1" ]; sj_token = None; sj_tenant = None;
+    sj_deadline = 0. }
 
 (* --- token idempotency ---------------------------------------------------- *)
 

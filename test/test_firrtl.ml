@@ -315,6 +315,66 @@ let test_malformed_inputs () =
   expect_located "circuit X :\n  module X :\n      wire a : UInt<1>\n    wire b : UInt<1>\n"
     "line 4:"
 
+(* Resource bombs: a few lines of text that would explode into gigabytes
+   of state or blow the parser's stack must die at the frontend with a
+   positioned diagnostic, never a [Stack_overflow] or an allocation. *)
+let test_resource_bombs () =
+  (* Expression nesting: 300 nested [not]s overflow the recursive-descent
+     stack without a depth guard. *)
+  let deep_expr =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b
+      "circuit X :\n  module X :\n    input a : UInt<1>\n    output o : UInt<1>\n    o <= ";
+    for _ = 1 to 300 do Buffer.add_string b "not(" done;
+    Buffer.add_string b "a";
+    for _ = 1 to 300 do Buffer.add_char b ')' done;
+    Buffer.add_char b '\n';
+    Buffer.contents b
+  in
+  expect_located deep_expr "expression nesting exceeds";
+  (* When nesting: 300 ever-deeper conditionals. *)
+  let deep_when =
+    let b = Buffer.create 8192 in
+    Buffer.add_string b
+      "circuit X :\n  module X :\n    input a : UInt<1>\n    output o : UInt<1>\n    o <= a\n";
+    for i = 0 to 299 do
+      Buffer.add_string b (String.make (4 + (2 * i)) ' ');
+      Buffer.add_string b "when a :\n"
+    done;
+    Buffer.add_string b (String.make (4 + (2 * 300)) ' ');
+    Buffer.add_string b "o <= a\n";
+    Buffer.contents b
+  in
+  expect_located deep_when "nesting exceeds";
+  (* Width bomb: one declaration, 100 million bits. *)
+  expect_located "circuit X :\n  module X :\n    input a : UInt<100000000>\n"
+    "out of range";
+  (* Memory bomb: 2^28 words of 64 bits = 16 GiB of state. *)
+  expect_located
+    "circuit X :\n\
+    \  module X :\n\
+    \    input clock : Clock\n\
+    \    mem m :\n\
+    \      data-type => UInt<64>\n\
+    \      depth => 268435456\n\
+    \      read-latency => 0\n\
+    \      write-latency => 1\n\
+    \      reader => r0\n"
+    "over the";
+  (* A negative depth never parses as an integer; it still dies with a
+     position rather than wrapping the footprint check. *)
+  expect_located
+    "circuit X :\n\
+    \  module X :\n\
+    \    input clock : Clock\n\
+    \    mem m :\n\
+    \      data-type => UInt<8>\n\
+    \      depth => -1\n\
+    \      read-latency => 0\n\
+    \      write-latency => 1\n\
+    \      reader => r0\n"
+    "line 6:"
+
 (* --- Engines agree on an elaborated design ----------------------------- *)
 
 let test_engines_on_firrtl_design () =
@@ -346,6 +406,7 @@ let frontend_suite =
       Alcotest.test_case "one-hot roundtrip" `Quick test_onehot_roundtrip;
       Alcotest.test_case "parse errors" `Quick test_parse_errors;
       Alcotest.test_case "malformed inputs" `Quick test_malformed_inputs;
+      Alcotest.test_case "resource bombs" `Quick test_resource_bombs;
       Alcotest.test_case "engines agree" `Quick test_engines_on_firrtl_design;
     ] )
 

@@ -119,22 +119,24 @@ let sample_requests =
       ( P.Interactive,
         { P.sj_filename = "gray.fir"; sj_design = gray_fir; sj_opts = sample_opts;
           sj_cycles = 123; sj_pokes = [ "en=1"; "reset=0" ];
-          sj_token = Some "cli-1-0.5" } );
+          sj_token = Some "cli-1-0.5"; sj_tenant = Some "alice"; sj_deadline = 2.5 } );
     P.Campaign
       ( P.Batch,
         { P.cj_filename = "gray.fir"; cj_design = gray_fir;
           cj_opts = P.default_engine_opts; cj_horizon = 40; cj_budget = 15;
           cj_faults = [ "seu:r:3@7" ]; cj_random = 8; cj_seed = 9; cj_duration = 2;
-          cj_models = Some "seu,stuck0"; cj_pokes = [ "en=1" ]; cj_token = None } );
+          cj_models = Some "seu,stuck0"; cj_pokes = [ "en=1" ]; cj_token = None;
+          cj_tenant = None; cj_deadline = 0. } );
     P.Fuzz
       ( P.Batch,
         { P.fj_seed = 4; fj_cases = 25; fj_from = 25; fj_cycles = 64;
-          fj_setups = Some "gsim+bytecode"; fj_token = None } );
+          fj_setups = Some "gsim+bytecode"; fj_token = None; fj_tenant = Some "ci";
+          fj_deadline = 0. } );
     P.Coverage
       ( P.Interactive,
         { P.vj_filename = "gray.fir"; vj_design = gray_fir;
           vj_opts = P.default_engine_opts; vj_cycles = 77; vj_pokes = [];
-          vj_token = Some "t" } );
+          vj_token = Some "t"; vj_tenant = None; vj_deadline = 1.25 } );
     P.Status;
     P.Shutdown;
   ]
@@ -155,14 +157,31 @@ let sample_responses =
         st_golden_hits = 2; st_golden_misses = 3; st_preemptions = 7;
         st_uptime = 12.125; st_draining = false; st_retries = 4; st_hangs = 2;
         st_worker_crashes = 3; st_worker_restarts = 3; st_gave_up = 1;
-        st_quarantined = 1; st_quarantine_trips = 2; st_chaos_injected = 5 };
+        st_quarantined = 1; st_quarantine_trips = 2; st_chaos_injected = 5;
+        st_shed = 6; st_over_budget = 2; st_deadline_expired = 1;
+        st_tenants =
+          [ { P.tn_tenant = "alice"; tn_submitted = 9; tn_completed = 7; tn_shed = 1;
+              tn_expired = 1; tn_inflight = 0 };
+            { P.tn_tenant = "bob"; tn_submitted = 3; tn_completed = 3; tn_shed = 0;
+              tn_expired = 0; tn_inflight = 2 } ] };
     P.Shutting_down;
     P.Error_resp
       { P.ei_code = P.Queue_full;
-        ei_message = "queue full (64 job(s) queued); retry later"; ei_attempts = 1 };
+        ei_message = "queue full (64 job(s) queued); retry later"; ei_attempts = 1;
+        ei_retry_after = 0. };
     P.Error_resp
       { P.ei_code = P.Worker_lost; ei_message = "job failed after 4 attempt(s)";
-        ei_attempts = 4 };
+        ei_attempts = 4; ei_retry_after = 0. };
+    P.Error_resp
+      { P.ei_code = P.Overloaded; ei_message = "daemon overloaded; retry later";
+        ei_attempts = 1; ei_retry_after = 7.5 };
+    P.Error_resp
+      { P.ei_code = P.Over_budget;
+        ei_message = "estimated 300000 node(s) exceeds the daemon budget 200000";
+        ei_attempts = 1; ei_retry_after = 0. };
+    P.Error_resp
+      { P.ei_code = P.Deadline_exceeded; ei_message = "deadline exceeded after 40 cycle(s)";
+        ei_attempts = 1; ei_retry_after = 0. };
   ]
 
 let test_request_roundtrip () =
@@ -219,11 +238,13 @@ let test_address_parse () =
 
 (* --- scheduler ------------------------------------------------------------ *)
 
+let accepted = function Scheduler.Accepted -> true | _ -> false
+
 let test_scheduler_priority () =
   let s = Scheduler.create ~capacity:8 () in
-  Alcotest.(check bool) "b1" true (Scheduler.submit s ~priority:1 "b1");
-  Alcotest.(check bool) "b2" true (Scheduler.submit s ~priority:1 "b2");
-  Alcotest.(check bool) "i1" true (Scheduler.submit s ~priority:0 "i1");
+  Alcotest.(check bool) "b1" true (accepted (Scheduler.submit s ~priority:1 "b1"));
+  Alcotest.(check bool) "b2" true (accepted (Scheduler.submit s ~priority:1 "b2"));
+  Alcotest.(check bool) "i1" true (accepted (Scheduler.submit s ~priority:0 "i1"));
   Alcotest.(check int) "queued" 3 (Scheduler.queued s);
   Alcotest.(check bool) "higher than batch" true (Scheduler.higher_waiting s ~than:1);
   Alcotest.(check bool) "nothing above interactive" false
@@ -235,16 +256,17 @@ let test_scheduler_priority () =
 
 let test_scheduler_bound_and_drain () =
   let s = Scheduler.create ~capacity:2 () in
-  Alcotest.(check bool) "1 fits" true (Scheduler.submit s ~priority:1 1);
-  Alcotest.(check bool) "2 fits" true (Scheduler.submit s ~priority:0 2);
-  Alcotest.(check bool) "3 refused (full)" false (Scheduler.submit s ~priority:0 3);
+  Alcotest.(check bool) "1 fits" true (accepted (Scheduler.submit s ~priority:1 1));
+  Alcotest.(check bool) "2 fits" true (accepted (Scheduler.submit s ~priority:0 2));
+  Alcotest.(check bool) "3 refused (full)" true
+    (Scheduler.submit s ~priority:0 3 = Scheduler.Rejected_full);
   (* Requeue ignores the bound: a preempted job must be re-admitted. *)
   Scheduler.requeue s ~priority:1 4;
   Alcotest.(check int) "requeue over bound" 3 (Scheduler.queued s);
   Scheduler.drain s;
   Alcotest.(check bool) "draining" true (Scheduler.draining s);
-  Alcotest.(check bool) "submit refused while draining" false
-    (Scheduler.submit s ~priority:0 5);
+  Alcotest.(check bool) "submit refused while draining" true
+    (Scheduler.submit s ~priority:0 5 = Scheduler.Rejected_full);
   Alcotest.(check (option int)) "backlog survives drain" (Some 2) (Scheduler.take s);
   Alcotest.(check (option int)) "fifo" (Some 1) (Scheduler.take s);
   Alcotest.(check (option int)) "requeued job drains too" (Some 4) (Scheduler.take s);
@@ -351,7 +373,7 @@ let test_preemption_identity () =
   let sj =
     { P.sj_filename = "gray.fir"; sj_design = gray_fir;
       sj_opts = P.default_engine_opts; sj_cycles = 95; sj_pokes = [ "en=1" ];
-      sj_token = None }
+      sj_token = None; sj_tenant = None; sj_deadline = 0. }
   in
   let result = ref None in
   let job =
@@ -365,7 +387,7 @@ let test_preemption_identity () =
     Worker.make_job ~id:2 ~priority:0 ~reply:ignore (P.Sim (P.Interactive, sj))
   in
   Alcotest.(check bool) "queue interactive" true
-    (Scheduler.submit sched ~priority:0 interactive);
+    (accepted (Scheduler.submit sched ~priority:0 interactive));
   (match Worker.execute ctx job with
    | Worker.Yielded -> ()
    | Worker.Done _ | Worker.Abandoned ->
@@ -414,7 +436,7 @@ let test_worker_spool_resume () =
   let sj =
     { P.sj_filename = "gray.fir"; sj_design = gray_fir;
       sj_opts = P.default_engine_opts; sj_cycles = 95; sj_pokes = [ "en=1" ];
-      sj_token = None }
+      sj_token = None; sj_tenant = None; sj_deadline = 0. }
   in
   let expected =
     let uj =
@@ -431,7 +453,7 @@ let test_worker_spool_resume () =
       Worker.make_job ~id:(50 + id) ~priority:0 ~reply:ignore (P.Sim (P.Interactive, sj))
     in
     Alcotest.(check bool) "queue interactive" true
-      (Scheduler.submit sched ~priority:0 interactive);
+      (accepted (Scheduler.submit sched ~priority:0 interactive));
     let job =
       Worker.make_job ~id ~priority:1 ~reply:ignore (P.Sim (P.Batch, sj))
     in
@@ -529,7 +551,7 @@ let test_daemon_concurrent_clients () =
   let sj cycles =
     { P.sj_filename = "gray.fir"; sj_design = gray_fir;
       sj_opts = P.default_engine_opts; sj_cycles = cycles; sj_pokes = [ "en=1" ];
-      sj_token = None }
+      sj_token = None; sj_tenant = None; sj_deadline = 0. }
   in
   (* The local truth each remote answer must match. *)
   let local cycles =
@@ -577,7 +599,8 @@ let test_daemon_bad_job () =
   let ((address, _, _, _) as d) = start_daemon () in
   let bad =
     { P.sj_filename = "nope.fir"; sj_design = "circuit Broken :\n  module Missing :\n";
-      sj_opts = P.default_engine_opts; sj_cycles = 5; sj_pokes = []; sj_token = None }
+      sj_opts = P.default_engine_opts; sj_cycles = 5; sj_pokes = []; sj_token = None;
+      sj_tenant = None; sj_deadline = 0. }
   in
   (match Client.with_connection address (fun c ->
              Client.call c (P.Sim (P.Interactive, bad)))
@@ -600,7 +623,7 @@ let test_daemon_restart_readmits () =
   let sj cycles =
     { P.sj_filename = "gray.fir"; sj_design = gray_fir;
       sj_opts = P.default_engine_opts; sj_cycles = cycles; sj_pokes = [ "en=1" ];
-      sj_token = None }
+      sj_token = None; sj_tenant = None; sj_deadline = 0. }
   in
   (* Everything a SIGKILLed daemon leaves behind: the persisted batch
      request, a preemption spool ring (keyframe at cycle 20, delta at
@@ -675,7 +698,7 @@ let test_drain_waits_for_inflight () =
   let sj cycles =
     { P.sj_filename = "gray.fir"; sj_design = gray_fir;
       sj_opts = P.default_engine_opts; sj_cycles = cycles; sj_pokes = [ "en=1" ];
-      sj_token = None }
+      sj_token = None; sj_tenant = None; sj_deadline = 0. }
   in
   let batch_cycles = 400_000 in
   let batch_result = ref None in

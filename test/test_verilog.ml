@@ -304,6 +304,52 @@ let test_malformed_inputs () =
     "line 2:";
   expect_located "module m (inout a);\nendmodule" "line 1:11"
 
+(* Resource bombs: tiny sources encoding huge widths, memories,
+   replications, or unbounded recursion must fail with a positioned
+   diagnostic, never a [Stack_overflow] or a giant allocation. *)
+let test_resource_bombs () =
+  (* Expression nesting: 300 parenthesised levels. *)
+  let deep_expr =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "module m (input a, output x);\n  assign x = ";
+    for _ = 1 to 300 do Buffer.add_char b '(' done;
+    Buffer.add_char b 'a';
+    for _ = 1 to 300 do Buffer.add_char b ')' done;
+    Buffer.add_string b ";\nendmodule";
+    Buffer.contents b
+  in
+  expect_located deep_expr "nesting exceeds";
+  (* Unary chains recurse without ever re-entering the expression
+     parser: [~~~~...a] needs its own guard. *)
+  let tildes = String.concat "" (List.init 300 (fun _ -> "~")) in
+  expect_located
+    (Printf.sprintf "module m (input a, output x);\n  assign x = %sa;\nendmodule" tildes)
+    "nesting exceeds";
+  (* Statement nesting: 300 nested begin blocks. *)
+  let deep_stmt =
+    let b = Buffer.create 8192 in
+    Buffer.add_string b
+      "module m (input clk, input a, output reg x);\n  always @(posedge clk)\n    ";
+    for _ = 1 to 300 do Buffer.add_string b "begin " done;
+    Buffer.add_string b "x <= a;";
+    for _ = 1 to 300 do Buffer.add_string b " end" done;
+    Buffer.add_string b "\nendmodule";
+    Buffer.contents b
+  in
+  expect_located deep_stmt "statement nesting exceeds";
+  (* Width bomb: a 100-million-bit wire. *)
+  expect_located
+    "module m (input a, output x);\n  wire [99999999:0] w;\n  assign x = a;\nendmodule"
+    "bits wide (limit";
+  (* Memory bomb: 2^28 words of 64 bits = 16 GiB of state. *)
+  expect_located
+    "module m (input clk);\n  reg [63:0] mem [268435455:0];\nendmodule"
+    "over the";
+  (* Replication bomb: {100000000{a}} would allocate a 100-Mbit value. *)
+  expect_located
+    "module m (input a, output x);\n  assign x = |{100000000{a}};\nendmodule"
+    "out of range"
+
 let () =
   Alcotest.run "verilog"
     [
@@ -320,5 +366,6 @@ let () =
           Alcotest.test_case "engines agree" `Quick test_engines_on_verilog;
           Alcotest.test_case "errors" `Quick test_errors;
           Alcotest.test_case "malformed inputs" `Quick test_malformed_inputs;
+          Alcotest.test_case "resource bombs" `Quick test_resource_bombs;
         ] );
     ]
